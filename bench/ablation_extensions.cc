@@ -1,0 +1,83 @@
+// Ablation of the paper's future-work extensions, implemented in this
+// library: online policy updates (periodic and drift-informed), the pruning
+// step before weighting, and the diversity-aware reward. Compares test RMSE
+// of each variant against the frozen-policy baseline on three datasets.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/eadrl.h"
+#include "exp/experiment.h"
+#include "ts/datasets.h"
+
+namespace {
+constexpr int kDatasetIds[] = {9, 10, 15};  // drift-heavy + trending.
+}  // namespace
+
+int main() {
+  namespace exp = eadrl::exp;
+  const size_t length = eadrl::bench::BenchLength();
+  exp::ExperimentOptions opt = eadrl::bench::BenchOptions();
+
+  struct Variant {
+    const char* name;
+    eadrl::core::EadrlConfig (*configure)(eadrl::core::EadrlConfig);
+  };
+  const Variant variants[] = {
+      {"frozen (paper)",
+       [](eadrl::core::EadrlConfig c) { return c; }},
+      {"online-periodic",
+       [](eadrl::core::EadrlConfig c) {
+         c.online_update = eadrl::core::OnlineUpdateMode::kPeriodic;
+         c.online_update_every = 20;
+         return c;
+       }},
+      {"online-drift",
+       [](eadrl::core::EadrlConfig c) {
+         c.online_update = eadrl::core::OnlineUpdateMode::kDriftInformed;
+         return c;
+       }},
+      {"pruned (top 10)",
+       [](eadrl::core::EadrlConfig c) {
+         c.prune_top_n = 10;
+         return c;
+       }},
+      {"diversity reward",
+       [](eadrl::core::EadrlConfig c) {
+         c.diversity_coef = 0.5;
+         return c;
+       }},
+  };
+
+  std::printf("Ablation: EA-DRL future-work extensions, test RMSE "
+              "(length %zu)\n\n",
+              length);
+  std::printf("%s", eadrl::PadRight("variant", 20).c_str());
+  for (int id : kDatasetIds) {
+    std::printf("%s",
+                eadrl::PadRight(eadrl::StrCat("ds", id), 12).c_str());
+  }
+  std::printf("\n%s\n", std::string(56, '-').c_str());
+
+  // Pool predictions are reused across variants per dataset.
+  std::vector<exp::PoolRun> pools;
+  for (int id : kDatasetIds) {
+    auto series = eadrl::ts::MakeDataset(id, 42, length);
+    if (!series.ok()) return 1;
+    pools.push_back(exp::PreparePool(*series, opt));
+  }
+
+  for (const Variant& variant : variants) {
+    std::printf("%s", eadrl::PadRight(variant.name, 20).c_str());
+    for (size_t d = 0; d < pools.size(); ++d) {
+      eadrl::core::EadrlCombiner combiner(variant.configure(opt.eadrl));
+      exp::MethodRun run = exp::RunCombiner(&combiner, pools[d]);
+      std::printf("%s",
+                  eadrl::PadRight(eadrl::FormatDouble(run.rmse, 4), 12)
+                      .c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation beyond the paper: ensemble quality vs. pool size m. The paper's
+// future work proposes adding a pruning step before weighting; this bench
+// quantifies the headroom by truncating the fitted 43-model pool to its
+// first m columns and re-learning the EA-DRL policy.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/eadrl.h"
+#include "exp/experiment.h"
+#include "ts/datasets.h"
+#include "ts/metrics.h"
+
+namespace {
+constexpr int kDatasetIds[] = {4, 15};
+constexpr size_t kPoolSizes[] = {5, 15, 43};
+}  // namespace
+
+int main() {
+  namespace exp = eadrl::exp;
+  const size_t length = eadrl::bench::BenchLength();
+  exp::ExperimentOptions opt = eadrl::bench::BenchOptions();
+  // Full 43-model pool; EA-DRL policies are retrained per truncation.
+  opt.eadrl.max_episodes = 25;
+
+  std::printf("Ablation: EA-DRL test RMSE vs pool size m "
+              "(first-m truncation of the 43-model pool)\n\n");
+  std::printf("%s", eadrl::PadRight("dataset", 10).c_str());
+  for (size_t m : kPoolSizes) {
+    std::printf("%s",
+                eadrl::PadRight(eadrl::StrCat("m=", m), 14).c_str());
+  }
+  std::printf("\n%s\n", std::string(52, '-').c_str());
+
+  for (int id : kDatasetIds) {
+    auto series = eadrl::ts::MakeDataset(id, 42, length);
+    if (!series.ok()) return 1;
+    exp::PoolRun pool = exp::PreparePool(*series, opt);
+
+    std::printf("%s", eadrl::PadRight(std::to_string(id), 10).c_str());
+    for (size_t m : kPoolSizes) {
+      size_t keep = std::min(m, pool.model_names.size());
+      eadrl::math::Matrix val(pool.val_preds.rows(), keep);
+      eadrl::math::Matrix test(pool.test_preds.rows(), keep);
+      for (size_t t = 0; t < val.rows(); ++t) {
+        for (size_t i = 0; i < keep; ++i) val(t, i) = pool.val_preds(t, i);
+      }
+      for (size_t t = 0; t < test.rows(); ++t) {
+        for (size_t i = 0; i < keep; ++i) test(t, i) = pool.test_preds(t, i);
+      }
+
+      eadrl::core::EadrlCombiner combiner(opt.eadrl);
+      eadrl::Status st = combiner.Initialize(val, pool.val_actuals);
+      if (!st.ok()) return 1;
+      eadrl::math::Vec preds(test.rows());
+      for (size_t t = 0; t < test.rows(); ++t) {
+        preds[t] = combiner.Predict(test.Row(t));
+        combiner.Update(test.Row(t), pool.test_actuals[t]);
+      }
+      double rmse = eadrl::ts::Rmse(pool.test_actuals, preds);
+      std::printf("%s",
+                  eadrl::PadRight(eadrl::FormatDouble(rmse, 4), 14).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Ablation beyond the paper: sensitivity of EA-DRL to the state/validation
+// window omega (Table II fixes omega = 10). DESIGN.md calls this design
+// choice out; here we sweep omega over {5, 10, 20} on three datasets and
+// report the test RMSE of the learned policy.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/eadrl.h"
+#include "exp/experiment.h"
+#include "ts/datasets.h"
+
+namespace {
+constexpr int kDatasetIds[] = {2, 9, 18};
+constexpr size_t kOmegas[] = {5, 10, 20};
+}  // namespace
+
+int main() {
+  namespace exp = eadrl::exp;
+  const size_t length = eadrl::bench::BenchLength();
+  exp::ExperimentOptions opt = eadrl::bench::BenchOptions();
+  opt.pool.fast_mode = true;
+
+  std::printf("Ablation: EA-DRL test RMSE vs state window omega\n\n");
+  std::printf("%s", eadrl::PadRight("dataset", 10).c_str());
+  for (size_t omega : kOmegas) {
+    std::printf("%s", eadrl::PadRight(
+                          eadrl::StrCat("omega=", omega), 14)
+                          .c_str());
+  }
+  std::printf("\n%s\n", std::string(52, '-').c_str());
+
+  for (int id : kDatasetIds) {
+    auto series = eadrl::ts::MakeDataset(id, 42, length);
+    if (!series.ok()) return 1;
+    exp::PoolRun pool = exp::PreparePool(*series, opt);
+
+    std::printf("%s", eadrl::PadRight(std::to_string(id), 10).c_str());
+    for (size_t omega : kOmegas) {
+      eadrl::core::EadrlConfig cfg = opt.eadrl;
+      cfg.omega = omega;
+      eadrl::core::EadrlCombiner combiner(cfg);
+      exp::MethodRun run = exp::RunCombiner(&combiner, pool);
+      std::printf("%s",
+                  eadrl::PadRight(eadrl::FormatDouble(run.rmse, 4), 14)
+                      .c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+#ifndef EADRL_BENCH_BENCH_UTIL_H_
+#define EADRL_BENCH_BENCH_UTIL_H_
+
+// Shared knobs for the paper-reproduction benches. Every bench is sized so
+// the whole bench suite completes in minutes on one core; the environment
+// variables below scale the experiments up to paper-fidelity sizes.
+
+#include <cstdlib>
+#include <string>
+
+#include "exp/experiment.h"
+
+namespace eadrl::bench {
+
+inline size_t EnvSize(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  long parsed = std::atol(v);
+  return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
+}
+
+/// Dataset length per series. Paper-scale series are 900-1200 points
+/// (EADRL_BENCH_LENGTH=0 keeps each dataset's default length).
+inline size_t BenchLength() { return EnvSize("EADRL_BENCH_LENGTH", 400); }
+
+/// Standard experiment options used by the table benches.
+inline exp::ExperimentOptions BenchOptions() {
+  exp::ExperimentOptions opt;
+  opt.seed = 42;
+  opt.pool.nn_epochs = EnvSize("EADRL_BENCH_NN_EPOCHS", 6);
+  opt.eadrl.omega = 10;  // paper Table II setting.
+  opt.eadrl.max_episodes = EnvSize("EADRL_BENCH_EPISODES", 40);
+  opt.eadrl.max_iterations = EnvSize("EADRL_BENCH_ITERATIONS", 60);
+  opt.eadrl.early_stop_patience = 8;
+  return opt;
+}
+
+}  // namespace eadrl::bench
+
+#endif  // EADRL_BENCH_BENCH_UTIL_H_

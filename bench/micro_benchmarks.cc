@@ -1,0 +1,140 @@
+// Supporting micro-benchmarks (google-benchmark): the per-step costs behind
+// Table III — policy inference, DDPG updates, replay sampling, drift
+// detection and base-model prediction.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/dynamic_selection.h"
+#include "common/rng.h"
+#include "core/eadrl.h"
+#include "math/linalg.h"
+#include "models/tree.h"
+#include "rl/ddpg.h"
+#include "rl/replay_buffer.h"
+
+namespace {
+
+void BM_DdpgActorInference(benchmark::State& state) {
+  eadrl::rl::DdpgConfig cfg;
+  cfg.state_dim = 10;
+  cfg.action_dim = static_cast<size_t>(state.range(0));
+  eadrl::rl::DdpgAgent agent(cfg);
+  eadrl::math::Vec s(10, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.Act(s));
+  }
+}
+BENCHMARK(BM_DdpgActorInference)->Arg(10)->Arg(43);
+
+void BM_DdpgUpdate(benchmark::State& state) {
+  eadrl::rl::DdpgConfig cfg;
+  cfg.state_dim = 10;
+  cfg.action_dim = 43;
+  eadrl::rl::DdpgAgent agent(cfg);
+  eadrl::Rng rng(1);
+  std::vector<eadrl::rl::Transition> batch;
+  for (int i = 0; i < 16; ++i) {
+    eadrl::rl::Transition t;
+    t.state.assign(10, rng.Uniform());
+    t.action.assign(43, 1.0 / 43.0);
+    t.reward = rng.Uniform(0, 44);
+    t.next_state.assign(10, rng.Uniform());
+    batch.push_back(std::move(t));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.Update(batch));
+  }
+}
+BENCHMARK(BM_DdpgUpdate);
+
+void BM_ReplaySampleMedianSplit(benchmark::State& state) {
+  eadrl::rl::ReplayBuffer buffer(5000);
+  eadrl::Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    eadrl::rl::Transition t;
+    t.state = {0.0};
+    t.action = {1.0};
+    t.reward = rng.Uniform(0, 44);
+    t.next_state = {0.0};
+    buffer.Add(std::move(t));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buffer.Sample(
+        16, eadrl::rl::SamplingStrategy::kMedianSplit, rng));
+  }
+}
+BENCHMARK(BM_ReplaySampleMedianSplit);
+
+void BM_ReplaySampleUniform(benchmark::State& state) {
+  eadrl::rl::ReplayBuffer buffer(5000);
+  eadrl::Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    eadrl::rl::Transition t;
+    t.state = {0.0};
+    t.action = {1.0};
+    t.reward = rng.Uniform(0, 44);
+    t.next_state = {0.0};
+    buffer.Add(std::move(t));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        buffer.Sample(16, eadrl::rl::SamplingStrategy::kUniform, rng));
+  }
+}
+BENCHMARK(BM_ReplaySampleUniform);
+
+void BM_TreePredict(benchmark::State& state) {
+  eadrl::Rng rng(4);
+  eadrl::math::Matrix x(500, 5);
+  eadrl::math::Vec y(500);
+  for (size_t i = 0; i < 500; ++i) {
+    for (size_t j = 0; j < 5; ++j) x(i, j) = rng.Uniform(-1, 1);
+    y[i] = x(i, 0) * x(i, 1);
+  }
+  eadrl::models::RegressionTree tree(eadrl::models::TreeParams{8, 3, 0});
+  (void)tree.Fit(x, y);
+  eadrl::math::Vec q{0.1, 0.2, 0.3, 0.4, 0.5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Predict(q));
+  }
+}
+BENCHMARK(BM_TreePredict);
+
+void BM_CholeskySolve(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  eadrl::Rng rng(5);
+  eadrl::math::Matrix a(n, n);
+  for (auto& v : a.data()) v = rng.Uniform(-1, 1);
+  eadrl::math::Matrix spd = a.Transpose().MatMul(a);
+  for (size_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+  eadrl::math::Vec b(n, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eadrl::math::CholeskySolve(spd, b));
+  }
+}
+BENCHMARK(BM_CholeskySolve)->Arg(32)->Arg(128);
+
+void BM_DemscOnlineStep(benchmark::State& state) {
+  eadrl::Rng rng(6);
+  const size_t m = 43;
+  eadrl::math::Matrix preds(60, m);
+  eadrl::math::Vec actuals(60);
+  for (size_t t = 0; t < 60; ++t) {
+    actuals[t] = rng.Uniform(0, 10);
+    for (size_t i = 0; i < m; ++i) {
+      preds(t, i) = actuals[t] + rng.Normal(0, 0.5 + 0.1 * i);
+    }
+  }
+  eadrl::baselines::DemscCombiner demsc;
+  (void)demsc.Initialize(preds, actuals);
+  eadrl::math::Vec step(m, 5.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(demsc.Predict(step));
+    demsc.Update(step, 5.0);
+  }
+}
+BENCHMARK(BM_DemscOnlineStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Reproduces paper Table I: the inventory of the 20 benchmark time series,
+// extended with summary statistics of the synthetic stand-ins actually
+// generated (see DESIGN.md, "Substitutions").
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "math/stats.h"
+#include "ts/datasets.h"
+
+int main() {
+  using eadrl::FormatDouble;
+  using eadrl::PadRight;
+
+  std::printf("Table I: datasets used for the experiments\n");
+  std::printf("%s\n", std::string(118, '-').c_str());
+  std::printf("%s %s %s %s %s %s %s %s\n",
+              PadRight("ID", 3).c_str(), PadRight("Time-series", 28).c_str(),
+              PadRight("Source", 26).c_str(),
+              PadRight("Frequency", 12).c_str(), PadRight("Len", 6).c_str(),
+              PadRight("Period", 7).c_str(), PadRight("Mean", 10).c_str(),
+              PadRight("Stddev", 10).c_str());
+  std::printf("%s\n", std::string(118, '-').c_str());
+
+  for (const auto& spec : eadrl::ts::AllDatasetSpecs()) {
+    auto series = eadrl::ts::MakeDataset(spec.id, /*seed=*/42);
+    if (!series.ok()) {
+      std::printf("dataset %d failed: %s\n", spec.id,
+                  series.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s %s %s %s %s %s %s %s\n",
+                PadRight(std::to_string(spec.id), 3).c_str(),
+                PadRight(spec.name, 28).c_str(),
+                PadRight(spec.source, 26).c_str(),
+                PadRight(spec.frequency, 12).c_str(),
+                PadRight(std::to_string(series->size()), 6).c_str(),
+                PadRight(std::to_string(spec.seasonal_period), 7).c_str(),
+                PadRight(FormatDouble(eadrl::math::Mean(series->values()), 2),
+                         10)
+                    .c_str(),
+                PadRight(
+                    FormatDouble(eadrl::math::Stddev(series->values()), 2),
+                    10)
+                    .c_str());
+  }
+  std::printf("%s\n", std::string(118, '-').c_str());
+  std::printf("characteristics reproduced per series:\n");
+  for (const auto& spec : eadrl::ts::AllDatasetSpecs()) {
+    std::printf("  %2d: %s\n", spec.id, spec.characteristics.c_str());
+  }
+  return 0;
+}

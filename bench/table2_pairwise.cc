@@ -1,0 +1,118 @@
+// Reproduces paper Table II: pairwise comparison between EA-DRL and every
+// baseline, averaged over the 20 datasets (omega = 10). For each baseline we
+// report EA-DRL's losses and wins (significant ones, probability > 95% under
+// the Bayesian correlated t-test, in parentheses) plus each method's average
+// rank +- stddev across datasets.
+//
+// Scale knobs (environment): EADRL_BENCH_LENGTH (default 400),
+// EADRL_BENCH_EPISODES (default 40), EADRL_BENCH_NN_EPOCHS (default 6).
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "exp/experiment.h"
+#include "math/matrix.h"
+#include "stats/bayes_tests.h"
+#include "stats/ranking.h"
+#include "ts/datasets.h"
+
+namespace {
+
+constexpr char kEadrl[] = "EA-DRL";
+
+}  // namespace
+
+int main() {
+  using eadrl::FormatDouble;
+  using eadrl::PadRight;
+  namespace exp = eadrl::exp;
+
+  const size_t length = eadrl::bench::BenchLength();
+  exp::ExperimentOptions opt = eadrl::bench::BenchOptions();
+
+  std::printf("Table II: pairwise comparison, EA-DRL vs. baselines "
+              "(20 datasets, length %zu, omega = %zu)\n",
+              length, opt.eadrl.omega);
+
+  // method name -> per-dataset RMSE and per-dataset squared-error traces.
+  std::vector<std::string> method_order;
+  std::map<std::string, std::vector<double>> rmse;
+  std::map<std::string, std::vector<eadrl::math::Vec>> sq_errors;
+
+  for (const auto& spec : eadrl::ts::AllDatasetSpecs()) {
+    auto series = eadrl::ts::MakeDataset(spec.id, 42, length);
+    if (!series.ok()) {
+      std::printf("dataset %d failed: %s\n", spec.id,
+                  series.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  running dataset %2d (%s)...\n", spec.id,
+                spec.name.c_str());
+    std::fflush(stdout);
+    exp::DatasetResult result = exp::RunDataset(*series, opt);
+    for (const exp::MethodRun& run : result.methods) {
+      if (rmse.find(run.name) == rmse.end()) {
+        method_order.push_back(run.name);
+      }
+      rmse[run.name].push_back(run.rmse);
+      sq_errors[run.name].push_back(run.squared_errors);
+    }
+  }
+
+  const size_t n_datasets = rmse[kEadrl].size();
+
+  // Rank matrix over all methods.
+  eadrl::math::Matrix errors(n_datasets, method_order.size());
+  for (size_t m = 0; m < method_order.size(); ++m) {
+    for (size_t d = 0; d < n_datasets; ++d) {
+      errors(d, m) = rmse[method_order[m]][d];
+    }
+  }
+  auto ranks = eadrl::stats::SummarizeRanks(errors, method_order);
+  std::map<std::string, eadrl::stats::RankSummary> rank_by_name;
+  for (const auto& r : ranks) rank_by_name[r.method] = r;
+
+  std::printf("\n%s %s %s %s\n", PadRight("Method", 10).c_str(),
+              PadRight("Looses", 10).c_str(), PadRight("Wins", 10).c_str(),
+              "Avg. Rank");
+  std::printf("%s\n", std::string(52, '-').c_str());
+
+  for (const std::string& method : method_order) {
+    if (method == kEadrl) continue;
+    int wins = 0, sig_wins = 0, losses = 0, sig_losses = 0;
+    for (size_t d = 0; d < n_datasets; ++d) {
+      const eadrl::math::Vec& ea = sq_errors[kEadrl][d];
+      const eadrl::math::Vec& other = sq_errors[method][d];
+      eadrl::math::Vec diffs(ea.size());
+      for (size_t t = 0; t < ea.size(); ++t) diffs[t] = ea[t] - other[t];
+      auto test = eadrl::stats::BayesianCorrelatedTTest(diffs,
+                                                        /*correlation=*/0.1,
+                                                        /*rope=*/0.0);
+      if (!test.ok()) continue;
+      if (rmse[kEadrl][d] < rmse[method][d]) {
+        ++wins;
+        if (test->p_a_better > 0.95) ++sig_wins;
+      } else {
+        ++losses;
+        if (test->p_b_better > 0.95) ++sig_losses;
+      }
+    }
+    const auto& rank = rank_by_name[method];
+    std::string loss_s = eadrl::StrCat(losses, "(", sig_losses, ")");
+    std::string win_s = eadrl::StrCat(wins, "(", sig_wins, ")");
+    std::printf("%s %s %s %s +- %s\n", PadRight(method, 10).c_str(),
+                PadRight(loss_s, 10).c_str(), PadRight(win_s, 10).c_str(),
+                FormatDouble(rank.mean_rank, 2).c_str(),
+                FormatDouble(rank.stddev_rank, 1).c_str());
+  }
+  const auto& ea_rank = rank_by_name[kEadrl];
+  std::printf("%s %s %s %s +- %s\n", PadRight(kEadrl, 10).c_str(),
+              PadRight("-", 10).c_str(), PadRight("-", 10).c_str(),
+              FormatDouble(ea_rank.mean_rank, 2).c_str(),
+              FormatDouble(ea_rank.stddev_rank, 1).c_str());
+  return 0;
+}

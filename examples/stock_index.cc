@@ -1,0 +1,41 @@
+// Intraday stock-index forecasting (10-minute DAX data): a near-random-walk
+// series where expert-aggregation baselines shine. This example shows how to
+// run the whole Table II combiner suite on a single series and print a
+// leaderboard — the typical workflow for deciding which combiner to deploy.
+//
+//   $ ./example_stock_index
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "exp/experiment.h"
+#include "ts/datasets.h"
+
+int main() {
+  auto series = eadrl::ts::MakeDataset(/*id=*/19, /*seed=*/3, /*length=*/500);
+  if (!series.ok()) return 1;
+  std::printf("series: %s — geometric random walk with volatility "
+              "clustering\n\n",
+              series->name().c_str());
+
+  eadrl::exp::ExperimentOptions opt;
+  opt.pool.fast_mode = true;
+  opt.pool.nn_epochs = 6;
+  opt.eadrl.max_episodes = 30;
+  opt.include_standalone = false;
+
+  eadrl::exp::DatasetResult result = eadrl::exp::RunDataset(*series, opt);
+
+  std::sort(result.methods.begin(), result.methods.end(),
+            [](const eadrl::exp::MethodRun& a,
+               const eadrl::exp::MethodRun& b) { return a.rmse < b.rmse; });
+
+  std::printf("leaderboard (test RMSE, online ms):\n");
+  for (size_t i = 0; i < result.methods.size(); ++i) {
+    const auto& run = result.methods[i];
+    std::printf("  %2zu. %-10s %10.4f   %8.3f ms\n", i + 1,
+                run.name.c_str(), run.rmse, run.runtime_seconds * 1e3);
+  }
+  return 0;
+}

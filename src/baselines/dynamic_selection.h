@@ -1,0 +1,117 @@
+#ifndef EADRL_BASELINES_DYNAMIC_SELECTION_H_
+#define EADRL_BASELINES_DYNAMIC_SELECTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/error_tracker.h"
+#include "core/combiner.h"
+#include "ts/drift.h"
+
+namespace eadrl::baselines {
+
+/// Agglomerative (average-link) clustering of models by the correlation
+/// distance 1 - corr of their recent predictions; clusters are merged while
+/// the closest pair is within `distance_threshold`. Exposed for Clus/DEMSC
+/// and for unit tests.
+std::vector<std::vector<size_t>> ClusterModelsByCorrelation(
+    const SlidingErrorTracker& tracker, double distance_threshold);
+
+/// Top.sel (Saadallah et al. 2019): dynamically selects the best-performing
+/// base models over a sliding window and combines them with SWE weights.
+class TopSelCombiner : public core::WeightedCombiner {
+ public:
+  explicit TopSelCombiner(size_t top_n = 10, size_t window = 10);
+
+  const std::string& name() const override { return name_; }
+  Status Initialize(const math::Matrix& val_preds,
+                    const math::Vec& val_actuals) override;
+  void Update(const math::Vec& preds, double actual) override;
+  math::Vec Weights() const override;
+
+ private:
+  std::string name_;
+  size_t top_n_;
+  size_t window_;
+  std::unique_ptr<SlidingErrorTracker> tracker_;
+};
+
+/// Clus (Saadallah et al. 2019): clusters similar models by prediction
+/// correlation, keeps one representative per cluster (its most accurate
+/// member), and combines the representatives with SWE. Re-clusters every
+/// `recluster_every` steps.
+class ClusCombiner : public core::WeightedCombiner {
+ public:
+  explicit ClusCombiner(size_t window = 10, double distance_threshold = 0.3,
+                        size_t recluster_every = 25);
+
+  const std::string& name() const override { return name_; }
+  Status Initialize(const math::Matrix& val_preds,
+                    const math::Vec& val_actuals) override;
+  void Update(const math::Vec& preds, double actual) override;
+  math::Vec Weights() const override;
+
+  const std::vector<size_t>& representatives() const {
+    return representatives_;
+  }
+
+ private:
+  void Recluster();
+
+  std::string name_;
+  size_t window_;
+  double distance_threshold_;
+  size_t recluster_every_;
+  size_t steps_since_recluster_ = 0;
+  std::unique_ptr<SlidingErrorTracker> tracker_;
+  std::vector<size_t> representatives_;
+};
+
+/// DEMSC (Saadallah et al. 2019): drift-aware dynamic ensemble — Top.sel
+/// pruning plus Clus diversity enhancement, with the committee rebuilt only
+/// when a Page–Hinkley detector flags drift in the ensemble error. This is
+/// the paper's strongest baseline (Table II) and its online-runtime
+/// comparator (Table III).
+class DemscCombiner : public core::WeightedCombiner {
+ public:
+  struct Params {
+    size_t window = 10;
+    size_t top_n = 10;
+    /// Correlation-distance merge threshold. Base models forecasting the
+    /// same series are all highly correlated, so only near-duplicates
+    /// (corr > 0.98) are merged; coarser thresholds collapse every decent
+    /// model into one cluster and starve the committee.
+    double distance_threshold = 0.02;
+    double ph_delta = 0.005;
+    double ph_lambda = 5.0;
+  };
+
+  DemscCombiner();
+  explicit DemscCombiner(Params params);
+
+  const std::string& name() const override { return name_; }
+  Status Initialize(const math::Matrix& val_preds,
+                    const math::Vec& val_actuals) override;
+  void Update(const math::Vec& preds, double actual) override;
+  math::Vec Weights() const override;
+
+  size_t drift_count() const { return drift_count_; }
+  const std::vector<size_t>& committee() const { return committee_; }
+
+ private:
+  void Recluster();
+  void RefreshCommittee();
+
+  std::string name_;
+  Params params_;
+  std::unique_ptr<SlidingErrorTracker> tracker_;
+  ts::PageHinkley detector_;
+  std::vector<std::vector<size_t>> clusters_;
+  std::vector<size_t> committee_;
+  size_t drift_count_ = 0;
+};
+
+}  // namespace eadrl::baselines
+
+#endif  // EADRL_BASELINES_DYNAMIC_SELECTION_H_

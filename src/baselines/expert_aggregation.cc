@@ -1,0 +1,148 @@
+#include "baselines/expert_aggregation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "math/stats.h"
+#include "math/vec.h"
+
+namespace eadrl::baselines {
+
+Status ExpertAggregationBase::Initialize(const math::Matrix& val_preds,
+                                         const math::Vec& val_actuals) {
+  if (val_preds.cols() == 0 || val_preds.rows() != val_actuals.size()) {
+    return Status::InvalidArgument(name_ + ": bad validation data");
+  }
+  num_models_ = val_preds.cols();
+  weights_.assign(num_models_, 1.0 / static_cast<double>(num_models_));
+  mean_ = math::Mean(val_actuals);
+  std_ = math::Stddev(val_actuals);
+  if (std_ <= 1e-12) std_ = 1.0;
+
+  if (warm_start_) {
+    for (size_t t = 0; t < val_preds.rows(); ++t) {
+      UpdateImpl(val_preds.Row(t), val_actuals[t]);
+    }
+  }
+  return Status::Ok();
+}
+
+void ExpertAggregationBase::UpdateImpl(const math::Vec& preds,
+                                       double actual) {
+  EADRL_CHECK_EQ(preds.size(), num_models_);
+  math::Vec z(num_models_);
+  for (size_t i = 0; i < num_models_; ++i) z[i] = Standardize(preds[i]);
+  Step(z, Standardize(actual));
+}
+
+void ExpertAggregationBase::Update(const math::Vec& preds, double actual) {
+  UpdateImpl(preds, actual);
+}
+
+// ---------------------------------------------------------------------------
+// EWA
+
+EwaCombiner::EwaCombiner(double eta, bool warm_start)
+    : ExpertAggregationBase("EWA", warm_start), eta_(eta) {}
+
+void EwaCombiner::Step(const math::Vec& z_preds, double z_actual) {
+  if (cumulative_loss_.size() != num_models_) {
+    cumulative_loss_.assign(num_models_, 0.0);
+  }
+  ++t_;
+  for (size_t i = 0; i < num_models_; ++i) {
+    double err = z_preds[i] - z_actual;
+    cumulative_loss_[i] += std::min(err * err, 1.0);
+  }
+  double eta = eta_ > 0.0
+                   ? eta_
+                   : std::sqrt(8.0 * std::log(static_cast<double>(
+                                   num_models_)) /
+                               static_cast<double>(t_));
+  double min_loss =
+      *std::min_element(cumulative_loss_.begin(), cumulative_loss_.end());
+  double sum = 0.0;
+  for (size_t i = 0; i < num_models_; ++i) {
+    weights_[i] = std::exp(-eta * (cumulative_loss_[i] - min_loss));
+    sum += weights_[i];
+  }
+  for (double& w : weights_) w /= sum;
+}
+
+// ---------------------------------------------------------------------------
+// Fixed share
+
+FixedShareCombiner::FixedShareCombiner(double eta, double alpha,
+                                       bool warm_start)
+    : ExpertAggregationBase("FS", warm_start), eta_(eta), alpha_(alpha) {}
+
+void FixedShareCombiner::Step(const math::Vec& z_preds, double z_actual) {
+  ++t_;
+  double eta = eta_ > 0.0
+                   ? eta_
+                   : std::sqrt(8.0 * std::log(static_cast<double>(
+                                   num_models_)) /
+                               static_cast<double>(t_));
+  // Multiplicative loss update followed by sharing.
+  double sum = 0.0;
+  for (size_t i = 0; i < num_models_; ++i) {
+    double err = z_preds[i] - z_actual;
+    weights_[i] *= std::exp(-eta * std::min(err * err, 1.0));
+    sum += weights_[i];
+  }
+  if (sum <= 1e-300) {
+    weights_.assign(num_models_, 1.0 / static_cast<double>(num_models_));
+    return;
+  }
+  double uniform = 1.0 / static_cast<double>(num_models_);
+  for (double& w : weights_) {
+    w = (1.0 - alpha_) * (w / sum) + alpha_ * uniform;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// OGD
+
+OgdCombiner::OgdCombiner(double eta0, bool warm_start)
+    : ExpertAggregationBase("OGD", warm_start), eta0_(eta0) {}
+
+void OgdCombiner::Step(const math::Vec& z_preds, double z_actual) {
+  ++t_;
+  double eta = eta0_ / std::sqrt(static_cast<double>(t_));
+  double pred = math::Dot(weights_, z_preds);
+  double grad_scale = 2.0 * (pred - z_actual);
+  math::Vec next(num_models_);
+  for (size_t i = 0; i < num_models_; ++i) {
+    next[i] = weights_[i] - eta * grad_scale * z_preds[i];
+  }
+  weights_ = math::ProjectToSimplex(next);
+}
+
+// ---------------------------------------------------------------------------
+// MLpol
+
+MlpolCombiner::MlpolCombiner(bool warm_start)
+    : ExpertAggregationBase("MLpol", warm_start) {}
+
+void MlpolCombiner::Step(const math::Vec& z_preds, double z_actual) {
+  if (regrets_.size() != num_models_) regrets_.assign(num_models_, 0.0);
+  double own_pred = math::Dot(weights_, z_preds);
+  double own_err = own_pred - z_actual;
+  double own_loss = own_err * own_err;
+  double sum = 0.0;
+  for (size_t i = 0; i < num_models_; ++i) {
+    double err = z_preds[i] - z_actual;
+    regrets_[i] += own_loss - err * err;
+    sum += std::max(0.0, regrets_[i]);
+  }
+  if (sum <= 0.0) {
+    weights_.assign(num_models_, 1.0 / static_cast<double>(num_models_));
+    return;
+  }
+  for (size_t i = 0; i < num_models_; ++i) {
+    weights_[i] = std::max(0.0, regrets_[i]) / sum;
+  }
+}
+
+}  // namespace eadrl::baselines

@@ -1,0 +1,117 @@
+#ifndef EADRL_BASELINES_EXPERT_AGGREGATION_H_
+#define EADRL_BASELINES_EXPERT_AGGREGATION_H_
+
+#include <string>
+
+#include "core/combiner.h"
+
+namespace eadrl::baselines {
+
+/// Common machinery for the online expert-aggregation combiners from the
+/// prediction-with-expert-advice literature (the paper's EWA, FS, OGD and
+/// MLpol rows; cf. Cesa-Bianchi & Lugosi 2006 and the `opera` R package).
+/// All of them standardize losses by the validation statistics so a single
+/// learning rate works across series of any scale.
+class ExpertAggregationBase : public core::WeightedCombiner {
+ public:
+  const std::string& name() const override { return name_; }
+  Status Initialize(const math::Matrix& val_preds,
+                    const math::Vec& val_actuals) override;
+  math::Vec Weights() const override { return weights_; }
+
+ protected:
+  /// `warm_start` replays the validation segment through the aggregator
+  /// during Initialize. Off by default: the opera-style combiners in the
+  /// paper's comparison learn online over the evaluation stream only.
+  ExpertAggregationBase(std::string name, bool warm_start)
+      : name_(std::move(name)), warm_start_(warm_start) {}
+
+  /// Standardizes a value with the validation statistics.
+  double Standardize(double v) const { return (v - mean_) / std_; }
+
+  /// Hook called per validation/online step with standardized expert
+  /// predictions and outcome.
+  virtual void Step(const math::Vec& z_preds, double z_actual) = 0;
+
+  std::string name_;
+  bool warm_start_ = false;
+  math::Vec weights_;
+  size_t num_models_ = 0;
+
+ private:
+  void UpdateImpl(const math::Vec& preds, double actual);
+
+ public:
+  void Update(const math::Vec& preds, double actual) override;
+
+ private:
+  double mean_ = 0.0;
+  double std_ = 1.0;
+};
+
+/// EWA: exponentially weighted average forecaster,
+/// w_i proportional to exp(-eta_t * cumulative loss_i), with per-step losses
+/// clipped to [0, 1] (the bounded-loss setting of the theory) and the
+/// calibrated learning rate eta_t = sqrt(8 ln m / t) of Cesa-Bianchi &
+/// Lugosi (2006) unless a fixed eta > 0 is supplied.
+class EwaCombiner : public ExpertAggregationBase {
+ public:
+  explicit EwaCombiner(double eta = 0.0, bool warm_start = false);
+
+ protected:
+  void Step(const math::Vec& z_preds, double z_actual) override;
+
+ private:
+  double eta_;  // 0 = calibrated.
+  size_t t_ = 0;
+  math::Vec cumulative_loss_;
+};
+
+/// FS: the fixed-share forecaster (Herbster & Warmuth), an EWA update mixed
+/// with a uniform share so the combiner can track the best expert through
+/// regime changes. Uses the same clipped losses and calibrated eta as EWA.
+class FixedShareCombiner : public ExpertAggregationBase {
+ public:
+  explicit FixedShareCombiner(double eta = 0.0, double alpha = 0.05,
+                              bool warm_start = false);
+
+ protected:
+  void Step(const math::Vec& z_preds, double z_actual) override;
+
+ private:
+  double eta_;  // 0 = calibrated.
+  double alpha_;
+  size_t t_ = 0;
+};
+
+/// OGD: projected online gradient descent on the simplex (Zinkevich 2003)
+/// with step size eta0 / sqrt(t).
+class OgdCombiner : public ExpertAggregationBase {
+ public:
+  explicit OgdCombiner(double eta0 = 0.5, bool warm_start = false);
+
+ protected:
+  void Step(const math::Vec& z_preds, double z_actual) override;
+
+ private:
+  double eta0_;
+  size_t t_ = 0;
+};
+
+/// MLpol: polynomially weighted average forecaster driven by positive
+/// regrets, w_i proportional to max(R_i, 0) (degree-2 polynomial potential,
+/// as in the `opera` package's MLpol).
+class MlpolCombiner : public ExpertAggregationBase {
+ public:
+  explicit MlpolCombiner(bool warm_start = false);
+
+ protected:
+  void Step(const math::Vec& z_preds, double z_actual) override;
+
+ private:
+  math::Vec regrets_;
+};
+
+}  // namespace eadrl::baselines
+
+#endif  // EADRL_BASELINES_EXPERT_AGGREGATION_H_

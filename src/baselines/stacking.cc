@@ -1,0 +1,34 @@
+#include "baselines/stacking.h"
+
+#include "common/check.h"
+
+namespace eadrl::baselines {
+
+StackingCombiner::StackingCombiner(size_t num_trees, uint64_t seed)
+    : name_("Stacking"), num_trees_(num_trees), seed_(seed) {}
+
+Status StackingCombiner::Initialize(const math::Matrix& val_preds,
+                                    const math::Vec& val_actuals) {
+  if (val_preds.rows() != val_actuals.size() || val_preds.rows() == 0) {
+    return Status::InvalidArgument("Stacking: bad validation data");
+  }
+  models::RandomForestRegressor::Params p;
+  p.num_trees = num_trees_;
+  p.tree.max_depth = 8;
+  p.seed = seed_;
+  meta_ = std::make_unique<models::RandomForestRegressor>(p);
+  return meta_->Fit(val_preds, val_actuals);
+}
+
+double StackingCombiner::Predict(const math::Vec& preds) {
+  EADRL_CHECK(meta_ != nullptr);
+  return meta_->Predict(preds);
+}
+
+void StackingCombiner::Update(const math::Vec& preds, double actual) {
+  // Offline meta-learner; no online adaptation.
+  (void)preds;
+  (void)actual;
+}
+
+}  // namespace eadrl::baselines

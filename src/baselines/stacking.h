@@ -1,0 +1,36 @@
+#ifndef EADRL_BASELINES_STACKING_H_
+#define EADRL_BASELINES_STACKING_H_
+
+#include <memory>
+#include <string>
+
+#include "core/combiner.h"
+#include "models/random_forest.h"
+
+namespace eadrl::baselines {
+
+/// Stacking (Wolpert 1992) with a random-forest meta-learner, as in the
+/// paper's Stacking row: the meta-learner is trained offline on the
+/// validation-segment base-model predictions and then applied unchanged
+/// online. The combination is nonlinear, so this is a `Combiner` but not a
+/// `WeightedCombiner`.
+class StackingCombiner : public core::Combiner {
+ public:
+  explicit StackingCombiner(size_t num_trees = 25, uint64_t seed = 42);
+
+  const std::string& name() const override { return name_; }
+  Status Initialize(const math::Matrix& val_preds,
+                    const math::Vec& val_actuals) override;
+  double Predict(const math::Vec& preds) override;
+  void Update(const math::Vec& preds, double actual) override;
+
+ private:
+  std::string name_;
+  size_t num_trees_;
+  uint64_t seed_;
+  std::unique_ptr<models::RandomForestRegressor> meta_;
+};
+
+}  // namespace eadrl::baselines
+
+#endif  // EADRL_BASELINES_STACKING_H_

@@ -1,0 +1,50 @@
+#include "baselines/static_combiners.h"
+
+#include "common/check.h"
+
+namespace eadrl::baselines {
+
+Status SimpleAverageCombiner::Initialize(const math::Matrix& val_preds,
+                                         const math::Vec& val_actuals) {
+  (void)val_actuals;
+  if (val_preds.cols() == 0) {
+    return Status::InvalidArgument("SE: no base models");
+  }
+  num_models_ = val_preds.cols();
+  return Status::Ok();
+}
+
+void SimpleAverageCombiner::Update(const math::Vec& preds, double actual) {
+  (void)preds;
+  (void)actual;
+}
+
+math::Vec SimpleAverageCombiner::Weights() const {
+  EADRL_CHECK_GT(num_models_, 0u);
+  return math::Vec(num_models_, 1.0 / static_cast<double>(num_models_));
+}
+
+SlidingWindowCombiner::SlidingWindowCombiner(size_t window)
+    : name_("SWE"), window_(window) {}
+
+Status SlidingWindowCombiner::Initialize(const math::Matrix& val_preds,
+                                         const math::Vec& val_actuals) {
+  if (val_preds.cols() == 0) {
+    return Status::InvalidArgument("SWE: no base models");
+  }
+  tracker_ = std::make_unique<SlidingErrorTracker>(val_preds.cols(), window_);
+  tracker_->Warm(val_preds, val_actuals);
+  return Status::Ok();
+}
+
+void SlidingWindowCombiner::Update(const math::Vec& preds, double actual) {
+  EADRL_CHECK(tracker_ != nullptr);
+  tracker_->Add(preds, actual);
+}
+
+math::Vec SlidingWindowCombiner::Weights() const {
+  EADRL_CHECK(tracker_ != nullptr);
+  return tracker_->InverseErrorWeights();
+}
+
+}  // namespace eadrl::baselines

@@ -1,0 +1,49 @@
+#ifndef EADRL_BASELINES_STATIC_COMBINERS_H_
+#define EADRL_BASELINES_STATIC_COMBINERS_H_
+
+#include <memory>
+#include <string>
+
+#include "baselines/error_tracker.h"
+#include "core/combiner.h"
+
+namespace eadrl::baselines {
+
+/// SE (Clemen & Winkler 1986): static ensemble — the arithmetic mean of all
+/// base-model predictions.
+class SimpleAverageCombiner : public core::WeightedCombiner {
+ public:
+  SimpleAverageCombiner() : name_("SE") {}
+
+  const std::string& name() const override { return name_; }
+  Status Initialize(const math::Matrix& val_preds,
+                    const math::Vec& val_actuals) override;
+  void Update(const math::Vec& preds, double actual) override;
+  math::Vec Weights() const override;
+
+ private:
+  std::string name_;
+  size_t num_models_ = 0;
+};
+
+/// SWE (Saadallah et al. 2018, BRIGHT): linear combination whose weights are
+/// the normalized inverse RMSE of each model over a recent sliding window.
+class SlidingWindowCombiner : public core::WeightedCombiner {
+ public:
+  explicit SlidingWindowCombiner(size_t window = 10);
+
+  const std::string& name() const override { return name_; }
+  Status Initialize(const math::Matrix& val_preds,
+                    const math::Vec& val_actuals) override;
+  void Update(const math::Vec& preds, double actual) override;
+  math::Vec Weights() const override;
+
+ private:
+  std::string name_;
+  size_t window_;
+  std::unique_ptr<SlidingErrorTracker> tracker_;
+};
+
+}  // namespace eadrl::baselines
+
+#endif  // EADRL_BASELINES_STATIC_COMBINERS_H_

@@ -1,0 +1,34 @@
+#ifndef EADRL_COMMON_CHECK_H_
+#define EADRL_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace eadrl::internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "EADRL_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace eadrl::internal_check
+
+/// Aborts the process with a diagnostic if `cond` is false. Used for internal
+/// invariants and programmer errors; recoverable conditions return `Status`.
+#define EADRL_CHECK(cond)                                              \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::eadrl::internal_check::CheckFailed(__FILE__, __LINE__, #cond); \
+    }                                                                  \
+  } while (0)
+
+#define EADRL_CHECK_EQ(a, b) EADRL_CHECK((a) == (b))
+#define EADRL_CHECK_NE(a, b) EADRL_CHECK((a) != (b))
+#define EADRL_CHECK_LT(a, b) EADRL_CHECK((a) < (b))
+#define EADRL_CHECK_LE(a, b) EADRL_CHECK((a) <= (b))
+#define EADRL_CHECK_GT(a, b) EADRL_CHECK((a) > (b))
+#define EADRL_CHECK_GE(a, b) EADRL_CHECK((a) >= (b))
+
+#endif  // EADRL_COMMON_CHECK_H_

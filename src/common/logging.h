@@ -1,0 +1,46 @@
+#ifndef EADRL_COMMON_LOGGING_H_
+#define EADRL_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace eadrl {
+
+/// Log severities, lowest to highest.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits on destruction. Used via the EADRL_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+/// Sets the minimum severity that is emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+#define EADRL_LOG(level)                                    \
+  ::eadrl::internal_logging::LogMessage(                    \
+      ::eadrl::LogLevel::k##level, __FILE__, __LINE__)
+
+}  // namespace eadrl
+
+#endif  // EADRL_COMMON_LOGGING_H_

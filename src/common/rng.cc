@@ -1,0 +1,20 @@
+#include "common/rng.h"
+
+#include <numeric>
+
+namespace eadrl {
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  EADRL_CHECK_LE(k, n);
+  // Partial Fisher–Yates: only the first k slots are finalized.
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0u);
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + Index(n - i);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace eadrl

@@ -1,0 +1,115 @@
+#ifndef EADRL_COMMON_STATUS_H_
+#define EADRL_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace eadrl {
+
+/// Error codes used across the public API. Modeled after the Arrow/RocksDB
+/// status idiom: no exceptions cross API boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kNotFound,
+  kOutOfRange,
+  kInternal,
+};
+
+/// Lightweight success-or-error result for operations that can fail.
+///
+/// A `Status` is cheap to copy in the success case (no allocation) and
+/// carries a human-readable message otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Returns a string of the form "CODE: message" for logging.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Union of a `Status` and a value of type `T`.
+///
+/// Accessing `value()` on an error result aborts the process (programmer
+/// error); callers must test `ok()` first.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value, mirroring absl::StatusOr, so
+  /// functions can `return value;` directly.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    EADRL_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    EADRL_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    EADRL_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    EADRL_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates an error status out of the current function.
+#define EADRL_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::eadrl::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+}  // namespace eadrl
+
+#endif  // EADRL_COMMON_STATUS_H_

@@ -1,0 +1,38 @@
+#ifndef EADRL_COMMON_STRING_UTIL_H_
+#define EADRL_COMMON_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace eadrl {
+
+/// Concatenates the stream representation of the arguments.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream out;
+  static_cast<void>((out << ... << args));
+  return out.str();
+}
+
+/// Joins elements with a separator using their stream representation.
+template <typename T>
+std::string StrJoin(const std::vector<T>& v, const std::string& sep) {
+  std::ostringstream out;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out << sep;
+    out << v[i];
+  }
+  return out.str();
+}
+
+/// Formats a double with fixed precision (for table output).
+std::string FormatDouble(double v, int precision);
+
+/// Left/right-pads a string with spaces to the given width.
+std::string PadLeft(const std::string& s, size_t width);
+std::string PadRight(const std::string& s, size_t width);
+
+}  // namespace eadrl
+
+#endif  // EADRL_COMMON_STRING_UTIL_H_

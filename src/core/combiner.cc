@@ -1,0 +1,18 @@
+#include "core/combiner.h"
+
+#include "common/check.h"
+
+namespace eadrl::core {
+
+double Combine(const math::Vec& weights, const math::Vec& preds) {
+  EADRL_CHECK_EQ(weights.size(), preds.size());
+  double s = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) s += weights[i] * preds[i];
+  return s;
+}
+
+double WeightedCombiner::Predict(const math::Vec& preds) {
+  return Combine(Weights(), preds);
+}
+
+}  // namespace eadrl::core

@@ -1,0 +1,51 @@
+#ifndef EADRL_CORE_COMBINER_H_
+#define EADRL_CORE_COMBINER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "math/matrix.h"
+#include "math/vec.h"
+
+namespace eadrl::core {
+
+/// Interface shared by EA-DRL and every baseline ensemble-combination
+/// strategy (SE, SWE, EWA, ..., DEMSC).
+///
+/// Protocol used by the experiment harness:
+///  1. `Initialize(val_preds, val_actuals)` — one-off setup on a held-out
+///     validation segment (meta-learner training, window warm-up, ...).
+///     `val_preds` is T x m: base-model one-step predictions; `val_actuals`
+///     the realized values.
+///  2. Per online step: `Predict(preds)` combines the m base predictions for
+///     the step; then `Update(preds, actual)` feeds back the realized value.
+class Combiner {
+ public:
+  virtual ~Combiner() = default;
+
+  virtual const std::string& name() const = 0;
+
+  virtual Status Initialize(const math::Matrix& val_preds,
+                            const math::Vec& val_actuals) = 0;
+
+  virtual double Predict(const math::Vec& preds) = 0;
+
+  virtual void Update(const math::Vec& preds, double actual) = 0;
+};
+
+/// Convex combination helper: dot(weights, preds).
+double Combine(const math::Vec& weights, const math::Vec& preds);
+
+/// Base class for combiners that expose an explicit weight vector. `Predict`
+/// is the convex combination with the current weights.
+class WeightedCombiner : public Combiner {
+ public:
+  double Predict(const math::Vec& preds) override;
+
+  /// Current weight vector (for inspection/tests).
+  virtual math::Vec Weights() const = 0;
+};
+
+}  // namespace eadrl::core
+
+#endif  // EADRL_CORE_COMBINER_H_

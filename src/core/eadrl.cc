@@ -1,0 +1,498 @@
+#include "core/eadrl.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "math/stats.h"
+#include "nn/serialize.h"
+
+namespace eadrl::core {
+
+EadrlCombiner::EadrlCombiner(EadrlConfig config)
+    : name_("EA-DRL"), config_(std::move(config)) {
+  EADRL_CHECK_GT(config_.omega, 0u);
+  EADRL_CHECK_GT(config_.max_episodes, 0u);
+}
+
+Status EadrlCombiner::Initialize(const math::Matrix& val_preds,
+                                 const math::Vec& val_actuals) {
+  if (val_preds.rows() != val_actuals.size()) {
+    return Status::InvalidArgument("EA-DRL: predictions/actuals mismatch");
+  }
+  if (val_preds.rows() <= config_.omega + 2) {
+    return Status::InvalidArgument(
+        "EA-DRL: validation segment shorter than omega + 2");
+  }
+  num_models_ = val_preds.cols();
+
+  // Optional pruning step (paper future work): keep only the top models by
+  // validation RMSE; the policy then weights this subset.
+  active_models_.clear();
+  if (config_.prune_top_n > 0 && config_.prune_top_n < num_models_) {
+    std::vector<std::pair<double, size_t>> scored;
+    for (size_t i = 0; i < num_models_; ++i) {
+      double sse = 0.0;
+      for (size_t t = 0; t < val_actuals.size(); ++t) {
+        double d = val_preds(t, i) - val_actuals[t];
+        sse += d * d;
+      }
+      scored.push_back({sse, i});
+    }
+    std::sort(scored.begin(), scored.end());
+    for (size_t k = 0; k < config_.prune_top_n; ++k) {
+      active_models_.push_back(scored[k].second);
+    }
+    std::sort(active_models_.begin(), active_models_.end());
+  } else {
+    active_models_.resize(num_models_);
+    for (size_t i = 0; i < num_models_; ++i) active_models_[i] = i;
+  }
+  const size_t m_active = active_models_.size();
+  math::Matrix reduced(val_preds.rows(), m_active);
+  for (size_t t = 0; t < val_preds.rows(); ++t) {
+    for (size_t k = 0; k < m_active; ++k) {
+      reduced(t, k) = val_preds(t, active_models_[k]);
+    }
+  }
+
+  rl::EnsembleEnv env(reduced, val_actuals, config_.omega,
+                      config_.reward_type, config_.diversity_coef);
+
+  rl::DdpgConfig ddpg;
+  ddpg.state_dim = env.state_dim();
+  ddpg.action_dim = env.action_dim();
+  ddpg.actor_hidden = config_.actor_hidden;
+  ddpg.critic_hidden = config_.critic_hidden;
+  ddpg.actor_lr = config_.actor_lr;
+  ddpg.critic_lr = config_.critic_lr;
+  ddpg.gamma = config_.gamma;
+  ddpg.tau = config_.tau;
+  ddpg.batch_size = config_.batch_size;
+  ddpg.logit_scale = config_.logit_scale;
+  ddpg.logit_l2 = config_.logit_l2;
+  ddpg.critic_form = config_.critic_form;
+  const size_t restarts = std::max<size_t>(1, config_.restarts);
+  double best_eval = -1e300;
+  std::vector<math::Matrix> best_actor;
+
+  for (size_t restart = 0; restart < restarts; ++restart) {
+  ddpg.seed = config_.seed + restart * 101;
+  agent_ = std::make_unique<rl::DdpgAgent>(ddpg);
+
+  rl::ReplayBuffer buffer(config_.replay_capacity);
+  rl::OuNoise noise(env.action_dim(), /*theta=*/0.15, config_.ou_sigma);
+  Rng rng(config_.seed + 7 + restart * 997);
+
+  // Random simplex draw for off-policy exploration.
+  auto sample_dirichlet = [&]() {
+    std::gamma_distribution<double> gamma(config_.dirichlet_alpha, 1.0);
+    math::Vec w(m_active);
+    double sum = 0.0;
+    for (double& v : w) {
+      v = std::max(gamma(rng.engine()), 1e-12);
+      sum += v;
+    }
+    for (double& v : w) v /= sum;
+    return w;
+  };
+
+  // The reported learning curve and convergence episode come from the first
+  // restart; later restarts only compete for the deployed checkpoint.
+  if (restart == 0) {
+    episode_rewards_.clear();
+    eval_scores_.clear();
+    converged_episode_ = config_.max_episodes;
+  }
+  double explore_prob = config_.explore_prob;
+
+  for (size_t episode = 0; episode < config_.max_episodes; ++episode) {
+    math::Vec state = env.Reset();
+    noise.Reset();
+    double episode_reward = 0.0;
+    size_t steps = 0;
+
+    for (size_t iter = 0; iter < config_.max_iterations; ++iter) {
+      math::Vec action = rng.Bernoulli(explore_prob)
+                             ? sample_dirichlet()
+                             : agent_->ActWithNoise(state, noise.Sample(rng));
+
+      // Counterfactual replay: label this state with rewards of actions that
+      // were not executed (the simulator makes them exact).
+      const size_t m = m_active;
+      for (size_t c = 0; c < config_.counterfactual_actions; ++c) {
+        math::Vec cf_action;
+        if (c % 2 == 0) {
+          cf_action.assign(m, 0.0);
+          cf_action[rng.Index(m)] = 1.0;
+        } else {
+          cf_action = sample_dirichlet();
+        }
+        rl::EnsembleEnv::StepResult cf = env.Peek(cf_action);
+        rl::Transition cf_t;
+        cf_t.state = state;
+        cf_t.action = std::move(cf_action);
+        cf_t.reward = config_.reward_type == rl::RewardType::kRank
+                          ? cf.reward / static_cast<double>(m)
+                          : cf.reward;
+        cf_t.next_state = std::move(cf.next_state);
+        cf_t.terminal = cf.done;
+        buffer.Add(std::move(cf_t));
+      }
+
+      rl::EnsembleEnv::StepResult sr = env.Step(action);
+      episode_reward += sr.reward;
+      ++steps;
+
+      rl::Transition t;
+      t.state = state;
+      t.action = action;
+      // Rank rewards span [0, m]; scale them into [0, 1] inside the learner
+      // so critic targets and policy gradients are well-conditioned for any
+      // pool size. Episode curves report the raw reward (Fig. 2 units).
+      t.reward = config_.reward_type == rl::RewardType::kRank
+                     ? sr.reward / static_cast<double>(env.action_dim())
+                     : sr.reward;
+      t.next_state = sr.next_state;
+      t.terminal = sr.done;
+      buffer.Add(std::move(t));
+
+      if (buffer.size() >= config_.warmup_transitions) {
+        agent_->Update(
+            buffer.Sample(config_.batch_size, config_.sampling, rng));
+      }
+
+      state = sr.next_state;
+      if (sr.done) break;
+    }
+    if (restart == 0) {
+      episode_rewards_.push_back(episode_reward /
+                                 static_cast<double>(steps));
+    }
+    noise.set_sigma(noise.sigma() * config_.ou_sigma_decay);
+    explore_prob *= config_.explore_decay;
+
+    // Deterministic evaluation rollout for best-checkpoint selection. The
+    // selection metric is the rollout's ensemble RMSE on validation — the
+    // quantity the deployed policy is judged by.
+    if (config_.best_checkpoint) {
+      math::Vec eval_state = env.Reset();
+      double eval_sse = 0.0;
+      size_t eval_steps = 0;
+      for (size_t iter = 0; iter < config_.max_iterations; ++iter) {
+        rl::EnsembleEnv::StepResult sr = env.Step(agent_->Act(eval_state));
+        double err = sr.ensemble_prediction - sr.actual;
+        eval_sse += err * err;
+        ++eval_steps;
+        eval_state = sr.next_state;
+        if (sr.done) break;
+      }
+      double eval_score =
+          -std::sqrt(eval_sse / static_cast<double>(eval_steps));
+      if (restart == 0) eval_scores_.push_back(eval_score);
+      if (eval_score > best_eval) {
+        best_eval = eval_score;
+        best_actor = agent_->ActorWeights();
+      }
+    }
+
+    // Plateau detection: compare the mean reward of the last `patience`
+    // episodes with the preceding block (first restart only — it owns the
+    // reported curve).
+    if (restart == 0 && config_.early_stop &&
+        episode_rewards_.size() >= 2 * config_.early_stop_patience) {
+      size_t p = config_.early_stop_patience;
+      size_t n = episode_rewards_.size();
+      double recent = 0.0, previous = 0.0;
+      for (size_t i = n - p; i < n; ++i) recent += episode_rewards_[i];
+      for (size_t i = n - 2 * p; i < n - p; ++i) {
+        previous += episode_rewards_[i];
+      }
+      recent /= static_cast<double>(p);
+      previous /= static_cast<double>(p);
+      double scale = std::max(1.0, std::fabs(recent));
+      if (std::fabs(recent - previous) < 0.01 * scale) {
+        converged_episode_ = episode + 1;
+        break;
+      }
+    }
+  }
+  }  // restarts
+  if (converged_episode_ == config_.max_episodes &&
+      episode_rewards_.size() < config_.max_episodes) {
+    converged_episode_ = episode_rewards_.size();
+  }
+  if (config_.best_checkpoint && !best_actor.empty()) {
+    agent_->SetActorWeights(best_actor);
+  }
+
+  // Online state initialization (Algorithm 1, line 1): seed the window with
+  // the policy-weighted ensemble outputs over the tail of the validation
+  // segment.
+  state_mean_ = math::Mean(val_actuals);
+  state_std_ = math::Stddev(val_actuals);
+  if (state_std_ <= 1e-12) state_std_ = 1.0;
+
+  window_.clear();
+  // Warm-up with uniform weights for the first omega tail points (matching
+  // EnsembleEnv::Reset), then we are ready to query the policy online.
+  const size_t tail_begin = reduced.rows() - config_.omega;
+  for (size_t t = tail_begin; t < reduced.rows(); ++t) {
+    double s = 0.0;
+    for (size_t k = 0; k < m_active; ++k) s += reduced(t, k);
+    window_.push_back(s / static_cast<double>(m_active));
+  }
+
+  // Online-update extension state.
+  online_buffer_ =
+      std::make_unique<rl::ReplayBuffer>(config_.online_buffer_capacity);
+  online_preds_.clear();
+  online_actuals_.clear();
+  has_last_action_ = false;
+  online_steps_ = 0;
+  online_updates_ = 0;
+  online_detector_.Reset();
+  online_rng_ = std::make_unique<Rng>(config_.seed + 31337);
+
+  initialized_ = true;
+  return Status::Ok();
+}
+
+math::Vec EadrlCombiner::CurrentState() const {
+  // Same window-relative standardize-and-clip transform as
+  // EnsembleEnv::StateVec, so the online states match the policy's training
+  // distribution even when the series trends outside the validation range.
+  double mean = 0.0;
+  for (double v : window_) mean += v;
+  mean /= static_cast<double>(window_.size());
+  double var = 0.0;
+  for (double v : window_) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(window_.size());
+  double sd = std::max(std::sqrt(var), 0.1 * state_std_);
+  if (sd <= 1e-12) sd = 1.0;
+  math::Vec s(window_.begin(), window_.end());
+  for (double& v : s) v = std::clamp((v - mean) / sd, -4.0, 4.0);
+  return s;
+}
+
+math::Vec EadrlCombiner::ReduceToActive(const math::Vec& preds) const {
+  if (active_models_.size() == preds.size()) return preds;
+  math::Vec reduced(active_models_.size());
+  for (size_t k = 0; k < active_models_.size(); ++k) {
+    reduced[k] = preds[active_models_[k]];
+  }
+  return reduced;
+}
+
+math::Vec EadrlCombiner::Weights() const {
+  EADRL_CHECK(initialized_);
+  math::Vec reduced = agent_->Act(CurrentState());
+  if (active_models_.size() == num_models_) return reduced;
+  // Expand pruned weights back to the full pool (zeros elsewhere).
+  math::Vec full(num_models_, 0.0);
+  for (size_t k = 0; k < active_models_.size(); ++k) {
+    full[active_models_[k]] = reduced[k];
+  }
+  return full;
+}
+
+double EadrlCombiner::Predict(const math::Vec& preds) {
+  EADRL_CHECK(initialized_);
+  EADRL_CHECK_EQ(preds.size(), num_models_);
+  last_state_ = CurrentState();
+  math::Vec reduced_action = agent_->Act(last_state_);
+  last_action_ = reduced_action;
+  has_last_action_ = true;
+
+  math::Vec reduced_preds = ReduceToActive(preds);
+  double pred = Combine(reduced_action, reduced_preds);
+  // Algorithm 1: the state window rolls forward with the ensemble output.
+  window_.push_back(pred);
+  window_.pop_front();
+  return pred;
+}
+
+double EadrlCombiner::OnlineRankReward(const math::Vec& action) const {
+  const size_t m = active_models_.size();
+  const size_t w = online_preds_.size();
+  EADRL_CHECK_GT(w, 0u);
+  double ens_sse = 0.0;
+  for (size_t j = 0; j < w; ++j) {
+    double d = Combine(action, online_preds_[j]) - online_actuals_[j];
+    ens_sse += d * d;
+  }
+  double ens_rmse = std::sqrt(ens_sse / static_cast<double>(w));
+  size_t rank = 1;
+  for (size_t i = 0; i < m; ++i) {
+    double sse = 0.0;
+    for (size_t j = 0; j < w; ++j) {
+      double d = online_preds_[j][i] - online_actuals_[j];
+      sse += d * d;
+    }
+    if (std::sqrt(sse / static_cast<double>(w)) < ens_rmse) ++rank;
+  }
+  return static_cast<double>(m + 1 - rank) / static_cast<double>(m);
+}
+
+void EadrlCombiner::MaybeOnlineUpdate(const math::Vec& reduced_preds,
+                                      double actual) {
+  if (config_.online_update == OnlineUpdateMode::kNone) return;
+
+  online_preds_.push_back(reduced_preds);
+  online_actuals_.push_back(actual);
+  if (online_preds_.size() > config_.omega) {
+    online_preds_.pop_front();
+    online_actuals_.pop_front();
+  }
+  ++online_steps_;
+
+  if (has_last_action_ && online_preds_.size() == config_.omega) {
+    rl::Transition t;
+    t.state = last_state_;
+    t.action = last_action_;
+    t.reward = OnlineRankReward(last_action_);
+    t.next_state = CurrentState();
+    t.terminal = false;
+    online_buffer_->Add(std::move(t));
+  }
+
+  bool trigger = false;
+  if (config_.online_update == OnlineUpdateMode::kPeriodic) {
+    trigger = (online_steps_ % config_.online_update_every == 0);
+  } else {
+    double err = std::fabs(Combine(last_action_, reduced_preds) - actual);
+    double sd = state_std_ > 0 ? state_std_ : 1.0;
+    trigger = has_last_action_ && online_detector_.Update(err / sd);
+  }
+  if (trigger && online_buffer_->size() >= config_.batch_size) {
+    for (size_t i = 0; i < config_.online_update_iterations; ++i) {
+      agent_->Update(online_buffer_->Sample(config_.batch_size,
+                                            config_.sampling, *online_rng_));
+      ++online_updates_;
+    }
+  }
+}
+
+Status EadrlCombiner::SavePolicy(const std::string& path) const {
+  if (!initialized_) {
+    return Status::FailedPrecondition("SavePolicy: not initialized");
+  }
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument("SavePolicy: cannot open " + path);
+  }
+  out << "eadrl-policy v1\n";
+  out << config_.omega << " " << num_models_ << "\n";
+  out << active_models_.size();
+  for (size_t idx : active_models_) out << " " << idx;
+  out << "\n";
+  out << std::setprecision(17) << state_mean_ << " " << state_std_ << "\n";
+  for (size_t i = 0; i < window_.size(); ++i) {
+    if (i > 0) out << " ";
+    out << window_[i];
+  }
+  out << "\n";
+  EADRL_RETURN_IF_ERROR(nn::WriteMatrices(out, agent_->ActorWeights()));
+  if (!out) return Status::Internal("SavePolicy: write failed");
+  return Status::Ok();
+}
+
+Status EadrlCombiner::LoadPolicy(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("LoadPolicy: cannot open " + path);
+  }
+  std::string tag, version;
+  if (!(in >> tag >> version) || tag != "eadrl-policy" || version != "v1") {
+    return Status::InvalidArgument("LoadPolicy: bad header");
+  }
+  size_t omega = 0, m = 0;
+  if (!(in >> omega >> m) || omega == 0 || m == 0) {
+    return Status::InvalidArgument("LoadPolicy: bad dimensions");
+  }
+  if (omega != config_.omega) {
+    return Status::FailedPrecondition(
+        "LoadPolicy: saved omega differs from the configured one");
+  }
+  size_t active_count = 0;
+  if (!(in >> active_count) || active_count == 0 || active_count > m) {
+    return Status::InvalidArgument("LoadPolicy: bad active-model count");
+  }
+  std::vector<size_t> active(active_count);
+  for (size_t& idx : active) {
+    if (!(in >> idx) || idx >= m) {
+      return Status::InvalidArgument("LoadPolicy: bad active-model index");
+    }
+  }
+  double mean = 0.0, sd = 1.0;
+  if (!(in >> mean >> sd)) {
+    return Status::InvalidArgument("LoadPolicy: bad state statistics");
+  }
+  std::deque<double> window;
+  for (size_t i = 0; i < omega; ++i) {
+    double v = 0.0;
+    if (!(in >> v)) {
+      return Status::InvalidArgument("LoadPolicy: truncated window");
+    }
+    window.push_back(v);
+  }
+  StatusOr<std::vector<math::Matrix>> weights = nn::ReadMatrices(in);
+  EADRL_RETURN_IF_ERROR(weights.status());
+
+  rl::DdpgConfig ddpg;
+  ddpg.state_dim = omega;
+  ddpg.action_dim = active_count;
+  ddpg.actor_hidden = config_.actor_hidden;
+  ddpg.critic_hidden = config_.critic_hidden;
+  ddpg.logit_scale = config_.logit_scale;
+  ddpg.logit_l2 = config_.logit_l2;
+  ddpg.critic_form = config_.critic_form;
+  ddpg.seed = config_.seed;
+  auto agent = std::make_unique<rl::DdpgAgent>(ddpg);
+  std::vector<math::Matrix> current = agent->ActorWeights();
+  if (current.size() != weights->size()) {
+    return Status::FailedPrecondition(
+        "LoadPolicy: actor architecture mismatch");
+  }
+  for (size_t i = 0; i < current.size(); ++i) {
+    if (current[i].rows() != (*weights)[i].rows() ||
+        current[i].cols() != (*weights)[i].cols()) {
+      return Status::FailedPrecondition(
+          "LoadPolicy: actor layer shape mismatch");
+    }
+  }
+  agent->SetActorWeights(*weights);
+
+  agent_ = std::move(agent);
+  num_models_ = m;
+  active_models_ = std::move(active);
+  state_mean_ = mean;
+  state_std_ = sd;
+  window_ = std::move(window);
+  episode_rewards_.clear();
+  converged_episode_ = 0;
+  online_buffer_ =
+      std::make_unique<rl::ReplayBuffer>(config_.online_buffer_capacity);
+  online_preds_.clear();
+  online_actuals_.clear();
+  has_last_action_ = false;
+  online_steps_ = 0;
+  online_updates_ = 0;
+  online_detector_.Reset();
+  online_rng_ = std::make_unique<Rng>(config_.seed + 31337);
+  initialized_ = true;
+  return Status::Ok();
+}
+
+void EadrlCombiner::Update(const math::Vec& preds, double actual) {
+  EADRL_CHECK(initialized_);
+  // With the default OnlineUpdateMode::kNone this is a no-op and the policy
+  // stays frozen, as in the paper. The periodic/drift-informed modes
+  // implement the paper's future-work proposal.
+  MaybeOnlineUpdate(ReduceToActive(preds), actual);
+}
+
+}  // namespace eadrl::core

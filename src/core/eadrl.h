@@ -1,0 +1,194 @@
+#ifndef EADRL_CORE_EADRL_H_
+#define EADRL_CORE_EADRL_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/combiner.h"
+#include "rl/ddpg.h"
+#include "rl/env.h"
+#include "rl/ou_noise.h"
+#include "rl/replay_buffer.h"
+#include "ts/drift.h"
+
+namespace eadrl::core {
+
+/// Online policy-adaptation modes — the paper's future-work proposal to
+/// "investigate the impact of an online update of the policy, for instance
+/// in a periodic manner, or in an informed fashion following a
+/// drift-detection mechanism".
+enum class OnlineUpdateMode {
+  kNone,           ///< paper default: policy frozen after offline training.
+  kPeriodic,       ///< a few DDPG updates every `online_update_every` steps.
+  kDriftInformed,  ///< updates triggered by Page-Hinkley drift detection.
+};
+
+/// EA-DRL hyper-parameters (paper Sec. III, "EA-DRL set-up": gamma = 0.9,
+/// alpha = 0.01, max.ep = max.iter = 100, omega = 10 for Table II).
+struct EadrlConfig {
+  size_t omega = 10;                 ///< validation window / state size.
+  rl::RewardType reward_type = rl::RewardType::kRank;
+  rl::SamplingStrategy sampling = rl::SamplingStrategy::kMedianSplit;
+  size_t max_episodes = 100;
+  size_t max_iterations = 100;       ///< environment steps per episode.
+  size_t replay_capacity = 5000;
+  size_t batch_size = 16;
+  size_t warmup_transitions = 64;    ///< updates start once buffer has these.
+  double gamma = 0.9;
+  double actor_lr = 0.005;
+  double critic_lr = 0.01;
+  double tau = 0.01;
+  std::vector<size_t> actor_hidden = {64, 64};
+  std::vector<size_t> critic_hidden = {64, 64};
+  /// Passed through to the DDPG agent (see rl::DdpgConfig).
+  double logit_scale = 1.0;
+  double logit_l2 = 0.01;
+  rl::CriticForm critic_form = rl::CriticForm::kLinearInAction;
+  double ou_sigma = 1.0;             ///< OU noise on the action logits.
+  double ou_sigma_decay = 0.98;      ///< per-episode exploration decay.
+  /// Probability of replacing a step's action with a random Dirichlet draw.
+  /// Concentrated random actions give the critic coverage of the whole
+  /// simplex (including near-corner weightings), which OU noise around the
+  /// current policy cannot provide; decays per episode.
+  double explore_prob = 0.5;
+  double explore_decay = 0.96;
+  double dirichlet_alpha = 0.3;
+  /// Counterfactual replay: because the environment's transition and reward
+  /// functions are known (they are computed from the fixed validation
+  /// prediction matrix), every visited state can also be labeled with the
+  /// reward of actions that were NOT executed. Each step additionally stores
+  /// this many counterfactual transitions (half single-model one-hots, half
+  /// random Dirichlet mixtures), which is what lets the critic identify
+  /// per-model quality from a short validation segment. 0 disables.
+  size_t counterfactual_actions = 8;
+  /// After each training episode the greedy policy is evaluated with a full
+  /// deterministic rollout on the validation environment, and the
+  /// best-scoring actor snapshot is the one deployed online. This is model
+  /// selection on validation data (the paper tunes hyper-parameters the same
+  /// way) and removes the run-to-run variance of deploying whatever the
+  /// last episode produced.
+  bool best_checkpoint = true;
+  /// Number of independent training runs (different seeds); the deployed
+  /// policy is the best validation-rollout checkpoint across all restarts.
+  /// DDPG outcomes have run-to-run variance; restarting and selecting on the
+  /// validation environment is cheap insurance against a bad draw.
+  size_t restarts = 3;
+
+  // --- Paper future-work extensions (all off by default). -----------------
+  /// Diversity-aware reward coefficient (see rl::EnsembleEnv).
+  double diversity_coef = 0.0;
+  /// Pruning step: train and act on only the `prune_top_n` models with the
+  /// lowest validation RMSE (0 = use the whole pool). Pruned models receive
+  /// weight zero online.
+  size_t prune_top_n = 0;
+  /// Online policy adaptation.
+  OnlineUpdateMode online_update = OnlineUpdateMode::kNone;
+  size_t online_update_every = 25;       ///< steps between periodic updates.
+  size_t online_update_iterations = 5;   ///< DDPG updates per trigger.
+  size_t online_buffer_capacity = 512;
+  bool early_stop = true;            ///< stop when the reward curve plateaus.
+  size_t early_stop_patience = 10;
+  uint64_t seed = 42;
+};
+
+/// EA-DRL: ensemble aggregation with deep reinforcement learning.
+///
+/// `Initialize` phrases the combination task as the MDP of Sec. II-B over a
+/// validation prediction matrix and learns the combination policy offline
+/// with DDPG plus the median-split replay sampling of Sec. II-D. Online,
+/// `Predict` queries the frozen policy for the weight vector given the
+/// current window of ensemble outputs and rolls the window forward with the
+/// new ensemble output (paper Algorithm 1).
+class EadrlCombiner : public WeightedCombiner {
+ public:
+  explicit EadrlCombiner(EadrlConfig config);
+
+  const std::string& name() const override { return name_; }
+  Status Initialize(const math::Matrix& val_preds,
+                    const math::Vec& val_actuals) override;
+  double Predict(const math::Vec& preds) override;
+  void Update(const math::Vec& preds, double actual) override;
+  math::Vec Weights() const override;
+
+  /// Average reward per training episode (Fig. 2 learning curves).
+  const math::Vec& episode_rewards() const { return episode_rewards_; }
+
+  /// Greedy-policy validation score (negative rollout RMSE) per episode of
+  /// the first restart; used to measure convergence speed (Q3).
+  const math::Vec& eval_scores() const { return eval_scores_; }
+
+  /// Episode index at which early stopping declared convergence, or
+  /// max_episodes if it ran to completion.
+  size_t converged_episode() const { return converged_episode_; }
+
+  /// Indices of the pool models the policy acts on (all, unless
+  /// prune_top_n is set).
+  const std::vector<size_t>& active_models() const { return active_models_; }
+
+  /// Number of online policy updates performed so far (0 unless an
+  /// OnlineUpdateMode is enabled).
+  size_t online_updates() const { return online_updates_; }
+
+  const EadrlConfig& config() const { return config_; }
+
+  /// Saves the trained policy (actor weights + online state) so it can be
+  /// deployed later without retraining — the offline/online split of the
+  /// paper made concrete. Requires a prior Initialize.
+  Status SavePolicy(const std::string& path) const;
+
+  /// Loads a policy saved by SavePolicy. The combiner's configured network
+  /// sizes must match the saved file. After loading, the combiner is ready
+  /// for online Predict/Update without Initialize.
+  Status LoadPolicy(const std::string& path);
+
+  /// Trained agent (diagnostics; null before Initialize).
+  rl::DdpgAgent* agent() { return agent_.get(); }
+
+  /// The state the online stage would act on right now.
+  math::Vec DebugCurrentState() const { return CurrentState(); }
+
+ private:
+  math::Vec CurrentState() const;
+
+  /// Restricts a full prediction vector to the active (unpruned) models.
+  math::Vec ReduceToActive(const math::Vec& preds) const;
+
+  /// Rank reward of `action` over the current online window (used by the
+  /// online-update extension), scaled to [0, 1].
+  double OnlineRankReward(const math::Vec& action) const;
+
+  void MaybeOnlineUpdate(const math::Vec& reduced_preds, double actual);
+
+  std::string name_;
+  EadrlConfig config_;
+  std::unique_ptr<rl::DdpgAgent> agent_;
+  math::Vec episode_rewards_;
+  math::Vec eval_scores_;
+  size_t converged_episode_ = 0;
+
+  // Online state (Algorithm 1).
+  std::deque<double> window_;  // last omega ensemble outputs.
+  double state_mean_ = 0.0;
+  double state_std_ = 1.0;
+  size_t num_models_ = 0;
+  std::vector<size_t> active_models_;  // subset the policy acts on.
+  bool initialized_ = false;
+
+  // Online-update extension state.
+  std::unique_ptr<rl::ReplayBuffer> online_buffer_;
+  std::deque<math::Vec> online_preds_;  // reduced, last omega steps.
+  std::deque<double> online_actuals_;
+  math::Vec last_state_;
+  math::Vec last_action_;  // reduced.
+  bool has_last_action_ = false;
+  size_t online_steps_ = 0;
+  size_t online_updates_ = 0;
+  ts::PageHinkley online_detector_{0.005, 3.0};
+  std::unique_ptr<Rng> online_rng_;
+};
+
+}  // namespace eadrl::core
+
+#endif  // EADRL_CORE_EADRL_H_

@@ -1,0 +1,56 @@
+#include "core/intervals.h"
+
+#include <algorithm>
+
+#include "math/stats.h"
+
+namespace eadrl::core {
+
+Status EmpiricalIntervals::Calibrate(const math::Vec& residuals) {
+  if (residuals.size() < 10) {
+    return Status::InvalidArgument(
+        "EmpiricalIntervals: need at least 10 residuals");
+  }
+  sorted_residuals_ = residuals;
+  std::sort(sorted_residuals_.begin(), sorted_residuals_.end());
+  calibrated_ = true;
+  return Status::Ok();
+}
+
+StatusOr<IntervalForecast> EmpiricalIntervals::Interval(
+    double point, double coverage) const {
+  if (!calibrated_) {
+    return Status::FailedPrecondition("EmpiricalIntervals: not calibrated");
+  }
+  if (coverage <= 0.0 || coverage >= 1.0) {
+    return Status::InvalidArgument(
+        "EmpiricalIntervals: coverage must be in (0, 1)");
+  }
+  double alpha = 1.0 - coverage;
+  IntervalForecast out;
+  out.point = point;
+  out.lower = point + math::Quantile(sorted_residuals_, alpha / 2.0);
+  out.upper = point + math::Quantile(sorted_residuals_, 1.0 - alpha / 2.0);
+  return out;
+}
+
+StatusOr<double> EmpiricalIntervals::EmpiricalCoverage(
+    const math::Vec& actuals, const math::Vec& predictions,
+    double coverage) const {
+  if (actuals.size() != predictions.size() || actuals.empty()) {
+    return Status::InvalidArgument(
+        "EmpiricalIntervals: size mismatch in coverage check");
+  }
+  size_t inside = 0;
+  for (size_t t = 0; t < actuals.size(); ++t) {
+    StatusOr<IntervalForecast> interval =
+        Interval(predictions[t], coverage);
+    EADRL_RETURN_IF_ERROR(interval.status());
+    if (actuals[t] >= interval->lower && actuals[t] <= interval->upper) {
+      ++inside;
+    }
+  }
+  return static_cast<double>(inside) / static_cast<double>(actuals.size());
+}
+
+}  // namespace eadrl::core

@@ -1,0 +1,44 @@
+#ifndef EADRL_CORE_INTERVALS_H_
+#define EADRL_CORE_INTERVALS_H_
+
+#include "common/status.h"
+#include "math/vec.h"
+
+namespace eadrl::core {
+
+/// A point forecast with a prediction interval.
+struct IntervalForecast {
+  double point = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+/// Empirical (conformal-style) prediction intervals for any combiner:
+/// calibrated from held-out one-step-ahead residuals, an interval at
+/// coverage 1 - alpha is [point + q_{alpha/2}, point + q_{1-alpha/2}] of the
+/// residual distribution.
+class EmpiricalIntervals {
+ public:
+  /// Calibrates from residuals (actual - prediction) on a held-out segment.
+  /// Needs at least 10 residuals for meaningful quantiles.
+  Status Calibrate(const math::Vec& residuals);
+
+  /// Interval around a point forecast at the given coverage in (0, 1).
+  StatusOr<IntervalForecast> Interval(double point, double coverage) const;
+
+  /// Fraction of (actual, prediction) pairs falling inside their interval —
+  /// the empirical coverage check.
+  StatusOr<double> EmpiricalCoverage(const math::Vec& actuals,
+                                     const math::Vec& predictions,
+                                     double coverage) const;
+
+  bool calibrated() const { return calibrated_; }
+
+ private:
+  bool calibrated_ = false;
+  math::Vec sorted_residuals_;
+};
+
+}  // namespace eadrl::core
+
+#endif  // EADRL_CORE_INTERVALS_H_

@@ -1,0 +1,120 @@
+#include "math/matrix.h"
+
+#include <cmath>
+
+namespace eadrl::math {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows.begin() == rows.end() ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    EADRL_CHECK_EQ(r.size(), cols_);
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::FromRows(const std::vector<Vec>& rows) {
+  EADRL_CHECK(!rows.empty());
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t i = 0; i < rows.size(); ++i) m.SetRow(i, rows[i]);
+  return m;
+}
+
+Vec Matrix::Row(size_t i) const {
+  EADRL_CHECK_LT(i, rows_);
+  return Vec(data_.begin() + i * cols_, data_.begin() + (i + 1) * cols_);
+}
+
+Vec Matrix::Col(size_t j) const {
+  EADRL_CHECK_LT(j, cols_);
+  Vec out(rows_);
+  for (size_t i = 0; i < rows_; ++i) out[i] = data_[i * cols_ + j];
+  return out;
+}
+
+void Matrix::SetRow(size_t i, const Vec& row) {
+  EADRL_CHECK_LT(i, rows_);
+  EADRL_CHECK_EQ(row.size(), cols_);
+  for (size_t j = 0; j < cols_; ++j) data_[i * cols_ + j] = row[j];
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix out(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) out(j, i) = data_[i * cols_ + j];
+  }
+  return out;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  EADRL_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      double a = data_[i * cols_ + k];
+      if (a == 0.0) continue;
+      const double* brow = &other.data_[k * other.cols_];
+      double* orow = &out.data_[i * other.cols_];
+      for (size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+Vec Matrix::MatVec(const Vec& x) const {
+  EADRL_CHECK_EQ(x.size(), cols_);
+  Vec out(rows_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* row = &data_[i * cols_];
+    double s = 0.0;
+    for (size_t j = 0; j < cols_; ++j) s += row[j] * x[j];
+    out[i] = s;
+  }
+  return out;
+}
+
+Vec Matrix::TransposeMatVec(const Vec& x) const {
+  EADRL_CHECK_EQ(x.size(), rows_);
+  Vec out(cols_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* row = &data_[i * cols_];
+    double xi = x[i];
+    if (xi == 0.0) continue;
+    for (size_t j = 0; j < cols_; ++j) out[j] += xi * row[j];
+  }
+  return out;
+}
+
+void Matrix::AddScaled(const Matrix& other, double alpha) {
+  EADRL_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+void Matrix::Scale(double s) {
+  for (double& v : data_) v *= s;
+}
+
+void Matrix::Fill(double v) {
+  for (double& x : data_) x = v;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double Matrix::MaxAbs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+}  // namespace eadrl::math

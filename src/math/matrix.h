@@ -1,0 +1,93 @@
+#ifndef EADRL_MATH_MATRIX_H_
+#define EADRL_MATH_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "common/check.h"
+#include "math/vec.h"
+
+namespace eadrl::math {
+
+/// Dense row-major matrix of doubles.
+///
+/// Designed for the small/medium problems in this library (regression design
+/// matrices, network weight blocks, covariance matrices). Copyable and
+/// movable.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Creates a rows x cols matrix filled with `fill`.
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Creates a matrix from nested initializer lists (for tests).
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// Identity matrix of size n.
+  static Matrix Identity(size_t n);
+
+  /// Builds a matrix whose rows are the given vectors (all equal length).
+  static Matrix FromRows(const std::vector<Vec>& rows);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t i, size_t j) {
+    EADRL_CHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  double operator()(size_t i, size_t j) const {
+    EADRL_CHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// Copies row i into a vector.
+  Vec Row(size_t i) const;
+  /// Copies column j into a vector.
+  Vec Col(size_t j) const;
+  /// Overwrites row i.
+  void SetRow(size_t i, const Vec& row);
+
+  Matrix Transpose() const;
+
+  /// Matrix product this * other.
+  Matrix MatMul(const Matrix& other) const;
+
+  /// Matrix-vector product this * x.
+  Vec MatVec(const Vec& x) const;
+
+  /// x^T * this (i.e. Transpose().MatVec(x) without materializing).
+  Vec TransposeMatVec(const Vec& x) const;
+
+  /// In-place this += alpha * other (same shape).
+  void AddScaled(const Matrix& other, double alpha);
+
+  /// In-place scalar multiply.
+  void Scale(double s);
+
+  /// Fills all entries with v.
+  void Fill(double v);
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Returns the maximum absolute entry.
+  double MaxAbs() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace eadrl::math
+
+#endif  // EADRL_MATH_MATRIX_H_

@@ -1,0 +1,23 @@
+#ifndef EADRL_MATH_SPECIAL_H_
+#define EADRL_MATH_SPECIAL_H_
+
+namespace eadrl::math {
+
+/// Natural log of the gamma function (Lanczos approximation).
+double LogGamma(double x);
+
+/// Regularized incomplete beta function I_x(a, b), x in [0, 1].
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// CDF of the Student-t distribution with `dof` degrees of freedom.
+double StudentTCdf(double t, double dof);
+
+/// Standard normal CDF.
+double NormalCdf(double x);
+
+/// Regularized lower incomplete gamma function P(a, x).
+double RegularizedLowerIncompleteGamma(double a, double x);
+
+}  // namespace eadrl::math
+
+#endif  // EADRL_MATH_SPECIAL_H_

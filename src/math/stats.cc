@@ -1,0 +1,104 @@
+#include "math/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace eadrl::math {
+
+double Mean(const Vec& v) {
+  EADRL_CHECK(!v.empty());
+  return std::accumulate(v.begin(), v.end(), 0.0) /
+         static_cast<double>(v.size());
+}
+
+double Variance(const Vec& v) {
+  if (v.size() < 2) return 0.0;
+  double m = Mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return s / static_cast<double>(v.size() - 1);
+}
+
+double Stddev(const Vec& v) { return std::sqrt(Variance(v)); }
+
+double Median(Vec v) {
+  EADRL_CHECK(!v.empty());
+  size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + mid, v.end());
+  double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  double lo = *std::max_element(v.begin(), v.begin() + mid);
+  return 0.5 * (lo + hi);
+}
+
+double Quantile(Vec v, double q) {
+  EADRL_CHECK(!v.empty());
+  EADRL_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(v.begin(), v.end());
+  double pos = q * static_cast<double>(v.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, v.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double Min(const Vec& v) {
+  EADRL_CHECK(!v.empty());
+  return *std::min_element(v.begin(), v.end());
+}
+
+double Max(const Vec& v) {
+  EADRL_CHECK(!v.empty());
+  return *std::max_element(v.begin(), v.end());
+}
+
+double Covariance(const Vec& a, const Vec& b) {
+  EADRL_CHECK_EQ(a.size(), b.size());
+  if (a.size() < 2) return 0.0;
+  double ma = Mean(a), mb = Mean(b);
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += (a[i] - ma) * (b[i] - mb);
+  return s / static_cast<double>(a.size() - 1);
+}
+
+double PearsonCorrelation(const Vec& a, const Vec& b) {
+  double sa = Stddev(a), sb = Stddev(b);
+  if (sa == 0.0 || sb == 0.0) return 0.0;
+  return Covariance(a, b) / (sa * sb);
+}
+
+double Autocorrelation(const Vec& v, size_t lag) {
+  EADRL_CHECK_LT(lag, v.size());
+  double m = Mean(v);
+  double num = 0.0, den = 0.0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    den += (v[i] - m) * (v[i] - m);
+    if (i + lag < v.size()) num += (v[i] - m) * (v[i + lag] - m);
+  }
+  if (den == 0.0) return 0.0;
+  return num / den;
+}
+
+Vec FractionalRanks(const Vec& v) {
+  const size_t n = v.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return v[a] < v[b]; });
+  Vec ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && v[order[j + 1]] == v[order[i]]) ++j;
+    // Average the 1-based ranks i+1 .. j+1 across the tie group.
+    double avg = 0.5 * static_cast<double>(i + 1 + j + 1);
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace eadrl::math

@@ -1,0 +1,44 @@
+#ifndef EADRL_MATH_STATS_H_
+#define EADRL_MATH_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "math/vec.h"
+
+namespace eadrl::math {
+
+/// Arithmetic mean. Requires a non-empty input.
+double Mean(const Vec& v);
+
+/// Unbiased sample variance (denominator n-1); 0 for n < 2.
+double Variance(const Vec& v);
+
+/// Sample standard deviation.
+double Stddev(const Vec& v);
+
+/// Median (copies and partially sorts).
+double Median(Vec v);
+
+/// Linear-interpolated quantile, q in [0, 1].
+double Quantile(Vec v, double q);
+
+double Min(const Vec& v);
+double Max(const Vec& v);
+
+/// Sample covariance between two equally sized vectors.
+double Covariance(const Vec& a, const Vec& b);
+
+/// Pearson correlation; 0 if either vector is constant.
+double PearsonCorrelation(const Vec& a, const Vec& b);
+
+/// Sample autocorrelation of the series at the given lag.
+double Autocorrelation(const Vec& v, size_t lag);
+
+/// Fractional (average) ranks, 1-based: the smallest value gets rank 1;
+/// ties receive the average of the ranks they span.
+Vec FractionalRanks(const Vec& v);
+
+}  // namespace eadrl::math
+
+#endif  // EADRL_MATH_STATS_H_

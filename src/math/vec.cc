@@ -1,0 +1,104 @@
+#include "math/vec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace eadrl::math {
+
+double Dot(const Vec& a, const Vec& b) {
+  EADRL_CHECK_EQ(a.size(), b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double Norm2(const Vec& a) { return std::sqrt(Dot(a, a)); }
+
+Vec Add(const Vec& a, const Vec& b) {
+  EADRL_CHECK_EQ(a.size(), b.size());
+  Vec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vec Sub(const Vec& a, const Vec& b) {
+  EADRL_CHECK_EQ(a.size(), b.size());
+  Vec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vec Scale(const Vec& a, double s) {
+  Vec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] * s;
+  return out;
+}
+
+Vec Hadamard(const Vec& a, const Vec& b) {
+  EADRL_CHECK_EQ(a.size(), b.size());
+  Vec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+void Axpy(double alpha, const Vec& x, Vec* y) {
+  EADRL_CHECK_EQ(x.size(), y->size());
+  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+}
+
+Vec Softmax(const Vec& a) {
+  EADRL_CHECK(!a.empty());
+  double mx = *std::max_element(a.begin(), a.end());
+  Vec out(a.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    out[i] = std::exp(a[i] - mx);
+    sum += out[i];
+  }
+  for (double& v : out) v /= sum;
+  return out;
+}
+
+Vec NormalizeToSimplex(const Vec& a) {
+  EADRL_CHECK(!a.empty());
+  Vec out(a.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    out[i] = std::max(0.0, a[i]);
+    sum += out[i];
+  }
+  if (sum <= 0.0 || !std::isfinite(sum)) {
+    std::fill(out.begin(), out.end(), 1.0 / static_cast<double>(a.size()));
+    return out;
+  }
+  for (double& v : out) v /= sum;
+  return out;
+}
+
+Vec ProjectToSimplex(const Vec& a) {
+  EADRL_CHECK(!a.empty());
+  // Sort descending, find the largest k with u_k + (1 - sum_{i<=k} u_i)/k > 0.
+  Vec u = a;
+  std::sort(u.begin(), u.end(), std::greater<double>());
+  double cumsum = 0.0;
+  double theta = 0.0;
+  size_t k = 0;
+  for (size_t i = 0; i < u.size(); ++i) {
+    cumsum += u[i];
+    double candidate = (cumsum - 1.0) / static_cast<double>(i + 1);
+    if (u[i] - candidate > 0.0) {
+      theta = candidate;
+      k = i + 1;
+    }
+  }
+  if (k == 0) {
+    return Vec(a.size(), 1.0 / static_cast<double>(a.size()));
+  }
+  Vec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = std::max(0.0, a[i] - theta);
+  return out;
+}
+
+}  // namespace eadrl::math

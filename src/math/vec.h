@@ -1,0 +1,45 @@
+#ifndef EADRL_MATH_VEC_H_
+#define EADRL_MATH_VEC_H_
+
+#include <vector>
+
+namespace eadrl::math {
+
+/// Dense double vector used across the library.
+using Vec = std::vector<double>;
+
+/// Dot product of equally sized vectors.
+double Dot(const Vec& a, const Vec& b);
+
+/// Euclidean norm.
+double Norm2(const Vec& a);
+
+/// Elementwise sum a + b.
+Vec Add(const Vec& a, const Vec& b);
+
+/// Elementwise difference a - b.
+Vec Sub(const Vec& a, const Vec& b);
+
+/// Scalar multiple s * a.
+Vec Scale(const Vec& a, double s);
+
+/// Elementwise (Hadamard) product.
+Vec Hadamard(const Vec& a, const Vec& b);
+
+/// In-place y += alpha * x.
+void Axpy(double alpha, const Vec& x, Vec* y);
+
+/// Numerically stable softmax.
+Vec Softmax(const Vec& a);
+
+/// Projects onto the probability simplex by clipping negatives to zero and
+/// renormalizing; falls back to uniform if everything is non-positive.
+Vec NormalizeToSimplex(const Vec& a);
+
+/// Euclidean projection onto the probability simplex (Duchi et al. 2008).
+/// Used by the OGD expert-aggregation baseline.
+Vec ProjectToSimplex(const Vec& a);
+
+}  // namespace eadrl::math
+
+#endif  // EADRL_MATH_VEC_H_

@@ -1,0 +1,167 @@
+#include "models/arima.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "math/linalg.h"
+#include "math/matrix.h"
+#include "math/stats.h"
+
+namespace eadrl::models {
+
+ArimaForecaster::ArimaForecaster(size_t p, size_t d, size_t q)
+    : name_(StrCat("arima(", p, ",", d, ",", q, ")")), p_(p), d_(d), q_(q) {
+  EADRL_CHECK_LE(d, 2u);
+  EADRL_CHECK(p + q > 0);
+}
+
+math::Vec ArimaForecaster::Difference(const math::Vec& v, size_t d) {
+  math::Vec out = v;
+  for (size_t round = 0; round < d; ++round) {
+    math::Vec next(out.size() - 1);
+    for (size_t i = 1; i < out.size(); ++i) next[i - 1] = out[i] - out[i - 1];
+    out = std::move(next);
+  }
+  return out;
+}
+
+Status ArimaForecaster::Fit(const ts::Series& train) {
+  const size_t min_len = p_ + q_ + d_ + 20;
+  if (train.size() < min_len) {
+    return Status::InvalidArgument("ARIMA: training series too short");
+  }
+  math::Vec w = Difference(train.values(), d_);
+  const size_t n = w.size();
+
+  // Stage 1: long AR to estimate innovations.
+  const size_t long_p = std::min<size_t>(
+      std::max<size_t>(p_ + q_ + 5, 10), n / 4);
+  math::Matrix x_long(n - long_p, long_p);
+  math::Vec y_long(n - long_p);
+  for (size_t i = 0; i < n - long_p; ++i) {
+    for (size_t j = 0; j < long_p; ++j) {
+      x_long(i, j) = w[i + long_p - 1 - j];
+    }
+    y_long[i] = w[i + long_p];
+  }
+  double w_mean = math::Mean(w);
+  // Center to absorb the mean into an implicit intercept for stage 1.
+  for (auto& v : x_long.data()) v -= w_mean;
+  for (auto& v : y_long) v -= w_mean;
+  StatusOr<math::Vec> ar_long = math::SolveRidge(x_long, y_long, 1e-4);
+  EADRL_RETURN_IF_ERROR(ar_long.status());
+
+  math::Vec e(n, 0.0);  // innovations; zero for the first long_p entries.
+  for (size_t i = long_p; i < n; ++i) {
+    double pred = w_mean;
+    for (size_t j = 0; j < long_p; ++j) {
+      pred += (*ar_long)[j] * (w[i - 1 - j] - w_mean);
+    }
+    e[i] = w[i] - pred;
+  }
+
+  // Stage 2: regress w_t on p lags of w and q lags of e.
+  const size_t start = std::max(std::max(p_, q_), long_p);
+  const size_t rows = n - start;
+  if (rows < 10) return Status::InvalidArgument("ARIMA: too few rows");
+  math::Matrix x2(rows, p_ + q_);
+  math::Vec y2(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    size_t t = start + i;
+    for (size_t j = 0; j < p_; ++j) x2(i, j) = w[t - 1 - j];
+    for (size_t j = 0; j < q_; ++j) x2(i, p_ + j) = e[t - 1 - j];
+    y2[i] = w[t];
+  }
+  // Center lagged-w columns and y (the innovations are mean zero already).
+  math::Vec col_means(p_ + q_, 0.0);
+  for (size_t j = 0; j < p_ + q_; ++j) {
+    double s = 0.0;
+    for (size_t i = 0; i < rows; ++i) s += x2(i, j);
+    col_means[j] = s / static_cast<double>(rows);
+  }
+  double y2_mean = math::Mean(y2);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < p_ + q_; ++j) x2(i, j) -= col_means[j];
+    y2[i] -= y2_mean;
+  }
+  StatusOr<math::Vec> coef = math::SolveRidge(x2, y2, 1e-4);
+  EADRL_RETURN_IF_ERROR(coef.status());
+
+  phi_.assign(coef->begin(), coef->begin() + p_);
+  theta_.assign(coef->begin() + p_, coef->end());
+  intercept_ = y2_mean;
+  for (size_t j = 0; j < p_ + q_; ++j) {
+    intercept_ -= (*coef)[j] * col_means[j];
+  }
+
+  // Initialize forecasting state from the series tail.
+  recent_w_.clear();
+  recent_e_.clear();
+  last_raw_.clear();
+  size_t keep = std::max<size_t>(std::max(p_, q_), 1);
+  for (size_t i = n >= keep ? n - keep : 0; i < n; ++i) {
+    recent_w_.push_back(w[i]);
+    recent_e_.push_back(e[i]);
+  }
+  for (size_t i = train.size() >= d_ ? train.size() - d_ : 0;
+       i < train.size(); ++i) {
+    last_raw_.push_back(train[i]);
+  }
+  last_forecast_w_ = ForecastDifferenced();
+  fitted_ = true;
+  return Status::Ok();
+}
+
+double ArimaForecaster::ForecastDifferenced() const {
+  double pred = intercept_;
+  for (size_t j = 0; j < p_ && j < recent_w_.size(); ++j) {
+    pred += phi_[j] * recent_w_[recent_w_.size() - 1 - j];
+  }
+  for (size_t j = 0; j < q_ && j < recent_e_.size(); ++j) {
+    pred += theta_[j] * recent_e_[recent_e_.size() - 1 - j];
+  }
+  return pred;
+}
+
+double ArimaForecaster::PredictNext() {
+  EADRL_CHECK(fitted_);
+  last_forecast_w_ = ForecastDifferenced();
+  // Integrate back to the raw scale.
+  double pred = last_forecast_w_;
+  if (d_ == 1) {
+    pred += last_raw_.back();
+  } else if (d_ == 2) {
+    pred += 2.0 * last_raw_.back() - last_raw_.front();
+  }
+  if (!std::isfinite(pred)) pred = last_raw_.empty() ? 0.0 : last_raw_.back();
+  return pred;
+}
+
+void ArimaForecaster::Observe(double value) {
+  EADRL_CHECK(fitted_);
+  // Differenced new value.
+  double w_new = value;
+  if (d_ == 1) {
+    w_new = value - last_raw_.back();
+  } else if (d_ == 2) {
+    w_new = value - 2.0 * last_raw_.back() + last_raw_.front();
+  }
+  double innovation = w_new - ForecastDifferenced();
+
+  recent_w_.push_back(w_new);
+  if (recent_w_.size() > std::max<size_t>(std::max(p_, q_), 1)) {
+    recent_w_.pop_front();
+  }
+  recent_e_.push_back(innovation);
+  if (recent_e_.size() > std::max<size_t>(std::max(p_, q_), 1)) {
+    recent_e_.pop_front();
+  }
+  if (d_ > 0) {
+    last_raw_.push_back(value);
+    while (last_raw_.size() > d_) last_raw_.pop_front();
+  }
+}
+
+}  // namespace eadrl::models

@@ -1,0 +1,56 @@
+#ifndef EADRL_MODELS_ARIMA_H_
+#define EADRL_MODELS_ARIMA_H_
+
+#include <deque>
+#include <string>
+
+#include "math/vec.h"
+#include "models/forecaster.h"
+
+namespace eadrl::models {
+
+/// ARIMA(p, d, q) forecaster fit by the Hannan–Rissanen two-stage procedure:
+/// a long autoregression estimates innovations, then the ARMA coefficients
+/// are obtained by (ridge-regularized) least squares on lagged values and
+/// lagged innovations. Differencing of order d (0, 1 or 2) is handled by
+/// integrating forecasts back to the original scale.
+class ArimaForecaster : public Forecaster {
+ public:
+  ArimaForecaster(size_t p, size_t d, size_t q);
+
+  const std::string& name() const override { return name_; }
+  Status Fit(const ts::Series& train) override;
+  double PredictNext() override;
+  void Observe(double value) override;
+
+  const math::Vec& ar_coefficients() const { return phi_; }
+  const math::Vec& ma_coefficients() const { return theta_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  /// Differences a vector d times.
+  static math::Vec Difference(const math::Vec& v, size_t d);
+
+  /// Computes the ARMA one-step forecast on the differenced scale.
+  double ForecastDifferenced() const;
+
+  std::string name_;
+  size_t p_;
+  size_t d_;
+  size_t q_;
+  math::Vec phi_;
+  math::Vec theta_;
+  double intercept_ = 0.0;
+  bool fitted_ = false;
+
+  // State: recent differenced values (newest at back), recent innovations,
+  // and the last d raw values needed for integration.
+  std::deque<double> recent_w_;
+  std::deque<double> recent_e_;
+  std::deque<double> last_raw_;
+  double last_forecast_w_ = 0.0;
+};
+
+}  // namespace eadrl::models
+
+#endif  // EADRL_MODELS_ARIMA_H_

@@ -1,0 +1,52 @@
+#include "models/auto_arima.h"
+
+#include <cmath>
+#include <limits>
+
+#include "models/forecaster.h"
+#include "ts/metrics.h"
+
+namespace eadrl::models {
+
+StatusOr<AutoArimaResult> AutoArima(const ts::Series& series,
+                                    const AutoArimaOptions& options) {
+  if (options.holdout_ratio <= 0.0 || options.holdout_ratio >= 0.5) {
+    return Status::InvalidArgument("AutoArima: holdout_ratio out of (0,0.5)");
+  }
+  if (series.size() < 60) {
+    return Status::InvalidArgument("AutoArima: series too short");
+  }
+  ts::TrainTestSplit split =
+      ts::SplitTrainTest(series, 1.0 - options.holdout_ratio);
+
+  AutoArimaResult best;
+  double best_rmse = std::numeric_limits<double>::infinity();
+
+  for (size_t d = 0; d <= options.max_d; ++d) {
+    for (size_t p = 0; p <= options.max_p; ++p) {
+      for (size_t q = 0; q <= options.max_q; ++q) {
+        if (p + q == 0) continue;  // ArimaForecaster needs p + q > 0.
+        ArimaForecaster candidate(p, d, q);
+        if (!candidate.Fit(split.train).ok()) continue;
+        math::Vec preds = RollingForecast(&candidate, split.test);
+        double rmse = ts::Rmse(split.test.values(), preds);
+        if (rmse < best_rmse) {
+          best_rmse = rmse;
+          best.p = p;
+          best.d = d;
+          best.q = q;
+        }
+      }
+    }
+  }
+  if (!std::isfinite(best_rmse)) {
+    return Status::Internal("AutoArima: no candidate order could be fit");
+  }
+
+  best.holdout_rmse = best_rmse;
+  best.model = std::make_unique<ArimaForecaster>(best.p, best.d, best.q);
+  EADRL_RETURN_IF_ERROR(best.model->Fit(series));
+  return StatusOr<AutoArimaResult>(std::move(best));
+}
+
+}  // namespace eadrl::models

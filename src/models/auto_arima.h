@@ -1,0 +1,39 @@
+#ifndef EADRL_MODELS_AUTO_ARIMA_H_
+#define EADRL_MODELS_AUTO_ARIMA_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "models/arima.h"
+
+namespace eadrl::models {
+
+/// Order-selection options for AutoArima.
+struct AutoArimaOptions {
+  size_t max_p = 3;
+  size_t max_d = 1;
+  size_t max_q = 2;
+  /// Fraction of the training series held out to score candidate orders by
+  /// one-step-ahead RMSE (an empirical analogue of AIC selection that works
+  /// with the Hannan–Rissanen fit used by ArimaForecaster).
+  double holdout_ratio = 0.2;
+};
+
+/// Result of the search: the selected order plus the model refit on the
+/// full series.
+struct AutoArimaResult {
+  size_t p = 0;
+  size_t d = 0;
+  size_t q = 0;
+  double holdout_rmse = 0.0;
+  std::unique_ptr<ArimaForecaster> model;
+};
+
+/// Grid-searches ARIMA(p, d, q) orders and returns the best model fit on
+/// the whole series (cf. `forecast::auto.arima`).
+StatusOr<AutoArimaResult> AutoArima(const ts::Series& series,
+                                    const AutoArimaOptions& options = {});
+
+}  // namespace eadrl::models
+
+#endif  // EADRL_MODELS_AUTO_ARIMA_H_

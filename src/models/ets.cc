@@ -1,0 +1,184 @@
+#include "models/ets.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "math/stats.h"
+
+namespace eadrl::models {
+namespace {
+
+const char* VariantName(EtsVariant v) {
+  switch (v) {
+    case EtsVariant::kSimple:
+      return "ses";
+    case EtsVariant::kHolt:
+      return "holt";
+    case EtsVariant::kDampedHolt:
+      return "damped-holt";
+    case EtsVariant::kHoltWintersAdditive:
+      return "holt-winters";
+  }
+  return "?";
+}
+
+}  // namespace
+
+EtsForecaster::EtsForecaster(EtsVariant variant, size_t seasonal_period)
+    : name_(StrCat("ets-", VariantName(variant))),
+      variant_(variant),
+      period_(seasonal_period) {}
+
+double EtsForecaster::RunSse(const math::Vec& data, double alpha, double beta,
+                             double gamma, State* final_state) const {
+  const bool trended = variant_ != EtsVariant::kSimple;
+  const bool seasonal =
+      variant_ == EtsVariant::kHoltWintersAdditive && period_ >= 2 &&
+      data.size() >= 2 * period_;
+  const double phi =
+      variant_ == EtsVariant::kDampedHolt ? damping_ : 1.0;
+
+  State st;
+  size_t start = 1;
+  if (seasonal) {
+    // Initialize level/seasonals from the first full period.
+    double first_mean = 0.0;
+    for (size_t i = 0; i < period_; ++i) first_mean += data[i];
+    first_mean /= static_cast<double>(period_);
+    st.level = first_mean;
+    st.seasonal.resize(period_);
+    for (size_t i = 0; i < period_; ++i) {
+      st.seasonal[i] = data[i] - first_mean;
+    }
+    st.season_index = 0;
+    if (trended) {
+      double second_mean = 0.0;
+      for (size_t i = period_; i < 2 * period_; ++i) second_mean += data[i];
+      second_mean /= static_cast<double>(period_);
+      st.trend = (second_mean - first_mean) / static_cast<double>(period_);
+    }
+    start = period_;
+  } else {
+    st.level = data[0];
+    if (trended && data.size() > 1) st.trend = data[1] - data[0];
+  }
+
+  double sse = 0.0;
+  for (size_t t = start; t < data.size(); ++t) {
+    double seas = seasonal ? st.seasonal[st.season_index] : 0.0;
+    double forecast = st.level + phi * st.trend + seas;
+    double err = data[t] - forecast;
+    sse += err * err;
+
+    double prev_level = st.level;
+    st.level = alpha * (data[t] - seas) +
+               (1.0 - alpha) * (st.level + phi * st.trend);
+    if (trended) {
+      st.trend = beta * (st.level - prev_level) + (1.0 - beta) * phi * st.trend;
+    }
+    if (seasonal) {
+      st.seasonal[st.season_index] =
+          gamma * (data[t] - st.level) +
+          (1.0 - gamma) * st.seasonal[st.season_index];
+      st.season_index = (st.season_index + 1) % period_;
+    }
+  }
+  if (final_state != nullptr) *final_state = st;
+  return sse;
+}
+
+Status EtsForecaster::Fit(const ts::Series& train) {
+  if (train.size() < 10) {
+    return Status::InvalidArgument("ETS: training series too short");
+  }
+  if (variant_ == EtsVariant::kHoltWintersAdditive && period_ == 0) {
+    period_ = train.seasonal_period();
+  }
+
+  const math::Vec& data = train.values();
+  const bool trended = variant_ != EtsVariant::kSimple;
+  const bool seasonal = variant_ == EtsVariant::kHoltWintersAdditive;
+
+  static const double kGrid[] = {0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9};
+  double best_sse = std::numeric_limits<double>::infinity();
+  for (double a : kGrid) {
+    if (!trended) {
+      double sse = RunSse(data, a, 0.0, 0.0, nullptr);
+      if (sse < best_sse) {
+        best_sse = sse;
+        alpha_ = a;
+      }
+      continue;
+    }
+    for (double b : kGrid) {
+      if (!seasonal) {
+        double sse = RunSse(data, a, b, 0.0, nullptr);
+        if (sse < best_sse) {
+          best_sse = sse;
+          alpha_ = a;
+          beta_ = b;
+        }
+        continue;
+      }
+      for (double g : kGrid) {
+        double sse = RunSse(data, a, b, g, nullptr);
+        if (sse < best_sse) {
+          best_sse = sse;
+          alpha_ = a;
+          beta_ = b;
+          gamma_ = g;
+        }
+      }
+    }
+  }
+
+  RunSse(data, alpha_, beta_, gamma_, &state_);
+  fitted_ = true;
+  return Status::Ok();
+}
+
+double EtsForecaster::ForecastFromState() const {
+  const bool trended = variant_ != EtsVariant::kSimple;
+  const double phi = variant_ == EtsVariant::kDampedHolt ? damping_ : 1.0;
+  double seas = state_.seasonal.empty()
+                    ? 0.0
+                    : state_.seasonal[state_.season_index];
+  return state_.level + (trended ? phi * state_.trend : 0.0) + seas;
+}
+
+double EtsForecaster::PredictNext() {
+  EADRL_CHECK(fitted_);
+  double pred = ForecastFromState();
+  if (!std::isfinite(pred)) pred = state_.level;
+  return pred;
+}
+
+void EtsForecaster::UpdateState(double value) {
+  const bool trended = variant_ != EtsVariant::kSimple;
+  const double phi = variant_ == EtsVariant::kDampedHolt ? damping_ : 1.0;
+  double seas = state_.seasonal.empty()
+                    ? 0.0
+                    : state_.seasonal[state_.season_index];
+  double prev_level = state_.level;
+  state_.level = alpha_ * (value - seas) +
+                 (1.0 - alpha_) * (state_.level + phi * state_.trend);
+  if (trended) {
+    state_.trend = beta_ * (state_.level - prev_level) +
+                   (1.0 - beta_) * phi * state_.trend;
+  }
+  if (!state_.seasonal.empty()) {
+    state_.seasonal[state_.season_index] =
+        gamma_ * (value - state_.level) +
+        (1.0 - gamma_) * state_.seasonal[state_.season_index];
+    state_.season_index = (state_.season_index + 1) % state_.seasonal.size();
+  }
+}
+
+void EtsForecaster::Observe(double value) {
+  EADRL_CHECK(fitted_);
+  UpdateState(value);
+}
+
+}  // namespace eadrl::models

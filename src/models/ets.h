@@ -1,0 +1,66 @@
+#ifndef EADRL_MODELS_ETS_H_
+#define EADRL_MODELS_ETS_H_
+
+#include <string>
+
+#include "math/vec.h"
+#include "models/forecaster.h"
+
+namespace eadrl::models {
+
+/// Exponential-smoothing family variants.
+enum class EtsVariant {
+  kSimple,             ///< SES: level only.
+  kHolt,               ///< additive trend.
+  kDampedHolt,         ///< damped additive trend.
+  kHoltWintersAdditive ///< additive trend + additive seasonality.
+};
+
+/// Exponential smoothing (ETS) forecaster. Smoothing parameters are selected
+/// by a coarse grid search minimizing the in-sample one-step-ahead SSE, as in
+/// the classic `forecast::ets` default behaviour. The Holt–Winters variant
+/// requires the series to declare a seasonal period; otherwise it degrades
+/// to Holt.
+class EtsForecaster : public Forecaster {
+ public:
+  explicit EtsForecaster(EtsVariant variant, size_t seasonal_period = 0);
+
+  const std::string& name() const override { return name_; }
+  Status Fit(const ts::Series& train) override;
+  double PredictNext() override;
+  void Observe(double value) override;
+
+  double alpha() const { return alpha_; }
+  double beta() const { return beta_; }
+  double gamma() const { return gamma_; }
+
+ private:
+  struct State {
+    double level = 0.0;
+    double trend = 0.0;
+    math::Vec seasonal;  // circular buffer of seasonal components.
+    size_t season_index = 0;
+  };
+
+  /// Runs the smoothing recursion over `data` from a fresh initial state and
+  /// returns the SSE of one-step-ahead forecasts; writes the final state.
+  double RunSse(const math::Vec& data, double alpha, double beta,
+                double gamma, State* final_state) const;
+
+  double ForecastFromState() const;
+  void UpdateState(double value);
+
+  std::string name_;
+  EtsVariant variant_;
+  size_t period_;
+  double alpha_ = 0.3;
+  double beta_ = 0.1;
+  double gamma_ = 0.1;
+  double damping_ = 0.9;
+  State state_;
+  bool fitted_ = false;
+};
+
+}  // namespace eadrl::models
+
+#endif  // EADRL_MODELS_ETS_H_

@@ -1,0 +1,15 @@
+#include "models/forecaster.h"
+
+namespace eadrl::models {
+
+math::Vec RollingForecast(Forecaster* model, const ts::Series& eval) {
+  math::Vec preds;
+  preds.reserve(eval.size());
+  for (size_t t = 0; t < eval.size(); ++t) {
+    preds.push_back(model->PredictNext());
+    model->Observe(eval[t]);
+  }
+  return preds;
+}
+
+}  // namespace eadrl::models

@@ -1,0 +1,44 @@
+#ifndef EADRL_MODELS_FORECASTER_H_
+#define EADRL_MODELS_FORECASTER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "math/vec.h"
+#include "ts/series.h"
+
+namespace eadrl::models {
+
+/// One-step-ahead forecaster interface shared by every base model in the
+/// pool and by the ensemble combiners' single-model baselines.
+///
+/// Protocol: call `Fit(train)` once; then, for each time step, call
+/// `PredictNext()` for the one-step-ahead forecast and `Observe(value)` with
+/// the value that materialized (the true observation during evaluation, or a
+/// predicted one during multi-step rollout, paper Algorithm 1).
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+
+  /// Stable identifier of this configured model (e.g. "arima(2,1,1)").
+  virtual const std::string& name() const = 0;
+
+  /// Trains on the series and initializes forecasting state at its end.
+  virtual Status Fit(const ts::Series& train) = 0;
+
+  /// One-step-ahead forecast from the current state. Requires a prior Fit.
+  virtual double PredictNext() = 0;
+
+  /// Advances the internal state with the next observed value.
+  virtual void Observe(double value) = 0;
+};
+
+/// Convenience: runs `PredictNext`/`Observe` over an evaluation series and
+/// returns the one-step-ahead predictions (same length as `eval`). The
+/// forecaster state afterwards includes all of `eval`.
+math::Vec RollingForecast(Forecaster* model, const ts::Series& eval);
+
+}  // namespace eadrl::models
+
+#endif  // EADRL_MODELS_FORECASTER_H_

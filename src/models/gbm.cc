@@ -1,0 +1,56 @@
+#include "models/gbm.h"
+
+#include "common/check.h"
+#include "math/stats.h"
+
+namespace eadrl::models {
+
+GbmRegressor::GbmRegressor(Params params)
+    : params_(params), rng_(params.seed) {
+  EADRL_CHECK_GT(params_.num_trees, 0u);
+  EADRL_CHECK_GT(params_.learning_rate, 0.0);
+}
+
+Status GbmRegressor::Fit(const math::Matrix& x, const math::Vec& y) {
+  if (x.rows() != y.size() || x.rows() == 0) {
+    return Status::InvalidArgument("GBM: bad training data");
+  }
+  trees_.clear();
+  base_prediction_ = math::Mean(y);
+
+  const size_t n = x.rows();
+  math::Vec residual(n);
+  math::Vec current(n, base_prediction_);
+  for (size_t t = 0; t < params_.num_trees; ++t) {
+    for (size_t i = 0; i < n; ++i) residual[i] = y[i] - current[i];
+
+    std::vector<size_t> rows;
+    if (params_.subsample < 1.0) {
+      size_t m = std::max<size_t>(
+          2, static_cast<size_t>(params_.subsample * static_cast<double>(n)));
+      rows = rng_.SampleWithoutReplacement(n, m);
+    } else {
+      rows.resize(n);
+      for (size_t i = 0; i < n; ++i) rows[i] = i;
+    }
+
+    auto tree = std::make_unique<RegressionTree>(params_.tree, &rng_);
+    EADRL_RETURN_IF_ERROR(tree->FitSubset(x, residual, rows));
+    for (size_t i = 0; i < n; ++i) {
+      current[i] += params_.learning_rate * tree->Predict(x.Row(i));
+    }
+    trees_.push_back(std::move(tree));
+  }
+  return Status::Ok();
+}
+
+double GbmRegressor::Predict(const math::Vec& x) const {
+  EADRL_CHECK(!trees_.empty());
+  double s = base_prediction_;
+  for (const auto& tree : trees_) {
+    s += params_.learning_rate * tree->Predict(x);
+  }
+  return s;
+}
+
+}  // namespace eadrl::models

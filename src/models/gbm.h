@@ -1,0 +1,43 @@
+#ifndef EADRL_MODELS_GBM_H_
+#define EADRL_MODELS_GBM_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "models/tree.h"
+
+namespace eadrl::models {
+
+/// Gradient boosting machine for least-squares regression (Friedman 2001):
+/// sequential shallow CART trees fit to residuals, combined with shrinkage
+/// and optional stochastic row subsampling.
+class GbmRegressor : public Regressor {
+ public:
+  struct Params {
+    size_t num_trees = 100;
+    double learning_rate = 0.1;
+    TreeParams tree{/*max_depth=*/3, /*min_samples_leaf=*/3,
+                    /*max_features=*/0};
+    /// Fraction of rows sampled (without replacement) per boosting round.
+    double subsample = 1.0;
+    uint64_t seed = 42;
+  };
+
+  explicit GbmRegressor(Params params);
+
+  Status Fit(const math::Matrix& x, const math::Vec& y) override;
+  double Predict(const math::Vec& x) const override;
+
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  Params params_;
+  double base_prediction_ = 0.0;
+  std::vector<std::unique_ptr<RegressionTree>> trees_;
+  Rng rng_;
+};
+
+}  // namespace eadrl::models
+
+#endif  // EADRL_MODELS_GBM_H_

@@ -1,0 +1,111 @@
+#include "models/gp.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "math/linalg.h"
+#include "math/stats.h"
+
+namespace eadrl::models {
+
+GaussianProcessRegressor::GaussianProcessRegressor(Params params)
+    : params_(params) {
+  EADRL_CHECK_GT(params_.length_scale, 0.0);
+  EADRL_CHECK_GT(params_.noise_variance, 0.0);
+}
+
+double GaussianProcessRegressor::Kernel(const math::Vec& a,
+                                        const math::Vec& b) const {
+  double d2 = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    d2 += d * d;
+  }
+  return params_.signal_variance *
+         std::exp(-0.5 * d2 / (params_.length_scale * params_.length_scale));
+}
+
+Status GaussianProcessRegressor::Fit(const math::Matrix& x,
+                                     const math::Vec& y) {
+  if (x.rows() != y.size() || x.rows() == 0) {
+    return Status::InvalidArgument("GP: bad training data");
+  }
+  // Uniform stride subsampling preserves the temporal spread of embedded
+  // windows better than random subsampling.
+  size_t n = x.rows();
+  if (n > params_.max_points) {
+    double stride = static_cast<double>(n) /
+                    static_cast<double>(params_.max_points);
+    math::Matrix xs(params_.max_points, x.cols());
+    math::Vec ys(params_.max_points);
+    for (size_t i = 0; i < params_.max_points; ++i) {
+      size_t src = static_cast<size_t>(i * stride);
+      xs.SetRow(i, x.Row(src));
+      ys[i] = y[src];
+    }
+    train_x_ = std::move(xs);
+    y_mean_ = math::Mean(ys);
+    n = params_.max_points;
+
+    math::Matrix k(n, n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i; j < n; ++j) {
+        double v = Kernel(train_x_.Row(i), train_x_.Row(j));
+        k(i, j) = v;
+        k(j, i) = v;
+      }
+      k(i, i) += params_.noise_variance;
+    }
+    math::Vec centered(n);
+    for (size_t i = 0; i < n; ++i) centered[i] = ys[i] - y_mean_;
+    StatusOr<math::Vec> alpha = math::CholeskySolve(k, centered);
+    EADRL_RETURN_IF_ERROR(alpha.status());
+    alpha_ = std::move(alpha).value();
+    StatusOr<math::Matrix> inv = math::CholeskyInverse(k);
+    EADRL_RETURN_IF_ERROR(inv.status());
+    k_inverse_ = std::move(inv).value();
+  } else {
+    train_x_ = x;
+    y_mean_ = math::Mean(y);
+    math::Matrix k(n, n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i; j < n; ++j) {
+        double v = Kernel(train_x_.Row(i), train_x_.Row(j));
+        k(i, j) = v;
+        k(j, i) = v;
+      }
+      k(i, i) += params_.noise_variance;
+    }
+    math::Vec centered(n);
+    for (size_t i = 0; i < n; ++i) centered[i] = y[i] - y_mean_;
+    StatusOr<math::Vec> alpha = math::CholeskySolve(k, centered);
+    EADRL_RETURN_IF_ERROR(alpha.status());
+    alpha_ = std::move(alpha).value();
+    StatusOr<math::Matrix> inv = math::CholeskyInverse(k);
+    EADRL_RETURN_IF_ERROR(inv.status());
+    k_inverse_ = std::move(inv).value();
+  }
+  fitted_ = true;
+  return Status::Ok();
+}
+
+double GaussianProcessRegressor::Predict(const math::Vec& x) const {
+  double mean, var;
+  PredictWithVariance(x, &mean, &var);
+  return mean;
+}
+
+void GaussianProcessRegressor::PredictWithVariance(const math::Vec& x,
+                                                   double* mean,
+                                                   double* variance) const {
+  EADRL_CHECK(fitted_);
+  const size_t n = train_x_.rows();
+  math::Vec kstar(n);
+  for (size_t i = 0; i < n; ++i) kstar[i] = Kernel(train_x_.Row(i), x);
+  *mean = y_mean_ + math::Dot(kstar, alpha_);
+  math::Vec kinv_kstar = k_inverse_.MatVec(kstar);
+  double v = Kernel(x, x) - math::Dot(kstar, kinv_kstar);
+  *variance = std::max(0.0, v);
+}
+
+}  // namespace eadrl::models

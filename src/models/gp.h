@@ -1,0 +1,45 @@
+#ifndef EADRL_MODELS_GP_H_
+#define EADRL_MODELS_GP_H_
+
+#include "common/rng.h"
+#include "models/regressor.h"
+
+namespace eadrl::models {
+
+/// Gaussian-process regression with an RBF kernel and Gaussian noise
+/// (Rasmussen & Williams 2006, Alg. 2.1). Exact inference via Cholesky; to
+/// bound the O(n^3) cost the training set is uniformly subsampled to
+/// `max_points` when larger.
+class GaussianProcessRegressor : public Regressor {
+ public:
+  struct Params {
+    double length_scale = 1.0;
+    double signal_variance = 1.0;
+    double noise_variance = 0.1;
+    size_t max_points = 400;
+    uint64_t seed = 42;
+  };
+
+  explicit GaussianProcessRegressor(Params params);
+
+  Status Fit(const math::Matrix& x, const math::Vec& y) override;
+  double Predict(const math::Vec& x) const override;
+
+  /// Predictive mean and variance at a point.
+  void PredictWithVariance(const math::Vec& x, double* mean,
+                           double* variance) const;
+
+ private:
+  double Kernel(const math::Vec& a, const math::Vec& b) const;
+
+  Params params_;
+  math::Matrix train_x_;
+  math::Vec alpha_;        // K^{-1} (y - mean)
+  math::Matrix k_inverse_; // for predictive variance.
+  double y_mean_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace eadrl::models
+
+#endif  // EADRL_MODELS_GP_H_

@@ -1,0 +1,86 @@
+#include "models/linear.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "math/linalg.h"
+#include "math/stats.h"
+
+namespace eadrl::models {
+
+Status RidgeRegressor::Fit(const math::Matrix& x, const math::Vec& y) {
+  if (x.rows() != y.size() || x.rows() == 0) {
+    return Status::InvalidArgument("Ridge: bad training data");
+  }
+  // Center y and columns of X so the intercept is handled exactly and is not
+  // penalized.
+  const size_t n = x.rows(), p = x.cols();
+  math::Vec col_means(p, 0.0);
+  for (size_t j = 0; j < p; ++j) {
+    double s = 0.0;
+    for (size_t i = 0; i < n; ++i) s += x(i, j);
+    col_means[j] = s / static_cast<double>(n);
+  }
+  double y_mean = math::Mean(y);
+
+  math::Matrix xc(n, p);
+  math::Vec yc(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < p; ++j) xc(i, j) = x(i, j) - col_means[j];
+    yc[i] = y[i] - y_mean;
+  }
+
+  StatusOr<math::Vec> w = math::SolveRidge(xc, yc, lambda_);
+  EADRL_RETURN_IF_ERROR(w.status());
+  coef_ = std::move(w).value();
+  intercept_ = y_mean;
+  for (size_t j = 0; j < p; ++j) intercept_ -= coef_[j] * col_means[j];
+  fitted_ = true;
+  return Status::Ok();
+}
+
+double RidgeRegressor::Predict(const math::Vec& x) const {
+  EADRL_CHECK(fitted_);
+  EADRL_CHECK_EQ(x.size(), coef_.size());
+  return intercept_ + math::Dot(coef_, x);
+}
+
+Status KnnRegressor::Fit(const math::Matrix& x, const math::Vec& y) {
+  if (x.rows() != y.size() || x.rows() == 0) {
+    return Status::InvalidArgument("KNN: bad training data");
+  }
+  if (k_ == 0) return Status::InvalidArgument("KNN: k must be positive");
+  train_x_ = x;
+  train_y_ = y;
+  return Status::Ok();
+}
+
+double KnnRegressor::Predict(const math::Vec& x) const {
+  EADRL_CHECK_GT(train_x_.rows(), 0u);
+  const size_t n = train_x_.rows();
+  const size_t k = std::min(k_, n);
+
+  std::vector<std::pair<double, size_t>> dist(n);
+  for (size_t i = 0; i < n; ++i) {
+    double d = 0.0;
+    for (size_t j = 0; j < train_x_.cols(); ++j) {
+      double diff = train_x_(i, j) - x[j];
+      d += diff * diff;
+    }
+    dist[i] = {d, i};
+  }
+  std::partial_sort(dist.begin(), dist.begin() + k, dist.end());
+
+  double num = 0.0, den = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    double w = distance_weighted_ ? 1.0 / (std::sqrt(dist[i].first) + 1e-8)
+                                  : 1.0;
+    num += w * train_y_[dist[i].second];
+    den += w;
+  }
+  return num / den;
+}
+
+}  // namespace eadrl::models

@@ -1,0 +1,44 @@
+#ifndef EADRL_MODELS_LINEAR_H_
+#define EADRL_MODELS_LINEAR_H_
+
+#include "models/regressor.h"
+
+namespace eadrl::models {
+
+/// Ridge-regularized linear regression with an intercept.
+class RidgeRegressor : public Regressor {
+ public:
+  explicit RidgeRegressor(double lambda = 1e-3) : lambda_(lambda) {}
+
+  Status Fit(const math::Matrix& x, const math::Vec& y) override;
+  double Predict(const math::Vec& x) const override;
+
+  const math::Vec& coefficients() const { return coef_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  double lambda_;
+  math::Vec coef_;
+  double intercept_ = 0.0;
+  bool fitted_ = false;
+};
+
+/// Distance-weighted k-nearest-neighbors regression.
+class KnnRegressor : public Regressor {
+ public:
+  explicit KnnRegressor(size_t k, bool distance_weighted = true)
+      : k_(k), distance_weighted_(distance_weighted) {}
+
+  Status Fit(const math::Matrix& x, const math::Vec& y) override;
+  double Predict(const math::Vec& x) const override;
+
+ private:
+  size_t k_;
+  bool distance_weighted_;
+  math::Matrix train_x_;
+  math::Vec train_y_;
+};
+
+}  // namespace eadrl::models
+
+#endif  // EADRL_MODELS_LINEAR_H_

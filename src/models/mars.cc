@@ -1,0 +1,193 @@
+#include "models/mars.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "math/linalg.h"
+#include "math/stats.h"
+
+namespace eadrl::models {
+namespace {
+
+// Fits ridge coefficients for a basis expansion and returns the SSE.
+// `design` has one column per basis plus no intercept column; y is centered
+// by the caller passing `intercept` out separately.
+double FitBasis(const math::Matrix& design, const math::Vec& y, double lambda,
+                math::Vec* coef, double* intercept) {
+  const size_t n = design.rows();
+  // Center columns and target; solve ridge on centered data.
+  const size_t p = design.cols();
+  math::Vec col_mean(p, 0.0);
+  for (size_t j = 0; j < p; ++j) {
+    double s = 0.0;
+    for (size_t i = 0; i < n; ++i) s += design(i, j);
+    col_mean[j] = s / static_cast<double>(n);
+  }
+  double y_mean = math::Mean(y);
+  math::Matrix xc(n, p);
+  math::Vec yc(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < p; ++j) xc(i, j) = design(i, j) - col_mean[j];
+    yc[i] = y[i] - y_mean;
+  }
+  StatusOr<math::Vec> w = math::SolveRidge(xc, yc, lambda);
+  if (!w.ok()) return std::numeric_limits<double>::infinity();
+  *coef = std::move(w).value();
+  *intercept = y_mean;
+  for (size_t j = 0; j < p; ++j) *intercept -= (*coef)[j] * col_mean[j];
+
+  double sse = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double pred = *intercept;
+    for (size_t j = 0; j < p; ++j) pred += (*coef)[j] * design(i, j);
+    double d = y[i] - pred;
+    sse += d * d;
+  }
+  return sse;
+}
+
+}  // namespace
+
+double MarsRegressor::EvalHinge(const Hinge& h, const math::Vec& x) {
+  double v = h.positive ? x[h.feature] - h.knot : h.knot - x[h.feature];
+  return v > 0.0 ? v : 0.0;
+}
+
+Status MarsRegressor::Fit(const math::Matrix& x, const math::Vec& y) {
+  if (x.rows() != y.size() || x.rows() < 4) {
+    return Status::InvalidArgument("MARS: bad training data");
+  }
+  const size_t n = x.rows();
+  const size_t p = x.cols();
+
+  // Candidate knots: interior quantiles per feature.
+  std::vector<Hinge> candidates;
+  for (size_t j = 0; j < p; ++j) {
+    math::Vec col = x.Col(j);
+    for (size_t q = 1; q <= params_.knots_per_feature; ++q) {
+      double knot = math::Quantile(
+          col, static_cast<double>(q) /
+                   static_cast<double>(params_.knots_per_feature + 1));
+      candidates.push_back({j, knot, true});
+      candidates.push_back({j, knot, false});
+    }
+  }
+
+  bases_.clear();
+  coef_.clear();
+  intercept_ = math::Mean(y);
+  double best_sse = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double d = y[i] - intercept_;
+    best_sse += d * d;
+  }
+
+  // Greedy forward pass, adding mirrored pairs.
+  std::vector<math::Vec> basis_columns;  // cached evaluations.
+  while (bases_.size() + 2 <= params_.max_terms) {
+    double round_best = best_sse - 1e-9;
+    int round_best_cand = -1;
+    math::Vec round_coef;
+    double round_intercept = 0.0;
+
+    for (size_t c = 0; c + 1 < candidates.size(); c += 2) {
+      // Candidate pair c (positive) and c+1 (negative) share a knot.
+      math::Matrix design(n, basis_columns.size() + 2);
+      for (size_t j = 0; j < basis_columns.size(); ++j) {
+        for (size_t i = 0; i < n; ++i) design(i, j) = basis_columns[j][i];
+      }
+      for (size_t i = 0; i < n; ++i) {
+        design(i, basis_columns.size()) = EvalHinge(candidates[c], x.Row(i));
+        design(i, basis_columns.size() + 1) =
+            EvalHinge(candidates[c + 1], x.Row(i));
+      }
+      math::Vec w;
+      double b0;
+      double sse = FitBasis(design, y, params_.ridge_lambda, &w, &b0);
+      if (sse < round_best) {
+        round_best = sse;
+        round_best_cand = static_cast<int>(c);
+        round_coef = w;
+        round_intercept = b0;
+      }
+    }
+
+    if (round_best_cand < 0) break;  // no improving pair.
+    size_t c = static_cast<size_t>(round_best_cand);
+    for (size_t k = 0; k < 2; ++k) {
+      bases_.push_back(candidates[c + k]);
+      math::Vec colv(n);
+      for (size_t i = 0; i < n; ++i) {
+        colv[i] = EvalHinge(candidates[c + k], x.Row(i));
+      }
+      basis_columns.push_back(std::move(colv));
+    }
+    coef_ = round_coef;
+    intercept_ = round_intercept;
+    best_sse = round_best;
+  }
+
+  // Backward pruning by GCV = SSE / (n * (1 - C(M)/n)^2), C(M) = 1 + 3M.
+  if (params_.prune && !bases_.empty()) {
+    auto gcv = [&](double sse, size_t terms) {
+      double cm = 1.0 + 3.0 * static_cast<double>(terms);
+      double denom = 1.0 - cm / static_cast<double>(n);
+      if (denom <= 0.0) return std::numeric_limits<double>::infinity();
+      return sse / (static_cast<double>(n) * denom * denom);
+    };
+    double best_gcv = gcv(best_sse, bases_.size());
+    bool improved = true;
+    while (improved && bases_.size() > 1) {
+      improved = false;
+      size_t drop = 0;
+      math::Vec drop_coef;
+      double drop_intercept = 0.0;
+      double drop_gcv = best_gcv;
+      for (size_t r = 0; r < bases_.size(); ++r) {
+        math::Matrix design(n, bases_.size() - 1);
+        size_t col = 0;
+        for (size_t j = 0; j < bases_.size(); ++j) {
+          if (j == r) continue;
+          for (size_t i = 0; i < n; ++i) {
+            design(i, col) = basis_columns[j][i];
+          }
+          ++col;
+        }
+        math::Vec w;
+        double b0;
+        double sse = FitBasis(design, y, params_.ridge_lambda, &w, &b0);
+        double g = gcv(sse, bases_.size() - 1);
+        if (g < drop_gcv) {
+          drop_gcv = g;
+          drop = r;
+          drop_coef = w;
+          drop_intercept = b0;
+          improved = true;
+        }
+      }
+      if (improved) {
+        bases_.erase(bases_.begin() + drop);
+        basis_columns.erase(basis_columns.begin() + drop);
+        coef_ = drop_coef;
+        intercept_ = drop_intercept;
+        best_gcv = drop_gcv;
+      }
+    }
+  }
+
+  fitted_ = true;
+  return Status::Ok();
+}
+
+double MarsRegressor::Predict(const math::Vec& x) const {
+  EADRL_CHECK(fitted_);
+  double s = intercept_;
+  for (size_t j = 0; j < bases_.size(); ++j) {
+    s += coef_[j] * EvalHinge(bases_[j], x);
+  }
+  return s;
+}
+
+}  // namespace eadrl::models

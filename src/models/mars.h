@@ -1,0 +1,49 @@
+#ifndef EADRL_MODELS_MARS_H_
+#define EADRL_MODELS_MARS_H_
+
+#include <vector>
+
+#include "models/regressor.h"
+
+namespace eadrl::models {
+
+/// Multivariate adaptive regression splines (Friedman 1991), additive
+/// (degree-1) form: a greedy forward pass adds mirrored hinge pairs
+/// max(0, x_j - c) / max(0, c - x_j) at quantile knots, refitting the whole
+/// basis with ridge after each addition; the pair with the best in-sample SSE
+/// wins. A backward pass prunes bases by generalized cross-validation.
+class MarsRegressor : public Regressor {
+ public:
+  struct Params {
+    size_t max_terms = 10;       ///< max hinge bases (excluding intercept).
+    size_t knots_per_feature = 8;
+    double ridge_lambda = 1e-4;
+    bool prune = true;
+  };
+
+  explicit MarsRegressor(Params params) : params_(params) {}
+
+  Status Fit(const math::Matrix& x, const math::Vec& y) override;
+  double Predict(const math::Vec& x) const override;
+
+  size_t num_bases() const { return bases_.size(); }
+
+ private:
+  struct Hinge {
+    size_t feature;
+    double knot;
+    bool positive;  // true: max(0, x - c); false: max(0, c - x).
+  };
+
+  static double EvalHinge(const Hinge& h, const math::Vec& x);
+
+  Params params_;
+  std::vector<Hinge> bases_;
+  math::Vec coef_;       // one per basis.
+  double intercept_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace eadrl::models
+
+#endif  // EADRL_MODELS_MARS_H_

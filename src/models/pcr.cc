@@ -1,0 +1,183 @@
+#include "models/pcr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "math/linalg.h"
+#include "math/stats.h"
+#include "math/vec.h"
+
+namespace eadrl::models {
+
+Status PcrRegressor::Fit(const math::Matrix& x, const math::Vec& y) {
+  if (x.rows() != y.size() || x.rows() < 3) {
+    return Status::InvalidArgument("PCR: bad training data");
+  }
+  const size_t n = x.rows(), p = x.cols();
+  const size_t k = std::min(num_components_, p);
+
+  feature_mean_.assign(p, 0.0);
+  feature_scale_.assign(p, 1.0);
+  for (size_t j = 0; j < p; ++j) {
+    math::Vec col = x.Col(j);
+    feature_mean_[j] = math::Mean(col);
+    double sd = math::Stddev(col);
+    feature_scale_[j] = sd > 1e-12 ? sd : 1.0;
+  }
+
+  math::Matrix z(n, p);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < p; ++j) {
+      z(i, j) = (x(i, j) - feature_mean_[j]) / feature_scale_[j];
+    }
+  }
+
+  // Covariance and eigendecomposition.
+  math::Matrix cov(p, p);
+  for (size_t a = 0; a < p; ++a) {
+    for (size_t b = a; b < p; ++b) {
+      double s = 0.0;
+      for (size_t i = 0; i < n; ++i) s += z(i, a) * z(i, b);
+      s /= static_cast<double>(n - 1);
+      cov(a, b) = s;
+      cov(b, a) = s;
+    }
+  }
+  StatusOr<math::EigenResult> eig = math::JacobiEigenSymmetric(cov);
+  EADRL_RETURN_IF_ERROR(eig.status());
+
+  components_ = math::Matrix(p, k);
+  for (size_t j = 0; j < k; ++j) {
+    for (size_t i = 0; i < p; ++i) components_(i, j) = eig->vectors(i, j);
+  }
+
+  // Scores and OLS on scores.
+  math::Matrix scores = z.MatMul(components_);
+  double y_mean = math::Mean(y);
+  math::Vec yc(n);
+  for (size_t i = 0; i < n; ++i) yc[i] = y[i] - y_mean;
+  StatusOr<math::Vec> w = math::SolveRidge(scores, yc, 1e-8);
+  EADRL_RETURN_IF_ERROR(w.status());
+  coef_ = std::move(w).value();
+  intercept_ = y_mean;
+  fitted_ = true;
+  return Status::Ok();
+}
+
+double PcrRegressor::Predict(const math::Vec& x) const {
+  EADRL_CHECK(fitted_);
+  const size_t p = feature_mean_.size();
+  EADRL_CHECK_EQ(x.size(), p);
+  math::Vec z(p);
+  for (size_t j = 0; j < p; ++j) {
+    z[j] = (x[j] - feature_mean_[j]) / feature_scale_[j];
+  }
+  double s = intercept_;
+  for (size_t c = 0; c < components_.cols(); ++c) {
+    double score = 0.0;
+    for (size_t j = 0; j < p; ++j) score += z[j] * components_(j, c);
+    s += coef_[c] * score;
+  }
+  return s;
+}
+
+Status PlsRegressor::Fit(const math::Matrix& x, const math::Vec& y) {
+  if (x.rows() != y.size() || x.rows() < 3) {
+    return Status::InvalidArgument("PLS: bad training data");
+  }
+  const size_t n = x.rows(), p = x.cols();
+  const size_t k = std::min(num_components_, p);
+
+  feature_mean_.assign(p, 0.0);
+  feature_scale_.assign(p, 1.0);
+  for (size_t j = 0; j < p; ++j) {
+    math::Vec col = x.Col(j);
+    feature_mean_[j] = math::Mean(col);
+    double sd = math::Stddev(col);
+    feature_scale_[j] = sd > 1e-12 ? sd : 1.0;
+  }
+  double y_mean = math::Mean(y);
+
+  math::Matrix e(n, p);  // deflated standardized X.
+  math::Vec f(n);        // deflated y.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < p; ++j) {
+      e(i, j) = (x(i, j) - feature_mean_[j]) / feature_scale_[j];
+    }
+    f[i] = y[i] - y_mean;
+  }
+
+  // NIPALS PLS1: accumulate the regression vector directly.
+  coef_.assign(p, 0.0);
+  math::Matrix w_mat(p, k), p_mat(p, k);
+  math::Vec q_vec(k, 0.0);
+  size_t extracted = 0;
+  for (size_t c = 0; c < k; ++c) {
+    math::Vec w = e.TransposeMatVec(f);
+    double wn = math::Norm2(w);
+    if (wn <= 1e-12) break;
+    for (double& v : w) v /= wn;
+
+    math::Vec t = e.MatVec(w);
+    double tt = math::Dot(t, t);
+    if (tt <= 1e-12) break;
+
+    math::Vec pl = e.TransposeMatVec(t);
+    for (double& v : pl) v /= tt;
+    double q = math::Dot(f, t) / tt;
+
+    for (size_t j = 0; j < p; ++j) {
+      w_mat(j, c) = w[j];
+      p_mat(j, c) = pl[j];
+    }
+    q_vec[c] = q;
+    ++extracted;
+
+    // Deflation.
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < p; ++j) e(i, j) -= t[i] * pl[j];
+      f[i] -= q * t[i];
+    }
+  }
+  if (extracted == 0) {
+    // Degenerate (e.g. constant target): intercept-only model.
+    coef_.assign(p, 0.0);
+    intercept_ = y_mean;
+    fitted_ = true;
+    return Status::Ok();
+  }
+
+  // B = W (P^T W)^{-1} q, using the first `extracted` components.
+  math::Matrix ptw(extracted, extracted);
+  for (size_t a = 0; a < extracted; ++a) {
+    for (size_t b = 0; b < extracted; ++b) {
+      double s = 0.0;
+      for (size_t j = 0; j < p; ++j) s += p_mat(j, a) * w_mat(j, b);
+      ptw(a, b) = s;
+    }
+  }
+  math::Vec q_trunc(q_vec.begin(), q_vec.begin() + extracted);
+  StatusOr<math::Vec> sol = math::LuSolve(ptw, q_trunc);
+  EADRL_RETURN_IF_ERROR(sol.status());
+  for (size_t j = 0; j < p; ++j) {
+    double s = 0.0;
+    for (size_t c = 0; c < extracted; ++c) s += w_mat(j, c) * (*sol)[c];
+    coef_[j] = s;
+  }
+
+  intercept_ = y_mean;
+  fitted_ = true;
+  return Status::Ok();
+}
+
+double PlsRegressor::Predict(const math::Vec& x) const {
+  EADRL_CHECK(fitted_);
+  double s = intercept_;
+  for (size_t j = 0; j < coef_.size(); ++j) {
+    s += coef_[j] * (x[j] - feature_mean_[j]) / feature_scale_[j];
+  }
+  return s;
+}
+
+}  // namespace eadrl::models

@@ -1,0 +1,54 @@
+#ifndef EADRL_MODELS_PCR_H_
+#define EADRL_MODELS_PCR_H_
+
+#include "math/matrix.h"
+#include "models/regressor.h"
+
+namespace eadrl::models {
+
+/// Principal component regression: PCA on standardized features (symmetric
+/// Jacobi eigendecomposition of the covariance), followed by ordinary least
+/// squares on the leading `num_components` scores.
+class PcrRegressor : public Regressor {
+ public:
+  explicit PcrRegressor(size_t num_components)
+      : num_components_(num_components) {}
+
+  Status Fit(const math::Matrix& x, const math::Vec& y) override;
+  double Predict(const math::Vec& x) const override;
+
+  size_t effective_components() const { return components_.cols(); }
+
+ private:
+  size_t num_components_;
+  math::Vec feature_mean_;
+  math::Vec feature_scale_;
+  math::Matrix components_;  // p x k, columns = principal directions.
+  math::Vec coef_;           // k coefficients on scores.
+  double intercept_ = 0.0;
+  bool fitted_ = false;
+};
+
+/// Partial least squares regression (PLS1, NIPALS algorithm): extracts
+/// components that maximize covariance with the target, then regresses on
+/// the latent scores.
+class PlsRegressor : public Regressor {
+ public:
+  explicit PlsRegressor(size_t num_components)
+      : num_components_(num_components) {}
+
+  Status Fit(const math::Matrix& x, const math::Vec& y) override;
+  double Predict(const math::Vec& x) const override;
+
+ private:
+  size_t num_components_;
+  math::Vec feature_mean_;
+  math::Vec feature_scale_;
+  math::Vec coef_;  // final regression vector in standardized feature space.
+  double intercept_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace eadrl::models
+
+#endif  // EADRL_MODELS_PCR_H_

@@ -1,0 +1,117 @@
+#include "models/ppr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "math/linalg.h"
+#include "math/stats.h"
+#include "math/vec.h"
+
+namespace eadrl::models {
+
+Status BinnedSmoother::Fit(const math::Vec& x, const math::Vec& y) {
+  if (x.size() != y.size() || x.empty()) {
+    return Status::InvalidArgument("BinnedSmoother: bad data");
+  }
+  const size_t n = x.size();
+  const size_t bins = std::min(bins_, n);
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return x[a] < x[b]; });
+
+  centers_.clear();
+  values_.clear();
+  size_t per_bin = n / bins;
+  for (size_t b = 0; b < bins; ++b) {
+    size_t begin = b * per_bin;
+    size_t end = (b + 1 == bins) ? n : (b + 1) * per_bin;
+    if (begin >= end) continue;
+    double cx = 0.0, cy = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      cx += x[order[i]];
+      cy += y[order[i]];
+    }
+    double cnt = static_cast<double>(end - begin);
+    centers_.push_back(cx / cnt);
+    values_.push_back(cy / cnt);
+  }
+  if (centers_.empty()) {
+    return Status::Internal("BinnedSmoother: no bins produced");
+  }
+  return Status::Ok();
+}
+
+double BinnedSmoother::Predict(double x) const {
+  EADRL_CHECK(!centers_.empty());
+  if (x <= centers_.front()) return values_.front();
+  if (x >= centers_.back()) return values_.back();
+  // Linear interpolation between the neighboring bin centers.
+  auto it = std::upper_bound(centers_.begin(), centers_.end(), x);
+  size_t hi = static_cast<size_t>(it - centers_.begin());
+  size_t lo = hi - 1;
+  double span = centers_[hi] - centers_[lo];
+  if (span <= 0.0) return values_[lo];
+  double frac = (x - centers_[lo]) / span;
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+Status PprRegressor::Fit(const math::Matrix& x, const math::Vec& y) {
+  if (x.rows() != y.size() || x.rows() == 0) {
+    return Status::InvalidArgument("PPR: bad training data");
+  }
+  const size_t n = x.rows();
+  y_mean_ = math::Mean(y);
+  math::Vec residual(n);
+  for (size_t i = 0; i < n; ++i) residual[i] = y[i] - y_mean_;
+
+  terms_.clear();
+  for (size_t m = 0; m < params_.num_terms; ++m) {
+    StatusOr<math::Vec> dir =
+        math::SolveRidge(x, residual, params_.ridge_lambda);
+    EADRL_RETURN_IF_ERROR(dir.status());
+    double norm = math::Norm2(*dir);
+    if (norm <= 1e-10) break;  // residual no longer explainable linearly.
+    Term term;
+    term.direction = math::Scale(*dir, 1.0 / norm);
+    term.smoother = BinnedSmoother(params_.smoother_bins);
+
+    math::Vec proj = x.MatVec(term.direction);
+    EADRL_RETURN_IF_ERROR(term.smoother.Fit(proj, residual));
+    for (size_t i = 0; i < n; ++i) {
+      residual[i] -= term.smoother.Predict(proj[i]);
+    }
+    terms_.push_back(std::move(term));
+  }
+
+  // Backfitting: cyclically refit each smoother against the residual that
+  // excludes its own contribution.
+  for (size_t pass = 0; pass < params_.backfit_passes; ++pass) {
+    for (Term& term : terms_) {
+      math::Vec proj = x.MatVec(term.direction);
+      for (size_t i = 0; i < n; ++i) {
+        residual[i] += term.smoother.Predict(proj[i]);
+      }
+      EADRL_RETURN_IF_ERROR(term.smoother.Fit(proj, residual));
+      for (size_t i = 0; i < n; ++i) {
+        residual[i] -= term.smoother.Predict(proj[i]);
+      }
+    }
+  }
+  fitted_ = true;
+  return Status::Ok();
+}
+
+double PprRegressor::Predict(const math::Vec& x) const {
+  EADRL_CHECK(fitted_);
+  double s = y_mean_;
+  for (const Term& term : terms_) {
+    s += term.smoother.Predict(math::Dot(term.direction, x));
+  }
+  return s;
+}
+
+}  // namespace eadrl::models

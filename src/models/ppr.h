@@ -1,0 +1,56 @@
+#ifndef EADRL_MODELS_PPR_H_
+#define EADRL_MODELS_PPR_H_
+
+#include <vector>
+
+#include "models/regressor.h"
+
+namespace eadrl::models {
+
+/// 1-D binned piecewise-linear smoother used by PPR ridge functions.
+class BinnedSmoother {
+ public:
+  explicit BinnedSmoother(size_t bins = 12) : bins_(bins) {}
+
+  Status Fit(const math::Vec& x, const math::Vec& y);
+  double Predict(double x) const;
+
+ private:
+  size_t bins_;
+  math::Vec centers_;
+  math::Vec values_;
+};
+
+/// Projection pursuit regression (Friedman & Stuetzle 1981), additive form:
+/// y = mean + sum_m g_m(w_m . x). Each stage projects the residual on a
+/// ridge-regression direction and fits a 1-D smoother; stages are applied
+/// greedily with optional backfitting passes.
+class PprRegressor : public Regressor {
+ public:
+  struct Params {
+    size_t num_terms = 3;
+    size_t smoother_bins = 12;
+    size_t backfit_passes = 1;
+    double ridge_lambda = 1e-3;
+  };
+
+  explicit PprRegressor(Params params) : params_(params) {}
+
+  Status Fit(const math::Matrix& x, const math::Vec& y) override;
+  double Predict(const math::Vec& x) const override;
+
+ private:
+  struct Term {
+    math::Vec direction;
+    BinnedSmoother smoother{12};
+  };
+
+  Params params_;
+  double y_mean_ = 0.0;
+  std::vector<Term> terms_;
+  bool fitted_ = false;
+};
+
+}  // namespace eadrl::models
+
+#endif  // EADRL_MODELS_PPR_H_

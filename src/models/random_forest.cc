@@ -1,0 +1,46 @@
+#include "models/random_forest.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace eadrl::models {
+
+RandomForestRegressor::RandomForestRegressor(Params params)
+    : params_(params), rng_(params.seed) {
+  EADRL_CHECK_GT(params_.num_trees, 0u);
+}
+
+Status RandomForestRegressor::Fit(const math::Matrix& x, const math::Vec& y) {
+  if (x.rows() != y.size() || x.rows() == 0) {
+    return Status::InvalidArgument("RandomForest: bad training data");
+  }
+  trees_.clear();
+  TreeParams tp = params_.tree;
+  if (tp.max_features == 0) {
+    // Default per-split subsampling: ceil(sqrt(p)).
+    tp.max_features = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(x.cols()))));
+  }
+  const size_t n = x.rows();
+  const size_t sample_n = std::max<size_t>(
+      1, static_cast<size_t>(params_.sample_fraction * static_cast<double>(n)));
+
+  for (size_t t = 0; t < params_.num_trees; ++t) {
+    std::vector<size_t> bootstrap(sample_n);
+    for (size_t i = 0; i < sample_n; ++i) bootstrap[i] = rng_.Index(n);
+    auto tree = std::make_unique<RegressionTree>(tp, &rng_);
+    EADRL_RETURN_IF_ERROR(tree->FitSubset(x, y, bootstrap));
+    trees_.push_back(std::move(tree));
+  }
+  return Status::Ok();
+}
+
+double RandomForestRegressor::Predict(const math::Vec& x) const {
+  EADRL_CHECK(!trees_.empty());
+  double s = 0.0;
+  for (const auto& tree : trees_) s += tree->Predict(x);
+  return s / static_cast<double>(trees_.size());
+}
+
+}  // namespace eadrl::models

@@ -1,0 +1,39 @@
+#ifndef EADRL_MODELS_RANDOM_FOREST_H_
+#define EADRL_MODELS_RANDOM_FOREST_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "models/tree.h"
+
+namespace eadrl::models {
+
+/// Random-forest regressor (Breiman 1996/2001): bagged CART trees with
+/// per-split feature subsampling; predictions are averaged.
+class RandomForestRegressor : public Regressor {
+ public:
+  struct Params {
+    size_t num_trees = 25;
+    TreeParams tree;
+    /// Bootstrap sample fraction of the training set.
+    double sample_fraction = 1.0;
+    uint64_t seed = 42;
+  };
+
+  explicit RandomForestRegressor(Params params);
+
+  Status Fit(const math::Matrix& x, const math::Vec& y) override;
+  double Predict(const math::Vec& x) const override;
+
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  Params params_;
+  std::vector<std::unique_ptr<RegressionTree>> trees_;
+  Rng rng_;
+};
+
+}  // namespace eadrl::models
+
+#endif  // EADRL_MODELS_RANDOM_FOREST_H_

@@ -1,0 +1,51 @@
+#include "models/regression_forecaster.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "ts/embedding.h"
+
+namespace eadrl::models {
+
+RegressionForecaster::RegressionForecaster(
+    std::string name, size_t k, std::unique_ptr<Regressor> regressor)
+    : name_(std::move(name)), k_(k), regressor_(std::move(regressor)) {
+  EADRL_CHECK_GT(k_, 0u);
+  EADRL_CHECK(regressor_ != nullptr);
+}
+
+Status RegressionForecaster::Fit(const ts::Series& train) {
+  if (train.size() < k_ + 2) {
+    return Status::InvalidArgument(
+        "RegressionForecaster: training series too short");
+  }
+  scaler_.Fit(train.values());
+  math::Vec scaled = scaler_.Transform(train.values());
+
+  StatusOr<ts::SupervisedData> data = ts::DelayEmbed(scaled, k_);
+  EADRL_RETURN_IF_ERROR(data.status());
+  EADRL_RETURN_IF_ERROR(regressor_->Fit(data->x, data->y));
+
+  window_.assign(train.values().end() - static_cast<ptrdiff_t>(k_),
+                 train.values().end());
+  fitted_ = true;
+  return Status::Ok();
+}
+
+double RegressionForecaster::PredictNext() {
+  EADRL_CHECK(fitted_);
+  math::Vec features(k_);
+  for (size_t i = 0; i < k_; ++i) features[i] = scaler_.Transform(window_[i]);
+  double pred_scaled = regressor_->Predict(features);
+  double pred = scaler_.Inverse(pred_scaled);
+  if (!std::isfinite(pred)) pred = window_.back();  // defensive fallback.
+  return pred;
+}
+
+void RegressionForecaster::Observe(double value) {
+  EADRL_CHECK(fitted_);
+  window_.push_back(value);
+  window_.pop_front();
+}
+
+}  // namespace eadrl::models

@@ -1,0 +1,38 @@
+#ifndef EADRL_MODELS_REGRESSION_FORECASTER_H_
+#define EADRL_MODELS_REGRESSION_FORECASTER_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "models/forecaster.h"
+#include "models/regressor.h"
+#include "ts/scaler.h"
+
+namespace eadrl::models {
+
+/// Adapts a tabular `Regressor` into a one-step-ahead `Forecaster` via delay
+/// embedding with dimension k: features are the k most recent (standardized)
+/// values, the target the next value.
+class RegressionForecaster : public Forecaster {
+ public:
+  RegressionForecaster(std::string name, size_t k,
+                       std::unique_ptr<Regressor> regressor);
+
+  const std::string& name() const override { return name_; }
+  Status Fit(const ts::Series& train) override;
+  double PredictNext() override;
+  void Observe(double value) override;
+
+ private:
+  std::string name_;
+  size_t k_;
+  std::unique_ptr<Regressor> regressor_;
+  ts::StandardScaler scaler_;
+  std::deque<double> window_;  // last k raw values.
+  bool fitted_ = false;
+};
+
+}  // namespace eadrl::models
+
+#endif  // EADRL_MODELS_REGRESSION_FORECASTER_H_

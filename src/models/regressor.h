@@ -1,0 +1,25 @@
+#ifndef EADRL_MODELS_REGRESSOR_H_
+#define EADRL_MODELS_REGRESSOR_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "math/matrix.h"
+#include "math/vec.h"
+
+namespace eadrl::models {
+
+/// Generic tabular regressor trained on (X, y). The pool applies regressors
+/// to time series through delay embedding (paper Sec. III: "Regression models
+/// ... are applied after using time series embedding to dimension k").
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  virtual Status Fit(const math::Matrix& x, const math::Vec& y) = 0;
+  virtual double Predict(const math::Vec& x) const = 0;
+};
+
+}  // namespace eadrl::models
+
+#endif  // EADRL_MODELS_REGRESSOR_H_

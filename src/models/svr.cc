@@ -1,0 +1,85 @@
+#include "models/svr.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace eadrl::models {
+
+SvrRegressor::SvrRegressor(Params params) : params_(params) {
+  EADRL_CHECK_GT(params_.c, 0.0);
+  EADRL_CHECK_GE(params_.epsilon, 0.0);
+}
+
+math::Vec SvrRegressor::MapFeatures(const math::Vec& x) const {
+  if (params_.rff_features == 0) return x;
+  // Random Fourier features: sqrt(2/D) * cos(Wx + b).
+  math::Vec z = rff_w_.MatVec(x);
+  double scale = std::sqrt(2.0 / static_cast<double>(params_.rff_features));
+  for (size_t i = 0; i < z.size(); ++i) {
+    z[i] = scale * std::cos(z[i] + rff_b_[i]);
+  }
+  return z;
+}
+
+Status SvrRegressor::Fit(const math::Matrix& x, const math::Vec& y) {
+  if (x.rows() != y.size() || x.rows() == 0) {
+    return Status::InvalidArgument("SVR: bad training data");
+  }
+  Rng rng(params_.seed);
+  const size_t input_dim = x.cols();
+  if (params_.rff_features > 0) {
+    rff_w_ = math::Matrix(params_.rff_features, input_dim);
+    rff_b_.resize(params_.rff_features);
+    for (double& v : rff_w_.data()) {
+      v = rng.Normal(0.0, 1.0 / params_.rff_length_scale);
+    }
+    for (double& v : rff_b_) v = rng.Uniform(0.0, 2.0 * M_PI);
+  }
+
+  const size_t dim = params_.rff_features > 0 ? params_.rff_features
+                                              : input_dim;
+  weights_.assign(dim, 0.0);
+  bias_ = 0.0;
+  const double lambda = 1.0 / (params_.c * static_cast<double>(x.rows()));
+
+  std::vector<size_t> order(x.rows());
+  std::iota(order.begin(), order.end(), 0u);
+
+  long long step = 0;
+  for (size_t epoch = 0; epoch < params_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t idx : order) {
+      ++step;
+      double lr = params_.learning_rate /
+                  (1.0 + 0.01 * static_cast<double>(step) *
+                             params_.learning_rate);
+      math::Vec phi = MapFeatures(x.Row(idx));
+      double pred = bias_ + math::Dot(weights_, phi);
+      double err = pred - y[idx];
+
+      // Subgradient of epsilon-insensitive loss + L2 regularizer.
+      double g = 0.0;
+      if (err > params_.epsilon) {
+        g = 1.0;
+      } else if (err < -params_.epsilon) {
+        g = -1.0;
+      }
+      for (size_t j = 0; j < dim; ++j) {
+        weights_[j] -= lr * (g * phi[j] + lambda * weights_[j]);
+      }
+      bias_ -= lr * g;
+    }
+  }
+  fitted_ = true;
+  return Status::Ok();
+}
+
+double SvrRegressor::Predict(const math::Vec& x) const {
+  EADRL_CHECK(fitted_);
+  math::Vec phi = MapFeatures(x);
+  return bias_ + math::Dot(weights_, phi);
+}
+
+}  // namespace eadrl::models

@@ -1,0 +1,45 @@
+#ifndef EADRL_MODELS_SVR_H_
+#define EADRL_MODELS_SVR_H_
+
+#include "common/rng.h"
+#include "math/matrix.h"
+#include "models/regressor.h"
+
+namespace eadrl::models {
+
+/// Support vector regression trained in the primal with stochastic
+/// subgradient descent on the epsilon-insensitive loss (Drucker et al. 1997;
+/// Pegasos-style optimization). An optional random-Fourier-feature map
+/// (Rahimi & Recht 2007) approximates an RBF kernel; with
+/// `rff_features == 0` the model is linear.
+class SvrRegressor : public Regressor {
+ public:
+  struct Params {
+    double c = 1.0;           ///< inverse regularization strength.
+    double epsilon = 0.01;    ///< insensitivity tube half-width.
+    size_t epochs = 40;
+    double learning_rate = 0.05;
+    size_t rff_features = 0;  ///< 0 = linear SVR.
+    double rff_length_scale = 1.0;
+    uint64_t seed = 42;
+  };
+
+  explicit SvrRegressor(Params params);
+
+  Status Fit(const math::Matrix& x, const math::Vec& y) override;
+  double Predict(const math::Vec& x) const override;
+
+ private:
+  math::Vec MapFeatures(const math::Vec& x) const;
+
+  Params params_;
+  math::Matrix rff_w_;   // rff_features x input_dim
+  math::Vec rff_b_;
+  math::Vec weights_;
+  double bias_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace eadrl::models
+
+#endif  // EADRL_MODELS_SVR_H_

@@ -1,0 +1,130 @@
+#include "models/tree.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace eadrl::models {
+
+Status RegressionTree::Fit(const math::Matrix& x, const math::Vec& y) {
+  std::vector<size_t> indices(x.rows());
+  std::iota(indices.begin(), indices.end(), 0u);
+  return FitSubset(x, y, indices);
+}
+
+Status RegressionTree::FitSubset(const math::Matrix& x, const math::Vec& y,
+                                 const std::vector<size_t>& indices) {
+  if (x.rows() != y.size()) {
+    return Status::InvalidArgument("RegressionTree: X/y size mismatch");
+  }
+  if (indices.empty()) {
+    return Status::InvalidArgument("RegressionTree: no training samples");
+  }
+  nodes_.clear();
+  std::vector<size_t> work = indices;
+  Build(x, y, work, 0, work.size(), 0);
+  return Status::Ok();
+}
+
+int RegressionTree::Build(const math::Matrix& x, const math::Vec& y,
+                          std::vector<size_t>& indices, size_t begin,
+                          size_t end, size_t depth) {
+  const size_t n = end - begin;
+  EADRL_CHECK_GT(n, 0u);
+
+  double sum = 0.0, sum_sq = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    sum += y[indices[i]];
+    sum_sq += y[indices[i]] * y[indices[i]];
+  }
+  double mean = sum / static_cast<double>(n);
+  double sse = sum_sq - sum * mean;
+
+  int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[node_id].value = mean;
+
+  if (depth >= params_.max_depth || n < 2 * params_.min_samples_leaf ||
+      sse <= 1e-12) {
+    return node_id;
+  }
+
+  // Candidate features: all, or a random subset for forests.
+  std::vector<size_t> features(x.cols());
+  std::iota(features.begin(), features.end(), 0u);
+  if (params_.max_features > 0 && params_.max_features < x.cols()) {
+    EADRL_CHECK(rng_ != nullptr);
+    features = rng_->SampleWithoutReplacement(x.cols(), params_.max_features);
+  }
+
+  // Best split by variance reduction: for each feature sort the index range
+  // by feature value and scan prefix sums.
+  double best_gain = 1e-12;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::vector<size_t> sorted(indices.begin() + begin, indices.begin() + end);
+  for (size_t f : features) {
+    std::sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
+      return x(a, f) < x(b, f);
+    });
+    double left_sum = 0.0, left_sq = 0.0;
+    for (size_t i = 0; i + 1 < n; ++i) {
+      double yi = y[sorted[i]];
+      left_sum += yi;
+      left_sq += yi * yi;
+      size_t left_n = i + 1;
+      size_t right_n = n - left_n;
+      if (left_n < params_.min_samples_leaf ||
+          right_n < params_.min_samples_leaf) {
+        continue;
+      }
+      double xv = x(sorted[i], f);
+      double xn = x(sorted[i + 1], f);
+      if (xv == xn) continue;  // cannot split between equal values.
+      double right_sum = sum - left_sum;
+      double right_sq = sum_sq - left_sq;
+      double left_sse = left_sq - left_sum * left_sum / left_n;
+      double right_sse = right_sq - right_sum * right_sum / right_n;
+      double gain = sse - left_sse - right_sse;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (xv + xn);
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;
+
+  // Partition the index range in place.
+  auto mid_it = std::partition(
+      indices.begin() + begin, indices.begin() + end, [&](size_t idx) {
+        return x(idx, static_cast<size_t>(best_feature)) <= best_threshold;
+      });
+  size_t mid = static_cast<size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) return node_id;  // degenerate partition.
+
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  int left = Build(x, y, indices, begin, mid, depth + 1);
+  int right = Build(x, y, indices, mid, end, depth + 1);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+double RegressionTree::Predict(const math::Vec& x) const {
+  EADRL_CHECK(!nodes_.empty());
+  int cur = 0;
+  while (nodes_[cur].feature >= 0) {
+    const Node& node = nodes_[cur];
+    cur = x[static_cast<size_t>(node.feature)] <= node.threshold ? node.left
+                                                                 : node.right;
+  }
+  return nodes_[cur].value;
+}
+
+}  // namespace eadrl::models

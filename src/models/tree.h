@@ -1,0 +1,60 @@
+#ifndef EADRL_MODELS_TREE_H_
+#define EADRL_MODELS_TREE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "math/matrix.h"
+#include "math/vec.h"
+#include "models/regressor.h"
+
+namespace eadrl::models {
+
+/// Hyper-parameters for a CART regression tree.
+struct TreeParams {
+  size_t max_depth = 8;
+  size_t min_samples_leaf = 3;
+  /// Number of features considered per split; 0 means all.
+  size_t max_features = 0;
+};
+
+/// CART regression tree with variance-reduction splits. Serves as the base
+/// learner for the DT base model, Random Forest and GBM.
+class RegressionTree : public Regressor {
+ public:
+  explicit RegressionTree(TreeParams params, Rng* rng = nullptr)
+      : params_(params), rng_(rng) {}
+
+  Status Fit(const math::Matrix& x, const math::Vec& y) override;
+
+  /// Fits using only the given sample indices (bootstrap support).
+  Status FitSubset(const math::Matrix& x, const math::Vec& y,
+                   const std::vector<size_t>& indices);
+
+  double Predict(const math::Vec& x) const override;
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int feature = -1;  // -1 => leaf.
+    double threshold = 0.0;
+    double value = 0.0;  // leaf prediction.
+    int left = -1;
+    int right = -1;
+  };
+
+  int Build(const math::Matrix& x, const math::Vec& y,
+            std::vector<size_t>& indices, size_t begin, size_t end,
+            size_t depth);
+
+  TreeParams params_;
+  Rng* rng_;  // optional; required if max_features > 0.
+  std::vector<Node> nodes_;
+};
+
+}  // namespace eadrl::models
+
+#endif  // EADRL_MODELS_TREE_H_

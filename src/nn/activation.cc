@@ -1,0 +1,56 @@
+#include "nn/activation.h"
+
+#include <cmath>
+
+namespace eadrl::nn {
+
+double SigmoidScalar(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+double TanhScalar(double x) { return std::tanh(x); }
+
+math::Vec ApplyActivation(Activation act, const math::Vec& z) {
+  math::Vec out(z.size());
+  switch (act) {
+    case Activation::kIdentity:
+      out = z;
+      break;
+    case Activation::kRelu:
+      for (size_t i = 0; i < z.size(); ++i) out[i] = z[i] > 0.0 ? z[i] : 0.0;
+      break;
+    case Activation::kTanh:
+      for (size_t i = 0; i < z.size(); ++i) out[i] = std::tanh(z[i]);
+      break;
+    case Activation::kSigmoid:
+      for (size_t i = 0; i < z.size(); ++i) out[i] = SigmoidScalar(z[i]);
+      break;
+  }
+  return out;
+}
+
+math::Vec ActivationDerivative(Activation act, const math::Vec& z) {
+  math::Vec out(z.size());
+  switch (act) {
+    case Activation::kIdentity:
+      for (double& v : out) v = 1.0;
+      break;
+    case Activation::kRelu:
+      for (size_t i = 0; i < z.size(); ++i) out[i] = z[i] > 0.0 ? 1.0 : 0.0;
+      break;
+    case Activation::kTanh: {
+      for (size_t i = 0; i < z.size(); ++i) {
+        double t = std::tanh(z[i]);
+        out[i] = 1.0 - t * t;
+      }
+      break;
+    }
+    case Activation::kSigmoid: {
+      for (size_t i = 0; i < z.size(); ++i) {
+        double s = SigmoidScalar(z[i]);
+        out[i] = s * (1.0 - s);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace eadrl::nn

@@ -1,0 +1,23 @@
+#ifndef EADRL_NN_ACTIVATION_H_
+#define EADRL_NN_ACTIVATION_H_
+
+#include "math/vec.h"
+
+namespace eadrl::nn {
+
+/// Elementwise activation functions used by dense and recurrent layers.
+enum class Activation { kIdentity, kRelu, kTanh, kSigmoid };
+
+/// Applies the activation elementwise.
+math::Vec ApplyActivation(Activation act, const math::Vec& z);
+
+/// Derivative of the activation evaluated at pre-activation z (elementwise).
+math::Vec ActivationDerivative(Activation act, const math::Vec& z);
+
+/// Scalar helpers (used by LSTM cells).
+double SigmoidScalar(double x);
+double TanhScalar(double x);
+
+}  // namespace eadrl::nn
+
+#endif  // EADRL_NN_ACTIVATION_H_

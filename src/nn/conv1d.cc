@@ -1,0 +1,74 @@
+#include "nn/conv1d.h"
+
+#include "common/check.h"
+#include "nn/init.h"
+
+namespace eadrl::nn {
+
+Conv1d::Conv1d(size_t in_channels, size_t out_channels, size_t kernel_size,
+               Activation act, Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_size_(kernel_size),
+      act_(act),
+      kernel_(out_channels, kernel_size * in_channels),
+      bias_(out_channels, 1) {
+  EADRL_CHECK_GT(kernel_size, 0u);
+  XavierInit(&kernel_.value, kernel_size * in_channels, out_channels, rng);
+}
+
+math::Matrix Conv1d::Forward(const math::Matrix& input) {
+  EADRL_CHECK_EQ(input.cols(), in_channels_);
+  EADRL_CHECK_GE(input.rows(), kernel_size_);
+  const size_t out_t = input.rows() - kernel_size_ + 1;
+  last_input_ = input;
+  last_pre_activation_ = math::Matrix(out_t, out_channels_);
+
+  for (size_t t = 0; t < out_t; ++t) {
+    for (size_t oc = 0; oc < out_channels_; ++oc) {
+      double s = bias_.value(oc, 0);
+      for (size_t k = 0; k < kernel_size_; ++k) {
+        for (size_t ic = 0; ic < in_channels_; ++ic) {
+          s += kernel_.value(oc, k * in_channels_ + ic) * input(t + k, ic);
+        }
+      }
+      last_pre_activation_(t, oc) = s;
+    }
+  }
+
+  math::Matrix out = last_pre_activation_;
+  for (size_t i = 0; i < out.rows(); ++i) {
+    math::Vec row = ApplyActivation(act_, out.Row(i));
+    out.SetRow(i, row);
+  }
+  return out;
+}
+
+math::Matrix Conv1d::Backward(const math::Matrix& grad_output) {
+  const size_t out_t = last_pre_activation_.rows();
+  EADRL_CHECK_EQ(grad_output.rows(), out_t);
+  EADRL_CHECK_EQ(grad_output.cols(), out_channels_);
+
+  math::Matrix grad_input(last_input_.rows(), in_channels_);
+  for (size_t t = 0; t < out_t; ++t) {
+    math::Vec dact = ActivationDerivative(act_, last_pre_activation_.Row(t));
+    for (size_t oc = 0; oc < out_channels_; ++oc) {
+      double dz = grad_output(t, oc) * dact[oc];
+      if (dz == 0.0) continue;
+      bias_.grad(oc, 0) += dz;
+      for (size_t k = 0; k < kernel_size_; ++k) {
+        for (size_t ic = 0; ic < in_channels_; ++ic) {
+          kernel_.grad(oc, k * in_channels_ + ic) +=
+              dz * last_input_(t + k, ic);
+          grad_input(t + k, ic) +=
+              dz * kernel_.value(oc, k * in_channels_ + ic);
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Param*> Conv1d::Params() { return {&kernel_, &bias_}; }
+
+}  // namespace eadrl::nn

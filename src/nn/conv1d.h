@@ -1,0 +1,48 @@
+#ifndef EADRL_NN_CONV1D_H_
+#define EADRL_NN_CONV1D_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "math/matrix.h"
+#include "nn/activation.h"
+#include "nn/param.h"
+
+namespace eadrl::nn {
+
+/// 1-D convolution over a (time x channels) sequence with valid padding,
+/// followed by an elementwise activation. Used by the CNN-LSTM and Conv-LSTM
+/// forecasters.
+class Conv1d {
+ public:
+  Conv1d(size_t in_channels, size_t out_channels, size_t kernel_size,
+         Activation act, Rng& rng);
+
+  size_t in_channels() const { return in_channels_; }
+  size_t out_channels() const { return out_channels_; }
+  size_t kernel_size() const { return kernel_size_; }
+
+  /// `input` is T x in_channels; returns (T - kernel_size + 1) x out_channels.
+  math::Matrix Forward(const math::Matrix& input);
+
+  /// Backward from dL/d(output); accumulates parameter grads and returns
+  /// dL/d(input).
+  math::Matrix Backward(const math::Matrix& grad_output);
+
+  std::vector<Param*> Params();
+
+ private:
+  size_t in_channels_;
+  size_t out_channels_;
+  size_t kernel_size_;
+  Activation act_;
+  Param kernel_;  // out_channels x (kernel_size * in_channels)
+  Param bias_;    // out_channels x 1
+
+  math::Matrix last_input_;
+  math::Matrix last_pre_activation_;
+};
+
+}  // namespace eadrl::nn
+
+#endif  // EADRL_NN_CONV1D_H_

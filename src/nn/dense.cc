@@ -1,0 +1,52 @@
+#include "nn/dense.h"
+
+#include "common/check.h"
+#include "nn/init.h"
+
+namespace eadrl::nn {
+
+Dense::Dense(size_t in_dim, size_t out_dim, Activation act, Rng& rng)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      act_(act),
+      weight_(out_dim, in_dim),
+      bias_(out_dim, 1) {
+  XavierInit(&weight_.value, in_dim, out_dim, rng);
+}
+
+math::Vec Dense::Forward(const math::Vec& input) {
+  EADRL_CHECK_EQ(input.size(), in_dim_);
+  last_input_ = input;
+  last_pre_activation_ = weight_.value.MatVec(input);
+  for (size_t i = 0; i < out_dim_; ++i) {
+    last_pre_activation_[i] += bias_.value(i, 0);
+  }
+  return ApplyActivation(act_, last_pre_activation_);
+}
+
+math::Vec Dense::Backward(const math::Vec& grad_output) {
+  EADRL_CHECK_EQ(grad_output.size(), out_dim_);
+  EADRL_CHECK_EQ(last_input_.size(), in_dim_);
+
+  math::Vec dact = ActivationDerivative(act_, last_pre_activation_);
+  math::Vec dz(out_dim_);
+  for (size_t i = 0; i < out_dim_; ++i) dz[i] = grad_output[i] * dact[i];
+
+  for (size_t i = 0; i < out_dim_; ++i) {
+    bias_.grad(i, 0) += dz[i];
+    if (dz[i] == 0.0) continue;
+    for (size_t j = 0; j < in_dim_; ++j) {
+      weight_.grad(i, j) += dz[i] * last_input_[j];
+    }
+  }
+  return weight_.value.TransposeMatVec(dz);
+}
+
+std::vector<Param*> Dense::Params() { return {&weight_, &bias_}; }
+
+void Dense::ReinitUniform(double r, Rng& rng) {
+  UniformInit(&weight_.value, r, rng);
+  UniformInit(&bias_.value, r, rng);
+}
+
+}  // namespace eadrl::nn

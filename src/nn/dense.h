@@ -1,0 +1,54 @@
+#ifndef EADRL_NN_DENSE_H_
+#define EADRL_NN_DENSE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "math/matrix.h"
+#include "math/vec.h"
+#include "nn/activation.h"
+#include "nn/param.h"
+
+namespace eadrl::nn {
+
+/// Fully connected layer y = act(W x + b) with hand-written backprop.
+///
+/// Forward caches the input and pre-activation for the following Backward
+/// call; Backward accumulates parameter gradients (callers zero them via the
+/// optimizer) and returns the gradient with respect to the input.
+class Dense {
+ public:
+  Dense(size_t in_dim, size_t out_dim, Activation act, Rng& rng);
+
+  /// Forward pass for a single sample.
+  math::Vec Forward(const math::Vec& input);
+
+  /// Backward pass: `grad_output` is dL/dy; returns dL/dx and accumulates
+  /// dL/dW, dL/db. Must follow a Forward call with the matching input.
+  math::Vec Backward(const math::Vec& grad_output);
+
+  /// Trainable parameters: weight (out x in) and bias (out x 1).
+  std::vector<Param*> Params();
+
+  size_t in_dim() const { return in_dim_; }
+  size_t out_dim() const { return out_dim_; }
+  Activation activation() const { return act_; }
+
+  /// Reinitializes the weights uniformly in [-r, r] (DDPG output layers).
+  void ReinitUniform(double r, Rng& rng);
+
+ private:
+  size_t in_dim_;
+  size_t out_dim_;
+  Activation act_;
+  Param weight_;  // out x in
+  Param bias_;    // out x 1
+
+  // Caches from the last Forward call.
+  math::Vec last_input_;
+  math::Vec last_pre_activation_;
+};
+
+}  // namespace eadrl::nn
+
+#endif  // EADRL_NN_DENSE_H_

@@ -1,0 +1,121 @@
+#include "nn/lstm.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "nn/activation.h"
+#include "nn/init.h"
+
+namespace eadrl::nn {
+
+Lstm::Lstm(size_t input_size, size_t hidden_size, Rng& rng)
+    : input_size_(input_size),
+      hidden_size_(hidden_size),
+      w_(4 * hidden_size, input_size),
+      u_(4 * hidden_size, hidden_size),
+      b_(4 * hidden_size, 1) {
+  XavierInit(&w_.value, input_size + hidden_size, hidden_size, rng);
+  XavierInit(&u_.value, input_size + hidden_size, hidden_size, rng);
+  // Forget-gate bias of 1.0 helps gradient flow early in training.
+  for (size_t i = hidden_size_; i < 2 * hidden_size_; ++i) {
+    b_.value(i, 0) = 1.0;
+  }
+}
+
+std::vector<math::Vec> Lstm::Forward(const std::vector<math::Vec>& inputs) {
+  EADRL_CHECK(!inputs.empty());
+  cache_.clear();
+  cache_.reserve(inputs.size());
+
+  const size_t h = hidden_size_;
+  math::Vec h_prev(h, 0.0), c_prev(h, 0.0);
+  std::vector<math::Vec> hs;
+  hs.reserve(inputs.size());
+
+  for (const math::Vec& x : inputs) {
+    EADRL_CHECK_EQ(x.size(), input_size_);
+    math::Vec z = w_.value.MatVec(x);
+    math::Vec uz = u_.value.MatVec(h_prev);
+    for (size_t i = 0; i < 4 * h; ++i) z[i] += uz[i] + b_.value(i, 0);
+
+    StepCache sc;
+    sc.input = x;
+    sc.h_prev = h_prev;
+    sc.c_prev = c_prev;
+    sc.i.resize(h);
+    sc.f.resize(h);
+    sc.g.resize(h);
+    sc.o.resize(h);
+    sc.c.resize(h);
+    sc.tanh_c.resize(h);
+    math::Vec h_new(h);
+    for (size_t j = 0; j < h; ++j) {
+      sc.i[j] = SigmoidScalar(z[j]);
+      sc.f[j] = SigmoidScalar(z[h + j]);
+      sc.g[j] = TanhScalar(z[2 * h + j]);
+      sc.o[j] = SigmoidScalar(z[3 * h + j]);
+      sc.c[j] = sc.f[j] * c_prev[j] + sc.i[j] * sc.g[j];
+      sc.tanh_c[j] = TanhScalar(sc.c[j]);
+      h_new[j] = sc.o[j] * sc.tanh_c[j];
+    }
+    h_prev = h_new;
+    c_prev = sc.c;
+    hs.push_back(h_new);
+    cache_.push_back(std::move(sc));
+  }
+  return hs;
+}
+
+std::vector<math::Vec> Lstm::Backward(
+    const std::vector<math::Vec>& grad_hidden) {
+  EADRL_CHECK_EQ(grad_hidden.size(), cache_.size());
+  const size_t h = hidden_size_;
+  const size_t t_steps = cache_.size();
+
+  std::vector<math::Vec> grad_inputs(t_steps);
+  math::Vec dh_next(h, 0.0), dc_next(h, 0.0);
+
+  for (size_t tt = 0; tt < t_steps; ++tt) {
+    size_t t = t_steps - 1 - tt;
+    const StepCache& sc = cache_[t];
+
+    math::Vec dh(h);
+    for (size_t j = 0; j < h; ++j) dh[j] = grad_hidden[t][j] + dh_next[j];
+
+    math::Vec dz(4 * h);
+    math::Vec dc(h);
+    for (size_t j = 0; j < h; ++j) {
+      double d_o = dh[j] * sc.tanh_c[j];
+      dc[j] = dh[j] * sc.o[j] * (1.0 - sc.tanh_c[j] * sc.tanh_c[j]) +
+              dc_next[j];
+      double d_i = dc[j] * sc.g[j];
+      double d_f = dc[j] * sc.c_prev[j];
+      double d_g = dc[j] * sc.i[j];
+      dz[j] = d_i * sc.i[j] * (1.0 - sc.i[j]);
+      dz[h + j] = d_f * sc.f[j] * (1.0 - sc.f[j]);
+      dz[2 * h + j] = d_g * (1.0 - sc.g[j] * sc.g[j]);
+      dz[3 * h + j] = d_o * sc.o[j] * (1.0 - sc.o[j]);
+    }
+
+    // Parameter gradients.
+    for (size_t r = 0; r < 4 * h; ++r) {
+      b_.grad(r, 0) += dz[r];
+      if (dz[r] == 0.0) continue;
+      for (size_t cix = 0; cix < input_size_; ++cix) {
+        w_.grad(r, cix) += dz[r] * sc.input[cix];
+      }
+      for (size_t cix = 0; cix < h; ++cix) {
+        u_.grad(r, cix) += dz[r] * sc.h_prev[cix];
+      }
+    }
+
+    grad_inputs[t] = w_.value.TransposeMatVec(dz);
+    dh_next = u_.value.TransposeMatVec(dz);
+    for (size_t j = 0; j < h; ++j) dc_next[j] = dc[j] * sc.f[j];
+  }
+  return grad_inputs;
+}
+
+std::vector<Param*> Lstm::Params() { return {&w_, &u_, &b_}; }
+
+}  // namespace eadrl::nn

@@ -1,0 +1,56 @@
+#ifndef EADRL_NN_LSTM_H_
+#define EADRL_NN_LSTM_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "math/matrix.h"
+#include "math/vec.h"
+#include "nn/param.h"
+
+namespace eadrl::nn {
+
+/// Single-layer LSTM processing a whole sequence, with full backpropagation
+/// through time.
+///
+/// Gate layout in the stacked parameter blocks is [input, forget, candidate,
+/// output], each of size `hidden`. Forward caches per-step activations for
+/// the following Backward call.
+class Lstm {
+ public:
+  Lstm(size_t input_size, size_t hidden_size, Rng& rng);
+
+  size_t input_size() const { return input_size_; }
+  size_t hidden_size() const { return hidden_size_; }
+
+  /// Runs the sequence from zero initial state; returns hidden states
+  /// h_1..h_T (one per input step).
+  std::vector<math::Vec> Forward(const std::vector<math::Vec>& inputs);
+
+  /// BPTT. `grad_hidden[t]` is dL/dh_t (zero vectors for unsupervised
+  /// steps). Accumulates parameter gradients; returns dL/dx_t per step.
+  std::vector<math::Vec> Backward(const std::vector<math::Vec>& grad_hidden);
+
+  std::vector<Param*> Params();
+
+ private:
+  struct StepCache {
+    math::Vec input;
+    math::Vec h_prev;
+    math::Vec c_prev;
+    math::Vec i, f, g, o;  // post-activation gates.
+    math::Vec c;           // cell state.
+    math::Vec tanh_c;
+  };
+
+  size_t input_size_;
+  size_t hidden_size_;
+  Param w_;  // (4H) x input
+  Param u_;  // (4H) x H
+  Param b_;  // (4H) x 1
+  std::vector<StepCache> cache_;
+};
+
+}  // namespace eadrl::nn
+
+#endif  // EADRL_NN_LSTM_H_

@@ -1,0 +1,44 @@
+#include "nn/mlp.h"
+
+#include "common/check.h"
+
+namespace eadrl::nn {
+
+Mlp::Mlp(const std::vector<size_t>& layer_sizes, Activation hidden_act,
+         Activation output_act, Rng& rng) {
+  EADRL_CHECK_GE(layer_sizes.size(), 2u);
+  for (size_t i = 0; i + 1 < layer_sizes.size(); ++i) {
+    bool is_output = (i + 2 == layer_sizes.size());
+    layers_.push_back(std::make_unique<Dense>(
+        layer_sizes[i], layer_sizes[i + 1],
+        is_output ? output_act : hidden_act, rng));
+  }
+}
+
+math::Vec Mlp::Forward(const math::Vec& input) {
+  math::Vec h = input;
+  for (auto& layer : layers_) h = layer->Forward(h);
+  return h;
+}
+
+math::Vec Mlp::Backward(const math::Vec& grad_output) {
+  math::Vec g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+  return g;
+}
+
+std::vector<Param*> Mlp::Params() {
+  std::vector<Param*> out;
+  for (auto& layer : layers_) {
+    for (Param* p : layer->Params()) out.push_back(p);
+  }
+  return out;
+}
+
+void Mlp::ReinitOutputUniform(double r, Rng& rng) {
+  layers_.back()->ReinitUniform(r, rng);
+}
+
+}  // namespace eadrl::nn

@@ -1,0 +1,44 @@
+#ifndef EADRL_NN_MLP_H_
+#define EADRL_NN_MLP_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "math/vec.h"
+#include "nn/dense.h"
+
+namespace eadrl::nn {
+
+/// Multi-layer perceptron: a stack of Dense layers.
+///
+/// The hidden layers use `hidden_act`; the output layer uses `output_act`.
+/// This is the network family used for the DDPG actor and critic (the paper's
+/// "policy network" and "value network") and for the MLP forecaster.
+class Mlp {
+ public:
+  /// `layer_sizes` = {input, hidden..., output}; requires at least 2 entries.
+  Mlp(const std::vector<size_t>& layer_sizes, Activation hidden_act,
+      Activation output_act, Rng& rng);
+
+  math::Vec Forward(const math::Vec& input);
+
+  /// Backward from dL/d(output); returns dL/d(input).
+  math::Vec Backward(const math::Vec& grad_output);
+
+  std::vector<Param*> Params();
+
+  size_t in_dim() const { return layers_.front()->in_dim(); }
+  size_t out_dim() const { return layers_.back()->out_dim(); }
+
+  /// Reinitializes the final layer uniformly in [-r, r] (DDPG init trick to
+  /// keep initial actions/values near zero).
+  void ReinitOutputUniform(double r, Rng& rng);
+
+ private:
+  std::vector<std::unique_ptr<Dense>> layers_;
+};
+
+}  // namespace eadrl::nn
+
+#endif  // EADRL_NN_MLP_H_

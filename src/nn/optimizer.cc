@@ -1,0 +1,75 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace eadrl::nn {
+
+void Optimizer::StepAndZero() {
+  Step();
+  ZeroGrads(params_);
+}
+
+Sgd::Sgd(double lr, double momentum) : lr_(lr), momentum_(momentum) {
+  EADRL_CHECK_GT(lr, 0.0);
+}
+
+void Sgd::Register(const std::vector<Param*>& params) {
+  params_ = params;
+  velocity_.clear();
+  for (const Param* p : params_) {
+    velocity_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Sgd::Step() {
+  EADRL_CHECK(!params_.empty());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& val = params_[i]->value.data();
+    const auto& grad = params_[i]->grad.data();
+    auto& vel = velocity_[i].data();
+    for (size_t j = 0; j < val.size(); ++j) {
+      vel[j] = momentum_ * vel[j] - lr_ * grad[j];
+      val[j] += vel[j];
+    }
+  }
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  EADRL_CHECK_GT(lr, 0.0);
+}
+
+void Adam::Register(const std::vector<Param*>& params) {
+  params_ = params;
+  m_.clear();
+  v_.clear();
+  t_ = 0;
+  for (const Param* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::Step() {
+  EADRL_CHECK(!params_.empty());
+  ++t_;
+  double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& val = params_[i]->value.data();
+    const auto& grad = params_[i]->grad.data();
+    auto& m = m_[i].data();
+    auto& v = v_[i].data();
+    for (size_t j = 0; j < val.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0 - beta1_) * grad[j];
+      v[j] = beta2_ * v[j] + (1.0 - beta2_) * grad[j] * grad[j];
+      double mhat = m[j] / bc1;
+      double vhat = v[j] / bc2;
+      val[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace eadrl::nn

@@ -1,0 +1,73 @@
+#ifndef EADRL_NN_OPTIMIZER_H_
+#define EADRL_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "math/matrix.h"
+#include "nn/param.h"
+
+namespace eadrl::nn {
+
+/// Gradient-descent optimizer interface. Implementations keep per-parameter
+/// state keyed by position in the registered parameter list.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Registers the parameters this optimizer updates. Must be called once
+  /// before the first Step.
+  virtual void Register(const std::vector<Param*>& params) = 0;
+
+  /// Applies one update using the accumulated gradients, then leaves the
+  /// gradients untouched (call ZeroGrads separately, or use StepAndZero).
+  virtual void Step() = 0;
+
+  /// Convenience: Step followed by zeroing all gradients.
+  void StepAndZero();
+
+ protected:
+  std::vector<Param*> params_;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.0);
+
+  void Register(const std::vector<Param*>& params) override;
+  void Step() override;
+
+  double lr() const { return lr_; }
+  void set_lr(double lr) { lr_ = lr; }
+
+ private:
+  double lr_;
+  double momentum_;
+  std::vector<math::Matrix> velocity_;
+};
+
+/// Adam (Kingma & Ba, 2015) with bias correction.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8);
+
+  void Register(const std::vector<Param*>& params) override;
+  void Step() override;
+
+  double lr() const { return lr_; }
+  void set_lr(double lr) { lr_ = lr; }
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  long long t_ = 0;
+  std::vector<math::Matrix> m_;
+  std::vector<math::Matrix> v_;
+};
+
+}  // namespace eadrl::nn
+
+#endif  // EADRL_NN_OPTIMIZER_H_

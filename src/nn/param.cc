@@ -1,0 +1,45 @@
+#include "nn/param.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace eadrl::nn {
+
+void ZeroGrads(const std::vector<Param*>& params) {
+  for (Param* p : params) p->ZeroGrad();
+}
+
+double ClipGradNorm(const std::vector<Param*>& params, double max_norm) {
+  EADRL_CHECK_GT(max_norm, 0.0);
+  double sq = 0.0;
+  for (const Param* p : params) {
+    for (double g : p->grad.data()) sq += g * g;
+  }
+  double norm = std::sqrt(sq);
+  if (norm > max_norm) {
+    double scale = max_norm / (norm + 1e-12);
+    for (Param* p : params) p->grad.Scale(scale);
+  }
+  return norm;
+}
+
+void SoftUpdate(const std::vector<Param*>& target,
+                const std::vector<Param*>& source, double tau) {
+  EADRL_CHECK_EQ(target.size(), source.size());
+  for (size_t i = 0; i < target.size(); ++i) {
+    auto& tv = target[i]->value.data();
+    const auto& sv = source[i]->value.data();
+    EADRL_CHECK_EQ(tv.size(), sv.size());
+    for (size_t j = 0; j < tv.size(); ++j) {
+      tv[j] = tau * sv[j] + (1.0 - tau) * tv[j];
+    }
+  }
+}
+
+void CopyParams(const std::vector<Param*>& target,
+                const std::vector<Param*>& source) {
+  SoftUpdate(target, source, 1.0);
+}
+
+}  // namespace eadrl::nn

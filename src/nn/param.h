@@ -1,0 +1,42 @@
+#ifndef EADRL_NN_PARAM_H_
+#define EADRL_NN_PARAM_H_
+
+#include <vector>
+
+#include "math/matrix.h"
+
+namespace eadrl::nn {
+
+/// A trainable parameter block: a value matrix and its accumulated gradient.
+/// Layers own their `Param`s and expose pointers to them so optimizers can
+/// update values in place.
+struct Param {
+  math::Matrix value;
+  math::Matrix grad;
+
+  Param() = default;
+  Param(size_t rows, size_t cols)
+      : value(rows, cols), grad(rows, cols) {}
+
+  void ZeroGrad() { grad.Fill(0.0); }
+};
+
+/// Zeroes the gradients of all parameters in the list.
+void ZeroGrads(const std::vector<Param*>& params);
+
+/// Scales gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clipping norm.
+double ClipGradNorm(const std::vector<Param*>& params, double max_norm);
+
+/// Soft update target <- tau * source + (1 - tau) * target, parameter-wise.
+/// Used for DDPG target networks. The two lists must be structurally equal.
+void SoftUpdate(const std::vector<Param*>& target,
+                const std::vector<Param*>& source, double tau);
+
+/// Hard copy source values into target.
+void CopyParams(const std::vector<Param*>& target,
+                const std::vector<Param*>& source);
+
+}  // namespace eadrl::nn
+
+#endif  // EADRL_NN_PARAM_H_

@@ -1,0 +1,59 @@
+#include "nn/serialize.h"
+
+#include <iomanip>
+#include <istream>
+#include <ostream>
+
+#include "common/string_util.h"
+
+namespace eadrl::nn {
+
+Status WriteMatrices(std::ostream& out,
+                     const std::vector<math::Matrix>& matrices) {
+  out << "matrices " << matrices.size() << "\n";
+  out << std::setprecision(17);
+  for (const math::Matrix& m : matrices) {
+    out << m.rows() << " " << m.cols() << "\n";
+    for (size_t i = 0; i < m.rows(); ++i) {
+      for (size_t j = 0; j < m.cols(); ++j) {
+        if (j > 0) out << " ";
+        out << m(i, j);
+      }
+      out << "\n";
+    }
+  }
+  if (!out) return Status::Internal("WriteMatrices: stream write failed");
+  return Status::Ok();
+}
+
+StatusOr<std::vector<math::Matrix>> ReadMatrices(std::istream& in) {
+  std::string tag;
+  size_t count = 0;
+  if (!(in >> tag >> count) || tag != "matrices") {
+    return Status::InvalidArgument("ReadMatrices: bad header");
+  }
+  if (count > 10000) {
+    return Status::InvalidArgument("ReadMatrices: implausible matrix count");
+  }
+  std::vector<math::Matrix> matrices;
+  matrices.reserve(count);
+  for (size_t k = 0; k < count; ++k) {
+    size_t rows = 0, cols = 0;
+    if (!(in >> rows >> cols) || rows == 0 || cols == 0 ||
+        rows * cols > (1u << 26)) {
+      return Status::InvalidArgument(
+          StrCat("ReadMatrices: bad shape for matrix ", k));
+    }
+    math::Matrix m(rows, cols);
+    for (double& v : m.data()) {
+      if (!(in >> v)) {
+        return Status::InvalidArgument(
+            StrCat("ReadMatrices: truncated values in matrix ", k));
+      }
+    }
+    matrices.push_back(std::move(m));
+  }
+  return matrices;
+}
+
+}  // namespace eadrl::nn

@@ -1,0 +1,23 @@
+#ifndef EADRL_NN_SERIALIZE_H_
+#define EADRL_NN_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "math/matrix.h"
+
+namespace eadrl::nn {
+
+/// Writes a list of matrices to a stream in a line-oriented text format
+/// (shape header followed by full-precision values).
+Status WriteMatrices(std::ostream& out,
+                     const std::vector<math::Matrix>& matrices);
+
+/// Reads matrices previously written by WriteMatrices.
+StatusOr<std::vector<math::Matrix>> ReadMatrices(std::istream& in);
+
+}  // namespace eadrl::nn
+
+#endif  // EADRL_NN_SERIALIZE_H_

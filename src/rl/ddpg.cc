@@ -1,0 +1,196 @@
+#include "rl/ddpg.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "math/vec.h"
+#include "nn/param.h"
+
+namespace eadrl::rl {
+namespace {
+
+std::vector<size_t> LayerSizes(size_t in, const std::vector<size_t>& hidden,
+                               size_t out) {
+  std::vector<size_t> sizes;
+  sizes.push_back(in);
+  for (size_t h : hidden) sizes.push_back(h);
+  sizes.push_back(out);
+  return sizes;
+}
+
+}  // namespace
+
+DdpgAgent::DdpgAgent(const DdpgConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      actor_opt_(config.actor_lr),
+      critic_opt_(config.critic_lr) {
+  EADRL_CHECK_GT(config_.state_dim, 0u);
+  EADRL_CHECK_GT(config_.action_dim, 0u);
+
+  const bool linear_critic =
+      config_.critic_form == CriticForm::kLinearInAction;
+  const size_t critic_in =
+      linear_critic ? config_.state_dim
+                    : config_.state_dim + config_.action_dim;
+  const size_t critic_out = linear_critic ? config_.action_dim : 1;
+
+  actor_ = std::make_unique<nn::Mlp>(
+      LayerSizes(config_.state_dim, config_.actor_hidden, config_.action_dim),
+      nn::Activation::kRelu, nn::Activation::kIdentity, rng_);
+  critic_ = std::make_unique<nn::Mlp>(
+      LayerSizes(critic_in, config_.critic_hidden, critic_out),
+      nn::Activation::kRelu, nn::Activation::kIdentity, rng_);
+  // DDPG's small final-layer init keeps the initial policy near uniform and
+  // initial Q-values near zero.
+  actor_->ReinitOutputUniform(3e-3, rng_);
+  critic_->ReinitOutputUniform(3e-3, rng_);
+
+  target_actor_ = std::make_unique<nn::Mlp>(
+      LayerSizes(config_.state_dim, config_.actor_hidden, config_.action_dim),
+      nn::Activation::kRelu, nn::Activation::kIdentity, rng_);
+  target_critic_ = std::make_unique<nn::Mlp>(
+      LayerSizes(critic_in, config_.critic_hidden, critic_out),
+      nn::Activation::kRelu, nn::Activation::kIdentity, rng_);
+  nn::CopyParams(target_actor_->Params(), actor_->Params());
+  nn::CopyParams(target_critic_->Params(), critic_->Params());
+
+  actor_opt_.Register(actor_->Params());
+  critic_opt_.Register(critic_->Params());
+}
+
+math::Vec DdpgAgent::CriticInput(const math::Vec& state,
+                                 const math::Vec& action) const {
+  math::Vec input;
+  input.reserve(state.size() + action.size());
+  input.insert(input.end(), state.begin(), state.end());
+  input.insert(input.end(), action.begin(), action.end());
+  return input;
+}
+
+math::Vec DdpgAgent::Act(const math::Vec& state) {
+  math::Vec logits = actor_->Forward(state);
+  for (double& v : logits) v *= config_.logit_scale;
+  return math::Softmax(logits);
+}
+
+math::Vec DdpgAgent::ActWithNoise(const math::Vec& state,
+                                  const math::Vec& noise) {
+  math::Vec logits = actor_->Forward(state);
+  EADRL_CHECK_EQ(logits.size(), noise.size());
+  for (size_t i = 0; i < logits.size(); ++i) {
+    logits[i] = config_.logit_scale * logits[i] + noise[i];
+  }
+  return math::Softmax(logits);
+}
+
+double DdpgAgent::QValue(const math::Vec& state, const math::Vec& action) {
+  if (config_.critic_form == CriticForm::kLinearInAction) {
+    return math::Dot(action, critic_->Forward(state));
+  }
+  return critic_->Forward(CriticInput(state, action))[0];
+}
+
+math::Vec DdpgAgent::SoftmaxJacobianVjp(const math::Vec& probs,
+                                        const math::Vec& grad_probs) {
+  // (J_softmax)^T g, with J_ij = p_i (delta_ij - p_j):
+  // out_j = p_j * (g_j - sum_i g_i p_i).
+  double inner = math::Dot(grad_probs, probs);
+  math::Vec out(probs.size());
+  for (size_t j = 0; j < probs.size(); ++j) {
+    out[j] = probs[j] * (grad_probs[j] - inner);
+  }
+  return out;
+}
+
+std::vector<math::Matrix> DdpgAgent::ActorWeights() const {
+  std::vector<math::Matrix> out;
+  for (nn::Param* p : const_cast<nn::Mlp*>(actor_.get())->Params()) {
+    out.push_back(p->value);
+  }
+  return out;
+}
+
+void DdpgAgent::SetActorWeights(const std::vector<math::Matrix>& weights) {
+  std::vector<nn::Param*> params = actor_->Params();
+  EADRL_CHECK_EQ(params.size(), weights.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i]->value = weights[i];
+  }
+}
+
+double DdpgAgent::Update(const std::vector<Transition>& batch) {
+  EADRL_CHECK(!batch.empty());
+  const double inv_n = 1.0 / static_cast<double>(batch.size());
+
+  // --- Critic update: minimize (Q(s,a) - y)^2, y from target networks. ----
+  const bool linear_critic =
+      config_.critic_form == CriticForm::kLinearInAction;
+  double critic_loss = 0.0;
+  for (const Transition& t : batch) {
+    double target = t.reward;
+    if (!t.terminal) {
+      math::Vec next_logits = target_actor_->Forward(t.next_state);
+      for (double& v : next_logits) v *= config_.logit_scale;
+      math::Vec next_action = math::Softmax(next_logits);
+      double next_q =
+          linear_critic
+              ? math::Dot(next_action,
+                          target_critic_->Forward(t.next_state))
+              : target_critic_->Forward(
+                    CriticInput(t.next_state, next_action))[0];
+      target += config_.gamma * next_q;
+    }
+    if (linear_critic) {
+      math::Vec q_vec = critic_->Forward(t.state);
+      double err = math::Dot(t.action, q_vec) - target;
+      critic_loss += err * err * inv_n;
+      // dL/dq_i = 2 * err * a_i / N.
+      critic_->Backward(math::Scale(t.action, 2.0 * err * inv_n));
+    } else {
+      double q = critic_->Forward(CriticInput(t.state, t.action))[0];
+      double err = q - target;
+      critic_loss += err * err * inv_n;
+      critic_->Backward({2.0 * err * inv_n});
+    }
+  }
+  nn::ClipGradNorm(critic_->Params(), config_.grad_clip);
+  critic_opt_.StepAndZero();
+
+  // --- Actor update: ascend dQ/dtheta through the softmax. ----------------
+  for (const Transition& t : batch) {
+    math::Vec logits = actor_->Forward(t.state);
+    for (double& v : logits) v *= config_.logit_scale;
+    math::Vec action = math::Softmax(logits);
+    math::Vec dq_da;
+    if (linear_critic) {
+      dq_da = critic_->Forward(t.state);  // dQ/da = q(s), exactly.
+    } else {
+      critic_->Forward(CriticInput(t.state, action));
+      math::Vec dinput = critic_->Backward({1.0});
+      dq_da.assign(dinput.begin() + static_cast<ptrdiff_t>(config_.state_dim),
+                   dinput.end());
+    }
+    math::Vec dq_dz = SoftmaxJacobianVjp(action, dq_da);
+    // Gradient ascent on Q == descent on -Q; chain through the logit scale
+    // and add the L2 pull of the logits toward zero (uniform weights), which
+    // keeps the actor from running away into action regions the critic has
+    // never been trained on.
+    for (size_t j = 0; j < dq_dz.size(); ++j) {
+      dq_dz[j] = -inv_n * config_.logit_scale * dq_dz[j] +
+                 inv_n * config_.logit_l2 * logits[j];
+    }
+    actor_->Backward(dq_dz);
+  }
+  // The actor loop accumulated gradients inside the critic too; discard them.
+  nn::ZeroGrads(critic_->Params());
+  nn::ClipGradNorm(actor_->Params(), config_.grad_clip);
+  actor_opt_.StepAndZero();
+
+  // --- Soft target updates. ------------------------------------------------
+  nn::SoftUpdate(target_actor_->Params(), actor_->Params(), config_.tau);
+  nn::SoftUpdate(target_critic_->Params(), critic_->Params(), config_.tau);
+  return critic_loss;
+}
+
+}  // namespace eadrl::rl

@@ -1,0 +1,101 @@
+#ifndef EADRL_RL_DDPG_H_
+#define EADRL_RL_DDPG_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "math/vec.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+#include "rl/replay_buffer.h"
+#include "rl/transition.h"
+
+namespace eadrl::rl {
+
+/// Critic architecture.
+enum class CriticForm {
+  /// Classic DDPG critic: one MLP taking (state, action) to a scalar Q.
+  kMonolithic,
+  /// Structured critic: an MLP maps the state to per-model values q(s) and
+  /// Q(s, a) = a . q(s). For simplex-weight actions the reward is close to
+  /// linear in the weights, so this form identifies per-model quality with
+  /// far fewer samples than a monolithic net whose action-gradient must be
+  /// estimated in m dimensions; dQ/da = q(s) is exact. Used by default in
+  /// EA-DRL (see DESIGN.md, "Key design decisions").
+  kLinearInAction,
+};
+
+/// Hyper-parameters of the DDPG agent.
+struct DdpgConfig {
+  size_t state_dim = 0;
+  size_t action_dim = 0;
+  std::vector<size_t> actor_hidden = {64, 64};
+  std::vector<size_t> critic_hidden = {64, 64};
+  double actor_lr = 0.001;
+  double critic_lr = 0.01;   // the paper tunes alpha = 0.01.
+  double gamma = 0.9;        // the paper tunes gamma = 0.9.
+  double tau = 0.01;         // soft target update rate.
+  /// The actor's raw outputs are scaled by this factor before the softmax.
+  double logit_scale = 1.0;
+  /// L2 pull of the (scaled) logits toward zero in the actor objective —
+  /// the policy pays for moving away from uniform weights, which prevents
+  /// the runaway-saturation failure where the actor exploits critic
+  /// extrapolation error in never-visited corners of the simplex.
+  double logit_l2 = 0.01;
+  CriticForm critic_form = CriticForm::kLinearInAction;
+  size_t batch_size = 16;
+  double grad_clip = 5.0;
+  uint64_t seed = 42;
+};
+
+/// Deep deterministic policy gradient agent (Lillicrap et al. 2015) for the
+/// ensemble-weighting MDP. The actor outputs logits which are mapped through
+/// a softmax so actions live on the probability simplex — the paper's
+/// "standard normalization ... so that all the weights are positive and sum
+/// to one". Exploration noise is added to the logits, keeping noisy actions
+/// on the simplex too.
+class DdpgAgent {
+ public:
+  explicit DdpgAgent(const DdpgConfig& config);
+
+  /// Deterministic action (ensemble weights) for a state.
+  math::Vec Act(const math::Vec& state);
+
+  /// Exploratory action: softmax(logits + noise).
+  math::Vec ActWithNoise(const math::Vec& state, const math::Vec& noise);
+
+  /// One DDPG update from a minibatch: critic regression toward the Bellman
+  /// target using the target networks, then a deterministic policy-gradient
+  /// step on the actor, then soft target updates. Returns the critic loss.
+  double Update(const std::vector<Transition>& batch);
+
+  /// Q-value estimate for diagnostics/tests.
+  double QValue(const math::Vec& state, const math::Vec& action);
+
+  /// Snapshot/restore of the actor parameters (used for best-checkpoint
+  /// selection during offline training).
+  std::vector<math::Matrix> ActorWeights() const;
+  void SetActorWeights(const std::vector<math::Matrix>& weights);
+
+  const DdpgConfig& config() const { return config_; }
+
+ private:
+  static math::Vec SoftmaxJacobianVjp(const math::Vec& probs,
+                                      const math::Vec& grad_probs);
+
+  math::Vec CriticInput(const math::Vec& state, const math::Vec& action) const;
+
+  DdpgConfig config_;
+  Rng rng_;
+  std::unique_ptr<nn::Mlp> actor_;
+  std::unique_ptr<nn::Mlp> critic_;
+  std::unique_ptr<nn::Mlp> target_actor_;
+  std::unique_ptr<nn::Mlp> target_critic_;
+  nn::Adam actor_opt_;
+  nn::Adam critic_opt_;
+};
+
+}  // namespace eadrl::rl
+
+#endif  // EADRL_RL_DDPG_H_

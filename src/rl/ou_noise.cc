@@ -1,0 +1,23 @@
+#include "rl/ou_noise.h"
+
+#include "common/check.h"
+
+namespace eadrl::rl {
+
+OuNoise::OuNoise(size_t dim, double theta, double sigma, double mu)
+    : theta_(theta), sigma_(sigma), mu_(mu), state_(dim, mu) {
+  EADRL_CHECK_GT(dim, 0u);
+}
+
+void OuNoise::Reset() {
+  for (double& v : state_) v = mu_;
+}
+
+const math::Vec& OuNoise::Sample(Rng& rng) {
+  for (double& v : state_) {
+    v += theta_ * (mu_ - v) + sigma_ * rng.Normal();
+  }
+  return state_;
+}
+
+}  // namespace eadrl::rl

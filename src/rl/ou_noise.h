@@ -1,0 +1,36 @@
+#ifndef EADRL_RL_OU_NOISE_H_
+#define EADRL_RL_OU_NOISE_H_
+
+#include "common/rng.h"
+#include "math/vec.h"
+
+namespace eadrl::rl {
+
+/// Ornstein–Uhlenbeck exploration noise (Lillicrap et al. 2015): a
+/// mean-reverting correlated process added to the policy's action logits
+/// during training.
+class OuNoise {
+ public:
+  OuNoise(size_t dim, double theta = 0.15, double sigma = 0.2,
+          double mu = 0.0);
+
+  /// Resets the process to its mean (start of each episode).
+  void Reset();
+
+  /// Advances the process one step and returns the current noise vector.
+  const math::Vec& Sample(Rng& rng);
+
+  /// Scales sigma (for exploration decay across episodes).
+  void set_sigma(double sigma) { sigma_ = sigma; }
+  double sigma() const { return sigma_; }
+
+ private:
+  double theta_;
+  double sigma_;
+  double mu_;
+  math::Vec state_;
+};
+
+}  // namespace eadrl::rl
+
+#endif  // EADRL_RL_OU_NOISE_H_

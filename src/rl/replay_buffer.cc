@@ -1,0 +1,68 @@
+#include "rl/replay_buffer.h"
+
+#include "common/check.h"
+#include "math/stats.h"
+
+namespace eadrl::rl {
+
+ReplayBuffer::ReplayBuffer(size_t capacity) : capacity_(capacity) {
+  EADRL_CHECK_GT(capacity, 0u);
+  buffer_.reserve(capacity);
+}
+
+void ReplayBuffer::Add(Transition t) {
+  if (buffer_.size() < capacity_) {
+    buffer_.push_back(std::move(t));
+  } else {
+    buffer_[next_] = std::move(t);
+    next_ = (next_ + 1) % capacity_;
+  }
+}
+
+double ReplayBuffer::RewardMedian() const {
+  EADRL_CHECK(!buffer_.empty());
+  math::Vec rewards(buffer_.size());
+  for (size_t i = 0; i < buffer_.size(); ++i) rewards[i] = buffer_[i].reward;
+  return math::Median(std::move(rewards));
+}
+
+std::vector<Transition> ReplayBuffer::Sample(size_t n,
+                                             SamplingStrategy strategy,
+                                             Rng& rng) const {
+  EADRL_CHECK(!buffer_.empty());
+  std::vector<Transition> batch;
+  batch.reserve(n);
+
+  if (strategy == SamplingStrategy::kUniform || buffer_.size() < 2) {
+    for (size_t i = 0; i < n; ++i) batch.push_back(buffer_[rng.Index(size())]);
+    return batch;
+  }
+
+  // Median split: indices with reward >= median vs. below.
+  double median = RewardMedian();
+  std::vector<size_t> high, low;
+  for (size_t i = 0; i < buffer_.size(); ++i) {
+    if (buffer_[i].reward >= median) {
+      high.push_back(i);
+    } else {
+      low.push_back(i);
+    }
+  }
+  if (high.empty() || low.empty()) {
+    // All rewards equal — fall back to uniform.
+    for (size_t i = 0; i < n; ++i) batch.push_back(buffer_[rng.Index(size())]);
+    return batch;
+  }
+
+  size_t n_high = n / 2;
+  size_t n_low = n - n_high;
+  for (size_t i = 0; i < n_high; ++i) {
+    batch.push_back(buffer_[high[rng.Index(high.size())]]);
+  }
+  for (size_t i = 0; i < n_low; ++i) {
+    batch.push_back(buffer_[low[rng.Index(low.size())]]);
+  }
+  return batch;
+}
+
+}  // namespace eadrl::rl

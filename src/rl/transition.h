@@ -1,0 +1,19 @@
+#ifndef EADRL_RL_TRANSITION_H_
+#define EADRL_RL_TRANSITION_H_
+
+#include "math/vec.h"
+
+namespace eadrl::rl {
+
+/// One MDP transition (s_t, a_t, r_t, s_{t+1}) stored in the replay buffer.
+struct Transition {
+  math::Vec state;
+  math::Vec action;
+  double reward = 0.0;
+  math::Vec next_state;
+  bool terminal = false;
+};
+
+}  // namespace eadrl::rl
+
+#endif  // EADRL_RL_TRANSITION_H_

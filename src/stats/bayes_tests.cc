@@ -1,0 +1,106 @@
+#include "stats/bayes_tests.h"
+
+#include <cmath>
+
+#include "math/special.h"
+#include "math/stats.h"
+
+namespace eadrl::stats {
+
+StatusOr<ComparisonResult> BayesianCorrelatedTTest(const math::Vec& diffs,
+                                                   double correlation,
+                                                   double rope) {
+  if (diffs.size() < 2) {
+    return Status::InvalidArgument("t-test: need at least 2 differences");
+  }
+  if (correlation < 0.0 || correlation >= 1.0) {
+    return Status::InvalidArgument("t-test: correlation must be in [0,1)");
+  }
+  if (rope < 0.0) {
+    return Status::InvalidArgument("t-test: rope must be >= 0");
+  }
+  const double n = static_cast<double>(diffs.size());
+  double mean = math::Mean(diffs);
+  double var = math::Variance(diffs);
+
+  ComparisonResult result;
+  if (var <= 1e-300) {
+    // Degenerate: all differences identical.
+    if (mean < -rope) {
+      result.p_a_better = 1.0;
+    } else if (mean > rope) {
+      result.p_b_better = 1.0;
+    } else {
+      result.p_rope = 1.0;
+    }
+    return result;
+  }
+
+  // Posterior of the mean difference is a Student-t with n-1 dof, location
+  // mean, and scale inflated by the correlation heuristic (Nadeau & Bengio):
+  // scale^2 = (1/n + rho/(1-rho)) * var.
+  double scale =
+      std::sqrt((1.0 / n + correlation / (1.0 - correlation)) * var);
+  double dof = n - 1.0;
+
+  // A better means negative differences (loss_A < loss_B).
+  double t_left = (-rope - mean) / scale;
+  double t_right = (rope - mean) / scale;
+  result.p_a_better = math::StudentTCdf(t_left, dof);
+  result.p_b_better = 1.0 - math::StudentTCdf(t_right, dof);
+  result.p_rope = 1.0 - result.p_a_better - result.p_b_better;
+  if (result.p_rope < 0.0) result.p_rope = 0.0;
+  return result;
+}
+
+StatusOr<ComparisonResult> BayesSignTest(const math::Vec& diffs, double rope,
+                                         size_t mc_samples, Rng& rng,
+                                         double prior_weight) {
+  if (diffs.empty()) {
+    return Status::InvalidArgument("sign test: no differences");
+  }
+  if (mc_samples == 0) {
+    return Status::InvalidArgument("sign test: need mc_samples > 0");
+  }
+  double n_left = 0, n_rope = 0, n_right = 0;
+  for (double d : diffs) {
+    if (d < -rope) {
+      ++n_left;
+    } else if (d > rope) {
+      ++n_right;
+    } else {
+      ++n_rope;
+    }
+  }
+
+  // Dirichlet posterior: alpha = counts + prior (prior mass on the rope).
+  double a_left = n_left, a_rope = n_rope + prior_weight, a_right = n_right;
+  // Guard against zero alphas (gamma(0) undefined): tiny epsilon.
+  a_left = std::max(a_left, 1e-6);
+  a_rope = std::max(a_rope, 1e-6);
+  a_right = std::max(a_right, 1e-6);
+
+  ComparisonResult result;
+  std::gamma_distribution<double> g_left(a_left, 1.0);
+  std::gamma_distribution<double> g_rope(a_rope, 1.0);
+  std::gamma_distribution<double> g_right(a_right, 1.0);
+  for (size_t s = 0; s < mc_samples; ++s) {
+    double x = g_left(rng.engine());
+    double y = g_rope(rng.engine());
+    double z = g_right(rng.engine());
+    if (x > y && x > z) {
+      result.p_a_better += 1.0;
+    } else if (z > x && z > y) {
+      result.p_b_better += 1.0;
+    } else {
+      result.p_rope += 1.0;
+    }
+  }
+  double inv = 1.0 / static_cast<double>(mc_samples);
+  result.p_a_better *= inv;
+  result.p_rope *= inv;
+  result.p_b_better *= inv;
+  return result;
+}
+
+}  // namespace eadrl::stats

@@ -1,0 +1,31 @@
+#include "stats/ranking.h"
+
+#include "common/check.h"
+#include "math/stats.h"
+
+namespace eadrl::stats {
+
+math::Matrix RankMatrix(const math::Matrix& errors) {
+  math::Matrix ranks(errors.rows(), errors.cols());
+  for (size_t d = 0; d < errors.rows(); ++d) {
+    math::Vec row_ranks = math::FractionalRanks(errors.Row(d));
+    ranks.SetRow(d, row_ranks);
+  }
+  return ranks;
+}
+
+std::vector<RankSummary> SummarizeRanks(
+    const math::Matrix& errors, const std::vector<std::string>& names) {
+  EADRL_CHECK_EQ(errors.cols(), names.size());
+  EADRL_CHECK_GT(errors.rows(), 0u);
+  math::Matrix ranks = RankMatrix(errors);
+  std::vector<RankSummary> out;
+  out.reserve(names.size());
+  for (size_t m = 0; m < names.size(); ++m) {
+    math::Vec col = ranks.Col(m);
+    out.push_back({names[m], math::Mean(col), math::Stddev(col)});
+  }
+  return out;
+}
+
+}  // namespace eadrl::stats

@@ -1,0 +1,31 @@
+#ifndef EADRL_STATS_RANKING_H_
+#define EADRL_STATS_RANKING_H_
+
+#include <string>
+#include <vector>
+
+#include "math/matrix.h"
+#include "math/vec.h"
+
+namespace eadrl::stats {
+
+/// Average rank and dispersion of one method across datasets.
+struct RankSummary {
+  std::string method;
+  double mean_rank = 0.0;
+  double stddev_rank = 0.0;
+};
+
+/// Computes per-dataset fractional ranks from an error matrix
+/// (rows = datasets, cols = methods; lower error = better = lower rank) and
+/// summarizes each method's rank distribution, as in the paper's
+/// "Avg. Rank" column of Table II.
+std::vector<RankSummary> SummarizeRanks(const math::Matrix& errors,
+                                        const std::vector<std::string>& names);
+
+/// Per-dataset fractional ranks of each method (same shape as `errors`).
+math::Matrix RankMatrix(const math::Matrix& errors);
+
+}  // namespace eadrl::stats
+
+#endif  // EADRL_STATS_RANKING_H_

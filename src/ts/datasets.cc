@@ -1,0 +1,308 @@
+#include "ts/datasets.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "ts/generator_kit.h"
+
+namespace eadrl::ts {
+namespace {
+
+// Generator implementations. Each mirrors the structural traits of the
+// corresponding real series in the paper's Table I (frequency, seasonality,
+// boundedness, drift/spike regime); see DESIGN.md for the substitution
+// rationale.
+
+// 1: Oporto water consumption — daily, weekly cycle + mild annual component,
+// slow upward trend, AR noise.
+math::Vec GenWaterConsumption(size_t n, Rng& rng) {
+  auto v = Mix({SeasonalWithHarmonic(n, 7.0, 6.0, 2.0),
+                SeasonalWave(n, 365.0, 8.0, 1.1),
+                LinearTrend(n, 10.0),
+                Ar1Noise(n, 0.6, 2.0, rng)});
+  for (double& x : v) x += 100.0;
+  ClipInPlace(&v, 0.0, 1e9);
+  return v;
+}
+
+// 2: Bike-sharing humidity — hourly, daily cycle, bounded [0,100], strongly
+// autocorrelated.
+math::Vec GenHumidity(size_t n, Rng& rng) {
+  auto v = Mix({SeasonalWithHarmonic(n, 24.0, 12.0, 4.0, 2.0),
+                Ar1Noise(n, 0.92, 2.5, rng)});
+  for (double& x : v) x += 62.0;
+  ClipInPlace(&v, 0.0, 100.0);
+  return v;
+}
+
+// 3: Bike-sharing windspeed — hourly, weak diurnal cycle, skewed and
+// non-negative.
+math::Vec GenWindspeed(size_t n, Rng& rng) {
+  auto base = Mix({SeasonalWave(n, 24.0, 3.0, 0.4),
+                   Ar1Noise(n, 0.75, 1.6, rng)});
+  for (double& x : base) x = std::fabs(x + 9.0);
+  return base;
+}
+
+// 4: Total bike rentals — hourly counts, daily + weekly cycles, trend as the
+// service grows, Poisson-like dispersion.
+math::Vec GenBikeRentals(size_t n, Rng& rng) {
+  auto shape = Mix({SeasonalWithHarmonic(n, 24.0, 60.0, 25.0, 4.2),
+                    SeasonalWave(n, 168.0, 20.0, 0.3),
+                    LinearTrend(n, 40.0)});
+  math::Vec v(n);
+  for (size_t t = 0; t < n; ++t) {
+    double mean = std::max(2.0, shape[t] + 90.0);
+    v[t] = static_cast<double>(rng.Poisson(mean));
+  }
+  return v;
+}
+
+// 5: Vatnsdalsa river flow — daily, annual cycle, precipitation-driven
+// exponential surges with slow decay.
+math::Vec GenRiverFlow(size_t n, Rng& rng) {
+  auto v = Mix({SeasonalWave(n, 365.0, 10.0, -0.5),
+                SpikeTrain(n, 0.05, 25.0, 0.9, rng),
+                Ar1Noise(n, 0.7, 1.0, rng)});
+  for (double& x : v) x += 18.0;
+  ClipInPlace(&v, 0.5, 1e9);
+  return v;
+}
+
+// 6: Total cloud cover — hourly, bounded oktas [0,8], persistent regimes.
+math::Vec GenCloudCover(size_t n, Rng& rng) {
+  auto regime = RegimeMultiplier(n, 1.5, 6.5, 0.02, rng);
+  auto noise = Ar1Noise(n, 0.9, 1.0, rng);
+  math::Vec v(n);
+  for (size_t t = 0; t < n; ++t) v[t] = regime[t] + noise[t];
+  ClipInPlace(&v, 0.0, 8.0);
+  return v;
+}
+
+// 7: Precipitation — hourly, zero-inflated bursts.
+math::Vec GenPrecipitation(size_t n, Rng& rng) {
+  auto v = SpikeTrain(n, 0.08, 3.0, 0.55, rng);
+  for (double& x : v) {
+    if (x < 0.15) x = 0.0;  // dry hours dominate.
+  }
+  return v;
+}
+
+// 8: Global horizontal radiation — hourly, hard diurnal cycle (zero at
+// night), cloud-attenuation regime switching.
+math::Vec GenSolarRadiation(size_t n, Rng& rng) {
+  auto attenuation = RegimeMultiplier(n, 0.35, 1.0, 0.04, rng);
+  math::Vec v(n);
+  for (size_t t = 0; t < n; ++t) {
+    double hour = static_cast<double>(t % 24);
+    double sun = std::sin((hour - 6.0) / 12.0 * M_PI);
+    double clear_sky = sun > 0.0 ? 800.0 * sun : 0.0;
+    double val = clear_sky * attenuation[t] + rng.Normal(0.0, 12.0);
+    v[t] = std::max(0.0, val);
+  }
+  return v;
+}
+
+// 9/10: Porto taxi demand — half-hourly pick-up counts, daily + weekly
+// cycles, concept drift via level shifts (the BRIGHT paper's motivation).
+math::Vec GenTaxiDemand(size_t n, Rng& rng, double level, double drift_sigma) {
+  auto shape = Mix({SeasonalWithHarmonic(n, 48.0, 30.0, 14.0, 4.0),
+                    SeasonalWave(n, 336.0, 10.0, 0.9),
+                    LevelShifts(n, 3, drift_sigma, rng)});
+  math::Vec v(n);
+  for (size_t t = 0; t < n; ++t) {
+    double mean = std::max(1.0, shape[t] + level);
+    v[t] = static_cast<double>(rng.Poisson(mean));
+  }
+  return v;
+}
+
+// 11: NH4 concentration in wastewater — 10-minute steps, mean-reverting with
+// inflow spikes and slow drift.
+math::Vec GenNh4(size_t n, Rng& rng) {
+  auto v = Mix({Ar1Noise(n, 0.95, 0.5, rng),
+                SpikeTrain(n, 0.02, 6.0, 0.93, rng),
+                LevelShifts(n, 2, 2.0, rng)});
+  for (double& x : v) x += 20.0;
+  ClipInPlace(&v, 0.0, 1e9);
+  return v;
+}
+
+// 12-14: Appliances-energy room humidity RH_3/4/5 — 10-minute steps, daily
+// cycle (period 144), bounded, highly persistent; rooms differ in phase and
+// noise level.
+math::Vec GenRoomHumidity(size_t n, Rng& rng, double phase, double noise) {
+  auto v = Mix({SeasonalWave(n, 144.0, 4.0, phase),
+                Ar1Noise(n, 0.97, noise, rng),
+                LinearTrend(n, -3.0)});
+  for (double& x : v) x += 40.0;
+  ClipInPlace(&v, 0.0, 100.0);
+  return v;
+}
+
+// 15: Outdoor temperature — 10-minute steps, daily cycle + seasonal warming
+// trend (January to May window).
+math::Vec GenOutdoorTemperature(size_t n, Rng& rng) {
+  return Mix({SeasonalWithHarmonic(n, 144.0, 4.5, 1.5, -1.3),
+              LinearTrend(n, 12.0),
+              Ar1Noise(n, 0.95, 0.7, rng)});
+}
+
+// 16: Station wind speed — 10-minute steps, gusty/skewed.
+math::Vec GenStationWind(size_t n, Rng& rng) {
+  auto base = Mix({Ar1Noise(n, 0.9, 1.1, rng),
+                   SpikeTrain(n, 0.03, 3.0, 0.8, rng)});
+  for (double& x : base) x = std::fabs(x + 4.0);
+  return base;
+}
+
+// 17: Dew point temperature — 10-minute steps, smooth daily cycle + trend,
+// strongly autocorrelated.
+math::Vec GenDewpoint(size_t n, Rng& rng) {
+  return Mix({SeasonalWave(n, 144.0, 2.5, 0.4),
+              LinearTrend(n, 8.0),
+              Ar1Noise(n, 0.985, 0.25, rng)});
+}
+
+// 18-20: European stock indices (CAC/DAX/SMI) — 10-minute data, geometric
+// random walk with volatility clustering; indices differ in level, drift and
+// volatility.
+math::Vec GenStockIndex(size_t n, Rng& rng, double start, double mu,
+                        double vol) {
+  return GeometricRandomWalk(n, start, mu, vol, 0.9, rng);
+}
+
+std::vector<DatasetSpec> BuildSpecs() {
+  return {
+      {1, "Water consumption", "Oporto city", "daily", 7, 1200,
+       "weekly+annual seasonality, upward trend, AR noise"},
+      {2, "Humidity", "Bike sharing", "hourly", 24, 1000,
+       "daily cycle, bounded [0,100], persistent"},
+      {3, "Windspeed", "Bike sharing", "hourly", 24, 1000,
+       "weak diurnal cycle, skewed, non-negative"},
+      {4, "Total bike rentals", "Bike sharing", "hourly", 24, 1000,
+       "daily+weekly cycles, growth trend, count dispersion"},
+      {5, "Vatnsdalsa", "River flow", "daily", 365, 1095,
+       "annual cycle, exponential flow surges"},
+      {6, "Total cloud cover", "Weather data (NREL)", "hourly", 0, 1000,
+       "bounded oktas, persistent regimes"},
+      {7, "Precipitation", "Weather data (NREL)", "hourly", 0, 1000,
+       "zero-inflated bursts"},
+      {8, "Global horizontal radiation", "Solar radiation monitoring",
+       "hourly", 24, 1000,
+       "hard diurnal cycle, cloud attenuation regimes"},
+      {9, "Taxi Demand 1", "Porto Taxi Data", "half-hourly", 48, 1200,
+       "daily+weekly cycles, concept drift (level shifts)"},
+      {10, "Taxi Demand 2", "Porto Taxi Data", "half-hourly", 48, 1200,
+       "daily+weekly cycles, stronger drift"},
+      {11, "NH4 concentration", "NH4 in wastewater", "10-minute", 0, 900,
+       "mean reversion, inflow spikes, slow drift"},
+      {12, "Humidity RH_3", "Appliances Energy (UCI)", "10-minute", 144, 1000,
+       "daily cycle, bounded, highly persistent"},
+      {13, "Humidity RH_4", "Appliances Energy (UCI)", "10-minute", 144, 1000,
+       "daily cycle, bounded, highly persistent"},
+      {14, "Humidity RH_5", "Appliances Energy (UCI)", "10-minute", 144, 1000,
+       "daily cycle, bounded, noisier room"},
+      {15, "Temperature T_out", "Appliances Energy (UCI)", "10-minute", 144,
+       1000, "daily cycle + seasonal warming trend"},
+      {16, "Wind speed", "Appliances Energy (UCI)", "10-minute", 0, 1000,
+       "gusty, skewed, non-negative"},
+      {17, "Tdewpoint", "Appliances Energy (UCI)", "10-minute", 144, 1000,
+       "smooth daily cycle + trend"},
+      {18, "France CAC", "European stock indices", "10-minute", 0, 1000,
+       "geometric random walk, volatility clustering"},
+      {19, "Germany DAX (Ibis)", "European stock indices", "10-minute", 0,
+       1000, "geometric random walk, higher volatility"},
+      {20, "Switzerland SMI", "European stock indices", "10-minute", 0, 1000,
+       "geometric random walk, mild drift"},
+  };
+}
+
+math::Vec Generate(int id, size_t n, Rng& rng) {
+  switch (id) {
+    case 1:
+      return GenWaterConsumption(n, rng);
+    case 2:
+      return GenHumidity(n, rng);
+    case 3:
+      return GenWindspeed(n, rng);
+    case 4:
+      return GenBikeRentals(n, rng);
+    case 5:
+      return GenRiverFlow(n, rng);
+    case 6:
+      return GenCloudCover(n, rng);
+    case 7:
+      return GenPrecipitation(n, rng);
+    case 8:
+      return GenSolarRadiation(n, rng);
+    case 9:
+      return GenTaxiDemand(n, rng, 60.0, 12.0);
+    case 10:
+      return GenTaxiDemand(n, rng, 45.0, 20.0);
+    case 11:
+      return GenNh4(n, rng);
+    case 12:
+      return GenRoomHumidity(n, rng, 0.0, 0.35);
+    case 13:
+      return GenRoomHumidity(n, rng, 0.9, 0.45);
+    case 14:
+      return GenRoomHumidity(n, rng, 2.1, 0.7);
+    case 15:
+      return GenOutdoorTemperature(n, rng);
+    case 16:
+      return GenStationWind(n, rng);
+    case 17:
+      return GenDewpoint(n, rng);
+    case 18:
+      return GenStockIndex(n, rng, 4400.0, 2e-5, 0.0012);
+    case 19:
+      return GenStockIndex(n, rng, 9800.0, 1e-5, 0.0018);
+    case 20:
+      return GenStockIndex(n, rng, 7900.0, 3e-5, 0.0009);
+    default:
+      EADRL_CHECK(false);
+  }
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& AllDatasetSpecs() {
+  static const std::vector<DatasetSpec>& specs =
+      *new std::vector<DatasetSpec>(BuildSpecs());
+  return specs;
+}
+
+StatusOr<DatasetSpec> GetDatasetSpec(int id) {
+  for (const DatasetSpec& spec : AllDatasetSpecs()) {
+    if (spec.id == id) return spec;
+  }
+  return Status::NotFound(StrCat("no dataset with id ", id));
+}
+
+StatusOr<Series> MakeDataset(int id, uint64_t seed, size_t length) {
+  StatusOr<DatasetSpec> spec = GetDatasetSpec(id);
+  if (!spec.ok()) return spec.status();
+  size_t n = length == 0 ? spec->default_length : length;
+  if (n < 20) {
+    return Status::InvalidArgument("MakeDataset: length must be >= 20");
+  }
+  Rng rng(seed * 1000003ULL + static_cast<uint64_t>(id));
+  math::Vec values = Generate(id, n, rng);
+  return Series(spec->name, std::move(values), spec->frequency,
+                spec->seasonal_period);
+}
+
+std::vector<Series> MakeAllDatasets(uint64_t seed, size_t length) {
+  std::vector<Series> all;
+  all.reserve(AllDatasetSpecs().size());
+  for (const DatasetSpec& spec : AllDatasetSpecs()) {
+    StatusOr<Series> s = MakeDataset(spec.id, seed, length);
+    EADRL_CHECK(s.ok());
+    all.push_back(std::move(s).value());
+  }
+  return all;
+}
+
+}  // namespace eadrl::ts

@@ -1,0 +1,72 @@
+#include "ts/decompose.h"
+
+#include "common/check.h"
+#include "math/stats.h"
+
+namespace eadrl::ts {
+
+StatusOr<Decomposition> ClassicalDecompose(const math::Vec& values,
+                                           size_t period) {
+  if (period < 2) {
+    return Status::InvalidArgument("ClassicalDecompose: period must be >= 2");
+  }
+  const size_t n = values.size();
+  if (n < 2 * period) {
+    return Status::InvalidArgument(
+        "ClassicalDecompose: series shorter than two periods");
+  }
+
+  Decomposition out;
+  out.trend.resize(n);
+  out.seasonal.resize(n);
+  out.remainder.resize(n);
+
+  // Centered moving average of width `period` (2x(period) MA when the
+  // period is even, per the classical recipe).
+  const size_t half = period / 2;
+  for (size_t t = 0; t < n; ++t) {
+    size_t lo = t >= half ? t - half : 0;
+    size_t hi = std::min(n - 1, t + half);
+    if (t >= half && t + half < n && period % 2 == 0) {
+      // Even period: half-weights at both ends.
+      double s = 0.5 * values[t - half] + 0.5 * values[t + half];
+      for (size_t j = t - half + 1; j < t + half; ++j) s += values[j];
+      out.trend[t] = s / static_cast<double>(period);
+    } else {
+      double s = 0.0;
+      for (size_t j = lo; j <= hi; ++j) s += values[j];
+      out.trend[t] = s / static_cast<double>(hi - lo + 1);
+    }
+  }
+
+  // Average detrended values per seasonal position, then center them.
+  math::Vec season_mean(period, 0.0);
+  std::vector<size_t> counts(period, 0);
+  for (size_t t = 0; t < n; ++t) {
+    season_mean[t % period] += values[t] - out.trend[t];
+    ++counts[t % period];
+  }
+  double grand = 0.0;
+  for (size_t s = 0; s < period; ++s) {
+    season_mean[s] /= static_cast<double>(counts[s]);
+    grand += season_mean[s];
+  }
+  grand /= static_cast<double>(period);
+  for (double& s : season_mean) s -= grand;
+
+  for (size_t t = 0; t < n; ++t) {
+    out.seasonal[t] = season_mean[t % period];
+    out.remainder[t] = values[t] - out.trend[t] - out.seasonal[t];
+  }
+  return out;
+}
+
+StatusOr<Decomposition> ClassicalDecompose(const Series& series) {
+  if (series.seasonal_period() == 0) {
+    return Status::InvalidArgument(
+        "ClassicalDecompose: series declares no seasonal period");
+  }
+  return ClassicalDecompose(series.values(), series.seasonal_period());
+}
+
+}  // namespace eadrl::ts

@@ -1,0 +1,27 @@
+#ifndef EADRL_TS_DECOMPOSE_H_
+#define EADRL_TS_DECOMPOSE_H_
+
+#include "common/status.h"
+#include "math/vec.h"
+#include "ts/series.h"
+
+namespace eadrl::ts {
+
+/// Additive classical decomposition x = trend + seasonal + remainder.
+struct Decomposition {
+  math::Vec trend;     ///< centered moving average (endpoints extended).
+  math::Vec seasonal;  ///< zero-mean periodic component.
+  math::Vec remainder;
+};
+
+/// Classical moving-average decomposition with the given period. Returns
+/// InvalidArgument if the series is shorter than two periods.
+StatusOr<Decomposition> ClassicalDecompose(const math::Vec& values,
+                                           size_t period);
+
+/// Convenience overload using the series' declared seasonal period.
+StatusOr<Decomposition> ClassicalDecompose(const Series& series);
+
+}  // namespace eadrl::ts
+
+#endif  // EADRL_TS_DECOMPOSE_H_

@@ -1,0 +1,64 @@
+#include "ts/drift.h"
+
+#include <cmath>
+
+namespace eadrl::ts {
+
+PageHinkley::PageHinkley(double delta, double lambda, double alpha)
+    : delta_(delta), lambda_(lambda), alpha_(alpha) {}
+
+bool PageHinkley::Update(double value) {
+  ++n_;
+  // Incremental (forgetting) mean.
+  mean_ = mean_ + (value - mean_) / static_cast<double>(n_);
+  mean_ *= alpha_;
+  cumulative_ += value - mean_ - delta_;
+  min_cumulative_ = std::min(min_cumulative_, cumulative_);
+  if (cumulative_ - min_cumulative_ > lambda_) {
+    Reset();
+    return true;
+  }
+  return false;
+}
+
+void PageHinkley::Reset() {
+  n_ = 0;
+  mean_ = 0.0;
+  cumulative_ = 0.0;
+  min_cumulative_ = 0.0;
+}
+
+WindowDriftDetector::WindowDriftDetector(size_t window, double threshold)
+    : window_(window), threshold_(threshold) {}
+
+bool WindowDriftDetector::Update(double value) {
+  window_values_.push_back(value);
+  if (window_values_.size() > window_) window_values_.pop_front();
+  if (window_values_.size() < window_) return false;
+
+  const size_t half = window_ / 2;
+  double m0 = 0.0, m1 = 0.0;
+  for (size_t i = 0; i < half; ++i) m0 += window_values_[i];
+  for (size_t i = half; i < window_; ++i) m1 += window_values_[i];
+  m0 /= static_cast<double>(half);
+  m1 /= static_cast<double>(window_ - half);
+
+  double var = 0.0;
+  for (size_t i = 0; i < half; ++i) {
+    var += (window_values_[i] - m0) * (window_values_[i] - m0);
+  }
+  for (size_t i = half; i < window_; ++i) {
+    var += (window_values_[i] - m1) * (window_values_[i] - m1);
+  }
+  var /= static_cast<double>(window_ - 2);
+  double se = std::sqrt(2.0 * var / static_cast<double>(half));
+  if (se <= 1e-12) return false;
+
+  if (std::fabs(m1 - m0) / se > threshold_) {
+    Reset();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace eadrl::ts

@@ -1,0 +1,83 @@
+#include "ts/io.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace eadrl::ts {
+
+StatusOr<Series> LoadCsv(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(StrCat("LoadCsv: cannot open ", path));
+  }
+
+  math::Vec values;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line_number <= options.skip_rows) continue;
+    // Strip trailing carriage return (Windows CSVs).
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+
+    // Split to the requested column.
+    size_t col = 0;
+    size_t start = 0;
+    std::string field;
+    while (true) {
+      size_t end = line.find(options.delimiter, start);
+      std::string current = line.substr(
+          start, end == std::string::npos ? std::string::npos : end - start);
+      if (col == options.value_column) {
+        field = current;
+        break;
+      }
+      if (end == std::string::npos) {
+        return Status::InvalidArgument(
+            StrCat("LoadCsv: line ", line_number, " has no column ",
+                   options.value_column));
+      }
+      start = end + 1;
+      ++col;
+    }
+
+    char* parse_end = nullptr;
+    double v = std::strtod(field.c_str(), &parse_end);
+    if (parse_end == field.c_str()) {
+      return Status::InvalidArgument(
+          StrCat("LoadCsv: unparsable value '", field, "' at line ",
+                 line_number));
+    }
+    values.push_back(v);
+  }
+  if (values.empty()) {
+    return Status::InvalidArgument(StrCat("LoadCsv: no values in ", path));
+  }
+
+  std::string name = options.name;
+  if (name.empty()) {
+    size_t slash = path.find_last_of('/');
+    name = slash == std::string::npos ? path : path.substr(slash + 1);
+  }
+  return Series(name, std::move(values), options.frequency,
+                options.seasonal_period);
+}
+
+Status SaveCsv(const Series& series, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument(StrCat("SaveCsv: cannot open ", path));
+  }
+  out << series.name() << "\n";
+  for (size_t i = 0; i < series.size(); ++i) out << series[i] << "\n";
+  if (!out) {
+    return Status::Internal(StrCat("SaveCsv: write failed for ", path));
+  }
+  return Status::Ok();
+}
+
+}  // namespace eadrl::ts

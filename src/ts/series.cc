@@ -1,0 +1,28 @@
+#include "ts/series.h"
+
+#include "common/check.h"
+
+namespace eadrl::ts {
+
+Series Series::Slice(size_t begin, size_t end) const {
+  EADRL_CHECK_LE(begin, end);
+  EADRL_CHECK_LE(end, values_.size());
+  math::Vec sub(values_.begin() + begin, values_.begin() + end);
+  return Series(name_, std::move(sub), frequency_, seasonal_period_);
+}
+
+Series Series::Diff() const {
+  EADRL_CHECK_GE(values_.size(), 2u);
+  math::Vec d(values_.size() - 1);
+  for (size_t i = 1; i < values_.size(); ++i) d[i - 1] = values_[i] - values_[i - 1];
+  return Series(name_ + ".diff", std::move(d), frequency_, seasonal_period_);
+}
+
+TrainTestSplit SplitTrainTest(const Series& s, double train_ratio) {
+  EADRL_CHECK(train_ratio > 0.0 && train_ratio < 1.0);
+  size_t cut = static_cast<size_t>(train_ratio * static_cast<double>(s.size()));
+  EADRL_CHECK(cut > 0 && cut < s.size());
+  return TrainTestSplit{s.Slice(0, cut), s.Slice(cut, s.size())};
+}
+
+}  // namespace eadrl::ts

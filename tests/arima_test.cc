@@ -1,0 +1,140 @@
+#include "models/arima.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "models/forecaster.h"
+#include "models/naive.h"
+#include "ts/metrics.h"
+
+namespace eadrl::models {
+namespace {
+
+ts::Series MakeAr1(size_t n, double phi, double sigma, uint64_t seed) {
+  Rng rng(seed);
+  math::Vec v(n);
+  double x = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    x = phi * x + rng.Normal(0.0, sigma);
+    v[t] = x;
+  }
+  return ts::Series("ar1", std::move(v));
+}
+
+TEST(ArimaTest, NameEncodesOrder) {
+  ArimaForecaster model(2, 1, 1);
+  EXPECT_EQ(model.name(), "arima(2,1,1)");
+}
+
+TEST(ArimaTest, RecoversAr1Coefficient) {
+  ts::Series s = MakeAr1(2000, 0.8, 1.0, 1);
+  ArimaForecaster model(1, 0, 0);
+  ASSERT_TRUE(model.Fit(s).ok());
+  EXPECT_NEAR(model.ar_coefficients()[0], 0.8, 0.06);
+}
+
+TEST(ArimaTest, RecoversAr2Coefficients) {
+  Rng rng(2);
+  math::Vec v(3000);
+  double x1 = 0.0, x2 = 0.0;
+  for (size_t t = 0; t < v.size(); ++t) {
+    double x = 0.6 * x1 - 0.3 * x2 + rng.Normal(0, 1);
+    v[t] = x;
+    x2 = x1;
+    x1 = x;
+  }
+  ArimaForecaster model(2, 0, 0);
+  ASSERT_TRUE(model.Fit(ts::Series("ar2", std::move(v))).ok());
+  EXPECT_NEAR(model.ar_coefficients()[0], 0.6, 0.08);
+  EXPECT_NEAR(model.ar_coefficients()[1], -0.3, 0.08);
+}
+
+TEST(ArimaTest, BeatsNaiveOnAr1) {
+  ts::Series s = MakeAr1(1200, 0.9, 1.0, 3);
+  auto split = ts::SplitTrainTest(s, 0.8);
+
+  ArimaForecaster arima(1, 0, 0);
+  ASSERT_TRUE(arima.Fit(split.train).ok());
+  math::Vec arima_preds = RollingForecast(&arima, split.test);
+
+  NaiveForecaster naive;
+  ASSERT_TRUE(naive.Fit(split.train).ok());
+  math::Vec naive_preds = RollingForecast(&naive, split.test);
+
+  // AR(1) optimal predictor phi*x_t strictly beats the random walk.
+  EXPECT_LT(ts::Rmse(split.test.values(), arima_preds),
+            ts::Rmse(split.test.values(), naive_preds));
+}
+
+TEST(ArimaTest, DifferencingHandlesLinearTrend) {
+  // x_t = 0.5 t + noise; ARIMA(1,1,0) should track the trend.
+  Rng rng(4);
+  math::Vec v(600);
+  for (size_t t = 0; t < v.size(); ++t) {
+    v[t] = 0.5 * static_cast<double>(t) + rng.Normal(0, 0.5);
+  }
+  ts::Series s("trend", std::move(v));
+  auto split = ts::SplitTrainTest(s, 0.8);
+
+  ArimaForecaster model(1, 1, 0);
+  ASSERT_TRUE(model.Fit(split.train).ok());
+  math::Vec preds = RollingForecast(&model, split.test);
+  // Forecasts should stay close to the trending series, not lag behind it.
+  EXPECT_LT(ts::Rmse(split.test.values(), preds), 1.2);
+}
+
+TEST(ArimaTest, SecondOrderDifferencing) {
+  // Quadratic trend needs d = 2.
+  Rng rng(5);
+  math::Vec v(500);
+  for (size_t t = 0; t < v.size(); ++t) {
+    double td = static_cast<double>(t);
+    v[t] = 0.01 * td * td + rng.Normal(0, 0.5);
+  }
+  ts::Series s("quad", std::move(v));
+  auto split = ts::SplitTrainTest(s, 0.8);
+  ArimaForecaster model(1, 2, 0);
+  ASSERT_TRUE(model.Fit(split.train).ok());
+  math::Vec preds = RollingForecast(&model, split.test);
+  EXPECT_LT(ts::Nrmse(split.test.values(), preds), 0.05);
+}
+
+TEST(ArimaTest, MaTermImprovesOnMaProcess) {
+  // MA(1): x_t = e_t + 0.7 e_{t-1}.
+  Rng rng(6);
+  math::Vec v(2000);
+  double prev_e = 0.0;
+  for (size_t t = 0; t < v.size(); ++t) {
+    double e = rng.Normal(0, 1);
+    v[t] = e + 0.7 * prev_e;
+    prev_e = e;
+  }
+  ts::Series s("ma1", std::move(v));
+  ArimaForecaster model(1, 0, 1);
+  ASSERT_TRUE(model.Fit(s).ok());
+  // The MA coefficient should be clearly positive.
+  EXPECT_GT(model.ma_coefficients()[0], 0.3);
+}
+
+TEST(ArimaTest, RejectsShortSeries) {
+  ArimaForecaster model(2, 1, 1);
+  EXPECT_FALSE(model.Fit(ts::Series("tiny", {1, 2, 3})).ok());
+}
+
+TEST(ArimaTest, PredictObserveProtocol) {
+  ts::Series s = MakeAr1(500, 0.7, 1.0, 7);
+  ArimaForecaster model(1, 0, 0);
+  ASSERT_TRUE(model.Fit(s).ok());
+  double p1 = model.PredictNext();
+  EXPECT_TRUE(std::isfinite(p1));
+  model.Observe(1.5);
+  double p2 = model.PredictNext();
+  EXPECT_TRUE(std::isfinite(p2));
+  // After observing 1.5, the AR(1) forecast should be near phi * 1.5.
+  EXPECT_NEAR(p2, model.ar_coefficients()[0] * 1.5 + model.intercept(), 0.3);
+}
+
+}  // namespace
+}  // namespace eadrl::models

@@ -1,0 +1,62 @@
+#include "models/auto_arima.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "models/forecaster.h"
+
+namespace eadrl::models {
+namespace {
+
+TEST(AutoArimaTest, PrefersDifferencingForTrend) {
+  Rng rng(1);
+  math::Vec v(500);
+  for (size_t t = 0; t < v.size(); ++t) {
+    v[t] = 0.4 * static_cast<double>(t) + rng.Normal(0, 0.5);
+  }
+  auto result = AutoArima(ts::Series("trend", std::move(v)));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->d, 1u);
+  EXPECT_TRUE(result->model != nullptr);
+}
+
+TEST(AutoArimaTest, StationaryArPrefersNoDifferencing) {
+  Rng rng(2);
+  math::Vec v(800);
+  double x = 0.0;
+  for (double& val : v) {
+    x = 0.7 * x + rng.Normal(0, 1);
+    val = x;
+  }
+  auto result = AutoArima(ts::Series("ar1", std::move(v)));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->d, 0u);
+  EXPECT_GE(result->p, 1u);
+}
+
+TEST(AutoArimaTest, SelectedModelForecastsFinite) {
+  Rng rng(3);
+  math::Vec v(300);
+  for (double& val : v) val = 5.0 + rng.Normal(0, 1);
+  auto result = AutoArima(ts::Series("noise", std::move(v)));
+  ASSERT_TRUE(result.ok());
+  double p = result->model->PredictNext();
+  EXPECT_TRUE(std::isfinite(p));
+  EXPECT_NEAR(p, 5.0, 1.5);
+  EXPECT_GT(result->holdout_rmse, 0.0);
+}
+
+TEST(AutoArimaTest, RejectsShortSeriesAndBadOptions) {
+  math::Vec v(30, 1.0);
+  EXPECT_FALSE(AutoArima(ts::Series("short", std::move(v))).ok());
+
+  Rng rng(4);
+  math::Vec v2(200);
+  for (double& val : v2) val = rng.Normal(0, 1);
+  AutoArimaOptions bad;
+  bad.holdout_ratio = 0.9;
+  EXPECT_FALSE(AutoArima(ts::Series("x", std::move(v2)), bad).ok());
+}
+
+}  // namespace
+}  // namespace eadrl::models

@@ -1,0 +1,172 @@
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "baselines/expert_aggregation.h"
+#include "baselines/static_combiners.h"
+#include "common/rng.h"
+#include "core/combiner.h"
+
+namespace eadrl::baselines {
+namespace {
+
+// Validation data with one clearly superior expert (index `best`).
+void MakeExpertData(size_t t_steps, size_t m, size_t best, uint64_t seed,
+                    math::Matrix* preds, math::Vec* actuals) {
+  Rng rng(seed);
+  actuals->resize(t_steps);
+  *preds = math::Matrix(t_steps, m);
+  for (size_t t = 0; t < t_steps; ++t) {
+    double x = std::sin(0.1 * static_cast<double>(t)) * 5.0 + 20.0;
+    (*actuals)[t] = x;
+    for (size_t i = 0; i < m; ++i) {
+      double noise = (i == best) ? 0.05 : 2.0;
+      (*preds)(t, i) = x + rng.Normal(0, noise);
+    }
+  }
+}
+
+TEST(SimpleAverageTest, UniformWeights) {
+  math::Matrix preds;
+  math::Vec actuals;
+  MakeExpertData(30, 4, 0, 1, &preds, &actuals);
+  SimpleAverageCombiner se;
+  ASSERT_TRUE(se.Initialize(preds, actuals).ok());
+  math::Vec w = se.Weights();
+  for (double v : w) EXPECT_DOUBLE_EQ(v, 0.25);
+  EXPECT_DOUBLE_EQ(se.Predict({1, 2, 3, 4}), 2.5);
+}
+
+TEST(SlidingWindowTest, UpweightsAccurateModel) {
+  math::Matrix preds;
+  math::Vec actuals;
+  MakeExpertData(60, 3, 1, 2, &preds, &actuals);
+  SlidingWindowCombiner swe(10);
+  ASSERT_TRUE(swe.Initialize(preds, actuals).ok());
+  math::Vec w = swe.Weights();
+  EXPECT_GT(w[1], w[0]);
+  EXPECT_GT(w[1], w[2]);
+  EXPECT_GT(w[1], 0.5);
+}
+
+TEST(SlidingWindowTest, AdaptsWhenBestModelChanges) {
+  math::Matrix preds;
+  math::Vec actuals;
+  MakeExpertData(60, 2, 0, 3, &preds, &actuals);
+  SlidingWindowCombiner swe(10);
+  ASSERT_TRUE(swe.Initialize(preds, actuals).ok());
+  EXPECT_GT(swe.Weights()[0], 0.5);
+  // Now model 1 becomes perfect and model 0 terrible.
+  Rng rng(4);
+  for (int t = 0; t < 20; ++t) {
+    double x = 20.0;
+    swe.Update({x + rng.Normal(0, 5.0), x + rng.Normal(0, 0.01)}, x);
+  }
+  EXPECT_GT(swe.Weights()[1], 0.8);
+}
+
+// All four expert-aggregation combiners should concentrate weight on the
+// clearly best expert after warm-starting on the validation data.
+class ExpertAggregationConvergence
+    : public ::testing::TestWithParam<int> {
+ public:
+  static std::unique_ptr<ExpertAggregationBase> Make(int which) {
+    switch (which) {
+      case 0:
+        return std::make_unique<EwaCombiner>(/*eta=*/0.0,
+                                             /*warm_start=*/true);
+      case 1:
+        return std::make_unique<FixedShareCombiner>(/*eta=*/0.0,
+                                                    /*alpha=*/0.05,
+                                                    /*warm_start=*/true);
+      case 2:
+        return std::make_unique<OgdCombiner>(/*eta0=*/0.5,
+                                             /*warm_start=*/true);
+      default:
+        return std::make_unique<MlpolCombiner>(/*warm_start=*/true);
+    }
+  }
+};
+
+TEST_P(ExpertAggregationConvergence, ConcentratesOnBestExpert) {
+  math::Matrix preds;
+  math::Vec actuals;
+  const size_t best = 2;
+  MakeExpertData(150, 4, best, 5, &preds, &actuals);
+  auto combiner = Make(GetParam());
+  ASSERT_TRUE(combiner->Initialize(preds, actuals).ok());
+  math::Vec w = combiner->Weights();
+  ASSERT_EQ(w.size(), 4u);
+  double sum = std::accumulate(w.begin(), w.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  for (size_t i = 0; i < 4; ++i) {
+    if (i != best) {
+      EXPECT_GT(w[best], w[i]);
+    }
+  }
+}
+
+TEST_P(ExpertAggregationConvergence, PredictIsConvexCombination) {
+  math::Matrix preds;
+  math::Vec actuals;
+  MakeExpertData(60, 3, 0, 6, &preds, &actuals);
+  auto combiner = Make(GetParam());
+  ASSERT_TRUE(combiner->Initialize(preds, actuals).ok());
+  double p = combiner->Predict({1.0, 2.0, 3.0});
+  EXPECT_GE(p, 1.0 - 1e-9);
+  EXPECT_LE(p, 3.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAggregators, ExpertAggregationConvergence,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(FixedShareTest, KeepsFloorOnAllExperts) {
+  math::Matrix preds;
+  math::Vec actuals;
+  MakeExpertData(200, 3, 0, 7, &preds, &actuals);
+  FixedShareCombiner fs(/*eta=*/2.0, /*alpha=*/0.1, /*warm_start=*/true);
+  ASSERT_TRUE(fs.Initialize(preds, actuals).ok());
+  math::Vec w = fs.Weights();
+  // The share keeps every weight above alpha / m.
+  for (double v : w) EXPECT_GE(v, 0.1 / 3.0 - 1e-9);
+}
+
+TEST(FixedShareTest, TracksBestExpertAfterSwitch) {
+  math::Matrix preds;
+  math::Vec actuals;
+  MakeExpertData(100, 2, 0, 8, &preds, &actuals);
+  FixedShareCombiner fs(/*eta=*/0.0, /*alpha=*/0.05, /*warm_start=*/true);
+  EwaCombiner ewa(/*eta=*/0.0, /*warm_start=*/true);
+  ASSERT_TRUE(fs.Initialize(preds, actuals).ok());
+  ASSERT_TRUE(ewa.Initialize(preds, actuals).ok());
+
+  // Switch: expert 1 becomes the good one.
+  Rng rng(9);
+  for (int t = 0; t < 40; ++t) {
+    double x = 20.0;
+    math::Vec p{x + rng.Normal(0, 2.0), x + rng.Normal(0, 0.05)};
+    fs.Update(p, x);
+    ewa.Update(p, x);
+  }
+  // Fixed share must have switched; EWA's heavy history makes it slower.
+  EXPECT_GT(fs.Weights()[1], 0.5);
+  EXPECT_GE(fs.Weights()[1], ewa.Weights()[1] - 0.05);
+}
+
+TEST(MlpolTest, UniformWhenNoPositiveRegret) {
+  // A single expert: regret vs. ourselves is ~0, weights stay uniform.
+  math::Matrix preds(20, 1);
+  math::Vec actuals(20);
+  for (size_t t = 0; t < 20; ++t) {
+    actuals[t] = 1.0;
+    preds(t, 0) = 1.0;
+  }
+  MlpolCombiner mlpol;
+  ASSERT_TRUE(mlpol.Initialize(preds, actuals).ok());
+  EXPECT_DOUBLE_EQ(mlpol.Weights()[0], 1.0);
+}
+
+}  // namespace
+}  // namespace eadrl::baselines

@@ -1,0 +1,37 @@
+#include "core/combiner.h"
+
+#include <gtest/gtest.h>
+
+namespace eadrl::core {
+namespace {
+
+TEST(CombineTest, ConvexCombination) {
+  EXPECT_DOUBLE_EQ(Combine({0.5, 0.5}, {2.0, 4.0}), 3.0);
+  EXPECT_DOUBLE_EQ(Combine({1.0, 0.0}, {2.0, 4.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Combine({0.25, 0.75}, {0.0, 8.0}), 6.0);
+}
+
+// Minimal WeightedCombiner to pin the default Predict behaviour.
+class FixedWeights : public WeightedCombiner {
+ public:
+  explicit FixedWeights(math::Vec w) : w_(std::move(w)) {}
+  const std::string& name() const override { return name_; }
+  Status Initialize(const math::Matrix&, const math::Vec&) override {
+    return Status::Ok();
+  }
+  void Update(const math::Vec&, double) override {}
+  math::Vec Weights() const override { return w_; }
+
+ private:
+  std::string name_ = "fixed";
+  math::Vec w_;
+};
+
+TEST(WeightedCombinerTest, PredictUsesWeights) {
+  FixedWeights combiner({0.2, 0.3, 0.5});
+  EXPECT_DOUBLE_EQ(combiner.Predict({10.0, 10.0, 10.0}), 10.0);
+  EXPECT_DOUBLE_EQ(combiner.Predict({0.0, 0.0, 2.0}), 1.0);
+}
+
+}  // namespace
+}  // namespace eadrl::core

@@ -1,0 +1,150 @@
+#include "ts/datasets.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "math/stats.h"
+
+namespace eadrl::ts {
+namespace {
+
+TEST(DatasetSpecsTest, TwentyDatasetsWithUniqueIds) {
+  const auto& specs = AllDatasetSpecs();
+  ASSERT_EQ(specs.size(), 20u);
+  std::set<int> ids;
+  for (const auto& spec : specs) ids.insert(spec.id);
+  EXPECT_EQ(ids.size(), 20u);
+  EXPECT_EQ(*ids.begin(), 1);
+  EXPECT_EQ(*ids.rbegin(), 20);
+}
+
+TEST(DatasetSpecsTest, LookupByIdAndNotFound) {
+  auto spec = GetDatasetSpec(9);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->name, "Taxi Demand 1");
+  EXPECT_FALSE(GetDatasetSpec(0).ok());
+  EXPECT_FALSE(GetDatasetSpec(21).ok());
+}
+
+TEST(MakeDatasetTest, RespectsRequestedLength) {
+  auto s = MakeDataset(1, 42, 300);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->size(), 300u);
+}
+
+TEST(MakeDatasetTest, DefaultLengthFromSpec) {
+  auto s = MakeDataset(5, 42);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->size(), GetDatasetSpec(5)->default_length);
+}
+
+TEST(MakeDatasetTest, DeterministicForSeed) {
+  auto a = MakeDataset(3, 7, 200);
+  auto b = MakeDataset(3, 7, 200);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->values(), b->values());
+}
+
+TEST(MakeDatasetTest, DifferentSeedsDiffer) {
+  auto a = MakeDataset(3, 7, 200);
+  auto b = MakeDataset(3, 8, 200);
+  EXPECT_NE(a->values(), b->values());
+}
+
+TEST(MakeDatasetTest, RejectsTinyLength) {
+  EXPECT_FALSE(MakeDataset(1, 42, 5).ok());
+}
+
+TEST(MakeAllDatasetsTest, ProducesAllTwenty) {
+  auto all = MakeAllDatasets(42, 100);
+  EXPECT_EQ(all.size(), 20u);
+  for (const auto& s : all) EXPECT_EQ(s.size(), 100u);
+}
+
+// Parameterized structural checks over all dataset ids.
+class DatasetProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DatasetProperty, FiniteValuesAndNonDegenerate) {
+  auto s = MakeDataset(GetParam(), 42, 400);
+  ASSERT_TRUE(s.ok());
+  for (double v : s->values()) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_GT(math::Stddev(s->values()), 0.0);
+}
+
+TEST_P(DatasetProperty, SeasonalSeriesShowPeriodicAutocorrelation) {
+  auto spec = GetDatasetSpec(GetParam());
+  ASSERT_TRUE(spec.ok());
+  size_t period = spec->seasonal_period;
+  if (period == 0 || period > 170) return;  // aperiodic or annual-scale.
+  auto s = MakeDataset(GetParam(), 42, std::max<size_t>(600, period * 6));
+  ASSERT_TRUE(s.ok());
+  double ac = math::Autocorrelation(s->values(), period);
+  EXPECT_GT(ac, 0.1) << "dataset " << GetParam() << " period " << period;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIds, DatasetProperty,
+                         ::testing::Range(1, 21));
+
+// Domain-specific invariants.
+TEST(DatasetTraitsTest, HumidityBounded) {
+  for (int id : {2, 12, 13, 14}) {
+    auto s = MakeDataset(id, 1, 500);
+    ASSERT_TRUE(s.ok());
+    for (double v : s->values()) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 100.0);
+    }
+  }
+}
+
+TEST(DatasetTraitsTest, CloudCoverInOktas) {
+  auto s = MakeDataset(6, 1, 500);
+  for (double v : s->values()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 8.0);
+  }
+}
+
+TEST(DatasetTraitsTest, PrecipitationZeroInflated) {
+  auto s = MakeDataset(7, 1, 1000);
+  size_t zeros = 0;
+  for (double v : s->values()) {
+    EXPECT_GE(v, 0.0);
+    if (v == 0.0) ++zeros;
+  }
+  EXPECT_GT(zeros, 300u);  // mostly dry.
+}
+
+TEST(DatasetTraitsTest, CountsNonNegative) {
+  for (int id : {4, 9, 10}) {
+    auto s = MakeDataset(id, 1, 500);
+    for (double v : s->values()) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_DOUBLE_EQ(v, std::round(v));  // counts are integers.
+    }
+  }
+}
+
+TEST(DatasetTraitsTest, StockIndicesPositiveAndRandomWalkLike) {
+  for (int id : {18, 19, 20}) {
+    auto s = MakeDataset(id, 1, 500);
+    for (double v : s->values()) EXPECT_GT(v, 0.0);
+    // A random walk has near-unit lag-1 autocorrelation.
+    EXPECT_GT(math::Autocorrelation(s->values(), 1), 0.9);
+  }
+}
+
+TEST(DatasetTraitsTest, SolarRadiationZeroAtNight) {
+  auto s = MakeDataset(8, 1, 480);
+  size_t zeros = 0;
+  for (double v : s->values()) {
+    EXPECT_GE(v, 0.0);
+    if (v == 0.0) ++zeros;
+  }
+  EXPECT_GT(zeros, 100u);  // roughly half the hours are night.
+}
+
+}  // namespace
+}  // namespace eadrl::ts

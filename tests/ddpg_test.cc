@@ -1,0 +1,141 @@
+#include "rl/ddpg.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "rl/env.h"
+
+namespace eadrl::rl {
+namespace {
+
+DdpgConfig SmallConfig(size_t state_dim, size_t action_dim) {
+  DdpgConfig cfg;
+  cfg.state_dim = state_dim;
+  cfg.action_dim = action_dim;
+  cfg.actor_hidden = {16};
+  cfg.critic_hidden = {16};
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(DdpgTest, ActionsLiveOnTheSimplex) {
+  DdpgAgent agent(SmallConfig(3, 4));
+  math::Vec a = agent.Act({0.1, -0.2, 0.3});
+  ASSERT_EQ(a.size(), 4u);
+  double sum = std::accumulate(a.begin(), a.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  for (double w : a) EXPECT_GT(w, 0.0);
+}
+
+TEST(DdpgTest, InitialPolicyNearUniform) {
+  // DDPG's small output-layer init keeps logits near zero => near-uniform
+  // softmax.
+  DdpgAgent agent(SmallConfig(3, 5));
+  math::Vec a = agent.Act({1.0, 2.0, -1.0});
+  for (double w : a) EXPECT_NEAR(w, 0.2, 0.02);
+}
+
+TEST(DdpgTest, NoisyActionStaysOnSimplex) {
+  DdpgAgent agent(SmallConfig(2, 3));
+  math::Vec a = agent.ActWithNoise({0.5, 0.5}, {10.0, -10.0, 0.0});
+  double sum = std::accumulate(a.begin(), a.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT(a[0], 0.9);  // huge positive noise on logit 0 dominates.
+}
+
+TEST(DdpgTest, DeterministicForSeed) {
+  DdpgAgent a(SmallConfig(2, 2)), b(SmallConfig(2, 2));
+  math::Vec s{0.3, -0.3};
+  EXPECT_EQ(a.Act(s), b.Act(s));
+}
+
+// A contextual-bandit-like environment: reward is highest when all weight is
+// on model 0. The agent should learn to favor index 0.
+TEST(DdpgTest, LearnsToFavorRewardingAction) {
+  DdpgConfig cfg = SmallConfig(2, 2);
+  cfg.actor_lr = 0.005;
+  cfg.critic_lr = 0.02;
+  cfg.gamma = 0.0;  // bandit: no bootstrapping needed.
+  DdpgAgent agent(cfg);
+
+  Rng rng(11);
+  std::vector<Transition> batch;
+  for (int step = 0; step < 600; ++step) {
+    batch.clear();
+    for (int i = 0; i < 16; ++i) {
+      Transition t;
+      t.state = {rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+      // Random exploratory simplex action.
+      double w0 = rng.Uniform(0, 1);
+      t.action = {w0, 1.0 - w0};
+      t.reward = t.action[0];  // more weight on 0 => more reward.
+      t.next_state = t.state;
+      t.terminal = true;
+      batch.push_back(std::move(t));
+    }
+    agent.Update(batch);
+  }
+  math::Vec a = agent.Act({0.2, 0.4});
+  EXPECT_GT(a[0], 0.75);
+}
+
+TEST(DdpgTest, CriticLearnsRewardValues) {
+  DdpgConfig cfg = SmallConfig(1, 2);
+  cfg.gamma = 0.0;
+  cfg.critic_lr = 0.02;
+  DdpgAgent agent(cfg);
+
+  Rng rng(13);
+  std::vector<Transition> batch;
+  for (int step = 0; step < 500; ++step) {
+    batch.clear();
+    for (int i = 0; i < 16; ++i) {
+      Transition t;
+      t.state = {0.0};
+      double w0 = rng.Uniform(0, 1);
+      t.action = {w0, 1.0 - w0};
+      t.reward = 3.0 * t.action[0];
+      t.next_state = t.state;
+      t.terminal = true;
+      batch.push_back(std::move(t));
+    }
+    agent.Update(batch);
+  }
+  double q_good = agent.QValue({0.0}, {1.0, 0.0});
+  double q_bad = agent.QValue({0.0}, {0.0, 1.0});
+  EXPECT_GT(q_good, q_bad + 1.0);
+  EXPECT_NEAR(q_good, 3.0, 1.0);
+}
+
+TEST(DdpgTest, UpdateReturnsFiniteDecreasingLoss) {
+  DdpgConfig cfg = SmallConfig(2, 2);
+  cfg.gamma = 0.0;
+  DdpgAgent agent(cfg);
+  Rng rng(17);
+
+  auto make_batch = [&]() {
+    std::vector<Transition> batch;
+    for (int i = 0; i < 16; ++i) {
+      Transition t;
+      t.state = {0.5, -0.5};
+      t.action = {0.5, 0.5};
+      t.reward = 1.0;
+      t.next_state = t.state;
+      t.terminal = true;
+      batch.push_back(std::move(t));
+    }
+    return batch;
+  };
+
+  double first = agent.Update(make_batch());
+  double last = first;
+  for (int i = 0; i < 200; ++i) last = agent.Update(make_batch());
+  EXPECT_TRUE(std::isfinite(first));
+  EXPECT_LT(last, first);
+  EXPECT_LT(last, 0.05);  // constant reward is easy to fit.
+}
+
+}  // namespace
+}  // namespace eadrl::rl

@@ -1,0 +1,84 @@
+#include "ts/decompose.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "math/stats.h"
+
+namespace eadrl::ts {
+namespace {
+
+TEST(DecomposeTest, RecoversTrendPlusSeason) {
+  const size_t n = 240, period = 12;
+  math::Vec v(n);
+  for (size_t t = 0; t < n; ++t) {
+    double trend = 0.1 * static_cast<double>(t);
+    double season =
+        3.0 * std::sin(2.0 * M_PI * static_cast<double>(t) / period);
+    v[t] = trend + season + 10.0;
+  }
+  auto d = ClassicalDecompose(v, period);
+  ASSERT_TRUE(d.ok());
+
+  // Trend estimate tracks the linear trend away from the endpoints.
+  for (size_t t = period; t + period < n; ++t) {
+    EXPECT_NEAR(d->trend[t], 10.0 + 0.1 * static_cast<double>(t), 0.3);
+  }
+  // Seasonal component is zero-mean and periodic.
+  double mean = 0.0;
+  for (size_t s = 0; s < period; ++s) mean += d->seasonal[s];
+  EXPECT_NEAR(mean / period, 0.0, 1e-9);
+  for (size_t t = 0; t + period < n; ++t) {
+    EXPECT_DOUBLE_EQ(d->seasonal[t], d->seasonal[t + period]);
+  }
+  // Remainder is small away from the endpoints (noiseless signal).
+  for (size_t t = period; t + period < n; ++t) {
+    EXPECT_LT(std::fabs(d->remainder[t]), 0.5);
+  }
+}
+
+TEST(DecomposeTest, ComponentsSumToSeries) {
+  const size_t n = 120, period = 7;
+  math::Vec v(n);
+  for (size_t t = 0; t < n; ++t) {
+    v[t] = std::sin(0.9 * static_cast<double>(t)) +
+           0.05 * static_cast<double>(t);
+  }
+  auto d = ClassicalDecompose(v, period);
+  ASSERT_TRUE(d.ok());
+  for (size_t t = 0; t < n; ++t) {
+    EXPECT_NEAR(d->trend[t] + d->seasonal[t] + d->remainder[t], v[t], 1e-9);
+  }
+}
+
+TEST(DecomposeTest, OddPeriodSupported) {
+  math::Vec v(90);
+  for (size_t t = 0; t < v.size(); ++t) {
+    v[t] = static_cast<double>(t % 5);
+  }
+  auto d = ClassicalDecompose(v, 5);
+  ASSERT_TRUE(d.ok());
+  // A pure period-5 sawtooth has (near-)constant trend in the interior.
+  for (size_t t = 5; t + 5 < v.size(); ++t) {
+    EXPECT_NEAR(d->trend[t], 2.0, 1e-9);
+  }
+}
+
+TEST(DecomposeTest, RejectsBadInput) {
+  math::Vec v(10, 1.0);
+  EXPECT_FALSE(ClassicalDecompose(v, 1).ok());
+  EXPECT_FALSE(ClassicalDecompose(v, 8).ok());
+}
+
+TEST(DecomposeTest, SeriesOverloadUsesDeclaredPeriod) {
+  math::Vec v(60);
+  for (size_t t = 0; t < v.size(); ++t) v[t] = static_cast<double>(t % 6);
+  Series with_period("x", v, "", 6);
+  EXPECT_TRUE(ClassicalDecompose(with_period).ok());
+  Series without("x", v);
+  EXPECT_FALSE(ClassicalDecompose(without).ok());
+}
+
+}  // namespace
+}  // namespace eadrl::ts

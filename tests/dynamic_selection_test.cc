@@ -1,0 +1,165 @@
+#include "baselines/dynamic_selection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace eadrl::baselines {
+namespace {
+
+// m models: model 0 accurate, models 1 and 2 identical to each other (highly
+// correlated), model 3 poor.
+void MakeClusterableData(size_t t_steps, uint64_t seed, math::Matrix* preds,
+                         math::Vec* actuals) {
+  Rng rng(seed);
+  actuals->resize(t_steps);
+  *preds = math::Matrix(t_steps, 4);
+  for (size_t t = 0; t < t_steps; ++t) {
+    double x = std::sin(0.3 * static_cast<double>(t)) * 3.0 + 10.0;
+    (*actuals)[t] = x;
+    double shared = rng.Normal(0, 0.5);
+    (*preds)(t, 0) = x + rng.Normal(0, 0.05);
+    (*preds)(t, 1) = x + shared + 0.3;
+    (*preds)(t, 2) = x + shared + 0.31;  // near-duplicate of model 1.
+    (*preds)(t, 3) = x + rng.Normal(0, 3.0);
+  }
+}
+
+TEST(TopSelTest, SelectsTopModelsOnly) {
+  math::Matrix preds;
+  math::Vec actuals;
+  MakeClusterableData(60, 1, &preds, &actuals);
+  TopSelCombiner topsel(/*top_n=*/2, /*window=*/20);
+  ASSERT_TRUE(topsel.Initialize(preds, actuals).ok());
+  math::Vec w = topsel.Weights();
+  // Exactly two nonzero weights; the bad model 3 excluded.
+  size_t nonzero = 0;
+  for (double v : w) {
+    if (v > 0.0) ++nonzero;
+  }
+  EXPECT_EQ(nonzero, 2u);
+  EXPECT_DOUBLE_EQ(w[3], 0.0);
+  EXPECT_GT(w[0], 0.0);
+}
+
+TEST(TopSelTest, WeightsSumToOne) {
+  math::Matrix preds;
+  math::Vec actuals;
+  MakeClusterableData(60, 2, &preds, &actuals);
+  TopSelCombiner topsel(3, 10);
+  ASSERT_TRUE(topsel.Initialize(preds, actuals).ok());
+  math::Vec w = topsel.Weights();
+  double sum = 0.0;
+  for (double v : w) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ClusteringTest, GroupsCorrelatedModels) {
+  math::Matrix preds;
+  math::Vec actuals;
+  MakeClusterableData(60, 3, &preds, &actuals);
+  SlidingErrorTracker tracker(4, 40);
+  tracker.Warm(preds, actuals);
+
+  auto clusters = ClusterModelsByCorrelation(tracker, 0.05);
+  // Models 1 and 2 are near-duplicates; they must share a cluster.
+  bool found_pair = false;
+  for (const auto& cluster : clusters) {
+    bool has1 = std::find(cluster.begin(), cluster.end(), 1u) != cluster.end();
+    bool has2 = std::find(cluster.begin(), cluster.end(), 2u) != cluster.end();
+    if (has1 && has2) found_pair = true;
+  }
+  EXPECT_TRUE(found_pair);
+  EXPECT_LT(clusters.size(), 4u);
+}
+
+TEST(ClusteringTest, ZeroThresholdKeepsAllSeparate) {
+  math::Matrix preds;
+  math::Vec actuals;
+  MakeClusterableData(60, 4, &preds, &actuals);
+  SlidingErrorTracker tracker(4, 40);
+  tracker.Warm(preds, actuals);
+  auto clusters = ClusterModelsByCorrelation(tracker, -1.0);
+  EXPECT_EQ(clusters.size(), 4u);
+}
+
+TEST(ClusCombinerTest, DropsRedundantModelFromCommittee) {
+  math::Matrix preds;
+  math::Vec actuals;
+  MakeClusterableData(80, 5, &preds, &actuals);
+  ClusCombiner clus(/*window=*/40, /*distance_threshold=*/0.05,
+                    /*recluster_every=*/10);
+  ASSERT_TRUE(clus.Initialize(preds, actuals).ok());
+  const auto& reps = clus.representatives();
+  // Of the near-duplicates (1, 2), at most one is a representative.
+  size_t dup_count = 0;
+  for (size_t r : reps) {
+    if (r == 1 || r == 2) ++dup_count;
+  }
+  EXPECT_LE(dup_count, 1u);
+}
+
+TEST(ClusCombinerTest, WeightsValid) {
+  math::Matrix preds;
+  math::Vec actuals;
+  MakeClusterableData(80, 6, &preds, &actuals);
+  ClusCombiner clus;
+  ASSERT_TRUE(clus.Initialize(preds, actuals).ok());
+  math::Vec w = clus.Weights();
+  double sum = 0.0;
+  for (double v : w) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(DemscTest, InitializeBuildsCommittee) {
+  math::Matrix preds;
+  math::Vec actuals;
+  MakeClusterableData(80, 7, &preds, &actuals);
+  DemscCombiner demsc;
+  ASSERT_TRUE(demsc.Initialize(preds, actuals).ok());
+  EXPECT_FALSE(demsc.committee().empty());
+  EXPECT_EQ(demsc.drift_count(), 0u);
+}
+
+TEST(DemscTest, DriftTriggersCommitteeRebuild) {
+  math::Matrix preds;
+  math::Vec actuals;
+  MakeClusterableData(80, 8, &preds, &actuals);
+  DemscCombiner::Params params;
+  params.ph_lambda = 2.0;  // sensitive detector for the test.
+  DemscCombiner demsc(params);
+  ASSERT_TRUE(demsc.Initialize(preds, actuals).ok());
+
+  // Feed a sudden large-error regime: every model is far off.
+  Rng rng(9);
+  for (int t = 0; t < 60; ++t) {
+    math::Vec p{100.0, 101.0, 102.0, 103.0};
+    demsc.Update(p, 10.0 + rng.Normal(0, 0.1));
+  }
+  EXPECT_GE(demsc.drift_count(), 1u);
+}
+
+TEST(DemscTest, StationaryRegimeNoDrift) {
+  math::Matrix preds;
+  math::Vec actuals;
+  MakeClusterableData(80, 10, &preds, &actuals);
+  DemscCombiner demsc;
+  ASSERT_TRUE(demsc.Initialize(preds, actuals).ok());
+  Rng rng(11);
+  for (int t = 0; t < 100; ++t) {
+    double x = 10.0 + rng.Normal(0, 0.2);
+    math::Vec p{x + rng.Normal(0, 0.05), x + 0.3, x + 0.31,
+                x + rng.Normal(0, 3.0)};
+    demsc.Update(p, x);
+  }
+  EXPECT_EQ(demsc.drift_count(), 0u);
+}
+
+}  // namespace
+}  // namespace eadrl::baselines

@@ -1,0 +1,168 @@
+#include "core/eadrl.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ts/metrics.h"
+
+namespace eadrl::core {
+namespace {
+
+// Validation matrix where model 0 is consistently the most accurate, model 1
+// is mediocre and model 2 is bad.
+void MakeSkillGapData(size_t t_steps, uint64_t seed, math::Matrix* preds,
+                      math::Vec* actuals) {
+  Rng rng(seed);
+  actuals->resize(t_steps);
+  *preds = math::Matrix(t_steps, 3);
+  double x = 10.0;
+  for (size_t t = 0; t < t_steps; ++t) {
+    x = 10.0 + 0.8 * (x - 10.0) + rng.Normal(0, 1.0);
+    (*actuals)[t] = x;
+    (*preds)(t, 0) = x + rng.Normal(0, 0.1);
+    (*preds)(t, 1) = x + rng.Normal(0, 1.5);
+    (*preds)(t, 2) = x + 4.0 + rng.Normal(0, 1.0);
+  }
+}
+
+EadrlConfig FastConfig() {
+  EadrlConfig cfg;
+  cfg.omega = 5;
+  cfg.max_episodes = 25;
+  cfg.max_iterations = 60;
+  cfg.actor_hidden = {24};
+  cfg.critic_hidden = {24};
+  cfg.batch_size = 8;
+  cfg.warmup_transitions = 16;
+  cfg.early_stop = false;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(EadrlTest, InitializeRejectsBadInput) {
+  EadrlCombiner combiner(FastConfig());
+  math::Matrix preds(4, 2);  // shorter than omega + 2.
+  math::Vec actuals(4, 0.0);
+  EXPECT_FALSE(combiner.Initialize(preds, actuals).ok());
+}
+
+TEST(EadrlTest, TrainingProducesEpisodeRewards) {
+  math::Matrix preds;
+  math::Vec actuals;
+  MakeSkillGapData(120, 1, &preds, &actuals);
+  EadrlCombiner combiner(FastConfig());
+  ASSERT_TRUE(combiner.Initialize(preds, actuals).ok());
+  EXPECT_EQ(combiner.episode_rewards().size(), 25u);
+  for (double r : combiner.episode_rewards()) {
+    EXPECT_TRUE(std::isfinite(r));
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 4.0);  // max rank reward with m = 3.
+  }
+}
+
+TEST(EadrlTest, WeightsOnSimplex) {
+  math::Matrix preds;
+  math::Vec actuals;
+  MakeSkillGapData(120, 2, &preds, &actuals);
+  EadrlCombiner combiner(FastConfig());
+  ASSERT_TRUE(combiner.Initialize(preds, actuals).ok());
+  math::Vec w = combiner.Weights();
+  ASSERT_EQ(w.size(), 3u);
+  double sum = std::accumulate(w.begin(), w.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  for (double v : w) EXPECT_GE(v, 0.0);
+}
+
+TEST(EadrlTest, LearnsToUpweightAccurateModel) {
+  math::Matrix preds;
+  math::Vec actuals;
+  MakeSkillGapData(200, 3, &preds, &actuals);
+  EadrlConfig cfg = FastConfig();
+  cfg.max_episodes = 60;
+  EadrlCombiner combiner(cfg);
+  ASSERT_TRUE(combiner.Initialize(preds, actuals).ok());
+  math::Vec w = combiner.Weights();
+  // Model 0 (tight errors) should receive more weight than model 2 (biased).
+  EXPECT_GT(w[0], w[2]);
+}
+
+TEST(EadrlTest, RewardCurveImprovesWithRankReward) {
+  math::Matrix preds;
+  math::Vec actuals;
+  MakeSkillGapData(200, 4, &preds, &actuals);
+  EadrlConfig cfg = FastConfig();
+  cfg.max_episodes = 50;
+  EadrlCombiner combiner(cfg);
+  ASSERT_TRUE(combiner.Initialize(preds, actuals).ok());
+  const math::Vec& rewards = combiner.episode_rewards();
+  double early = 0.0, late = 0.0;
+  for (size_t i = 0; i < 10; ++i) early += rewards[i];
+  for (size_t i = rewards.size() - 10; i < rewards.size(); ++i) {
+    late += rewards[i];
+  }
+  EXPECT_GE(late, early - 1.0);  // no catastrophic collapse...
+  EXPECT_GT(late / 10.0, 1.0);   // ...and clearly above the worst reward.
+}
+
+TEST(EadrlTest, PredictRollsWindowForward) {
+  math::Matrix preds;
+  math::Vec actuals;
+  MakeSkillGapData(120, 5, &preds, &actuals);
+  EadrlCombiner combiner(FastConfig());
+  ASSERT_TRUE(combiner.Initialize(preds, actuals).ok());
+
+  // Algorithm 1 over a short horizon.
+  for (int j = 0; j < 5; ++j) {
+    math::Vec step_preds{10.0, 10.5, 14.0};
+    double pred = combiner.Predict(step_preds);
+    EXPECT_TRUE(std::isfinite(pred));
+    // The combined prediction is a convex combination of the base values.
+    EXPECT_GE(pred, 10.0 - 1e-9);
+    EXPECT_LE(pred, 14.0 + 1e-9);
+    combiner.Update(step_preds, 10.2);
+  }
+}
+
+TEST(EadrlTest, EarlyStopBoundsEpisodes) {
+  math::Matrix preds;
+  math::Vec actuals;
+  MakeSkillGapData(150, 6, &preds, &actuals);
+  EadrlConfig cfg = FastConfig();
+  cfg.max_episodes = 100;
+  cfg.early_stop = true;
+  cfg.early_stop_patience = 5;
+  EadrlCombiner combiner(cfg);
+  ASSERT_TRUE(combiner.Initialize(preds, actuals).ok());
+  EXPECT_LE(combiner.converged_episode(), 100u);
+  EXPECT_EQ(combiner.episode_rewards().size(), combiner.converged_episode());
+}
+
+TEST(EadrlTest, NrmseRewardVariantRuns) {
+  math::Matrix preds;
+  math::Vec actuals;
+  MakeSkillGapData(120, 7, &preds, &actuals);
+  EadrlConfig cfg = FastConfig();
+  cfg.reward_type = rl::RewardType::kOneMinusNrmse;
+  EadrlCombiner combiner(cfg);
+  ASSERT_TRUE(combiner.Initialize(preds, actuals).ok());
+  for (double r : combiner.episode_rewards()) {
+    EXPECT_TRUE(std::isfinite(r));
+    EXPECT_LE(r, 1.0);
+  }
+}
+
+TEST(EadrlTest, UniformSamplingVariantRuns) {
+  math::Matrix preds;
+  math::Vec actuals;
+  MakeSkillGapData(120, 8, &preds, &actuals);
+  EadrlConfig cfg = FastConfig();
+  cfg.sampling = rl::SamplingStrategy::kUniform;
+  EadrlCombiner combiner(cfg);
+  EXPECT_TRUE(combiner.Initialize(preds, actuals).ok());
+}
+
+}  // namespace
+}  // namespace eadrl::core

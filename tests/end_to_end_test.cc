@@ -1,0 +1,77 @@
+// End-to-end integration: dataset -> CSV round trip -> pool fitting ->
+// offline policy training -> policy persistence -> online forecasting.
+// Exercises the full workflow a downstream user would run.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/eadrl.h"
+#include "exp/experiment.h"
+#include "ts/datasets.h"
+#include "ts/io.h"
+#include "ts/metrics.h"
+
+namespace eadrl {
+namespace {
+
+TEST(EndToEndTest, CsvToPolicyToForecast) {
+  // 1. Generate and persist a dataset, then reload it (data-ingestion path).
+  auto generated = ts::MakeDataset(14, 42, 260);
+  ASSERT_TRUE(generated.ok());
+  std::string csv_path = testing::TempDir() + "/e2e.csv";
+  ASSERT_TRUE(ts::SaveCsv(*generated, csv_path).ok());
+
+  ts::CsvOptions csv;
+  csv.skip_rows = 1;
+  csv.name = "humidity";
+  csv.seasonal_period = 144;
+  auto series = ts::LoadCsv(csv_path, csv);
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series->size(), generated->size());
+
+  // 2. Fit the pool and train the policy offline.
+  exp::ExperimentOptions opt;
+  opt.pool.fast_mode = true;
+  opt.pool.nn_epochs = 2;
+  opt.eadrl.omega = 5;
+  opt.eadrl.max_episodes = 8;
+  opt.eadrl.max_iterations = 40;
+  opt.eadrl.actor_hidden = {16};
+  opt.eadrl.critic_hidden = {16};
+  opt.eadrl.batch_size = 8;
+  opt.eadrl.warmup_transitions = 16;
+  opt.eadrl.restarts = 1;
+  exp::PoolRun pool = exp::PreparePool(*series, opt);
+
+  core::EadrlCombiner trainer(opt.eadrl);
+  ASSERT_TRUE(trainer.Initialize(pool.val_preds, pool.val_actuals).ok());
+
+  // 3. Persist the policy and deploy it in a fresh combiner.
+  std::string policy_path = testing::TempDir() + "/e2e-policy.txt";
+  ASSERT_TRUE(trainer.SavePolicy(policy_path).ok());
+  core::EadrlCombiner deployed(opt.eadrl);
+  ASSERT_TRUE(deployed.LoadPolicy(policy_path).ok());
+
+  // 4. Online forecasting over the test segment.
+  math::Vec forecasts(pool.test_actuals.size());
+  for (size_t t = 0; t < pool.test_actuals.size(); ++t) {
+    math::Vec preds = pool.test_preds.Row(t);
+    forecasts[t] = deployed.Predict(preds);
+    deployed.Update(preds, pool.test_actuals[t]);
+    EXPECT_TRUE(std::isfinite(forecasts[t]));
+  }
+  double rmse = ts::Rmse(pool.test_actuals, forecasts);
+  EXPECT_TRUE(std::isfinite(rmse));
+
+  // The deployed ensemble must not be worse than the worst base model.
+  double worst = 0.0;
+  for (size_t m = 0; m < pool.model_names.size(); ++m) {
+    worst = std::max(worst, ts::Rmse(pool.test_actuals,
+                                     pool.test_preds.Col(m)));
+  }
+  EXPECT_LE(rmse, worst);
+}
+
+}  // namespace
+}  // namespace eadrl

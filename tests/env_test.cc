@@ -1,0 +1,134 @@
+#include "rl/env.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace eadrl::rl {
+namespace {
+
+// 6 time steps, 2 models: model 0 is perfect, model 1 is off by +2.
+EnsembleEnv MakePerfectVsBiasedEnv(RewardType reward) {
+  math::Vec actuals{1, 2, 3, 4, 5, 6};
+  math::Matrix preds(6, 2);
+  for (size_t t = 0; t < 6; ++t) {
+    preds(t, 0) = actuals[t];
+    preds(t, 1) = actuals[t] + 2.0;
+  }
+  return EnsembleEnv(preds, actuals, /*omega=*/2, reward);
+}
+
+TEST(EnvTest, Dimensions) {
+  EnsembleEnv env = MakePerfectVsBiasedEnv(RewardType::kRank);
+  EXPECT_EQ(env.state_dim(), 2u);
+  EXPECT_EQ(env.action_dim(), 2u);
+  EXPECT_EQ(env.horizon(), 4u);
+}
+
+TEST(EnvTest, ResetReturnsWindowStandardizedUniformEnsemble) {
+  EnsembleEnv env = MakePerfectVsBiasedEnv(RewardType::kRank);
+  math::Vec s = env.Reset();
+  ASSERT_EQ(s.size(), 2u);
+  // Uniform ensemble outputs: (1+3)/2=2, (2+4)/2=3; standardized by the
+  // window's own statistics (mean 2.5, population stddev 0.5), so the state
+  // encodes the recent *shape* independent of the series level.
+  EXPECT_NEAR(s[0], -1.0, 1e-9);
+  EXPECT_NEAR(s[1], 1.0, 1e-9);
+}
+
+TEST(EnvTest, RankRewardMaxWhenWeightsOnBestModel) {
+  EnsembleEnv env = MakePerfectVsBiasedEnv(RewardType::kRank);
+  env.Reset();
+  // All weight on the perfect model: ensemble ties with best => rank 1,
+  // reward = m + 1 - 1 = 2.
+  double r = env.RewardAt(2, {1.0, 0.0});
+  EXPECT_DOUBLE_EQ(r, 2.0);
+}
+
+TEST(EnvTest, RankRewardLowWhenWeightsOnWorstModel) {
+  EnsembleEnv env = MakePerfectVsBiasedEnv(RewardType::kRank);
+  env.Reset();
+  // All weight on the biased model: ensemble error 2, beaten by model 0
+  // (error 0) and tied with model 1 => rank 2, reward = 1.
+  double r = env.RewardAt(2, {0.0, 1.0});
+  EXPECT_DOUBLE_EQ(r, 1.0);
+}
+
+TEST(EnvTest, RankRewardIntermediateForMixedWeights) {
+  EnsembleEnv env = MakePerfectVsBiasedEnv(RewardType::kRank);
+  env.Reset();
+  // Equal weights: ensemble error 1 < 2, beats model 1, loses to model 0.
+  double r = env.RewardAt(2, {0.5, 0.5});
+  EXPECT_DOUBLE_EQ(r, 1.0);  // rank 2 of 3.
+}
+
+TEST(EnvTest, NrmseRewardHigherForBetterWeights) {
+  EnsembleEnv env = MakePerfectVsBiasedEnv(RewardType::kOneMinusNrmse);
+  env.Reset();
+  double good = env.RewardAt(2, {1.0, 0.0});
+  double bad = env.RewardAt(2, {0.0, 1.0});
+  EXPECT_GT(good, bad);
+  EXPECT_DOUBLE_EQ(good, 1.0);  // zero error => 1 - 0.
+}
+
+TEST(EnvTest, StepAdvancesAndTerminates) {
+  EnsembleEnv env = MakePerfectVsBiasedEnv(RewardType::kRank);
+  env.Reset();
+  size_t steps = 0;
+  bool done = false;
+  while (!done) {
+    auto sr = env.Step({0.5, 0.5});
+    done = sr.done;
+    ++steps;
+    ASSERT_LE(steps, 10u);
+  }
+  EXPECT_EQ(steps, env.horizon());
+}
+
+TEST(EnvTest, TransitionIsDeterministicSlide) {
+  EnsembleEnv env = MakePerfectVsBiasedEnv(RewardType::kRank);
+  env.Reset();
+  auto sr = env.Step({1.0, 0.0});
+  // Next window drops the oldest ensemble output (2) and appends the new
+  // prediction (weights (1,0) => prediction = actual = 3 at t=2), giving
+  // raw window (3, 3); a flat window standardizes to zeros (stddev floored
+  // by the validation stddev).
+  EXPECT_NEAR(sr.next_state[0], 0.0, 1e-9);
+  EXPECT_NEAR(sr.next_state[1], 0.0, 1e-9);
+  EXPECT_FALSE(sr.done);
+}
+
+TEST(EnvTest, PeekMatchesStepWithoutAdvancing) {
+  EnsembleEnv env = MakePerfectVsBiasedEnv(RewardType::kRank);
+  env.Reset();
+  auto peeked = env.Peek({0.5, 0.5});
+  auto stepped = env.Step({0.5, 0.5});
+  EXPECT_DOUBLE_EQ(peeked.reward, stepped.reward);
+  EXPECT_EQ(peeked.next_state, stepped.next_state);
+  EXPECT_EQ(peeked.done, stepped.done);
+}
+
+TEST(EnvTest, PeekDoesNotMutateState) {
+  EnsembleEnv env = MakePerfectVsBiasedEnv(RewardType::kRank);
+  env.Reset();
+  env.Peek({1.0, 0.0});
+  env.Peek({0.0, 1.0});
+  // Stepping after peeks gives the same result as stepping immediately.
+  EnsembleEnv fresh = MakePerfectVsBiasedEnv(RewardType::kRank);
+  fresh.Reset();
+  auto a = env.Step({0.5, 0.5});
+  auto b = fresh.Step({0.5, 0.5});
+  EXPECT_DOUBLE_EQ(a.reward, b.reward);
+  EXPECT_EQ(a.next_state, b.next_state);
+}
+
+TEST(EnvTest, SecondEpisodeIdenticalToFirst) {
+  EnsembleEnv env = MakePerfectVsBiasedEnv(RewardType::kRank);
+  math::Vec s1 = env.Reset();
+  env.Step({0.5, 0.5});
+  math::Vec s2 = env.Reset();
+  EXPECT_EQ(s1, s2);
+}
+
+}  // namespace
+}  // namespace eadrl::rl

@@ -1,0 +1,114 @@
+#include "models/ets.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "models/forecaster.h"
+#include "ts/metrics.h"
+
+namespace eadrl::models {
+namespace {
+
+TEST(EtsTest, NamesByVariant) {
+  EXPECT_EQ(EtsForecaster(EtsVariant::kSimple).name(), "ets-ses");
+  EXPECT_EQ(EtsForecaster(EtsVariant::kHolt).name(), "ets-holt");
+  EXPECT_EQ(EtsForecaster(EtsVariant::kDampedHolt).name(), "ets-damped-holt");
+  EXPECT_EQ(EtsForecaster(EtsVariant::kHoltWintersAdditive).name(),
+            "ets-holt-winters");
+}
+
+TEST(EtsTest, SesTracksConstantSeries) {
+  Rng rng(1);
+  math::Vec v(200);
+  for (double& x : v) x = 10.0 + rng.Normal(0, 0.1);
+  EtsForecaster ses(EtsVariant::kSimple);
+  ASSERT_TRUE(ses.Fit(ts::Series("const", std::move(v))).ok());
+  EXPECT_NEAR(ses.PredictNext(), 10.0, 0.3);
+}
+
+TEST(EtsTest, HoltExtrapolatesTrend) {
+  math::Vec v(100);
+  for (size_t t = 0; t < 100; ++t) v[t] = 2.0 * static_cast<double>(t);
+  EtsForecaster holt(EtsVariant::kHolt);
+  ASSERT_TRUE(holt.Fit(ts::Series("trend", std::move(v))).ok());
+  // Next value should be ~200.
+  EXPECT_NEAR(holt.PredictNext(), 200.0, 2.0);
+}
+
+TEST(EtsTest, SesLagsOnTrendButHoltDoesNot) {
+  math::Vec v(100);
+  for (size_t t = 0; t < 100; ++t) v[t] = 2.0 * static_cast<double>(t);
+  ts::Series s("trend", std::move(v));
+  EtsForecaster ses(EtsVariant::kSimple);
+  EtsForecaster holt(EtsVariant::kHolt);
+  ASSERT_TRUE(ses.Fit(s).ok());
+  ASSERT_TRUE(holt.Fit(s).ok());
+  EXPECT_LT(std::fabs(holt.PredictNext() - 200.0),
+            std::fabs(ses.PredictNext() - 200.0));
+}
+
+TEST(EtsTest, HoltWintersCapturesSeasonality) {
+  // Clean period-12 seasonal pattern plus level.
+  math::Vec v(240);
+  for (size_t t = 0; t < v.size(); ++t) {
+    v[t] = 50.0 + 10.0 * std::sin(2.0 * M_PI * static_cast<double>(t) / 12.0);
+  }
+  ts::Series s("seasonal", std::move(v), "monthly", 12);
+  auto split = ts::SplitTrainTest(s, 0.8);
+
+  EtsForecaster hw(EtsVariant::kHoltWintersAdditive, 12);
+  EtsForecaster ses(EtsVariant::kSimple);
+  ASSERT_TRUE(hw.Fit(split.train).ok());
+  ASSERT_TRUE(ses.Fit(split.train).ok());
+
+  math::Vec hw_preds = RollingForecast(&hw, split.test);
+  math::Vec ses_preds = RollingForecast(&ses, split.test);
+  EXPECT_LT(ts::Rmse(split.test.values(), hw_preds),
+            ts::Rmse(split.test.values(), ses_preds));
+}
+
+TEST(EtsTest, HoltWintersPicksPeriodFromSeries) {
+  math::Vec v(120);
+  for (size_t t = 0; t < v.size(); ++t) {
+    v[t] = std::sin(2.0 * M_PI * static_cast<double>(t) / 6.0);
+  }
+  ts::Series s("seasonal", std::move(v), "", 6);
+  EtsForecaster hw(EtsVariant::kHoltWintersAdditive);  // no explicit period.
+  EXPECT_TRUE(hw.Fit(s).ok());
+}
+
+TEST(EtsTest, GridSearchSelectsHighAlphaForRandomWalk) {
+  // On a random walk the best SES alpha is close to 1.
+  Rng rng(3);
+  math::Vec v(500);
+  double x = 0.0;
+  for (double& val : v) {
+    x += rng.Normal(0, 1);
+    val = x;
+  }
+  EtsForecaster ses(EtsVariant::kSimple);
+  ASSERT_TRUE(ses.Fit(ts::Series("rw", std::move(v))).ok());
+  EXPECT_GE(ses.alpha(), 0.7);
+}
+
+TEST(EtsTest, ObserveMovesForecast) {
+  Rng rng(4);
+  math::Vec v(100);
+  for (double& x : v) x = rng.Normal(5, 0.5);
+  EtsForecaster ses(EtsVariant::kSimple);
+  ASSERT_TRUE(ses.Fit(ts::Series("x", std::move(v))).ok());
+  double before = ses.PredictNext();
+  for (int i = 0; i < 20; ++i) ses.Observe(20.0);
+  double after = ses.PredictNext();
+  EXPECT_GT(after, before + 5.0);  // level moved toward 20.
+}
+
+TEST(EtsTest, RejectsShortSeries) {
+  EtsForecaster ses(EtsVariant::kSimple);
+  EXPECT_FALSE(ses.Fit(ts::Series("tiny", {1, 2, 3})).ok());
+}
+
+}  // namespace
+}  // namespace eadrl::models

@@ -1,0 +1,112 @@
+#include "exp/experiment.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "ts/datasets.h"
+
+namespace eadrl::exp {
+namespace {
+
+ExperimentOptions FastOptions() {
+  ExperimentOptions opt;
+  opt.pool.fast_mode = true;
+  opt.pool.nn_epochs = 3;
+  opt.eadrl.omega = 5;
+  opt.eadrl.max_episodes = 8;
+  opt.eadrl.max_iterations = 40;
+  opt.eadrl.actor_hidden = {16};
+  opt.eadrl.critic_hidden = {16};
+  opt.eadrl.batch_size = 8;
+  opt.eadrl.warmup_transitions = 16;
+  opt.seed = 42;
+  return opt;
+}
+
+TEST(ExperimentTest, PreparePoolShapes) {
+  auto series = ts::MakeDataset(2, 42, 240);
+  ASSERT_TRUE(series.ok());
+  PoolRun pool = PreparePool(*series, FastOptions());
+
+  EXPECT_GE(pool.model_names.size(), 8u);
+  EXPECT_EQ(pool.val_preds.cols(), pool.model_names.size());
+  EXPECT_EQ(pool.test_preds.cols(), pool.model_names.size());
+  EXPECT_EQ(pool.val_preds.rows(), pool.val_actuals.size());
+  EXPECT_EQ(pool.test_preds.rows(), pool.test_actuals.size());
+  // 75/25 outer split of 240 -> 60 test points.
+  EXPECT_EQ(pool.test_actuals.size(), 60u);
+  for (double v : pool.val_preds.data()) EXPECT_TRUE(std::isfinite(v));
+  for (double v : pool.test_preds.data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(ExperimentTest, CombinerSuiteHasElevenMethods) {
+  auto suite = MakeCombinerSuite(FastOptions());
+  EXPECT_EQ(suite.size(), 11u);
+  std::set<std::string> names;
+  for (const auto& combiner : suite) names.insert(combiner->name());
+  for (const char* expected :
+       {"SE", "SWE", "EWA", "FS", "OGD", "MLpol", "Stacking", "Clus",
+        "Top.sel", "DEMSC", "EA-DRL"}) {
+    EXPECT_TRUE(names.count(expected)) << "missing " << expected;
+  }
+}
+
+TEST(ExperimentTest, RunDatasetProducesFiniteResults) {
+  auto series = ts::MakeDataset(2, 42, 240);
+  ASSERT_TRUE(series.ok());
+  DatasetResult result = RunDataset(*series, FastOptions());
+
+  // 11 combiners + 5 standalone models.
+  EXPECT_GE(result.methods.size(), 14u);
+  for (const MethodRun& run : result.methods) {
+    EXPECT_TRUE(std::isfinite(run.rmse)) << run.name;
+    EXPECT_GT(run.rmse, 0.0) << run.name;
+    EXPECT_GE(run.runtime_seconds, 0.0) << run.name;
+    EXPECT_EQ(run.squared_errors.size(), 60u) << run.name;
+  }
+}
+
+TEST(ExperimentTest, CombinersCompetitiveWithWorstSingle) {
+  auto series = ts::MakeDataset(15, 42, 240);
+  ASSERT_TRUE(series.ok());
+  ExperimentOptions opt = FastOptions();
+  opt.include_standalone = false;
+  PoolRun pool = PreparePool(*series, opt);
+
+  // Worst single model RMSE on the test segment.
+  double worst = 0.0;
+  for (size_t m = 0; m < pool.model_names.size(); ++m) {
+    double sse = 0.0;
+    for (size_t t = 0; t < pool.test_actuals.size(); ++t) {
+      double d = pool.test_preds(t, m) - pool.test_actuals[t];
+      sse += d * d;
+    }
+    worst = std::max(worst,
+                     std::sqrt(sse / static_cast<double>(
+                                         pool.test_actuals.size())));
+  }
+
+  for (auto& combiner : MakeCombinerSuite(opt)) {
+    MethodRun run = RunCombiner(combiner.get(), pool);
+    EXPECT_LT(run.rmse, worst * 1.5) << run.name;
+  }
+}
+
+TEST(ExperimentTest, DeterministicAcrossRuns) {
+  auto series = ts::MakeDataset(3, 42, 240);
+  ASSERT_TRUE(series.ok());
+  ExperimentOptions opt = FastOptions();
+  opt.include_standalone = false;
+  DatasetResult a = RunDataset(*series, opt);
+  DatasetResult b = RunDataset(*series, opt);
+  ASSERT_EQ(a.methods.size(), b.methods.size());
+  for (size_t i = 0; i < a.methods.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.methods[i].rmse, b.methods[i].rmse)
+        << a.methods[i].name;
+  }
+}
+
+}  // namespace
+}  // namespace eadrl::exp

@@ -1,0 +1,96 @@
+// Property tests: every model in the paper's 43-configuration pool obeys the
+// Forecaster protocol — finite predictions, idempotent PredictNext, state
+// advanced by Observe, and correct rolling-forecast behaviour.
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "models/forecaster.h"
+#include "models/pool.h"
+#include "ts/datasets.h"
+
+namespace eadrl::models {
+namespace {
+
+// A single fitted pool shared by all protocol tests (fitting 43 models once
+// keeps the suite fast).
+class FittedPool {
+ public:
+  static FittedPool& Get() {
+    static FittedPool& instance = *new FittedPool();
+    return instance;
+  }
+
+  const std::vector<std::unique_ptr<Forecaster>>& models() const {
+    return models_;
+  }
+  const ts::Series& train() const { return train_; }
+
+ private:
+  FittedPool() {
+    auto series = ts::MakeDataset(2, 42, 180);
+    EADRL_CHECK(series.ok());
+    train_ = *series;
+    PoolConfig cfg;
+    cfg.nn_epochs = 2;
+    models_ = FitPool(BuildPaperPool(cfg), train_);
+    EADRL_CHECK_EQ(models_.size(), 43u);
+  }
+
+  ts::Series train_;
+  std::vector<std::unique_ptr<Forecaster>> models_;
+};
+
+class PoolProtocol : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PoolProtocol, PredictNextIsFiniteAndIdempotent) {
+  Forecaster* model = FittedPool::Get().models()[GetParam()].get();
+  double p1 = model->PredictNext();
+  double p2 = model->PredictNext();
+  EXPECT_TRUE(std::isfinite(p1)) << model->name();
+  EXPECT_DOUBLE_EQ(p1, p2) << model->name()
+                           << ": PredictNext must not mutate state";
+}
+
+TEST_P(PoolProtocol, PredictionInPlausibleRange) {
+  // The humidity series lives in [0, 100]; one-step forecasts of a sane
+  // model stay within a generous multiple of the observed range.
+  Forecaster* model = FittedPool::Get().models()[GetParam()].get();
+  double p = model->PredictNext();
+  EXPECT_GT(p, -100.0) << model->name();
+  EXPECT_LT(p, 300.0) << model->name();
+}
+
+TEST_P(PoolProtocol, ObserveShiftsPredictionEventually) {
+  // After observing a burst of far-away values, the forecast must move
+  // toward them (every pool model conditions on recent history).
+  Forecaster* model = FittedPool::Get().models()[GetParam()].get();
+  double before = model->PredictNext();
+  for (int i = 0; i < 30; ++i) model->Observe(95.0);
+  double after = model->PredictNext();
+  EXPECT_TRUE(std::isfinite(after)) << model->name();
+  EXPECT_GT(after, before) << model->name();
+  // Restore something near the original regime for subsequent tests.
+  for (int i = 0; i < 30; ++i) model->Observe(60.0);
+}
+
+TEST_P(PoolProtocol, NamesAreStable) {
+  const auto& models = FittedPool::Get().models();
+  EXPECT_FALSE(models[GetParam()]->name().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPoolModels, PoolProtocol, ::testing::Range<size_t>(0, 43),
+    [](const ::testing::TestParamInfo<size_t>& info) {
+      std::string name = FittedPool::Get().models()[info.param]->name();
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace eadrl::models

@@ -1,0 +1,127 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "models/gbm.h"
+#include "models/random_forest.h"
+
+namespace eadrl::models {
+namespace {
+
+// Nonlinear target: y = sin(3 x0) + x1^2.
+void MakeData(size_t n, uint64_t seed, math::Matrix* x, math::Vec* y) {
+  Rng rng(seed);
+  *x = math::Matrix(n, 2);
+  y->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    (*x)(i, 0) = rng.Uniform(-1, 1);
+    (*x)(i, 1) = rng.Uniform(-1, 1);
+    (*y)[i] = std::sin(3.0 * (*x)(i, 0)) + (*x)(i, 1) * (*x)(i, 1);
+  }
+}
+
+double TestMse(const Regressor& model, uint64_t seed) {
+  math::Matrix x;
+  math::Vec y;
+  MakeData(200, seed, &x, &y);
+  double mse = 0.0;
+  for (size_t i = 0; i < x.rows(); ++i) {
+    double d = model.Predict(x.Row(i)) - y[i];
+    mse += d * d;
+  }
+  return mse / static_cast<double>(x.rows());
+}
+
+TEST(RandomForestTest, BeatsMeanBaseline) {
+  math::Matrix x;
+  math::Vec y;
+  MakeData(300, 1, &x, &y);
+  RandomForestRegressor::Params p;
+  p.num_trees = 30;
+  p.seed = 7;
+  RandomForestRegressor rf(p);
+  ASSERT_TRUE(rf.Fit(x, y).ok());
+  EXPECT_EQ(rf.num_trees(), 30u);
+  // Variance of y is ~0.7; the forest should do much better.
+  EXPECT_LT(TestMse(rf, 2), 0.15);
+}
+
+TEST(RandomForestTest, DeterministicForSeed) {
+  math::Matrix x;
+  math::Vec y;
+  MakeData(100, 1, &x, &y);
+  RandomForestRegressor::Params p;
+  p.num_trees = 5;
+  p.seed = 9;
+  RandomForestRegressor a(p), b(p);
+  ASSERT_TRUE(a.Fit(x, y).ok());
+  ASSERT_TRUE(b.Fit(x, y).ok());
+  EXPECT_DOUBLE_EQ(a.Predict({0.3, -0.2}), b.Predict({0.3, -0.2}));
+}
+
+TEST(RandomForestTest, RejectsEmptyData) {
+  RandomForestRegressor rf(RandomForestRegressor::Params{});
+  EXPECT_FALSE(rf.Fit(math::Matrix(), math::Vec{}).ok());
+}
+
+TEST(GbmTest, BeatsMeanBaseline) {
+  math::Matrix x;
+  math::Vec y;
+  MakeData(300, 3, &x, &y);
+  GbmRegressor::Params p;
+  p.num_trees = 100;
+  p.learning_rate = 0.1;
+  p.seed = 5;
+  GbmRegressor gbm(p);
+  ASSERT_TRUE(gbm.Fit(x, y).ok());
+  EXPECT_LT(TestMse(gbm, 4), 0.1);
+}
+
+TEST(GbmTest, MoreTreesReduceTrainingError) {
+  math::Matrix x;
+  math::Vec y;
+  MakeData(200, 5, &x, &y);
+
+  auto train_mse = [&](size_t trees) {
+    GbmRegressor::Params p;
+    p.num_trees = trees;
+    p.seed = 1;
+    GbmRegressor gbm(p);
+    EXPECT_TRUE(gbm.Fit(x, y).ok());
+    double mse = 0.0;
+    for (size_t i = 0; i < x.rows(); ++i) {
+      double d = gbm.Predict(x.Row(i)) - y[i];
+      mse += d * d;
+    }
+    return mse / static_cast<double>(x.rows());
+  };
+
+  EXPECT_LT(train_mse(80), train_mse(5));
+}
+
+TEST(GbmTest, SubsampleStillLearns) {
+  math::Matrix x;
+  math::Vec y;
+  MakeData(300, 6, &x, &y);
+  GbmRegressor::Params p;
+  p.num_trees = 100;
+  p.subsample = 0.7;
+  p.seed = 2;
+  GbmRegressor gbm(p);
+  ASSERT_TRUE(gbm.Fit(x, y).ok());
+  EXPECT_LT(TestMse(gbm, 7), 0.15);
+}
+
+TEST(GbmTest, ConstantTargetPredictsConstant) {
+  math::Matrix x(50, 2);
+  Rng rng(1);
+  for (double& v : x.data()) v = rng.Uniform(0, 1);
+  math::Vec y(50, 3.3);
+  GbmRegressor gbm(GbmRegressor::Params{});
+  ASSERT_TRUE(gbm.Fit(x, y).ok());
+  EXPECT_NEAR(gbm.Predict({0.5, 0.5}), 3.3, 1e-9);
+}
+
+}  // namespace
+}  // namespace eadrl::models

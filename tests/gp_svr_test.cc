@@ -1,0 +1,134 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "models/gp.h"
+#include "models/svr.h"
+
+namespace eadrl::models {
+namespace {
+
+TEST(GpTest, InterpolatesTrainingPointsWithLowNoise) {
+  math::Matrix x{{0.0}, {1.0}, {2.0}, {3.0}};
+  math::Vec y{0.0, 1.0, 0.0, -1.0};
+  GaussianProcessRegressor::Params p;
+  p.noise_variance = 1e-6;
+  p.length_scale = 0.5;
+  GaussianProcessRegressor gp(p);
+  ASSERT_TRUE(gp.Fit(x, y).ok());
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(gp.Predict(x.Row(i)), y[i], 1e-3);
+  }
+}
+
+TEST(GpTest, RevertsToMeanFarFromData) {
+  math::Matrix x{{0.0}, {1.0}};
+  math::Vec y{10.0, 12.0};
+  GaussianProcessRegressor::Params p;
+  p.length_scale = 0.5;
+  GaussianProcessRegressor gp(p);
+  ASSERT_TRUE(gp.Fit(x, y).ok());
+  EXPECT_NEAR(gp.Predict({100.0}), 11.0, 0.1);  // prior mean = data mean.
+}
+
+TEST(GpTest, VarianceGrowsAwayFromData) {
+  math::Matrix x{{0.0}, {1.0}};
+  math::Vec y{0.0, 1.0};
+  GaussianProcessRegressor::Params p;
+  GaussianProcessRegressor gp(p);
+  ASSERT_TRUE(gp.Fit(x, y).ok());
+  double mean_near, var_near, mean_far, var_far;
+  gp.PredictWithVariance({0.5}, &mean_near, &var_near);
+  gp.PredictWithVariance({50.0}, &mean_far, &var_far);
+  EXPECT_LT(var_near, var_far);
+  EXPECT_NEAR(var_far, 1.0, 0.1);  // reverts to signal variance.
+}
+
+TEST(GpTest, SubsamplesLargeTrainingSets) {
+  Rng rng(1);
+  const size_t n = 600;
+  math::Matrix x(n, 1);
+  math::Vec y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.Uniform(-3, 3);
+    y[i] = std::sin(x(i, 0));
+  }
+  GaussianProcessRegressor::Params p;
+  p.max_points = 150;
+  p.length_scale = 1.0;
+  p.noise_variance = 0.01;
+  GaussianProcessRegressor gp(p);
+  ASSERT_TRUE(gp.Fit(x, y).ok());
+  EXPECT_NEAR(gp.Predict({0.5}), std::sin(0.5), 0.15);
+}
+
+TEST(SvrTest, FitsLinearFunction) {
+  Rng rng(2);
+  math::Matrix x(200, 2);
+  math::Vec y(200);
+  for (size_t i = 0; i < 200; ++i) {
+    x(i, 0) = rng.Uniform(-1, 1);
+    x(i, 1) = rng.Uniform(-1, 1);
+    y[i] = 1.5 * x(i, 0) - 0.5 * x(i, 1) + 0.2;
+  }
+  SvrRegressor::Params p;
+  p.epochs = 80;
+  SvrRegressor svr(p);
+  ASSERT_TRUE(svr.Fit(x, y).ok());
+  double mse = 0.0;
+  for (size_t i = 0; i < 200; ++i) {
+    double d = svr.Predict(x.Row(i)) - y[i];
+    mse += d * d;
+  }
+  EXPECT_LT(mse / 200.0, 0.02);
+}
+
+TEST(SvrTest, RbfFeaturesFitNonlinearFunction) {
+  Rng rng(3);
+  math::Matrix x(300, 1);
+  math::Vec y(300);
+  for (size_t i = 0; i < 300; ++i) {
+    x(i, 0) = rng.Uniform(-2, 2);
+    y[i] = std::sin(2.0 * x(i, 0));
+  }
+  SvrRegressor::Params lin;
+  lin.epochs = 60;
+  SvrRegressor linear(lin);
+  ASSERT_TRUE(linear.Fit(x, y).ok());
+
+  SvrRegressor::Params rbf = lin;
+  rbf.rff_features = 100;
+  rbf.rff_length_scale = 0.7;
+  SvrRegressor kernelized(rbf);
+  ASSERT_TRUE(kernelized.Fit(x, y).ok());
+
+  auto mse = [&](const SvrRegressor& m) {
+    double s = 0.0;
+    for (size_t i = 0; i < 300; ++i) {
+      double d = m.Predict(x.Row(i)) - y[i];
+      s += d * d;
+    }
+    return s / 300.0;
+  };
+  EXPECT_LT(mse(kernelized), mse(linear) * 0.5);
+}
+
+TEST(SvrTest, DeterministicForSeed) {
+  Rng rng(4);
+  math::Matrix x(50, 1);
+  math::Vec y(50);
+  for (size_t i = 0; i < 50; ++i) {
+    x(i, 0) = rng.Uniform(-1, 1);
+    y[i] = x(i, 0);
+  }
+  SvrRegressor::Params p;
+  p.rff_features = 20;
+  SvrRegressor a(p), b(p);
+  ASSERT_TRUE(a.Fit(x, y).ok());
+  ASSERT_TRUE(b.Fit(x, y).ok());
+  EXPECT_DOUBLE_EQ(a.Predict({0.3}), b.Predict({0.3}));
+}
+
+}  // namespace
+}  // namespace eadrl::models

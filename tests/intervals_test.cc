@@ -1,0 +1,79 @@
+#include "core/intervals.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace eadrl::core {
+namespace {
+
+TEST(IntervalsTest, RequiresCalibration) {
+  EmpiricalIntervals intervals;
+  EXPECT_FALSE(intervals.calibrated());
+  EXPECT_FALSE(intervals.Interval(0.0, 0.9).ok());
+}
+
+TEST(IntervalsTest, SymmetricResidualsGiveSymmetricInterval) {
+  EmpiricalIntervals intervals;
+  math::Vec residuals;
+  for (int i = -50; i <= 50; ++i) residuals.push_back(0.1 * i);
+  ASSERT_TRUE(intervals.Calibrate(residuals).ok());
+  auto fc = intervals.Interval(10.0, 0.8);
+  ASSERT_TRUE(fc.ok());
+  EXPECT_DOUBLE_EQ(fc->point, 10.0);
+  EXPECT_NEAR(fc->upper - 10.0, 10.0 - fc->lower, 1e-9);
+  EXPECT_NEAR(fc->upper, 14.0, 0.2);  // 90th pct of U(-5,5) = 4.
+}
+
+TEST(IntervalsTest, BiasedResidualsShiftInterval) {
+  EmpiricalIntervals intervals;
+  math::Vec residuals(50, 2.0);  // model consistently under-predicts by 2.
+  ASSERT_TRUE(intervals.Calibrate(residuals).ok());
+  auto fc = intervals.Interval(0.0, 0.5);
+  ASSERT_TRUE(fc.ok());
+  EXPECT_DOUBLE_EQ(fc->lower, 2.0);
+  EXPECT_DOUBLE_EQ(fc->upper, 2.0);
+}
+
+TEST(IntervalsTest, WiderCoverageGivesWiderInterval) {
+  Rng rng(1);
+  math::Vec residuals(500);
+  for (double& r : residuals) r = rng.Normal(0, 1);
+  EmpiricalIntervals intervals;
+  ASSERT_TRUE(intervals.Calibrate(residuals).ok());
+  auto narrow = intervals.Interval(0.0, 0.5);
+  auto wide = intervals.Interval(0.0, 0.95);
+  ASSERT_TRUE(narrow.ok() && wide.ok());
+  EXPECT_LT(narrow->upper - narrow->lower, wide->upper - wide->lower);
+}
+
+TEST(IntervalsTest, EmpiricalCoverageNearNominal) {
+  Rng rng(2);
+  math::Vec residuals(2000);
+  for (double& r : residuals) r = rng.Normal(0, 1);
+  EmpiricalIntervals intervals;
+  ASSERT_TRUE(intervals.Calibrate(residuals).ok());
+
+  // Fresh data from the same error distribution.
+  math::Vec actuals(2000), predictions(2000);
+  for (size_t t = 0; t < actuals.size(); ++t) {
+    predictions[t] = 10.0;
+    actuals[t] = 10.0 + rng.Normal(0, 1);
+  }
+  auto coverage = intervals.EmpiricalCoverage(actuals, predictions, 0.9);
+  ASSERT_TRUE(coverage.ok());
+  EXPECT_NEAR(*coverage, 0.9, 0.03);
+}
+
+TEST(IntervalsTest, RejectsBadInputs) {
+  EmpiricalIntervals intervals;
+  EXPECT_FALSE(intervals.Calibrate(math::Vec(5, 0.0)).ok());
+  math::Vec residuals(20, 0.5);
+  ASSERT_TRUE(intervals.Calibrate(residuals).ok());
+  EXPECT_FALSE(intervals.Interval(0.0, 0.0).ok());
+  EXPECT_FALSE(intervals.Interval(0.0, 1.0).ok());
+  EXPECT_FALSE(intervals.EmpiricalCoverage({1.0}, {1.0, 2.0}, 0.9).ok());
+}
+
+}  // namespace
+}  // namespace eadrl::core

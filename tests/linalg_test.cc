@@ -1,0 +1,165 @@
+#include "math/linalg.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace eadrl::math {
+namespace {
+
+Matrix RandomSpd(size_t n, Rng& rng) {
+  Matrix a(n, n);
+  for (double& v : a.data()) v = rng.Uniform(-1.0, 1.0);
+  // A^T A + n I is symmetric positive definite.
+  Matrix spd = a.Transpose().MatMul(a);
+  for (size_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+  return spd;
+}
+
+TEST(CholeskyTest, FactorReconstructs) {
+  Rng rng(3);
+  Matrix a = RandomSpd(5, rng);
+  auto l = CholeskyFactor(a);
+  ASSERT_TRUE(l.ok());
+  Matrix rec = l->MatMul(l->Transpose());
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(rec(i, j), a(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(CholeskyTest, RejectsNonPositiveDefinite) {
+  Matrix a{{1, 2}, {2, 1}};  // eigenvalues 3 and -1.
+  EXPECT_FALSE(CholeskyFactor(a).ok());
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  Matrix a(2, 3);
+  EXPECT_FALSE(CholeskyFactor(a).ok());
+}
+
+TEST(CholeskyTest, SolveRecoversSolution) {
+  Rng rng(17);
+  Matrix a = RandomSpd(6, rng);
+  Vec x_true(6);
+  for (double& v : x_true) v = rng.Uniform(-2.0, 2.0);
+  Vec b = a.MatVec(x_true);
+  auto x = CholeskySolve(a, b);
+  ASSERT_TRUE(x.ok());
+  for (size_t i = 0; i < 6; ++i) EXPECT_NEAR((*x)[i], x_true[i], 1e-8);
+}
+
+TEST(CholeskyTest, InverseTimesMatrixIsIdentity) {
+  Rng rng(21);
+  Matrix a = RandomSpd(4, rng);
+  auto inv = CholeskyInverse(a);
+  ASSERT_TRUE(inv.ok());
+  Matrix prod = a.MatMul(*inv);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(LuSolveTest, SolvesGeneralSystem) {
+  Matrix a{{0, 2, 1}, {1, -2, -3}, {-1, 1, 2}};
+  Vec b{-8, 0, 3};
+  auto x = LuSolve(a, b);
+  ASSERT_TRUE(x.ok());
+  // Verify A x = b.
+  Vec ax = a.MatVec(*x);
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(ax[i], b[i], 1e-9);
+}
+
+TEST(LuSolveTest, PivotingHandlesZeroDiagonal) {
+  Matrix a{{0, 1}, {1, 0}};
+  auto x = LuSolve(a, {2, 3});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 3.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(LuSolveTest, DetectsSingular) {
+  Matrix a{{1, 2}, {2, 4}};
+  EXPECT_FALSE(LuSolve(a, {1, 2}).ok());
+}
+
+TEST(RidgeTest, InterpolatesWithTinyLambda) {
+  // Overdetermined consistent system.
+  Matrix x{{1, 0}, {0, 1}, {1, 1}};
+  Vec w_true{2.0, -1.0};
+  Vec y = x.MatVec(w_true);
+  auto w = SolveRidge(x, y, 1e-10);
+  ASSERT_TRUE(w.ok());
+  EXPECT_NEAR((*w)[0], 2.0, 1e-4);
+  EXPECT_NEAR((*w)[1], -1.0, 1e-4);
+}
+
+TEST(RidgeTest, LargeLambdaShrinksTowardZero) {
+  Matrix x{{1, 0}, {0, 1}};
+  auto w = SolveRidge(x, {1, 1}, 1e6);
+  ASSERT_TRUE(w.ok());
+  EXPECT_LT(std::fabs((*w)[0]), 1e-4);
+}
+
+TEST(RidgeTest, RejectsNegativeLambda) {
+  Matrix x(2, 2);
+  EXPECT_FALSE(SolveRidge(x, {1, 2}, -1.0).ok());
+}
+
+TEST(JacobiEigenTest, DiagonalMatrix) {
+  Matrix a{{3, 0}, {0, 1}};
+  auto eig = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig->values[1], 1.0, 1e-10);
+}
+
+TEST(JacobiEigenTest, KnownEigenvalues) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  Matrix a{{2, 1}, {1, 2}};
+  auto eig = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig->values[1], 1.0, 1e-10);
+}
+
+TEST(JacobiEigenTest, ReconstructsMatrix) {
+  Rng rng(5);
+  Matrix a = RandomSpd(6, rng);
+  auto eig = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(eig.ok());
+  // A = V diag(lambda) V^T.
+  Matrix vl(6, 6);
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = 0; j < 6; ++j) {
+      vl(i, j) = eig->vectors(i, j) * eig->values[j];
+    }
+  }
+  Matrix rec = vl.MatMul(eig->vectors.Transpose());
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = 0; j < 6; ++j) {
+      EXPECT_NEAR(rec(i, j), a(i, j), 1e-8);
+    }
+  }
+}
+
+TEST(JacobiEigenTest, EigenvectorsOrthonormal) {
+  Rng rng(9);
+  Matrix a = RandomSpd(5, rng);
+  auto eig = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(eig.ok());
+  Matrix vtv = eig->vectors.Transpose().MatMul(eig->vectors);
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(vtv(i, j), i == j ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eadrl::math

@@ -1,0 +1,86 @@
+#include "models/linear.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace eadrl::models {
+namespace {
+
+TEST(RidgeTest, RecoversLinearCoefficients) {
+  Rng rng(1);
+  math::Matrix x(100, 3);
+  math::Vec y(100);
+  for (size_t i = 0; i < 100; ++i) {
+    for (size_t j = 0; j < 3; ++j) x(i, j) = rng.Uniform(-1, 1);
+    y[i] = 2.0 * x(i, 0) - 1.0 * x(i, 1) + 0.5 * x(i, 2) + 3.0;
+  }
+  RidgeRegressor ridge(1e-6);
+  ASSERT_TRUE(ridge.Fit(x, y).ok());
+  EXPECT_NEAR(ridge.coefficients()[0], 2.0, 1e-3);
+  EXPECT_NEAR(ridge.coefficients()[1], -1.0, 1e-3);
+  EXPECT_NEAR(ridge.coefficients()[2], 0.5, 1e-3);
+  EXPECT_NEAR(ridge.intercept(), 3.0, 1e-3);
+  EXPECT_NEAR(ridge.Predict({1, 1, 1}), 4.5, 1e-2);
+}
+
+TEST(RidgeTest, InterceptNotPenalized) {
+  // Large lambda shrinks slopes but the intercept should track the mean.
+  Rng rng(2);
+  math::Matrix x(50, 1);
+  math::Vec y(50);
+  for (size_t i = 0; i < 50; ++i) {
+    x(i, 0) = rng.Uniform(-1, 1);
+    y[i] = 100.0 + 0.1 * x(i, 0);
+  }
+  RidgeRegressor ridge(1e6);
+  ASSERT_TRUE(ridge.Fit(x, y).ok());
+  EXPECT_NEAR(ridge.Predict({0.0}), 100.0, 0.5);
+}
+
+TEST(RidgeTest, RejectsEmpty) {
+  RidgeRegressor ridge;
+  EXPECT_FALSE(ridge.Fit(math::Matrix(), {}).ok());
+}
+
+TEST(KnnTest, ExactNeighborPredictionWithKOne) {
+  math::Matrix x{{0.0}, {1.0}, {2.0}};
+  math::Vec y{10, 20, 30};
+  KnnRegressor knn(1);
+  ASSERT_TRUE(knn.Fit(x, y).ok());
+  EXPECT_DOUBLE_EQ(knn.Predict({1.1}), 20.0);
+}
+
+TEST(KnnTest, AveragesNeighborsUnweighted) {
+  math::Matrix x{{0.0}, {1.0}, {100.0}};
+  math::Vec y{10, 20, 1000};
+  KnnRegressor knn(2, /*distance_weighted=*/false);
+  ASSERT_TRUE(knn.Fit(x, y).ok());
+  EXPECT_DOUBLE_EQ(knn.Predict({0.5}), 15.0);
+}
+
+TEST(KnnTest, DistanceWeightingFavorsCloserNeighbor) {
+  math::Matrix x{{0.0}, {1.0}};
+  math::Vec y{0, 100};
+  KnnRegressor knn(2, /*distance_weighted=*/true);
+  ASSERT_TRUE(knn.Fit(x, y).ok());
+  EXPECT_LT(knn.Predict({0.1}), 50.0);
+  EXPECT_GT(knn.Predict({0.9}), 50.0);
+}
+
+TEST(KnnTest, KLargerThanDataClampsToAll) {
+  math::Matrix x{{0.0}, {1.0}};
+  math::Vec y{0, 10};
+  KnnRegressor knn(50, false);
+  ASSERT_TRUE(knn.Fit(x, y).ok());
+  EXPECT_DOUBLE_EQ(knn.Predict({0.5}), 5.0);
+}
+
+TEST(KnnTest, RejectsZeroK) {
+  math::Matrix x{{0.0}};
+  KnnRegressor knn(0);
+  EXPECT_FALSE(knn.Fit(x, {1.0}).ok());
+}
+
+}  // namespace
+}  // namespace eadrl::models

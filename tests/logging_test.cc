@@ -1,0 +1,38 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace eadrl {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, MacroCompilesForAllLevels) {
+  // Silence output for the test; the point is that emission does not crash
+  // and streaming of mixed types works.
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EADRL_LOG(Debug) << "debug " << 1;
+  EADRL_LOG(Info) << "info " << 2.5;
+  EADRL_LOG(Warning) << "warning " << std::string("s");
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, OrderingOfLevels) {
+  EXPECT_LT(static_cast<int>(LogLevel::kDebug),
+            static_cast<int>(LogLevel::kInfo));
+  EXPECT_LT(static_cast<int>(LogLevel::kInfo),
+            static_cast<int>(LogLevel::kWarning));
+  EXPECT_LT(static_cast<int>(LogLevel::kWarning),
+            static_cast<int>(LogLevel::kError));
+}
+
+}  // namespace
+}  // namespace eadrl

@@ -1,0 +1,97 @@
+#include "math/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace eadrl::math {
+namespace {
+
+TEST(MatrixTest, ConstructAndIndex) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix i = Matrix::Identity(3);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, RowColAccess) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.Row(1), (Vec{4, 5, 6}));
+  EXPECT_EQ(m.Col(2), (Vec{3, 6}));
+  m.SetRow(0, {7, 8, 9});
+  EXPECT_EQ(m.Row(0), (Vec{7, 8, 9}));
+}
+
+TEST(MatrixTest, Transpose) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  Matrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(MatrixTest, MatMul) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  Matrix c = a.MatMul(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MatVecAndTransposeMatVec) {
+  Matrix a{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(a.MatVec({1, 1, 1}), (Vec{6, 15}));
+  EXPECT_EQ(a.TransposeMatVec({1, 1}), (Vec{5, 7, 9}));
+}
+
+TEST(MatrixTest, TransposeMatVecMatchesExplicitTranspose) {
+  Matrix a{{1, -2, 0.5}, {3, 4, -1}, {0, 2, 2}, {5, -5, 1}};
+  Vec x{0.3, -1.2, 2.0, 0.7};
+  Vec direct = a.TransposeMatVec(x);
+  Vec via = a.Transpose().MatVec(x);
+  ASSERT_EQ(direct.size(), via.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(direct[i], via[i], 1e-12);
+  }
+}
+
+TEST(MatrixTest, AddScaledAndScale) {
+  Matrix a{{1, 1}, {1, 1}};
+  Matrix b{{1, 2}, {3, 4}};
+  a.AddScaled(b, 2.0);
+  EXPECT_DOUBLE_EQ(a(1, 1), 9.0);
+  a.Scale(0.5);
+  EXPECT_DOUBLE_EQ(a(1, 1), 4.5);
+}
+
+TEST(MatrixTest, Norms) {
+  Matrix a{{3, 0}, {0, 4}};
+  EXPECT_DOUBLE_EQ(a.FrobeniusNorm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.MaxAbs(), 4.0);
+}
+
+TEST(MatrixTest, FromRows) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+}  // namespace
+}  // namespace eadrl::math

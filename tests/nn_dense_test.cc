@@ -1,0 +1,124 @@
+#include "nn/dense.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/loss.h"
+#include "nn/param.h"
+
+namespace eadrl::nn {
+namespace {
+
+TEST(DenseTest, ForwardComputesAffineTransform) {
+  Rng rng(1);
+  Dense layer(2, 2, Activation::kIdentity, rng);
+  // Overwrite weights with known values.
+  auto params = layer.Params();
+  params[0]->value = math::Matrix{{1, 2}, {3, 4}};
+  params[1]->value = math::Matrix{{0.5}, {-0.5}};
+  math::Vec y = layer.Forward({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.5);
+  EXPECT_DOUBLE_EQ(y[1], 6.5);
+}
+
+TEST(DenseTest, ReluClampsNegativePreactivations) {
+  Rng rng(1);
+  Dense layer(1, 2, Activation::kRelu, rng);
+  auto params = layer.Params();
+  params[0]->value = math::Matrix{{1.0}, {-1.0}};
+  params[1]->value = math::Matrix{{0.0}, {0.0}};
+  math::Vec y = layer.Forward({2.0});
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+}
+
+// Finite-difference gradient check of weight, bias and input gradients.
+class DenseGradCheck : public ::testing::TestWithParam<Activation> {};
+
+TEST_P(DenseGradCheck, MatchesFiniteDifferences) {
+  Rng rng(7);
+  Dense layer(3, 2, GetParam(), rng);
+  math::Vec x{0.3, -0.8, 1.2};
+  math::Vec target{0.5, -0.1};
+
+  auto loss_value = [&]() {
+    math::Vec y = layer.Forward(x);
+    return MseLoss(y, target).value;
+  };
+
+  // Analytic gradients.
+  math::Vec y = layer.Forward(x);
+  LossResult loss = MseLoss(y, target);
+  for (Param* p : layer.Params()) p->ZeroGrad();
+  math::Vec dx = layer.Backward(loss.grad);
+
+  const double eps = 1e-6;
+  for (Param* p : layer.Params()) {
+    for (size_t i = 0; i < p->value.data().size(); ++i) {
+      double orig = p->value.data()[i];
+      p->value.data()[i] = orig + eps;
+      double up = loss_value();
+      p->value.data()[i] = orig - eps;
+      double down = loss_value();
+      p->value.data()[i] = orig;
+      double numeric = (up - down) / (2.0 * eps);
+      EXPECT_NEAR(p->grad.data()[i], numeric, 1e-5);
+    }
+  }
+  // Input gradient.
+  for (size_t i = 0; i < x.size(); ++i) {
+    double orig = x[i];
+    x[i] = orig + eps;
+    double up = loss_value();
+    x[i] = orig - eps;
+    double down = loss_value();
+    x[i] = orig;
+    EXPECT_NEAR(dx[i], (up - down) / (2.0 * eps), 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Activations, DenseGradCheck,
+                         ::testing::Values(Activation::kIdentity,
+                                           Activation::kTanh,
+                                           Activation::kSigmoid,
+                                           Activation::kRelu));
+
+TEST(ParamTest, ClipGradNormScalesDown) {
+  Param p(2, 1);
+  p.grad(0, 0) = 3.0;
+  p.grad(1, 0) = 4.0;
+  std::vector<Param*> ps{&p};
+  double norm = ClipGradNorm(ps, 1.0);
+  EXPECT_DOUBLE_EQ(norm, 5.0);
+  EXPECT_NEAR(p.grad(0, 0), 0.6, 1e-9);
+  EXPECT_NEAR(p.grad(1, 0), 0.8, 1e-9);
+}
+
+TEST(ParamTest, ClipGradNormLeavesSmallGradients) {
+  Param p(1, 1);
+  p.grad(0, 0) = 0.5;
+  std::vector<Param*> ps{&p};
+  ClipGradNorm(ps, 1.0);
+  EXPECT_DOUBLE_EQ(p.grad(0, 0), 0.5);
+}
+
+TEST(ParamTest, SoftUpdateInterpolates) {
+  Param target(1, 1), source(1, 1);
+  target.value(0, 0) = 0.0;
+  source.value(0, 0) = 10.0;
+  SoftUpdate({&target}, {&source}, 0.1);
+  EXPECT_NEAR(target.value(0, 0), 1.0, 1e-12);
+}
+
+TEST(ParamTest, CopyParamsIsExact) {
+  Param target(1, 2), source(1, 2);
+  source.value(0, 0) = 3.0;
+  source.value(0, 1) = -7.0;
+  CopyParams({&target}, {&source});
+  EXPECT_DOUBLE_EQ(target.value(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(target.value(0, 1), -7.0);
+}
+
+}  // namespace
+}  // namespace eadrl::nn

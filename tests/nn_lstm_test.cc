@@ -1,0 +1,112 @@
+#include "nn/lstm.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/dense.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/param.h"
+
+namespace eadrl::nn {
+namespace {
+
+TEST(LstmTest, OutputShapes) {
+  Rng rng(1);
+  Lstm lstm(2, 4, rng);
+  std::vector<math::Vec> seq{{1.0, 0.0}, {0.5, -0.5}, {0.0, 1.0}};
+  auto hs = lstm.Forward(seq);
+  EXPECT_EQ(hs.size(), 3u);
+  for (const auto& h : hs) EXPECT_EQ(h.size(), 4u);
+}
+
+TEST(LstmTest, HiddenStatesBounded) {
+  // h = o * tanh(c) with o in (0,1), so |h| < 1.
+  Rng rng(2);
+  Lstm lstm(1, 8, rng);
+  std::vector<math::Vec> seq(20, math::Vec{100.0});
+  auto hs = lstm.Forward(seq);
+  for (const auto& h : hs) {
+    for (double v : h) EXPECT_LT(std::fabs(v), 1.0);
+  }
+}
+
+TEST(LstmTest, GradCheckThroughTime) {
+  Rng rng(3);
+  const size_t hidden = 3;
+  Lstm lstm(1, hidden, rng);
+  std::vector<math::Vec> seq{{0.5}, {-0.3}, {0.8}, {0.1}};
+  math::Vec target{0.2, -0.4, 0.6};
+
+  auto loss_value = [&]() {
+    auto hs = lstm.Forward(seq);
+    return MseLoss(hs.back(), target).value;
+  };
+
+  auto hs = lstm.Forward(seq);
+  LossResult loss = MseLoss(hs.back(), target);
+  ZeroGrads(lstm.Params());
+  std::vector<math::Vec> grad_hidden(seq.size(), math::Vec(hidden, 0.0));
+  grad_hidden.back() = loss.grad;
+  std::vector<math::Vec> dx = lstm.Backward(grad_hidden);
+
+  const double eps = 1e-6;
+  for (Param* p : lstm.Params()) {
+    for (size_t i = 0; i < p->value.data().size(); ++i) {
+      double orig = p->value.data()[i];
+      p->value.data()[i] = orig + eps;
+      double up = loss_value();
+      p->value.data()[i] = orig - eps;
+      double down = loss_value();
+      p->value.data()[i] = orig;
+      EXPECT_NEAR(p->grad.data()[i], (up - down) / (2.0 * eps), 1e-5);
+    }
+  }
+  // Input gradients.
+  for (size_t t = 0; t < seq.size(); ++t) {
+    double orig = seq[t][0];
+    seq[t][0] = orig + eps;
+    double up = loss_value();
+    seq[t][0] = orig - eps;
+    double down = loss_value();
+    seq[t][0] = orig;
+    EXPECT_NEAR(dx[t][0], (up - down) / (2.0 * eps), 1e-5);
+  }
+}
+
+TEST(LstmTest, LearnsToRememberFirstInput) {
+  // Target = first element of the sequence; the LSTM must carry it across
+  // 5 steps. A working BPTT should drive the loss near zero.
+  Rng rng(5);
+  Lstm lstm(1, 8, rng);
+  Dense head(8, 1, Activation::kIdentity, rng);
+  std::vector<Param*> params = lstm.Params();
+  for (Param* p : head.Params()) params.push_back(p);
+  Adam opt(0.02);
+  opt.Register(params);
+
+  Rng data_rng(9);
+  double ema_loss = 1.0;
+  for (int step = 0; step < 3000; ++step) {
+    std::vector<math::Vec> seq;
+    double first = data_rng.Uniform(-1, 1);
+    seq.push_back({first});
+    for (int t = 1; t < 5; ++t) seq.push_back({data_rng.Uniform(-1, 1)});
+
+    auto hs = lstm.Forward(seq);
+    math::Vec pred = head.Forward(hs.back());
+    LossResult loss = MseLoss(pred, {first});
+    math::Vec dh = head.Backward(loss.grad);
+    std::vector<math::Vec> grad_hidden(seq.size(), math::Vec(8, 0.0));
+    grad_hidden.back() = dh;
+    lstm.Backward(grad_hidden);
+    ClipGradNorm(params, 5.0);
+    opt.StepAndZero();
+    ema_loss = 0.99 * ema_loss + 0.01 * loss.value;
+  }
+  EXPECT_LT(ema_loss, 0.05);
+}
+
+}  // namespace
+}  // namespace eadrl::nn

@@ -1,0 +1,86 @@
+#include "nn/mlp.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/param.h"
+
+namespace eadrl::nn {
+namespace {
+
+TEST(MlpTest, ParameterCount) {
+  Rng rng(1);
+  Mlp net({3, 5, 2}, Activation::kTanh, Activation::kIdentity, rng);
+  // Two dense layers -> 4 params (W, b each).
+  EXPECT_EQ(net.Params().size(), 4u);
+  EXPECT_EQ(net.in_dim(), 3u);
+  EXPECT_EQ(net.out_dim(), 2u);
+}
+
+TEST(MlpTest, GradCheckTwoHiddenLayers) {
+  Rng rng(3);
+  Mlp net({2, 4, 3, 1}, Activation::kTanh, Activation::kIdentity, rng);
+  math::Vec x{0.7, -0.3};
+  math::Vec target{0.25};
+
+  auto loss_value = [&]() {
+    return MseLoss(net.Forward(x), target).value;
+  };
+
+  net.Forward(x);
+  LossResult loss = MseLoss(net.Forward(x), target);
+  ZeroGrads(net.Params());
+  net.Backward(loss.grad);
+
+  const double eps = 1e-6;
+  for (Param* p : net.Params()) {
+    for (size_t i = 0; i < p->value.data().size(); ++i) {
+      double orig = p->value.data()[i];
+      p->value.data()[i] = orig + eps;
+      double up = loss_value();
+      p->value.data()[i] = orig - eps;
+      double down = loss_value();
+      p->value.data()[i] = orig;
+      EXPECT_NEAR(p->grad.data()[i], (up - down) / (2.0 * eps), 1e-5);
+    }
+  }
+}
+
+TEST(MlpTest, LearnsNonlinearFunction) {
+  // Fit y = x1 * x2 on [-1,1]^2 — requires the hidden layer.
+  Rng rng(5);
+  Mlp net({2, 16, 1}, Activation::kTanh, Activation::kIdentity, rng);
+  Adam opt(0.01);
+  opt.Register(net.Params());
+
+  Rng data_rng(11);
+  double final_loss = 0.0;
+  for (int step = 0; step < 4000; ++step) {
+    math::Vec x{data_rng.Uniform(-1, 1), data_rng.Uniform(-1, 1)};
+    math::Vec target{x[0] * x[1]};
+    LossResult loss = MseLoss(net.Forward(x), target);
+    net.Backward(loss.grad);
+    opt.StepAndZero();
+    final_loss = 0.99 * final_loss + 0.01 * loss.value;
+  }
+  EXPECT_LT(final_loss, 0.01);
+}
+
+TEST(MlpTest, ReinitOutputUniformBoundsWeights) {
+  Rng rng(9);
+  Mlp net({2, 8, 3}, Activation::kRelu, Activation::kIdentity, rng);
+  net.ReinitOutputUniform(1e-3, rng);
+  auto params = net.Params();
+  // Last two params belong to the output layer.
+  for (size_t p = params.size() - 2; p < params.size(); ++p) {
+    for (double v : params[p]->value.data()) {
+      EXPECT_LE(std::fabs(v), 1e-3);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eadrl::nn

@@ -1,0 +1,74 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace eadrl::nn {
+namespace {
+
+// Minimizes f(w) = (w - 3)^2 with gradient 2(w - 3).
+template <typename Opt>
+double Minimize(Opt& opt, int steps) {
+  Param w(1, 1);
+  w.value(0, 0) = 0.0;
+  opt.Register({&w});
+  for (int i = 0; i < steps; ++i) {
+    w.grad(0, 0) = 2.0 * (w.value(0, 0) - 3.0);
+    opt.StepAndZero();
+  }
+  return w.value(0, 0);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Sgd opt(0.1);
+  EXPECT_NEAR(Minimize(opt, 200), 3.0, 1e-6);
+}
+
+TEST(SgdTest, MomentumConverges) {
+  Sgd opt(0.05, 0.9);
+  EXPECT_NEAR(Minimize(opt, 400), 3.0, 1e-4);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Adam opt(0.1);
+  EXPECT_NEAR(Minimize(opt, 500), 3.0, 1e-4);
+}
+
+TEST(AdamTest, StepLeavesGradientsUntouchedUntilZero) {
+  Param w(1, 1);
+  w.grad(0, 0) = 1.0;
+  Adam opt(0.01);
+  opt.Register({&w});
+  opt.Step();
+  EXPECT_DOUBLE_EQ(w.grad(0, 0), 1.0);
+  ZeroGrads({&w});
+  EXPECT_DOUBLE_EQ(w.grad(0, 0), 0.0);
+}
+
+TEST(AdamTest, FirstStepHasLearningRateMagnitude) {
+  // With bias correction, the first Adam update is ~lr * sign(grad).
+  Param w(1, 1);
+  w.value(0, 0) = 0.0;
+  w.grad(0, 0) = 123.0;
+  Adam opt(0.01);
+  opt.Register({&w});
+  opt.Step();
+  EXPECT_NEAR(w.value(0, 0), -0.01, 1e-6);
+}
+
+TEST(SgdTest, MultipleParamsUpdatedIndependently) {
+  Param a(1, 1), b(1, 1);
+  a.value(0, 0) = 1.0;
+  b.value(0, 0) = -1.0;
+  a.grad(0, 0) = 1.0;
+  b.grad(0, 0) = -1.0;
+  Sgd opt(0.5);
+  opt.Register({&a, &b});
+  opt.Step();
+  EXPECT_DOUBLE_EQ(a.value(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(b.value(0, 0), -0.5);
+}
+
+}  // namespace
+}  // namespace eadrl::nn

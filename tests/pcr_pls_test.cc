@@ -1,0 +1,117 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "models/pcr.h"
+
+namespace eadrl::models {
+namespace {
+
+// Collinear design: x2 = x0 + x1 + tiny noise; y depends on x0 - x1.
+void MakeCollinearData(size_t n, uint64_t seed, math::Matrix* x,
+                       math::Vec* y) {
+  Rng rng(seed);
+  *x = math::Matrix(n, 3);
+  y->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    double a = rng.Uniform(-1, 1), b = rng.Uniform(-1, 1);
+    (*x)(i, 0) = a;
+    (*x)(i, 1) = b;
+    (*x)(i, 2) = a + b + rng.Normal(0, 0.01);
+    (*y)[i] = 2.0 * a - b + rng.Normal(0, 0.01);
+  }
+}
+
+TEST(PcrTest, FitsWithFullComponents) {
+  math::Matrix x;
+  math::Vec y;
+  MakeCollinearData(200, 1, &x, &y);
+  PcrRegressor pcr(3);
+  ASSERT_TRUE(pcr.Fit(x, y).ok());
+  double mse = 0.0;
+  for (size_t i = 0; i < x.rows(); ++i) {
+    double d = pcr.Predict(x.Row(i)) - y[i];
+    mse += d * d;
+  }
+  EXPECT_LT(mse / static_cast<double>(x.rows()), 0.01);
+}
+
+TEST(PcrTest, ComponentCountClampedToFeatures) {
+  math::Matrix x;
+  math::Vec y;
+  MakeCollinearData(100, 2, &x, &y);
+  PcrRegressor pcr(10);
+  ASSERT_TRUE(pcr.Fit(x, y).ok());
+  EXPECT_EQ(pcr.effective_components(), 3u);
+}
+
+TEST(PcrTest, OneComponentCapturesDominantDirection) {
+  // y aligned with the dominant principal direction.
+  Rng rng(3);
+  math::Matrix x(200, 2);
+  math::Vec y(200);
+  for (size_t i = 0; i < 200; ++i) {
+    double t = rng.Uniform(-3, 3);
+    x(i, 0) = t + rng.Normal(0, 0.05);
+    x(i, 1) = t + rng.Normal(0, 0.05);
+    y[i] = t;
+  }
+  PcrRegressor pcr(1);
+  ASSERT_TRUE(pcr.Fit(x, y).ok());
+  EXPECT_NEAR(pcr.Predict({2.0, 2.0}), 2.0, 0.15);
+}
+
+TEST(PlsTest, RecoversLinearModel) {
+  math::Matrix x;
+  math::Vec y;
+  MakeCollinearData(200, 4, &x, &y);
+  PlsRegressor pls(3);
+  ASSERT_TRUE(pls.Fit(x, y).ok());
+  double mse = 0.0;
+  for (size_t i = 0; i < x.rows(); ++i) {
+    double d = pls.Predict(x.Row(i)) - y[i];
+    mse += d * d;
+  }
+  EXPECT_LT(mse / static_cast<double>(x.rows()), 0.01);
+}
+
+TEST(PlsTest, SingleComponentOutperformsPcrOnTargetAlignedData) {
+  // The high-variance direction of X is irrelevant to y; PLS (supervised)
+  // should find the predictive direction with one component, PCR should not.
+  Rng rng(5);
+  math::Matrix x(300, 2);
+  math::Vec y(300);
+  for (size_t i = 0; i < 300; ++i) {
+    x(i, 0) = rng.Uniform(-10, 10);  // dominant variance, irrelevant.
+    x(i, 1) = rng.Uniform(-1, 1);    // small variance, drives y.
+    y[i] = 5.0 * x(i, 1);
+  }
+  PlsRegressor pls(1);
+  PcrRegressor pcr(1);
+  ASSERT_TRUE(pls.Fit(x, y).ok());
+  ASSERT_TRUE(pcr.Fit(x, y).ok());
+
+  auto mse = [&](auto& model) {
+    double s = 0.0;
+    for (size_t i = 0; i < 300; ++i) {
+      double d = model.Predict(x.Row(i)) - y[i];
+      s += d * d;
+    }
+    return s / 300.0;
+  };
+  EXPECT_LT(mse(pls), mse(pcr) * 0.5);
+}
+
+TEST(PlsTest, ConstantTarget) {
+  Rng rng(6);
+  math::Matrix x(50, 2);
+  for (double& v : x.data()) v = rng.Uniform(0, 1);
+  math::Vec y(50, 2.5);
+  PlsRegressor pls(2);
+  ASSERT_TRUE(pls.Fit(x, y).ok());
+  EXPECT_NEAR(pls.Predict({0.5, 0.5}), 2.5, 1e-6);
+}
+
+}  // namespace
+}  // namespace eadrl::models

@@ -1,0 +1,84 @@
+#include "models/pool.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "models/forecaster.h"
+#include "ts/datasets.h"
+
+namespace eadrl::models {
+namespace {
+
+TEST(PoolTest, PaperPoolHasFortyThreeModels) {
+  PoolConfig cfg;
+  auto pool = BuildPaperPool(cfg);
+  EXPECT_EQ(pool.size(), 43u);
+}
+
+TEST(PoolTest, ModelNamesAreUnique) {
+  PoolConfig cfg;
+  auto pool = BuildPaperPool(cfg);
+  std::set<std::string> names;
+  for (const auto& model : pool) names.insert(model->name());
+  EXPECT_EQ(names.size(), pool.size());
+}
+
+TEST(PoolTest, FastModeIsSmaller) {
+  PoolConfig cfg;
+  cfg.fast_mode = true;
+  auto pool = BuildPaperPool(cfg);
+  EXPECT_EQ(pool.size(), 10u);
+}
+
+TEST(PoolTest, CoversAllSixteenFamiliesPlusKnn) {
+  PoolConfig cfg;
+  auto pool = BuildPaperPool(cfg);
+  std::set<std::string> prefixes;
+  for (const auto& model : pool) {
+    std::string name = model->name();
+    prefixes.insert(name.substr(0, name.find('(')));
+  }
+  // arima, ets-ses/holt/holt-winters, gbm, gp, svr-linear/svr-rbf, rf, ppr,
+  // mars, pcr, dt, pls, knn, mlp, lstm, bilstm, cnn-lstm, conv-lstm.
+  for (const char* family :
+       {"arima", "gbm", "gp", "rf", "ppr", "mars", "pcr", "dt", "pls", "knn",
+        "mlp", "lstm", "bilstm", "cnn-lstm", "conv-lstm"}) {
+    EXPECT_TRUE(prefixes.count(family)) << "missing family " << family;
+  }
+}
+
+TEST(PoolTest, FastPoolFitsAndForecastsOnRealisticData) {
+  auto series = ts::MakeDataset(2, 42, 200);
+  ASSERT_TRUE(series.ok());
+  auto split = ts::SplitTrainTest(*series, 0.8);
+
+  PoolConfig cfg;
+  cfg.fast_mode = true;
+  cfg.nn_epochs = 3;
+  auto pool = FitPool(BuildPaperPool(cfg), split.train);
+  EXPECT_GE(pool.size(), 8u);  // nearly all models fit on 160 points.
+
+  for (auto& model : pool) {
+    math::Vec preds = RollingForecast(model.get(), split.test);
+    ASSERT_EQ(preds.size(), split.test.size());
+    for (double p : preds) {
+      EXPECT_TRUE(std::isfinite(p)) << model->name();
+    }
+  }
+}
+
+TEST(PoolTest, FitPoolDropsModelsThatCannotFit) {
+  // A series too short for ARIMA but long enough for some others.
+  ts::Series tiny("tiny", math::Vec(12, 1.0));
+  PoolConfig cfg;
+  cfg.fast_mode = true;
+  cfg.embedding_dim = 3;
+  auto pool = FitPool(BuildPaperPool(cfg), tiny);
+  // Some models were dropped, but the function did not crash.
+  EXPECT_LT(pool.size(), 10u);
+}
+
+}  // namespace
+}  // namespace eadrl::models

@@ -1,0 +1,134 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "models/mars.h"
+#include "models/ppr.h"
+
+namespace eadrl::models {
+namespace {
+
+TEST(BinnedSmootherTest, FitsMonotoneFunction) {
+  math::Vec x, y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back(i * 0.1);
+    y.push_back(2.0 * i * 0.1);
+  }
+  BinnedSmoother sm(10);
+  ASSERT_TRUE(sm.Fit(x, y).ok());
+  EXPECT_NEAR(sm.Predict(5.0), 10.0, 0.5);
+}
+
+TEST(BinnedSmootherTest, ClampsOutsideRange) {
+  math::Vec x{0, 1, 2, 3}, y{0, 1, 2, 3};
+  BinnedSmoother sm(2);
+  ASSERT_TRUE(sm.Fit(x, y).ok());
+  EXPECT_DOUBLE_EQ(sm.Predict(-100.0), sm.Predict(0.0));
+  EXPECT_DOUBLE_EQ(sm.Predict(100.0), sm.Predict(3.0));
+}
+
+TEST(PprTest, FitsAdditiveRidgeFunction) {
+  // y = g(w . x) with g(z) = z^2, w = (1, -1)/sqrt(2).
+  Rng rng(1);
+  math::Matrix x(400, 2);
+  math::Vec y(400);
+  for (size_t i = 0; i < 400; ++i) {
+    x(i, 0) = rng.Uniform(-1, 1);
+    x(i, 1) = rng.Uniform(-1, 1);
+    double z = (x(i, 0) - x(i, 1)) / std::sqrt(2.0);
+    y[i] = z * z;
+  }
+  PprRegressor::Params p;
+  p.num_terms = 3;
+  p.backfit_passes = 2;
+  PprRegressor ppr(p);
+  ASSERT_TRUE(ppr.Fit(x, y).ok());
+  double mse = 0.0;
+  for (size_t i = 0; i < 400; ++i) {
+    double d = ppr.Predict(x.Row(i)) - y[i];
+    mse += d * d;
+  }
+  // Variance of y is ~0.09; PPR should capture a good share of it.
+  EXPECT_LT(mse / 400.0, 0.05);
+}
+
+TEST(PprTest, ConstantTarget) {
+  math::Matrix x(20, 2);
+  Rng rng(2);
+  for (double& v : x.data()) v = rng.Uniform(0, 1);
+  math::Vec y(20, 7.0);
+  PprRegressor ppr(PprRegressor::Params{});
+  ASSERT_TRUE(ppr.Fit(x, y).ok());
+  EXPECT_NEAR(ppr.Predict({0.5, 0.5}), 7.0, 1e-6);
+}
+
+TEST(MarsTest, FitsHingeFunction) {
+  // y = max(0, x - 0.5), exactly representable with one hinge.
+  Rng rng(3);
+  math::Matrix x(300, 1);
+  math::Vec y(300);
+  for (size_t i = 0; i < 300; ++i) {
+    x(i, 0) = rng.Uniform(0, 1);
+    y[i] = std::max(0.0, x(i, 0) - 0.5);
+  }
+  MarsRegressor::Params p;
+  p.max_terms = 6;
+  MarsRegressor mars(p);
+  ASSERT_TRUE(mars.Fit(x, y).ok());
+  double mse = 0.0;
+  for (size_t i = 0; i < 300; ++i) {
+    double d = mars.Predict(x.Row(i)) - y[i];
+    mse += d * d;
+  }
+  EXPECT_LT(mse / 300.0, 1e-3);
+  EXPECT_GT(mars.num_bases(), 0u);
+}
+
+TEST(MarsTest, PiecewiseLinearVShape) {
+  Rng rng(4);
+  math::Matrix x(300, 1);
+  math::Vec y(300);
+  for (size_t i = 0; i < 300; ++i) {
+    x(i, 0) = rng.Uniform(-1, 1);
+    y[i] = std::fabs(x(i, 0));
+  }
+  MarsRegressor::Params p;
+  p.max_terms = 8;
+  MarsRegressor mars(p);
+  ASSERT_TRUE(mars.Fit(x, y).ok());
+  EXPECT_NEAR(mars.Predict({0.8}), 0.8, 0.1);
+  EXPECT_NEAR(mars.Predict({-0.8}), 0.8, 0.1);
+  EXPECT_NEAR(mars.Predict({0.0}), 0.0, 0.12);
+}
+
+TEST(MarsTest, PruningReducesOrKeepsBases) {
+  Rng rng(5);
+  math::Matrix x(200, 2);
+  math::Vec y(200);
+  for (size_t i = 0; i < 200; ++i) {
+    x(i, 0) = rng.Uniform(-1, 1);
+    x(i, 1) = rng.Uniform(-1, 1);  // irrelevant feature.
+    y[i] = x(i, 0) + rng.Normal(0, 0.05);
+  }
+  MarsRegressor::Params no_prune;
+  no_prune.max_terms = 12;
+  no_prune.prune = false;
+  MarsRegressor a(no_prune);
+  ASSERT_TRUE(a.Fit(x, y).ok());
+
+  MarsRegressor::Params prune = no_prune;
+  prune.prune = true;
+  MarsRegressor b(prune);
+  ASSERT_TRUE(b.Fit(x, y).ok());
+  EXPECT_LE(b.num_bases(), a.num_bases());
+}
+
+TEST(MarsTest, RejectsTinyData) {
+  MarsRegressor mars(MarsRegressor::Params{});
+  math::Matrix x(2, 1);
+  EXPECT_FALSE(mars.Fit(x, {1.0, 2.0}).ok());
+}
+
+}  // namespace
+}  // namespace eadrl::models

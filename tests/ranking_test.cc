@@ -1,0 +1,42 @@
+#include "stats/ranking.h"
+
+#include <gtest/gtest.h>
+
+namespace eadrl::stats {
+namespace {
+
+TEST(RankingTest, RankMatrixPerDataset) {
+  // 2 datasets x 3 methods.
+  math::Matrix errors{{1.0, 3.0, 2.0}, {5.0, 4.0, 6.0}};
+  math::Matrix ranks = RankMatrix(errors);
+  EXPECT_EQ(ranks.Row(0), (math::Vec{1, 3, 2}));
+  EXPECT_EQ(ranks.Row(1), (math::Vec{2, 1, 3}));
+}
+
+TEST(RankingTest, SummaryMeansAndNames) {
+  math::Matrix errors{{1.0, 3.0, 2.0}, {5.0, 4.0, 6.0}};
+  auto summary = SummarizeRanks(errors, {"a", "b", "c"});
+  ASSERT_EQ(summary.size(), 3u);
+  EXPECT_EQ(summary[0].method, "a");
+  EXPECT_DOUBLE_EQ(summary[0].mean_rank, 1.5);
+  EXPECT_DOUBLE_EQ(summary[1].mean_rank, 2.0);
+  EXPECT_DOUBLE_EQ(summary[2].mean_rank, 2.5);
+}
+
+TEST(RankingTest, TiesShareFractionalRank) {
+  math::Matrix errors{{1.0, 1.0, 2.0}};
+  math::Matrix ranks = RankMatrix(errors);
+  EXPECT_DOUBLE_EQ(ranks(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(ranks(0, 1), 1.5);
+  EXPECT_DOUBLE_EQ(ranks(0, 2), 3.0);
+}
+
+TEST(RankingTest, StddevZeroForConsistentRanks) {
+  math::Matrix errors{{1.0, 2.0}, {1.0, 2.0}};
+  auto summary = SummarizeRanks(errors, {"a", "b"});
+  EXPECT_DOUBLE_EQ(summary[0].stddev_rank, 0.0);
+  EXPECT_DOUBLE_EQ(summary[1].stddev_rank, 0.0);
+}
+
+}  // namespace
+}  // namespace eadrl::stats

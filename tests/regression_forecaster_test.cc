@@ -1,0 +1,70 @@
+#include "models/regression_forecaster.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "models/forecaster.h"
+#include "models/linear.h"
+#include "ts/metrics.h"
+
+namespace eadrl::models {
+namespace {
+
+ts::Series MakeSine(size_t n) {
+  math::Vec v(n);
+  for (size_t t = 0; t < n; ++t) {
+    v[t] = std::sin(2.0 * M_PI * static_cast<double>(t) / 20.0);
+  }
+  return ts::Series("sine", std::move(v));
+}
+
+TEST(RegressionForecasterTest, NameForwarded) {
+  RegressionForecaster f("ridge-test", 5, std::make_unique<RidgeRegressor>());
+  EXPECT_EQ(f.name(), "ridge-test");
+}
+
+TEST(RegressionForecasterTest, LearnsDeterministicPattern) {
+  ts::Series s = MakeSine(300);
+  auto split = ts::SplitTrainTest(s, 0.8);
+  RegressionForecaster f("ridge", 5, std::make_unique<RidgeRegressor>(1e-6));
+  ASSERT_TRUE(f.Fit(split.train).ok());
+  math::Vec preds = RollingForecast(&f, split.test);
+  // A sine is a linear AR process; ridge on 5 lags should nail it.
+  EXPECT_LT(ts::Rmse(split.test.values(), preds), 0.02);
+}
+
+TEST(RegressionForecasterTest, WindowSlidesWithObserve) {
+  // Train on the identity-ish ramp so predictions follow the window.
+  math::Vec v(100);
+  for (size_t t = 0; t < 100; ++t) v[t] = static_cast<double>(t);
+  RegressionForecaster f("ridge", 3, std::make_unique<RidgeRegressor>(1e-8));
+  ASSERT_TRUE(f.Fit(ts::Series("ramp", std::move(v))).ok());
+  double p1 = f.PredictNext();
+  EXPECT_NEAR(p1, 100.0, 1.0);
+  f.Observe(100.0);
+  EXPECT_NEAR(f.PredictNext(), 101.0, 1.0);
+}
+
+TEST(RegressionForecasterTest, RejectsTooShortSeries) {
+  RegressionForecaster f("ridge", 5, std::make_unique<RidgeRegressor>());
+  EXPECT_FALSE(f.Fit(ts::Series("tiny", {1, 2, 3})).ok());
+}
+
+TEST(RegressionForecasterTest, ScalingMakesItRobustToSeriesLevel) {
+  // Same pattern at a huge offset; predictions must follow the level.
+  math::Vec v(200);
+  for (size_t t = 0; t < 200; ++t) {
+    v[t] = 1e6 + std::sin(2.0 * M_PI * static_cast<double>(t) / 10.0);
+  }
+  ts::Series s("offset-sine", std::move(v));
+  auto split = ts::SplitTrainTest(s, 0.8);
+  RegressionForecaster f("ridge", 5, std::make_unique<RidgeRegressor>(1e-6));
+  ASSERT_TRUE(f.Fit(split.train).ok());
+  math::Vec preds = RollingForecast(&f, split.test);
+  EXPECT_LT(ts::Rmse(split.test.values(), preds), 0.1);
+}
+
+}  // namespace
+}  // namespace eadrl::models

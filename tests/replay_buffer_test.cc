@@ -1,0 +1,101 @@
+#include "rl/replay_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace eadrl::rl {
+namespace {
+
+Transition MakeTransition(double reward) {
+  Transition t;
+  t.state = {0.0};
+  t.action = {1.0};
+  t.reward = reward;
+  t.next_state = {0.0};
+  return t;
+}
+
+TEST(ReplayBufferTest, GrowsUntilCapacityThenOverwrites) {
+  ReplayBuffer buf(3);
+  EXPECT_TRUE(buf.empty());
+  for (int i = 0; i < 5; ++i) buf.Add(MakeTransition(i));
+  EXPECT_EQ(buf.size(), 3u);
+  // Oldest entries (0, 1) were overwritten by (3, 4).
+  std::vector<double> rewards;
+  for (size_t i = 0; i < buf.size(); ++i) rewards.push_back(buf.at(i).reward);
+  std::sort(rewards.begin(), rewards.end());
+  EXPECT_EQ(rewards, (std::vector<double>{2, 3, 4}));
+}
+
+TEST(ReplayBufferTest, RewardMedian) {
+  ReplayBuffer buf(10);
+  for (double r : {1.0, 2.0, 3.0, 4.0, 5.0}) buf.Add(MakeTransition(r));
+  EXPECT_DOUBLE_EQ(buf.RewardMedian(), 3.0);
+}
+
+TEST(ReplayBufferTest, UniformSampleHasRequestedSize) {
+  ReplayBuffer buf(10);
+  for (int i = 0; i < 5; ++i) buf.Add(MakeTransition(i));
+  Rng rng(1);
+  auto batch = buf.Sample(8, SamplingStrategy::kUniform, rng);
+  EXPECT_EQ(batch.size(), 8u);
+}
+
+// Eq. 4 of the paper: half the batch >= median reward, half below.
+class MedianSplitProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MedianSplitProperty, BatchIsBalanced) {
+  ReplayBuffer buf(100);
+  Rng data_rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    buf.Add(MakeTransition(data_rng.Uniform(0.0, 10.0)));
+  }
+  double median = buf.RewardMedian();
+
+  Rng rng(GetParam() + 1000);
+  auto batch = buf.Sample(16, SamplingStrategy::kMedianSplit, rng);
+  ASSERT_EQ(batch.size(), 16u);
+  size_t high = 0, low = 0;
+  for (const Transition& t : batch) {
+    if (t.reward >= median) {
+      ++high;
+    } else {
+      ++low;
+    }
+  }
+  EXPECT_EQ(high, 8u);
+  EXPECT_EQ(low, 8u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MedianSplitProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(ReplayBufferTest, MedianSplitOddBatchGivesExtraToLow) {
+  ReplayBuffer buf(10);
+  for (double r : {1.0, 1.0, 9.0, 9.0}) buf.Add(MakeTransition(r));
+  Rng rng(3);
+  auto batch = buf.Sample(5, SamplingStrategy::kMedianSplit, rng);
+  size_t high = 0;
+  for (const Transition& t : batch) {
+    if (t.reward >= buf.RewardMedian()) ++high;
+  }
+  EXPECT_EQ(high, 2u);
+}
+
+TEST(ReplayBufferTest, MedianSplitFallsBackWhenAllRewardsEqual) {
+  ReplayBuffer buf(10);
+  for (int i = 0; i < 6; ++i) buf.Add(MakeTransition(5.0));
+  Rng rng(4);
+  auto batch = buf.Sample(4, SamplingStrategy::kMedianSplit, rng);
+  EXPECT_EQ(batch.size(), 4u);
+}
+
+TEST(ReplayBufferTest, MedianSplitSingleElementFallsBack) {
+  ReplayBuffer buf(10);
+  buf.Add(MakeTransition(1.0));
+  Rng rng(5);
+  auto batch = buf.Sample(3, SamplingStrategy::kMedianSplit, rng);
+  EXPECT_EQ(batch.size(), 3u);
+}
+
+}  // namespace
+}  // namespace eadrl::rl

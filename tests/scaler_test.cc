@@ -1,0 +1,66 @@
+#include "ts/scaler.h"
+
+#include <gtest/gtest.h>
+
+namespace eadrl::ts {
+namespace {
+
+TEST(MinMaxScalerTest, MapsToUnitInterval) {
+  MinMaxScaler s;
+  s.Fit({10, 20, 30});
+  EXPECT_DOUBLE_EQ(s.Transform(10), 0.0);
+  EXPECT_DOUBLE_EQ(s.Transform(30), 1.0);
+  EXPECT_DOUBLE_EQ(s.Transform(20), 0.5);
+}
+
+TEST(MinMaxScalerTest, RoundTrip) {
+  MinMaxScaler s;
+  s.Fit({-5, 0, 15});
+  for (double x : {-5.0, 0.0, 7.3, 15.0, 20.0}) {
+    EXPECT_NEAR(s.Inverse(s.Transform(x)), x, 1e-12);
+  }
+}
+
+TEST(MinMaxScalerTest, ConstantInputMapsToHalf) {
+  MinMaxScaler s;
+  s.Fit({4, 4, 4});
+  EXPECT_DOUBLE_EQ(s.Transform(4), 0.5);
+}
+
+TEST(MinMaxScalerTest, VectorOverloads) {
+  MinMaxScaler s;
+  s.Fit({0, 10});
+  math::Vec t = s.Transform(math::Vec{0, 5, 10});
+  EXPECT_EQ(t, (math::Vec{0.0, 0.5, 1.0}));
+  math::Vec back = s.Inverse(t);
+  EXPECT_EQ(back, (math::Vec{0.0, 5.0, 10.0}));
+}
+
+TEST(StandardScalerTest, ZeroMeanUnitVariance) {
+  StandardScaler s;
+  math::Vec v{1, 2, 3, 4, 5};
+  s.Fit(v);
+  EXPECT_DOUBLE_EQ(s.Transform(3.0), 0.0);
+  math::Vec t = s.Transform(v);
+  double mean = 0.0;
+  for (double x : t) mean += x;
+  EXPECT_NEAR(mean / 5.0, 0.0, 1e-12);
+}
+
+TEST(StandardScalerTest, RoundTrip) {
+  StandardScaler s;
+  s.Fit({3, 7, 11, 2});
+  for (double x : {-1.0, 3.5, 100.0}) {
+    EXPECT_NEAR(s.Inverse(s.Transform(x)), x, 1e-10);
+  }
+}
+
+TEST(StandardScalerTest, ConstantInputTransformsToZero) {
+  StandardScaler s;
+  s.Fit({2, 2, 2});
+  EXPECT_DOUBLE_EQ(s.Transform(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.Inverse(0.0), 2.0);
+}
+
+}  // namespace
+}  // namespace eadrl::ts

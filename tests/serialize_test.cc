@@ -1,0 +1,53 @@
+#include "nn/serialize.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace eadrl::nn {
+namespace {
+
+TEST(SerializeTest, RoundTripPreservesValuesExactly) {
+  std::vector<math::Matrix> matrices;
+  matrices.push_back(math::Matrix{{1.0, -2.5}, {3.14159265358979, 0.0}});
+  matrices.push_back(math::Matrix(3, 1, 1e-17));
+
+  std::stringstream stream;
+  ASSERT_TRUE(WriteMatrices(stream, matrices).ok());
+  auto loaded = ReadMatrices(stream);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  for (size_t k = 0; k < 2; ++k) {
+    EXPECT_EQ((*loaded)[k].rows(), matrices[k].rows());
+    EXPECT_EQ((*loaded)[k].cols(), matrices[k].cols());
+    for (size_t i = 0; i < matrices[k].data().size(); ++i) {
+      EXPECT_DOUBLE_EQ((*loaded)[k].data()[i], matrices[k].data()[i]);
+    }
+  }
+}
+
+TEST(SerializeTest, EmptyListRoundTrips) {
+  std::stringstream stream;
+  ASSERT_TRUE(WriteMatrices(stream, {}).ok());
+  auto loaded = ReadMatrices(stream);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+}
+
+TEST(SerializeTest, RejectsBadHeader) {
+  std::stringstream stream("garbage 3");
+  EXPECT_FALSE(ReadMatrices(stream).ok());
+}
+
+TEST(SerializeTest, RejectsTruncatedValues) {
+  std::stringstream stream("matrices 1\n2 2\n1.0 2.0 3.0");
+  EXPECT_FALSE(ReadMatrices(stream).ok());
+}
+
+TEST(SerializeTest, RejectsZeroShape) {
+  std::stringstream stream("matrices 1\n0 2\n");
+  EXPECT_FALSE(ReadMatrices(stream).ok());
+}
+
+}  // namespace
+}  // namespace eadrl::nn

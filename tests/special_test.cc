@@ -1,0 +1,61 @@
+#include "math/special.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace eadrl::math {
+namespace {
+
+TEST(LogGammaTest, IntegerFactorials) {
+  // Gamma(n) = (n-1)!.
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-10);
+  EXPECT_NEAR(LogGamma(2.0), 0.0, 1e-10);
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-9);
+  EXPECT_NEAR(LogGamma(10.0), std::log(362880.0), 1e-7);
+}
+
+TEST(LogGammaTest, HalfInteger) {
+  // Gamma(0.5) = sqrt(pi).
+  EXPECT_NEAR(LogGamma(0.5), 0.5 * std::log(M_PI), 1e-9);
+}
+
+TEST(IncompleteBetaTest, Endpoints) {
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2, 3, 1.0), 1.0);
+}
+
+TEST(IncompleteBetaTest, SymmetricCase) {
+  // I_{1/2}(a, a) = 1/2.
+  EXPECT_NEAR(RegularizedIncompleteBeta(3, 3, 0.5), 0.5, 1e-9);
+}
+
+TEST(IncompleteBetaTest, UniformCase) {
+  // I_x(1, 1) = x.
+  EXPECT_NEAR(RegularizedIncompleteBeta(1, 1, 0.37), 0.37, 1e-9);
+}
+
+TEST(StudentTCdfTest, SymmetryAtZero) {
+  EXPECT_NEAR(StudentTCdf(0.0, 5.0), 0.5, 1e-10);
+  EXPECT_NEAR(StudentTCdf(1.3, 7.0) + StudentTCdf(-1.3, 7.0), 1.0, 1e-10);
+}
+
+TEST(StudentTCdfTest, KnownQuantiles) {
+  // t_{0.975, 10} ~= 2.228.
+  EXPECT_NEAR(StudentTCdf(2.228, 10.0), 0.975, 1e-3);
+  // t_{0.95, 5} ~= 2.015.
+  EXPECT_NEAR(StudentTCdf(2.015, 5.0), 0.95, 1e-3);
+}
+
+TEST(StudentTCdfTest, ApproachesNormalForLargeDof) {
+  EXPECT_NEAR(StudentTCdf(1.96, 10000.0), NormalCdf(1.96), 1e-3);
+}
+
+TEST(NormalCdfTest, StandardValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.025, 1e-3);
+}
+
+}  // namespace
+}  // namespace eadrl::math

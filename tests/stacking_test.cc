@@ -1,0 +1,82 @@
+#include "baselines/stacking.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace eadrl::baselines {
+namespace {
+
+TEST(StackingTest, LearnsToFollowAccurateModel) {
+  Rng rng(1);
+  const size_t t_steps = 200;
+  math::Matrix preds(t_steps, 3);
+  math::Vec actuals(t_steps);
+  for (size_t t = 0; t < t_steps; ++t) {
+    double x = std::sin(0.2 * static_cast<double>(t)) * 5.0;
+    actuals[t] = x;
+    preds(t, 0) = x + rng.Normal(0, 0.05);
+    preds(t, 1) = x + rng.Normal(0, 2.0);
+    preds(t, 2) = -x;  // anti-correlated junk.
+  }
+  StackingCombiner stacking(30, 7);
+  ASSERT_TRUE(stacking.Initialize(preds, actuals).ok());
+
+  // On fresh points, the meta-learner output should track model 0.
+  double mse = 0.0;
+  for (size_t t = 0; t < t_steps; ++t) {
+    double p = stacking.Predict(preds.Row(t));
+    mse += (p - actuals[t]) * (p - actuals[t]);
+  }
+  EXPECT_LT(mse / static_cast<double>(t_steps), 0.5);
+}
+
+TEST(StackingTest, NonlinearCombinationPossible) {
+  // Truth = max(model0, model1); a linear combiner cannot represent this,
+  // a forest can approximate it.
+  Rng rng(2);
+  const size_t t_steps = 400;
+  math::Matrix preds(t_steps, 2);
+  math::Vec actuals(t_steps);
+  for (size_t t = 0; t < t_steps; ++t) {
+    preds(t, 0) = rng.Uniform(-1, 1);
+    preds(t, 1) = rng.Uniform(-1, 1);
+    actuals[t] = std::max(preds(t, 0), preds(t, 1));
+  }
+  StackingCombiner stacking(40, 3);
+  ASSERT_TRUE(stacking.Initialize(preds, actuals).ok());
+  double mse = 0.0;
+  for (size_t t = 0; t < t_steps; ++t) {
+    double p = stacking.Predict(preds.Row(t));
+    mse += (p - actuals[t]) * (p - actuals[t]);
+  }
+  // Best convex combination has MSE ~ E[(max - avg)^2] ~ 0.11; the forest
+  // should beat that clearly.
+  EXPECT_LT(mse / static_cast<double>(t_steps), 0.05);
+}
+
+TEST(StackingTest, RejectsEmptyValidation) {
+  StackingCombiner stacking;
+  EXPECT_FALSE(stacking.Initialize(math::Matrix(), math::Vec{}).ok());
+}
+
+TEST(StackingTest, UpdateIsNoOp) {
+  Rng rng(3);
+  math::Matrix preds(50, 2);
+  math::Vec actuals(50);
+  for (size_t t = 0; t < 50; ++t) {
+    actuals[t] = rng.Uniform(0, 1);
+    preds(t, 0) = actuals[t];
+    preds(t, 1) = actuals[t] + 1.0;
+  }
+  StackingCombiner stacking;
+  ASSERT_TRUE(stacking.Initialize(preds, actuals).ok());
+  double before = stacking.Predict({0.5, 1.5});
+  for (int i = 0; i < 20; ++i) stacking.Update({0.5, 1.5}, 99.0);
+  EXPECT_DOUBLE_EQ(stacking.Predict({0.5, 1.5}), before);
+}
+
+}  // namespace
+}  // namespace eadrl::baselines

@@ -1,0 +1,87 @@
+#include "math/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace eadrl::math {
+namespace {
+
+TEST(StatsTest, MeanVarianceStddev) {
+  Vec v{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(Mean(v), 5.0);
+  EXPECT_NEAR(Variance(v), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(Stddev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(StatsTest, VarianceOfSingletonIsZero) {
+  EXPECT_DOUBLE_EQ(Variance({5.0}), 0.0);
+}
+
+TEST(StatsTest, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(Median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({7}), 7.0);
+}
+
+TEST(StatsTest, QuantileEndpointsAndMiddle) {
+  Vec v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.0);
+}
+
+TEST(StatsTest, MinMax) {
+  Vec v{3, -1, 7, 0};
+  EXPECT_DOUBLE_EQ(Min(v), -1.0);
+  EXPECT_DOUBLE_EQ(Max(v), 7.0);
+}
+
+TEST(StatsTest, CovarianceAndCorrelation) {
+  Vec a{1, 2, 3, 4};
+  Vec b{2, 4, 6, 8};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+  Vec c{8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(a, c), -1.0, 1e-12);
+}
+
+TEST(StatsTest, CorrelationOfConstantIsZero) {
+  Vec a{1, 2, 3};
+  Vec b{5, 5, 5};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(a, b), 0.0);
+}
+
+TEST(StatsTest, AutocorrelationLagZeroIsOne) {
+  Vec v{1, 3, 2, 5, 4, 6};
+  EXPECT_NEAR(Autocorrelation(v, 0), 1.0, 1e-12);
+}
+
+TEST(StatsTest, AutocorrelationDetectsPeriodicity) {
+  // Period-4 wave: autocorrelation at lag 4 should be strongly positive,
+  // at lag 2 strongly negative.
+  Vec v;
+  for (int i = 0; i < 100; ++i) v.push_back(std::sin(i * M_PI / 2.0));
+  EXPECT_GT(Autocorrelation(v, 4), 0.8);
+  EXPECT_LT(Autocorrelation(v, 2), -0.8);
+}
+
+TEST(StatsTest, FractionalRanksNoTies) {
+  Vec v{30, 10, 20};
+  Vec r = FractionalRanks(v);
+  EXPECT_EQ(r, (Vec{3, 1, 2}));
+}
+
+TEST(StatsTest, FractionalRanksWithTies) {
+  Vec v{1, 2, 2, 3};
+  Vec r = FractionalRanks(v);
+  EXPECT_EQ(r, (Vec{1, 2.5, 2.5, 4}));
+}
+
+TEST(StatsTest, FractionalRanksAllTied) {
+  Vec r = FractionalRanks({5, 5, 5});
+  for (double x : r) EXPECT_DOUBLE_EQ(x, 2.0);
+}
+
+}  // namespace
+}  // namespace eadrl::math

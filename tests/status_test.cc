@@ -1,0 +1,68 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace eadrl {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad k");
+}
+
+TEST(StatusTest, AllConstructorsProduceDistinctCodes) {
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v = std::string("hello");
+  std::string s = std::move(v).value();
+  EXPECT_EQ(s, "hello");
+}
+
+Status Inner(bool fail) {
+  if (fail) return Status::Internal("inner failed");
+  return Status::Ok();
+}
+
+Status Outer(bool fail) {
+  EADRL_RETURN_IF_ERROR(Inner(fail));
+  return Status::Ok();
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Outer(false).ok());
+  Status s = Outer(true);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "inner failed");
+}
+
+}  // namespace
+}  // namespace eadrl

@@ -1,0 +1,103 @@
+#include "models/tree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace eadrl::models {
+namespace {
+
+// y = step function of x0.
+void MakeStepData(math::Matrix* x, math::Vec* y) {
+  *x = math::Matrix(20, 1);
+  y->resize(20);
+  for (size_t i = 0; i < 20; ++i) {
+    (*x)(i, 0) = static_cast<double>(i);
+    (*y)[i] = i < 10 ? 1.0 : 5.0;
+  }
+}
+
+TEST(TreeTest, FitsStepFunctionExactly) {
+  math::Matrix x;
+  math::Vec y;
+  MakeStepData(&x, &y);
+  RegressionTree tree(TreeParams{4, 1, 0});
+  ASSERT_TRUE(tree.Fit(x, y).ok());
+  EXPECT_DOUBLE_EQ(tree.Predict({3.0}), 1.0);
+  EXPECT_DOUBLE_EQ(tree.Predict({15.0}), 5.0);
+}
+
+TEST(TreeTest, DepthZeroGivesMeanPrediction) {
+  math::Matrix x;
+  math::Vec y;
+  MakeStepData(&x, &y);
+  RegressionTree tree(TreeParams{0, 1, 0});
+  ASSERT_TRUE(tree.Fit(x, y).ok());
+  EXPECT_DOUBLE_EQ(tree.Predict({0.0}), 3.0);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+}
+
+TEST(TreeTest, MinSamplesLeafLimitsSplits) {
+  math::Matrix x;
+  math::Vec y;
+  MakeStepData(&x, &y);
+  RegressionTree tree(TreeParams{10, 10, 0});
+  ASSERT_TRUE(tree.Fit(x, y).ok());
+  // With min leaf 10 and 20 samples, exactly one split is possible.
+  EXPECT_LE(tree.num_nodes(), 3u);
+}
+
+TEST(TreeTest, ConstantTargetSingleLeaf) {
+  math::Matrix x(10, 2);
+  math::Vec y(10, 4.2);
+  RegressionTree tree(TreeParams{8, 1, 0});
+  ASSERT_TRUE(tree.Fit(x, y).ok());
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_DOUBLE_EQ(tree.Predict({0, 0}), 4.2);
+}
+
+TEST(TreeTest, PicksInformativeFeature) {
+  // Feature 1 is pure noise; feature 0 determines y.
+  Rng rng(3);
+  math::Matrix x(100, 2);
+  math::Vec y(100);
+  for (size_t i = 0; i < 100; ++i) {
+    x(i, 0) = rng.Uniform(0, 1);
+    x(i, 1) = rng.Uniform(0, 1);
+    y[i] = x(i, 0) > 0.5 ? 10.0 : -10.0;
+  }
+  RegressionTree tree(TreeParams{2, 5, 0});
+  ASSERT_TRUE(tree.Fit(x, y).ok());
+  EXPECT_GT(tree.Predict({0.9, 0.1}), 5.0);
+  EXPECT_LT(tree.Predict({0.1, 0.9}), -5.0);
+}
+
+TEST(TreeTest, FitSubsetUsesOnlyGivenRows) {
+  math::Matrix x;
+  math::Vec y;
+  MakeStepData(&x, &y);
+  // Only rows from the first regime.
+  std::vector<size_t> subset{0, 1, 2, 3, 4};
+  RegressionTree tree(TreeParams{4, 1, 0});
+  ASSERT_TRUE(tree.FitSubset(x, y, subset).ok());
+  EXPECT_DOUBLE_EQ(tree.Predict({15.0}), 1.0);
+}
+
+TEST(TreeTest, RejectsMismatchedData) {
+  math::Matrix x(5, 1);
+  math::Vec y(4);
+  RegressionTree tree(TreeParams{});
+  EXPECT_FALSE(tree.Fit(x, y).ok());
+}
+
+TEST(TreeTest, FeatureSubsamplingRequiresRng) {
+  Rng rng(1);
+  math::Matrix x;
+  math::Vec y;
+  MakeStepData(&x, &y);
+  RegressionTree tree(TreeParams{4, 1, 1}, &rng);
+  EXPECT_TRUE(tree.Fit(x, y).ok());
+}
+
+}  // namespace
+}  // namespace eadrl::models

@@ -1,0 +1,215 @@
+// eadrl_forecast: command-line forecasting with the EA-DRL ensemble.
+//
+// Reads a univariate series from a CSV file (or generates one of the
+// built-in benchmark datasets), fits the base-model pool, learns the
+// combination policy offline, and prints an N-step forecast with empirical
+// prediction intervals.
+//
+// Usage:
+//   eadrl_forecast --csv data.csv [--column 0] [--skip-rows 1]
+//   eadrl_forecast --dataset 9 [--length 400]
+// Common options:
+//   --horizon N       forecast steps (default 12)
+//   --coverage C      interval coverage in (0,1) (default 0.9)
+//   --full-pool       use all 43 base models (default: fast 10-model pool)
+//   --episodes N      offline training episodes (default 30)
+//   --save-policy F   write the trained policy to F
+//   --seed S          RNG seed (default 42)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/eadrl.h"
+#include "core/intervals.h"
+#include "exp/experiment.h"
+#include "models/forecaster.h"
+#include "models/pool.h"
+#include "ts/datasets.h"
+#include "ts/diagnostics.h"
+#include "ts/io.h"
+
+namespace {
+
+struct Args {
+  std::string csv;
+  int dataset = 0;
+  size_t length = 400;
+  size_t column = 0;
+  size_t skip_rows = 0;
+  size_t horizon = 12;
+  double coverage = 0.9;
+  bool full_pool = false;
+  size_t episodes = 30;
+  std::string save_policy;
+  uint64_t seed = 42;
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&](const char* name) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", name);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (flag == "--csv") {
+      const char* v = next("--csv");
+      if (v == nullptr) return false;
+      args->csv = v;
+    } else if (flag == "--dataset") {
+      const char* v = next("--dataset");
+      if (v == nullptr) return false;
+      args->dataset = std::atoi(v);
+    } else if (flag == "--length") {
+      const char* v = next("--length");
+      if (v == nullptr) return false;
+      args->length = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--column") {
+      const char* v = next("--column");
+      if (v == nullptr) return false;
+      args->column = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--skip-rows") {
+      const char* v = next("--skip-rows");
+      if (v == nullptr) return false;
+      args->skip_rows = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--horizon") {
+      const char* v = next("--horizon");
+      if (v == nullptr) return false;
+      args->horizon = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--coverage") {
+      const char* v = next("--coverage");
+      if (v == nullptr) return false;
+      args->coverage = std::atof(v);
+    } else if (flag == "--full-pool") {
+      args->full_pool = true;
+    } else if (flag == "--episodes") {
+      const char* v = next("--episodes");
+      if (v == nullptr) return false;
+      args->episodes = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--save-policy") {
+      const char* v = next("--save-policy");
+      if (v == nullptr) return false;
+      args->save_policy = v;
+    } else if (flag == "--seed") {
+      const char* v = next("--seed");
+      if (v == nullptr) return false;
+      args->seed = std::strtoull(v, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  if (args->csv.empty() && args->dataset == 0) {
+    std::fprintf(stderr,
+                 "usage: eadrl_forecast --csv FILE | --dataset ID "
+                 "[--horizon N] [--coverage C] [--full-pool]\n");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return 2;
+
+  // --- Load the series. ----------------------------------------------------
+  eadrl::ts::Series series;
+  if (!args.csv.empty()) {
+    eadrl::ts::CsvOptions csv;
+    csv.value_column = args.column;
+    csv.skip_rows = args.skip_rows;
+    auto loaded = eadrl::ts::LoadCsv(args.csv, csv);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    series = std::move(loaded).value();
+  } else {
+    auto generated =
+        eadrl::ts::MakeDataset(args.dataset, args.seed, args.length);
+    if (!generated.ok()) {
+      std::fprintf(stderr, "%s\n", generated.status().ToString().c_str());
+      return 1;
+    }
+    series = std::move(generated).value();
+  }
+  std::printf("series: %s, %zu points\n", series.name().c_str(),
+              series.size());
+
+  // Seasonal-period detection helps the Holt-Winters pool member.
+  if (series.seasonal_period() == 0) {
+    size_t period = eadrl::ts::EstimateSeasonalPeriod(series.values());
+    if (period > 0) {
+      std::printf("detected seasonal period: %zu\n", period);
+      series = eadrl::ts::Series(series.name(), series.values(),
+                                 series.frequency(), period);
+    }
+  }
+
+  // --- Fit pool + policy. --------------------------------------------------
+  eadrl::exp::ExperimentOptions opt;
+  opt.seed = args.seed;
+  opt.pool.fast_mode = !args.full_pool;
+  opt.pool.nn_epochs = 6;
+  opt.eadrl.max_episodes = args.episodes;
+  eadrl::exp::PoolRun pool_run = eadrl::exp::PreparePool(series, opt);
+  std::printf("pool: %zu base models fitted\n",
+              pool_run.model_names.size());
+
+  eadrl::core::EadrlCombiner combiner(opt.eadrl);
+  eadrl::Status st =
+      combiner.Initialize(pool_run.val_preds, pool_run.val_actuals);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("policy trained (%zu episodes)\n",
+              combiner.episode_rewards().size());
+
+  // Calibrate intervals on the held-out test segment (one-step residuals).
+  eadrl::math::Vec residuals;
+  for (size_t t = 0; t < pool_run.test_actuals.size(); ++t) {
+    eadrl::math::Vec preds = pool_run.test_preds.Row(t);
+    double p = combiner.Predict(preds);
+    combiner.Update(preds, pool_run.test_actuals[t]);
+    residuals.push_back(pool_run.test_actuals[t] - p);
+  }
+  eadrl::core::EmpiricalIntervals intervals;
+  st = intervals.Calibrate(residuals);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  if (!args.save_policy.empty()) {
+    st = combiner.SavePolicy(args.save_policy);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("policy saved to %s\n", args.save_policy.c_str());
+  }
+
+  // --- Multi-step forecast (Algorithm 1): refit pool on the full series. ---
+  auto models =
+      eadrl::models::FitPool(eadrl::models::BuildPaperPool(opt.pool), series);
+  std::printf("\n%4s %12s %12s %12s  (%.0f%% interval)\n", "step",
+              "forecast", "lower", "upper", args.coverage * 100.0);
+  for (size_t j = 0; j < args.horizon; ++j) {
+    eadrl::math::Vec base_preds;
+    for (auto& model : models) base_preds.push_back(model->PredictNext());
+    double point = combiner.Predict(base_preds);
+    auto interval = intervals.Interval(point, args.coverage);
+    if (!interval.ok()) return 1;
+    std::printf("%4zu %12.4f %12.4f %12.4f\n", j + 1, interval->point,
+                interval->lower, interval->upper);
+    for (auto& model : models) model->Observe(point);
+  }
+  return 0;
+}
