@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_extensions"
+  "../bench/ablation_extensions.pdb"
+  "CMakeFiles/ablation_extensions.dir/ablation_extensions.cc.o"
+  "CMakeFiles/ablation_extensions.dir/ablation_extensions.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

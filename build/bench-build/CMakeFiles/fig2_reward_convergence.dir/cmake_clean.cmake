@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_reward_convergence"
+  "../bench/fig2_reward_convergence.pdb"
+  "CMakeFiles/fig2_reward_convergence.dir/fig2_reward_convergence.cc.o"
+  "CMakeFiles/fig2_reward_convergence.dir/fig2_reward_convergence.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_reward_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

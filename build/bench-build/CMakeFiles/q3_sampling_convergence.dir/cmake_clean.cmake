@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/q3_sampling_convergence"
+  "../bench/q3_sampling_convergence.pdb"
+  "CMakeFiles/q3_sampling_convergence.dir/q3_sampling_convergence.cc.o"
+  "CMakeFiles/q3_sampling_convergence.dir/q3_sampling_convergence.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/q3_sampling_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for q3_sampling_convergence.
+# This may be replaced when dependencies are built.

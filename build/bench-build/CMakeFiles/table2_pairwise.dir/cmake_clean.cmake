@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_pairwise"
+  "../bench/table2_pairwise.pdb"
+  "CMakeFiles/table2_pairwise.dir/table2_pairwise.cc.o"
+  "CMakeFiles/table2_pairwise.dir/table2_pairwise.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_pairwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_pool.dir/custom_pool.cc.o"
+  "CMakeFiles/example_custom_pool.dir/custom_pool.cc.o.d"
+  "example_custom_pool"
+  "example_custom_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_energy_forecast.dir/energy_forecast.cc.o"
+  "CMakeFiles/example_energy_forecast.dir/energy_forecast.cc.o.d"
+  "example_energy_forecast"
+  "example_energy_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_energy_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

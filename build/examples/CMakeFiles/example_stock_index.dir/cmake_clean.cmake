@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_stock_index.dir/stock_index.cc.o"
+  "CMakeFiles/example_stock_index.dir/stock_index.cc.o.d"
+  "example_stock_index"
+  "example_stock_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_stock_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

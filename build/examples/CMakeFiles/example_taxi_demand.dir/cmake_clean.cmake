@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_taxi_demand.dir/taxi_demand.cc.o"
+  "CMakeFiles/example_taxi_demand.dir/taxi_demand.cc.o.d"
+  "example_taxi_demand"
+  "example_taxi_demand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_taxi_demand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,79 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/dynamic_selection.cc" "src/CMakeFiles/eadrl.dir/baselines/dynamic_selection.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/baselines/dynamic_selection.cc.o.d"
+  "/root/repo/src/baselines/error_tracker.cc" "src/CMakeFiles/eadrl.dir/baselines/error_tracker.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/baselines/error_tracker.cc.o.d"
+  "/root/repo/src/baselines/expert_aggregation.cc" "src/CMakeFiles/eadrl.dir/baselines/expert_aggregation.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/baselines/expert_aggregation.cc.o.d"
+  "/root/repo/src/baselines/stacking.cc" "src/CMakeFiles/eadrl.dir/baselines/stacking.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/baselines/stacking.cc.o.d"
+  "/root/repo/src/baselines/static_combiners.cc" "src/CMakeFiles/eadrl.dir/baselines/static_combiners.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/baselines/static_combiners.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/eadrl.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/eadrl.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/eadrl.dir/common/status.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/eadrl.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/common/string_util.cc.o.d"
+  "/root/repo/src/core/combiner.cc" "src/CMakeFiles/eadrl.dir/core/combiner.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/core/combiner.cc.o.d"
+  "/root/repo/src/core/eadrl.cc" "src/CMakeFiles/eadrl.dir/core/eadrl.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/core/eadrl.cc.o.d"
+  "/root/repo/src/core/intervals.cc" "src/CMakeFiles/eadrl.dir/core/intervals.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/core/intervals.cc.o.d"
+  "/root/repo/src/exp/experiment.cc" "src/CMakeFiles/eadrl.dir/exp/experiment.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/exp/experiment.cc.o.d"
+  "/root/repo/src/math/linalg.cc" "src/CMakeFiles/eadrl.dir/math/linalg.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/math/linalg.cc.o.d"
+  "/root/repo/src/math/matrix.cc" "src/CMakeFiles/eadrl.dir/math/matrix.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/math/matrix.cc.o.d"
+  "/root/repo/src/math/special.cc" "src/CMakeFiles/eadrl.dir/math/special.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/math/special.cc.o.d"
+  "/root/repo/src/math/stats.cc" "src/CMakeFiles/eadrl.dir/math/stats.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/math/stats.cc.o.d"
+  "/root/repo/src/math/vec.cc" "src/CMakeFiles/eadrl.dir/math/vec.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/math/vec.cc.o.d"
+  "/root/repo/src/models/arima.cc" "src/CMakeFiles/eadrl.dir/models/arima.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/models/arima.cc.o.d"
+  "/root/repo/src/models/auto_arima.cc" "src/CMakeFiles/eadrl.dir/models/auto_arima.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/models/auto_arima.cc.o.d"
+  "/root/repo/src/models/ets.cc" "src/CMakeFiles/eadrl.dir/models/ets.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/models/ets.cc.o.d"
+  "/root/repo/src/models/forecaster.cc" "src/CMakeFiles/eadrl.dir/models/forecaster.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/models/forecaster.cc.o.d"
+  "/root/repo/src/models/gbm.cc" "src/CMakeFiles/eadrl.dir/models/gbm.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/models/gbm.cc.o.d"
+  "/root/repo/src/models/gp.cc" "src/CMakeFiles/eadrl.dir/models/gp.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/models/gp.cc.o.d"
+  "/root/repo/src/models/linear.cc" "src/CMakeFiles/eadrl.dir/models/linear.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/models/linear.cc.o.d"
+  "/root/repo/src/models/mars.cc" "src/CMakeFiles/eadrl.dir/models/mars.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/models/mars.cc.o.d"
+  "/root/repo/src/models/naive.cc" "src/CMakeFiles/eadrl.dir/models/naive.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/models/naive.cc.o.d"
+  "/root/repo/src/models/nn_regressors.cc" "src/CMakeFiles/eadrl.dir/models/nn_regressors.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/models/nn_regressors.cc.o.d"
+  "/root/repo/src/models/pcr.cc" "src/CMakeFiles/eadrl.dir/models/pcr.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/models/pcr.cc.o.d"
+  "/root/repo/src/models/pool.cc" "src/CMakeFiles/eadrl.dir/models/pool.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/models/pool.cc.o.d"
+  "/root/repo/src/models/ppr.cc" "src/CMakeFiles/eadrl.dir/models/ppr.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/models/ppr.cc.o.d"
+  "/root/repo/src/models/random_forest.cc" "src/CMakeFiles/eadrl.dir/models/random_forest.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/models/random_forest.cc.o.d"
+  "/root/repo/src/models/regression_forecaster.cc" "src/CMakeFiles/eadrl.dir/models/regression_forecaster.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/models/regression_forecaster.cc.o.d"
+  "/root/repo/src/models/svr.cc" "src/CMakeFiles/eadrl.dir/models/svr.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/models/svr.cc.o.d"
+  "/root/repo/src/models/tree.cc" "src/CMakeFiles/eadrl.dir/models/tree.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/models/tree.cc.o.d"
+  "/root/repo/src/nn/activation.cc" "src/CMakeFiles/eadrl.dir/nn/activation.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/nn/activation.cc.o.d"
+  "/root/repo/src/nn/conv1d.cc" "src/CMakeFiles/eadrl.dir/nn/conv1d.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/nn/conv1d.cc.o.d"
+  "/root/repo/src/nn/dense.cc" "src/CMakeFiles/eadrl.dir/nn/dense.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/nn/dense.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/CMakeFiles/eadrl.dir/nn/init.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/nn/init.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/CMakeFiles/eadrl.dir/nn/loss.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/nn/loss.cc.o.d"
+  "/root/repo/src/nn/lstm.cc" "src/CMakeFiles/eadrl.dir/nn/lstm.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/nn/lstm.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/CMakeFiles/eadrl.dir/nn/mlp.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/nn/mlp.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/eadrl.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/nn/param.cc" "src/CMakeFiles/eadrl.dir/nn/param.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/nn/param.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/CMakeFiles/eadrl.dir/nn/serialize.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/nn/serialize.cc.o.d"
+  "/root/repo/src/rl/ddpg.cc" "src/CMakeFiles/eadrl.dir/rl/ddpg.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/rl/ddpg.cc.o.d"
+  "/root/repo/src/rl/env.cc" "src/CMakeFiles/eadrl.dir/rl/env.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/rl/env.cc.o.d"
+  "/root/repo/src/rl/ou_noise.cc" "src/CMakeFiles/eadrl.dir/rl/ou_noise.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/rl/ou_noise.cc.o.d"
+  "/root/repo/src/rl/replay_buffer.cc" "src/CMakeFiles/eadrl.dir/rl/replay_buffer.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/rl/replay_buffer.cc.o.d"
+  "/root/repo/src/stats/bayes_tests.cc" "src/CMakeFiles/eadrl.dir/stats/bayes_tests.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/stats/bayes_tests.cc.o.d"
+  "/root/repo/src/stats/ranking.cc" "src/CMakeFiles/eadrl.dir/stats/ranking.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/stats/ranking.cc.o.d"
+  "/root/repo/src/ts/datasets.cc" "src/CMakeFiles/eadrl.dir/ts/datasets.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/ts/datasets.cc.o.d"
+  "/root/repo/src/ts/decompose.cc" "src/CMakeFiles/eadrl.dir/ts/decompose.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/ts/decompose.cc.o.d"
+  "/root/repo/src/ts/diagnostics.cc" "src/CMakeFiles/eadrl.dir/ts/diagnostics.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/ts/diagnostics.cc.o.d"
+  "/root/repo/src/ts/drift.cc" "src/CMakeFiles/eadrl.dir/ts/drift.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/ts/drift.cc.o.d"
+  "/root/repo/src/ts/embedding.cc" "src/CMakeFiles/eadrl.dir/ts/embedding.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/ts/embedding.cc.o.d"
+  "/root/repo/src/ts/generator_kit.cc" "src/CMakeFiles/eadrl.dir/ts/generator_kit.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/ts/generator_kit.cc.o.d"
+  "/root/repo/src/ts/io.cc" "src/CMakeFiles/eadrl.dir/ts/io.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/ts/io.cc.o.d"
+  "/root/repo/src/ts/metrics.cc" "src/CMakeFiles/eadrl.dir/ts/metrics.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/ts/metrics.cc.o.d"
+  "/root/repo/src/ts/scaler.cc" "src/CMakeFiles/eadrl.dir/ts/scaler.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/ts/scaler.cc.o.d"
+  "/root/repo/src/ts/series.cc" "src/CMakeFiles/eadrl.dir/ts/series.cc.o" "gcc" "src/CMakeFiles/eadrl.dir/ts/series.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/combiner_baselines_test.dir/combiner_baselines_test.cc.o"
+  "CMakeFiles/combiner_baselines_test.dir/combiner_baselines_test.cc.o.d"
+  "combiner_baselines_test"
+  "combiner_baselines_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/combiner_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

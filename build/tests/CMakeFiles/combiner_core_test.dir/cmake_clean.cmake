@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/combiner_core_test.dir/combiner_core_test.cc.o"
+  "CMakeFiles/combiner_core_test.dir/combiner_core_test.cc.o.d"
+  "combiner_core_test"
+  "combiner_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/combiner_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_selection_test.dir/dynamic_selection_test.cc.o"
+  "CMakeFiles/dynamic_selection_test.dir/dynamic_selection_test.cc.o.d"
+  "dynamic_selection_test"
+  "dynamic_selection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

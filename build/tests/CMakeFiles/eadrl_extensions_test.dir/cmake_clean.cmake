@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eadrl_extensions_test.dir/eadrl_extensions_test.cc.o"
+  "CMakeFiles/eadrl_extensions_test.dir/eadrl_extensions_test.cc.o.d"
+  "eadrl_extensions_test"
+  "eadrl_extensions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eadrl_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

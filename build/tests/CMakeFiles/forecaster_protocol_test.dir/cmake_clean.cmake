@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forecaster_protocol_test.dir/forecaster_protocol_test.cc.o"
+  "CMakeFiles/forecaster_protocol_test.dir/forecaster_protocol_test.cc.o.d"
+  "forecaster_protocol_test"
+  "forecaster_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forecaster_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

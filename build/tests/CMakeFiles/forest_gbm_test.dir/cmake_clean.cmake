@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forest_gbm_test.dir/forest_gbm_test.cc.o"
+  "CMakeFiles/forest_gbm_test.dir/forest_gbm_test.cc.o.d"
+  "forest_gbm_test"
+  "forest_gbm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forest_gbm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

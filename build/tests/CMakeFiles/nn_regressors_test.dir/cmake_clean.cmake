@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_regressors_test.dir/nn_regressors_test.cc.o"
+  "CMakeFiles/nn_regressors_test.dir/nn_regressors_test.cc.o.d"
+  "nn_regressors_test"
+  "nn_regressors_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_regressors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

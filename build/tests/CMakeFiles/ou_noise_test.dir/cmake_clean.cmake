@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ou_noise_test.dir/ou_noise_test.cc.o"
+  "CMakeFiles/ou_noise_test.dir/ou_noise_test.cc.o.d"
+  "ou_noise_test"
+  "ou_noise_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ou_noise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

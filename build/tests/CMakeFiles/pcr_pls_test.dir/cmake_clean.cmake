@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcr_pls_test.dir/pcr_pls_test.cc.o"
+  "CMakeFiles/pcr_pls_test.dir/pcr_pls_test.cc.o.d"
+  "pcr_pls_test"
+  "pcr_pls_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcr_pls_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

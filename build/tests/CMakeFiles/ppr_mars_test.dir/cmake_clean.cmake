@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppr_mars_test.dir/ppr_mars_test.cc.o"
+  "CMakeFiles/ppr_mars_test.dir/ppr_mars_test.cc.o.d"
+  "ppr_mars_test"
+  "ppr_mars_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppr_mars_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

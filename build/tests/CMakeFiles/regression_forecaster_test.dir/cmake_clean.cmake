@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regression_forecaster_test.dir/regression_forecaster_test.cc.o"
+  "CMakeFiles/regression_forecaster_test.dir/regression_forecaster_test.cc.o.d"
+  "regression_forecaster_test"
+  "regression_forecaster_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regression_forecaster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

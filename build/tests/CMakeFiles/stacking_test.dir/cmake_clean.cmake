@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stacking_test.dir/stacking_test.cc.o"
+  "CMakeFiles/stacking_test.dir/stacking_test.cc.o.d"
+  "stacking_test"
+  "stacking_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stacking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_math_test.dir/stats_math_test.cc.o"
+  "CMakeFiles/stats_math_test.dir/stats_math_test.cc.o.d"
+  "stats_math_test"
+  "stats_math_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_math_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eadrl_forecast.dir/eadrl_forecast.cc.o"
+  "CMakeFiles/eadrl_forecast.dir/eadrl_forecast.cc.o.d"
+  "eadrl_forecast"
+  "eadrl_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eadrl_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
