@@ -9,6 +9,8 @@
 #include "core/eadrl.h"
 #include "math/linalg.h"
 #include "models/tree.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "rl/ddpg.h"
 #include "rl/replay_buffer.h"
 
@@ -134,6 +136,60 @@ void BM_DemscOnlineStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DemscOnlineStep);
+
+// --- Observability hot-path overhead (the baseline BENCH_*.json tracks). ---
+
+void BM_ObsCounterInc(benchmark::State& state) {
+  eadrl::obs::Counter counter;
+  for (auto _ : state) {
+    counter.Inc();
+    benchmark::ClobberMemory();
+  }
+  benchmark::DoNotOptimize(counter.Value());
+}
+BENCHMARK(BM_ObsCounterInc);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  eadrl::obs::Histogram hist(
+      eadrl::obs::Histogram::DefaultLatencyBounds());
+  double v = 1e-6;
+  for (auto _ : state) {
+    hist.Observe(v);
+    v = v * 1.1;
+    if (v > 1.0) v = 1e-6;
+    benchmark::ClobberMemory();
+  }
+  benchmark::DoNotOptimize(hist.Count());
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+// Disabled-sink event emission: the acceptance bar is < 5 ns per no-op
+// (one relaxed atomic load + a predictable branch; the field list is never
+// materialized).
+void BM_ObsDisabledEventEmission(benchmark::State& state) {
+  eadrl::obs::SetTelemetrySink(nullptr);
+  double value = 0.25;
+  for (auto _ : state) {
+    EADRL_TELEMETRY("bench_event", {"value", value}, {"step", size_t{1}},
+                    {"name", "noop"});
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ObsDisabledEventEmission);
+
+void BM_ObsEnabledEventEmission(benchmark::State& state) {
+  // Counterpart number for the sink-attached cost (in-memory sink).
+  eadrl::obs::CollectingSink sink;
+  eadrl::obs::SetTelemetrySink(&sink);
+  double value = 0.25;
+  for (auto _ : state) {
+    EADRL_TELEMETRY("bench_event", {"value", value}, {"step", size_t{1}},
+                    {"name", "noop"});
+    if (sink.size() > 4096) (void)sink.TakeEvents();
+  }
+  eadrl::obs::SetTelemetrySink(nullptr);
+}
+BENCHMARK(BM_ObsEnabledEventEmission);
 
 }  // namespace
 

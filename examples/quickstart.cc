@@ -7,6 +7,7 @@
 
 #include "core/eadrl.h"
 #include "exp/experiment.h"
+#include "obs/metrics.h"
 #include "ts/datasets.h"
 #include "ts/metrics.h"
 
@@ -54,5 +55,11 @@ int main() {
       std::printf("  %-16s %.3f\n", pool.model_names[i].c_str(), w[i]);
     }
   }
+
+  // 6. Everything above was instrumented through eadrl::obs — dump the
+  //    default metric registry (fit times, predict latency, DDPG training
+  //    diagnostics) as JSON.
+  std::printf("\nmetric registry snapshot:\n%s\n",
+              eadrl::obs::MetricRegistry::Default().ToJson().c_str());
   return 0;
 }

@@ -3,10 +3,13 @@
 #include <atomic>
 #include <cstdio>
 
+#include "common/string_util.h"
+
 namespace eadrl {
 namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<LogSink*> g_sink{nullptr};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -22,6 +25,24 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+/// Default destination: "[ISO-8601 LEVEL file:line] message" to stderr.
+class StderrLogSink : public LogSink {
+ public:
+  void Write(const LogRecord& record) override {
+    std::string line = "[" + FormatIso8601Utc(record.unix_seconds) + " " +
+                       LevelName(record.level) + " " + record.file + ":" +
+                       std::to_string(record.line) + "] " + record.message +
+                       "\n";
+    std::fputs(line.c_str(), stderr);
+    std::fflush(stderr);
+  }
+};
+
+StderrLogSink& DefaultSink() {
+  static StderrLogSink* sink = new StderrLogSink();
+  return *sink;
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -32,21 +53,30 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
+void SetLogSink(LogSink* sink) {
+  g_sink.store(sink, std::memory_order_release);
+}
+
+LogSink* GetLogSink() { return g_sink.load(std::memory_order_acquire); }
+
 namespace internal_logging {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
-}
+    : level_(level), file_(file), line_(line) {}
 
 LogMessage::~LogMessage() {
   if (static_cast<int>(level_) <
       g_min_level.load(std::memory_order_relaxed)) {
     return;
   }
-  stream_ << "\n";
-  std::fputs(stream_.str().c_str(), stderr);
-  std::fflush(stderr);
+  LogRecord record;
+  record.level = level_;
+  record.file = file_;
+  record.line = line_;
+  record.unix_seconds = UnixNowSeconds();
+  record.message = stream_.str();
+  LogSink* sink = g_sink.load(std::memory_order_acquire);
+  (sink != nullptr ? sink : &DefaultSink())->Write(record);
 }
 
 }  // namespace internal_logging

@@ -9,9 +9,37 @@ namespace eadrl {
 /// Log severities, lowest to highest.
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
+/// One emitted log statement, as delivered to a LogSink.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  const char* file = "";
+  int line = 0;
+  double unix_seconds = 0.0;  ///< wall clock at emission.
+  std::string message;        ///< the streamed user message, no decoration.
+};
+
+/// Destination for log records. The default sink formats
+/// "[ISO-8601 LEVEL file:line] message" to stderr; tests install their own
+/// sink to capture output instead of scraping stderr. Implementations must
+/// be thread-safe.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void Write(const LogRecord& record) = 0;
+};
+
+/// Installs a process-wide log sink (not owned; nullptr restores the default
+/// stderr sink). The caller keeps the sink alive until it is replaced.
+void SetLogSink(LogSink* sink);
+
+/// The currently installed custom sink, or nullptr when the default stderr
+/// sink is active.
+LogSink* GetLogSink();
+
 namespace internal_logging {
 
-/// Stream-style log sink; emits on destruction. Used via the EADRL_LOG macro.
+/// Stream-style log statement; dispatches to the sink on destruction. Used
+/// via the EADRL_LOG macro.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
@@ -28,6 +56,8 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  const char* file_;
+  int line_;
   std::ostringstream stream_;
 };
 

@@ -1,6 +1,10 @@
 #include "common/string_util.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <ctime>
 
 namespace eadrl {
 
@@ -8,6 +12,26 @@ std::string FormatDouble(double v, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
   return buf;
+}
+
+std::string FormatIso8601Utc(double unix_seconds) {
+  double whole = std::floor(unix_seconds);
+  int millis = static_cast<int>((unix_seconds - whole) * 1000.0);
+  millis = std::clamp(millis, 0, 999);
+  std::time_t secs = static_cast<std::time_t>(whole);
+  std::tm tm_utc{};
+  gmtime_r(&secs, &tm_utc);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec, millis);
+  return buf;
+}
+
+double UnixNowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
 }
 
 std::string PadLeft(const std::string& s, size_t width) {

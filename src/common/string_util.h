@@ -29,6 +29,14 @@ std::string StrJoin(const std::vector<T>& v, const std::string& sep) {
 /// Formats a double with fixed precision (for table output).
 std::string FormatDouble(double v, int precision);
 
+/// Formats a unix timestamp (seconds since the epoch) as ISO-8601 UTC with
+/// millisecond precision, e.g. "2026-08-05T12:00:00.123Z". Used by the
+/// default log sink and the telemetry JSON-lines sink.
+std::string FormatIso8601Utc(double unix_seconds);
+
+/// Current wall clock, seconds since the epoch.
+double UnixNowSeconds();
+
 /// Left/right-pads a string with spaces to the given width.
 std::string PadLeft(const std::string& s, size_t width);
 std::string PadRight(const std::string& s, size_t width);

@@ -9,11 +9,21 @@
 #include "common/logging.h"
 #include "math/stats.h"
 #include "nn/serialize.h"
+#include "obs/telemetry.h"
 
 namespace eadrl::core {
 
 EadrlCombiner::EadrlCombiner(EadrlConfig config)
-    : name_("EA-DRL"), config_(std::move(config)) {
+    : name_("EA-DRL"),
+      config_(std::move(config)),
+      predict_latency_hist_(obs::MetricRegistry::Default().GetHistogram(
+          "eadrl_predict_seconds")),
+      predict_counter_(obs::MetricRegistry::Default().GetCounter(
+          "eadrl_predict_total")),
+      episode_counter_(obs::MetricRegistry::Default().GetCounter(
+          "eadrl_episodes_total")),
+      online_update_counter_(obs::MetricRegistry::Default().GetCounter(
+          "eadrl_online_updates_total")) {
   EADRL_CHECK_GT(config_.omega, 0u);
   EADRL_CHECK_GT(config_.max_episodes, 0u);
 }
@@ -168,16 +178,21 @@ Status EadrlCombiner::Initialize(const math::Matrix& val_preds,
       state = sr.next_state;
       if (sr.done) break;
     }
+    const double mean_reward =
+        episode_reward / static_cast<double>(steps);
     if (restart == 0) {
-      episode_rewards_.push_back(episode_reward /
-                                 static_cast<double>(steps));
+      episode_rewards_.push_back(mean_reward);
     }
+    const double episode_sigma = noise.sigma();
+    const double episode_explore = explore_prob;
     noise.set_sigma(noise.sigma() * config_.ou_sigma_decay);
     explore_prob *= config_.explore_decay;
 
     // Deterministic evaluation rollout for best-checkpoint selection. The
     // selection metric is the rollout's ensemble RMSE on validation — the
     // quantity the deployed policy is judged by.
+    bool have_eval = false;
+    double eval_score = 0.0;
     if (config_.best_checkpoint) {
       math::Vec eval_state = env.Reset();
       double eval_sse = 0.0;
@@ -190,13 +205,29 @@ Status EadrlCombiner::Initialize(const math::Matrix& val_preds,
         eval_state = sr.next_state;
         if (sr.done) break;
       }
-      double eval_score =
-          -std::sqrt(eval_sse / static_cast<double>(eval_steps));
+      eval_score = -std::sqrt(eval_sse / static_cast<double>(eval_steps));
+      have_eval = true;
       if (restart == 0) eval_scores_.push_back(eval_score);
       if (eval_score > best_eval) {
         best_eval = eval_score;
         best_actor = agent_->ActorWeights();
+        EADRL_TELEMETRY("checkpoint", {"restart", restart},
+                        {"episode", episode}, {"eval_score", eval_score});
       }
+    }
+
+    episode_counter_->Inc();
+    if (obs::TelemetryEnabled()) {
+      std::vector<obs::TelemetryField> fields = {
+          {"restart", restart},
+          {"episode", episode},
+          {"reward", mean_reward},
+          {"ou_sigma", episode_sigma},
+          {"explore_prob", episode_explore},
+          {"replay_size", buffer.size()},
+          {"critic_loss", agent_->last_update_stats().critic_loss}};
+      if (have_eval) fields.emplace_back("eval_score", eval_score);
+      obs::Emit("episode", std::move(fields));
     }
 
     // Plateau detection: compare the mean reward of the last `patience`
@@ -228,6 +259,10 @@ Status EadrlCombiner::Initialize(const math::Matrix& val_preds,
   if (config_.best_checkpoint && !best_actor.empty()) {
     agent_->SetActorWeights(best_actor);
   }
+  EADRL_TELEMETRY("train_done", {"episodes", episode_rewards_.size()},
+                  {"converged_episode", converged_episode_},
+                  {"restarts", restarts}, {"best_eval", best_eval},
+                  {"active_models", active_models_.size()});
 
   // Online state initialization (Algorithm 1, line 1): seed the window with
   // the policy-weighted ensemble outputs over the tail of the validation
@@ -302,6 +337,7 @@ math::Vec EadrlCombiner::Weights() const {
 double EadrlCombiner::Predict(const math::Vec& preds) {
   EADRL_CHECK(initialized_);
   EADRL_CHECK_EQ(preds.size(), num_models_);
+  obs::ScopedTimer timer(predict_latency_hist_);
   last_state_ = CurrentState();
   math::Vec reduced_action = agent_->Act(last_state_);
   last_action_ = reduced_action;
@@ -312,6 +348,27 @@ double EadrlCombiner::Predict(const math::Vec& preds) {
   // Algorithm 1: the state window rolls forward with the ensemble output.
   window_.push_back(pred);
   window_.pop_front();
+
+  ++predict_count_;
+  predict_counter_->Inc();
+  double latency = timer.Stop();
+  if (obs::TelemetryEnabled()) {
+    // Weight-vector concentration diagnostics: entropy near log(m) means a
+    // near-uniform mixture, near zero means single-model selection.
+    double entropy = 0.0;
+    double max_weight = 0.0;
+    for (double w : reduced_action) {
+      if (w > 0.0) entropy -= w * std::log(w);
+      max_weight = std::max(max_weight, w);
+    }
+    obs::Emit("predict", {{"step", predict_count_},
+                          {"latency_seconds", latency},
+                          {"prediction", pred},
+                          {"weight_entropy", entropy},
+                          {"max_weight", max_weight},
+                          {"online_updates", online_updates_},
+                          {"drift_cum", online_detector_.cumulative()}});
+  }
   return pred;
 }
 
@@ -366,13 +423,27 @@ void EadrlCombiner::MaybeOnlineUpdate(const math::Vec& reduced_preds,
     double err = std::fabs(Combine(last_action_, reduced_preds) - actual);
     double sd = state_std_ > 0 ? state_std_ : 1.0;
     trigger = has_last_action_ && online_detector_.Update(err / sd);
+    if (trigger) {
+      EADRL_TELEMETRY("drift", {"step", online_steps_},
+                      {"error", err / sd},
+                      {"observations", online_detector_.num_observations()});
+    }
   }
   if (trigger && online_buffer_->size() >= config_.batch_size) {
     for (size_t i = 0; i < config_.online_update_iterations; ++i) {
       agent_->Update(online_buffer_->Sample(config_.batch_size,
                                             config_.sampling, *online_rng_));
       ++online_updates_;
+      online_update_counter_->Inc();
     }
+    EADRL_TELEMETRY(
+        "online_update", {"step", online_steps_},
+        {"iterations", config_.online_update_iterations},
+        {"total_updates", online_updates_},
+        {"mode", config_.online_update == OnlineUpdateMode::kPeriodic
+                     ? "periodic"
+                     : "drift"},
+        {"critic_loss", agent_->last_update_stats().critic_loss});
   }
 }
 

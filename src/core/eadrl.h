@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/combiner.h"
+#include "obs/metrics.h"
 #include "rl/ddpg.h"
 #include "rl/env.h"
 #include "rl/ou_noise.h"
@@ -187,6 +188,14 @@ class EadrlCombiner : public WeightedCombiner {
   size_t online_updates_ = 0;
   ts::PageHinkley online_detector_{0.005, 3.0};
   std::unique_ptr<Rng> online_rng_;
+
+  // Observability (cached from the default registry; see DESIGN.md
+  // "Observability" for the metric naming scheme).
+  size_t predict_count_ = 0;
+  obs::Histogram* predict_latency_hist_;
+  obs::Counter* predict_counter_;
+  obs::Counter* episode_counter_;
+  obs::Counter* online_update_counter_;
 };
 
 }  // namespace eadrl::core

@@ -1,6 +1,5 @@
 #include "exp/experiment.h"
 
-#include <chrono>
 #include <cmath>
 
 #include "baselines/dynamic_selection.h"
@@ -13,15 +12,18 @@
 #include "models/nn_regressors.h"
 #include "models/random_forest.h"
 #include "models/regression_forecaster.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "ts/metrics.h"
 
 namespace eadrl::exp {
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-double SecondsSince(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
+/// Online-loop latency histogram of one method (Table III's runtime
+/// telemetry); one labeled family member per method name.
+obs::Histogram* MethodRuntimeHist(const std::string& method) {
+  return obs::MetricRegistry::Default().GetHistogram(
+      "eadrl_method_runtime_seconds", {}, {{"method", method}});
 }
 
 }  // namespace
@@ -33,9 +35,17 @@ PoolRun PreparePool(const ts::Series& series, const ExperimentOptions& opt) {
 
   models::PoolConfig pool_cfg = opt.pool;
   pool_cfg.seed = opt.seed;
-  auto pool =
-      models::FitPool(models::BuildPaperPool(pool_cfg), inner.train);
+  double fit_seconds = 0.0;
+  std::vector<std::unique_ptr<models::Forecaster>> pool;
+  {
+    obs::ScopedTimer timer(nullptr, &fit_seconds);
+    pool = models::FitPool(models::BuildPaperPool(pool_cfg), inner.train);
+  }
   EADRL_CHECK(!pool.empty());
+  EADRL_TELEMETRY("pool_prepared", {"models", pool.size()},
+                  {"fit_seconds", fit_seconds},
+                  {"val_rows", inner.test.size()},
+                  {"test_rows", outer.test.size()});
 
   PoolRun run;
   run.train_values = outer.train.values();
@@ -66,20 +76,26 @@ MethodRun RunCombiner(core::Combiner* combiner, const PoolRun& pool) {
   result.predictions.resize(t_test);
   result.squared_errors.resize(t_test);
 
-  Clock::time_point start = Clock::now();
-  for (size_t t = 0; t < t_test; ++t) {
-    math::Vec preds = pool.test_preds.Row(t);
-    double pred = combiner->Predict(preds);
-    combiner->Update(preds, pool.test_actuals[t]);
-    result.predictions[t] = pred;
+  {
+    obs::ScopedTimer timer(MethodRuntimeHist(result.name),
+                           &result.runtime_seconds);
+    for (size_t t = 0; t < t_test; ++t) {
+      math::Vec preds = pool.test_preds.Row(t);
+      double pred = combiner->Predict(preds);
+      combiner->Update(preds, pool.test_actuals[t]);
+      result.predictions[t] = pred;
+    }
   }
-  result.runtime_seconds = SecondsSince(start);
 
   for (size_t t = 0; t < t_test; ++t) {
     double d = result.predictions[t] - pool.test_actuals[t];
     result.squared_errors[t] = d * d;
   }
   result.rmse = ts::Rmse(pool.test_actuals, result.predictions);
+  EADRL_TELEMETRY("method_run", {"method", result.name},
+                  {"rmse", result.rmse},
+                  {"runtime_seconds", result.runtime_seconds},
+                  {"steps", t_test});
   return result;
 }
 
@@ -143,9 +159,11 @@ std::vector<MethodRun> RunStandaloneModels(const ts::Series& series,
     Status st = model->Fit(outer.train);
     if (!st.ok()) continue;
 
-    Clock::time_point start = Clock::now();
-    run.predictions = models::RollingForecast(model.get(), outer.test);
-    run.runtime_seconds = SecondsSince(start);
+    {
+      obs::ScopedTimer timer(MethodRuntimeHist(run.name),
+                             &run.runtime_seconds);
+      run.predictions = models::RollingForecast(model.get(), outer.test);
+    }
 
     run.squared_errors.resize(run.predictions.size());
     for (size_t t = 0; t < run.predictions.size(); ++t) {

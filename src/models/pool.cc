@@ -4,6 +4,8 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "models/arima.h"
 #include "models/ets.h"
 #include "models/gbm.h"
@@ -276,13 +278,28 @@ std::vector<std::unique_ptr<Forecaster>> FitPool(
     std::vector<std::unique_ptr<Forecaster>> pool, const ts::Series& train) {
   std::vector<std::unique_ptr<Forecaster>> fitted;
   fitted.reserve(pool.size());
+  obs::MetricRegistry& registry = obs::MetricRegistry::Default();
+  obs::Histogram* fit_hist = registry.GetHistogram("eadrl_pool_fit_seconds");
+  obs::Counter* fitted_counter =
+      registry.GetCounter("eadrl_pool_models_fitted_total");
+  obs::Counter* dropped_counter =
+      registry.GetCounter("eadrl_pool_models_dropped_total");
   for (auto& model : pool) {
-    Status st = model->Fit(train);
+    double fit_seconds = 0.0;
+    Status st;
+    {
+      obs::ScopedTimer timer(fit_hist, &fit_seconds);
+      st = model->Fit(train);
+    }
+    EADRL_TELEMETRY("pool_fit", {"model", model->name()},
+                    {"seconds", fit_seconds}, {"ok", st.ok()});
     if (!st.ok()) {
+      dropped_counter->Inc();
       EADRL_LOG(Warning) << "dropping model " << model->name()
                          << " from pool: " << st.ToString();
       continue;
     }
+    fitted_counter->Inc();
     fitted.push_back(std::move(model));
   }
   return fitted;

@@ -1,0 +1,405 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace eadrl::obs {
+namespace {
+
+// Atomic CAS-add for doubles (std::atomic<double>::fetch_add is C++20 but
+// not universally lock-free; the loop compiles to the same code where it is).
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(cur, cur + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* target, double value) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (value < cur && !target->compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double value) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (value > cur && !target->compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::string LabelSignature(const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string sig;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) sig += ",";
+    sig += sorted[i].first + "=" + sorted[i].second;
+  }
+  return sig;
+}
+
+void AppendJsonNumber(std::ostringstream* out, double v) {
+  if (std::isfinite(v)) {
+    *out << v;
+  } else {
+    // JSON has no inf/nan literals; null keeps the document parseable.
+    *out << "null";
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// StreamingQuantile (P-squared, Jain & Chlamtac 1985).
+// ---------------------------------------------------------------------------
+
+StreamingQuantile::StreamingQuantile(double q) : q_(q) {
+  EADRL_CHECK(q > 0.0 && q < 1.0);
+  for (int i = 0; i < 5; ++i) {
+    heights_[i] = 0.0;
+    positions_[i] = static_cast<double>(i + 1);
+  }
+  desired_[0] = 1.0;
+  desired_[1] = 1.0 + 2.0 * q_;
+  desired_[2] = 1.0 + 4.0 * q_;
+  desired_[3] = 3.0 + 2.0 * q_;
+  desired_[4] = 5.0;
+  increments_[0] = 0.0;
+  increments_[1] = q_ / 2.0;
+  increments_[2] = q_;
+  increments_[3] = (1.0 + q_) / 2.0;
+  increments_[4] = 1.0;
+}
+
+void StreamingQuantile::Observe(double value) {
+  if (count_ < 5) {
+    heights_[count_++] = value;
+    if (count_ == 5) std::sort(heights_, heights_ + 5);
+    return;
+  }
+  ++count_;
+
+  // Locate the cell containing the observation and update extreme markers.
+  int k;
+  if (value < heights_[0]) {
+    heights_[0] = value;
+    k = 0;
+  } else if (value >= heights_[4]) {
+    heights_[4] = value;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && value >= heights_[k + 1]) ++k;
+  }
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  // Adjust the three interior markers toward their desired positions with a
+  // piecewise-parabolic (hence P-squared) height interpolation.
+  for (int i = 1; i <= 3; ++i) {
+    double d = desired_[i] - positions_[i];
+    double right_gap = positions_[i + 1] - positions_[i];
+    double left_gap = positions_[i - 1] - positions_[i];
+    if ((d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0)) {
+      double sign = d >= 1.0 ? 1.0 : -1.0;
+      double np = positions_[i] + sign;
+      double parabolic =
+          heights_[i] +
+          sign / (positions_[i + 1] - positions_[i - 1]) *
+              ((positions_[i] - positions_[i - 1] + sign) *
+                   (heights_[i + 1] - heights_[i]) / right_gap +
+               (positions_[i + 1] - positions_[i] - sign) *
+                   (heights_[i] - heights_[i - 1]) / (-left_gap));
+      if (heights_[i - 1] < parabolic && parabolic < heights_[i + 1]) {
+        heights_[i] = parabolic;
+      } else {
+        // Fall back to linear interpolation toward the chosen neighbour.
+        int j = sign > 0 ? i + 1 : i - 1;
+        heights_[i] += sign * (heights_[j] - heights_[i]) /
+                       (positions_[j] - positions_[i]);
+      }
+      positions_[i] = np;
+    }
+  }
+}
+
+double StreamingQuantile::Value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact small-sample quantile (nearest-rank on the sorted prefix).
+    double sorted[5];
+    std::copy(heights_, heights_ + count_, sorted);
+    std::sort(sorted, sorted + count_);
+    size_t idx = static_cast<size_t>(q_ * static_cast<double>(count_));
+    return sorted[std::min(idx, count_ - 1)];
+  }
+  return heights_[2];
+}
+
+// ---------------------------------------------------------------------------
+// Histogram.
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  EADRL_CHECK(!bounds_.empty());
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    EADRL_CHECK_GT(bounds_[i], bounds_[i - 1]);
+  }
+  counts_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i] = 0;
+}
+
+void Histogram::Observe(double value) {
+  // Inclusive upper bounds (Prometheus "le" semantics): bucket i counts
+  // values in (bounds[i-1], bounds[i]].
+  size_t idx = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  uint64_t prev = count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, value);
+  if (prev == 0) {
+    // First observation seeds min/max; racing observers fix it up below.
+    min_.store(value, std::memory_order_relaxed);
+    max_.store(value, std::memory_order_relaxed);
+  }
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.bounds.push_back(std::numeric_limits<double>::infinity());
+  snap.counts.resize(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    snap.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.min = min_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+double Histogram::Mean() const {
+  uint64_t n = Count();
+  return n == 0 ? 0.0 : Sum() / static_cast<double>(n);
+}
+
+double Histogram::Quantile(double q) const {
+  HistogramSnapshot snap = Snapshot();
+  if (snap.count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double rank = q * static_cast<double>(snap.count);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < snap.counts.size(); ++i) {
+    if (snap.counts[i] == 0) continue;
+    double lower = i == 0 ? snap.min : bounds_[i - 1];
+    double upper = i < bounds_.size() ? bounds_[i] : snap.max;
+    lower = std::max(lower, snap.min);
+    upper = std::min(upper, snap.max);
+    if (upper < lower) upper = lower;
+    uint64_t next = seen + snap.counts[i];
+    if (rank <= static_cast<double>(next)) {
+      double frac = (rank - static_cast<double>(seen)) /
+                    static_cast<double>(snap.counts[i]);
+      return lower + frac * (upper - lower);
+    }
+    seen = next;
+  }
+  return snap.max;
+}
+
+std::vector<double> Histogram::ExponentialBounds(double start, double factor,
+                                                 size_t count) {
+  EADRL_CHECK_GT(start, 0.0);
+  EADRL_CHECK_GT(factor, 1.0);
+  EADRL_CHECK_GT(count, 0u);
+  std::vector<double> bounds(count);
+  double v = start;
+  for (size_t i = 0; i < count; ++i) {
+    bounds[i] = v;
+    v *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> Histogram::LinearBounds(double start, double width,
+                                            size_t count) {
+  EADRL_CHECK_GT(width, 0.0);
+  EADRL_CHECK_GT(count, 0u);
+  std::vector<double> bounds(count);
+  for (size_t i = 0; i < count; ++i) {
+    bounds[i] = start + width * static_cast<double>(i);
+  }
+  return bounds;
+}
+
+std::vector<double> Histogram::DefaultLatencyBounds() {
+  return ExponentialBounds(1e-6, 2.0, 24);
+}
+
+// ---------------------------------------------------------------------------
+// MetricRegistry.
+// ---------------------------------------------------------------------------
+
+MetricRegistry::Entry* MetricRegistry::FindOrCreate(
+    const std::string& name, const Labels& labels, Kind kind,
+    std::vector<double> bounds) {
+  std::string sig = LabelSignature(labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& family = families_[name];
+  if (!family.empty()) {
+    // The family's kind is fixed by its first member.
+    EADRL_CHECK(family.begin()->second.kind == kind);
+  }
+  auto it = family.find(sig);
+  if (it != family.end()) return &it->second;
+
+  Entry entry;
+  entry.kind = kind;
+  switch (kind) {
+    case Kind::kCounter:
+      entry.counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      entry.gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      entry.histogram = std::make_unique<Histogram>(
+          bounds.empty() ? Histogram::DefaultLatencyBounds()
+                         : std::move(bounds));
+      break;
+  }
+  return &family.emplace(sig, std::move(entry)).first->second;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name,
+                                    const Labels& labels) {
+  return FindOrCreate(name, labels, Kind::kCounter, {})->counter.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name,
+                                const Labels& labels) {
+  return FindOrCreate(name, labels, Kind::kGauge, {})->gauge.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name,
+                                        std::vector<double> bounds,
+                                        const Labels& labels) {
+  return FindOrCreate(name, labels, Kind::kHistogram, std::move(bounds))
+      ->histogram.get();
+}
+
+std::string MetricRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{";
+  bool first_family = true;
+  for (const auto& [name, family] : families_) {
+    if (!first_family) out << ",";
+    first_family = false;
+    out << "\"" << name << "\":{";
+    bool first_metric = true;
+    for (const auto& [sig, entry] : family) {
+      if (!first_metric) out << ",";
+      first_metric = false;
+      out << "\"" << sig << "\":";
+      switch (entry.kind) {
+        case Kind::kCounter:
+          out << "{\"type\":\"counter\",\"value\":";
+          AppendJsonNumber(&out, entry.counter->Value());
+          out << "}";
+          break;
+        case Kind::kGauge:
+          out << "{\"type\":\"gauge\",\"value\":";
+          AppendJsonNumber(&out, entry.gauge->Value());
+          out << "}";
+          break;
+        case Kind::kHistogram: {
+          HistogramSnapshot snap = entry.histogram->Snapshot();
+          out << "{\"type\":\"histogram\",\"count\":" << snap.count
+              << ",\"sum\":";
+          AppendJsonNumber(&out, snap.sum);
+          out << ",\"min\":";
+          AppendJsonNumber(&out, snap.min);
+          out << ",\"max\":";
+          AppendJsonNumber(&out, snap.max);
+          out << ",\"mean\":";
+          AppendJsonNumber(&out, snap.count == 0
+                                     ? 0.0
+                                     : snap.sum / static_cast<double>(
+                                                      snap.count));
+          out << ",\"p50\":";
+          AppendJsonNumber(&out, entry.histogram->Quantile(0.5));
+          out << ",\"p90\":";
+          AppendJsonNumber(&out, entry.histogram->Quantile(0.9));
+          out << ",\"p99\":";
+          AppendJsonNumber(&out, entry.histogram->Quantile(0.99));
+          out << "}";
+          break;
+        }
+      }
+    }
+    out << "}";
+  }
+  out << "}";
+  return out.str();
+}
+
+std::string MetricRegistry::ToCsv() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "name,labels,field,value\n";
+  for (const auto& [name, family] : families_) {
+    for (const auto& [sig, entry] : family) {
+      auto row = [&](const char* field, double value) {
+        out << name << ",\"" << sig << "\"," << field << "," << value << "\n";
+      };
+      switch (entry.kind) {
+        case Kind::kCounter:
+          row("value", entry.counter->Value());
+          break;
+        case Kind::kGauge:
+          row("value", entry.gauge->Value());
+          break;
+        case Kind::kHistogram: {
+          HistogramSnapshot snap = entry.histogram->Snapshot();
+          row("count", static_cast<double>(snap.count));
+          row("sum", snap.sum);
+          row("min", snap.min);
+          row("max", snap.max);
+          row("mean", snap.count == 0 ? 0.0
+                                      : snap.sum / static_cast<double>(
+                                                       snap.count));
+          row("p50", entry.histogram->Quantile(0.5));
+          row("p90", entry.histogram->Quantile(0.9));
+          row("p99", entry.histogram->Quantile(0.99));
+          break;
+        }
+      }
+    }
+  }
+  return out.str();
+}
+
+void MetricRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  families_.clear();
+}
+
+MetricRegistry& MetricRegistry::Default() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+}  // namespace eadrl::obs

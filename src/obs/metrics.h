@@ -1,0 +1,229 @@
+#ifndef EADRL_OBS_METRICS_H_
+#define EADRL_OBS_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace eadrl::obs {
+
+/// Monotonically increasing counter. Lock-free; safe to Inc from any thread.
+class Counter {
+ public:
+  void Inc(double delta = 1.0) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// A value that can go up and down (last-write-wins). Lock-free.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Streaming quantile estimator (Jain & Chlamtac's P-squared algorithm):
+/// tracks one quantile of an unbounded stream in O(1) memory without storing
+/// observations. Complements Histogram's fixed buckets when the value range
+/// is unknown up front. Not thread-safe; guard externally or use one per
+/// thread.
+class StreamingQuantile {
+ public:
+  explicit StreamingQuantile(double q);
+
+  void Observe(double value);
+
+  /// Current estimate; exact while fewer than five observations were seen.
+  double Value() const;
+
+  size_t count() const { return count_; }
+
+ private:
+  double q_;
+  size_t count_ = 0;
+  // P-squared marker state: heights, positions and desired positions.
+  double heights_[5];
+  double positions_[5];
+  double desired_[5];
+  double increments_[5];
+};
+
+/// Immutable view of a histogram's state at one point in time.
+struct HistogramSnapshot {
+  std::vector<double> bounds;    ///< upper bucket bounds (last = +inf).
+  std::vector<uint64_t> counts;  ///< per-bucket counts, bounds.size() long.
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< 0 when count == 0.
+  double max = 0.0;
+};
+
+/// Fixed-bucket histogram. `Observe` is lock-free (atomic per-bucket counts;
+/// CAS loops for sum/min/max) so concurrent observation from the serving hot
+/// path is safe. Quantiles are estimated by linear interpolation inside the
+/// bucket containing the requested rank.
+class Histogram {
+ public:
+  /// `bounds` are strictly increasing upper bucket bounds; a final +inf
+  /// bucket is appended automatically.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  HistogramSnapshot Snapshot() const;
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Mean() const;
+
+  /// Quantile estimate from the bucket counts, q in [0, 1]. Returns 0 when
+  /// empty. The lowest/highest buckets clamp to the observed min/max so the
+  /// open-ended overflow bucket cannot produce infinities.
+  double Quantile(double q) const;
+
+  /// `count` bounds starting at `start`, each `factor` times the previous —
+  /// the usual latency-histogram shape.
+  static std::vector<double> ExponentialBounds(double start, double factor,
+                                               size_t count);
+  static std::vector<double> LinearBounds(double start, double width,
+                                          size_t count);
+  /// 1 us .. ~16 s in powers of 2: the default for wall-time histograms.
+  static std::vector<double> DefaultLatencyBounds();
+
+ private:
+  std::vector<double> bounds_;  ///< finite upper bounds; overflow is implicit.
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;  ///< bounds_.size() + 1.
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Key/value labels distinguishing metrics within a family, e.g.
+/// {{"method", "EA-DRL"}}. Order-insensitive (sorted internally).
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Thread-safe registry of named metric families. Getters create on first
+/// use and return stable pointers that remain valid for the registry's
+/// lifetime, so hot paths can look a metric up once and cache the pointer.
+/// A family's type and (for histograms) bucket layout are fixed by the first
+/// registration; a later lookup with a conflicting type aborts.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name, const Labels& labels = {});
+  Gauge* GetGauge(const std::string& name, const Labels& labels = {});
+  /// `bounds` is used only when the (name, labels) pair is first created;
+  /// empty bounds mean DefaultLatencyBounds().
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds = {},
+                          const Labels& labels = {});
+
+  /// Serializes every metric to a JSON object keyed by family name; each
+  /// family maps the label signature ("k=v,k2=v2" or "" for no labels) to
+  /// the metric state. See DESIGN.md, "Observability".
+  std::string ToJson() const;
+
+  /// Flat CSV: name,labels,field,value — one row per scalar statistic.
+  std::string ToCsv() const;
+
+  /// Drops every registered metric (invalidates previously returned
+  /// pointers); tests only.
+  void Reset();
+
+  /// Process-wide registry used by the built-in instrumentation.
+  static MetricRegistry& Default();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* FindOrCreate(const std::string& name, const Labels& labels,
+                      Kind kind, std::vector<double> bounds);
+
+  mutable std::mutex mu_;
+  // family name -> label signature -> metric.
+  std::map<std::string, std::map<std::string, Entry>> families_;
+};
+
+/// Wall-time scope timer on std::chrono::steady_clock. On Stop (or
+/// destruction, whichever comes first) the elapsed seconds are written to
+/// the optional `out` pointer and observed into the optional histogram —
+/// one code path for both MethodRun::runtime_seconds-style results and
+/// registry latency metrics.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram = nullptr, double* out = nullptr)
+      : start_(std::chrono::steady_clock::now()),
+        histogram_(histogram),
+        out_(out) {}
+
+  ~ScopedTimer() { Stop(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Seconds since construction without stopping the timer.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  /// Records and returns the elapsed seconds. Idempotent; later calls
+  /// return the time recorded by the first.
+  double Stop() {
+    if (!stopped_) {
+      stopped_ = true;
+      elapsed_ = ElapsedSeconds();
+      if (out_ != nullptr) *out_ = elapsed_;
+      if (histogram_ != nullptr) histogram_->Observe(elapsed_);
+    }
+    return elapsed_;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  Histogram* histogram_;
+  double* out_;
+  bool stopped_ = false;
+  double elapsed_ = 0.0;
+};
+
+}  // namespace eadrl::obs
+
+#endif  // EADRL_OBS_METRICS_H_

@@ -1,0 +1,146 @@
+#include "obs/telemetry.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace eadrl::obs {
+namespace {
+
+void AppendJsonEscaped(std::ostringstream* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out << "\\\"";
+        break;
+      case '\\':
+        *out << "\\\\";
+        break;
+      case '\n':
+        *out << "\\n";
+        break;
+      case '\r':
+        *out << "\\r";
+        break;
+      case '\t':
+        *out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out << buf;
+        } else {
+          *out << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+namespace internal_telemetry {
+std::atomic<TelemetrySink*> g_sink{nullptr};
+}  // namespace internal_telemetry
+
+void SetTelemetrySink(TelemetrySink* sink) {
+  internal_telemetry::g_sink.store(sink, std::memory_order_release);
+}
+
+TelemetrySink* GetTelemetrySink() {
+  return internal_telemetry::g_sink.load(std::memory_order_acquire);
+}
+
+void Emit(const char* kind, std::vector<TelemetryField> fields) {
+  TelemetrySink* sink = GetTelemetrySink();
+  if (sink == nullptr) return;
+  TelemetryEvent event;
+  event.kind = kind;
+  event.unix_seconds = UnixNowSeconds();
+  event.fields = std::move(fields);
+  sink->Record(event);
+}
+
+std::string EventToJson(const TelemetryEvent& event) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "{\"ts\":\"" << FormatIso8601Utc(event.unix_seconds)
+      << "\",\"unix\":" << event.unix_seconds << ",\"kind\":\"";
+  AppendJsonEscaped(&out, event.kind);
+  out << "\"";
+  for (const TelemetryField& f : event.fields) {
+    out << ",\"";
+    AppendJsonEscaped(&out, f.key);
+    out << "\":";
+    switch (f.type) {
+      case TelemetryField::Type::kDouble:
+        if (std::isfinite(f.num)) {
+          out << f.num;
+        } else {
+          out << "null";  // JSON has no inf/nan literals.
+        }
+        break;
+      case TelemetryField::Type::kInt:
+        out << f.inum;
+        break;
+      case TelemetryField::Type::kString:
+        out << "\"";
+        AppendJsonEscaped(&out, f.str);
+        out << "\"";
+        break;
+    }
+  }
+  out << "}";
+  return out.str();
+}
+
+JsonLinesSink::JsonLinesSink(const std::string& path)
+    : file_(path, std::ios::app) {
+  if (file_) {
+    out_ = &file_;
+  } else {
+    EADRL_LOG(Warning) << "telemetry: cannot open " << path
+                       << "; events will be dropped";
+  }
+}
+
+JsonLinesSink::JsonLinesSink(std::ostream* out) : out_(out) {}
+
+void JsonLinesSink::Record(const TelemetryEvent& event) {
+  std::string line = EventToJson(event);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (out_ == nullptr) return;
+  (*out_) << line << "\n";
+  if (!*out_ && !warned_) {
+    warned_ = true;
+    EADRL_LOG(Warning) << "telemetry: write failed; subsequent events may "
+                          "be lost";
+  }
+}
+
+void JsonLinesSink::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (out_ != nullptr) out_->flush();
+}
+
+void CollectingSink::Record(const TelemetryEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(event);
+}
+
+std::vector<TelemetryEvent> CollectingSink::TakeEvents() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TelemetryEvent> out = std::move(events_);
+  events_.clear();
+  return out;
+}
+
+size_t CollectingSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+}  // namespace eadrl::obs

@@ -1,0 +1,139 @@
+#ifndef EADRL_OBS_TELEMETRY_H_
+#define EADRL_OBS_TELEMETRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace eadrl::obs {
+
+/// One key/value of a telemetry event. Keys are string literals (the event
+/// schema is static, see DESIGN.md "Observability"), values are numeric or
+/// string.
+struct TelemetryField {
+  enum class Type { kDouble, kInt, kString };
+
+  TelemetryField(const char* k, double v)
+      : key(k), type(Type::kDouble), num(v) {}
+  TelemetryField(const char* k, int v)
+      : key(k), type(Type::kInt), inum(v) {}
+  TelemetryField(const char* k, long v)
+      : key(k), type(Type::kInt), inum(v) {}
+  TelemetryField(const char* k, long long v)
+      : key(k), type(Type::kInt), inum(static_cast<int64_t>(v)) {}
+  TelemetryField(const char* k, unsigned v)
+      : key(k), type(Type::kInt), inum(v) {}
+  TelemetryField(const char* k, unsigned long v)
+      : key(k), type(Type::kInt), inum(static_cast<int64_t>(v)) {}
+  TelemetryField(const char* k, unsigned long long v)
+      : key(k), type(Type::kInt), inum(static_cast<int64_t>(v)) {}
+  TelemetryField(const char* k, bool v)
+      : key(k), type(Type::kInt), inum(v ? 1 : 0) {}
+  TelemetryField(const char* k, std::string v)
+      : key(k), type(Type::kString), str(std::move(v)) {}
+  TelemetryField(const char* k, const char* v)
+      : key(k), type(Type::kString), str(v) {}
+
+  const char* key;
+  Type type;
+  double num = 0.0;
+  int64_t inum = 0;
+  std::string str;
+};
+
+/// A timestamped structured event.
+struct TelemetryEvent {
+  const char* kind = "";
+  double unix_seconds = 0.0;  ///< wall clock, seconds since the epoch.
+  std::vector<TelemetryField> fields;
+};
+
+/// Receives events from the instrumented code. Implementations must be
+/// thread-safe: training and serving paths emit concurrently.
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink() = default;
+  virtual void Record(const TelemetryEvent& event) = 0;
+};
+
+/// Writes one JSON object per line:
+///   {"ts":"2026-08-05T12:00:00.123Z","unix":1787...,"kind":"episode",...}
+/// Fields are flattened into the top-level object; string values are JSON
+/// escaped. Open/write failures are reported once through EADRL_LOG.
+class JsonLinesSink : public TelemetrySink {
+ public:
+  /// Appends to `path` (created if missing).
+  explicit JsonLinesSink(const std::string& path);
+  /// Writes to a borrowed stream (tests); not owned.
+  explicit JsonLinesSink(std::ostream* out);
+
+  void Record(const TelemetryEvent& event) override;
+
+  /// False when the file could not be opened.
+  bool ok() const { return out_ != nullptr; }
+
+  /// Flushes buffered lines (file-backed sinks).
+  void Flush();
+
+ private:
+  std::mutex mu_;
+  std::ofstream file_;
+  std::ostream* out_ = nullptr;
+  bool warned_ = false;
+};
+
+/// In-memory sink collecting events for inspection (tests, examples).
+class CollectingSink : public TelemetrySink {
+ public:
+  void Record(const TelemetryEvent& event) override;
+
+  std::vector<TelemetryEvent> TakeEvents();
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TelemetryEvent> events_;
+};
+
+namespace internal_telemetry {
+extern std::atomic<TelemetrySink*> g_sink;
+}  // namespace internal_telemetry
+
+/// Installs a process-wide sink (not owned; pass nullptr to disable). The
+/// caller must keep the sink alive until it is replaced.
+void SetTelemetrySink(TelemetrySink* sink);
+TelemetrySink* GetTelemetrySink();
+
+/// True when a sink is installed. This is the hot-path gate: a single
+/// relaxed atomic load, so instrumented code pays ~1 ns when telemetry is
+/// off (see bench/micro_benchmarks.cc).
+inline bool TelemetryEnabled() {
+  return internal_telemetry::g_sink.load(std::memory_order_relaxed) !=
+         nullptr;
+}
+
+/// Stamps the event with the current wall clock and forwards it to the
+/// installed sink, if any.
+void Emit(const char* kind, std::vector<TelemetryField> fields);
+
+/// Emission macro used by the instrumented code: the enabled check happens
+/// before the field list is materialized, so a disabled emission costs one
+/// atomic load and a predictable branch.
+#define EADRL_TELEMETRY(kind, ...)                       \
+  do {                                                   \
+    if (::eadrl::obs::TelemetryEnabled()) {              \
+      ::eadrl::obs::Emit(kind, {__VA_ARGS__});           \
+    }                                                    \
+  } while (0)
+
+/// Serializes an event to the JSON-lines shape used by JsonLinesSink
+/// (without the trailing newline) — exposed so tests can golden-check it.
+std::string EventToJson(const TelemetryEvent& event);
+
+}  // namespace eadrl::obs
+
+#endif  // EADRL_OBS_TELEMETRY_H_

@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "math/vec.h"
 #include "nn/param.h"
+#include "obs/telemetry.h"
 
 namespace eadrl::rl {
 namespace {
@@ -24,7 +25,17 @@ DdpgAgent::DdpgAgent(const DdpgConfig& config)
     : config_(config),
       rng_(config.seed),
       actor_opt_(config.actor_lr),
-      critic_opt_(config.critic_lr) {
+      critic_opt_(config.critic_lr),
+      updates_counter_(obs::MetricRegistry::Default().GetCounter(
+          "eadrl_ddpg_updates_total")),
+      critic_loss_gauge_(obs::MetricRegistry::Default().GetGauge(
+          "eadrl_ddpg_critic_loss")),
+      mean_abs_q_gauge_(obs::MetricRegistry::Default().GetGauge(
+          "eadrl_ddpg_mean_abs_q")),
+      actor_grad_norm_gauge_(obs::MetricRegistry::Default().GetGauge(
+          "eadrl_ddpg_actor_grad_norm")),
+      action_entropy_gauge_(obs::MetricRegistry::Default().GetGauge(
+          "eadrl_ddpg_action_entropy")) {
   EADRL_CHECK_GT(config_.state_dim, 0u);
   EADRL_CHECK_GT(config_.action_dim, 0u);
 
@@ -127,6 +138,7 @@ double DdpgAgent::Update(const std::vector<Transition>& batch) {
   const bool linear_critic =
       config_.critic_form == CriticForm::kLinearInAction;
   double critic_loss = 0.0;
+  double abs_q_sum = 0.0;
   for (const Transition& t : batch) {
     double target = t.reward;
     if (!t.terminal) {
@@ -143,14 +155,17 @@ double DdpgAgent::Update(const std::vector<Transition>& batch) {
     }
     if (linear_critic) {
       math::Vec q_vec = critic_->Forward(t.state);
-      double err = math::Dot(t.action, q_vec) - target;
+      double q = math::Dot(t.action, q_vec);
+      double err = q - target;
       critic_loss += err * err * inv_n;
+      abs_q_sum += std::fabs(q);
       // dL/dq_i = 2 * err * a_i / N.
       critic_->Backward(math::Scale(t.action, 2.0 * err * inv_n));
     } else {
       double q = critic_->Forward(CriticInput(t.state, t.action))[0];
       double err = q - target;
       critic_loss += err * err * inv_n;
+      abs_q_sum += std::fabs(q);
       critic_->Backward({2.0 * err * inv_n});
     }
   }
@@ -158,10 +173,14 @@ double DdpgAgent::Update(const std::vector<Transition>& batch) {
   critic_opt_.StepAndZero();
 
   // --- Actor update: ascend dQ/dtheta through the softmax. ----------------
+  double entropy_sum = 0.0;
   for (const Transition& t : batch) {
     math::Vec logits = actor_->Forward(t.state);
     for (double& v : logits) v *= config_.logit_scale;
     math::Vec action = math::Softmax(logits);
+    for (double p : action) {
+      if (p > 0.0) entropy_sum -= p * std::log(p);
+    }
     math::Vec dq_da;
     if (linear_critic) {
       dq_da = critic_->Forward(t.state);  // dQ/da = q(s), exactly.
@@ -184,12 +203,30 @@ double DdpgAgent::Update(const std::vector<Transition>& batch) {
   }
   // The actor loop accumulated gradients inside the critic too; discard them.
   nn::ZeroGrads(critic_->Params());
-  nn::ClipGradNorm(actor_->Params(), config_.grad_clip);
+  double actor_grad_norm =
+      nn::ClipGradNorm(actor_->Params(), config_.grad_clip);
   actor_opt_.StepAndZero();
 
   // --- Soft target updates. ------------------------------------------------
   nn::SoftUpdate(target_actor_->Params(), actor_->Params(), config_.tau);
   nn::SoftUpdate(target_critic_->Params(), critic_->Params(), config_.tau);
+
+  // --- Telemetry. ----------------------------------------------------------
+  last_stats_.critic_loss = critic_loss;
+  last_stats_.mean_abs_q = abs_q_sum * inv_n;
+  last_stats_.actor_grad_norm = actor_grad_norm;
+  last_stats_.action_entropy = entropy_sum * inv_n;
+  ++num_updates_;
+  updates_counter_->Inc();
+  critic_loss_gauge_->Set(last_stats_.critic_loss);
+  mean_abs_q_gauge_->Set(last_stats_.mean_abs_q);
+  actor_grad_norm_gauge_->Set(last_stats_.actor_grad_norm);
+  action_entropy_gauge_->Set(last_stats_.action_entropy);
+  EADRL_TELEMETRY("ddpg_update", {"update", num_updates_},
+                  {"critic_loss", last_stats_.critic_loss},
+                  {"mean_abs_q", last_stats_.mean_abs_q},
+                  {"actor_grad_norm", last_stats_.actor_grad_norm},
+                  {"action_entropy", last_stats_.action_entropy});
   return critic_loss;
 }
 

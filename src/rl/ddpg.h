@@ -8,6 +8,7 @@
 #include "math/vec.h"
 #include "nn/mlp.h"
 #include "nn/optimizer.h"
+#include "obs/metrics.h"
 #include "rl/replay_buffer.h"
 #include "rl/transition.h"
 
@@ -49,6 +50,16 @@ struct DdpgConfig {
   uint64_t seed = 42;
 };
 
+/// Per-Update training diagnostics — the telemetry both ensemble-RL lines of
+/// related work use to diagnose instability (critic divergence shows up as
+/// exploding |Q| and loss; policy collapse as vanishing action entropy).
+struct DdpgUpdateStats {
+  double critic_loss = 0.0;
+  double mean_abs_q = 0.0;       ///< mean |Q(s,a)| over the batch.
+  double actor_grad_norm = 0.0;  ///< pre-clip global L2 norm.
+  double action_entropy = 0.0;   ///< mean policy-action entropy (nats).
+};
+
 /// Deep deterministic policy gradient agent (Lillicrap et al. 2015) for the
 /// ensemble-weighting MDP. The actor outputs logits which are mapped through
 /// a softmax so actions live on the probability simplex — the paper's
@@ -80,6 +91,12 @@ class DdpgAgent {
 
   const DdpgConfig& config() const { return config_; }
 
+  /// Diagnostics of the most recent Update (zeros before the first one).
+  const DdpgUpdateStats& last_update_stats() const { return last_stats_; }
+
+  /// Total number of Update calls on this agent.
+  size_t num_updates() const { return num_updates_; }
+
  private:
   static math::Vec SoftmaxJacobianVjp(const math::Vec& probs,
                                       const math::Vec& grad_probs);
@@ -94,6 +111,15 @@ class DdpgAgent {
   std::unique_ptr<nn::Mlp> target_critic_;
   nn::Adam actor_opt_;
   nn::Adam critic_opt_;
+
+  DdpgUpdateStats last_stats_;
+  size_t num_updates_ = 0;
+  // Cached from the default registry (stable pointers; see MetricRegistry).
+  obs::Counter* updates_counter_;
+  obs::Gauge* critic_loss_gauge_;
+  obs::Gauge* mean_abs_q_gauge_;
+  obs::Gauge* actor_grad_norm_gauge_;
+  obs::Gauge* action_entropy_gauge_;
 };
 
 }  // namespace eadrl::rl

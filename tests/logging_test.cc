@@ -1,5 +1,8 @@
 #include "common/logging.h"
 
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace eadrl {
@@ -23,6 +26,42 @@ TEST(LoggingTest, MacroCompilesForAllLevels) {
   EADRL_LOG(Info) << "info " << 2.5;
   EADRL_LOG(Warning) << "warning " << std::string("s");
   SetLogLevel(original);
+}
+
+TEST(LoggingTest, SinkReceivesRecordsAboveThreshold) {
+  struct CaptureSink : public LogSink {
+    void Write(const LogRecord& record) override {
+      records.push_back(record);
+    }
+    std::vector<LogRecord> records;
+  } capture;
+
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kWarning);
+  SetLogSink(&capture);
+  EADRL_LOG(Info) << "below threshold";
+  EADRL_LOG(Warning) << "captured " << 7;
+  EADRL_LOG(Error) << "also captured";
+  SetLogSink(nullptr);
+  SetLogLevel(original);
+
+  ASSERT_EQ(capture.records.size(), 2u);
+  EXPECT_EQ(capture.records[0].level, LogLevel::kWarning);
+  EXPECT_EQ(capture.records[0].message, "captured 7");
+  EXPECT_EQ(capture.records[1].level, LogLevel::kError);
+  EXPECT_GT(capture.records[0].line, 0);
+  EXPECT_GT(capture.records[0].unix_seconds, 0.0);
+}
+
+TEST(LoggingTest, SinkAccessorRoundTrip) {
+  EXPECT_EQ(GetLogSink(), nullptr);
+  struct NullSink : public LogSink {
+    void Write(const LogRecord&) override {}
+  } sink;
+  SetLogSink(&sink);
+  EXPECT_EQ(GetLogSink(), &sink);
+  SetLogSink(nullptr);
+  EXPECT_EQ(GetLogSink(), nullptr);
 }
 
 TEST(LoggingTest, OrderingOfLevels) {

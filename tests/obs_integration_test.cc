@@ -1,0 +1,216 @@
+// Integration of the eadrl::obs layer with the training/inference stack:
+// a tiny EadrlCombiner run with a TelemetrySink attached must produce the
+// documented event kinds with sane values, and the no-sink path must leave
+// results bit-identical (instrumentation cannot perturb the math).
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/eadrl.h"
+#include "math/matrix.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+
+namespace eadrl::core {
+namespace {
+
+void MakeData(size_t t_steps, uint64_t seed, math::Matrix* preds,
+              math::Vec* actuals) {
+  Rng rng(seed);
+  actuals->resize(t_steps);
+  *preds = math::Matrix(t_steps, 3);
+  double x = 10.0;
+  for (size_t t = 0; t < t_steps; ++t) {
+    x = 10.0 + 0.8 * (x - 10.0) + rng.Normal(0, 1.0);
+    (*actuals)[t] = x;
+    (*preds)(t, 0) = x + rng.Normal(0, 0.1);
+    (*preds)(t, 1) = x + rng.Normal(0, 1.5);
+    (*preds)(t, 2) = x + 4.0 + rng.Normal(0, 1.0);
+  }
+}
+
+EadrlConfig TinyConfig() {
+  EadrlConfig cfg;
+  cfg.omega = 5;
+  cfg.max_episodes = 4;
+  cfg.max_iterations = 25;
+  cfg.actor_hidden = {16};
+  cfg.critic_hidden = {16};
+  cfg.batch_size = 8;
+  cfg.warmup_transitions = 16;
+  cfg.restarts = 1;
+  cfg.early_stop = false;
+  cfg.seed = 11;
+  return cfg;
+}
+
+double FieldValue(const obs::TelemetryEvent& event, const std::string& key,
+                  bool* found = nullptr) {
+  for (const obs::TelemetryField& f : event.fields) {
+    if (key == f.key) {
+      if (found != nullptr) *found = true;
+      return f.type == obs::TelemetryField::Type::kInt
+                 ? static_cast<double>(f.inum)
+                 : f.num;
+    }
+  }
+  if (found != nullptr) *found = false;
+  return 0.0;
+}
+
+TEST(ObsIntegrationTest, TrainingAndPredictEmitExpectedEvents) {
+  math::Matrix preds;
+  math::Vec actuals;
+  MakeData(80, 5, &preds, &actuals);
+
+  obs::CollectingSink sink;
+  obs::SetTelemetrySink(&sink);
+
+  EadrlCombiner combiner(TinyConfig());
+  ASSERT_TRUE(combiner.Initialize(preds, actuals).ok());
+  for (size_t t = 0; t < 5; ++t) {
+    math::Vec step{10.0, 10.5, 14.0};
+    double p = combiner.Predict(step);
+    EXPECT_TRUE(std::isfinite(p));
+    combiner.Update(step, 10.2);
+  }
+  obs::SetTelemetrySink(nullptr);
+
+  size_t episodes = 0, checkpoints = 0, predicts = 0, ddpg_updates = 0,
+         train_done = 0;
+  std::vector<obs::TelemetryEvent> events = sink.TakeEvents();
+  for (const obs::TelemetryEvent& e : events) {
+    std::string kind = e.kind;
+    EXPECT_GT(e.unix_seconds, 0.0);
+    if (kind == "episode") {
+      ++episodes;
+      bool found = false;
+      double reward = FieldValue(e, "reward", &found);
+      EXPECT_TRUE(found);
+      EXPECT_TRUE(std::isfinite(reward));
+      EXPECT_GT(FieldValue(e, "replay_size"), 0.0);
+      double sigma = FieldValue(e, "ou_sigma", &found);
+      EXPECT_TRUE(found);
+      EXPECT_GT(sigma, 0.0);
+      double eval = FieldValue(e, "eval_score", &found);
+      EXPECT_TRUE(found);  // best_checkpoint defaults to true.
+      EXPECT_LE(eval, 0.0);  // negative rollout RMSE.
+    } else if (kind == "checkpoint") {
+      ++checkpoints;
+      EXPECT_TRUE(std::isfinite(FieldValue(e, "eval_score")));
+    } else if (kind == "predict") {
+      ++predicts;
+      EXPECT_GE(FieldValue(e, "latency_seconds"), 0.0);
+      double entropy = FieldValue(e, "weight_entropy");
+      EXPECT_GE(entropy, 0.0);
+      EXPECT_LE(entropy, std::log(3.0) + 1e-9);
+      double max_w = FieldValue(e, "max_weight");
+      EXPECT_GT(max_w, 0.0);
+      EXPECT_LE(max_w, 1.0);
+    } else if (kind == "ddpg_update") {
+      ++ddpg_updates;
+      EXPECT_TRUE(std::isfinite(FieldValue(e, "critic_loss")));
+      EXPECT_GE(FieldValue(e, "mean_abs_q"), 0.0);
+      EXPECT_GE(FieldValue(e, "actor_grad_norm"), 0.0);
+    } else if (kind == "train_done") {
+      ++train_done;
+      EXPECT_EQ(FieldValue(e, "episodes"), 4.0);
+    }
+  }
+  EXPECT_EQ(episodes, 4u);
+  EXPECT_GE(checkpoints, 1u);  // the first eval is always a new best.
+  EXPECT_EQ(predicts, 5u);
+  EXPECT_GT(ddpg_updates, 0u);
+  EXPECT_EQ(train_done, 1u);
+
+  // Predict steps are strictly increasing 1..5.
+  double last_step = 0.0;
+  for (const obs::TelemetryEvent& e : events) {
+    if (std::string(e.kind) == "predict") {
+      double step = FieldValue(e, "step");
+      EXPECT_DOUBLE_EQ(step, last_step + 1.0);
+      last_step = step;
+    }
+  }
+}
+
+TEST(ObsIntegrationTest, InstrumentationDoesNotPerturbResults) {
+  math::Matrix preds;
+  math::Vec actuals;
+  MakeData(80, 9, &preds, &actuals);
+  math::Vec step{10.0, 10.5, 14.0};
+
+  auto run = [&](bool with_sink) {
+    obs::CollectingSink sink;
+    if (with_sink) obs::SetTelemetrySink(&sink);
+    EadrlCombiner combiner(TinyConfig());
+    EXPECT_TRUE(combiner.Initialize(preds, actuals).ok());
+    math::Vec out;
+    for (size_t t = 0; t < 8; ++t) {
+      out.push_back(combiner.Predict(step));
+      combiner.Update(step, 10.2);
+    }
+    if (with_sink) obs::SetTelemetrySink(nullptr);
+    return out;
+  };
+
+  math::Vec with = run(true);
+  math::Vec without = run(false);
+  ASSERT_EQ(with.size(), without.size());
+  for (size_t i = 0; i < with.size(); ++i) {
+    EXPECT_DOUBLE_EQ(with[i], without[i]);
+  }
+}
+
+TEST(ObsIntegrationTest, RegistryCountsTrainingActivity) {
+  obs::MetricRegistry& reg = obs::MetricRegistry::Default();
+  double episodes_before = reg.GetCounter("eadrl_episodes_total")->Value();
+  double predicts_before = reg.GetCounter("eadrl_predict_total")->Value();
+  uint64_t latency_before =
+      reg.GetHistogram("eadrl_predict_seconds")->Count();
+
+  math::Matrix preds;
+  math::Vec actuals;
+  MakeData(80, 3, &preds, &actuals);
+  EadrlCombiner combiner(TinyConfig());
+  ASSERT_TRUE(combiner.Initialize(preds, actuals).ok());
+  math::Vec step{10.0, 10.5, 14.0};
+  combiner.Predict(step);
+
+  EXPECT_DOUBLE_EQ(reg.GetCounter("eadrl_episodes_total")->Value(),
+                   episodes_before + 4.0);
+  EXPECT_DOUBLE_EQ(reg.GetCounter("eadrl_predict_total")->Value(),
+                   predicts_before + 1.0);
+  EXPECT_EQ(reg.GetHistogram("eadrl_predict_seconds")->Count(),
+            latency_before + 1);
+}
+
+TEST(ObsIntegrationTest, LogSinkCapturesPoolWarnings) {
+  // The logging satellite: tests capture log output through a sink instead
+  // of scraping stderr.
+  struct CaptureSink : public LogSink {
+    void Write(const LogRecord& record) override {
+      records.push_back(record);
+    }
+    std::vector<LogRecord> records;
+  } capture;
+
+  SetLogSink(&capture);
+  EADRL_LOG(Warning) << "synthetic warning " << 42;
+  SetLogSink(nullptr);
+
+  ASSERT_EQ(capture.records.size(), 1u);
+  EXPECT_EQ(capture.records[0].level, LogLevel::kWarning);
+  EXPECT_EQ(capture.records[0].message, "synthetic warning 42");
+  EXPECT_GT(capture.records[0].unix_seconds, 0.0);
+  EXPECT_NE(std::string(capture.records[0].file).find("obs_integration"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace eadrl::core

@@ -15,10 +15,14 @@
 //   --episodes N      offline training episodes (default 30)
 //   --save-policy F   write the trained policy to F
 //   --seed S          RNG seed (default 42)
+// Observability:
+//   --telemetry F     append JSON-lines training/inference events to F
+//   --metrics-summary print a JSON snapshot of all metrics on exit
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "core/eadrl.h"
@@ -26,6 +30,8 @@
 #include "exp/experiment.h"
 #include "models/forecaster.h"
 #include "models/pool.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "ts/datasets.h"
 #include "ts/diagnostics.h"
 #include "ts/io.h"
@@ -44,6 +50,8 @@ struct Args {
   size_t episodes = 30;
   std::string save_policy;
   uint64_t seed = 42;
+  std::string telemetry;
+  bool metrics_summary = false;
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -98,6 +106,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next("--seed");
       if (v == nullptr) return false;
       args->seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--telemetry") {
+      const char* v = next("--telemetry");
+      if (v == nullptr) return false;
+      args->telemetry = v;
+    } else if (flag == "--metrics-summary") {
+      args->metrics_summary = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -117,6 +131,23 @@ bool ParseArgs(int argc, char** argv, Args* args) {
 int main(int argc, char** argv) {
   Args args;
   if (!ParseArgs(argc, argv, &args)) return 2;
+
+  // --- Observability. ------------------------------------------------------
+  // The sink outlives every instrumented call below; unset before exit.
+  std::unique_ptr<eadrl::obs::JsonLinesSink> telemetry_sink;
+  if (!args.telemetry.empty()) {
+    telemetry_sink =
+        std::make_unique<eadrl::obs::JsonLinesSink>(args.telemetry);
+    if (!telemetry_sink->ok()) {
+      std::fprintf(stderr, "cannot open telemetry file %s\n",
+                   args.telemetry.c_str());
+      return 1;
+    }
+    eadrl::obs::SetTelemetrySink(telemetry_sink.get());
+  }
+  struct SinkGuard {
+    ~SinkGuard() { eadrl::obs::SetTelemetrySink(nullptr); }
+  } sink_guard;
 
   // --- Load the series. ----------------------------------------------------
   eadrl::ts::Series series;
@@ -210,6 +241,15 @@ int main(int argc, char** argv) {
     std::printf("%4zu %12.4f %12.4f %12.4f\n", j + 1, interval->point,
                 interval->lower, interval->upper);
     for (auto& model : models) model->Observe(point);
+  }
+
+  if (telemetry_sink != nullptr) {
+    telemetry_sink->Flush();
+    std::printf("\ntelemetry written to %s\n", args.telemetry.c_str());
+  }
+  if (args.metrics_summary) {
+    std::printf("\nmetrics summary:\n%s\n",
+                eadrl::obs::MetricRegistry::Default().ToJson().c_str());
   }
   return 0;
 }
