@@ -1,0 +1,83 @@
+// Parallel-runtime benchmarks: pool fitting and per-step prediction fan-out
+// at 1/2/4/8 threads against the serial baseline. Thread count 1 uses a
+// serial ThreadPool (zero workers, inline Submit), so the Arg(1) rows ARE
+// the pre-parallel-runtime baseline; speedup at Arg(N) is relative to them.
+//
+// Note: each benchmark constructs its own ThreadPool so the thread count is
+// per-benchmark instead of the process-sticky default pool.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "models/pool.h"
+#include "par/parallel.h"
+#include "par/thread_pool.h"
+#include "ts/datasets.h"
+
+namespace {
+
+eadrl::ts::Series BenchSeries() {
+  auto series = eadrl::ts::MakeDataset(2, 42, 400);
+  return *series;
+}
+
+// Fitting the paper's full 43-model pool. The acceptance bar for the
+// parallel runtime: >= 2.5x over Arg(1) with 4 threads on a 4+-core box.
+void BM_ParallelFitPool(benchmark::State& state) {
+  const eadrl::ts::Series series = BenchSeries();
+  eadrl::models::PoolConfig cfg;
+  cfg.nn_epochs = 4;  // keep a single iteration tractable.
+  eadrl::par::ThreadPool exec(static_cast<size_t>(state.range(0)));
+  size_t fitted = 0;
+  for (auto _ : state) {
+    auto pool = eadrl::models::BuildPaperPool(cfg);
+    auto result = eadrl::models::FitPool(std::move(pool), series, &exec);
+    fitted = result.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["models_fitted"] = static_cast<double>(fitted);
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ParallelFitPool)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// One online step of ensemble prediction: PredictNext across the fitted
+// pool, then Observe with the realized value — the fan-out the CLI and the
+// experiment loop run per time step.
+void BM_ParallelPredictFanout(benchmark::State& state) {
+  const eadrl::ts::Series series = BenchSeries();
+  eadrl::models::PoolConfig cfg;
+  cfg.nn_epochs = 4;
+  eadrl::par::ThreadPool exec(static_cast<size_t>(state.range(0)));
+  auto models =
+      eadrl::models::FitPool(eadrl::models::BuildPaperPool(cfg), series,
+                             &exec);
+  const double next_value = series.values().back();
+  for (auto _ : state) {
+    eadrl::math::Vec preds = eadrl::par::ParallelMap<double>(
+        models.size(), [&](size_t m) { return models[m]->PredictNext(); },
+        {1, &exec});
+    benchmark::DoNotOptimize(preds);
+    eadrl::par::ParallelFor(
+        0, models.size(), [&](size_t m) { models[m]->Observe(next_value); },
+        {1, &exec});
+  }
+  state.counters["pool_size"] = static_cast<double>(models.size());
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ParallelPredictFanout)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -16,6 +16,7 @@
 #include "common/string_util.h"
 #include "exp/experiment.h"
 #include "math/matrix.h"
+#include "par/thread_pool.h"
 #include "stats/bayes_tests.h"
 #include "stats/ranking.h"
 #include "ts/datasets.h"
@@ -35,14 +36,10 @@ int main() {
   exp::ExperimentOptions opt = eadrl::bench::BenchOptions();
 
   std::printf("Table II: pairwise comparison, EA-DRL vs. baselines "
-              "(20 datasets, length %zu, omega = %zu)\n",
-              length, opt.eadrl.omega);
+              "(20 datasets, length %zu, omega = %zu, threads = %zu)\n",
+              length, opt.eadrl.omega, eadrl::par::DefaultThreads());
 
-  // method name -> per-dataset RMSE and per-dataset squared-error traces.
-  std::vector<std::string> method_order;
-  std::map<std::string, std::vector<double>> rmse;
-  std::map<std::string, std::vector<eadrl::math::Vec>> sq_errors;
-
+  std::vector<eadrl::ts::Series> datasets;
   for (const auto& spec : eadrl::ts::AllDatasetSpecs()) {
     auto series = eadrl::ts::MakeDataset(spec.id, 42, length);
     if (!series.ok()) {
@@ -50,10 +47,18 @@ int main() {
                   series.status().ToString().c_str());
       return 1;
     }
-    std::printf("  running dataset %2d (%s)...\n", spec.id,
-                spec.name.c_str());
-    std::fflush(stdout);
-    exp::DatasetResult result = exp::RunDataset(*series, opt);
+    datasets.push_back(std::move(*series));
+  }
+
+  // The dataset x method grid runs on the default pool (EADRL_THREADS);
+  // results come back in dataset order either way.
+  std::vector<exp::DatasetResult> results = exp::RunSuite(datasets, opt);
+
+  // method name -> per-dataset RMSE and per-dataset squared-error traces.
+  std::vector<std::string> method_order;
+  std::map<std::string, std::vector<double>> rmse;
+  std::map<std::string, std::vector<eadrl::math::Vec>> sq_errors;
+  for (const exp::DatasetResult& result : results) {
     for (const exp::MethodRun& run : result.methods) {
       if (rmse.find(run.name) == rmse.end()) {
         method_order.push_back(run.name);

@@ -10,6 +10,7 @@
 #include "math/stats.h"
 #include "nn/serialize.h"
 #include "obs/telemetry.h"
+#include "par/parallel.h"
 
 namespace eadrl::core {
 
@@ -86,172 +87,210 @@ Status EadrlCombiner::Initialize(const math::Matrix& val_preds,
   ddpg.logit_l2 = config_.logit_l2;
   ddpg.critic_form = config_.critic_form;
   const size_t restarts = std::max<size_t>(1, config_.restarts);
-  double best_eval = -1e300;
-  std::vector<math::Matrix> best_actor;
 
-  for (size_t restart = 0; restart < restarts; ++restart) {
-  ddpg.seed = config_.seed + restart * 101;
-  agent_ = std::make_unique<rl::DdpgAgent>(ddpg);
-
-  rl::ReplayBuffer buffer(config_.replay_capacity);
-  rl::OuNoise noise(env.action_dim(), /*theta=*/0.15, config_.ou_sigma);
-  Rng rng(config_.seed + 7 + restart * 997);
-
-  // Random simplex draw for off-policy exploration.
-  auto sample_dirichlet = [&]() {
-    std::gamma_distribution<double> gamma(config_.dirichlet_alpha, 1.0);
-    math::Vec w(m_active);
-    double sum = 0.0;
-    for (double& v : w) {
-      v = std::max(gamma(rng.engine()), 1e-12);
-      sum += v;
-    }
-    for (double& v : w) v /= sum;
-    return w;
+  // Every restart is an independent training run: restart-derived seeds, its
+  // own agent, replay buffer, noise process and environment copy (Reset()
+  // fully reinitializes an EnsembleEnv, so a copy behaves exactly like the
+  // serial code's reuse of one env). Restarts therefore run concurrently on
+  // the default pool, and every cross-restart decision — deployed checkpoint,
+  // reported curves — is made in the ordered scan after the join, which
+  // reproduces the serial loop's selection (first restart achieving the
+  // maximum wins, as with the serial strict-> update).
+  struct RestartOutcome {
+    std::unique_ptr<rl::DdpgAgent> agent;
+    math::Vec episode_rewards;
+    math::Vec eval_scores;
+    size_t converged_episode = 0;
+    double best_eval = -1e300;
+    std::vector<math::Matrix> best_actor;
   };
 
-  // The reported learning curve and convergence episode come from the first
-  // restart; later restarts only compete for the deployed checkpoint.
-  if (restart == 0) {
-    episode_rewards_.clear();
-    eval_scores_.clear();
-    converged_episode_ = config_.max_episodes;
-  }
-  double explore_prob = config_.explore_prob;
+  auto run_restart = [&](size_t restart) {
+    RestartOutcome out;
+    out.converged_episode = config_.max_episodes;
 
-  for (size_t episode = 0; episode < config_.max_episodes; ++episode) {
-    math::Vec state = env.Reset();
-    noise.Reset();
-    double episode_reward = 0.0;
-    size_t steps = 0;
+    rl::EnsembleEnv env(reduced, val_actuals, config_.omega,
+                        config_.reward_type, config_.diversity_coef);
+    rl::DdpgConfig restart_ddpg = ddpg;
+    restart_ddpg.seed = config_.seed + restart * 101;
+    out.agent = std::make_unique<rl::DdpgAgent>(restart_ddpg);
+    rl::DdpgAgent* agent = out.agent.get();
 
-    for (size_t iter = 0; iter < config_.max_iterations; ++iter) {
-      math::Vec action = rng.Bernoulli(explore_prob)
-                             ? sample_dirichlet()
-                             : agent_->ActWithNoise(state, noise.Sample(rng));
+    rl::ReplayBuffer buffer(config_.replay_capacity);
+    rl::OuNoise noise(env.action_dim(), /*theta=*/0.15, config_.ou_sigma);
+    Rng rng(config_.seed + 7 + restart * 997);
 
-      // Counterfactual replay: label this state with rewards of actions that
-      // were not executed (the simulator makes them exact).
-      const size_t m = m_active;
-      for (size_t c = 0; c < config_.counterfactual_actions; ++c) {
-        math::Vec cf_action;
-        if (c % 2 == 0) {
-          cf_action.assign(m, 0.0);
-          cf_action[rng.Index(m)] = 1.0;
-        } else {
-          cf_action = sample_dirichlet();
-        }
-        rl::EnsembleEnv::StepResult cf = env.Peek(cf_action);
-        rl::Transition cf_t;
-        cf_t.state = state;
-        cf_t.action = std::move(cf_action);
-        cf_t.reward = config_.reward_type == rl::RewardType::kRank
-                          ? cf.reward / static_cast<double>(m)
-                          : cf.reward;
-        cf_t.next_state = std::move(cf.next_state);
-        cf_t.terminal = cf.done;
-        buffer.Add(std::move(cf_t));
+    // Random simplex draw for off-policy exploration.
+    auto sample_dirichlet = [&]() {
+      std::gamma_distribution<double> gamma(config_.dirichlet_alpha, 1.0);
+      math::Vec w(m_active);
+      double sum = 0.0;
+      for (double& v : w) {
+        v = std::max(gamma(rng.engine()), 1e-12);
+        sum += v;
       }
+      for (double& v : w) v /= sum;
+      return w;
+    };
 
-      rl::EnsembleEnv::StepResult sr = env.Step(action);
-      episode_reward += sr.reward;
-      ++steps;
+    double explore_prob = config_.explore_prob;
 
-      rl::Transition t;
-      t.state = state;
-      t.action = action;
-      // Rank rewards span [0, m]; scale them into [0, 1] inside the learner
-      // so critic targets and policy gradients are well-conditioned for any
-      // pool size. Episode curves report the raw reward (Fig. 2 units).
-      t.reward = config_.reward_type == rl::RewardType::kRank
-                     ? sr.reward / static_cast<double>(env.action_dim())
-                     : sr.reward;
-      t.next_state = sr.next_state;
-      t.terminal = sr.done;
-      buffer.Add(std::move(t));
+    for (size_t episode = 0; episode < config_.max_episodes; ++episode) {
+      math::Vec state = env.Reset();
+      noise.Reset();
+      double episode_reward = 0.0;
+      size_t steps = 0;
 
-      if (buffer.size() >= config_.warmup_transitions) {
-        agent_->Update(
-            buffer.Sample(config_.batch_size, config_.sampling, rng));
-      }
-
-      state = sr.next_state;
-      if (sr.done) break;
-    }
-    const double mean_reward =
-        episode_reward / static_cast<double>(steps);
-    if (restart == 0) {
-      episode_rewards_.push_back(mean_reward);
-    }
-    const double episode_sigma = noise.sigma();
-    const double episode_explore = explore_prob;
-    noise.set_sigma(noise.sigma() * config_.ou_sigma_decay);
-    explore_prob *= config_.explore_decay;
-
-    // Deterministic evaluation rollout for best-checkpoint selection. The
-    // selection metric is the rollout's ensemble RMSE on validation — the
-    // quantity the deployed policy is judged by.
-    bool have_eval = false;
-    double eval_score = 0.0;
-    if (config_.best_checkpoint) {
-      math::Vec eval_state = env.Reset();
-      double eval_sse = 0.0;
-      size_t eval_steps = 0;
       for (size_t iter = 0; iter < config_.max_iterations; ++iter) {
-        rl::EnsembleEnv::StepResult sr = env.Step(agent_->Act(eval_state));
-        double err = sr.ensemble_prediction - sr.actual;
-        eval_sse += err * err;
-        ++eval_steps;
-        eval_state = sr.next_state;
+        math::Vec action = rng.Bernoulli(explore_prob)
+                               ? sample_dirichlet()
+                               : agent->ActWithNoise(state, noise.Sample(rng));
+
+        // Counterfactual replay: label this state with rewards of actions
+        // that were not executed (the simulator makes them exact).
+        const size_t m = m_active;
+        for (size_t c = 0; c < config_.counterfactual_actions; ++c) {
+          math::Vec cf_action;
+          if (c % 2 == 0) {
+            cf_action.assign(m, 0.0);
+            cf_action[rng.Index(m)] = 1.0;
+          } else {
+            cf_action = sample_dirichlet();
+          }
+          rl::EnsembleEnv::StepResult cf = env.Peek(cf_action);
+          rl::Transition cf_t;
+          cf_t.state = state;
+          cf_t.action = std::move(cf_action);
+          cf_t.reward = config_.reward_type == rl::RewardType::kRank
+                            ? cf.reward / static_cast<double>(m)
+                            : cf.reward;
+          cf_t.next_state = std::move(cf.next_state);
+          cf_t.terminal = cf.done;
+          buffer.Add(std::move(cf_t));
+        }
+
+        rl::EnsembleEnv::StepResult sr = env.Step(action);
+        episode_reward += sr.reward;
+        ++steps;
+
+        rl::Transition t;
+        t.state = state;
+        t.action = action;
+        // Rank rewards span [0, m]; scale them into [0, 1] inside the
+        // learner so critic targets and policy gradients are
+        // well-conditioned for any pool size. Episode curves report the raw
+        // reward (Fig. 2 units).
+        t.reward = config_.reward_type == rl::RewardType::kRank
+                       ? sr.reward / static_cast<double>(env.action_dim())
+                       : sr.reward;
+        t.next_state = sr.next_state;
+        t.terminal = sr.done;
+        buffer.Add(std::move(t));
+
+        if (buffer.size() >= config_.warmup_transitions) {
+          agent->Update(
+              buffer.Sample(config_.batch_size, config_.sampling, rng));
+        }
+
+        state = sr.next_state;
         if (sr.done) break;
       }
-      eval_score = -std::sqrt(eval_sse / static_cast<double>(eval_steps));
-      have_eval = true;
-      if (restart == 0) eval_scores_.push_back(eval_score);
-      if (eval_score > best_eval) {
-        best_eval = eval_score;
-        best_actor = agent_->ActorWeights();
-        EADRL_TELEMETRY("checkpoint", {"restart", restart},
-                        {"episode", episode}, {"eval_score", eval_score});
+      const double mean_reward =
+          episode_reward / static_cast<double>(steps);
+      out.episode_rewards.push_back(mean_reward);
+      const double episode_sigma = noise.sigma();
+      const double episode_explore = explore_prob;
+      noise.set_sigma(noise.sigma() * config_.ou_sigma_decay);
+      explore_prob *= config_.explore_decay;
+
+      // Deterministic evaluation rollout for best-checkpoint selection. The
+      // selection metric is the rollout's ensemble RMSE on validation — the
+      // quantity the deployed policy is judged by.
+      bool have_eval = false;
+      double eval_score = 0.0;
+      if (config_.best_checkpoint) {
+        math::Vec eval_state = env.Reset();
+        double eval_sse = 0.0;
+        size_t eval_steps = 0;
+        for (size_t iter = 0; iter < config_.max_iterations; ++iter) {
+          rl::EnsembleEnv::StepResult sr = env.Step(agent->Act(eval_state));
+          double err = sr.ensemble_prediction - sr.actual;
+          eval_sse += err * err;
+          ++eval_steps;
+          eval_state = sr.next_state;
+          if (sr.done) break;
+        }
+        eval_score = -std::sqrt(eval_sse / static_cast<double>(eval_steps));
+        have_eval = true;
+        out.eval_scores.push_back(eval_score);
+        if (eval_score > out.best_eval) {
+          out.best_eval = eval_score;
+          out.best_actor = agent->ActorWeights();
+          EADRL_TELEMETRY("checkpoint", {"restart", restart},
+                          {"episode", episode}, {"eval_score", eval_score});
+        }
+      }
+
+      episode_counter_->Inc();
+      if (obs::TelemetryEnabled()) {
+        std::vector<obs::TelemetryField> fields = {
+            {"restart", restart},
+            {"episode", episode},
+            {"reward", mean_reward},
+            {"ou_sigma", episode_sigma},
+            {"explore_prob", episode_explore},
+            {"replay_size", buffer.size()},
+            {"critic_loss", agent->last_update_stats().critic_loss}};
+        if (have_eval) fields.emplace_back("eval_score", eval_score);
+        obs::Emit("episode", std::move(fields));
+      }
+
+      // Plateau detection: compare the mean reward of the last `patience`
+      // episodes with the preceding block (first restart only — it owns the
+      // reported curve).
+      if (restart == 0 && config_.early_stop &&
+          out.episode_rewards.size() >= 2 * config_.early_stop_patience) {
+        size_t p = config_.early_stop_patience;
+        size_t n = out.episode_rewards.size();
+        double recent = 0.0, previous = 0.0;
+        for (size_t i = n - p; i < n; ++i) recent += out.episode_rewards[i];
+        for (size_t i = n - 2 * p; i < n - p; ++i) {
+          previous += out.episode_rewards[i];
+        }
+        recent /= static_cast<double>(p);
+        previous /= static_cast<double>(p);
+        double scale = std::max(1.0, std::fabs(recent));
+        if (std::fabs(recent - previous) < 0.01 * scale) {
+          out.converged_episode = episode + 1;
+          break;
+        }
       }
     }
+    return out;
+  };
 
-    episode_counter_->Inc();
-    if (obs::TelemetryEnabled()) {
-      std::vector<obs::TelemetryField> fields = {
-          {"restart", restart},
-          {"episode", episode},
-          {"reward", mean_reward},
-          {"ou_sigma", episode_sigma},
-          {"explore_prob", episode_explore},
-          {"replay_size", buffer.size()},
-          {"critic_loss", agent_->last_update_stats().critic_loss}};
-      if (have_eval) fields.emplace_back("eval_score", eval_score);
-      obs::Emit("episode", std::move(fields));
-    }
+  std::vector<RestartOutcome> outcomes(restarts);
+  par::ParallelFor(0, restarts, [&](size_t restart) {
+    outcomes[restart] = run_restart(restart);
+  });
 
-    // Plateau detection: compare the mean reward of the last `patience`
-    // episodes with the preceding block (first restart only — it owns the
-    // reported curve).
-    if (restart == 0 && config_.early_stop &&
-        episode_rewards_.size() >= 2 * config_.early_stop_patience) {
-      size_t p = config_.early_stop_patience;
-      size_t n = episode_rewards_.size();
-      double recent = 0.0, previous = 0.0;
-      for (size_t i = n - p; i < n; ++i) recent += episode_rewards_[i];
-      for (size_t i = n - 2 * p; i < n - p; ++i) {
-        previous += episode_rewards_[i];
-      }
-      recent /= static_cast<double>(p);
-      previous /= static_cast<double>(p);
-      double scale = std::max(1.0, std::fabs(recent));
-      if (std::fabs(recent - previous) < 0.01 * scale) {
-        converged_episode_ = episode + 1;
-        break;
-      }
+  // Ordered cross-restart selection (identical to the serial scan): the
+  // reported learning curve and convergence episode come from the first
+  // restart; later restarts only compete for the deployed checkpoint.
+  episode_rewards_ = std::move(outcomes[0].episode_rewards);
+  eval_scores_ = std::move(outcomes[0].eval_scores);
+  converged_episode_ = outcomes[0].converged_episode;
+  double best_eval = -1e300;
+  std::vector<math::Matrix> best_actor;
+  for (size_t restart = 0; restart < restarts; ++restart) {
+    if (outcomes[restart].best_eval > best_eval &&
+        !outcomes[restart].best_actor.empty()) {
+      best_eval = outcomes[restart].best_eval;
+      best_actor = std::move(outcomes[restart].best_actor);
     }
   }
-  }  // restarts
+  agent_ = std::move(outcomes.back().agent);
+
   if (converged_episode_ == config_.max_episodes &&
       episode_rewards_.size() < config_.max_episodes) {
     converged_episode_ = episode_rewards_.size();

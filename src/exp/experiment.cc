@@ -1,5 +1,6 @@
 #include "exp/experiment.h"
 
+#include <chrono>
 #include <cmath>
 
 #include "baselines/dynamic_selection.h"
@@ -7,6 +8,7 @@
 #include "baselines/stacking.h"
 #include "baselines/static_combiners.h"
 #include "common/check.h"
+#include "common/logging.h"
 #include "models/arima.h"
 #include "models/gbm.h"
 #include "models/nn_regressors.h"
@@ -14,6 +16,7 @@
 #include "models/regression_forecaster.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
+#include "par/parallel.h"
 #include "ts/metrics.h"
 
 namespace eadrl::exp {
@@ -54,14 +57,18 @@ PoolRun PreparePool(const ts::Series& series, const ExperimentOptions& opt) {
   run.val_preds = math::Matrix(inner.test.size(), pool.size());
   run.test_preds = math::Matrix(outer.test.size(), pool.size());
 
-  for (size_t m = 0; m < pool.size(); ++m) {
-    run.model_names.push_back(pool[m]->name());
+  // Per-model rolling forecasts are independent: model m only touches its
+  // own forecaster state, its slot in model_names and column m of the
+  // prediction matrices (distinct doubles — safe to fill concurrently).
+  run.model_names.resize(pool.size());
+  par::ParallelFor(0, pool.size(), [&](size_t m) {
+    run.model_names[m] = pool[m]->name();
     // Roll through validation, then (state carried over) through test.
     math::Vec val_p = models::RollingForecast(pool[m].get(), inner.test);
     math::Vec test_p = models::RollingForecast(pool[m].get(), outer.test);
     for (size_t t = 0; t < val_p.size(); ++t) run.val_preds(t, m) = val_p[t];
     for (size_t t = 0; t < test_p.size(); ++t) run.test_preds(t, m) = test_p[t];
-  }
+  });
   return run;
 }
 
@@ -191,6 +198,35 @@ DatasetResult RunDataset(const ts::Series& series,
     }
   }
   return result;
+}
+
+std::vector<DatasetResult> RunSuite(const std::vector<ts::Series>& datasets,
+                                    const ExperimentOptions& opt,
+                                    par::ThreadPool* exec) {
+  par::ThreadPool& executor = exec != nullptr ? *exec : par::DefaultPool();
+  std::vector<DatasetResult> results(datasets.size());
+  obs::Counter* done_counter = obs::MetricRegistry::Default().GetCounter(
+      "eadrl_suite_datasets_done_total");
+  const auto wall_start = std::chrono::steady_clock::now();
+  par::ParallelFor(
+      0, datasets.size(),
+      [&](size_t i) {
+        EADRL_LOG(Info) << "suite: running dataset " << datasets[i].name()
+                        << " (" << (i + 1) << "/" << datasets.size() << ")";
+        results[i] = RunDataset(datasets[i], opt);
+        done_counter->Inc();
+      },
+      {/*grain=*/1, &executor});
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  size_t methods = 0;
+  for (const DatasetResult& r : results) methods += r.methods.size();
+  EADRL_TELEMETRY("suite_run", {"datasets", datasets.size()},
+                  {"methods", methods}, {"wall_seconds", wall_seconds},
+                  {"threads", executor.concurrency()});
+  return results;
 }
 
 }  // namespace eadrl::exp

@@ -9,6 +9,7 @@
 #include "core/eadrl.h"
 #include "math/matrix.h"
 #include "models/pool.h"
+#include "par/thread_pool.h"
 #include "ts/series.h"
 
 namespace eadrl::exp {
@@ -75,6 +76,14 @@ std::vector<MethodRun> RunStandaloneModels(const ts::Series& series,
 /// Full Table II-style evaluation of one dataset.
 DatasetResult RunDataset(const ts::Series& series,
                          const ExperimentOptions& opt);
+
+/// Runs the full dataset x method grid: RunDataset over every series,
+/// datasets running concurrently on `exec` (nullptr means the default pool).
+/// Results come back in input order regardless of completion order; a
+/// `suite_run` telemetry event summarizes the grid when done.
+std::vector<DatasetResult> RunSuite(const std::vector<ts::Series>& datasets,
+                                    const ExperimentOptions& opt,
+                                    par::ThreadPool* exec = nullptr);
 
 }  // namespace eadrl::exp
 

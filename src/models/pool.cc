@@ -1,5 +1,6 @@
 #include "models/pool.h"
 
+#include <chrono>
 #include <utility>
 
 #include "common/logging.h"
@@ -19,6 +20,7 @@
 #include "models/regression_forecaster.h"
 #include "models/svr.h"
 #include "models/tree.h"
+#include "par/parallel.h"
 
 namespace eadrl::models {
 namespace {
@@ -275,33 +277,56 @@ std::vector<std::unique_ptr<Forecaster>> BuildPaperPool(
 }
 
 std::vector<std::unique_ptr<Forecaster>> FitPool(
-    std::vector<std::unique_ptr<Forecaster>> pool, const ts::Series& train) {
-  std::vector<std::unique_ptr<Forecaster>> fitted;
-  fitted.reserve(pool.size());
+    std::vector<std::unique_ptr<Forecaster>> pool, const ts::Series& train,
+    par::ThreadPool* exec) {
+  par::ThreadPool& executor = exec != nullptr ? *exec : par::DefaultPool();
+  const size_t n = pool.size();
   obs::MetricRegistry& registry = obs::MetricRegistry::Default();
   obs::Histogram* fit_hist = registry.GetHistogram("eadrl_pool_fit_seconds");
   obs::Counter* fitted_counter =
       registry.GetCounter("eadrl_pool_models_fitted_total");
   obs::Counter* dropped_counter =
       registry.GetCounter("eadrl_pool_models_dropped_total");
-  for (auto& model : pool) {
-    double fit_seconds = 0.0;
-    Status st;
-    {
-      obs::ScopedTimer timer(fit_hist, &fit_seconds);
-      st = model->Fit(train);
-    }
-    EADRL_TELEMETRY("pool_fit", {"model", model->name()},
-                    {"seconds", fit_seconds}, {"ok", st.ok()});
-    if (!st.ok()) {
+
+  // Fit concurrently; per-model work is fully independent (slot i only).
+  // Warnings and telemetry are deferred to the ordered scan below so the
+  // observable output does not depend on completion order.
+  std::vector<Status> statuses(n);
+  std::vector<double> fit_seconds(n, 0.0);
+  const auto wall_start = std::chrono::steady_clock::now();
+  par::ParallelFor(
+      0, n,
+      [&](size_t i) {
+        obs::ScopedTimer timer(fit_hist, &fit_seconds[i]);
+        statuses[i] = pool[i]->Fit(train);
+      },
+      {/*grain=*/1, &executor});
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  std::vector<std::unique_ptr<Forecaster>> fitted;
+  fitted.reserve(n);
+  double cpu_seconds = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    cpu_seconds += fit_seconds[i];
+    EADRL_TELEMETRY("model_fit", {"model", pool[i]->name()},
+                    {"seconds", fit_seconds[i]}, {"ok", statuses[i].ok()});
+    if (!statuses[i].ok()) {
       dropped_counter->Inc();
-      EADRL_LOG(Warning) << "dropping model " << model->name()
-                         << " from pool: " << st.ToString();
+      EADRL_LOG(Warning) << "dropping model " << pool[i]->name()
+                         << " from pool: " << statuses[i].ToString();
       continue;
     }
     fitted_counter->Inc();
-    fitted.push_back(std::move(model));
+    fitted.push_back(std::move(pool[i]));
   }
+  EADRL_TELEMETRY(
+      "pool_fit", {"models", n}, {"fitted", fitted.size()},
+      {"wall_seconds", wall_seconds}, {"cpu_seconds", cpu_seconds},
+      {"speedup", wall_seconds > 0.0 ? cpu_seconds / wall_seconds : 1.0},
+      {"threads", executor.concurrency()});
   return fitted;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "models/forecaster.h"
+#include "par/thread_pool.h"
 
 namespace eadrl::models {
 
@@ -33,8 +34,15 @@ std::vector<std::unique_ptr<Forecaster>> BuildPaperPool(
 /// Fits every model on the training series; models whose Fit fails (e.g. the
 /// series is too short for their configuration) are dropped with a warning.
 /// Returns the fitted subset.
+///
+/// Fits run concurrently on `exec` (nullptr means the process default pool;
+/// a serial pool restores the sequential path). Results are deterministic
+/// regardless of completion order: the returned models keep their original
+/// pool order, and drop warnings / per-model telemetry are emitted after the
+/// join, in original pool order.
 std::vector<std::unique_ptr<Forecaster>> FitPool(
-    std::vector<std::unique_ptr<Forecaster>> pool, const ts::Series& train);
+    std::vector<std::unique_ptr<Forecaster>> pool, const ts::Series& train,
+    par::ThreadPool* exec = nullptr);
 
 }  // namespace eadrl::models
 

@@ -164,15 +164,12 @@ void Histogram::Observe(double value) {
       std::lower_bound(bounds_.begin(), bounds_.end(), value) -
       bounds_.begin());
   counts_[idx].fetch_add(1, std::memory_order_relaxed);
-  uint64_t prev = count_.fetch_add(1, std::memory_order_relaxed);
   AtomicAdd(&sum_, value);
-  if (prev == 0) {
-    // First observation seeds min/max; racing observers fix it up below.
-    min_.store(value, std::memory_order_relaxed);
-    max_.store(value, std::memory_order_relaxed);
-  }
+  // Update min/max before publishing the new count: a reader that sees
+  // count >= 1 then also sees finite (non-sentinel) min/max.
   AtomicMin(&min_, value);
   AtomicMax(&max_, value);
+  count_.fetch_add(1, std::memory_order_release);
 }
 
 HistogramSnapshot Histogram::Snapshot() const {
@@ -183,10 +180,16 @@ HistogramSnapshot Histogram::Snapshot() const {
   for (size_t i = 0; i <= bounds_.size(); ++i) {
     snap.counts[i] = counts_[i].load(std::memory_order_relaxed);
   }
-  snap.count = count_.load(std::memory_order_relaxed);
+  snap.count = count_.load(std::memory_order_acquire);
   snap.sum = sum_.load(std::memory_order_relaxed);
-  snap.min = min_.load(std::memory_order_relaxed);
-  snap.max = max_.load(std::memory_order_relaxed);
+  if (snap.count == 0) {
+    // Empty histogram: report 0/0 rather than the +-inf sentinels.
+    snap.min = 0.0;
+    snap.max = 0.0;
+  } else {
+    snap.min = min_.load(std::memory_order_relaxed);
+    snap.max = max_.load(std::memory_order_relaxed);
+  }
   return snap;
 }
 

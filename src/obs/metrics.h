@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -120,8 +121,11 @@ class Histogram {
   std::unique_ptr<std::atomic<uint64_t>[]> counts_;  ///< bounds_.size() + 1.
   std::atomic<uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
-  std::atomic<double> min_{0.0};
-  std::atomic<double> max_{0.0};
+  // +-inf sentinels make min/max updates pure CAS races (no first-observation
+  // seeding, which could overwrite a concurrent observer's tighter value);
+  // Snapshot maps the sentinels back to 0 while empty.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
 };
 
 /// Key/value labels distinguishing metrics within a family, e.g.

@@ -1,0 +1,67 @@
+#include "par/parallel.h"
+
+#include <chrono>
+#include <utility>
+
+namespace eadrl::par {
+
+TaskGroup::TaskGroup(ThreadPool* pool)
+    : pool_(pool != nullptr ? pool : &DefaultPool()) {}
+
+TaskGroup::~TaskGroup() { WaitNoThrow(); }
+
+void TaskGroup::Run(std::function<void()> fn) {
+  if (!pool_->parallel()) {
+    // Serial pool: run inline with the same capture-and-rethrow-at-Wait
+    // semantics as the parallel path (later tasks still run after a throw).
+    try {
+      fn();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (error_ == nullptr) error_ = std::current_exception();
+    }
+    return;
+  }
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  pool_->Submit([this, fn = std::move(fn)] {
+    try {
+      fn();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (error_ == nullptr) error_ = std::current_exception();
+    }
+    if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last task out: take the lock so the waiter is either fully asleep
+      // (and gets the notify) or re-checks the count before sleeping.
+      std::lock_guard<std::mutex> lock(mu_);
+      cv_.notify_all();
+    }
+  });
+}
+
+void TaskGroup::WaitNoThrow() {
+  while (outstanding_.load(std::memory_order_acquire) > 0) {
+    // Help: run queued tasks (ours or anyone's) instead of blocking; fall
+    // back to a timed wait when the queues are empty but our tasks are still
+    // running on other workers. The timeout covers the benign race where the
+    // last task finishes between the helping attempt and the wait.
+    if (!pool_->TryRunOneTask()) {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, std::chrono::milliseconds(1), [this] {
+        return outstanding_.load(std::memory_order_acquire) == 0;
+      });
+    }
+  }
+}
+
+void TaskGroup::Wait() {
+  WaitNoThrow();
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    error = std::exchange(error_, nullptr);
+  }
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+}  // namespace eadrl::par

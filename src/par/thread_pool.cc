@@ -1,0 +1,205 @@
+#include "par/thread_pool.h"
+
+#include <cstdlib>
+#include <exception>
+
+#include "common/logging.h"
+
+namespace eadrl::par {
+namespace {
+
+// Worker identity, set inside WorkerLoop. Used so worker submissions land on
+// the submitting worker's own deque (LIFO locality) and so TryRunOneTask
+// checks the own queue before stealing.
+thread_local ThreadPool* tl_pool = nullptr;
+thread_local size_t tl_worker = 0;
+
+size_t HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t threads) {
+  obs::MetricRegistry& registry = obs::MetricRegistry::Default();
+  submitted_counter_ = registry.GetCounter("eadrl_par_tasks_submitted_total");
+  steals_counter_ = registry.GetCounter("eadrl_par_steals_total");
+  queue_depth_gauge_ = registry.GetGauge("eadrl_par_queue_depth");
+  active_workers_gauge_ = registry.GetGauge("eadrl_par_active_workers");
+  task_latency_hist_ = registry.GetHistogram("eadrl_par_task_seconds");
+
+  if (threads <= 1) return;  // serial pool: no workers, Submit runs inline.
+  queues_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+    stopping_.store(true, std::memory_order_release);
+  }
+  sleep_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    // Serial pool: the caller is the worker.
+    RunTask(std::move(task));
+    return;
+  }
+  submitted_counter_->Inc();
+  const size_t q =
+      tl_pool == this
+          ? tl_worker
+          : next_queue_.fetch_add(1, std::memory_order_relaxed) %
+                queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[q]->mu);
+    queues_[q]->tasks.push_back(std::move(task));
+  }
+  const size_t depth = pending_.fetch_add(1, std::memory_order_release) + 1;
+  queue_depth_gauge_->Set(static_cast<double>(depth));
+  {
+    // Taking the sleep mutex orders this submission against a worker that is
+    // between its failed pop and its wait — without it the notify could fire
+    // in that window and be lost.
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+  }
+  sleep_cv_.notify_one();
+}
+
+bool ThreadPool::PopTask(size_t self, bool is_worker,
+                         std::function<void()>* task) {
+  const size_t n = queues_.size();
+  if (is_worker) {
+    WorkerQueue& own = *queues_[self];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      *task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      const size_t depth =
+          pending_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+      queue_depth_gauge_->Set(static_cast<double>(depth));
+      return true;
+    }
+  }
+  for (size_t offset = is_worker ? 1 : 0; offset < n; ++offset) {
+    WorkerQueue& victim = *queues_[(self + offset) % n];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (victim.tasks.empty()) continue;
+    *task = std::move(victim.tasks.front());
+    victim.tasks.pop_front();
+    const size_t depth = pending_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+    queue_depth_gauge_->Set(static_cast<double>(depth));
+    if (is_worker) steals_counter_->Inc();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::RunTask(std::function<void()> task) {
+  active_workers_gauge_->Add(1.0);
+  obs::ScopedTimer timer(task_latency_hist_);
+  try {
+    task();
+  } catch (const std::exception& e) {
+    EADRL_LOG(Error) << "thread pool task threw: " << e.what()
+                     << " (use TaskGroup/ParallelFor to propagate "
+                        "exceptions to the caller)";
+  } catch (...) {
+    EADRL_LOG(Error) << "thread pool task threw a non-std exception";
+  }
+  timer.Stop();
+  active_workers_gauge_->Add(-1.0);
+}
+
+bool ThreadPool::TryRunOneTask() {
+  if (workers_.empty()) return false;
+  std::function<void()> task;
+  const bool is_worker = tl_pool == this;
+  const size_t self =
+      is_worker ? tl_worker
+                : next_queue_.fetch_add(1, std::memory_order_relaxed) %
+                      queues_.size();
+  if (!PopTask(self, is_worker, &task)) return false;
+  RunTask(std::move(task));
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  tl_pool = this;
+  tl_worker = worker_index;
+  std::function<void()> task;
+  for (;;) {
+    if (PopTask(worker_index, /*is_worker=*/true, &task)) {
+      RunTask(std::move(task));
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mu_);
+    sleep_cv_.wait(lock, [this] {
+      return stopping_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    // Graceful shutdown: exit only once every queued task has been drained
+    // (tasks already running may still enqueue more — those are drained too,
+    // because the enqueue bumps `pending_` while this worker is awake).
+    if (stopping_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Default pool.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::mutex g_default_mu;
+std::unique_ptr<ThreadPool> g_default_pool;  // guarded by g_default_mu.
+size_t g_default_threads = 0;                // 0 = not yet resolved.
+
+size_t ResolveDefaultThreads() {
+  const char* env = std::getenv("EADRL_THREADS");
+  if (env != nullptr) {
+    long parsed = std::atol(env);
+    if (parsed >= 1) return static_cast<size_t>(parsed);
+    EADRL_LOG(Warning) << "ignoring invalid EADRL_THREADS value: " << env;
+  }
+  return HardwareThreads();
+}
+
+}  // namespace
+
+size_t DefaultThreads() {
+  std::lock_guard<std::mutex> lock(g_default_mu);
+  if (g_default_threads == 0) g_default_threads = ResolveDefaultThreads();
+  return g_default_threads;
+}
+
+ThreadPool& DefaultPool() {
+  std::lock_guard<std::mutex> lock(g_default_mu);
+  if (g_default_pool == nullptr) {
+    if (g_default_threads == 0) g_default_threads = ResolveDefaultThreads();
+    g_default_pool = std::make_unique<ThreadPool>(g_default_threads);
+  }
+  return *g_default_pool;
+}
+
+void SetDefaultThreads(size_t threads) {
+  std::lock_guard<std::mutex> lock(g_default_mu);
+  g_default_threads = threads == 0 ? 1 : threads;
+  g_default_pool.reset();  // drained + joined here; rebuilt on next use.
+}
+
+}  // namespace eadrl::par

@@ -1,0 +1,125 @@
+#ifndef EADRL_PAR_THREAD_POOL_H_
+#define EADRL_PAR_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace eadrl::par {
+
+/// Work-stealing thread pool: one deque per worker, owners pop LIFO from the
+/// back, thieves steal FIFO from the front (the sharded-queue equivalent of a
+/// Chase-Lev deque — per-queue mutexes instead of lock-free buffers, which
+/// keeps the implementation dependency-free and trivially TSan-clean while
+/// preserving the locality properties of the classic design).
+///
+/// Concurrency model:
+///  * `ThreadPool(n)` with n >= 2 spawns n workers; `ThreadPool(1)` (or 0)
+///    spawns none and `parallel()` is false — every Submit runs inline on the
+///    caller, which is the deterministic serial path.
+///  * Tasks may submit further tasks (nested parallelism). Blocking waiters
+///    should call `TryRunOneTask` in their wait loop (TaskGroup::Wait does)
+///    so that a worker waiting on subtasks keeps executing queued work
+///    instead of deadlocking the pool.
+///  * Destruction is graceful: no new work is accepted, every already-queued
+///    task still runs, then workers are joined. Submitting from outside the
+///    pool while the destructor runs is undefined.
+///  * Exceptions: tasks submitted directly via `Submit` must not throw — a
+///    throwing task is caught and logged, the exception is lost. Use
+///    TaskGroup / ParallelFor (parallel.h) to propagate exceptions to the
+///    waiting caller.
+///
+/// Observability (default MetricRegistry): eadrl_par_tasks_submitted_total
+/// and eadrl_par_steals_total counters, eadrl_par_queue_depth and
+/// eadrl_par_active_workers gauges, eadrl_par_task_seconds latency histogram.
+class ThreadPool {
+ public:
+  /// `threads` is the target concurrency, *including* the submitting thread's
+  /// helping capacity; values <= 1 create a serial (no-worker) pool.
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 for a serial pool).
+  size_t num_workers() const { return workers_.size(); }
+
+  /// Effective concurrency: max(1, num_workers()).
+  size_t concurrency() const {
+    return workers_.empty() ? 1 : workers_.size();
+  }
+
+  /// True when the pool actually runs tasks on worker threads.
+  bool parallel() const { return !workers_.empty(); }
+
+  /// Enqueues a task. On a serial pool the task runs inline before Submit
+  /// returns. Worker threads push to their own deque; external threads
+  /// round-robin across the deques.
+  void Submit(std::function<void()> task);
+
+  /// Pops one queued task (own queue first when called from a worker, then
+  /// steals) and runs it on the calling thread. Returns false when no task
+  /// was available. This is the cooperation hook that makes nested waits
+  /// deadlock-free.
+  bool TryRunOneTask();
+
+  /// Number of queued (not yet started) tasks — approximate, for telemetry.
+  size_t pending() const { return pending_.load(std::memory_order_relaxed); }
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t worker_index);
+  /// Pops from `self`'s back, else steals from another queue's front.
+  bool PopTask(size_t self, bool is_worker, std::function<void()>* task);
+  void RunTask(std::function<void()> task);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+  std::atomic<size_t> pending_{0};
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> next_queue_{0};
+
+  // Cached from the default registry (stable pointers).
+  obs::Counter* submitted_counter_;
+  obs::Counter* steals_counter_;
+  obs::Gauge* queue_depth_gauge_;
+  obs::Gauge* active_workers_gauge_;
+  obs::Histogram* task_latency_hist_;
+};
+
+/// Concurrency of the process-wide default pool: EADRL_THREADS when set to a
+/// positive integer, otherwise std::thread::hardware_concurrency(). This is
+/// what DefaultPool() is built with unless SetDefaultThreads overrode it.
+size_t DefaultThreads();
+
+/// Lazily-initialized process-wide pool used by every parallelized library
+/// path (FitPool, PreparePool, RunSuite, DdpgAgent::Update, the CLI predict
+/// fan-out) when no explicit pool is passed.
+ThreadPool& DefaultPool();
+
+/// Overrides the default pool's concurrency (the CLI's --threads flag, and
+/// tests that compare serial vs parallel runs in one process). If the default
+/// pool already exists it is drained, destroyed and lazily rebuilt on next
+/// use. Call only from quiescent points — never while other threads are using
+/// DefaultPool().
+void SetDefaultThreads(size_t threads);
+
+}  // namespace eadrl::par
+
+#endif  // EADRL_PAR_THREAD_POOL_H_

@@ -1,11 +1,13 @@
 #include "rl/ddpg.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
 #include "math/vec.h"
 #include "nn/param.h"
 #include "obs/telemetry.h"
+#include "par/parallel.h"
 
 namespace eadrl::rl {
 namespace {
@@ -17,6 +19,49 @@ std::vector<size_t> LayerSizes(size_t in, const std::vector<size_t>& hidden,
   for (size_t h : hidden) sizes.push_back(h);
   sizes.push_back(out);
   return sizes;
+}
+
+// Smallest batch worth fanning out, and transitions per pool task. Below the
+// threshold the replica setup costs more than the gradient math.
+constexpr size_t kMinParallelBatch = 8;
+constexpr size_t kUpdateGrain = 4;
+
+/// Same-architecture copy of a network (forward/backward scratch state is
+/// per-replica, so replicas can run on pool workers while the original's
+/// parameters stay untouched).
+std::unique_ptr<nn::Mlp> CloneNet(nn::Mlp& src,
+                                  const std::vector<size_t>& sizes) {
+  Rng scratch(0);  // initial weights are overwritten by CopyParams.
+  auto copy = std::make_unique<nn::Mlp>(
+      sizes, nn::Activation::kRelu, nn::Activation::kIdentity, scratch);
+  nn::CopyParams(copy->Params(), src.Params());
+  nn::ZeroGrads(copy->Params());
+  return copy;
+}
+
+/// Moves the accumulated gradients out of `params` (zeroing them) so a
+/// replica can be reused for the next transition.
+std::vector<math::Matrix> ExtractGrads(const std::vector<nn::Param*>& params) {
+  std::vector<math::Matrix> out;
+  out.reserve(params.size());
+  for (nn::Param* p : params) {
+    out.push_back(p->grad);
+    p->ZeroGrad();
+  }
+  return out;
+}
+
+/// grad += contribution, element-wise — one addend per element, exactly like
+/// one serial Backward call (Dense::Backward adds each transition's product
+/// to each gradient element once), so reducing per-transition contributions
+/// in transition order reproduces the serial accumulation bit for bit.
+void AccumulateGrads(const std::vector<nn::Param*>& params,
+                     const std::vector<math::Matrix>& contribution) {
+  for (size_t i = 0; i < params.size(); ++i) {
+    std::vector<double>& grad = params[i]->grad.data();
+    const std::vector<double>& add = contribution[i].data();
+    for (size_t e = 0; e < grad.size(); ++e) grad[e] += add[e];
+  }
 }
 
 }  // namespace
@@ -132,6 +177,9 @@ void DdpgAgent::SetActorWeights(const std::vector<math::Matrix>& weights) {
 
 double DdpgAgent::Update(const std::vector<Transition>& batch) {
   EADRL_CHECK(!batch.empty());
+  if (batch.size() >= kMinParallelBatch && par::DefaultPool().parallel()) {
+    return UpdateParallel(batch);
+  }
   const double inv_n = 1.0 / static_cast<double>(batch.size());
 
   // --- Critic update: minimize (Q(s,a) - y)^2, y from target networks. ----
@@ -201,6 +249,134 @@ double DdpgAgent::Update(const std::vector<Transition>& batch) {
     }
     actor_->Backward(dq_dz);
   }
+  return FinishUpdate(critic_loss, abs_q_sum, entropy_sum, inv_n);
+}
+
+double DdpgAgent::UpdateParallel(const std::vector<Transition>& batch) {
+  const size_t n = batch.size();
+  const double inv_n = 1.0 / static_cast<double>(n);
+  const bool linear_critic =
+      config_.critic_form == CriticForm::kLinearInAction;
+  const std::vector<size_t> actor_sizes =
+      LayerSizes(config_.state_dim, config_.actor_hidden, config_.action_dim);
+  const size_t critic_in =
+      linear_critic ? config_.state_dim
+                    : config_.state_dim + config_.action_dim;
+  const size_t critic_out = linear_critic ? config_.action_dim : 1;
+  const std::vector<size_t> critic_sizes =
+      LayerSizes(critic_in, config_.critic_hidden, critic_out);
+  const size_t num_chunks = (n + kUpdateGrain - 1) / kUpdateGrain;
+
+  // --- Critic phase: per-transition gradients on replicas. -----------------
+  // Each chunk task clones the nets it reads (targets + critic), runs the
+  // same per-transition math as the serial loop and stores that transition's
+  // gradient contribution in its own slot.
+  std::vector<std::vector<math::Matrix>> critic_grads(n);
+  std::vector<double> loss_terms(n, 0.0);
+  std::vector<double> abs_q_terms(n, 0.0);
+  par::ParallelFor(0, num_chunks, [&](size_t c) {
+    std::unique_ptr<nn::Mlp> critic = CloneNet(*critic_, critic_sizes);
+    std::unique_ptr<nn::Mlp> target_actor =
+        CloneNet(*target_actor_, actor_sizes);
+    std::unique_ptr<nn::Mlp> target_critic =
+        CloneNet(*target_critic_, critic_sizes);
+    const size_t lo = c * kUpdateGrain;
+    const size_t hi = std::min(n, lo + kUpdateGrain);
+    for (size_t i = lo; i < hi; ++i) {
+      const Transition& t = batch[i];
+      double target = t.reward;
+      if (!t.terminal) {
+        math::Vec next_logits = target_actor->Forward(t.next_state);
+        for (double& v : next_logits) v *= config_.logit_scale;
+        math::Vec next_action = math::Softmax(next_logits);
+        double next_q =
+            linear_critic
+                ? math::Dot(next_action, target_critic->Forward(t.next_state))
+                : target_critic->Forward(
+                      CriticInput(t.next_state, next_action))[0];
+        target += config_.gamma * next_q;
+      }
+      if (linear_critic) {
+        math::Vec q_vec = critic->Forward(t.state);
+        double q = math::Dot(t.action, q_vec);
+        double err = q - target;
+        loss_terms[i] = err * err * inv_n;
+        abs_q_terms[i] = std::fabs(q);
+        critic->Backward(math::Scale(t.action, 2.0 * err * inv_n));
+      } else {
+        double q = critic->Forward(CriticInput(t.state, t.action))[0];
+        double err = q - target;
+        loss_terms[i] = err * err * inv_n;
+        abs_q_terms[i] = std::fabs(q);
+        critic->Backward({2.0 * err * inv_n});
+      }
+      critic_grads[i] = ExtractGrads(critic->Params());
+    }
+  });
+  double critic_loss = 0.0;
+  double abs_q_sum = 0.0;
+  {
+    const std::vector<nn::Param*> params = critic_->Params();
+    for (size_t i = 0; i < n; ++i) {
+      critic_loss += loss_terms[i];
+      abs_q_sum += abs_q_terms[i];
+      AccumulateGrads(params, critic_grads[i]);
+    }
+  }
+  nn::ClipGradNorm(critic_->Params(), config_.grad_clip);
+  critic_opt_.StepAndZero();
+
+  // --- Actor phase (replicas cloned after the critic step so dQ/da uses the
+  // updated critic, as in the serial loop). --------------------------------
+  std::vector<std::vector<math::Matrix>> actor_grads(n);
+  std::vector<double> entropy_terms(n, 0.0);
+  par::ParallelFor(0, num_chunks, [&](size_t c) {
+    std::unique_ptr<nn::Mlp> actor = CloneNet(*actor_, actor_sizes);
+    std::unique_ptr<nn::Mlp> critic = CloneNet(*critic_, critic_sizes);
+    const size_t lo = c * kUpdateGrain;
+    const size_t hi = std::min(n, lo + kUpdateGrain);
+    for (size_t i = lo; i < hi; ++i) {
+      const Transition& t = batch[i];
+      math::Vec logits = actor->Forward(t.state);
+      for (double& v : logits) v *= config_.logit_scale;
+      math::Vec action = math::Softmax(logits);
+      double entropy = 0.0;
+      for (double p : action) {
+        if (p > 0.0) entropy -= p * std::log(p);
+      }
+      entropy_terms[i] = entropy;
+      math::Vec dq_da;
+      if (linear_critic) {
+        dq_da = critic->Forward(t.state);  // dQ/da = q(s), exactly.
+      } else {
+        critic->Forward(CriticInput(t.state, action));
+        math::Vec dinput = critic->Backward({1.0});
+        dq_da.assign(
+            dinput.begin() + static_cast<ptrdiff_t>(config_.state_dim),
+            dinput.end());
+      }
+      math::Vec dq_dz = SoftmaxJacobianVjp(action, dq_da);
+      for (size_t j = 0; j < dq_dz.size(); ++j) {
+        dq_dz[j] = -inv_n * config_.logit_scale * dq_dz[j] +
+                   inv_n * config_.logit_l2 * logits[j];
+      }
+      actor->Backward(dq_dz);
+      actor_grads[i] = ExtractGrads(actor->Params());
+    }
+  });
+  double entropy_sum = 0.0;
+  {
+    const std::vector<nn::Param*> params = actor_->Params();
+    for (size_t i = 0; i < n; ++i) {
+      entropy_sum += entropy_terms[i];
+      AccumulateGrads(params, actor_grads[i]);
+    }
+  }
+  return FinishUpdate(critic_loss, abs_q_sum, entropy_sum, inv_n);
+}
+
+double DdpgAgent::FinishUpdate(double critic_loss, double abs_q_sum,
+                               double entropy_sum, double inv_n) {
   // The actor loop accumulated gradients inside the critic too; discard them.
   nn::ZeroGrads(critic_->Params());
   double actor_grad_norm =

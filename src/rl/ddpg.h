@@ -79,6 +79,12 @@ class DdpgAgent {
   /// One DDPG update from a minibatch: critic regression toward the Bellman
   /// target using the target networks, then a deterministic policy-gradient
   /// step on the actor, then soft target updates. Returns the critic loss.
+  ///
+  /// When the default thread pool is parallel and the batch is large enough,
+  /// per-transition gradients are computed concurrently on network replicas
+  /// and reduced into the main parameters in transition order, which is
+  /// bit-identical to the serial accumulation (each transition contributes
+  /// exactly one addend per gradient element either way).
   double Update(const std::vector<Transition>& batch);
 
   /// Q-value estimate for diagnostics/tests.
@@ -102,6 +108,15 @@ class DdpgAgent {
                                       const math::Vec& grad_probs);
 
   math::Vec CriticInput(const math::Vec& state, const math::Vec& action) const;
+
+  /// Parallel per-transition gradient path of Update (see Update's contract).
+  double UpdateParallel(const std::vector<Transition>& batch);
+
+  /// Shared tail of both Update paths: discard stray critic gradients from
+  /// the actor phase, clip + step the actor, soft-update the targets, and
+  /// publish stats/telemetry. Returns the critic loss.
+  double FinishUpdate(double critic_loss, double abs_q_sum,
+                      double entropy_sum, double inv_n);
 
   DdpgConfig config_;
   Rng rng_;

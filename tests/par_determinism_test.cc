@@ -1,0 +1,187 @@
+// Parallel-vs-serial determinism: the contract in DESIGN.md ("Parallel
+// runtime") is that EADRL_THREADS only changes wall-clock time, never a
+// forecast. These tests run the fast-mode pipeline once on the serial path
+// and once on a 4-thread default pool and require bit-identical results.
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "core/eadrl.h"
+#include "exp/experiment.h"
+#include "models/forecaster.h"
+#include "models/pool.h"
+#include "par/thread_pool.h"
+#include "ts/datasets.h"
+
+namespace eadrl {
+namespace {
+
+/// Restores the serial default pool when a test exits.
+struct SerialPoolGuard {
+  ~SerialPoolGuard() { par::SetDefaultThreads(1); }
+};
+
+exp::ExperimentOptions FastOptions() {
+  exp::ExperimentOptions opt;
+  opt.seed = 42;
+  opt.pool.fast_mode = true;
+  opt.pool.nn_epochs = 2;
+  opt.eadrl.omega = 5;
+  opt.eadrl.max_episodes = 4;
+  opt.eadrl.max_iterations = 25;
+  opt.eadrl.restarts = 2;
+  opt.eadrl.batch_size = 16;         // >= the parallel-Update threshold.
+  opt.eadrl.warmup_transitions = 32; // updates kick in mid-episode.
+  opt.eadrl.early_stop = false;
+  return opt;
+}
+
+/// Fits the pool, trains EA-DRL and rolls it over the test segment with the
+/// current default pool; returns the online predictions.
+math::Vec RunPipeline(const ts::Series& series,
+                      const exp::ExperimentOptions& opt) {
+  exp::PoolRun pool = exp::PreparePool(series, opt);
+  core::EadrlConfig cfg = opt.eadrl;
+  cfg.seed = opt.seed;
+  core::EadrlCombiner combiner(cfg);
+  Status st = combiner.Initialize(pool.val_preds, pool.val_actuals);
+  EADRL_CHECK(st.ok());
+  math::Vec predictions(pool.test_preds.rows());
+  for (size_t t = 0; t < pool.test_preds.rows(); ++t) {
+    math::Vec preds = pool.test_preds.Row(t);
+    predictions[t] = combiner.Predict(preds);
+    combiner.Update(preds, pool.test_actuals[t]);
+  }
+  return predictions;
+}
+
+TEST(ParDeterminismTest, ParallelForecastsBitIdenticalToSerial) {
+  SerialPoolGuard guard;
+  auto series = ts::MakeDataset(2, 42, 220);
+  ASSERT_TRUE(series.ok());
+  exp::ExperimentOptions opt = FastOptions();
+
+  par::SetDefaultThreads(1);
+  math::Vec serial = RunPipeline(*series, opt);
+
+  par::SetDefaultThreads(4);
+  ASSERT_TRUE(par::DefaultPool().parallel());
+  math::Vec parallel = RunPipeline(*series, opt);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  ASSERT_FALSE(serial.empty());
+  for (size_t t = 0; t < serial.size(); ++t) {
+    // Bitwise comparison, not a tolerance: memcmp of the raw doubles.
+    EXPECT_EQ(std::memcmp(&serial[t], &parallel[t], sizeof(double)), 0)
+        << "step " << t << ": serial=" << serial[t]
+        << " parallel=" << parallel[t];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FitPool reordering determinism (the satellite bugfix): drop warnings and
+// the returned model order must not depend on fit completion order.
+// ---------------------------------------------------------------------------
+
+class StubForecaster : public models::Forecaster {
+ public:
+  StubForecaster(std::string name, bool fail, int fit_delay_ms)
+      : name_(std::move(name)), fail_(fail), fit_delay_ms_(fit_delay_ms) {}
+
+  const std::string& name() const override { return name_; }
+
+  Status Fit(const ts::Series&) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(fit_delay_ms_));
+    if (fail_) return Status::InvalidArgument("stub cannot fit");
+    return Status::Ok();
+  }
+
+  double PredictNext() override { return 0.0; }
+  void Observe(double) override {}
+
+ private:
+  std::string name_;
+  bool fail_;
+  int fit_delay_ms_;
+};
+
+class CollectingLogSink : public LogSink {
+ public:
+  void Write(const LogRecord& record) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (record.level == LogLevel::kWarning) {
+      warnings_.push_back(record.message);
+    }
+  }
+
+  std::vector<std::string> warnings() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return warnings_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::string> warnings_;
+};
+
+TEST(ParDeterminismTest, FitPoolOrderAndWarningsIgnoreCompletionOrder) {
+  // Delays make completion order the reverse of pool order; every observable
+  // output must still follow pool order.
+  std::vector<std::unique_ptr<models::Forecaster>> pool;
+  pool.push_back(std::make_unique<StubForecaster>("m0", false, 40));
+  pool.push_back(std::make_unique<StubForecaster>("m1-fails", true, 30));
+  pool.push_back(std::make_unique<StubForecaster>("m2", false, 20));
+  pool.push_back(std::make_unique<StubForecaster>("m3-fails", true, 10));
+  pool.push_back(std::make_unique<StubForecaster>("m4", false, 0));
+
+  CollectingLogSink sink;
+  SetLogSink(&sink);
+  par::ThreadPool exec(4);
+  ts::Series train("train", math::Vec(32, 1.0));
+  auto fitted = models::FitPool(std::move(pool), train, &exec);
+  SetLogSink(nullptr);
+
+  ASSERT_EQ(fitted.size(), 3u);
+  EXPECT_EQ(fitted[0]->name(), "m0");
+  EXPECT_EQ(fitted[1]->name(), "m2");
+  EXPECT_EQ(fitted[2]->name(), "m4");
+
+  std::vector<std::string> warnings = sink.warnings();
+  ASSERT_EQ(warnings.size(), 2u);
+  EXPECT_NE(warnings[0].find("m1-fails"), std::string::npos) << warnings[0];
+  EXPECT_NE(warnings[1].find("m3-fails"), std::string::npos) << warnings[1];
+}
+
+TEST(ParDeterminismTest, RunSuiteReturnsResultsInInputOrder) {
+  SerialPoolGuard guard;
+  par::SetDefaultThreads(4);
+  std::vector<ts::Series> datasets;
+  for (int id : {2, 3}) {
+    auto s = ts::MakeDataset(id, 42, 180);
+    ASSERT_TRUE(s.ok());
+    datasets.push_back(*s);
+  }
+  exp::ExperimentOptions opt = FastOptions();
+  opt.eadrl.restarts = 1;
+  opt.eadrl.max_episodes = 2;
+  opt.include_standalone = false;
+
+  std::vector<exp::DatasetResult> results = exp::RunSuite(datasets, opt);
+  ASSERT_EQ(results.size(), datasets.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].dataset, datasets[i].name());
+    EXPECT_FALSE(results[i].methods.empty());
+  }
+}
+
+}  // namespace
+}  // namespace eadrl

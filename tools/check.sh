@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 test suite under ThreadSanitizer with the parallel runtime enabled.
+#
+# Builds the whole tree with EADRL_SANITIZE=thread into build-tsan/ and runs
+# ctest with EADRL_THREADS=4, so every parallelized path (FitPool,
+# PreparePool, RunSuite, the restart fan-out, DdpgAgent::Update and the obs
+# hot paths) executes on real pool workers under TSan.
+#
+# Usage: tools/check.sh [threads] [build-dir]
+set -euo pipefail
+
+THREADS="${1:-4}"
+BUILD_DIR="${2:-build-tsan}"
+SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
+  -DEADRL_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+cd "$BUILD_DIR"
+EADRL_THREADS="$THREADS" ctest --output-on-failure
+echo "tier-1 suite passed under TSan with EADRL_THREADS=$THREADS"

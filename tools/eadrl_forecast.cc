@@ -15,6 +15,9 @@
 //   --episodes N      offline training episodes (default 30)
 //   --save-policy F   write the trained policy to F
 //   --seed S          RNG seed (default 42)
+//   --threads N       worker threads for pool fitting / prediction fan-out
+//                     (default: EADRL_THREADS env var, else hardware
+//                     concurrency; 1 = fully serial)
 // Observability:
 //   --telemetry F     append JSON-lines training/inference events to F
 //   --metrics-summary print a JSON snapshot of all metrics on exit
@@ -32,6 +35,7 @@
 #include "models/pool.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
+#include "par/parallel.h"
 #include "ts/datasets.h"
 #include "ts/diagnostics.h"
 #include "ts/io.h"
@@ -50,6 +54,7 @@ struct Args {
   size_t episodes = 30;
   std::string save_policy;
   uint64_t seed = 42;
+  size_t threads = 0;  // 0 = keep the EADRL_THREADS/hardware default.
   std::string telemetry;
   bool metrics_summary = false;
 };
@@ -106,6 +111,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next("--seed");
       if (v == nullptr) return false;
       args->seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--threads") {
+      const char* v = next("--threads");
+      if (v == nullptr) return false;
+      args->threads = std::strtoul(v, nullptr, 10);
+      if (args->threads == 0) {
+        std::fprintf(stderr, "--threads must be >= 1\n");
+        return false;
+      }
     } else if (flag == "--telemetry") {
       const char* v = next("--telemetry");
       if (v == nullptr) return false;
@@ -131,6 +144,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
 int main(int argc, char** argv) {
   Args args;
   if (!ParseArgs(argc, argv, &args)) return 2;
+  if (args.threads > 0) eadrl::par::SetDefaultThreads(args.threads);
+  std::printf("threads: %zu\n", eadrl::par::DefaultThreads());
 
   // --- Observability. ------------------------------------------------------
   // The sink outlives every instrumented call below; unset before exit.
@@ -233,14 +248,18 @@ int main(int argc, char** argv) {
   std::printf("\n%4s %12s %12s %12s  (%.0f%% interval)\n", "step",
               "forecast", "lower", "upper", args.coverage * 100.0);
   for (size_t j = 0; j < args.horizon; ++j) {
-    eadrl::math::Vec base_preds;
-    for (auto& model : models) base_preds.push_back(model->PredictNext());
+    // Per-step ensemble fan-out (Algorithm 1's online prediction): every
+    // base model predicts — then observes the ensemble output — in parallel;
+    // ParallelMap keeps the predictions in pool order.
+    eadrl::math::Vec base_preds = eadrl::par::ParallelMap<double>(
+        models.size(), [&](size_t m) { return models[m]->PredictNext(); });
     double point = combiner.Predict(base_preds);
     auto interval = intervals.Interval(point, args.coverage);
     if (!interval.ok()) return 1;
     std::printf("%4zu %12.4f %12.4f %12.4f\n", j + 1, interval->point,
                 interval->lower, interval->upper);
-    for (auto& model : models) model->Observe(point);
+    eadrl::par::ParallelFor(0, models.size(),
+                            [&](size_t m) { models[m]->Observe(point); });
   }
 
   if (telemetry_sink != nullptr) {
