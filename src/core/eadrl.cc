@@ -269,6 +269,14 @@ Status EadrlCombiner::Initialize(const math::Matrix& val_preds,
     return out;
   };
 
+  // Memory: a restart's heavy state (replay buffer, env copy) is allocated
+  // when its task *runs* and freed when it finishes, so the peak is
+  // O(min(restarts, threads) x replay_capacity) transitions — queued tasks
+  // hold nothing, and under RunSuite the same pool bounds datasets x
+  // restarts in flight by the worker count. Only the per-restart agent
+  // (network weights, small) survives in `outcomes` until the post-join
+  // scan. Lower --threads / EADRL_THREADS if threads x replay_capacity is
+  // too large for the machine.
   std::vector<RestartOutcome> outcomes(restarts);
   par::ParallelFor(0, restarts, [&](size_t restart) {
     outcomes[restart] = run_restart(restart);

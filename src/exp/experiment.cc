@@ -188,6 +188,12 @@ DatasetResult RunDataset(const ts::Series& series,
   DatasetResult result;
   result.dataset = series.name();
 
+  // A concurrent RunSuite interleaves event streams from several datasets in
+  // the sink; this ambient scope stamps every event emitted below
+  // (pool_prepared, model_fit, episode, ddpg_update, checkpoint, method_run)
+  // with its dataset, following the work across pool workers.
+  obs::TelemetryScope telemetry_scope("dataset", series.name());
+
   PoolRun pool = PreparePool(series, opt);
   for (auto& combiner : MakeCombinerSuite(opt)) {
     result.methods.push_back(RunCombiner(combiner.get(), pool));

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <sstream>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -54,6 +55,33 @@ TelemetrySink* GetTelemetrySink() {
   return internal_telemetry::g_sink.load(std::memory_order_acquire);
 }
 
+namespace {
+
+// Ambient fields of the current thread (outermost scope first). A
+// function-local static avoids any thread_local init-order issues.
+std::vector<TelemetryField>& MutableContext() {
+  thread_local std::vector<TelemetryField> ctx;
+  return ctx;
+}
+
+}  // namespace
+
+TelemetryScope::TelemetryScope(const char* key, std::string value) {
+  MutableContext().emplace_back(key, std::move(value));
+}
+
+TelemetryScope::~TelemetryScope() { MutableContext().pop_back(); }
+
+std::vector<TelemetryField> TelemetryContext() { return MutableContext(); }
+
+ScopedTelemetryContext::ScopedTelemetryContext(
+    std::vector<TelemetryField> fields)
+    : saved_(std::exchange(MutableContext(), std::move(fields))) {}
+
+ScopedTelemetryContext::~ScopedTelemetryContext() {
+  MutableContext() = std::move(saved_);
+}
+
 void Emit(const char* kind, std::vector<TelemetryField> fields) {
   TelemetrySink* sink = GetTelemetrySink();
   if (sink == nullptr) return;
@@ -61,6 +89,8 @@ void Emit(const char* kind, std::vector<TelemetryField> fields) {
   event.kind = kind;
   event.unix_seconds = UnixNowSeconds();
   event.fields = std::move(fields);
+  const std::vector<TelemetryField>& ctx = MutableContext();
+  event.fields.insert(event.fields.end(), ctx.begin(), ctx.end());
   sink->Record(event);
 }
 

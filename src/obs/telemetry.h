@@ -130,6 +130,41 @@ void Emit(const char* kind, std::vector<TelemetryField> fields);
     }                                                    \
   } while (0)
 
+/// RAII ambient label: pushes one key/value onto a thread-local stack that
+/// Emit appends to every event recorded while the scope is alive. Scopes
+/// nest (inner scopes append after outer ones). par::ThreadPool snapshots
+/// the submitter's ambient fields into each task, so a scope follows the
+/// work across workers — this is how concurrently interleaved event streams
+/// (e.g. `episode`/`ddpg_update` from a parallel suite run) stay
+/// attributable: exp::RunDataset opens a {"dataset": <name>} scope.
+class TelemetryScope {
+ public:
+  TelemetryScope(const char* key, std::string value);
+  ~TelemetryScope();
+
+  TelemetryScope(const TelemetryScope&) = delete;
+  TelemetryScope& operator=(const TelemetryScope&) = delete;
+};
+
+/// Snapshot of the calling thread's ambient fields (outermost first) —
+/// captured at task-submission time for cross-thread propagation.
+std::vector<TelemetryField> TelemetryContext();
+
+/// Replaces the calling thread's ambient fields for the guard's lifetime and
+/// restores the previous ones on destruction — the worker-side half of
+/// cross-thread propagation (installed by par::ThreadPool around each task).
+class ScopedTelemetryContext {
+ public:
+  explicit ScopedTelemetryContext(std::vector<TelemetryField> fields);
+  ~ScopedTelemetryContext();
+
+  ScopedTelemetryContext(const ScopedTelemetryContext&) = delete;
+  ScopedTelemetryContext& operator=(const ScopedTelemetryContext&) = delete;
+
+ private:
+  std::vector<TelemetryField> saved_;
+};
+
 /// Serializes an event to the JSON-lines shape used by JsonLinesSink
 /// (without the trailing newline) — exposed so tests can golden-check it.
 std::string EventToJson(const TelemetryEvent& event);

@@ -1,12 +1,27 @@
 #include "par/parallel.h"
 
 #include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
 #include <utility>
 
 namespace eadrl::par {
 
+// Heap-allocated and co-owned (shared_ptr) by the group and by every
+// submitted task lambda: the last task's completion signal may race the
+// waiter returning from Wait and destroying the stack-allocated group, so
+// the mutex/cv/count must outlive the group itself.
+struct TaskGroup::State {
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t outstanding = 0;    // guarded by mu.
+  std::exception_ptr error;  // guarded by mu.
+};
+
 TaskGroup::TaskGroup(ThreadPool* pool)
-    : pool_(pool != nullptr ? pool : &DefaultPool()) {}
+    : pool_(pool != nullptr ? pool : &DefaultPool()),
+      state_(std::make_shared<State>()) {}
 
 TaskGroup::~TaskGroup() { WaitNoThrow(); }
 
@@ -17,39 +32,50 @@ void TaskGroup::Run(std::function<void()> fn) {
     try {
       fn();
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (error_ == nullptr) error_ = std::current_exception();
+      std::lock_guard<std::mutex> lock(state_->mu);
+      if (state_->error == nullptr) state_->error = std::current_exception();
     }
     return;
   }
-  outstanding_.fetch_add(1, std::memory_order_acq_rel);
-  pool_->Submit([this, fn = std::move(fn)] {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    ++state_->outstanding;
+  }
+  pool_->Submit([state = state_, fn = std::move(fn)] {
+    std::exception_ptr err;
     try {
       fn();
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (error_ == nullptr) error_ = std::current_exception();
+      err = std::current_exception();
     }
-    if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      // Last task out: take the lock so the waiter is either fully asleep
-      // (and gets the notify) or re-checks the count before sleeping.
-      std::lock_guard<std::mutex> lock(mu_);
-      cv_.notify_all();
-    }
+    // Decrement and notify under the lock: the waiter either re-checks the
+    // count before sleeping (and sees zero) or is already asleep and gets
+    // the notify — no decrement can slip between its check and its wait.
+    // The co-owned State keeps mu/cv alive even when the waiter returns and
+    // destroys the group the instant the count hits zero.
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (err != nullptr && state->error == nullptr) state->error = err;
+    if (--state->outstanding == 0) state->cv.notify_all();
   });
 }
 
 void TaskGroup::WaitNoThrow() {
-  while (outstanding_.load(std::memory_order_acquire) > 0) {
-    // Help: run queued tasks (ours or anyone's) instead of blocking; fall
-    // back to a timed wait when the queues are empty but our tasks are still
-    // running on other workers. The timeout covers the benign race where the
-    // last task finishes between the helping attempt and the wait.
+  State& state = *state_;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(state.mu);
+      if (state.outstanding == 0) return;
+    }
+    // Help: run queued tasks at least as deep as our own children (see
+    // ThreadPool::TryRunOneTask) instead of blocking; fall back to a timed
+    // wait when nothing eligible is queued but our tasks are still running
+    // on other workers. The timeout lets us resume helping when a running
+    // child fans out again.
     if (!pool_->TryRunOneTask()) {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait_for(lock, std::chrono::milliseconds(1), [this] {
-        return outstanding_.load(std::memory_order_acquire) == 0;
-      });
+      std::unique_lock<std::mutex> lock(state.mu);
+      state.cv.wait_for(lock, std::chrono::milliseconds(1),
+                        [&state] { return state.outstanding == 0; });
+      if (state.outstanding == 0) return;
     }
   }
 }
@@ -58,8 +84,8 @@ void TaskGroup::Wait() {
   WaitNoThrow();
   std::exception_ptr error;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    error = std::exchange(error_, nullptr);
+    std::lock_guard<std::mutex> lock(state_->mu);
+    error = std::exchange(state_->error, nullptr);
   }
   if (error != nullptr) std::rethrow_exception(error);
 }

@@ -1,12 +1,9 @@
 #ifndef EADRL_PAR_PARALLEL_H_
 #define EADRL_PAR_PARALLEL_H_
 
-#include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <exception>
 #include <functional>
-#include <mutex>
+#include <memory>
 #include <vector>
 
 #include "par/thread_pool.h"
@@ -41,13 +38,16 @@ class TaskGroup {
   void Wait();
 
  private:
+  // Completion state (count, mutex, cv, first error) lives on the heap and is
+  // co-owned by every in-flight task, so a task that finishes just as the
+  // waiter returns from Wait and destroys the group still touches live
+  // memory. See parallel.cc.
+  struct State;
+
   void WaitNoThrow();
 
   ThreadPool* pool_;
-  std::atomic<size_t> outstanding_{0};
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::exception_ptr error_;  // guarded by mu_.
+  std::shared_ptr<State> state_;
 };
 
 /// Grain-size / pool selection for ParallelFor and ParallelMap.

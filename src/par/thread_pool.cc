@@ -1,5 +1,6 @@
 #include "par/thread_pool.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <exception>
 
@@ -13,6 +14,10 @@ namespace {
 // checks the own queue before stealing.
 thread_local ThreadPool* tl_pool = nullptr;
 thread_local size_t tl_worker = 0;
+// Nesting depth of the task currently executing on this thread (0 when idle
+// or external). A submission's depth is tl_depth + 1; a helping waiter only
+// runs tasks at depth >= tl_depth + 1 (as deep as its own children).
+thread_local size_t tl_depth = 0;
 
 size_t HardwareThreads() {
   unsigned n = std::thread::hardware_concurrency();
@@ -50,9 +55,13 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  Task item;
+  item.fn = std::move(task);
+  item.depth = tl_depth + 1;
+  item.telemetry_ctx = obs::TelemetryContext();
   if (workers_.empty()) {
     // Serial pool: the caller is the worker.
-    RunTask(std::move(task));
+    RunTask(std::move(item));
     return;
   }
   submitted_counter_->Inc();
@@ -63,7 +72,7 @@ void ThreadPool::Submit(std::function<void()> task) {
                 queues_.size();
   {
     std::lock_guard<std::mutex> lock(queues_[q]->mu);
-    queues_[q]->tasks.push_back(std::move(task));
+    queues_[q]->tasks.push_back(std::move(item));
   }
   const size_t depth = pending_.fetch_add(1, std::memory_order_release) + 1;
   queue_depth_gauge_->Set(static_cast<double>(depth));
@@ -76,15 +85,18 @@ void ThreadPool::Submit(std::function<void()> task) {
   sleep_cv_.notify_one();
 }
 
-bool ThreadPool::PopTask(size_t self, bool is_worker,
-                         std::function<void()>* task) {
+bool ThreadPool::PopTask(size_t self, bool is_worker, size_t min_depth,
+                         Task* task) {
   const size_t n = queues_.size();
   if (is_worker) {
     WorkerQueue& own = *queues_[self];
     std::lock_guard<std::mutex> lock(own.mu);
-    if (!own.tasks.empty()) {
-      *task = std::move(own.tasks.back());
-      own.tasks.pop_back();
+    // LIFO from the back; newest tasks are the deepest, so scanning
+    // backwards finds an eligible (deep enough) task first.
+    for (auto it = own.tasks.rbegin(); it != own.tasks.rend(); ++it) {
+      if (it->depth < min_depth) continue;
+      *task = std::move(*it);
+      own.tasks.erase(std::next(it).base());
       const size_t depth =
           pending_.fetch_sub(1, std::memory_order_acq_rel) - 1;
       queue_depth_gauge_->Set(static_cast<double>(depth));
@@ -94,22 +106,29 @@ bool ThreadPool::PopTask(size_t self, bool is_worker,
   for (size_t offset = is_worker ? 1 : 0; offset < n; ++offset) {
     WorkerQueue& victim = *queues_[(self + offset) % n];
     std::lock_guard<std::mutex> lock(victim.mu);
-    if (victim.tasks.empty()) continue;
-    *task = std::move(victim.tasks.front());
-    victim.tasks.pop_front();
-    const size_t depth = pending_.fetch_sub(1, std::memory_order_acq_rel) - 1;
-    queue_depth_gauge_->Set(static_cast<double>(depth));
-    if (is_worker) steals_counter_->Inc();
-    return true;
+    // FIFO from the front: steal the oldest eligible task.
+    for (auto it = victim.tasks.begin(); it != victim.tasks.end(); ++it) {
+      if (it->depth < min_depth) continue;
+      *task = std::move(*it);
+      victim.tasks.erase(it);
+      const size_t depth =
+          pending_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+      queue_depth_gauge_->Set(static_cast<double>(depth));
+      if (is_worker) steals_counter_->Inc();
+      return true;
+    }
   }
   return false;
 }
 
-void ThreadPool::RunTask(std::function<void()> task) {
+void ThreadPool::RunTask(Task task) {
+  obs::ScopedTelemetryContext telemetry_ctx(std::move(task.telemetry_ctx));
+  const size_t parent_depth = tl_depth;
+  tl_depth = task.depth;
   active_workers_gauge_->Add(1.0);
   obs::ScopedTimer timer(task_latency_hist_);
   try {
-    task();
+    task.fn();
   } catch (const std::exception& e) {
     EADRL_LOG(Error) << "thread pool task threw: " << e.what()
                      << " (use TaskGroup/ParallelFor to propagate "
@@ -119,17 +138,22 @@ void ThreadPool::RunTask(std::function<void()> task) {
   }
   timer.Stop();
   active_workers_gauge_->Add(-1.0);
+  tl_depth = parent_depth;
 }
 
 bool ThreadPool::TryRunOneTask() {
   if (workers_.empty()) return false;
-  std::function<void()> task;
+  Task task;
   const bool is_worker = tl_pool == this;
   const size_t self =
       is_worker ? tl_worker
                 : next_queue_.fetch_add(1, std::memory_order_relaxed) %
                       queues_.size();
-  if (!PopTask(self, is_worker, &task)) return false;
+  // Only tasks at least as deep as this caller's own children are eligible
+  // (tl_depth is 0 for external threads, which may therefore help with
+  // anything). The caller's own children always qualify, so a nested wait
+  // can always make progress.
+  if (!PopTask(self, is_worker, tl_depth + 1, &task)) return false;
   RunTask(std::move(task));
   return true;
 }
@@ -137,11 +161,12 @@ bool ThreadPool::TryRunOneTask() {
 void ThreadPool::WorkerLoop(size_t worker_index) {
   tl_pool = this;
   tl_worker = worker_index;
-  std::function<void()> task;
+  Task task;
   for (;;) {
-    if (PopTask(worker_index, /*is_worker=*/true, &task)) {
+    // An idle worker takes anything (every task has depth >= 1).
+    if (PopTask(worker_index, /*is_worker=*/true, /*min_depth=*/1, &task)) {
       RunTask(std::move(task));
-      task = nullptr;
+      task = Task{};
       continue;
     }
     std::unique_lock<std::mutex> lock(sleep_mu_);
@@ -170,16 +195,28 @@ std::unique_ptr<ThreadPool> g_default_pool;  // guarded by g_default_mu.
 size_t g_default_threads = 0;                // 0 = not yet resolved.
 
 size_t ResolveDefaultThreads() {
-  const char* env = std::getenv("EADRL_THREADS");
-  if (env != nullptr) {
-    long parsed = std::atol(env);
-    if (parsed >= 1) return static_cast<size_t>(parsed);
-    EADRL_LOG(Warning) << "ignoring invalid EADRL_THREADS value: " << env;
-  }
-  return HardwareThreads();
+  return ParseThreadCount(std::getenv("EADRL_THREADS"), HardwareThreads());
 }
 
 }  // namespace
+
+size_t ParseThreadCount(const char* text, size_t fallback) {
+  if (text == nullptr || *text == '\0') return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || parsed < 1) {
+    EADRL_LOG(Warning) << "ignoring invalid EADRL_THREADS value: " << text;
+    return fallback;
+  }
+  const size_t ceiling = 4 * HardwareThreads();
+  if (static_cast<size_t>(parsed) > ceiling) {
+    EADRL_LOG(Warning) << "EADRL_THREADS=" << parsed << " clamped to "
+                       << ceiling << " (4x hardware concurrency)";
+    return ceiling;
+  }
+  return static_cast<size_t>(parsed);
+}
 
 size_t DefaultThreads() {
   std::lock_guard<std::mutex> lock(g_default_mu);

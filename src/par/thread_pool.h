@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 
 namespace eadrl::par {
 
@@ -69,22 +70,41 @@ class ThreadPool {
   /// Pops one queued task (own queue first when called from a worker, then
   /// steals) and runs it on the calling thread. Returns false when no task
   /// was available. This is the cooperation hook that makes nested waits
-  /// deadlock-free.
+  /// deadlock-free. Helping is depth-restricted: only tasks at least as
+  /// deeply nested as the caller's own children are eligible, so a
+  /// fine-grained nested wait (a DDPG gradient chunk group) never inlines a
+  /// coarse task (a whole restart or dataset run) and inflates its latency
+  /// by that task's full runtime. A waiter's own children always qualify,
+  /// which is what keeps nested waits deadlock-free.
   bool TryRunOneTask();
 
   /// Number of queued (not yet started) tasks — approximate, for telemetry.
   size_t pending() const { return pending_.load(std::memory_order_relaxed); }
 
  private:
+  /// A queued unit of work. `depth` is 1 + the nesting depth of the task
+  /// that submitted it (external submissions get depth 1); see
+  /// TryRunOneTask for how helping waiters use it. `telemetry_ctx` is the
+  /// submitter's ambient obs::TelemetryScope fields, installed around the
+  /// task so events emitted on workers keep their run identity (e.g. which
+  /// dataset of a concurrent suite run they belong to).
+  struct Task {
+    std::function<void()> fn;
+    size_t depth = 1;
+    std::vector<obs::TelemetryField> telemetry_ctx;
+  };
+
   struct WorkerQueue {
     std::mutex mu;
-    std::deque<std::function<void()>> tasks;
+    std::deque<Task> tasks;
   };
 
   void WorkerLoop(size_t worker_index);
-  /// Pops from `self`'s back, else steals from another queue's front.
-  bool PopTask(size_t self, bool is_worker, std::function<void()>* task);
-  void RunTask(std::function<void()> task);
+  /// Pops the deepest-first match from `self`'s back, else steals the
+  /// oldest match from another queue's front; only tasks with
+  /// depth >= `min_depth` are eligible.
+  bool PopTask(size_t self, bool is_worker, size_t min_depth, Task* task);
+  void RunTask(Task task);
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
@@ -103,9 +123,17 @@ class ThreadPool {
   obs::Histogram* task_latency_hist_;
 };
 
+/// Parses a thread-count string (the EADRL_THREADS format): returns
+/// `fallback` with a warning unless `text` is a whole positive decimal
+/// integer (trailing garbage like "8x" is rejected, not truncated), and
+/// clamps values above 4x hardware_concurrency() to that ceiling so a typo
+/// cannot spawn an unbounded number of threads.
+size_t ParseThreadCount(const char* text, size_t fallback);
+
 /// Concurrency of the process-wide default pool: EADRL_THREADS when set to a
-/// positive integer, otherwise std::thread::hardware_concurrency(). This is
-/// what DefaultPool() is built with unless SetDefaultThreads overrode it.
+/// positive integer (validated and clamped by ParseThreadCount), otherwise
+/// std::thread::hardware_concurrency(). This is what DefaultPool() is built
+/// with unless SetDefaultThreads overrode it.
 size_t DefaultThreads();
 
 /// Lazily-initialized process-wide pool used by every parallelized library

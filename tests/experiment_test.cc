@@ -2,9 +2,12 @@
 
 #include <cmath>
 #include <set>
+#include <string>
 
 #include <gtest/gtest.h>
 
+#include "obs/telemetry.h"
+#include "par/thread_pool.h"
 #include "ts/datasets.h"
 
 namespace eadrl::exp {
@@ -92,6 +95,44 @@ TEST(ExperimentTest, CombinersCompetitiveWithWorstSingle) {
     MethodRun run = RunCombiner(combiner.get(), pool);
     EXPECT_LT(run.rmse, worst * 1.5) << run.name;
   }
+}
+
+TEST(ExperimentTest, SuiteTelemetryCarriesDatasetIdentity) {
+  // RunSuite interleaves datasets on pool workers; every event emitted from
+  // inside a dataset run (episode, ddpg_update, checkpoint, method_run, ...)
+  // must still say which dataset it belongs to.
+  auto a = ts::MakeDataset(2, 42, 240);
+  auto b = ts::MakeDataset(3, 42, 240);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExperimentOptions opt = FastOptions();
+  opt.include_standalone = false;
+
+  obs::CollectingSink sink;
+  obs::SetTelemetrySink(&sink);
+  par::ThreadPool pool(4);
+  RunSuite({*a, *b}, opt, &pool);
+  obs::SetTelemetrySink(nullptr);
+
+  std::set<std::string> labeled_kinds;
+  std::set<std::string> seen_datasets;
+  for (const obs::TelemetryEvent& e : sink.TakeEvents()) {
+    if (std::string(e.kind) == "suite_run") continue;  // cross-dataset.
+    bool found = false;
+    for (const obs::TelemetryField& f : e.fields) {
+      if (std::string(f.key) == "dataset") {
+        found = true;
+        seen_datasets.insert(f.str);
+      }
+    }
+    EXPECT_TRUE(found) << "event without dataset label: " << e.kind;
+    labeled_kinds.insert(e.kind);
+  }
+  EXPECT_EQ(seen_datasets,
+            (std::set<std::string>{a->name(), b->name()}));
+  EXPECT_TRUE(labeled_kinds.count("episode"));
+  EXPECT_TRUE(labeled_kinds.count("ddpg_update"));
+  EXPECT_TRUE(labeled_kinds.count("method_run"));
 }
 
 TEST(ExperimentTest, DeterministicAcrossRuns) {

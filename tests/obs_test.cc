@@ -408,5 +408,50 @@ TEST(ObsTelemetryTest, Iso8601Formatting) {
   EXPECT_EQ(FormatIso8601Utc(1e9 + 0.25), "2001-09-09T01:46:40.250Z");
 }
 
+TEST(ObsTelemetryScopeTest, AmbientFieldsAppendedWhileScopeAlive) {
+  CollectingSink sink;
+  SetTelemetrySink(&sink);
+  {
+    TelemetryScope outer("dataset", "bike");
+    EADRL_TELEMETRY("one", {"n", 1});
+    {
+      TelemetryScope inner("run", "a");
+      EADRL_TELEMETRY("two", {"n", 2});
+    }
+    EADRL_TELEMETRY("three", {"n", 3});
+  }
+  EADRL_TELEMETRY("four", {"n", 4});
+  SetTelemetrySink(nullptr);
+
+  std::vector<TelemetryEvent> events = sink.TakeEvents();
+  ASSERT_EQ(events.size(), 4u);
+  // Context fields are appended after the event's own fields, outer first.
+  ASSERT_EQ(events[0].fields.size(), 2u);
+  EXPECT_STREQ(events[0].fields[1].key, "dataset");
+  EXPECT_EQ(events[0].fields[1].str, "bike");
+  ASSERT_EQ(events[1].fields.size(), 3u);
+  EXPECT_STREQ(events[1].fields[1].key, "dataset");
+  EXPECT_STREQ(events[1].fields[2].key, "run");
+  EXPECT_EQ(events[1].fields[2].str, "a");
+  ASSERT_EQ(events[2].fields.size(), 2u);
+  ASSERT_EQ(events[3].fields.size(), 1u);
+}
+
+TEST(ObsTelemetryScopeTest, SnapshotAndOverrideRestorePreviousContext) {
+  TelemetryScope scope("dataset", "taxi");
+  std::vector<TelemetryField> snapshot = TelemetryContext();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_STREQ(snapshot[0].key, "dataset");
+  EXPECT_EQ(snapshot[0].str, "taxi");
+
+  {
+    ScopedTelemetryContext override_ctx({});
+    EXPECT_TRUE(TelemetryContext().empty());
+  }
+  // The previous ambient context is restored when the override dies.
+  ASSERT_EQ(TelemetryContext().size(), 1u);
+  EXPECT_EQ(TelemetryContext()[0].str, "taxi");
+}
+
 }  // namespace
 }  // namespace eadrl::obs

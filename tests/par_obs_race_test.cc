@@ -137,6 +137,38 @@ TEST(ParObsRaceTest, TelemetryEmitFromWorkersDeliversEveryEvent) {
   }
 }
 
+TEST(ParObsRaceTest, TelemetryScopeFollowsTasksAcrossWorkers) {
+  // The submitter's ambient TelemetryScope fields must reach events emitted
+  // from pool workers — including doubly-nested tasks — so interleaved
+  // streams from concurrent datasets stay attributable.
+  par::ThreadPool pool(kThreads);
+  CollectingSink sink;
+  SetTelemetrySink(&sink);
+  {
+    TelemetryScope scope("dataset", "ds1");
+    par::ParallelFor(
+        0, 8,
+        [&](size_t outer) {
+          par::ParallelFor(
+              0, 4,
+              [&](size_t inner) {
+                EADRL_TELEMETRY("ctx_event", {"outer", outer},
+                                {"inner", inner});
+              },
+              {1, &pool});
+        },
+        {1, &pool});
+  }
+  SetTelemetrySink(nullptr);
+  std::vector<TelemetryEvent> events = sink.TakeEvents();
+  ASSERT_EQ(events.size(), 32u);
+  for (const auto& e : events) {
+    ASSERT_EQ(e.fields.size(), 3u);
+    EXPECT_STREQ(e.fields[2].key, "dataset");
+    EXPECT_EQ(e.fields[2].str, "ds1");
+  }
+}
+
 TEST(ParObsRaceTest, PoolOwnMetricsStayConsistentUnderLoad) {
   // The pool instruments itself; drive it hard and check the self-metrics
   // agree with the work actually done.

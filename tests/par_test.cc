@@ -161,6 +161,47 @@ TEST(TaskSeedTest, DeterministicAndOrderFree) {
   EXPECT_NE(TaskSeed(1, 0), TaskSeed(2, 0));
 }
 
+TEST(TaskGroupTest, CompletionRacingGroupDestructionIsSafe) {
+  // Regression for a use-after-free: the last task's completion signal used
+  // to touch the group's mutex/cv after decrementing the count, racing a
+  // waiter that saw zero and destroyed the stack-allocated group. Tiny tasks
+  // plus immediate destruction maximize that window; TSan (tools/check.sh)
+  // gives this test its teeth.
+  ThreadPool pool(4);
+  for (int round = 0; round < 500; ++round) {
+    std::atomic<int> calls{0};
+    {
+      TaskGroup group(&pool);
+      for (int t = 0; t < 4; ++t) {
+        group.Run([&calls] { calls.fetch_add(1); });
+      }
+      group.Wait();
+    }  // group destroyed the instant Wait returns.
+    EXPECT_EQ(calls.load(), 4);
+  }
+}
+
+TEST(ParseThreadCountTest, AcceptsPositiveIntegersOnly) {
+  EXPECT_EQ(ParseThreadCount("4", 9), 4u);
+  EXPECT_EQ(ParseThreadCount("1", 9), 1u);
+  // Missing, empty, garbage, trailing garbage, zero, negative: fallback.
+  EXPECT_EQ(ParseThreadCount(nullptr, 9), 9u);
+  EXPECT_EQ(ParseThreadCount("", 9), 9u);
+  EXPECT_EQ(ParseThreadCount("lots", 9), 9u);
+  EXPECT_EQ(ParseThreadCount("8x", 9), 9u);
+  EXPECT_EQ(ParseThreadCount("0", 9), 9u);
+  EXPECT_EQ(ParseThreadCount("-2", 9), 9u);
+}
+
+TEST(ParseThreadCountTest, ClampsHugeValues) {
+  // A typo like EADRL_THREADS=1000000 must not try to spawn a million
+  // threads: values above 4x hardware concurrency are clamped to it.
+  const size_t huge = ParseThreadCount("1000000", 1);
+  EXPECT_GE(huge, 1u);
+  EXPECT_LE(huge, 4 * static_cast<size_t>(std::max(
+                          1u, std::thread::hardware_concurrency())));
+}
+
 TEST(DefaultPoolTest, SetDefaultThreadsRebuildsThePool) {
   SetDefaultThreads(3);
   EXPECT_EQ(DefaultThreads(), 3u);
