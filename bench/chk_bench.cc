@@ -1,0 +1,98 @@
+// Cost of the eadrl::chk contract layer (google-benchmark).
+//
+// Each *Contract benchmark pairs with a *Baseline benchmark whose loop body
+// is identical except for the contract macro. This TU inherits the library's
+// EADRL_CHECKS setting (PUBLIC compile definition of the eadrl target), so:
+//
+//   default build (checks ON):   the pairs show what a live contract costs;
+//   -DEADRL_CHECKS=OFF build:    every pair must be within noise — the
+//                                macros expand to static_cast<void>(0) and
+//                                the argument expressions are never
+//                                evaluated. This is the PR's zero-cost
+//                                acceptance check.
+//
+// The library-path benchmarks (MlpForward, DdpgAct) track the end-to-end
+// hot paths the contracts were wired through.
+
+#include <benchmark/benchmark.h>
+
+#include "chk/chk.h"
+#include "common/rng.h"
+#include "math/vec.h"
+#include "nn/mlp.h"
+#include "rl/ddpg.h"
+
+namespace {
+
+eadrl::math::Vec MakeVec(size_t n) {
+  eadrl::Rng rng(7);
+  eadrl::math::Vec v(n);
+  for (double& x : v) x = rng.Uniform();
+  return v;
+}
+
+void BM_FiniteScanBaseline(benchmark::State& state) {
+  const eadrl::math::Vec v = MakeVec(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.data());
+  }
+}
+BENCHMARK(BM_FiniteScanBaseline)->Arg(16)->Arg(256);
+
+void BM_FiniteScanContract(benchmark::State& state) {
+  const eadrl::math::Vec v = MakeVec(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    EADRL_CHK_FINITE(v, "chk_bench vector");
+    benchmark::DoNotOptimize(v.data());
+  }
+}
+BENCHMARK(BM_FiniteScanContract)->Arg(16)->Arg(256);
+
+void BM_SimplexBaseline(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const eadrl::math::Vec w(n, 1.0 / static_cast<double>(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.data());
+  }
+}
+BENCHMARK(BM_SimplexBaseline)->Arg(10)->Arg(43);
+
+void BM_SimplexContract(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const eadrl::math::Vec w(n, 1.0 / static_cast<double>(n));
+  for (auto _ : state) {
+    EADRL_CHK_SIMPLEX(w, 1e-6, "chk_bench weights");
+    benchmark::DoNotOptimize(w.data());
+  }
+}
+BENCHMARK(BM_SimplexContract)->Arg(10)->Arg(43);
+
+// Library hot paths: the contracts wired through nn/ and rl/ ride along with
+// whatever EADRL_CHECKS the library was built with.
+
+void BM_MlpForward(benchmark::State& state) {
+  eadrl::Rng rng(3);
+  eadrl::nn::Mlp mlp({10, 64, 64, 43}, eadrl::nn::Activation::kRelu,
+                     eadrl::nn::Activation::kIdentity, rng);
+  const eadrl::math::Vec x = MakeVec(10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mlp.Forward(x));
+  }
+}
+BENCHMARK(BM_MlpForward);
+
+void BM_DdpgAct(benchmark::State& state) {
+  eadrl::rl::DdpgConfig cfg;
+  cfg.state_dim = 10;
+  cfg.action_dim = 43;
+  eadrl::rl::DdpgAgent agent(cfg);
+  const eadrl::math::Vec s(10, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.Act(s));
+  }
+}
+BENCHMARK(BM_DdpgAct);
+
+}  // namespace
+
+BENCHMARK_MAIN();

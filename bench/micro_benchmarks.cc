@@ -124,7 +124,8 @@ void BM_DemscOnlineStep(benchmark::State& state) {
   for (size_t t = 0; t < 60; ++t) {
     actuals[t] = rng.Uniform(0, 10);
     for (size_t i = 0; i < m; ++i) {
-      preds(t, i) = actuals[t] + rng.Normal(0, 0.5 + 0.1 * i);
+      preds(t, i) =
+          actuals[t] + rng.Normal(0, 0.5 + 0.1 * static_cast<double>(i));
     }
   }
   eadrl::baselines::DemscCombiner demsc;

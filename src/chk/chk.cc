@@ -1,0 +1,99 @@
+#include "chk/chk.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace eadrl::chk {
+namespace {
+
+std::atomic<FailureHandler> g_handler{nullptr};
+
+}  // namespace
+
+void SetFailureHandlerForTest(FailureHandler handler) {
+  g_handler.store(handler, std::memory_order_release);
+}
+
+namespace internal {
+
+// The out-of-line failure paths are compiled unconditionally: a translation
+// unit built with EADRL_CHK_FORCE_ON must link even when the library itself
+// was configured with EADRL_CHECKS=OFF.
+
+[[noreturn]] void FailContract(const char* file, int line, const char* what,
+                               const char* detail) {
+  char message[512];
+  std::snprintf(message, sizeof(message), "%s:%d: contract violated: [%s] %s",
+                file, line, what, detail);
+  FailureHandler handler = g_handler.load(std::memory_order_acquire);
+  if (handler != nullptr) {
+    handler(message);  // must not return (throws in tests).
+  }
+  std::fprintf(stderr, "%s\n", message);
+  std::fflush(stderr);
+  std::abort();
+}
+
+[[noreturn]] void FailContractF(const char* file, int line, const char* what,
+                                const char* detail_format, ...) {
+  char detail[256];
+  va_list args;
+  va_start(args, detail_format);
+  std::vsnprintf(detail, sizeof(detail), detail_format, args);
+  va_end(args);
+  FailContract(file, line, what, detail);
+}
+
+[[noreturn]] void FailFinite(const char* file, int line, const char* what,
+                             size_t index, double value) {
+  FailContractF(file, line, what, "element %zu is %s", index,
+                std::isnan(value) ? "nan" : "inf");
+}
+
+[[noreturn]] void FailSimplex(const char* file, int line, const char* what,
+                              size_t size, size_t bad_index, double bad_value,
+                              double sum, double tol) {
+  if (bad_index < size) {
+    FailContractF(file, line, what,
+                  "weight %zu of %zu is %g, outside the simplex (tol %g)",
+                  bad_index, size, bad_value, tol);
+  }
+  FailContractF(file, line, what, "weights sum to %.12g, not 1 (tol %g)", sum,
+                tol);
+}
+
+void CheckShape(size_t got_rows, size_t got_cols, size_t want_rows,
+                size_t want_cols, const char* what, const char* file,
+                int line) {
+  if (got_rows != want_rows || got_cols != want_cols) {
+    FailContractF(file, line, what, "shape is %zux%zu, want %zux%zu", got_rows,
+                  got_cols, want_rows, want_cols);
+  }
+}
+
+void CheckDim(size_t got, size_t want, const char* what, const char* file,
+              int line) {
+  if (got != want) {
+    FailContractF(file, line, what, "dimension is %zu, want %zu", got, want);
+  }
+}
+
+void CheckBound(size_t index, size_t size, const char* what, const char* file,
+                int line) {
+  if (index >= size) {
+    FailContractF(file, line, what, "index %zu out of bounds [0, %zu)", index,
+                  size);
+  }
+}
+
+void CheckRange(double x, double lo, double hi, const char* what,
+                const char* file, int line) {
+  if (!(x >= lo && x <= hi)) {  // also catches nan.
+    FailContractF(file, line, what, "value %g outside [%g, %g]", x, lo, hi);
+  }
+}
+
+}  // namespace internal
+}  // namespace eadrl::chk

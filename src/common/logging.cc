@@ -29,17 +29,28 @@ const char* LevelName(LogLevel level) {
 class StderrLogSink : public LogSink {
  public:
   void Write(const LogRecord& record) override {
-    std::string line = "[" + FormatIso8601Utc(record.unix_seconds) + " " +
-                       LevelName(record.level) + " " + record.file + ":" +
-                       std::to_string(record.line) + "] " + record.message +
-                       "\n";
+    // Built with append rather than one operator+ chain: GCC 12's -Wrestrict
+    // mis-fires on the inlined char_traits::copy of the chained form.
+    std::string line = "[";
+    line += FormatIso8601Utc(record.unix_seconds);
+    line += ' ';
+    line += LevelName(record.level);
+    line += ' ';
+    line += record.file;
+    line += ':';
+    line += std::to_string(record.line);
+    line += "] ";
+    line += record.message;
+    line += '\n';
     std::fputs(line.c_str(), stderr);
     std::fflush(stderr);
   }
 };
 
 StderrLogSink& DefaultSink() {
-  static StderrLogSink* sink = new StderrLogSink();
+  static StderrLogSink* sink =
+      new StderrLogSink();  // NOLINT(naked-new): leaked on purpose so logging
+                            // works during static destruction
   return *sink;
 }
 

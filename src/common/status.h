@@ -70,10 +70,10 @@ class StatusOr {
  public:
   /// Implicit construction from a value, mirroring absl::StatusOr, so
   /// functions can `return value;` directly.
-  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  StatusOr(T value) : value_(std::move(value)) {}  // intentionally implicit
 
   /// Implicit construction from an error status.
-  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {  // intentionally implicit
     EADRL_CHECK(!status_.ok());
   }
 

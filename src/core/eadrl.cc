@@ -5,6 +5,7 @@
 #include <fstream>
 #include <iomanip>
 
+#include "chk/chk.h"
 #include "common/check.h"
 #include "common/logging.h"
 #include "math/stats.h"
@@ -70,12 +71,12 @@ Status EadrlCombiner::Initialize(const math::Matrix& val_preds,
     }
   }
 
-  rl::EnsembleEnv env(reduced, val_actuals, config_.omega,
-                      config_.reward_type, config_.diversity_coef);
+  rl::EnsembleEnv dim_env(reduced, val_actuals, config_.omega,
+                          config_.reward_type, config_.diversity_coef);
 
   rl::DdpgConfig ddpg;
-  ddpg.state_dim = env.state_dim();
-  ddpg.action_dim = env.action_dim();
+  ddpg.state_dim = dim_env.state_dim();
+  ddpg.action_dim = dim_env.action_dim();
   ddpg.actor_hidden = config_.actor_hidden;
   ddpg.critic_hidden = config_.critic_hidden;
   ddpg.actor_lr = config_.actor_lr;
@@ -372,6 +373,7 @@ math::Vec EadrlCombiner::ReduceToActive(const math::Vec& preds) const {
 math::Vec EadrlCombiner::Weights() const {
   EADRL_CHECK(initialized_);
   math::Vec reduced = agent_->Act(CurrentState());
+  EADRL_CHK_SIMPLEX(reduced, 1e-6, "EadrlCombiner::Weights action");
   if (active_models_.size() == num_models_) return reduced;
   // Expand pruned weights back to the full pool (zeros elsewhere).
   math::Vec full(num_models_, 0.0);
@@ -384,14 +386,19 @@ math::Vec EadrlCombiner::Weights() const {
 double EadrlCombiner::Predict(const math::Vec& preds) {
   EADRL_CHECK(initialized_);
   EADRL_CHECK_EQ(preds.size(), num_models_);
+  EADRL_CHK_FINITE(preds, "EadrlCombiner::Predict member predictions");
   obs::ScopedTimer timer(predict_latency_hist_);
   last_state_ = CurrentState();
   math::Vec reduced_action = agent_->Act(last_state_);
+  // The paper's normalization guarantee: every served combination is a
+  // convex mixture of the member forecasts.
+  EADRL_CHK_SIMPLEX(reduced_action, 1e-6, "EadrlCombiner::Predict action");
   last_action_ = reduced_action;
   has_last_action_ = true;
 
   math::Vec reduced_preds = ReduceToActive(preds);
   double pred = Combine(reduced_action, reduced_preds);
+  EADRL_CHK_FINITE_VALUE(pred, "EadrlCombiner::Predict ensemble output");
   // Algorithm 1: the state window rolls forward with the ensemble output.
   window_.push_back(pred);
   window_.pop_front();

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "chk/chk.h"
+
 namespace eadrl::math {
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
@@ -54,6 +56,7 @@ Matrix Matrix::Transpose() const {
 }
 
 Matrix Matrix::MatMul(const Matrix& other) const {
+  EADRL_CHK_DIM(other.rows_, cols_, "Matrix::MatMul inner dimension");
   EADRL_CHECK_EQ(cols_, other.rows_);
   Matrix out(rows_, other.cols_);
   for (size_t i = 0; i < rows_; ++i) {
@@ -69,6 +72,7 @@ Matrix Matrix::MatMul(const Matrix& other) const {
 }
 
 Vec Matrix::MatVec(const Vec& x) const {
+  EADRL_CHK_DIM(x.size(), cols_, "Matrix::MatVec operand");
   EADRL_CHECK_EQ(x.size(), cols_);
   Vec out(rows_, 0.0);
   for (size_t i = 0; i < rows_; ++i) {
@@ -81,6 +85,7 @@ Vec Matrix::MatVec(const Vec& x) const {
 }
 
 Vec Matrix::TransposeMatVec(const Vec& x) const {
+  EADRL_CHK_DIM(x.size(), rows_, "Matrix::TransposeMatVec operand");
   EADRL_CHECK_EQ(x.size(), rows_);
   Vec out(cols_, 0.0);
   for (size_t i = 0; i < rows_; ++i) {

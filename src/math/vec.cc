@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "chk/chk.h"
 #include "common/check.h"
 
 namespace eadrl::math {
@@ -58,6 +59,9 @@ Vec Softmax(const Vec& a) {
     sum += out[i];
   }
   for (double& v : out) v /= sum;
+  // Softmax of any finite logits lies on the simplex; a violation means the
+  // logits (i.e. the upstream network) were already poisoned.
+  EADRL_CHK_SIMPLEX(out, 1e-6, "math::Softmax output");
   return out;
 }
 
@@ -98,6 +102,7 @@ Vec ProjectToSimplex(const Vec& a) {
   }
   Vec out(a.size());
   for (size_t i = 0; i < a.size(); ++i) out[i] = std::max(0.0, a[i] - theta);
+  EADRL_CHK_SIMPLEX(out, 1e-6, "math::ProjectToSimplex output");
   return out;
 }
 

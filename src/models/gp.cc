@@ -39,7 +39,7 @@ Status GaussianProcessRegressor::Fit(const math::Matrix& x,
     math::Matrix xs(params_.max_points, x.cols());
     math::Vec ys(params_.max_points);
     for (size_t i = 0; i < params_.max_points; ++i) {
-      size_t src = static_cast<size_t>(i * stride);
+      size_t src = static_cast<size_t>(static_cast<double>(i) * stride);
       xs.SetRow(i, x.Row(src));
       ys[i] = y[src];
     }

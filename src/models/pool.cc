@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "chk/chk.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "obs/metrics.h"
@@ -297,6 +298,7 @@ std::vector<std::unique_ptr<Forecaster>> FitPool(
   par::ParallelFor(
       0, n,
       [&](size_t i) {
+        EADRL_CHK_BOUND(i, n, "FitPool fit slot");
         obs::ScopedTimer timer(fit_hist, &fit_seconds[i]);
         statuses[i] = pool[i]->Fit(train);
       },

@@ -86,8 +86,10 @@ int RegressionTree::Build(const math::Matrix& x, const math::Vec& y,
       if (xv == xn) continue;  // cannot split between equal values.
       double right_sum = sum - left_sum;
       double right_sq = sum_sq - left_sq;
-      double left_sse = left_sq - left_sum * left_sum / left_n;
-      double right_sse = right_sq - right_sum * right_sum / right_n;
+      double left_sse =
+          left_sq - left_sum * left_sum / static_cast<double>(left_n);
+      double right_sse =
+          right_sq - right_sum * right_sum / static_cast<double>(right_n);
       double gain = sse - left_sse - right_sse;
       if (gain > best_gain) {
         best_gain = gain;

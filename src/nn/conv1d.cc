@@ -1,5 +1,6 @@
 #include "nn/conv1d.h"
 
+#include "chk/chk.h"
 #include "common/check.h"
 #include "nn/init.h"
 
@@ -18,6 +19,10 @@ Conv1d::Conv1d(size_t in_channels, size_t out_channels, size_t kernel_size,
 }
 
 math::Matrix Conv1d::Forward(const math::Matrix& input) {
+  EADRL_CHK_DIM(input.cols(), in_channels_, "Conv1d::Forward input channels");
+  EADRL_CHK(input.rows() >= kernel_size_,
+            "Conv1d::Forward input shorter than kernel");
+  EADRL_CHK_FINITE(input.data(), "Conv1d::Forward input");
   EADRL_CHECK_EQ(input.cols(), in_channels_);
   EADRL_CHECK_GE(input.rows(), kernel_size_);
   const size_t out_t = input.rows() - kernel_size_ + 1;
@@ -46,6 +51,9 @@ math::Matrix Conv1d::Forward(const math::Matrix& input) {
 
 math::Matrix Conv1d::Backward(const math::Matrix& grad_output) {
   const size_t out_t = last_pre_activation_.rows();
+  EADRL_CHK_SHAPE(grad_output.rows(), grad_output.cols(), out_t,
+                  out_channels_, "Conv1d::Backward grad_output");
+  EADRL_CHK_FINITE(grad_output.data(), "Conv1d::Backward grad_output");
   EADRL_CHECK_EQ(grad_output.rows(), out_t);
   EADRL_CHECK_EQ(grad_output.cols(), out_channels_);
 

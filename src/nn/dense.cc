@@ -1,5 +1,6 @@
 #include "nn/dense.h"
 
+#include "chk/chk.h"
 #include "common/check.h"
 #include "nn/init.h"
 
@@ -15,6 +16,8 @@ Dense::Dense(size_t in_dim, size_t out_dim, Activation act, Rng& rng)
 }
 
 math::Vec Dense::Forward(const math::Vec& input) {
+  EADRL_CHK_DIM(input.size(), in_dim_, "Dense::Forward input");
+  EADRL_CHK_FINITE(input, "Dense::Forward input");
   EADRL_CHECK_EQ(input.size(), in_dim_);
   last_input_ = input;
   last_pre_activation_ = weight_.value.MatVec(input);
@@ -25,6 +28,8 @@ math::Vec Dense::Forward(const math::Vec& input) {
 }
 
 math::Vec Dense::Backward(const math::Vec& grad_output) {
+  EADRL_CHK_DIM(grad_output.size(), out_dim_, "Dense::Backward grad_output");
+  EADRL_CHK_FINITE(grad_output, "Dense::Backward grad_output");
   EADRL_CHECK_EQ(grad_output.size(), out_dim_);
   EADRL_CHECK_EQ(last_input_.size(), in_dim_);
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "chk/chk.h"
 #include "common/check.h"
 #include "nn/activation.h"
 #include "nn/init.h"
@@ -33,6 +34,8 @@ std::vector<math::Vec> Lstm::Forward(const std::vector<math::Vec>& inputs) {
   hs.reserve(inputs.size());
 
   for (const math::Vec& x : inputs) {
+    EADRL_CHK_DIM(x.size(), input_size_, "Lstm::Forward step input");
+    EADRL_CHK_FINITE(x, "Lstm::Forward step input");
     EADRL_CHECK_EQ(x.size(), input_size_);
     math::Vec z = w_.value.MatVec(x);
     math::Vec uz = u_.value.MatVec(h_prev);
@@ -63,6 +66,9 @@ std::vector<math::Vec> Lstm::Forward(const std::vector<math::Vec>& inputs) {
     hs.push_back(h_new);
     cache_.push_back(std::move(sc));
   }
+  // A non-finite hidden state here means the recurrent weights diverged —
+  // catch it where the stage is still identifiable.
+  EADRL_CHK_FINITE(hs.back(), "Lstm::Forward final hidden state");
   return hs;
 }
 

@@ -1,5 +1,6 @@
 #include "nn/mlp.h"
 
+#include "chk/chk.h"
 #include "common/check.h"
 
 namespace eadrl::nn {
@@ -18,6 +19,9 @@ Mlp::Mlp(const std::vector<size_t>& layer_sizes, Activation hidden_act,
 math::Vec Mlp::Forward(const math::Vec& input) {
   math::Vec h = input;
   for (auto& layer : layers_) h = layer->Forward(h);
+  // Finite inputs (checked per layer) with a non-finite output pins the
+  // corruption on this network's own weights.
+  EADRL_CHK_FINITE(h, "Mlp::Forward output");
   return h;
 }
 

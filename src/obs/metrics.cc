@@ -401,7 +401,9 @@ void MetricRegistry::Reset() {
 }
 
 MetricRegistry& MetricRegistry::Default() {
-  static MetricRegistry* registry = new MetricRegistry();
+  static MetricRegistry* registry =
+      new MetricRegistry();  // NOLINT(naked-new): leaked on purpose so
+                             // late-exiting threads can still record
   return *registry;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <sstream>
 #include <utility>
 
@@ -80,6 +81,22 @@ ScopedTelemetryContext::ScopedTelemetryContext(
 
 ScopedTelemetryContext::~ScopedTelemetryContext() {
   MutableContext() = std::move(saved_);
+}
+
+const std::vector<const char*>& RegisteredEvents() {
+  static const std::vector<const char*> kEvents = {
+#define EADRL_EVENT(kind, description) #kind,
+#include "obs/events.def"
+#undef EADRL_EVENT
+  };
+  return kEvents;
+}
+
+bool IsRegisteredEvent(const char* kind) {
+  for (const char* name : RegisteredEvents()) {
+    if (std::strcmp(name, kind) == 0) return true;
+  }
+  return false;
 }
 
 void Emit(const char* kind, std::vector<TelemetryField> fields) {

@@ -120,6 +120,15 @@ inline bool TelemetryEnabled() {
 /// installed sink, if any.
 void Emit(const char* kind, std::vector<TelemetryField> fields);
 
+/// True when `kind` is declared in src/obs/events.def — the checked-in
+/// registry of every event the library emits. eadrl_lint statically enforces
+/// registration for call sites under src/; this runtime view exists for
+/// consumers that route on event kinds (dashboards, tests).
+bool IsRegisteredEvent(const char* kind);
+
+/// Names of all registered events, in events.def order (count via size()).
+const std::vector<const char*>& RegisteredEvents();
+
 /// Emission macro used by the instrumented code: the enabled check happens
 /// before the field list is materialized, so a disabled emission costs one
 /// atomic load and a predictable branch.

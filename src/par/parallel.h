@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "chk/chk.h"
 #include "par/thread_pool.h"
 
 namespace eadrl::par {
@@ -80,6 +81,9 @@ void ParallelFor(size_t begin, size_t end, const Body& body,
   TaskGroup group(&pool);
   for (size_t lo = begin; lo < end; lo += grain) {
     const size_t hi = lo + grain < end ? lo + grain : end;
+    // Chunking must tile [begin, end) exactly — a bad grain computation
+    // would silently skip or double-run indices on some thread counts.
+    EADRL_CHK(lo < hi && hi <= end, "ParallelFor chunk bounds");
     group.Run([&body, lo, hi] {
       for (size_t i = lo; i < hi; ++i) body(i);
     });
@@ -94,7 +98,13 @@ template <typename R, typename Fn>
 std::vector<R> ParallelMap(size_t n, const Fn& fn,
                            const ForOptions& options = {}) {
   std::vector<R> out(n);
-  ParallelFor(0, n, [&](size_t i) { out[i] = fn(i); }, options);
+  ParallelFor(
+      0, n,
+      [&](size_t i) {
+        EADRL_CHK_BOUND(i, out.size(), "ParallelMap slot index");
+        out[i] = fn(i);
+      },
+      options);
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <exception>
 
+#include "chk/chk.h"
 #include "common/logging.h"
 
 namespace eadrl::par {
@@ -88,6 +89,7 @@ void ThreadPool::Submit(std::function<void()> task) {
 bool ThreadPool::PopTask(size_t self, bool is_worker, size_t min_depth,
                          Task* task) {
   const size_t n = queues_.size();
+  EADRL_CHK_BOUND(self, n, "ThreadPool::PopTask queue slot");
   if (is_worker) {
     WorkerQueue& own = *queues_[self];
     std::lock_guard<std::mutex> lock(own.mu);
@@ -159,6 +161,7 @@ bool ThreadPool::TryRunOneTask() {
 }
 
 void ThreadPool::WorkerLoop(size_t worker_index) {
+  EADRL_CHK_BOUND(worker_index, queues_.size(), "ThreadPool worker index");
   tl_pool = this;
   tl_worker = worker_index;
   Task task;

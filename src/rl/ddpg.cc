@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "chk/chk.h"
 #include "common/check.h"
 #include "math/vec.h"
 #include "nn/param.h"
@@ -83,6 +84,11 @@ DdpgAgent::DdpgAgent(const DdpgConfig& config)
           "eadrl_ddpg_action_entropy")) {
   EADRL_CHECK_GT(config_.state_dim, 0u);
   EADRL_CHECK_GT(config_.action_dim, 0u);
+  EADRL_CHK(config_.tau > 0.0 && config_.tau <= 1.0,
+            "DdpgConfig.tau in (0, 1]");
+  EADRL_CHK_RANGE(config_.gamma, 0.0, 1.0, "DdpgConfig.gamma");
+  EADRL_CHK(config_.batch_size > 0, "DdpgConfig.batch_size positive");
+  EADRL_CHK(config_.grad_clip > 0.0, "DdpgConfig.grad_clip positive");
 
   const bool linear_critic =
       config_.critic_form == CriticForm::kLinearInAction;
@@ -127,7 +133,9 @@ math::Vec DdpgAgent::CriticInput(const math::Vec& state,
 math::Vec DdpgAgent::Act(const math::Vec& state) {
   math::Vec logits = actor_->Forward(state);
   for (double& v : logits) v *= config_.logit_scale;
-  return math::Softmax(logits);
+  math::Vec action = math::Softmax(logits);
+  EADRL_CHK_SIMPLEX(action, 1e-6, "DdpgAgent::Act action");
+  return action;
 }
 
 math::Vec DdpgAgent::ActWithNoise(const math::Vec& state,
@@ -171,6 +179,11 @@ void DdpgAgent::SetActorWeights(const std::vector<math::Matrix>& weights) {
   std::vector<nn::Param*> params = actor_->Params();
   EADRL_CHECK_EQ(params.size(), weights.size());
   for (size_t i = 0; i < params.size(); ++i) {
+    EADRL_CHK_SHAPE(weights[i].rows(), weights[i].cols(),
+                    params[i]->value.rows(), params[i]->value.cols(),
+                    "DdpgAgent::SetActorWeights weight block");
+    EADRL_CHK_FINITE(weights[i].data(),
+                     "DdpgAgent::SetActorWeights actor weights");
     params[i]->value = weights[i];
   }
 }
@@ -377,10 +390,15 @@ double DdpgAgent::UpdateParallel(const std::vector<Transition>& batch) {
 
 double DdpgAgent::FinishUpdate(double critic_loss, double abs_q_sum,
                                double entropy_sum, double inv_n) {
+  // A diverged critic or an exploding policy gradient corrupts the learned
+  // combination policy silently; fail here, where the update is attributable.
+  EADRL_CHK_FINITE_VALUE(critic_loss, "DdpgAgent::Update critic loss");
   // The actor loop accumulated gradients inside the critic too; discard them.
   nn::ZeroGrads(critic_->Params());
   double actor_grad_norm =
       nn::ClipGradNorm(actor_->Params(), config_.grad_clip);
+  EADRL_CHK_FINITE_VALUE(actor_grad_norm,
+                         "DdpgAgent::Update actor gradient norm");
   actor_opt_.StepAndZero();
 
   // --- Soft target updates. ------------------------------------------------

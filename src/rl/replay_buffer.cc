@@ -11,6 +11,10 @@ ReplayBuffer::ReplayBuffer(size_t capacity) : capacity_(capacity) {
 }
 
 void ReplayBuffer::Add(Transition t) {
+  // A non-finite reward silently poisons every Bellman target sampled from
+  // this buffer; reject it at the door where the producer is on the stack.
+  EADRL_CHK_FINITE_VALUE(t.reward, "ReplayBuffer::Add reward");
+  EADRL_CHK_SIMPLEX(t.action, 1e-6, "ReplayBuffer::Add action");
   if (buffer_.size() < capacity_) {
     buffer_.push_back(std::move(t));
   } else {
@@ -29,6 +33,7 @@ double ReplayBuffer::RewardMedian() const {
 std::vector<Transition> ReplayBuffer::Sample(size_t n,
                                              SamplingStrategy strategy,
                                              Rng& rng) const {
+  EADRL_CHK(n > 0, "ReplayBuffer::Sample batch size");
   EADRL_CHECK(!buffer_.empty());
   std::vector<Transition> batch;
   batch.reserve(n);

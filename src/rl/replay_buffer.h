@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "chk/chk.h"
 #include "common/rng.h"
 #include "rl/transition.h"
 
@@ -30,7 +31,10 @@ class ReplayBuffer {
   size_t capacity() const { return capacity_; }
   bool empty() const { return buffer_.empty(); }
 
-  const Transition& at(size_t i) const { return buffer_[i]; }
+  const Transition& at(size_t i) const {
+    EADRL_CHK_BOUND(i, buffer_.size(), "ReplayBuffer::at");
+    return buffer_[i];
+  }
 
   /// Draws a batch of `n` transitions (with replacement) using the strategy.
   /// Median-split degrades to uniform while the buffer holds fewer than two

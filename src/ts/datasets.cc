@@ -270,7 +270,8 @@ math::Vec Generate(int id, size_t n, Rng& rng) {
 
 const std::vector<DatasetSpec>& AllDatasetSpecs() {
   static const std::vector<DatasetSpec>& specs =
-      *new std::vector<DatasetSpec>(BuildSpecs());
+      *new std::vector<DatasetSpec>(  // NOLINT(naked-new): leaked on purpose
+          BuildSpecs());              // to dodge destruction-order issues
   return specs;
 }
 

@@ -2,12 +2,21 @@
 
 #include <cmath>
 
+#include "chk/chk.h"
+
 namespace eadrl::ts {
 
 PageHinkley::PageHinkley(double delta, double lambda, double alpha)
-    : delta_(delta), lambda_(lambda), alpha_(alpha) {}
+    : delta_(delta), lambda_(lambda), alpha_(alpha) {
+  EADRL_CHK(lambda_ > 0.0, "PageHinkley.lambda positive");
+  EADRL_CHK(alpha_ > 0.0 && alpha_ <= 1.0, "PageHinkley.alpha in (0, 1]");
+}
 
 bool PageHinkley::Update(double value) {
+  // One non-finite error observation would stick in the forgetting mean and
+  // disarm the detector for the rest of the stream.
+  EADRL_CHK_FINITE_VALUE(value, "PageHinkley::Update observation");
+  EADRL_CHK_FINITE_VALUE(cumulative_, "PageHinkley cumulative statistic");
   ++n_;
   // Incremental (forgetting) mean.
   mean_ = mean_ + (value - mean_) / static_cast<double>(n_);
@@ -29,9 +38,15 @@ void PageHinkley::Reset() {
 }
 
 WindowDriftDetector::WindowDriftDetector(size_t window, double threshold)
-    : window_(window), threshold_(threshold) {}
+    : window_(window), threshold_(threshold) {
+  // window < 4 would make a half window empty (mean of zero values) and
+  // underflow the window_ - 2 variance denominator below.
+  EADRL_CHK(window_ >= 4, "WindowDriftDetector.window >= 4");
+  EADRL_CHK(threshold_ > 0.0, "WindowDriftDetector.threshold positive");
+}
 
 bool WindowDriftDetector::Update(double value) {
+  EADRL_CHK_FINITE_VALUE(value, "WindowDriftDetector::Update observation");
   window_values_.push_back(value);
   if (window_values_.size() > window_) window_values_.pop_front();
   if (window_values_.size() < window_) return false;

@@ -1,0 +1,31 @@
+#ifndef EADRL_TESTS_CHK_FIXTURES_CHK_FIXTURES_H_
+#define EADRL_TESTS_CHK_FIXTURES_CHK_FIXTURES_H_
+
+#include <cstddef>
+#include <vector>
+
+// Two fixture translation units compiled with the per-TU force macros
+// (EADRL_CHK_FORCE_ON in forced_on.cc, EADRL_CHK_FORCE_OFF in forced_off.cc)
+// so tests/chk_test.cc can observe both contract modes in one binary, no
+// matter how the build configured EADRL_CHECKS.
+
+namespace eadrl::chk_testing {
+
+// forced_on.cc — contracts guaranteed live.
+bool ForcedOnEnabled();
+void ForcedOnSimplex(const std::vector<double>& weights);
+void ForcedOnFinite(const std::vector<double>& values);
+void ForcedOnBound(std::size_t index, std::size_t size);
+void ForcedOnRange(double x, double lo, double hi);
+
+// forced_off.cc — contracts guaranteed compiled out.
+bool ForcedOffEnabled();
+/// Returns true if the disabled EADRL_CHK_FINITE evaluated its argument
+/// expression (it must not — that is the zero-cost guarantee).
+bool ForcedOffEvaluatesArguments();
+/// Must be a no-op for any input, valid or not.
+void ForcedOffSimplex(const std::vector<double>& weights);
+
+}  // namespace eadrl::chk_testing
+
+#endif  // EADRL_TESTS_CHK_FIXTURES_CHK_FIXTURES_H_

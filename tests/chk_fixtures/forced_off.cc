@@ -1,0 +1,32 @@
+// Compiled with contracts forced OFF regardless of the build's EADRL_CHECKS.
+#define EADRL_CHK_FORCE_OFF 1
+
+#include "chk/chk.h"
+
+#include "chk_fixtures.h"
+
+namespace eadrl::chk_testing {
+
+bool ForcedOffEnabled() { return EADRL_CHK_ENABLED != 0; }
+
+bool ForcedOffEvaluatesArguments() {
+  bool evaluated = false;
+  const std::vector<double> dummy = {1.0};
+  auto touch = [&]() -> const std::vector<double>& {
+    evaluated = true;
+    return dummy;
+  };
+  EADRL_CHK_FINITE(touch(), "forced-off argument evaluation");
+  // The disabled macro expands to static_cast<void>(0), dropping `touch()`
+  // unevaluated; keep the names referenced so -Werror stays quiet.
+  static_cast<void>(touch);
+  static_cast<void>(dummy);
+  return evaluated;
+}
+
+void ForcedOffSimplex(const std::vector<double>& weights) {
+  EADRL_CHK_SIMPLEX(weights, 1e-6, "forced-off simplex");
+  static_cast<void>(weights);
+}
+
+}  // namespace eadrl::chk_testing

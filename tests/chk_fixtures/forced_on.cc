@@ -1,0 +1,28 @@
+// Compiled with contracts forced ON regardless of the build's EADRL_CHECKS.
+#define EADRL_CHK_FORCE_ON 1
+
+#include "chk/chk.h"
+
+#include "chk_fixtures.h"
+
+namespace eadrl::chk_testing {
+
+bool ForcedOnEnabled() { return EADRL_CHK_ENABLED != 0; }
+
+void ForcedOnSimplex(const std::vector<double>& weights) {
+  EADRL_CHK_SIMPLEX(weights, 1e-6, "forced-on simplex");
+}
+
+void ForcedOnFinite(const std::vector<double>& values) {
+  EADRL_CHK_FINITE(values, "forced-on finite");
+}
+
+void ForcedOnBound(std::size_t index, std::size_t size) {
+  EADRL_CHK_BOUND(index, size, "forced-on bound");
+}
+
+void ForcedOnRange(double x, double lo, double hi) {
+  EADRL_CHK_RANGE(x, lo, hi, "forced-on range");
+}
+
+}  // namespace eadrl::chk_testing

@@ -84,8 +84,8 @@ TEST_P(PoolProtocol, NamesAreStable) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllPoolModels, PoolProtocol, ::testing::Range<size_t>(0, 43),
-    [](const ::testing::TestParamInfo<size_t>& info) {
-      std::string name = FittedPool::Get().models()[info.param]->name();
+    [](const ::testing::TestParamInfo<size_t>& param_info) {
+      std::string name = FittedPool::Get().models()[param_info.param]->name();
       for (char& c : name) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }

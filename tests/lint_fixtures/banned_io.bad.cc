@@ -1,0 +1,7 @@
+#include <cstdio>
+#include <iostream>
+
+void Report(double loss) {
+  std::cout << "loss=" << loss << "\n";
+  printf("loss=%f\n", loss);
+}

@@ -1,0 +1,9 @@
+#include <cstdio>
+
+void Report(double loss) {
+  // fprintf/snprintf to an explicit stream are the logging backend's tools
+  // and stay legal everywhere.
+  std::fprintf(stderr, "loss=%f\n", loss);
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "loss=%f", loss);
+}

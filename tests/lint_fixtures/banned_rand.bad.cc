@@ -1,0 +1,6 @@
+#include <cstdlib>
+
+int Roll() {
+  std::srand(42);
+  return std::rand() % 6;
+}

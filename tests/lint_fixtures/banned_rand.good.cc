@@ -1,0 +1,15 @@
+#include <string>
+
+#include "fake/die.h"
+
+// Mentions of rand() in comments are fine, as are string literals and
+// member functions of the same name on someone else's type.
+int Roll(Die& die) {
+  const std::string doc = "uses rand() internally";  // just a string
+  const char* raw = R"(srand(7); rand();)";
+  static_cast<void>(doc);
+  static_cast<void>(raw);
+  return die.rand();
+}
+
+int RollPtr(Die* die) { return die->rand(); }

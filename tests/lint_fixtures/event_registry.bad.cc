@@ -1,0 +1,5 @@
+#include "obs/telemetry.h"
+
+void Train() {
+  EADRL_TELEMETRY("totally_unregistered_kind", {{"step", "1"}});
+}

@@ -1,0 +1,7 @@
+#include "obs/telemetry.h"
+
+void Train() {
+  // Spans lines, like the real emit sites.
+  EADRL_TELEMETRY(
+      "episode", {{"step", "1"}});
+}

@@ -1,0 +1,6 @@
+#ifndef EADRL_FAKE_GUARDED_H_
+#define EADRL_FAKE_GUARDED_H_
+
+int Answer();
+
+#endif  // EADRL_FAKE_GUARDED_H_

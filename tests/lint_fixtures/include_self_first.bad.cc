@@ -1,0 +1,5 @@
+#include <vector>
+
+#include "fake/include_self_first.h"
+
+int Size(const std::vector<int>& v) { return static_cast<int>(v.size()); }

@@ -1,0 +1,5 @@
+int* Make() {
+  int* p = new int(7);
+  delete p;
+  return new int(9);
+}

@@ -1,0 +1,16 @@
+#include <memory>
+
+class NoCopy {
+ public:
+  NoCopy() = default;
+  NoCopy(const NoCopy&) = delete;
+  NoCopy& operator=(const NoCopy&) = delete;
+};
+
+NoCopy& Singleton() {
+  static NoCopy* instance =
+      new NoCopy();  // NOLINT(naked-new): intentional leak for the fixture
+  return *instance;
+}
+
+std::unique_ptr<int> Make() { return std::make_unique<int>(7); }

@@ -1,0 +1,6 @@
+int Clean() {
+  int x = 1;  // NOLINT(banned-rand)
+  int y = 2;  // NOLINT
+  int z = 3;  // NOLINT(no-such-rule)
+  return x + y + z;
+}

@@ -1,0 +1,5 @@
+#include <cstdlib>
+
+int Roll() {
+  return std::rand();  // NOLINT(banned-rand): fixture exercises suppression
+}

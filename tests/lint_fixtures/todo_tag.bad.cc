@@ -1,0 +1,4 @@
+// TODO: wire this through the combiner
+int Pending() {
+  return 0;  // FIXME handle the empty-pool case
+}

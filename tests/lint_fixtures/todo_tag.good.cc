@@ -1,0 +1,4 @@
+// TODO(eadrl-17): wire this through the combiner
+int Pending() {
+  return 0;  // FIXME(eadrl-18): handle the empty-pool case
+}

@@ -1,0 +1,8 @@
+#include <chrono>
+#include <ctime>
+
+double Stamp() {
+  auto now = std::chrono::system_clock::now();
+  static_cast<void>(now);
+  return static_cast<double>(time(nullptr));
+}

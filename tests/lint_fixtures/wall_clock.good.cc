@@ -1,0 +1,8 @@
+#include <chrono>
+
+// Monotonic duration measurement is always fine; only calendar time is
+// restricted to src/common and src/obs.
+double ElapsedSeconds(std::chrono::steady_clock::time_point start) {
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}

@@ -1,0 +1,179 @@
+// Self-test for eadrl_lint: every rule must fire on its known-bad fixture
+// and stay silent on the matching known-good fixture. Fixtures live in
+// tests/lint_fixtures/ (skipped by the eadrl_lint directory walker and not
+// compiled — some are deliberately ill-formed). The fixture *contents* come
+// from disk; the *path* each is checked under is chosen per case, because
+// several rules are scope-sensitive (src/-only bans, clock-owner
+// directories, guard canonicalization).
+
+#include "tools/lint/lint.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace eadrl::lint {
+namespace {
+
+std::string ReadFixture(const std::string& name) {
+  const std::string path = std::string(EADRL_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+Config RegistryWith(std::vector<std::string> kinds) {
+  Config config;
+  config.have_events_registry = true;
+  size_t line = 1;
+  for (std::string& kind : kinds) {
+    config.registered_events.emplace(std::move(kind), line++);
+  }
+  return config;
+}
+
+std::vector<std::string> RuleIds(const std::vector<Finding>& findings) {
+  std::vector<std::string> ids;
+  for (const Finding& f : findings) ids.push_back(f.rule);
+  return ids;
+}
+
+struct FixtureCase {
+  const char* fixture;        // file under tests/lint_fixtures/
+  const char* pretend_path;   // repo-relative path the rule scoping sees
+  std::vector<std::string> expect_rules;  // in (line, rule) order
+};
+
+class FixtureTest : public ::testing::TestWithParam<FixtureCase> {};
+
+TEST_P(FixtureTest, FiresExactlyTheExpectedRules) {
+  const FixtureCase& c = GetParam();
+  const Config config = RegistryWith({"episode", "predict"});
+  const std::vector<Finding> findings =
+      CheckFile(c.pretend_path, ReadFixture(c.fixture), config);
+  EXPECT_EQ(RuleIds(findings), c.expect_rules)
+      << "fixture " << c.fixture << " as " << c.pretend_path;
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.file, c.pretend_path);
+    EXPECT_GT(f.line, 0u);
+    EXPECT_EQ(RuleCatalog().count(f.rule), 1u)
+        << "finding uses unknown rule-id " << f.rule;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRules, FixtureTest,
+    ::testing::Values(
+        // Determinism: rand/srand are banned in every scanned directory.
+        FixtureCase{"banned_rand.bad.cc", "tests/fake/roll.cc",
+                    {"banned-rand", "banned-rand"}},
+        FixtureCase{"banned_rand.good.cc", "src/fake/roll.cc", {}},
+        // IO bans apply under src/ only.
+        FixtureCase{"banned_io.bad.cc", "src/fake/report.cc",
+                    {"banned-io", "banned-io"}},
+        FixtureCase{"banned_io.bad.cc", "tests/fake/report.cc", {}},
+        FixtureCase{"banned_io.good.cc", "src/fake/report.cc", {}},
+        // new/delete hygiene, with a suppressed singleton in the good file.
+        FixtureCase{"naked_new.bad.cc", "src/fake/make.cc",
+                    {"naked-new", "naked-delete", "naked-new"}},
+        FixtureCase{"naked_new.good.cc", "src/fake/make.cc", {}},
+        // Wall-clock reads: banned in domain code, allowed for the owners.
+        FixtureCase{"wall_clock.bad.cc", "src/ts/stamp.cc",
+                    {"wall-clock", "wall-clock"}},
+        FixtureCase{"wall_clock.bad.cc", "src/common/stamp.cc", {}},
+        FixtureCase{"wall_clock.bad.cc", "src/obs/stamp.cc", {}},
+        FixtureCase{"wall_clock.good.cc", "src/ts/stamp.cc", {}},
+        // Include hygiene.
+        FixtureCase{"include_bits.bad.cc", "src/fake/answer.cc",
+                    {"include-bits"}},
+        FixtureCase{"include_self_first.bad.cc",
+                    "src/fake/include_self_first.cc",
+                    {"include-self-first"}},
+        FixtureCase{"include_self_first.good.cc",
+                    "src/fake/include_self_first.cc",
+                    {}},
+        // Header guards: pragma once plus a missing canonical guard.
+        FixtureCase{"header_guard.bad.h", "src/fake/guarded.h",
+                    {"header-guard", "header-guard"}},
+        FixtureCase{"header_guard.good.h", "src/fake/guarded.h", {}},
+        // Telemetry event kinds must be registered (src/ only).
+        FixtureCase{"event_registry.bad.cc", "src/fake/train.cc",
+                    {"event-registry"}},
+        FixtureCase{"event_registry.bad.cc", "tests/fake/train.cc", {}},
+        FixtureCase{"event_registry.good.cc", "src/fake/train.cc", {}},
+        // Task markers need an owner/issue tag.
+        FixtureCase{"todo_tag.bad.cc", "src/fake/pending.cc",
+                    {"todo-tag", "todo-tag"}},
+        FixtureCase{"todo_tag.good.cc", "src/fake/pending.cc", {}},
+        // Suppressions that suppress nothing are findings themselves.
+        FixtureCase{"stale_nolint.bad.cc", "src/fake/clean.cc",
+                    {"stale-nolint", "stale-nolint", "stale-nolint"}},
+        FixtureCase{"stale_nolint.good.cc", "tests/fake/roll.cc", {}}));
+
+TEST(LintTest, BannedRandReportsAccurateLines) {
+  const std::vector<Finding> findings = CheckFile(
+      "tests/fake/roll.cc", ReadFixture("banned_rand.bad.cc"), Config{});
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].line, 4u);  // std::srand(42);
+  EXPECT_EQ(findings[1].line, 5u);  // return std::rand() % 6;
+}
+
+TEST(LintTest, SuppressedFindingDoesNotCountAsStale) {
+  const std::vector<Finding> findings = CheckFile(
+      "src/fake/roll.cc", ReadFixture("stale_nolint.good.cc"), Config{});
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintTest, EmittedEventsSeesMultiLineCalls) {
+  const std::set<std::string> kinds =
+      EmittedEvents(ReadFixture("event_registry.good.cc"));
+  EXPECT_EQ(kinds, std::set<std::string>{"episode"});
+}
+
+TEST(LintTest, ParseEventsDefReadsNamesAndFlagsDuplicates) {
+  const std::string registry =
+      "EADRL_EVENT(episode, \"one episode\")\n"
+      "EADRL_EVENT(predict, \"one prediction\")\n"
+      "EADRL_EVENT(episode, \"duplicate\")\n";
+  std::vector<Finding> findings;
+  const std::map<std::string, size_t> events =
+      ParseEventsDef("src/obs/events.def", registry, &findings);
+  EXPECT_EQ(events.size(), 2u);
+  EXPECT_EQ(events.at("episode"), 1u);
+  EXPECT_EQ(events.at("predict"), 2u);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "event-registry");
+  EXPECT_EQ(findings[0].line, 3u);
+}
+
+TEST(LintTest, RegistryStalenessFlagsUnusedEntries) {
+  const Config config = RegistryWith({"episode", "predict"});
+  const std::vector<Finding> findings =
+      CheckRegistryStaleness("src/obs/events.def", config, {"episode"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "event-registry-stale");
+  EXPECT_NE(findings[0].message.find("predict"), std::string::npos);
+}
+
+TEST(LintTest, FormatFindingMatchesGateGrammar) {
+  const Finding f{"src/nn/dense.cc", 12, "banned-io", "std::cout in src/"};
+  EXPECT_EQ(FormatFinding(f), "src/nn/dense.cc:12: banned-io: std::cout in src/");
+}
+
+TEST(LintTest, CatalogCoversEveryRuleTheTestsUse) {
+  for (const char* id :
+       {"banned-rand", "banned-io", "naked-new", "naked-delete", "wall-clock",
+        "include-bits", "include-self-first", "header-guard", "event-registry",
+        "event-registry-stale", "todo-tag", "stale-nolint"}) {
+    EXPECT_EQ(RuleCatalog().count(id), 1u) << id;
+  }
+}
+
+}  // namespace
+}  // namespace eadrl::lint

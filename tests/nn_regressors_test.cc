@@ -93,8 +93,8 @@ const char* const kVariantNames[] = {"Mlp",     "Lstm",     "BiLstm",
 
 INSTANTIATE_TEST_SUITE_P(AllVariants, NnRegressorLearning,
                          ::testing::Range(0, 6),
-                         [](const ::testing::TestParamInfo<int>& info) {
-                           return std::string(kVariantNames[info.param]);
+                         [](const ::testing::TestParamInfo<int>& param_info) {
+                           return std::string(kVariantNames[param_info.param]);
                          });
 
 TEST(CnnLstmTest, RejectsWindowShorterThanKernel) {

@@ -1,23 +1,73 @@
 #!/usr/bin/env bash
-# Tier-1 test suite under ThreadSanitizer with the parallel runtime enabled.
+# Full correctness gate (see DESIGN.md, "Correctness tooling"):
 #
-# Builds the whole tree with EADRL_SANITIZE=thread into build-tsan/ and runs
-# ctest with EADRL_THREADS=4, so every parallelized path (FitPool,
-# PreparePool, RunSuite, the restart fan-out, DdpgAgent::Update and the obs
-# hot paths) executes on real pool workers under TSan.
+#   stage 1  lint    eadrl_lint over src/ tests/ bench/ tools/ examples/
+#   stage 2  werror  zero-warning build of the whole tree (-Werror is the
+#                    default; EADRL_WERROR=OFF is the escape hatch)
+#   stage 3  tsan    tier-1 suite under ThreadSanitizer, EADRL_THREADS=N
+#   stage 4  asan    tier-1 suite under AddressSanitizer
+#   stage 5  ubsan   tier-1 suite under UndefinedBehaviorSanitizer
+#                    (-fno-sanitize-recover=all: any UB aborts the test)
 #
-# Usage: tools/check.sh [threads] [build-dir]
+# Each stage reports wall-clock seconds; the summary at the end shows all of
+# them. Exit is nonzero on the first failing stage.
+#
+# Usage: tools/check.sh [threads]
+#   threads: EADRL_THREADS for the sanitizer test runs (default 4).
 set -euo pipefail
 
 THREADS="${1:-4}"
-BUILD_DIR="${2:-build-tsan}"
 SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="$(nproc)"
 
-cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
-  -DEADRL_SANITIZE=thread \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" -j "$(nproc)"
+STAGE_NAMES=()
+STAGE_SECONDS=()
 
-cd "$BUILD_DIR"
-EADRL_THREADS="$THREADS" ctest --output-on-failure
-echo "tier-1 suite passed under TSan with EADRL_THREADS=$THREADS"
+run_stage() {
+  local name="$1"
+  shift
+  echo
+  echo "==== stage: $name ===="
+  local start
+  start=$(date +%s)
+  "$@"
+  local end
+  end=$(date +%s)
+  STAGE_NAMES+=("$name")
+  STAGE_SECONDS+=("$((end - start))")
+  echo "==== stage $name passed in $((end - start))s ===="
+}
+
+stage_lint() {
+  cmake -B "$SRC_DIR/build-gate" -S "$SRC_DIR"
+  cmake --build "$SRC_DIR/build-gate" -j "$JOBS" --target eadrl_lint
+  "$SRC_DIR/build-gate/tools/lint/eadrl_lint" --root "$SRC_DIR"
+}
+
+stage_werror() {
+  # EADRL_WERROR defaults ON, so this is simply "the tree builds".
+  cmake --build "$SRC_DIR/build-gate" -j "$JOBS"
+}
+
+stage_sanitizer() {
+  local mode="$1"
+  local dir="$SRC_DIR/build-$mode"
+  cmake -B "$dir" -S "$SRC_DIR" \
+    -DEADRL_SANITIZE="$mode" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$dir" -j "$JOBS"
+  (cd "$dir" && EADRL_THREADS="$THREADS" ctest --output-on-failure -j 4)
+}
+
+run_stage lint stage_lint
+run_stage werror stage_werror
+run_stage tsan stage_sanitizer thread
+run_stage asan stage_sanitizer address
+run_stage ubsan stage_sanitizer undefined
+
+echo
+echo "==== all stages passed ===="
+for i in "${!STAGE_NAMES[@]}"; do
+  printf '  %-8s %ss\n' "${STAGE_NAMES[$i]}" "${STAGE_SECONDS[$i]}"
+done
+echo "tier-1 suite is clean under TSan, ASan and UBSan (EADRL_THREADS=$THREADS)"

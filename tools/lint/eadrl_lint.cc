@@ -1,0 +1,142 @@
+// eadrl_lint driver: walks the tree, runs every rule in tools/lint/lint.cc,
+// prints `file:line: rule-id: message` per finding, exits nonzero if any.
+//
+// Usage:
+//   eadrl_lint --root <repo-root> [--events <events.def>] [dir...]
+//   eadrl_lint --list-rules
+//
+// Default dirs: src tests bench tools examples. Directories named
+// `lint_fixtures` are skipped — they hold intentionally-bad inputs for
+// tests/lint_selftest.cc.
+
+#include "tools/lint/lint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string ReadAll(const fs::path& path, bool* ok) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *ok = false;
+    return {};
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  *ok = true;
+  return os.str();
+}
+
+bool IsSourceFile(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cc" || ext == ".h" || ext == ".hpp";
+}
+
+std::string RepoRelative(const fs::path& path, const fs::path& root) {
+  return fs::relative(path, root).generic_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  fs::path events_def;  // default: <root>/src/obs/events.def
+  std::vector<std::string> dirs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const auto& [id, what] : eadrl::lint::RuleCatalog()) {
+        std::cout << id << ": " << what << "\n";
+      }
+      return 0;
+    }
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--events" && i + 1 < argc) {
+      events_def = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "eadrl_lint: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      dirs.push_back(arg);
+    }
+  }
+  if (dirs.empty()) dirs = {"src", "tests", "bench", "tools", "examples"};
+  if (events_def.empty()) events_def = root / "src" / "obs" / "events.def";
+
+  std::vector<eadrl::lint::Finding> findings;
+  eadrl::lint::Config config;
+  bool events_ok = false;
+  const std::string events_contents = ReadAll(events_def, &events_ok);
+  if (events_ok) {
+    config.registered_events = eadrl::lint::ParseEventsDef(
+        RepoRelative(events_def, root), events_contents, &findings);
+    config.have_events_registry = true;
+  } else {
+    std::cerr << "eadrl_lint: warning: no event registry at " << events_def
+              << "; event-registry rules disabled\n";
+  }
+
+  // Deterministic order: collect, then sort.
+  std::vector<fs::path> files;
+  for (const std::string& dir : dirs) {
+    const fs::path base = root / dir;
+    if (!fs::exists(base)) continue;
+    for (auto it = fs::recursive_directory_iterator(base);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (it->is_directory() && it->path().filename() == "lint_fixtures") {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (it->is_regular_file() && IsSourceFile(it->path())) {
+        files.push_back(it->path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::set<std::string> emitted_in_src;
+  size_t scanned = 0;
+  for (const fs::path& file : files) {
+    bool ok = false;
+    const std::string contents = ReadAll(file, &ok);
+    if (!ok) {
+      std::cerr << "eadrl_lint: cannot read " << file << "\n";
+      return 2;
+    }
+    ++scanned;
+    const std::string rel = RepoRelative(file, root);
+    std::vector<eadrl::lint::Finding> file_findings =
+        eadrl::lint::CheckFile(rel, contents, config);
+    findings.insert(findings.end(), file_findings.begin(), file_findings.end());
+    if (rel.rfind("src/", 0) == 0) {
+      const std::set<std::string> kinds = eadrl::lint::EmittedEvents(contents);
+      emitted_in_src.insert(kinds.begin(), kinds.end());
+    }
+  }
+  if (config.have_events_registry) {
+    std::vector<eadrl::lint::Finding> stale =
+        eadrl::lint::CheckRegistryStaleness(RepoRelative(events_def, root),
+                                            config, emitted_in_src);
+    findings.insert(findings.end(), stale.begin(), stale.end());
+  }
+
+  for (const eadrl::lint::Finding& finding : findings) {
+    std::cout << eadrl::lint::FormatFinding(finding) << "\n";
+  }
+  if (!findings.empty()) {
+    std::cerr << "eadrl_lint: " << findings.size() << " finding(s) in "
+              << scanned << " file(s)\n";
+    return 1;
+  }
+  std::cerr << "eadrl_lint: clean (" << scanned << " files)\n";
+  return 0;
+}

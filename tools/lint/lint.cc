@@ -1,0 +1,675 @@
+#include "tools/lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace eadrl::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer. Produces a token stream (identifiers / numbers / string and char
+// literals / punctuation), a per-line comment map, and the list of
+// preprocessor directives. Comments and literal *contents* never reach the
+// token-matching rules, so a string mentioning "rand()" cannot trip a ban.
+// Handles //, /* */, "..." with escapes, '...' with escapes, and raw strings
+// R"delim(...)delim". Line numbers are 1-based.
+// ---------------------------------------------------------------------------
+
+enum class TokKind { kIdent, kNumber, kString, kCharLit, kPunct };
+
+struct Token {
+  TokKind kind;
+  std::string text;  // literals keep their quoted content for the event rule.
+  size_t line = 0;
+};
+
+struct Directive {
+  std::string text;  // directive body after '#', comments stripped.
+  size_t line = 0;
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::map<size_t, std::string> comments;  // line -> concatenated comment text
+  std::vector<Directive> directives;
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  LexedFile Run() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        at_line_start_ = true;
+        ++pos_;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        LexLineComment();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        LexBlockComment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        LexDirective();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == 'R' && Peek(1) == '"') {
+        LexRawString();
+        continue;
+      }
+      if (c == '"') {
+        LexString();
+        continue;
+      }
+      if (c == '\'' && !PrecededByDigit()) {
+        LexCharLit();
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        LexIdent();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        LexNumber();
+        continue;
+      }
+      out_.tokens.push_back({TokKind::kPunct, std::string(1, c), line_});
+      ++pos_;
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char Peek(size_t ahead) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+
+  // Digit separators aside, a ' right after an alnum inside a number (1'000)
+  // is not a char literal.
+  bool PrecededByDigit() const {
+    return pos_ > 0 && std::isdigit(static_cast<unsigned char>(text_[pos_ - 1]));
+  }
+
+  void AddComment(size_t line, const std::string& chunk) {
+    std::string& slot = out_.comments[line];
+    if (!slot.empty()) slot += ' ';
+    slot += chunk;
+  }
+
+  void LexLineComment() {
+    pos_ += 2;
+    std::string chunk;
+    while (pos_ < text_.size() && text_[pos_] != '\n') {
+      // A backslash-newline continues a // comment onto the next line.
+      if (text_[pos_] == '\\' && Peek(1) == '\n') {
+        AddComment(line_, chunk);
+        chunk.clear();
+        pos_ += 2;
+        ++line_;
+        continue;
+      }
+      chunk += text_[pos_++];
+    }
+    AddComment(line_, chunk);
+  }
+
+  void LexBlockComment() {
+    pos_ += 2;
+    std::string chunk;
+    while (pos_ < text_.size()) {
+      if (text_[pos_] == '*' && Peek(1) == '/') {
+        pos_ += 2;
+        break;
+      }
+      if (text_[pos_] == '\n') {
+        AddComment(line_, chunk);
+        chunk.clear();
+        ++line_;
+        ++pos_;
+        continue;
+      }
+      chunk += text_[pos_++];
+    }
+    AddComment(line_, chunk);
+  }
+
+  void LexDirective() {
+    const size_t start_line = line_;
+    ++pos_;  // consume '#'
+    std::string body;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') break;
+      if (c == '\\' && Peek(1) == '\n') {  // continuation
+        body += ' ';
+        pos_ += 2;
+        ++line_;
+        continue;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        LexLineComment();
+        break;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        LexBlockComment();
+        body += ' ';
+        continue;
+      }
+      body += c;
+      ++pos_;
+    }
+    out_.directives.push_back({body, start_line});
+    at_line_start_ = false;
+  }
+
+  void LexString() {
+    const size_t start_line = line_;
+    ++pos_;  // opening quote
+    std::string value;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
+        value += text_[pos_];
+        value += text_[pos_ + 1];
+        pos_ += 2;
+        continue;
+      }
+      if (text_[pos_] == '\n') ++line_;  // unterminated; keep line count sane
+      value += text_[pos_++];
+    }
+    if (pos_ < text_.size()) ++pos_;  // closing quote
+    out_.tokens.push_back({TokKind::kString, value, start_line});
+  }
+
+  void LexRawString() {
+    const size_t start_line = line_;
+    pos_ += 2;  // R"
+    std::string delim;
+    while (pos_ < text_.size() && text_[pos_] != '(') delim += text_[pos_++];
+    if (pos_ < text_.size()) ++pos_;  // '('
+    const std::string closer = ")" + delim + "\"";
+    std::string value;
+    while (pos_ < text_.size() && text_.compare(pos_, closer.size(), closer) != 0) {
+      if (text_[pos_] == '\n') ++line_;
+      value += text_[pos_++];
+    }
+    pos_ = std::min(text_.size(), pos_ + closer.size());
+    out_.tokens.push_back({TokKind::kString, value, start_line});
+  }
+
+  void LexCharLit() {
+    const size_t start_line = line_;
+    ++pos_;
+    std::string value;
+    while (pos_ < text_.size() && text_[pos_] != '\'') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
+        value += text_[pos_];
+        value += text_[pos_ + 1];
+        pos_ += 2;
+        continue;
+      }
+      if (text_[pos_] == '\n') break;  // unterminated
+      value += text_[pos_++];
+    }
+    if (pos_ < text_.size() && text_[pos_] == '\'') ++pos_;
+    out_.tokens.push_back({TokKind::kCharLit, value, start_line});
+  }
+
+  void LexIdent() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() && IsIdentChar(text_[pos_])) ++pos_;
+    std::string word = text_.substr(start, pos_ - start);
+    // Encoding-prefixed strings (u8"...", L"...") lex as ident + string;
+    // that is fine for every rule here.
+    out_.tokens.push_back({TokKind::kIdent, std::move(word), line_});
+  }
+
+  void LexNumber() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (IsIdentChar(text_[pos_]) || text_[pos_] == '.' ||
+            text_[pos_] == '\'' ||
+            ((text_[pos_] == '+' || text_[pos_] == '-') && pos_ > start &&
+             (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E' ||
+              text_[pos_ - 1] == 'p' || text_[pos_ - 1] == 'P')))) {
+      ++pos_;
+    }
+    out_.tokens.push_back(
+        {TokKind::kNumber, text_.substr(start, pos_ - start), line_});
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  bool at_line_start_ = true;
+  LexedFile out_;
+};
+
+// ---------------------------------------------------------------------------
+// Path helpers.
+// ---------------------------------------------------------------------------
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string Basename(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+// src/nn/dense.h -> EADRL_NN_DENSE_H_ (the leading src/ is dropped so guards
+// match the include path; other roots — tests/, bench/, tools/ — keep theirs).
+std::string CanonicalGuard(const std::string& repo_relative_path) {
+  std::string trimmed = repo_relative_path;
+  if (StartsWith(trimmed, "src/")) trimmed = trimmed.substr(4);
+  std::string guard = "EADRL_";
+  for (char c : trimmed) {
+    guard += std::isalnum(static_cast<unsigned char>(c))
+                 ? static_cast<char>(std::toupper(static_cast<unsigned char>(c)))
+                 : '_';
+  }
+  guard += '_';
+  return guard;
+}
+
+// Extracts `"path"` or `<path>` from an include directive body.
+bool ParseIncludeTarget(const std::string& directive, std::string* target,
+                        bool* angled) {
+  size_t i = 0;
+  while (i < directive.size() &&
+         std::isspace(static_cast<unsigned char>(directive[i]))) {
+    ++i;
+  }
+  if (directive.compare(i, 7, "include") != 0) return false;
+  i += 7;
+  while (i < directive.size() &&
+         std::isspace(static_cast<unsigned char>(directive[i]))) {
+    ++i;
+  }
+  if (i >= directive.size()) return false;
+  const char open = directive[i];
+  const char close = open == '<' ? '>' : (open == '"' ? '"' : '\0');
+  if (close == '\0') return false;
+  const size_t end = directive.find(close, i + 1);
+  if (end == std::string::npos) return false;
+  *target = directive.substr(i + 1, end - i - 1);
+  *angled = open == '<';
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Suppression handling. A comment that *begins* with the marker — the
+// trailing-comment idiom `code;  // NOLINT(rule-id): reason` — suppresses
+// matching findings on its line; prose that merely mentions the marker
+// mid-sentence (like this paragraph) is ignored. Any suppression that
+// suppressed nothing (or names an unknown rule) becomes a stale-nolint
+// finding.
+// ---------------------------------------------------------------------------
+
+struct Suppression {
+  size_t line;
+  std::string rule;
+  bool used = false;
+};
+
+std::vector<Suppression> ParseSuppressions(
+    const std::map<size_t, std::string>& comments,
+    std::vector<Finding>* findings, const std::string& file) {
+  std::vector<Suppression> out;
+  for (const auto& [line, text] : comments) {
+    const size_t at = text.find_first_not_of(" \t");
+    if (at == std::string::npos || text.compare(at, 6, "NOLINT") != 0) {
+      continue;
+    }
+    const size_t open = at + 6;
+    if (open >= text.size() || text[open] != '(') {
+      findings->push_back({file, line, "stale-nolint",
+                           "bare NOLINT is not honored; use "
+                           "NOLINT(rule-id) so the suppression is scoped"});
+      continue;
+    }
+    const size_t close = text.find(')', open);
+    if (close == std::string::npos) {
+      findings->push_back(
+          {file, line, "stale-nolint", "unterminated NOLINT(...) list"});
+      continue;
+    }
+    std::stringstream ids(text.substr(open + 1, close - open - 1));
+    std::string id;
+    while (std::getline(ids, id, ',')) {
+      const size_t first = id.find_first_not_of(" \t");
+      const size_t last = id.find_last_not_of(" \t");
+      if (first == std::string::npos) continue;
+      out.push_back({line, id.substr(first, last - first + 1), false});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API.
+// ---------------------------------------------------------------------------
+
+const std::map<std::string, std::string>& RuleCatalog() {
+  static const std::map<std::string, std::string> kCatalog = {
+      {"banned-rand",
+       "rand()/srand() break run-to-run determinism; use eadrl::common::Rng"},
+      {"banned-io",
+       "std::cout/printf in src/; route output through EADRL_LOG or eadrl::obs"},
+      {"naked-new",
+       "naked new in src/; use std::make_unique/std::vector (allocator and "
+       "intentional-leak singletons carry NOLINT)"},
+      {"naked-delete",
+       "naked delete in src/; ownership belongs to smart pointers"},
+      {"wall-clock",
+       "wall-clock reads outside src/common//src/obs; keep domain code "
+       "date-free for determinism"},
+      {"include-bits",
+       "#include <bits/...> is libstdc++-internal and non-portable"},
+      {"include-self-first",
+       "a .cc must include its own header first to prove it is self-contained"},
+      {"header-guard",
+       "header guards must match the canonical EADRL_<PATH>_H_ form"},
+      {"event-registry",
+       "telemetry event kinds in src/ must be declared in src/obs/events.def"},
+      {"event-registry-stale",
+       "events.def entry that nothing in src/ emits any more"},
+      {"todo-tag",
+       "TODO/FIXME comments must carry an owner or issue tag: TODO(tag): ..."},
+      {"stale-nolint",
+       "NOLINT suppression that no longer suppresses any finding"},
+  };
+  return kCatalog;
+}
+
+std::map<std::string, size_t> ParseEventsDef(const std::string& path,
+                                             const std::string& contents,
+                                             std::vector<Finding>* findings) {
+  std::map<std::string, size_t> events;
+  LexedFile lexed = Lexer(contents).Run();
+  const std::vector<Token>& toks = lexed.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || toks[i].text != "EADRL_EVENT") {
+      continue;
+    }
+    if (i + 2 >= toks.size() || toks[i + 1].text != "(" ||
+        toks[i + 2].kind != TokKind::kIdent) {
+      if (findings != nullptr) {
+        findings->push_back({path, toks[i].line, "event-registry",
+                             "malformed EADRL_EVENT entry; expected "
+                             "EADRL_EVENT(name, \"description\")"});
+      }
+      continue;
+    }
+    const Token& name = toks[i + 2];
+    if (findings != nullptr && events.count(name.text) != 0) {
+      findings->push_back({path, name.line, "event-registry",
+                           "duplicate registry entry '" + name.text + "'"});
+    }
+    events.emplace(name.text, name.line);
+  }
+  return events;
+}
+
+std::set<std::string> EmittedEvents(const std::string& contents) {
+  std::set<std::string> kinds;
+  LexedFile lexed = Lexer(contents).Run();
+  const std::vector<Token>& toks = lexed.tokens;
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent ||
+        (toks[i].text != "EADRL_TELEMETRY" && toks[i].text != "Emit")) {
+      continue;
+    }
+    if (toks[i + 1].text == "(" && toks[i + 2].kind == TokKind::kString) {
+      kinds.insert(toks[i + 2].text);
+    }
+  }
+  return kinds;
+}
+
+std::vector<Finding> CheckFile(const std::string& path,
+                               const std::string& contents,
+                               const Config& config) {
+  std::vector<Finding> findings;
+  LexedFile lexed = Lexer(contents).Run();
+  const std::vector<Token>& toks = lexed.tokens;
+
+  const bool in_src = StartsWith(path, "src/");
+  const bool is_header = EndsWith(path, ".h") || EndsWith(path, ".hpp");
+  // The logging/check/chk backends are the one place stdio is the product.
+  const bool io_backend = in_src && (StartsWith(path, "src/common/") ||
+                                     StartsWith(path, "src/chk/"));
+  const bool clock_owner = StartsWith(path, "src/common/") ||
+                           StartsWith(path, "src/obs/");
+
+  auto Prev = [&toks](size_t i) -> const Token* {
+    return i == 0 ? nullptr : &toks[i - 1];
+  };
+  auto Next = [&toks](size_t i) -> const Token* {
+    return i + 1 < toks.size() ? &toks[i + 1] : nullptr;
+  };
+
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) continue;
+    const Token* next = Next(i);
+    const Token* prev = Prev(i);
+    const bool calls = next != nullptr && next->kind == TokKind::kPunct &&
+                       next->text == "(";
+    // Member access (x.rand(), x->time()) is someone else's API, not libc.
+    const bool member =
+        prev != nullptr && prev->kind == TokKind::kPunct &&
+        (prev->text == "." || prev->text == ">" /* -> lexes as '-','>' */);
+
+    if ((t.text == "rand" || t.text == "srand") && calls && !member) {
+      findings.push_back({path, t.line, "banned-rand",
+                          t.text + "() is banned: seedable-but-global PRNGs "
+                          "break determinism; use eadrl::common::Rng"});
+    }
+    if (in_src && !io_backend) {
+      if (t.text == "cout" || t.text == "cerr") {
+        findings.push_back({path, t.line, "banned-io",
+                            "std::" + t.text + " in src/; use EADRL_LOG or "
+                            "the obs subsystem"});
+      }
+      if ((t.text == "printf" || t.text == "puts") && calls && !member) {
+        findings.push_back({path, t.line, "banned-io",
+                            t.text + "() in src/; use EADRL_LOG or the obs "
+                            "subsystem"});
+      }
+    }
+    if (in_src && t.text == "new") {
+      findings.push_back({path, t.line, "naked-new",
+                          "naked new; use std::make_unique / containers "
+                          "(NOLINT(naked-new) for intentional-leak "
+                          "singletons)"});
+    }
+    if (in_src && t.text == "delete") {
+      const bool deleted_fn = prev != nullptr && prev->text == "=";
+      const bool op_overload = prev != nullptr && prev->text == "operator";
+      if (!deleted_fn && !op_overload) {
+        findings.push_back({path, t.line, "naked-delete",
+                            "naked delete; ownership belongs to smart "
+                            "pointers"});
+      }
+    }
+    if (in_src && !clock_owner) {
+      if (t.text == "system_clock" || t.text == "gmtime" ||
+          t.text == "localtime" || t.text == "strftime" || t.text == "ctime" ||
+          (t.text == "time" && calls && !member)) {
+        findings.push_back({path, t.line, "wall-clock",
+                            "wall-clock read in domain code; call "
+                            "common::UnixNowSeconds (src/common, src/obs own "
+                            "the clock; steady_clock is fine for durations)"});
+      }
+    }
+    // Telemetry event kinds: EADRL_TELEMETRY("kind", ...) / Emit("kind", ...)
+    if (in_src && config.have_events_registry &&
+        (t.text == "EADRL_TELEMETRY" || t.text == "Emit") && calls &&
+        i + 2 < toks.size() && toks[i + 2].kind == TokKind::kString) {
+      const Token& kind = toks[i + 2];
+      if (config.registered_events.count(kind.text) == 0) {
+        findings.push_back({path, kind.line, "event-registry",
+                            "telemetry event '" + kind.text +
+                                "' is not declared in src/obs/events.def"});
+      }
+    }
+  }
+
+  // --- Include rules -------------------------------------------------------
+  std::vector<std::pair<std::string, size_t>> includes;  // target, line
+  for (const Directive& d : lexed.directives) {
+    std::string target;
+    bool angled = false;
+    if (!ParseIncludeTarget(d.text, &target, &angled)) continue;
+    includes.emplace_back(target, d.line);
+    if (StartsWith(target, "bits/")) {
+      findings.push_back({path, d.line, "include-bits",
+                          "#include <" + target + "> is libstdc++-internal; "
+                          "include the standard header instead"});
+    }
+  }
+  if (!is_header && EndsWith(path, ".cc")) {
+    // If this .cc includes a header with its own basename, that include must
+    // come first (proves the header is self-contained).
+    const std::string self_header =
+        Basename(path).substr(0, Basename(path).size() - 3) + ".h";
+    for (size_t i = 1; i < includes.size(); ++i) {
+      if (Basename(includes[i].first) == self_header) {
+        findings.push_back({path, includes[i].second, "include-self-first",
+                            "self header \"" + includes[i].first +
+                                "\" must be the first include"});
+      }
+    }
+  }
+
+  // --- Header guards -------------------------------------------------------
+  if (is_header) {
+    const std::string want = CanonicalGuard(path);
+    bool guard_ok = false;
+    for (const Directive& d : lexed.directives) {
+      if (StartsWith(d.text, "pragma") &&
+          d.text.find("once") != std::string::npos) {
+        findings.push_back({path, d.line, "header-guard",
+                            "#pragma once; this tree uses include guards (" +
+                                want + ")"});
+      }
+    }
+    if (lexed.directives.size() >= 2 &&
+        lexed.directives[0].text == "ifndef " + want &&
+        StartsWith(lexed.directives[1].text, "define " + want)) {
+      guard_ok = true;
+    }
+    if (!guard_ok) {
+      findings.push_back({path, 1, "header-guard",
+                          "missing or non-canonical include guard; want "
+                          "#ifndef " + want + " / #define " + want});
+    }
+  }
+
+  // --- Task-marker tags (todo-tag) -----------------------------------------
+  for (const auto& [line, text] : lexed.comments) {
+    for (const char* marker : {"TODO", "FIXME"}) {
+      size_t at = 0;
+      while ((at = text.find(marker, at)) != std::string::npos) {
+        const size_t after = at + std::string(marker).size();
+        // Skip substrings of longer words in either direction.
+        if ((at > 0 && IsIdentChar(text[at - 1])) ||
+            (after < text.size() && IsIdentChar(text[after]))) {
+          at = after;
+          continue;
+        }
+        const bool tagged = after < text.size() && text[after] == '(' &&
+                            text.find(')', after) != std::string::npos &&
+                            text.find(')', after) > after + 1;
+        if (!tagged) {
+          findings.push_back({path, line, "todo-tag",
+                              std::string(marker) +
+                                  " without an owner/issue tag; write " +
+                                  marker + "(name-or-issue): ..."});
+        }
+        at = after;
+      }
+    }
+  }
+
+  // --- Apply NOLINT suppressions, flag stale ones --------------------------
+  std::vector<Suppression> suppressions =
+      ParseSuppressions(lexed.comments, &findings, path);
+  std::vector<Finding> kept;
+  for (Finding& f : findings) {
+    bool suppressed = false;
+    for (Suppression& s : suppressions) {
+      if (s.line == f.line && s.rule == f.rule) {
+        s.used = true;
+        suppressed = true;
+      }
+    }
+    if (!suppressed) kept.push_back(std::move(f));
+  }
+  for (const Suppression& s : suppressions) {
+    if (s.used) continue;
+    if (RuleCatalog().count(s.rule) == 0) {
+      kept.push_back({path, s.line, "stale-nolint",
+                      "NOLINT(" + s.rule + ") names an unknown rule-id"});
+    } else {
+      kept.push_back({path, s.line, "stale-nolint",
+                      "NOLINT(" + s.rule + ") no longer suppresses anything; "
+                      "remove it"});
+    }
+  }
+  std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
+    return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+  });
+  return kept;
+}
+
+std::vector<Finding> CheckRegistryStaleness(
+    const std::string& events_def_path, const Config& config,
+    const std::set<std::string>& emitted_in_src) {
+  std::vector<Finding> findings;
+  for (const auto& [name, line] : config.registered_events) {
+    if (emitted_in_src.count(name) == 0) {
+      findings.push_back({events_def_path, line, "event-registry-stale",
+                          "registered event '" + name +
+                              "' is emitted nowhere under src/; delete the "
+                              "entry or restore the emitter"});
+    }
+  }
+  return findings;
+}
+
+std::string FormatFinding(const Finding& finding) {
+  std::ostringstream os;
+  os << finding.file << ':' << finding.line << ": " << finding.rule << ": "
+     << finding.message;
+  return os.str();
+}
+
+}  // namespace eadrl::lint

@@ -1,0 +1,72 @@
+#ifndef EADRL_TOOLS_LINT_LINT_H_
+#define EADRL_TOOLS_LINT_LINT_H_
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+// eadrl_lint — the project's own static analyzer (see DESIGN.md,
+// "Correctness tooling"). Dependency-free: a hand-rolled C++ lexer feeds a
+// fixed set of project rules; no compiler, no external tooling. The library
+// half lives here so tests/lint_selftest.cc can drive every rule against
+// checked-in fixtures; tools/lint/eadrl_lint.cc wraps it in a directory
+// walker with `file:line: rule-id: message` output and a nonzero exit on any
+// finding.
+
+namespace eadrl::lint {
+
+/// One diagnostic. `line` is 1-based; `rule` is a stable rule-id from
+/// RuleCatalog().
+struct Finding {
+  std::string file;
+  size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Rule-id -> one-line description of every rule this linter can emit
+/// (including the meta rules `event-registry-stale` and `stale-nolint`).
+const std::map<std::string, std::string>& RuleCatalog();
+
+/// Cross-file configuration.
+struct Config {
+  /// Event kinds declared in src/obs/events.def (name -> 1-based line in the
+  /// registry file). Empty + !have_events_registry disables the
+  /// event-registry rules.
+  std::map<std::string, size_t> registered_events;
+  bool have_events_registry = false;
+};
+
+/// Parses src/obs/events.def: EADRL_EVENT(name, "description") entries.
+/// Malformed entries are reported against `path`.
+std::map<std::string, size_t> ParseEventsDef(const std::string& path,
+                                             const std::string& contents,
+                                             std::vector<Finding>* findings);
+
+/// Runs every per-file rule on one source file. `repo_relative_path` selects
+/// the scope-sensitive rules (IO/new/wall-clock bans apply under src/ only;
+/// header-guard canonicalization strips the leading src/). `// NOLINT(id)`
+/// and `// NOLINT(id1,id2)` on the finding's line suppress it; a NOLINT that
+/// suppresses nothing is itself reported as `stale-nolint`.
+std::vector<Finding> CheckFile(const std::string& repo_relative_path,
+                               const std::string& contents,
+                               const Config& config);
+
+/// Event kinds emitted by this file via EADRL_TELEMETRY("...")/Emit("...").
+/// Used for the registry-staleness pass, which needs the union over src/.
+std::set<std::string> EmittedEvents(const std::string& contents);
+
+/// Registry entries nothing in src/ emits any more (`event-registry-stale`,
+/// reported against the registry file).
+std::vector<Finding> CheckRegistryStaleness(
+    const std::string& events_def_path, const Config& config,
+    const std::set<std::string>& emitted_in_src);
+
+/// "file:line: rule-id: message" (the gate's output format).
+std::string FormatFinding(const Finding& finding);
+
+}  // namespace eadrl::lint
+
+#endif  // EADRL_TOOLS_LINT_LINT_H_
