@@ -2,16 +2,55 @@
 // policy offline, and forecast a held-out segment online.
 //
 //   $ ./example_quickstart
+//   $ ./example_quickstart --trace trace.json   # + Chrome trace of the run
+//
+// The optional trace file loads in Perfetto (https://ui.perfetto.dev) or
+// chrome://tracing and shows the causal span tree of the whole run.
 
 #include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
 
 #include "core/eadrl.h"
 #include "exp/experiment.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ts/datasets.h"
 #include "ts/metrics.h"
 
-int main() {
+int main(int argc, char** argv) {
+  // 0. Optional tracing: install a TraceBuffer for the duration of the run
+  //    and export it as Chrome trace-event JSON at the end.
+  std::string trace_path;
+  if (argc == 3 && std::strcmp(argv[1], "--trace") == 0) {
+    trace_path = argv[2];
+  } else if (argc != 1) {
+    std::printf("usage: %s [--trace out.json]\n", argv[0]);
+    return 2;
+  }
+  std::unique_ptr<eadrl::obs::TraceBuffer> trace_buffer;
+  if (!trace_path.empty()) {
+    eadrl::obs::SetCurrentThreadTraceName("main");
+    trace_buffer = std::make_unique<eadrl::obs::TraceBuffer>();
+    eadrl::obs::SetTraceBuffer(trace_buffer.get());
+  }
+  struct TraceGuard {
+    eadrl::obs::TraceBuffer* buffer;
+    const std::string* path;
+    ~TraceGuard() {
+      if (buffer == nullptr) return;
+      eadrl::obs::SetTraceBuffer(nullptr);  // drains in-flight records.
+      eadrl::Status st = buffer->WriteChromeTrace(*path);
+      if (st.ok()) {
+        std::printf("trace written to %s (%zu spans)\n", path->c_str(),
+                    buffer->size());
+      } else {
+        std::printf("trace export failed: %s\n", st.ToString().c_str());
+      }
+    }
+  } trace_guard{trace_buffer.get(), &trace_path};
+
   // 1. Get a time series (here: the synthetic SMI stock-index series; swap
   //    in your own eadrl::ts::Series from any source, e.g. ts::LoadCsv).
   auto series = eadrl::ts::MakeDataset(/*id=*/20, /*seed=*/42,

@@ -1,0 +1,366 @@
+#include "common/json.h"
+
+#include <cstdlib>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace eadrl::json {
+
+bool Value::AsBool() const {
+  EADRL_CHECK(type_ == Type::kBool);
+  return bool_;
+}
+
+double Value::AsNumber() const {
+  EADRL_CHECK(type_ == Type::kNumber);
+  return number_;
+}
+
+const std::string& Value::AsString() const {
+  EADRL_CHECK(type_ == Type::kString);
+  return string_;
+}
+
+const std::vector<Value>& Value::AsArray() const {
+  EADRL_CHECK(type_ == Type::kArray);
+  return array_;
+}
+
+const std::vector<Value::Member>& Value::AsObject() const {
+  EADRL_CHECK(type_ == Type::kObject);
+  return object_;
+}
+
+const Value* Value::Find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const Member& m : object_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+/// Recursive-descent parser over the raw text. One instance per Parse call;
+/// errors abort the descent via the `failed_` flag so there is a single
+/// error (the first) with a byte offset.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  StatusOr<Value> Run() {
+    Value root = ParseValue(0);
+    SkipWhitespace();
+    if (!failed_ && pos_ != text_.size()) {
+      Fail("trailing characters after document");
+    }
+    if (failed_) return Status::InvalidArgument(error_);
+    return root;
+  }
+
+ private:
+  static constexpr size_t kMaxDepth = 200;
+
+  void Fail(const std::string& what) {
+    if (failed_) return;
+    failed_ = true;
+    error_ = StrCat("json: ", what, " at offset ", pos_);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeKeyword(const char* word) {
+    size_t n = 0;
+    while (word[n] != '\0') ++n;
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Value ParseValue(size_t depth) {
+    Value v;
+    if (failed_) return v;
+    if (depth > kMaxDepth) {
+      Fail("nesting too deep");
+      return v;
+    }
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+      return v;
+    }
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"':
+        v.type_ = Value::Type::kString;
+        v.string_ = ParseString();
+        return v;
+      case 't':
+        if (ConsumeKeyword("true")) {
+          v.type_ = Value::Type::kBool;
+          v.bool_ = true;
+        } else {
+          Fail("invalid literal");
+        }
+        return v;
+      case 'f':
+        if (ConsumeKeyword("false")) {
+          v.type_ = Value::Type::kBool;
+          v.bool_ = false;
+        } else {
+          Fail("invalid literal");
+        }
+        return v;
+      case 'n':
+        if (!ConsumeKeyword("null")) Fail("invalid literal");
+        return v;  // null
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Value ParseObject(size_t depth) {
+    Value v;
+    v.type_ = Value::Type::kObject;
+    Consume('{');
+    SkipWhitespace();
+    if (Consume('}')) return v;
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        Fail("expected object key");
+        return v;
+      }
+      std::string key = ParseString();
+      SkipWhitespace();
+      if (!Consume(':')) {
+        Fail("expected ':' after object key");
+        return v;
+      }
+      Value member = ParseValue(depth + 1);
+      if (failed_) return v;
+      v.object_.emplace_back(std::move(key), std::move(member));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return v;
+      Fail("expected ',' or '}' in object");
+      return v;
+    }
+  }
+
+  Value ParseArray(size_t depth) {
+    Value v;
+    v.type_ = Value::Type::kArray;
+    Consume('[');
+    SkipWhitespace();
+    if (Consume(']')) return v;
+    for (;;) {
+      Value element = ParseValue(depth + 1);
+      if (failed_) return v;
+      v.array_.push_back(std::move(element));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return v;
+      Fail("expected ',' or ']' in array");
+      return v;
+    }
+  }
+
+  std::string ParseString() {
+    std::string out;
+    Consume('"');
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        Fail("unescaped control character in string");
+        return out;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          unsigned code = 0;
+          if (!ParseHex4(&code)) return out;
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: require a following \uXXXX low surrogate.
+            unsigned low = 0;
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              Fail("lone high surrogate");
+              return out;
+            }
+            pos_ += 2;
+            if (!ParseHex4(&low)) return out;
+            if (low < 0xDC00 || low > 0xDFFF) {
+              Fail("invalid low surrogate");
+              return out;
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            Fail("lone low surrogate");
+            return out;
+          }
+          AppendUtf8(&out, code);
+          break;
+        }
+        default:
+          Fail("invalid escape");
+          return out;
+      }
+    }
+    Fail("unterminated string");
+    return out;
+  }
+
+  bool ParseHex4(unsigned* code) {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= text_.size()) {
+        Fail("truncated \\u escape");
+        return false;
+      }
+      char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        Fail("invalid \\u escape");
+        return false;
+      }
+    }
+    *code = v;
+    return true;
+  }
+
+  static void AppendUtf8(std::string* out, unsigned code) {
+    if (code < 0x80) {
+      *out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      *out += static_cast<char>(0xC0 | (code >> 6));
+      *out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      *out += static_cast<char>(0xE0 | (code >> 12));
+      *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      *out += static_cast<char>(0xF0 | (code >> 18));
+      *out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  Value ParseNumber() {
+    Value v;
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    size_t digits = 0;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+      ++digits;
+    }
+    if (digits == 0) {
+      pos_ = start;
+      Fail("invalid value");
+      return v;
+    }
+    const size_t int_start = text_[start] == '-' ? start + 1 : start;
+    if (digits > 1 && text_[int_start] == '0') {
+      pos_ = start;
+      Fail("leading zeros are not allowed");
+      return v;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      size_t frac = 0;
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+        ++frac;
+      }
+      if (frac == 0) {
+        Fail("digits required after decimal point");
+        return v;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() &&
+          (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      size_t exp = 0;
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+        ++exp;
+      }
+      if (exp == 0) {
+        Fail("digits required in exponent");
+        return v;
+      }
+    }
+    v.type_ = Value::Type::kNumber;
+    v.number_ = std::strtod(text_.c_str() + start, nullptr);
+    return v;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+  std::string error_;
+};
+
+StatusOr<Value> Parse(const std::string& text) { return Parser(text).Run(); }
+
+}  // namespace eadrl::json

@@ -29,6 +29,20 @@ std::string StrJoin(const std::vector<T>& v, const std::string& sep) {
 /// Formats a double with fixed precision (for table output).
 std::string FormatDouble(double v, int precision);
 
+/// Appends `s` to `*out` with JSON string escaping (quote, backslash and
+/// control characters; the caller writes the surrounding quotes). Shared by
+/// the telemetry JSON-lines sink, MetricRegistry::ToJson and the Chrome
+/// trace exporter so every serializer escapes identically.
+void AppendJsonEscaped(std::string* out, const std::string& s);
+
+/// Convenience wrapper around AppendJsonEscaped.
+std::string JsonEscaped(const std::string& s);
+
+/// Quotes `s` as one CSV field (RFC 4180): returned verbatim unless it
+/// contains a comma, quote or newline, in which case it is wrapped in quotes
+/// with embedded quotes doubled.
+std::string CsvField(const std::string& s);
+
 /// Formats a unix timestamp (seconds since the epoch) as ISO-8601 UTC with
 /// millisecond precision, e.g. "2026-08-05T12:00:00.123Z". Used by the
 /// default log sink and the telemetry JSON-lines sink.

@@ -11,6 +11,7 @@
 #include "math/stats.h"
 #include "nn/serialize.h"
 #include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "par/parallel.h"
 
 namespace eadrl::core {
@@ -89,6 +90,12 @@ Status EadrlCombiner::Initialize(const math::Matrix& val_preds,
   ddpg.critic_form = config_.critic_form;
   const size_t restarts = std::max<size_t>(1, config_.restarts);
 
+  // Root of the offline-training trace: everything below — restart tasks on
+  // pool workers included — parents back to this span.
+  obs::Span train_span("train");
+  train_span.SetAttr("restarts", restarts);
+  train_span.SetAttr("models", m_active);
+
   // Every restart is an independent training run: restart-derived seeds, its
   // own agent, replay buffer, noise process and environment copy (Reset()
   // fully reinitializes an EnsembleEnv, so a copy behaves exactly like the
@@ -107,6 +114,8 @@ Status EadrlCombiner::Initialize(const math::Matrix& val_preds,
   };
 
   auto run_restart = [&](size_t restart) {
+    obs::Span restart_span("restart");
+    restart_span.SetAttr("restart", restart);
     RestartOutcome out;
     out.converged_episode = config_.max_episodes;
 
@@ -137,6 +146,11 @@ Status EadrlCombiner::Initialize(const math::Matrix& val_preds,
     double explore_prob = config_.explore_prob;
 
     for (size_t episode = 0; episode < config_.max_episodes; ++episode) {
+      obs::Span episode_span("episode");
+      if (episode_span.armed()) {
+        episode_span.SetAttr("restart", restart);
+        episode_span.SetAttr("episode", episode);
+      }
       math::Vec state = env.Reset();
       noise.Reset();
       double episode_reward = 0.0;
@@ -210,6 +224,7 @@ Status EadrlCombiner::Initialize(const math::Matrix& val_preds,
       bool have_eval = false;
       double eval_score = 0.0;
       if (config_.best_checkpoint) {
+        obs::Span eval_span("eval_rollout");
         math::Vec eval_state = env.Reset();
         double eval_sse = 0.0;
         size_t eval_steps = 0;
@@ -225,6 +240,7 @@ Status EadrlCombiner::Initialize(const math::Matrix& val_preds,
         have_eval = true;
         out.eval_scores.push_back(eval_score);
         if (eval_score > out.best_eval) {
+          obs::Span checkpoint_span("checkpoint");
           out.best_eval = eval_score;
           out.best_actor = agent->ActorWeights();
           EADRL_TELEMETRY("checkpoint", {"restart", restart},
@@ -387,6 +403,7 @@ double EadrlCombiner::Predict(const math::Vec& preds) {
   EADRL_CHECK(initialized_);
   EADRL_CHECK_EQ(preds.size(), num_models_);
   EADRL_CHK_FINITE(preds, "EadrlCombiner::Predict member predictions");
+  obs::Span span("predict");
   obs::ScopedTimer timer(predict_latency_hist_);
   last_state_ = CurrentState();
   math::Vec reduced_action = agent_->Act(last_state_);
@@ -484,6 +501,11 @@ void EadrlCombiner::MaybeOnlineUpdate(const math::Vec& reduced_preds,
     }
   }
   if (trigger && online_buffer_->size() >= config_.batch_size) {
+    obs::Span span("online_update");
+    if (span.armed()) {
+      span.SetAttr("step", online_steps_);
+      span.SetAttr("iterations", config_.online_update_iterations);
+    }
     for (size_t i = 0; i < config_.online_update_iterations; ++i) {
       agent_->Update(online_buffer_->Sample(config_.batch_size,
                                             config_.sampling, *online_rng_));

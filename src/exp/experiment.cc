@@ -16,6 +16,7 @@
 #include "models/regression_forecaster.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "par/parallel.h"
 #include "ts/metrics.h"
 
@@ -32,6 +33,8 @@ obs::Histogram* MethodRuntimeHist(const std::string& method) {
 }  // namespace
 
 PoolRun PreparePool(const ts::Series& series, const ExperimentOptions& opt) {
+  obs::Span span("pool_prepare");
+  span.SetAttr("dataset", series.name());
   ts::TrainTestSplit outer = ts::SplitTrainTest(series, opt.train_ratio);
   ts::TrainTestSplit inner =
       ts::SplitTrainTest(outer.train, 1.0 - opt.validation_ratio);
@@ -62,6 +65,8 @@ PoolRun PreparePool(const ts::Series& series, const ExperimentOptions& opt) {
   // prediction matrices (distinct doubles — safe to fill concurrently).
   run.model_names.resize(pool.size());
   par::ParallelFor(0, pool.size(), [&](size_t m) {
+    obs::Span forecast_span("rolling_forecast");
+    forecast_span.SetAttr("model", pool[m]->name());
     run.model_names[m] = pool[m]->name();
     // Roll through validation, then (state carried over) through test.
     math::Vec val_p = models::RollingForecast(pool[m].get(), inner.test);
@@ -75,6 +80,8 @@ PoolRun PreparePool(const ts::Series& series, const ExperimentOptions& opt) {
 MethodRun RunCombiner(core::Combiner* combiner, const PoolRun& pool) {
   MethodRun result;
   result.name = combiner->name();
+  obs::Span span("method_run");
+  span.SetAttr("method", result.name);
 
   Status st = combiner->Initialize(pool.val_preds, pool.val_actuals);
   EADRL_CHECK(st.ok());
@@ -191,8 +198,12 @@ DatasetResult RunDataset(const ts::Series& series,
   // A concurrent RunSuite interleaves event streams from several datasets in
   // the sink; this ambient scope stamps every event emitted below
   // (pool_prepared, model_fit, episode, ddpg_update, checkpoint, method_run)
-  // with its dataset, following the work across pool workers.
+  // with its dataset, following the work across pool workers. The span is
+  // the causal counterpart: every span opened below (down to worker-side
+  // restarts and episodes) reaches this one through its parent chain.
   obs::TelemetryScope telemetry_scope("dataset", series.name());
+  obs::Span span("dataset_run");
+  span.SetAttr("dataset", series.name());
 
   PoolRun pool = PreparePool(series, opt);
   for (auto& combiner : MakeCombinerSuite(opt)) {
@@ -211,6 +222,8 @@ std::vector<DatasetResult> RunSuite(const std::vector<ts::Series>& datasets,
                                     par::ThreadPool* exec) {
   par::ThreadPool& executor = exec != nullptr ? *exec : par::DefaultPool();
   std::vector<DatasetResult> results(datasets.size());
+  obs::Span span("suite_run");
+  span.SetAttr("datasets", datasets.size());
   obs::Counter* done_counter = obs::MetricRegistry::Default().GetCounter(
       "eadrl_suite_datasets_done_total");
   const auto wall_start = std::chrono::steady_clock::now();

@@ -8,6 +8,7 @@
 #include "common/string_util.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "models/arima.h"
 #include "models/ets.h"
 #include "models/gbm.h"
@@ -294,11 +295,15 @@ std::vector<std::unique_ptr<Forecaster>> FitPool(
   // observable output does not depend on completion order.
   std::vector<Status> statuses(n);
   std::vector<double> fit_seconds(n, 0.0);
+  obs::Span pool_span("pool_fit");
+  pool_span.SetAttr("models", n);
   const auto wall_start = std::chrono::steady_clock::now();
   par::ParallelFor(
       0, n,
       [&](size_t i) {
         EADRL_CHK_BOUND(i, n, "FitPool fit slot");
+        obs::Span span("model_fit");
+        span.SetAttr("model", pool[i]->name());
         obs::ScopedTimer timer(fit_hist, &fit_seconds[i]);
         statuses[i] = pool[i]->Fit(train);
       },

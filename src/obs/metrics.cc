@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <sstream>
 
@@ -34,15 +35,68 @@ void AtomicMax(std::atomic<double>* target, double value) {
   }
 }
 
-std::string LabelSignature(const Labels& labels) {
-  Labels sorted = labels;
-  std::sort(sorted.begin(), sorted.end());
+std::string LabelSignature(const Labels& sorted) {
   std::string sig;
   for (size_t i = 0; i < sorted.size(); ++i) {
     if (i > 0) sig += ",";
     sig += sorted[i].first + "=" + sorted[i].second;
   }
   return sig;
+}
+
+// Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*; anything else is
+// mapped to '_' so an arbitrary registry name still exposes cleanly.
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  for (size_t i = 0; i < out.size(); ++i) {
+    char c = out[i];
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+              c == ':' || (i > 0 && c >= '0' && c <= '9');
+    if (!ok) out[i] = '_';
+  }
+  return out.empty() ? "_" : out;
+}
+
+// Label values in the exposition format escape backslash, quote and newline.
+std::string PrometheusLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string PrometheusLabels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += PrometheusName(labels[i].first) + "=\"" +
+           PrometheusLabelValue(labels[i].second) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string PrometheusNumber(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
 }
 
 void AppendJsonNumber(std::ostringstream* out, double v) {
@@ -258,7 +312,9 @@ std::vector<double> Histogram::DefaultLatencyBounds() {
 MetricRegistry::Entry* MetricRegistry::FindOrCreate(
     const std::string& name, const Labels& labels, Kind kind,
     std::vector<double> bounds) {
-  std::string sig = LabelSignature(labels);
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string sig = LabelSignature(sorted);
   std::lock_guard<std::mutex> lock(mu_);
   auto& family = families_[name];
   if (!family.empty()) {
@@ -270,6 +326,7 @@ MetricRegistry::Entry* MetricRegistry::FindOrCreate(
 
   Entry entry;
   entry.kind = kind;
+  entry.labels = std::move(sorted);
   switch (kind) {
     case Kind::kCounter:
       entry.counter = std::make_unique<Counter>();
@@ -311,12 +368,12 @@ std::string MetricRegistry::ToJson() const {
   for (const auto& [name, family] : families_) {
     if (!first_family) out << ",";
     first_family = false;
-    out << "\"" << name << "\":{";
+    out << "\"" << JsonEscaped(name) << "\":{";
     bool first_metric = true;
     for (const auto& [sig, entry] : family) {
       if (!first_metric) out << ",";
       first_metric = false;
-      out << "\"" << sig << "\":";
+      out << "\"" << JsonEscaped(sig) << "\":";
       switch (entry.kind) {
         case Kind::kCounter:
           out << "{\"type\":\"counter\",\"value\":";
@@ -366,7 +423,8 @@ std::string MetricRegistry::ToCsv() const {
   for (const auto& [name, family] : families_) {
     for (const auto& [sig, entry] : family) {
       auto row = [&](const char* field, double value) {
-        out << name << ",\"" << sig << "\"," << field << "," << value << "\n";
+        out << CsvField(name) << "," << CsvField(sig) << "," << field << ","
+            << value << "\n";
       };
       switch (entry.kind) {
         case Kind::kCounter:
@@ -393,6 +451,58 @@ std::string MetricRegistry::ToCsv() const {
     }
   }
   return out.str();
+}
+
+std::string MetricRegistry::ToPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    if (family.empty()) continue;
+    const std::string prom = PrometheusName(name);
+    const char* type = "untyped";
+    switch (family.begin()->second.kind) {
+      case Kind::kCounter:
+        type = "counter";
+        break;
+      case Kind::kGauge:
+        type = "gauge";
+        break;
+      case Kind::kHistogram:
+        type = "histogram";
+        break;
+    }
+    out += "# TYPE " + prom + " " + type + "\n";
+    for (const auto& [sig, entry] : family) {
+      static_cast<void>(sig);
+      switch (entry.kind) {
+        case Kind::kCounter:
+          out += prom + PrometheusLabels(entry.labels) + " " +
+                 PrometheusNumber(entry.counter->Value()) + "\n";
+          break;
+        case Kind::kGauge:
+          out += prom + PrometheusLabels(entry.labels) + " " +
+                 PrometheusNumber(entry.gauge->Value()) + "\n";
+          break;
+        case Kind::kHistogram: {
+          const HistogramSnapshot snap = entry.histogram->Snapshot();
+          uint64_t cumulative = 0;
+          for (size_t i = 0; i < snap.bounds.size(); ++i) {
+            cumulative += snap.counts[i];
+            Labels with_le = entry.labels;
+            with_le.emplace_back("le", PrometheusNumber(snap.bounds[i]));
+            out += prom + "_bucket" + PrometheusLabels(with_le) + " " +
+                   std::to_string(cumulative) + "\n";
+          }
+          out += prom + "_sum" + PrometheusLabels(entry.labels) + " " +
+                 PrometheusNumber(snap.sum) + "\n";
+          out += prom + "_count" + PrometheusLabels(entry.labels) + " " +
+                 std::to_string(snap.count) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
 }
 
 void MetricRegistry::Reset() {

@@ -153,11 +153,20 @@ class MetricRegistry {
 
   /// Serializes every metric to a JSON object keyed by family name; each
   /// family maps the label signature ("k=v,k2=v2" or "" for no labels) to
-  /// the metric state. See DESIGN.md, "Observability".
+  /// the metric state. Names, signatures and values are JSON-escaped. See
+  /// DESIGN.md, "Observability".
   std::string ToJson() const;
 
   /// Flat CSV: name,labels,field,value — one row per scalar statistic.
+  /// Fields containing commas, quotes or newlines are RFC-4180 quoted.
   std::string ToCsv() const;
+
+  /// Prometheus text exposition (version 0.0.4): one `# TYPE` line per
+  /// family, `name{labels} value` series, histograms expanded into
+  /// cumulative `_bucket{le=...}` series plus `_sum`/`_count`. Metric
+  /// names are sanitized to [a-zA-Z0-9_:]; label values are escaped per the
+  /// exposition format.
+  std::string ToPrometheus() const;
 
   /// Drops every registered metric (invalidates previously returned
   /// pointers); tests only.
@@ -171,6 +180,7 @@ class MetricRegistry {
 
   struct Entry {
     Kind kind;
+    Labels labels;  ///< sorted; kept so ToPrometheus can render pairs.
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;

@@ -1,7 +1,6 @@
 #include "obs/telemetry.h"
 
 #include <cmath>
-#include <cstdio>
 #include <cstring>
 #include <sstream>
 #include <utility>
@@ -10,39 +9,6 @@
 #include "common/string_util.h"
 
 namespace eadrl::obs {
-namespace {
-
-void AppendJsonEscaped(std::ostringstream* out, const std::string& s) {
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        *out << "\\\"";
-        break;
-      case '\\':
-        *out << "\\\\";
-        break;
-      case '\n':
-        *out << "\\n";
-        break;
-      case '\r':
-        *out << "\\r";
-        break;
-      case '\t':
-        *out << "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          *out << buf;
-        } else {
-          *out << c;
-        }
-    }
-  }
-}
-
-}  // namespace
 
 namespace internal_telemetry {
 std::atomic<TelemetrySink*> g_sink{nullptr};
@@ -115,13 +81,10 @@ std::string EventToJson(const TelemetryEvent& event) {
   std::ostringstream out;
   out.precision(17);
   out << "{\"ts\":\"" << FormatIso8601Utc(event.unix_seconds)
-      << "\",\"unix\":" << event.unix_seconds << ",\"kind\":\"";
-  AppendJsonEscaped(&out, event.kind);
-  out << "\"";
+      << "\",\"unix\":" << event.unix_seconds << ",\"kind\":\""
+      << JsonEscaped(event.kind) << "\"";
   for (const TelemetryField& f : event.fields) {
-    out << ",\"";
-    AppendJsonEscaped(&out, f.key);
-    out << "\":";
+    out << ",\"" << JsonEscaped(f.key) << "\":";
     switch (f.type) {
       case TelemetryField::Type::kDouble:
         if (std::isfinite(f.num)) {
@@ -134,9 +97,7 @@ std::string EventToJson(const TelemetryEvent& event) {
         out << f.inum;
         break;
       case TelemetryField::Type::kString:
-        out << "\"";
-        AppendJsonEscaped(&out, f.str);
-        out << "\"";
+        out << "\"" << JsonEscaped(f.str) << "\"";
         break;
     }
   }

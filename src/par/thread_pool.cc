@@ -1,8 +1,10 @@
 #include "par/thread_pool.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
+#include <string>
 
 #include "chk/chk.h"
 #include "common/logging.h"
@@ -60,6 +62,11 @@ void ThreadPool::Submit(std::function<void()> task) {
   item.fn = std::move(task);
   item.depth = tl_depth + 1;
   item.telemetry_ctx = obs::TelemetryContext();
+  if (obs::TracingEnabled()) {
+    item.traced = true;
+    item.trace_parent = obs::CurrentTraceParent();
+    item.enqueue_time = std::chrono::steady_clock::now();
+  }
   if (workers_.empty()) {
     // Serial pool: the caller is the worker.
     RunTask(std::move(item));
@@ -113,6 +120,10 @@ bool ThreadPool::PopTask(size_t self, bool is_worker, size_t min_depth,
       if (it->depth < min_depth) continue;
       *task = std::move(*it);
       victim.tasks.erase(it);
+      // "Stolen" matches eadrl_par_steals_total: a worker draining another
+      // worker's deque. An external waiter scanning queues is helping, not
+      // stealing.
+      task->stolen = is_worker;
       const size_t depth =
           pending_.fetch_sub(1, std::memory_order_acq_rel) - 1;
       queue_depth_gauge_->Set(static_cast<double>(depth));
@@ -125,6 +136,23 @@ bool ThreadPool::PopTask(size_t self, bool is_worker, size_t min_depth,
 
 void ThreadPool::RunTask(Task task) {
   obs::ScopedTelemetryContext telemetry_ctx(std::move(task.telemetry_ctx));
+  // Mask this thread's span stack with the submitter's span identity: spans
+  // the task opens parent to the submitter, not to whatever this thread was
+  // doing (and a helping waiter's own span is credited child time for the
+  // detour — see ScopedTraceParent).
+  obs::ScopedTraceParent trace_parent(task.trace_parent);
+  obs::Span span("par_task");
+  if (span.armed() && task.traced) {
+    span.SetAttr(
+        "queue_wait_seconds",
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      task.enqueue_time)
+            .count());
+    span.SetAttr("stolen", task.stolen);
+    span.SetAttr("worker",
+                 tl_pool == this ? static_cast<long>(tl_worker) : -1L);
+    span.SetAttr("depth", task.depth);
+  }
   const size_t parent_depth = tl_depth;
   tl_depth = task.depth;
   active_workers_gauge_->Add(1.0);
@@ -164,6 +192,7 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
   EADRL_CHK_BOUND(worker_index, queues_.size(), "ThreadPool worker index");
   tl_pool = this;
   tl_worker = worker_index;
+  obs::SetCurrentThreadTraceName("worker-" + std::to_string(worker_index));
   Task task;
   for (;;) {
     // An idle worker takes anything (every task has depth >= 1).

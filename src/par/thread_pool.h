@@ -2,6 +2,7 @@
 #define EADRL_PAR_THREAD_POOL_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -13,6 +14,7 @@
 
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
+#include "obs/trace.h"
 
 namespace eadrl::par {
 
@@ -41,6 +43,10 @@ namespace eadrl::par {
 /// Observability (default MetricRegistry): eadrl_par_tasks_submitted_total
 /// and eadrl_par_steals_total counters, eadrl_par_queue_depth and
 /// eadrl_par_active_workers gauges, eadrl_par_task_seconds latency histogram.
+/// With tracing enabled (obs/trace.h) every task additionally runs inside a
+/// `par_task` span parented to the submitter's active span, carrying
+/// queue_wait_seconds, stolen (steal vs. own-pop), worker id and depth
+/// attributes — the scheduler-internal half of the causal trace.
 class ThreadPool {
  public:
   /// `threads` is the target concurrency, *including* the submitting thread's
@@ -87,11 +93,19 @@ class ThreadPool {
   /// TryRunOneTask for how helping waiters use it. `telemetry_ctx` is the
   /// submitter's ambient obs::TelemetryScope fields, installed around the
   /// task so events emitted on workers keep their run identity (e.g. which
-  /// dataset of a concurrent suite run they belong to).
+  /// dataset of a concurrent suite run they belong to). When tracing is
+  /// enabled at submission, `trace_parent` snapshots the submitter's span
+  /// identity (the tracing analogue of `telemetry_ctx`) and `enqueue_time`
+  /// feeds the per-task queue-wait attribute; `stolen` is set by PopTask
+  /// when the task ran on a thread other than the deque it was pushed to.
   struct Task {
     std::function<void()> fn;
     size_t depth = 1;
     std::vector<obs::TelemetryField> telemetry_ctx;
+    obs::TraceParent trace_parent{};
+    std::chrono::steady_clock::time_point enqueue_time{};
+    bool traced = false;
+    bool stolen = false;
   };
 
   struct WorkerQueue {

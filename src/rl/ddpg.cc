@@ -8,6 +8,7 @@
 #include "math/vec.h"
 #include "nn/param.h"
 #include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "par/parallel.h"
 
 namespace eadrl::rl {
@@ -190,6 +191,11 @@ void DdpgAgent::SetActorWeights(const std::vector<math::Matrix>& weights) {
 
 double DdpgAgent::Update(const std::vector<Transition>& batch) {
   EADRL_CHECK(!batch.empty());
+  obs::Span span("ddpg_update");
+  if (span.armed()) {
+    span.SetAttr("batch", batch.size());
+    span.SetAttr("update", num_updates_ + 1);
+  }
   if (batch.size() >= kMinParallelBatch && par::DefaultPool().parallel()) {
     return UpdateParallel(batch);
   }
@@ -200,67 +206,74 @@ double DdpgAgent::Update(const std::vector<Transition>& batch) {
       config_.critic_form == CriticForm::kLinearInAction;
   double critic_loss = 0.0;
   double abs_q_sum = 0.0;
-  for (const Transition& t : batch) {
-    double target = t.reward;
-    if (!t.terminal) {
-      math::Vec next_logits = target_actor_->Forward(t.next_state);
-      for (double& v : next_logits) v *= config_.logit_scale;
-      math::Vec next_action = math::Softmax(next_logits);
-      double next_q =
-          linear_critic
-              ? math::Dot(next_action,
-                          target_critic_->Forward(t.next_state))
-              : target_critic_->Forward(
-                    CriticInput(t.next_state, next_action))[0];
-      target += config_.gamma * next_q;
+  {
+    obs::Span critic_span("critic_update");
+    for (const Transition& t : batch) {
+      double target = t.reward;
+      if (!t.terminal) {
+        math::Vec next_logits = target_actor_->Forward(t.next_state);
+        for (double& v : next_logits) v *= config_.logit_scale;
+        math::Vec next_action = math::Softmax(next_logits);
+        double next_q =
+            linear_critic
+                ? math::Dot(next_action,
+                            target_critic_->Forward(t.next_state))
+                : target_critic_->Forward(
+                      CriticInput(t.next_state, next_action))[0];
+        target += config_.gamma * next_q;
+      }
+      if (linear_critic) {
+        math::Vec q_vec = critic_->Forward(t.state);
+        double q = math::Dot(t.action, q_vec);
+        double err = q - target;
+        critic_loss += err * err * inv_n;
+        abs_q_sum += std::fabs(q);
+        // dL/dq_i = 2 * err * a_i / N.
+        critic_->Backward(math::Scale(t.action, 2.0 * err * inv_n));
+      } else {
+        double q = critic_->Forward(CriticInput(t.state, t.action))[0];
+        double err = q - target;
+        critic_loss += err * err * inv_n;
+        abs_q_sum += std::fabs(q);
+        critic_->Backward({2.0 * err * inv_n});
+      }
     }
-    if (linear_critic) {
-      math::Vec q_vec = critic_->Forward(t.state);
-      double q = math::Dot(t.action, q_vec);
-      double err = q - target;
-      critic_loss += err * err * inv_n;
-      abs_q_sum += std::fabs(q);
-      // dL/dq_i = 2 * err * a_i / N.
-      critic_->Backward(math::Scale(t.action, 2.0 * err * inv_n));
-    } else {
-      double q = critic_->Forward(CriticInput(t.state, t.action))[0];
-      double err = q - target;
-      critic_loss += err * err * inv_n;
-      abs_q_sum += std::fabs(q);
-      critic_->Backward({2.0 * err * inv_n});
-    }
+    nn::ClipGradNorm(critic_->Params(), config_.grad_clip);
+    critic_opt_.StepAndZero();
   }
-  nn::ClipGradNorm(critic_->Params(), config_.grad_clip);
-  critic_opt_.StepAndZero();
 
   // --- Actor update: ascend dQ/dtheta through the softmax. ----------------
   double entropy_sum = 0.0;
-  for (const Transition& t : batch) {
-    math::Vec logits = actor_->Forward(t.state);
-    for (double& v : logits) v *= config_.logit_scale;
-    math::Vec action = math::Softmax(logits);
-    for (double p : action) {
-      if (p > 0.0) entropy_sum -= p * std::log(p);
+  {
+    obs::Span actor_span("actor_update");
+    for (const Transition& t : batch) {
+      math::Vec logits = actor_->Forward(t.state);
+      for (double& v : logits) v *= config_.logit_scale;
+      math::Vec action = math::Softmax(logits);
+      for (double p : action) {
+        if (p > 0.0) entropy_sum -= p * std::log(p);
+      }
+      math::Vec dq_da;
+      if (linear_critic) {
+        dq_da = critic_->Forward(t.state);  // dQ/da = q(s), exactly.
+      } else {
+        critic_->Forward(CriticInput(t.state, action));
+        math::Vec dinput = critic_->Backward({1.0});
+        dq_da.assign(
+            dinput.begin() + static_cast<ptrdiff_t>(config_.state_dim),
+            dinput.end());
+      }
+      math::Vec dq_dz = SoftmaxJacobianVjp(action, dq_da);
+      // Gradient ascent on Q == descent on -Q; chain through the logit scale
+      // and add the L2 pull of the logits toward zero (uniform weights),
+      // which keeps the actor from running away into action regions the
+      // critic has never been trained on.
+      for (size_t j = 0; j < dq_dz.size(); ++j) {
+        dq_dz[j] = -inv_n * config_.logit_scale * dq_dz[j] +
+                   inv_n * config_.logit_l2 * logits[j];
+      }
+      actor_->Backward(dq_dz);
     }
-    math::Vec dq_da;
-    if (linear_critic) {
-      dq_da = critic_->Forward(t.state);  // dQ/da = q(s), exactly.
-    } else {
-      critic_->Forward(CriticInput(t.state, action));
-      math::Vec dinput = critic_->Backward({1.0});
-      dq_da.assign(dinput.begin() + static_cast<ptrdiff_t>(config_.state_dim),
-                   dinput.end());
-    }
-    math::Vec dq_dz = SoftmaxJacobianVjp(action, dq_da);
-    // Gradient ascent on Q == descent on -Q; chain through the logit scale
-    // and add the L2 pull of the logits toward zero (uniform weights), which
-    // keeps the actor from running away into action regions the critic has
-    // never been trained on.
-    for (size_t j = 0; j < dq_dz.size(); ++j) {
-      dq_dz[j] = -inv_n * config_.logit_scale * dq_dz[j] +
-                 inv_n * config_.logit_l2 * logits[j];
-    }
-    actor_->Backward(dq_dz);
   }
   return FinishUpdate(critic_loss, abs_q_sum, entropy_sum, inv_n);
 }
@@ -287,98 +300,101 @@ double DdpgAgent::UpdateParallel(const std::vector<Transition>& batch) {
   std::vector<std::vector<math::Matrix>> critic_grads(n);
   std::vector<double> loss_terms(n, 0.0);
   std::vector<double> abs_q_terms(n, 0.0);
-  par::ParallelFor(0, num_chunks, [&](size_t c) {
-    std::unique_ptr<nn::Mlp> critic = CloneNet(*critic_, critic_sizes);
-    std::unique_ptr<nn::Mlp> target_actor =
-        CloneNet(*target_actor_, actor_sizes);
-    std::unique_ptr<nn::Mlp> target_critic =
-        CloneNet(*target_critic_, critic_sizes);
-    const size_t lo = c * kUpdateGrain;
-    const size_t hi = std::min(n, lo + kUpdateGrain);
-    for (size_t i = lo; i < hi; ++i) {
-      const Transition& t = batch[i];
-      double target = t.reward;
-      if (!t.terminal) {
-        math::Vec next_logits = target_actor->Forward(t.next_state);
-        for (double& v : next_logits) v *= config_.logit_scale;
-        math::Vec next_action = math::Softmax(next_logits);
-        double next_q =
-            linear_critic
-                ? math::Dot(next_action, target_critic->Forward(t.next_state))
-                : target_critic->Forward(
-                      CriticInput(t.next_state, next_action))[0];
-        target += config_.gamma * next_q;
-      }
-      if (linear_critic) {
-        math::Vec q_vec = critic->Forward(t.state);
-        double q = math::Dot(t.action, q_vec);
-        double err = q - target;
-        loss_terms[i] = err * err * inv_n;
-        abs_q_terms[i] = std::fabs(q);
-        critic->Backward(math::Scale(t.action, 2.0 * err * inv_n));
-      } else {
-        double q = critic->Forward(CriticInput(t.state, t.action))[0];
-        double err = q - target;
-        loss_terms[i] = err * err * inv_n;
-        abs_q_terms[i] = std::fabs(q);
-        critic->Backward({2.0 * err * inv_n});
-      }
-      critic_grads[i] = ExtractGrads(critic->Params());
-    }
-  });
   double critic_loss = 0.0;
   double abs_q_sum = 0.0;
   {
+    obs::Span critic_span("critic_update");
+    par::ParallelFor(0, num_chunks, [&](size_t c) {
+      std::unique_ptr<nn::Mlp> critic = CloneNet(*critic_, critic_sizes);
+      std::unique_ptr<nn::Mlp> target_actor =
+          CloneNet(*target_actor_, actor_sizes);
+      std::unique_ptr<nn::Mlp> target_critic =
+          CloneNet(*target_critic_, critic_sizes);
+      const size_t lo = c * kUpdateGrain;
+      const size_t hi = std::min(n, lo + kUpdateGrain);
+      for (size_t i = lo; i < hi; ++i) {
+        const Transition& t = batch[i];
+        double target = t.reward;
+        if (!t.terminal) {
+          math::Vec next_logits = target_actor->Forward(t.next_state);
+          for (double& v : next_logits) v *= config_.logit_scale;
+          math::Vec next_action = math::Softmax(next_logits);
+          double next_q =
+              linear_critic
+                  ? math::Dot(next_action,
+                              target_critic->Forward(t.next_state))
+                  : target_critic->Forward(
+                        CriticInput(t.next_state, next_action))[0];
+          target += config_.gamma * next_q;
+        }
+        if (linear_critic) {
+          math::Vec q_vec = critic->Forward(t.state);
+          double q = math::Dot(t.action, q_vec);
+          double err = q - target;
+          loss_terms[i] = err * err * inv_n;
+          abs_q_terms[i] = std::fabs(q);
+          critic->Backward(math::Scale(t.action, 2.0 * err * inv_n));
+        } else {
+          double q = critic->Forward(CriticInput(t.state, t.action))[0];
+          double err = q - target;
+          loss_terms[i] = err * err * inv_n;
+          abs_q_terms[i] = std::fabs(q);
+          critic->Backward({2.0 * err * inv_n});
+        }
+        critic_grads[i] = ExtractGrads(critic->Params());
+      }
+    });
     const std::vector<nn::Param*> params = critic_->Params();
     for (size_t i = 0; i < n; ++i) {
       critic_loss += loss_terms[i];
       abs_q_sum += abs_q_terms[i];
       AccumulateGrads(params, critic_grads[i]);
     }
+    nn::ClipGradNorm(critic_->Params(), config_.grad_clip);
+    critic_opt_.StepAndZero();
   }
-  nn::ClipGradNorm(critic_->Params(), config_.grad_clip);
-  critic_opt_.StepAndZero();
 
   // --- Actor phase (replicas cloned after the critic step so dQ/da uses the
   // updated critic, as in the serial loop). --------------------------------
   std::vector<std::vector<math::Matrix>> actor_grads(n);
   std::vector<double> entropy_terms(n, 0.0);
-  par::ParallelFor(0, num_chunks, [&](size_t c) {
-    std::unique_ptr<nn::Mlp> actor = CloneNet(*actor_, actor_sizes);
-    std::unique_ptr<nn::Mlp> critic = CloneNet(*critic_, critic_sizes);
-    const size_t lo = c * kUpdateGrain;
-    const size_t hi = std::min(n, lo + kUpdateGrain);
-    for (size_t i = lo; i < hi; ++i) {
-      const Transition& t = batch[i];
-      math::Vec logits = actor->Forward(t.state);
-      for (double& v : logits) v *= config_.logit_scale;
-      math::Vec action = math::Softmax(logits);
-      double entropy = 0.0;
-      for (double p : action) {
-        if (p > 0.0) entropy -= p * std::log(p);
-      }
-      entropy_terms[i] = entropy;
-      math::Vec dq_da;
-      if (linear_critic) {
-        dq_da = critic->Forward(t.state);  // dQ/da = q(s), exactly.
-      } else {
-        critic->Forward(CriticInput(t.state, action));
-        math::Vec dinput = critic->Backward({1.0});
-        dq_da.assign(
-            dinput.begin() + static_cast<ptrdiff_t>(config_.state_dim),
-            dinput.end());
-      }
-      math::Vec dq_dz = SoftmaxJacobianVjp(action, dq_da);
-      for (size_t j = 0; j < dq_dz.size(); ++j) {
-        dq_dz[j] = -inv_n * config_.logit_scale * dq_dz[j] +
-                   inv_n * config_.logit_l2 * logits[j];
-      }
-      actor->Backward(dq_dz);
-      actor_grads[i] = ExtractGrads(actor->Params());
-    }
-  });
   double entropy_sum = 0.0;
   {
+    obs::Span actor_span("actor_update");
+    par::ParallelFor(0, num_chunks, [&](size_t c) {
+      std::unique_ptr<nn::Mlp> actor = CloneNet(*actor_, actor_sizes);
+      std::unique_ptr<nn::Mlp> critic = CloneNet(*critic_, critic_sizes);
+      const size_t lo = c * kUpdateGrain;
+      const size_t hi = std::min(n, lo + kUpdateGrain);
+      for (size_t i = lo; i < hi; ++i) {
+        const Transition& t = batch[i];
+        math::Vec logits = actor->Forward(t.state);
+        for (double& v : logits) v *= config_.logit_scale;
+        math::Vec action = math::Softmax(logits);
+        double entropy = 0.0;
+        for (double p : action) {
+          if (p > 0.0) entropy -= p * std::log(p);
+        }
+        entropy_terms[i] = entropy;
+        math::Vec dq_da;
+        if (linear_critic) {
+          dq_da = critic->Forward(t.state);  // dQ/da = q(s), exactly.
+        } else {
+          critic->Forward(CriticInput(t.state, action));
+          math::Vec dinput = critic->Backward({1.0});
+          dq_da.assign(
+              dinput.begin() + static_cast<ptrdiff_t>(config_.state_dim),
+              dinput.end());
+        }
+        math::Vec dq_dz = SoftmaxJacobianVjp(action, dq_da);
+        for (size_t j = 0; j < dq_dz.size(); ++j) {
+          dq_dz[j] = -inv_n * config_.logit_scale * dq_dz[j] +
+                     inv_n * config_.logit_l2 * logits[j];
+        }
+        actor->Backward(dq_dz);
+        actor_grads[i] = ExtractGrads(actor->Params());
+      }
+    });
     const std::vector<nn::Param*> params = actor_->Params();
     for (size_t i = 0; i < n; ++i) {
       entropy_sum += entropy_terms[i];
@@ -402,8 +418,11 @@ double DdpgAgent::FinishUpdate(double critic_loss, double abs_q_sum,
   actor_opt_.StepAndZero();
 
   // --- Soft target updates. ------------------------------------------------
-  nn::SoftUpdate(target_actor_->Params(), actor_->Params(), config_.tau);
-  nn::SoftUpdate(target_critic_->Params(), critic_->Params(), config_.tau);
+  {
+    obs::Span sync_span("target_sync");
+    nn::SoftUpdate(target_actor_->Params(), actor_->Params(), config_.tau);
+    nn::SoftUpdate(target_critic_->Params(), critic_->Params(), config_.tau);
+  }
 
   // --- Telemetry. ----------------------------------------------------------
   last_stats_.critic_loss = critic_loss;

@@ -1,0 +1,81 @@
+#include "common/json.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace eadrl::json {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(Parse("null")->is_null());
+  EXPECT_TRUE(Parse("true")->AsBool());
+  EXPECT_FALSE(Parse("false")->AsBool());
+  EXPECT_DOUBLE_EQ(Parse("3.5")->AsNumber(), 3.5);
+  EXPECT_DOUBLE_EQ(Parse("-2e3")->AsNumber(), -2000.0);
+  EXPECT_EQ(Parse("\"hi\"")->AsString(), "hi");
+}
+
+TEST(JsonTest, ParsesNestedStructure) {
+  auto parsed = Parse(R"({"a": [1, 2, {"b": true}], "c": "x"})");
+  ASSERT_TRUE(parsed.ok());
+  const Value& root = parsed.value();
+  ASSERT_TRUE(root.is_object());
+  const Value* a = root.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->AsArray().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->AsArray()[0].AsNumber(), 1.0);
+  const Value* b = a->AsArray()[2].Find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_TRUE(b->AsBool());
+  EXPECT_EQ(root.Find("c")->AsString(), "x");
+  EXPECT_EQ(root.Find("missing"), nullptr);
+}
+
+TEST(JsonTest, DecodesStringEscapes) {
+  auto parsed = Parse(R"("a\"b\\c\nd\teAé")");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->AsString(), "a\"b\\c\nd\teA\xc3\xa9");
+}
+
+TEST(JsonTest, DecodesSurrogatePairs) {
+  auto parsed = Parse(R"("😀")");  // U+1F600
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->AsString(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("{").ok());
+  EXPECT_FALSE(Parse("[1,]").ok());
+  EXPECT_FALSE(Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Parse("01").ok());
+  EXPECT_FALSE(Parse("\"unterminated").ok());
+  EXPECT_FALSE(Parse("nul").ok());
+  EXPECT_FALSE(Parse("1 trailing").ok());
+  // A lone surrogate half is not a valid escape sequence.
+  EXPECT_FALSE(Parse(R"("\ud83d")").ok());
+}
+
+TEST(JsonTest, ErrorsCarryAByteOffset) {
+  auto parsed = Parse("[1, x]");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().ToString().find("offset"), std::string::npos);
+}
+
+TEST(JsonTest, RejectsPathologicalNesting) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_FALSE(Parse(deep).ok());
+}
+
+TEST(JsonTest, DuplicateKeysKeptAndFindReturnsFirst) {
+  auto parsed = Parse(R"({"k": 1, "k": 2})");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->AsObject().size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed->Find("k")->AsNumber(), 1.0);
+}
+
+}  // namespace
+}  // namespace eadrl::json

@@ -1,0 +1,5 @@
+#include "obs/trace.h"
+
+void Train() {
+  eadrl::obs::Span span("totally_unregistered_span");
+}

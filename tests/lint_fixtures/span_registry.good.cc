@@ -1,0 +1,17 @@
+#include "obs/trace.h"
+
+// Non-construction uses of the Span identifier must not match the rule:
+// a pointer declaration and a constructor declaration (no string literal in
+// the argument slot).
+eadrl::obs::Span* g_active = nullptr;
+
+struct Span {
+  explicit Span(const char* name);
+};
+
+void Train() {
+  eadrl::obs::Span span("train");
+  span.SetAttr("restarts", 3);
+  // Unnamed temporary form.
+  eadrl::obs::Span("predict");
+}

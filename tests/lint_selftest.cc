@@ -38,6 +38,16 @@ Config RegistryWith(std::vector<std::string> kinds) {
   return config;
 }
 
+Config SpanRegistryWith(std::vector<std::string> names) {
+  Config config;
+  config.have_spans_registry = true;
+  size_t line = 1;
+  for (std::string& name : names) {
+    config.registered_spans.emplace(std::move(name), line++);
+  }
+  return config;
+}
+
 std::vector<std::string> RuleIds(const std::vector<Finding>& findings) {
   std::vector<std::string> ids;
   for (const Finding& f : findings) ids.push_back(f.rule);
@@ -54,7 +64,9 @@ class FixtureTest : public ::testing::TestWithParam<FixtureCase> {};
 
 TEST_P(FixtureTest, FiresExactlyTheExpectedRules) {
   const FixtureCase& c = GetParam();
-  const Config config = RegistryWith({"episode", "predict"});
+  Config config = RegistryWith({"episode", "predict"});
+  config.have_spans_registry = true;
+  config.registered_spans = {{"train", 1}, {"predict", 2}};
   const std::vector<Finding> findings =
       CheckFile(c.pretend_path, ReadFixture(c.fixture), config);
   EXPECT_EQ(RuleIds(findings), c.expect_rules)
@@ -107,6 +119,11 @@ INSTANTIATE_TEST_SUITE_P(
                     {"event-registry"}},
         FixtureCase{"event_registry.bad.cc", "tests/fake/train.cc", {}},
         FixtureCase{"event_registry.good.cc", "src/fake/train.cc", {}},
+        // Trace span names must be registered (src/ only).
+        FixtureCase{"span_registry.bad.cc", "src/fake/train.cc",
+                    {"span-registry"}},
+        FixtureCase{"span_registry.bad.cc", "tests/fake/train.cc", {}},
+        FixtureCase{"span_registry.good.cc", "src/fake/train.cc", {}},
         // Task markers need an owner/issue tag.
         FixtureCase{"todo_tag.bad.cc", "src/fake/pending.cc",
                     {"todo-tag", "todo-tag"}},
@@ -161,6 +178,37 @@ TEST(LintTest, RegistryStalenessFlagsUnusedEntries) {
   EXPECT_NE(findings[0].message.find("predict"), std::string::npos);
 }
 
+TEST(LintTest, ParseSpansDefReadsNamesAndFlagsDuplicates) {
+  const std::string registry =
+      "EADRL_SPAN(train, \"one training run\")\n"
+      "EADRL_SPAN(predict, \"one prediction\")\n"
+      "EADRL_SPAN(train, \"duplicate\")\n";
+  std::vector<Finding> findings;
+  const std::map<std::string, size_t> spans =
+      ParseSpansDef("src/obs/spans.def", registry, &findings);
+  EXPECT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans.at("train"), 1u);
+  EXPECT_EQ(spans.at("predict"), 2u);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "span-registry");
+  EXPECT_EQ(findings[0].line, 3u);
+}
+
+TEST(LintTest, UsedSpansSeesNamedAndTemporaryForms) {
+  const std::set<std::string> names =
+      UsedSpans(ReadFixture("span_registry.good.cc"));
+  EXPECT_EQ(names, (std::set<std::string>{"train", "predict"}));
+}
+
+TEST(LintTest, SpanRegistryStalenessFlagsUnusedEntries) {
+  const Config config = SpanRegistryWith({"train", "predict"});
+  const std::vector<Finding> findings =
+      CheckSpanRegistryStaleness("src/obs/spans.def", config, {"train"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "span-registry-stale");
+  EXPECT_NE(findings[0].message.find("predict"), std::string::npos);
+}
+
 TEST(LintTest, FormatFindingMatchesGateGrammar) {
   const Finding f{"src/nn/dense.cc", 12, "banned-io", "std::cout in src/"};
   EXPECT_EQ(FormatFinding(f), "src/nn/dense.cc:12: banned-io: std::cout in src/");
@@ -170,7 +218,8 @@ TEST(LintTest, CatalogCoversEveryRuleTheTestsUse) {
   for (const char* id :
        {"banned-rand", "banned-io", "naked-new", "naked-delete", "wall-clock",
         "include-bits", "include-self-first", "header-guard", "event-registry",
-        "event-registry-stale", "todo-tag", "stale-nolint"}) {
+        "event-registry-stale", "span-registry", "span-registry-stale",
+        "todo-tag", "stale-nolint"}) {
     EXPECT_EQ(RuleCatalog().count(id), 1u) << id;
   }
 }

@@ -1,7 +1,10 @@
 #include <cctype>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
+#include <stdexcept>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -9,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/json.h"
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "obs/metrics.h"
@@ -435,6 +439,130 @@ TEST(ObsTelemetryScopeTest, AmbientFieldsAppendedWhileScopeAlive) {
   EXPECT_EQ(events[1].fields[2].str, "a");
   ASSERT_EQ(events[2].fields.size(), 2u);
   ASSERT_EQ(events[3].fields.size(), 1u);
+}
+
+TEST(ObsRegistryTest, JsonSnapshotEscapesAwkwardNamesAndLabels) {
+  MetricRegistry reg;
+  reg.GetCounter("hits\"quoted\"\nline", {{"path", "a,b\"c\\d"}})->Inc(2);
+
+  // The whole snapshot must stay parseable JSON despite the hostile name.
+  auto parsed = json::Parse(reg.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const json::Value* family = parsed->Find("hits\"quoted\"\nline");
+  ASSERT_NE(family, nullptr);
+  ASSERT_TRUE(family->is_object());
+  ASSERT_EQ(family->AsObject().size(), 1u);
+  // The signature key round-trips the raw label value.
+  EXPECT_NE(family->AsObject()[0].first.find("a,b\"c\\d"), std::string::npos);
+  EXPECT_DOUBLE_EQ(
+      family->AsObject()[0].second.Find("value")->AsNumber(), 2.0);
+}
+
+TEST(ObsRegistryTest, CsvSnapshotQuotesAwkwardFields) {
+  MetricRegistry reg;
+  reg.GetCounter("say \"hi\"", {{"k", "a,b"}})->Inc();
+  reg.GetGauge("plain")->Set(1.0);
+
+  const std::string csv = reg.ToCsv();
+  // Quotes are doubled and the whole field wrapped per RFC 4180.
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos) << csv;
+  // A label signature containing a comma must be quoted, or column
+  // positions shift for every row after it.
+  EXPECT_NE(csv.find("\"k=a,b\""), std::string::npos) << csv;
+  // Unremarkable fields stay unquoted.
+  EXPECT_NE(csv.find("plain,,value,1"), std::string::npos) << csv;
+}
+
+TEST(ObsRegistryTest, PrometheusExposition) {
+  MetricRegistry reg;
+  reg.GetCounter("weird.name-total")->Inc(3);
+  reg.GetGauge("temp", {{"room", "a\"b\\c\nd"}})->Set(21.5);
+  // Binary-exact bounds and observations keep the %.17g goldens stable.
+  Histogram* hist = reg.GetHistogram("lat_seconds", {0.125, 1.0});
+  hist->Observe(0.0625);
+  hist->Observe(0.5);
+  hist->Observe(6.0);
+
+  const std::string prom = reg.ToPrometheus();
+  // Metric names are sanitized to the exposition charset.
+  EXPECT_NE(prom.find("# TYPE weird_name_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("weird_name_total 3\n"), std::string::npos);
+  // Label values escape backslash, quote and newline.
+  EXPECT_NE(prom.find("temp{room=\"a\\\"b\\\\c\\nd\"} 21.5\n"),
+            std::string::npos)
+      << prom;
+  // Histogram buckets are cumulative and end in +Inf; _sum/_count follow.
+  EXPECT_NE(prom.find("# TYPE lat_seconds histogram\n"), std::string::npos);
+  EXPECT_NE(prom.find("lat_seconds_bucket{le=\"0.125\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("lat_seconds_bucket{le=\"1\"} 2\n"), std::string::npos);
+  EXPECT_NE(prom.find("lat_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("lat_seconds_count 3\n"), std::string::npos);
+  EXPECT_NE(prom.find("lat_seconds_sum 6.5625\n"), std::string::npos);
+}
+
+TEST(ObsTelemetryTest, FileSinkFlushLeavesNoTruncatedFinalLine) {
+  const std::string path =
+      ::testing::TempDir() + "/eadrl_obs_flush_test.jsonl";
+  std::remove(path.c_str());
+  {
+    JsonLinesSink sink(path);
+    ASSERT_TRUE(sink.ok());
+    SetTelemetrySink(&sink);
+    EADRL_TELEMETRY("first", {"n", 1});
+    EADRL_TELEMETRY("second", {"text", "line\nbreak"});
+    SetTelemetrySink(nullptr);
+    sink.Flush();
+
+    // After Flush the file must contain only complete, parseable lines —
+    // a consumer tailing the file never sees a truncated record.
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    const std::string text = contents.str();
+    ASSERT_FALSE(text.empty());
+    EXPECT_EQ(text.back(), '\n');
+    std::istringstream lines(text);
+    std::string line;
+    size_t n = 0;
+    while (std::getline(lines, line)) {
+      ++n;
+      std::map<std::string, std::string> obj;
+      EXPECT_TRUE(ParseFlatJsonObject(line, &obj)) << line;
+    }
+    EXPECT_EQ(n, 2u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ObsTelemetryScopeTest, ScopeUnwindsOnException) {
+  ASSERT_TRUE(TelemetryContext().empty());
+  try {
+    TelemetryScope scope("dataset", "bike");
+    ASSERT_EQ(TelemetryContext().size(), 1u);
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  // Stack unwinding must pop the scope's ambient field.
+  EXPECT_TRUE(TelemetryContext().empty());
+}
+
+TEST(ObsTelemetryScopeTest, ScopedContextUnwindsOnException) {
+  TelemetryScope outer("dataset", "taxi");
+  try {
+    ScopedTelemetryContext override_ctx(
+        {TelemetryField{"run", "worker"}});
+    ASSERT_EQ(TelemetryContext().size(), 1u);
+    EXPECT_EQ(TelemetryContext()[0].str, "worker");
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  // The override is rolled back to the ambient context it replaced.
+  ASSERT_EQ(TelemetryContext().size(), 1u);
+  EXPECT_EQ(TelemetryContext()[0].str, "taxi");
 }
 
 TEST(ObsTelemetryScopeTest, SnapshotAndOverrideRestorePreviousContext) {

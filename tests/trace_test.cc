@@ -1,0 +1,232 @@
+#include "obs/trace.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "obs/metrics.h"
+
+namespace eadrl::obs {
+namespace {
+
+// Every test installs its own buffer and uninstalls it on exit, so a failing
+// assertion can never leave a dangling global sink for the next test.
+class TraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetTraceBuffer(nullptr); }
+
+  TraceBuffer buffer_;
+};
+
+TEST_F(TraceTest, DisabledSpanIsUnarmedAndRecordsNothing) {
+  ASSERT_FALSE(TracingEnabled());
+  {
+    Span span("train");
+    EXPECT_FALSE(span.armed());
+    span.SetAttr("ignored", 1);  // must be a no-op, not a crash
+    EXPECT_EQ(span.span_id(), 0u);
+  }
+  SetTraceBuffer(&buffer_);
+  EXPECT_EQ(buffer_.size(), 0u);
+}
+
+TEST_F(TraceTest, NestedSpansShareATraceAndChainParents) {
+  SetTraceBuffer(&buffer_);
+  uint64_t outer_id = 0;
+  uint64_t trace_id = 0;
+  {
+    Span outer("train");
+    ASSERT_TRUE(outer.armed());
+    outer_id = outer.span_id();
+    trace_id = outer.trace_id();
+    EXPECT_EQ(outer.parent_id(), 0u);  // trace root
+    {
+      Span inner("episode");
+      EXPECT_EQ(inner.trace_id(), trace_id);
+      EXPECT_EQ(inner.parent_id(), outer_id);
+    }
+  }
+  const std::vector<FinishedSpan> spans = buffer_.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Snapshot sorts by start time: outer started first.
+  EXPECT_STREQ(spans[0].name, "train");
+  EXPECT_STREQ(spans[1].name, "episode");
+  EXPECT_EQ(spans[1].parent_id, spans[0].span_id);
+  EXPECT_GE(spans[0].dur_us, spans[1].dur_us);
+  EXPECT_LE(spans[0].start_us, spans[1].start_us);
+}
+
+TEST_F(TraceTest, SiblingRootsGetDistinctTraceIds) {
+  SetTraceBuffer(&buffer_);
+  uint64_t first = 0;
+  {
+    Span a("train");
+    first = a.trace_id();
+  }
+  Span b("train");
+  EXPECT_NE(b.trace_id(), first);
+  EXPECT_EQ(b.parent_id(), 0u);
+}
+
+TEST_F(TraceTest, ScopedTraceParentMasksAndRestoresTheStack) {
+  SetTraceBuffer(&buffer_);
+  Span outer("train");
+  {
+    ScopedTraceParent mask(TraceParent{777, 888});
+    // The outer span is hidden: new spans parent to the remote identity.
+    Span remote_child("par_task");
+    EXPECT_EQ(remote_child.trace_id(), 777u);
+    EXPECT_EQ(remote_child.parent_id(), 888u);
+  }
+  Span local_child("episode");
+  EXPECT_EQ(local_child.trace_id(), outer.trace_id());
+  EXPECT_EQ(local_child.parent_id(), outer.span_id());
+}
+
+TEST_F(TraceTest, ZeroRemoteParentStartsANewTrace) {
+  SetTraceBuffer(&buffer_);
+  Span outer("train");
+  ScopedTraceParent mask(TraceParent{});  // submitter had no active span
+  Span task("par_task");
+  EXPECT_NE(task.trace_id(), outer.trace_id());
+  EXPECT_EQ(task.parent_id(), 0u);
+}
+
+TEST_F(TraceTest, CrossThreadChildKeepsTheSubmittersIdentity) {
+  SetTraceBuffer(&buffer_);
+  TraceParent parent;
+  uint64_t child_parent_id = 0;
+  uint64_t child_trace_id = 0;
+  {
+    Span outer("train");
+    parent = CurrentTraceParent();
+    ASSERT_EQ(parent.span_id, outer.span_id());
+    std::thread worker([&] {
+      ScopedTraceParent mask(parent);
+      Span task("par_task");
+      child_parent_id = task.parent_id();
+      child_trace_id = task.trace_id();
+    });
+    worker.join();
+    EXPECT_EQ(child_parent_id, outer.span_id());
+    EXPECT_EQ(child_trace_id, outer.trace_id());
+  }
+}
+
+TEST_F(TraceTest, ChromeExportIsValidJsonWithExpectedShape) {
+  SetCurrentThreadTraceName("test-main");
+  SetTraceBuffer(&buffer_);
+  {
+    Span span("train");
+    span.SetAttr("restarts", 3);
+    span.SetAttr("note", std::string("quote\"and\\slash"));
+    span.SetAttr("loss", 0.25);
+  }
+  SetTraceBuffer(nullptr);
+
+  auto parsed = json::Parse(buffer_.ToChromeTraceJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const json::Value& root = parsed.value();
+  const json::Value* events = root.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  EXPECT_EQ(root.Find("displayTimeUnit")->AsString(), "ms");
+  EXPECT_DOUBLE_EQ(
+      root.Find("otherData")->Find("dropped_spans")->AsNumber(), 0.0);
+
+  bool saw_process_name = false;
+  bool saw_thread_name = false;
+  const json::Value* x_event = nullptr;
+  for (const json::Value& event : events->AsArray()) {
+    const std::string& ph = event.Find("ph")->AsString();
+    if (ph == "M" && event.Find("name")->AsString() == "process_name") {
+      saw_process_name = true;
+    }
+    if (ph == "M" && event.Find("name")->AsString() == "thread_name" &&
+        event.Find("args")->Find("name")->AsString() == "test-main") {
+      saw_thread_name = true;
+    }
+    if (ph == "X") x_event = &event;
+  }
+  EXPECT_TRUE(saw_process_name);
+  EXPECT_TRUE(saw_thread_name);
+  ASSERT_NE(x_event, nullptr);
+  EXPECT_EQ(x_event->Find("name")->AsString(), "train");
+  EXPECT_EQ(x_event->Find("cat")->AsString(), "eadrl");
+  EXPECT_GE(x_event->Find("dur")->AsNumber(), 0.0);
+  EXPECT_GE(x_event->Find("ts")->AsNumber(), 0.0);
+  const json::Value* args = x_event->Find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_GT(args->Find("span_id")->AsNumber(), 0.0);
+  EXPECT_EQ(args->Find("parent_id"), nullptr);  // root span
+  EXPECT_DOUBLE_EQ(args->Find("restarts")->AsNumber(), 3.0);
+  EXPECT_EQ(args->Find("note")->AsString(), "quote\"and\\slash");
+  EXPECT_DOUBLE_EQ(args->Find("loss")->AsNumber(), 0.25);
+}
+
+TEST_F(TraceTest, CapacityOverflowCountsDroppedSpans) {
+  TraceBuffer tiny(/*capacity=*/16);  // one slot per shard
+  SetTraceBuffer(&tiny);
+  for (int i = 0; i < 64; ++i) {
+    Span span("episode");
+  }
+  SetTraceBuffer(nullptr);
+  EXPECT_GT(tiny.dropped(), 0u);
+  EXPECT_LE(tiny.size(), 16u);
+  const std::string exported = tiny.ToChromeTraceJson();
+  auto parsed = json::Parse(exported);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(
+      parsed->Find("otherData")->Find("dropped_spans")->AsNumber(),
+      static_cast<double>(tiny.dropped()));
+}
+
+TEST_F(TraceTest, SpanProfilerFeedsTheMetricRegistry) {
+  SetTraceBuffer(&buffer_);
+  Histogram* duration = MetricRegistry::Default().GetHistogram(
+      "eadrl_span_seconds", {}, {{"span", "checkpoint"}});
+  Counter* self_time = MetricRegistry::Default().GetCounter(
+      "eadrl_span_self_seconds_total", {{"span", "checkpoint"}});
+  const uint64_t count_before = duration->Count();
+  const double self_before = self_time->Value();
+  {
+    Span span("checkpoint");
+  }
+  EXPECT_EQ(duration->Count(), count_before + 1);
+  EXPECT_GE(self_time->Value(), self_before);
+}
+
+TEST_F(TraceTest, UnarmedSpansDoNotFeedTheProfiler) {
+  ASSERT_FALSE(TracingEnabled());
+  Histogram* duration = MetricRegistry::Default().GetHistogram(
+      "eadrl_span_seconds", {}, {{"span", "eval_rollout"}});
+  const uint64_t count_before = duration->Count();
+  {
+    Span span("eval_rollout");
+  }
+  EXPECT_EQ(duration->Count(), count_before);
+}
+
+TEST_F(TraceTest, SpanRegistryMatchesSpansDef) {
+  EXPECT_FALSE(RegisteredSpans().empty());
+  for (const char* name : RegisteredSpans()) {
+    EXPECT_TRUE(IsRegisteredSpan(name)) << name;
+  }
+  EXPECT_TRUE(IsRegisteredSpan("par_task"));
+  EXPECT_TRUE(IsRegisteredSpan("ddpg_update"));
+  EXPECT_FALSE(IsRegisteredSpan("definitely_not_a_span"));
+}
+
+TEST_F(TraceTest, RecordAfterUnsetIsSilentlyDiscarded) {
+  SetTraceBuffer(&buffer_);
+  Span* leaked = new Span("train");  // finished after the buffer is gone
+  SetTraceBuffer(nullptr);
+  delete leaked;
+  EXPECT_EQ(buffer_.size(), 0u);
+}
+
+}  // namespace
+}  // namespace eadrl::obs

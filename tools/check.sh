@@ -4,9 +4,11 @@
 #   stage 1  lint    eadrl_lint over src/ tests/ bench/ tools/ examples/
 #   stage 2  werror  zero-warning build of the whole tree (-Werror is the
 #                    default; EADRL_WERROR=OFF is the escape hatch)
-#   stage 3  tsan    tier-1 suite under ThreadSanitizer, EADRL_THREADS=N
-#   stage 4  asan    tier-1 suite under AddressSanitizer
-#   stage 5  ubsan   tier-1 suite under UndefinedBehaviorSanitizer
+#   stage 3  trace   smoke: example_quickstart --trace, then eadrl_trace_check
+#                    validates the exported Chrome trace (shape + span names)
+#   stage 4  tsan    tier-1 suite under ThreadSanitizer, EADRL_THREADS=N
+#   stage 5  asan    tier-1 suite under AddressSanitizer
+#   stage 6  ubsan   tier-1 suite under UndefinedBehaviorSanitizer
 #                    (-fno-sanitize-recover=all: any UB aborts the test)
 #
 # Each stage reports wall-clock seconds; the summary at the end shows all of
@@ -49,6 +51,20 @@ stage_werror() {
   cmake --build "$SRC_DIR/build-gate" -j "$JOBS"
 }
 
+stage_trace_smoke() {
+  # End-to-end tracing smoke: run the quickstart with --trace and validate
+  # the export with eadrl_trace_check (well-formed Chrome trace JSON, every
+  # span name registered in src/obs/spans.def, no dangling parent ids).
+  local trace_dir
+  trace_dir="$(mktemp -d)"
+  "$SRC_DIR/build-gate/examples/example_quickstart" \
+    --trace "$trace_dir/trace.json"
+  "$SRC_DIR/build-gate/tools/eadrl_trace_check" "$trace_dir/trace.json"
+  # set -e aborts the script on failure above, so only a clean pass needs
+  # the cleanup (a failing run leaves the trace behind for inspection).
+  rm -rf "$trace_dir"
+}
+
 stage_sanitizer() {
   local mode="$1"
   local dir="$SRC_DIR/build-$mode"
@@ -61,6 +77,7 @@ stage_sanitizer() {
 
 run_stage lint stage_lint
 run_stage werror stage_werror
+run_stage trace stage_trace_smoke
 run_stage tsan stage_sanitizer thread
 run_stage asan stage_sanitizer address
 run_stage ubsan stage_sanitizer undefined

@@ -20,7 +20,12 @@
 //                     concurrency; 1 = fully serial)
 // Observability:
 //   --telemetry F     append JSON-lines training/inference events to F
-//   --metrics-summary print a JSON snapshot of all metrics on exit
+//   --trace F         write a Chrome trace-event JSON file on exit (load it
+//                     in Perfetto / chrome://tracing); EADRL_TRACE=F is the
+//                     environment equivalent
+//   --metrics-summary print a snapshot of all metrics on exit
+//   --metrics-format  snapshot format: json (default), csv, or prom
+//                     (Prometheus text exposition)
 
 #include <cstdio>
 #include <cstdlib>
@@ -35,6 +40,7 @@
 #include "models/pool.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "par/parallel.h"
 #include "ts/datasets.h"
 #include "ts/diagnostics.h"
@@ -56,7 +62,9 @@ struct Args {
   uint64_t seed = 42;
   size_t threads = 0;  // 0 = keep the EADRL_THREADS/hardware default.
   std::string telemetry;
+  std::string trace;
   bool metrics_summary = false;
+  std::string metrics_format = "json";
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -123,8 +131,21 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next("--telemetry");
       if (v == nullptr) return false;
       args->telemetry = v;
+    } else if (flag == "--trace") {
+      const char* v = next("--trace");
+      if (v == nullptr) return false;
+      args->trace = v;
     } else if (flag == "--metrics-summary") {
       args->metrics_summary = true;
+    } else if (flag == "--metrics-format") {
+      const char* v = next("--metrics-format");
+      if (v == nullptr) return false;
+      args->metrics_format = v;
+      if (args->metrics_format != "json" && args->metrics_format != "csv" &&
+          args->metrics_format != "prom") {
+        std::fprintf(stderr, "--metrics-format must be json, csv or prom\n");
+        return false;
+      }
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -148,7 +169,9 @@ int main(int argc, char** argv) {
   std::printf("threads: %zu\n", eadrl::par::DefaultThreads());
 
   // --- Observability. ------------------------------------------------------
-  // The sink outlives every instrumented call below; unset before exit.
+  // The sinks outlive every instrumented call below. The guard uninstalls
+  // and flushes them on *every* return path — early errors included — so a
+  // telemetry file never ends mid-line and the trace file is always written.
   std::unique_ptr<eadrl::obs::JsonLinesSink> telemetry_sink;
   if (!args.telemetry.empty()) {
     telemetry_sink =
@@ -160,9 +183,37 @@ int main(int argc, char** argv) {
     }
     eadrl::obs::SetTelemetrySink(telemetry_sink.get());
   }
-  struct SinkGuard {
-    ~SinkGuard() { eadrl::obs::SetTelemetrySink(nullptr); }
-  } sink_guard;
+  if (args.trace.empty()) {
+    const char* env_trace = std::getenv("EADRL_TRACE");
+    if (env_trace != nullptr && *env_trace != '\0') args.trace = env_trace;
+  }
+  std::unique_ptr<eadrl::obs::TraceBuffer> trace_buffer;
+  if (!args.trace.empty()) {
+    eadrl::obs::SetCurrentThreadTraceName("main");
+    trace_buffer = std::make_unique<eadrl::obs::TraceBuffer>();
+    eadrl::obs::SetTraceBuffer(trace_buffer.get());
+  }
+  struct ObsGuard {
+    eadrl::obs::JsonLinesSink* telemetry;
+    eadrl::obs::TraceBuffer* trace;
+    const std::string* trace_path;
+    ~ObsGuard() {
+      eadrl::obs::SetTelemetrySink(nullptr);
+      if (telemetry != nullptr) telemetry->Flush();
+      if (trace != nullptr) {
+        // Unset drains in-flight Record calls before returning, so the
+        // export below sees every finished span.
+        eadrl::obs::SetTraceBuffer(nullptr);
+        eadrl::Status st = trace->WriteChromeTrace(*trace_path);
+        if (!st.ok()) {
+          std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        } else {
+          std::printf("trace written to %s (%zu spans)\n",
+                      trace_path->c_str(), trace->size());
+        }
+      }
+    }
+  } obs_guard{telemetry_sink.get(), trace_buffer.get(), &args.trace};
 
   // --- Load the series. ----------------------------------------------------
   eadrl::ts::Series series;
@@ -267,8 +318,14 @@ int main(int argc, char** argv) {
     std::printf("\ntelemetry written to %s\n", args.telemetry.c_str());
   }
   if (args.metrics_summary) {
-    std::printf("\nmetrics summary:\n%s\n",
-                eadrl::obs::MetricRegistry::Default().ToJson().c_str());
+    const eadrl::obs::MetricRegistry& registry =
+        eadrl::obs::MetricRegistry::Default();
+    const std::string snapshot = args.metrics_format == "csv"
+                                     ? registry.ToCsv()
+                                     : args.metrics_format == "prom"
+                                           ? registry.ToPrometheus()
+                                           : registry.ToJson();
+    std::printf("\nmetrics summary:\n%s\n", snapshot.c_str());
   }
   return 0;
 }

@@ -1,0 +1,134 @@
+// eadrl_trace_check: validates a Chrome trace-event JSON file produced by
+// eadrl::obs::TraceBuffer (the --trace flag of eadrl_forecast /
+// example_quickstart). Checks that the file is well-formed JSON of the
+// expected shape, that every duration event carries the required fields,
+// that every span name is declared in src/obs/spans.def, and that every
+// parent_id refers to a span present in the file (no dangling parents).
+//
+// Usage:
+//   eadrl_trace_check trace.json
+//
+// Exit status: 0 clean, 1 validation failure, 2 usage/IO error. Used by
+// tools/check.sh's trace-smoke stage.
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "common/json.h"
+#include "obs/trace.h"
+
+namespace {
+
+using eadrl::json::Value;
+
+int Fail(const std::string& what) {
+  std::fprintf(stderr, "eadrl_trace_check: %s\n", what.c_str());
+  return 1;
+}
+
+// args values are numbers, bools or strings; parent/span ids are numbers.
+double NumberField(const Value& obj, const char* key, bool* ok) {
+  const Value* v = obj.Find(key);
+  if (v == nullptr || !v->is_number()) {
+    *ok = false;
+    return 0.0;
+  }
+  return v->AsNumber();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: eadrl_trace_check trace.json\n");
+    return 2;
+  }
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "eadrl_trace_check: cannot read %s\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+
+  auto parsed = eadrl::json::Parse(os.str());
+  if (!parsed.ok()) return Fail(parsed.status().ToString());
+  const Value& root = parsed.value();
+  if (!root.is_object()) return Fail("top level is not an object");
+  const Value* events = root.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return Fail("missing traceEvents array");
+  }
+
+  std::set<double> span_ids;
+  size_t duration_events = 0;
+  size_t metadata_events = 0;
+  for (const Value& event : events->AsArray()) {
+    if (!event.is_object()) return Fail("trace event is not an object");
+    const Value* ph = event.Find("ph");
+    if (ph == nullptr || !ph->is_string()) {
+      return Fail("trace event without a ph field");
+    }
+    if (ph->AsString() == "M") {
+      ++metadata_events;
+      continue;
+    }
+    if (ph->AsString() != "X") {
+      return Fail("unexpected event phase '" + ph->AsString() + "'");
+    }
+    ++duration_events;
+    const Value* name = event.Find("name");
+    if (name == nullptr || !name->is_string()) {
+      return Fail("duration event without a name");
+    }
+    if (!eadrl::obs::IsRegisteredSpan(name->AsString().c_str())) {
+      return Fail("span '" + name->AsString() +
+                  "' is not registered in src/obs/spans.def");
+    }
+    bool ok = true;
+    NumberField(event, "ts", &ok);
+    NumberField(event, "dur", &ok);
+    NumberField(event, "pid", &ok);
+    NumberField(event, "tid", &ok);
+    if (!ok) {
+      return Fail("span '" + name->AsString() +
+                  "' is missing a numeric ts/dur/pid/tid field");
+    }
+    const Value* args = event.Find("args");
+    if (args == nullptr || !args->is_object()) {
+      return Fail("span '" + name->AsString() + "' has no args object");
+    }
+    span_ids.insert(NumberField(*args, "span_id", &ok));
+    NumberField(*args, "trace_id", &ok);
+    if (!ok) {
+      return Fail("span '" + name->AsString() +
+                  "' args are missing span_id/trace_id");
+    }
+  }
+
+  // Second pass: every parent_id must name a span exported in this file
+  // (SetTraceBuffer(nullptr) drains in-flight records before export, so a
+  // dangling parent would mean the causal chain is broken).
+  for (const Value& event : events->AsArray()) {
+    const Value* ph = event.Find("ph");
+    if (ph == nullptr || !ph->is_string() || ph->AsString() != "X") continue;
+    const Value* args = event.Find("args");
+    const Value* parent = args == nullptr ? nullptr : args->Find("parent_id");
+    if (parent == nullptr) continue;  // trace root
+    if (!parent->is_number() || span_ids.count(parent->AsNumber()) == 0) {
+      const Value* name = event.Find("name");
+      return Fail("span '" +
+                  (name != nullptr && name->is_string() ? name->AsString()
+                                                        : "?") +
+                  "' has a dangling parent_id");
+    }
+  }
+
+  if (duration_events == 0) return Fail("no duration events in trace");
+  std::printf("eadrl_trace_check: ok (%zu spans, %zu metadata events)\n",
+              duration_events, metadata_events);
+  return 0;
+}

@@ -2,7 +2,8 @@
 // prints `file:line: rule-id: message` per finding, exits nonzero if any.
 //
 // Usage:
-//   eadrl_lint --root <repo-root> [--events <events.def>] [dir...]
+//   eadrl_lint --root <repo-root> [--events <events.def>]
+//              [--spans <spans.def>] [dir...]
 //   eadrl_lint --list-rules
 //
 // Default dirs: src tests bench tools examples. Directories named
@@ -49,6 +50,7 @@ std::string RepoRelative(const fs::path& path, const fs::path& root) {
 int main(int argc, char** argv) {
   fs::path root = fs::current_path();
   fs::path events_def;  // default: <root>/src/obs/events.def
+  fs::path spans_def;   // default: <root>/src/obs/spans.def
   std::vector<std::string> dirs;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -62,6 +64,8 @@ int main(int argc, char** argv) {
       root = argv[++i];
     } else if (arg == "--events" && i + 1 < argc) {
       events_def = argv[++i];
+    } else if (arg == "--spans" && i + 1 < argc) {
+      spans_def = argv[++i];
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "eadrl_lint: unknown flag " << arg << "\n";
       return 2;
@@ -71,6 +75,7 @@ int main(int argc, char** argv) {
   }
   if (dirs.empty()) dirs = {"src", "tests", "bench", "tools", "examples"};
   if (events_def.empty()) events_def = root / "src" / "obs" / "events.def";
+  if (spans_def.empty()) spans_def = root / "src" / "obs" / "spans.def";
 
   std::vector<eadrl::lint::Finding> findings;
   eadrl::lint::Config config;
@@ -83,6 +88,16 @@ int main(int argc, char** argv) {
   } else {
     std::cerr << "eadrl_lint: warning: no event registry at " << events_def
               << "; event-registry rules disabled\n";
+  }
+  bool spans_ok = false;
+  const std::string spans_contents = ReadAll(spans_def, &spans_ok);
+  if (spans_ok) {
+    config.registered_spans = eadrl::lint::ParseSpansDef(
+        RepoRelative(spans_def, root), spans_contents, &findings);
+    config.have_spans_registry = true;
+  } else {
+    std::cerr << "eadrl_lint: warning: no span registry at " << spans_def
+              << "; span-registry rules disabled\n";
   }
 
   // Deterministic order: collect, then sort.
@@ -104,6 +119,7 @@ int main(int argc, char** argv) {
   std::sort(files.begin(), files.end());
 
   std::set<std::string> emitted_in_src;
+  std::set<std::string> spans_in_src;
   size_t scanned = 0;
   for (const fs::path& file : files) {
     bool ok = false;
@@ -120,12 +136,20 @@ int main(int argc, char** argv) {
     if (rel.rfind("src/", 0) == 0) {
       const std::set<std::string> kinds = eadrl::lint::EmittedEvents(contents);
       emitted_in_src.insert(kinds.begin(), kinds.end());
+      const std::set<std::string> spans = eadrl::lint::UsedSpans(contents);
+      spans_in_src.insert(spans.begin(), spans.end());
     }
   }
   if (config.have_events_registry) {
     std::vector<eadrl::lint::Finding> stale =
         eadrl::lint::CheckRegistryStaleness(RepoRelative(events_def, root),
                                             config, emitted_in_src);
+    findings.insert(findings.end(), stale.begin(), stale.end());
+  }
+  if (config.have_spans_registry) {
+    std::vector<eadrl::lint::Finding> stale =
+        eadrl::lint::CheckSpanRegistryStaleness(RepoRelative(spans_def, root),
+                                                config, spans_in_src);
     findings.insert(findings.end(), stale.begin(), stale.end());
   }
 

@@ -400,6 +400,10 @@ const std::map<std::string, std::string>& RuleCatalog() {
        "telemetry event kinds in src/ must be declared in src/obs/events.def"},
       {"event-registry-stale",
        "events.def entry that nothing in src/ emits any more"},
+      {"span-registry",
+       "trace span names in src/ must be declared in src/obs/spans.def"},
+      {"span-registry-stale",
+       "spans.def entry that nothing in src/ opens any more"},
       {"todo-tag",
        "TODO/FIXME comments must carry an owner or issue tag: TODO(tag): ..."},
       {"stale-nolint",
@@ -408,33 +412,76 @@ const std::map<std::string, std::string>& RuleCatalog() {
   return kCatalog;
 }
 
-std::map<std::string, size_t> ParseEventsDef(const std::string& path,
-                                             const std::string& contents,
-                                             std::vector<Finding>* findings) {
-  std::map<std::string, size_t> events;
+namespace {
+
+// Shared skeleton of the two X-macro registries (events.def / spans.def):
+// MACRO(name, "description") entries, one per line, duplicates and malformed
+// entries reported under `rule`.
+std::map<std::string, size_t> ParseRegistryDef(const std::string& macro,
+                                               const std::string& rule,
+                                               const std::string& path,
+                                               const std::string& contents,
+                                               std::vector<Finding>* findings) {
+  std::map<std::string, size_t> names;
   LexedFile lexed = Lexer(contents).Run();
   const std::vector<Token>& toks = lexed.tokens;
   for (size_t i = 0; i < toks.size(); ++i) {
-    if (toks[i].kind != TokKind::kIdent || toks[i].text != "EADRL_EVENT") {
+    if (toks[i].kind != TokKind::kIdent || toks[i].text != macro) {
       continue;
     }
     if (i + 2 >= toks.size() || toks[i + 1].text != "(" ||
         toks[i + 2].kind != TokKind::kIdent) {
       if (findings != nullptr) {
-        findings->push_back({path, toks[i].line, "event-registry",
-                             "malformed EADRL_EVENT entry; expected "
-                             "EADRL_EVENT(name, \"description\")"});
+        findings->push_back({path, toks[i].line, rule,
+                             "malformed " + macro + " entry; expected " +
+                                 macro + "(name, \"description\")"});
       }
       continue;
     }
     const Token& name = toks[i + 2];
-    if (findings != nullptr && events.count(name.text) != 0) {
-      findings->push_back({path, name.line, "event-registry",
+    if (findings != nullptr && names.count(name.text) != 0) {
+      findings->push_back({path, name.line, rule,
                            "duplicate registry entry '" + name.text + "'"});
     }
-    events.emplace(name.text, name.line);
+    names.emplace(name.text, name.line);
   }
-  return events;
+  return names;
+}
+
+// Returns the index of the span-name string literal for a `Span` use
+// starting at token `i` (`Span("name")` or `Span var("name")`), or npos.
+// Declarations (`Span(const char* name)`), pointers (`Span* tl_active`) and
+// the class definition never have a string in that slot, so they don't match.
+size_t SpanNameLiteral(const std::vector<Token>& toks, size_t i) {
+  if (toks[i].kind != TokKind::kIdent || toks[i].text != "Span") {
+    return std::string::npos;
+  }
+  if (i + 2 < toks.size() && toks[i + 1].kind == TokKind::kPunct &&
+      toks[i + 1].text == "(" && toks[i + 2].kind == TokKind::kString) {
+    return i + 2;
+  }
+  if (i + 3 < toks.size() && toks[i + 1].kind == TokKind::kIdent &&
+      toks[i + 2].kind == TokKind::kPunct && toks[i + 2].text == "(" &&
+      toks[i + 3].kind == TokKind::kString) {
+    return i + 3;
+  }
+  return std::string::npos;
+}
+
+}  // namespace
+
+std::map<std::string, size_t> ParseEventsDef(const std::string& path,
+                                             const std::string& contents,
+                                             std::vector<Finding>* findings) {
+  return ParseRegistryDef("EADRL_EVENT", "event-registry", path, contents,
+                          findings);
+}
+
+std::map<std::string, size_t> ParseSpansDef(const std::string& path,
+                                            const std::string& contents,
+                                            std::vector<Finding>* findings) {
+  return ParseRegistryDef("EADRL_SPAN", "span-registry", path, contents,
+                          findings);
 }
 
 std::set<std::string> EmittedEvents(const std::string& contents) {
@@ -451,6 +498,17 @@ std::set<std::string> EmittedEvents(const std::string& contents) {
     }
   }
   return kinds;
+}
+
+std::set<std::string> UsedSpans(const std::string& contents) {
+  std::set<std::string> names;
+  LexedFile lexed = Lexer(contents).Run();
+  const std::vector<Token>& toks = lexed.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const size_t lit = SpanNameLiteral(toks, i);
+    if (lit != std::string::npos) names.insert(toks[lit].text);
+  }
+  return names;
 }
 
 std::vector<Finding> CheckFile(const std::string& path,
@@ -538,6 +596,16 @@ std::vector<Finding> CheckFile(const std::string& path,
         findings.push_back({path, kind.line, "event-registry",
                             "telemetry event '" + kind.text +
                                 "' is not declared in src/obs/events.def"});
+      }
+    }
+    // Trace span names: Span("name") / Span var("name") constructions.
+    if (in_src && config.have_spans_registry) {
+      const size_t lit = SpanNameLiteral(toks, i);
+      if (lit != std::string::npos &&
+          config.registered_spans.count(toks[lit].text) == 0) {
+        findings.push_back({path, toks[lit].line, "span-registry",
+                            "trace span '" + toks[lit].text +
+                                "' is not declared in src/obs/spans.def"});
       }
     }
   }
@@ -660,6 +728,21 @@ std::vector<Finding> CheckRegistryStaleness(
                           "registered event '" + name +
                               "' is emitted nowhere under src/; delete the "
                               "entry or restore the emitter"});
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> CheckSpanRegistryStaleness(
+    const std::string& spans_def_path, const Config& config,
+    const std::set<std::string>& used_in_src) {
+  std::vector<Finding> findings;
+  for (const auto& [name, line] : config.registered_spans) {
+    if (used_in_src.count(name) == 0) {
+      findings.push_back({spans_def_path, line, "span-registry-stale",
+                          "registered span '" + name +
+                              "' is opened nowhere under src/; delete the "
+                              "entry or restore the span"});
     }
   }
   return findings;

@@ -37,6 +37,11 @@ struct Config {
   /// event-registry rules.
   std::map<std::string, size_t> registered_events;
   bool have_events_registry = false;
+  /// Span names declared in src/obs/spans.def (name -> 1-based line in the
+  /// registry file). Empty + !have_spans_registry disables the span-registry
+  /// rules.
+  std::map<std::string, size_t> registered_spans;
+  bool have_spans_registry = false;
 };
 
 /// Parses src/obs/events.def: EADRL_EVENT(name, "description") entries.
@@ -44,6 +49,12 @@ struct Config {
 std::map<std::string, size_t> ParseEventsDef(const std::string& path,
                                              const std::string& contents,
                                              std::vector<Finding>* findings);
+
+/// Parses src/obs/spans.def: EADRL_SPAN(name, "description") entries.
+/// Malformed entries are reported against `path`.
+std::map<std::string, size_t> ParseSpansDef(const std::string& path,
+                                            const std::string& contents,
+                                            std::vector<Finding>* findings);
 
 /// Runs every per-file rule on one source file. `repo_relative_path` selects
 /// the scope-sensitive rules (IO/new/wall-clock bans apply under src/ only;
@@ -58,11 +69,21 @@ std::vector<Finding> CheckFile(const std::string& repo_relative_path,
 /// Used for the registry-staleness pass, which needs the union over src/.
 std::set<std::string> EmittedEvents(const std::string& contents);
 
+/// Span names this file opens via `Span("name")` / `Span x("name")`.
+/// Used for the span-registry staleness pass over src/.
+std::set<std::string> UsedSpans(const std::string& contents);
+
 /// Registry entries nothing in src/ emits any more (`event-registry-stale`,
 /// reported against the registry file).
 std::vector<Finding> CheckRegistryStaleness(
     const std::string& events_def_path, const Config& config,
     const std::set<std::string>& emitted_in_src);
+
+/// spans.def entries nothing in src/ opens any more (`span-registry-stale`,
+/// reported against the registry file).
+std::vector<Finding> CheckSpanRegistryStaleness(
+    const std::string& spans_def_path, const Config& config,
+    const std::set<std::string>& used_in_src);
 
 /// "file:line: rule-id: message" (the gate's output format).
 std::string FormatFinding(const Finding& finding);
