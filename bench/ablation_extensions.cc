@@ -63,7 +63,7 @@ int main() {
   // Pool predictions are reused across variants per dataset.
   std::vector<exp::PoolRun> pools;
   for (int id : kDatasetIds) {
-    auto series = eadrl::ts::MakeDataset(id, 42, length);
+    auto series = eadrl::ts::MakeDataset(id, eadrl::bench::BenchSeed(), length);
     if (!series.ok()) return 1;
     pools.push_back(exp::PreparePool(*series, opt));
   }

@@ -32,7 +32,7 @@ int main() {
   std::printf("\n%s\n", std::string(52, '-').c_str());
 
   for (int id : kDatasetIds) {
-    auto series = eadrl::ts::MakeDataset(id, 42, length);
+    auto series = eadrl::ts::MakeDataset(id, eadrl::bench::BenchSeed(), length);
     if (!series.ok()) return 1;
     exp::PoolRun pool = exp::PreparePool(*series, opt);
 

@@ -8,7 +8,9 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/rng.h"
 #include "exp/experiment.h"
+#include "ts/datasets.h"
 
 namespace eadrl::bench {
 
@@ -23,10 +25,34 @@ inline size_t EnvSize(const char* name, size_t fallback) {
 /// (EADRL_BENCH_LENGTH=0 keeps each dataset's default length).
 inline size_t BenchLength() { return EnvSize("EADRL_BENCH_LENGTH", 400); }
 
+/// The one seed every bench derives from (EADRL_BENCH_SEED overrides), so
+/// the whole suite shifts coherently when re-seeded and BENCH snapshots
+/// recorded at the same seed are comparable run to run.
+inline uint64_t BenchSeed() { return EnvSize("EADRL_BENCH_SEED", 42); }
+
+/// Deterministic per-benchmark RNG: `stream` keeps benchmarks in the same
+/// binary decorrelated without each hardcoding its own magic seed.
+inline Rng BenchRng(uint64_t stream) { return Rng(BenchSeed() + stream); }
+
+/// The shared series fixture (synthetic dataset `id` at the bench seed) —
+/// every suite that needs "a series" sizes and seeds it the same way.
+inline ts::Series BenchSeries(int id = 2, size_t length = 400) {
+  auto series = ts::MakeDataset(id, BenchSeed(), length);
+  return *series;
+}
+
+/// Labels a benchmark with the thread count it ran at. Every suite reports
+/// `threads:N` (N=1 for serial benches) so BENCH snapshot consumers can
+/// filter or normalize by concurrency without parsing benchmark names.
+template <typename State>
+inline void RegisterThreads(State& state, size_t threads) {
+  state.counters["threads"] = static_cast<double>(threads);
+}
+
 /// Standard experiment options used by the table benches.
 inline exp::ExperimentOptions BenchOptions() {
   exp::ExperimentOptions opt;
-  opt.seed = 42;
+  opt.seed = BenchSeed();
   opt.pool.nn_epochs = EnvSize("EADRL_BENCH_NN_EPOCHS", 6);
   opt.eadrl.omega = 10;  // paper Table II setting.
   opt.eadrl.max_episodes = EnvSize("EADRL_BENCH_EPISODES", 40);

@@ -16,6 +16,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "chk/chk.h"
 #include "common/rng.h"
 #include "math/vec.h"
@@ -25,7 +26,7 @@
 namespace {
 
 eadrl::math::Vec MakeVec(size_t n) {
-  eadrl::Rng rng(7);
+  eadrl::Rng rng = eadrl::bench::BenchRng(7);
   eadrl::math::Vec v(n);
   for (double& x : v) x = rng.Uniform();
   return v;
@@ -36,6 +37,7 @@ void BM_FiniteScanBaseline(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(v.data());
   }
+  eadrl::bench::RegisterThreads(state, 1);
 }
 BENCHMARK(BM_FiniteScanBaseline)->Arg(16)->Arg(256);
 
@@ -45,6 +47,7 @@ void BM_FiniteScanContract(benchmark::State& state) {
     EADRL_CHK_FINITE(v, "chk_bench vector");
     benchmark::DoNotOptimize(v.data());
   }
+  eadrl::bench::RegisterThreads(state, 1);
 }
 BENCHMARK(BM_FiniteScanContract)->Arg(16)->Arg(256);
 
@@ -54,6 +57,7 @@ void BM_SimplexBaseline(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(w.data());
   }
+  eadrl::bench::RegisterThreads(state, 1);
 }
 BENCHMARK(BM_SimplexBaseline)->Arg(10)->Arg(43);
 
@@ -64,6 +68,7 @@ void BM_SimplexContract(benchmark::State& state) {
     EADRL_CHK_SIMPLEX(w, 1e-6, "chk_bench weights");
     benchmark::DoNotOptimize(w.data());
   }
+  eadrl::bench::RegisterThreads(state, 1);
 }
 BENCHMARK(BM_SimplexContract)->Arg(10)->Arg(43);
 
@@ -71,13 +76,14 @@ BENCHMARK(BM_SimplexContract)->Arg(10)->Arg(43);
 // whatever EADRL_CHECKS the library was built with.
 
 void BM_MlpForward(benchmark::State& state) {
-  eadrl::Rng rng(3);
+  eadrl::Rng rng = eadrl::bench::BenchRng(3);
   eadrl::nn::Mlp mlp({10, 64, 64, 43}, eadrl::nn::Activation::kRelu,
                      eadrl::nn::Activation::kIdentity, rng);
   const eadrl::math::Vec x = MakeVec(10);
   for (auto _ : state) {
     benchmark::DoNotOptimize(mlp.Forward(x));
   }
+  eadrl::bench::RegisterThreads(state, 1);
 }
 BENCHMARK(BM_MlpForward);
 
@@ -90,6 +96,7 @@ void BM_DdpgAct(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(agent.Act(s));
   }
+  eadrl::bench::RegisterThreads(state, 1);
 }
 BENCHMARK(BM_DdpgAct);
 

@@ -41,7 +41,7 @@ int main() {
   std::vector<Curve> curves;
 
   for (int id : kDatasetIds) {
-    auto series = eadrl::ts::MakeDataset(id, 42, length);
+    auto series = eadrl::ts::MakeDataset(id, eadrl::bench::BenchSeed(), length);
     if (!series.ok()) return 1;
     exp::PoolRun pool = exp::PreparePool(*series, opt);
 

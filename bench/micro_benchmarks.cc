@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "baselines/dynamic_selection.h"
+#include "bench_util.h"
 #include "common/rng.h"
 #include "core/eadrl.h"
 #include "math/linalg.h"
@@ -25,6 +26,7 @@ void BM_DdpgActorInference(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(agent.Act(s));
   }
+  eadrl::bench::RegisterThreads(state, 1);
 }
 BENCHMARK(BM_DdpgActorInference)->Arg(10)->Arg(43);
 
@@ -33,7 +35,7 @@ void BM_DdpgUpdate(benchmark::State& state) {
   cfg.state_dim = 10;
   cfg.action_dim = 43;
   eadrl::rl::DdpgAgent agent(cfg);
-  eadrl::Rng rng(1);
+  eadrl::Rng rng = eadrl::bench::BenchRng(1);
   std::vector<eadrl::rl::Transition> batch;
   for (int i = 0; i < 16; ++i) {
     eadrl::rl::Transition t;
@@ -46,12 +48,13 @@ void BM_DdpgUpdate(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(agent.Update(batch));
   }
+  eadrl::bench::RegisterThreads(state, 1);
 }
 BENCHMARK(BM_DdpgUpdate);
 
 void BM_ReplaySampleMedianSplit(benchmark::State& state) {
   eadrl::rl::ReplayBuffer buffer(5000);
-  eadrl::Rng rng(2);
+  eadrl::Rng rng = eadrl::bench::BenchRng(2);
   for (int i = 0; i < 5000; ++i) {
     eadrl::rl::Transition t;
     t.state = {0.0};
@@ -64,12 +67,13 @@ void BM_ReplaySampleMedianSplit(benchmark::State& state) {
     benchmark::DoNotOptimize(buffer.Sample(
         16, eadrl::rl::SamplingStrategy::kMedianSplit, rng));
   }
+  eadrl::bench::RegisterThreads(state, 1);
 }
 BENCHMARK(BM_ReplaySampleMedianSplit);
 
 void BM_ReplaySampleUniform(benchmark::State& state) {
   eadrl::rl::ReplayBuffer buffer(5000);
-  eadrl::Rng rng(3);
+  eadrl::Rng rng = eadrl::bench::BenchRng(3);
   for (int i = 0; i < 5000; ++i) {
     eadrl::rl::Transition t;
     t.state = {0.0};
@@ -82,11 +86,12 @@ void BM_ReplaySampleUniform(benchmark::State& state) {
     benchmark::DoNotOptimize(
         buffer.Sample(16, eadrl::rl::SamplingStrategy::kUniform, rng));
   }
+  eadrl::bench::RegisterThreads(state, 1);
 }
 BENCHMARK(BM_ReplaySampleUniform);
 
 void BM_TreePredict(benchmark::State& state) {
-  eadrl::Rng rng(4);
+  eadrl::Rng rng = eadrl::bench::BenchRng(4);
   eadrl::math::Matrix x(500, 5);
   eadrl::math::Vec y(500);
   for (size_t i = 0; i < 500; ++i) {
@@ -99,12 +104,13 @@ void BM_TreePredict(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(tree.Predict(q));
   }
+  eadrl::bench::RegisterThreads(state, 1);
 }
 BENCHMARK(BM_TreePredict);
 
 void BM_CholeskySolve(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
-  eadrl::Rng rng(5);
+  eadrl::Rng rng = eadrl::bench::BenchRng(5);
   eadrl::math::Matrix a(n, n);
   for (auto& v : a.data()) v = rng.Uniform(-1, 1);
   eadrl::math::Matrix spd = a.Transpose().MatMul(a);
@@ -113,11 +119,12 @@ void BM_CholeskySolve(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(eadrl::math::CholeskySolve(spd, b));
   }
+  eadrl::bench::RegisterThreads(state, 1);
 }
 BENCHMARK(BM_CholeskySolve)->Arg(32)->Arg(128);
 
 void BM_DemscOnlineStep(benchmark::State& state) {
-  eadrl::Rng rng(6);
+  eadrl::Rng rng = eadrl::bench::BenchRng(6);
   const size_t m = 43;
   eadrl::math::Matrix preds(60, m);
   eadrl::math::Vec actuals(60);
@@ -135,6 +142,7 @@ void BM_DemscOnlineStep(benchmark::State& state) {
     benchmark::DoNotOptimize(demsc.Predict(step));
     demsc.Update(step, 5.0);
   }
+  eadrl::bench::RegisterThreads(state, 1);
 }
 BENCHMARK(BM_DemscOnlineStep);
 
@@ -147,6 +155,7 @@ void BM_ObsCounterInc(benchmark::State& state) {
     benchmark::ClobberMemory();
   }
   benchmark::DoNotOptimize(counter.Value());
+  eadrl::bench::RegisterThreads(state, 1);
 }
 BENCHMARK(BM_ObsCounterInc);
 
@@ -161,6 +170,7 @@ void BM_ObsHistogramObserve(benchmark::State& state) {
     benchmark::ClobberMemory();
   }
   benchmark::DoNotOptimize(hist.Count());
+  eadrl::bench::RegisterThreads(state, 1);
 }
 BENCHMARK(BM_ObsHistogramObserve);
 
@@ -175,6 +185,7 @@ void BM_ObsDisabledEventEmission(benchmark::State& state) {
                     {"name", "noop"});
     benchmark::ClobberMemory();
   }
+  eadrl::bench::RegisterThreads(state, 1);
 }
 BENCHMARK(BM_ObsDisabledEventEmission);
 
@@ -189,6 +200,7 @@ void BM_ObsEnabledEventEmission(benchmark::State& state) {
     if (sink.size() > 4096) (void)sink.TakeEvents();
   }
   eadrl::obs::SetTelemetrySink(nullptr);
+  eadrl::bench::RegisterThreads(state, 1);
 }
 BENCHMARK(BM_ObsEnabledEventEmission);
 

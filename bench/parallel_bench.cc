@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_util.h"
 #include "models/pool.h"
 #include "par/parallel.h"
 #include "par/thread_pool.h"
@@ -18,15 +19,10 @@
 
 namespace {
 
-eadrl::ts::Series BenchSeries() {
-  auto series = eadrl::ts::MakeDataset(2, 42, 400);
-  return *series;
-}
-
 // Fitting the paper's full 43-model pool. The acceptance bar for the
 // parallel runtime: >= 2.5x over Arg(1) with 4 threads on a 4+-core box.
 void BM_ParallelFitPool(benchmark::State& state) {
-  const eadrl::ts::Series series = BenchSeries();
+  const eadrl::ts::Series series = eadrl::bench::BenchSeries();
   eadrl::models::PoolConfig cfg;
   cfg.nn_epochs = 4;  // keep a single iteration tractable.
   eadrl::par::ThreadPool exec(static_cast<size_t>(state.range(0)));
@@ -38,7 +34,7 @@ void BM_ParallelFitPool(benchmark::State& state) {
     benchmark::DoNotOptimize(result);
   }
   state.counters["models_fitted"] = static_cast<double>(fitted);
-  state.counters["threads"] = static_cast<double>(state.range(0));
+  eadrl::bench::RegisterThreads(state, static_cast<size_t>(state.range(0)));
 }
 BENCHMARK(BM_ParallelFitPool)
     ->Arg(1)
@@ -51,7 +47,7 @@ BENCHMARK(BM_ParallelFitPool)
 // pool, then Observe with the realized value — the fan-out the CLI and the
 // experiment loop run per time step.
 void BM_ParallelPredictFanout(benchmark::State& state) {
-  const eadrl::ts::Series series = BenchSeries();
+  const eadrl::ts::Series series = eadrl::bench::BenchSeries();
   eadrl::models::PoolConfig cfg;
   cfg.nn_epochs = 4;
   eadrl::par::ThreadPool exec(static_cast<size_t>(state.range(0)));
@@ -69,7 +65,7 @@ void BM_ParallelPredictFanout(benchmark::State& state) {
         {1, &exec});
   }
   state.counters["pool_size"] = static_cast<double>(models.size());
-  state.counters["threads"] = static_cast<double>(state.range(0));
+  eadrl::bench::RegisterThreads(state, static_cast<size_t>(state.range(0)));
 }
 BENCHMARK(BM_ParallelPredictFanout)
     ->Arg(1)

@@ -59,7 +59,7 @@ int main() {
   eadrl::math::Vec median_eps, uniform_eps, median_time, uniform_time;
 
   for (int id : kDatasetIds) {
-    auto series = eadrl::ts::MakeDataset(id, 42, length);
+    auto series = eadrl::ts::MakeDataset(id, eadrl::bench::BenchSeed(), length);
     if (!series.ok()) return 1;
     exp::PoolRun pool = exp::PreparePool(*series, opt);
 

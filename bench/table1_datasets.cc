@@ -4,6 +4,7 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
 #include "common/string_util.h"
 #include "math/stats.h"
 #include "ts/datasets.h"
@@ -23,7 +24,7 @@ int main() {
   std::printf("%s\n", std::string(118, '-').c_str());
 
   for (const auto& spec : eadrl::ts::AllDatasetSpecs()) {
-    auto series = eadrl::ts::MakeDataset(spec.id, /*seed=*/42);
+    auto series = eadrl::ts::MakeDataset(spec.id, eadrl::bench::BenchSeed());
     if (!series.ok()) {
       std::printf("dataset %d failed: %s\n", spec.id,
                   series.status().ToString().c_str());

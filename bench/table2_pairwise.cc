@@ -41,7 +41,7 @@ int main() {
 
   std::vector<eadrl::ts::Series> datasets;
   for (const auto& spec : eadrl::ts::AllDatasetSpecs()) {
-    auto series = eadrl::ts::MakeDataset(spec.id, 42, length);
+    auto series = eadrl::ts::MakeDataset(spec.id, eadrl::bench::BenchSeed(), length);
     if (!series.ok()) {
       std::printf("dataset %d failed: %s\n", spec.id,
                   series.status().ToString().c_str());

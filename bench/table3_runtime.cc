@@ -26,7 +26,7 @@ namespace {
 // numbers below (which are per-step and single-threaded by design).
 void PrintFitSpeedups(const eadrl::exp::ExperimentOptions& opt,
                       size_t length) {
-  auto series = eadrl::ts::MakeDataset(2, 42, length);
+  auto series = eadrl::ts::MakeDataset(2, eadrl::bench::BenchSeed(), length);
   if (!series.ok()) return;
   std::printf("Offline pool fit, dataset 2 (43 models, wall seconds):\n");
   double serial_seconds = 0.0;
@@ -65,7 +65,7 @@ int main() {
   PrintFitSpeedups(opt, length);
 
   for (const auto& spec : eadrl::ts::AllDatasetSpecs()) {
-    auto series = eadrl::ts::MakeDataset(spec.id, 42, length);
+    auto series = eadrl::ts::MakeDataset(spec.id, eadrl::bench::BenchSeed(), length);
     if (!series.ok()) return 1;
     exp::PoolRun pool = exp::PreparePool(*series, opt);
 

@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "obs/trace.h"
 
 namespace {
@@ -17,6 +18,7 @@ void BM_TraceDisabledSpan(benchmark::State& state) {
     eadrl::obs::Span span("predict");
     benchmark::DoNotOptimize(span.armed());
   }
+  eadrl::bench::RegisterThreads(state, 1);
 }
 BENCHMARK(BM_TraceDisabledSpan);
 
@@ -27,6 +29,7 @@ void BM_TraceDisabledSpanWithGuardedAttr(benchmark::State& state) {
     if (span.armed()) span.SetAttr("step", 1);
     benchmark::DoNotOptimize(span.armed());
   }
+  eadrl::bench::RegisterThreads(state, 1);
 }
 BENCHMARK(BM_TraceDisabledSpanWithGuardedAttr);
 
@@ -40,6 +43,7 @@ void BM_TraceEnabledSpan(benchmark::State& state) {
   eadrl::obs::SetTraceBuffer(nullptr);
   state.counters["recorded"] = static_cast<double>(buffer.size());
   state.counters["dropped"] = static_cast<double>(buffer.dropped());
+  eadrl::bench::RegisterThreads(state, 1);
 }
 BENCHMARK(BM_TraceEnabledSpan);
 
@@ -55,6 +59,7 @@ void BM_TraceEnabledSpanWithAttrs(benchmark::State& state) {
     benchmark::DoNotOptimize(span.armed());
   }
   eadrl::obs::SetTraceBuffer(nullptr);
+  eadrl::bench::RegisterThreads(state, 1);
 }
 BENCHMARK(BM_TraceEnabledSpanWithAttrs);
 
@@ -70,6 +75,7 @@ void BM_TraceEnabledNestedSpans(benchmark::State& state) {
     benchmark::DoNotOptimize(inner.armed());
   }
   eadrl::obs::SetTraceBuffer(nullptr);
+  eadrl::bench::RegisterThreads(state, 1);
 }
 BENCHMARK(BM_TraceEnabledNestedSpans);
 

@@ -3,8 +3,18 @@
 #include <cmath>
 
 #include "chk/chk.h"
+#include "obs/resource.h"
 
 namespace eadrl::math {
+
+namespace {
+// Matrix/vector results below are the scratch churn on the nn/rl hot paths;
+// reporting them lets spans attribute allocation pressure (see
+// obs/resource.h). ~1 ns per call, so unconditional is fine.
+inline void CountScratch(size_t doubles) {
+  obs::CountAlloc(doubles * sizeof(double));
+}
+}  // namespace
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
   rows_ = rows.size();
@@ -31,11 +41,13 @@ Matrix Matrix::FromRows(const std::vector<Vec>& rows) {
 
 Vec Matrix::Row(size_t i) const {
   EADRL_CHECK_LT(i, rows_);
+  CountScratch(cols_);
   return Vec(data_.begin() + i * cols_, data_.begin() + (i + 1) * cols_);
 }
 
 Vec Matrix::Col(size_t j) const {
   EADRL_CHECK_LT(j, cols_);
+  CountScratch(rows_);
   Vec out(rows_);
   for (size_t i = 0; i < rows_; ++i) out[i] = data_[i * cols_ + j];
   return out;
@@ -48,6 +60,7 @@ void Matrix::SetRow(size_t i, const Vec& row) {
 }
 
 Matrix Matrix::Transpose() const {
+  CountScratch(data_.size());
   Matrix out(cols_, rows_);
   for (size_t i = 0; i < rows_; ++i) {
     for (size_t j = 0; j < cols_; ++j) out(j, i) = data_[i * cols_ + j];
@@ -58,6 +71,7 @@ Matrix Matrix::Transpose() const {
 Matrix Matrix::MatMul(const Matrix& other) const {
   EADRL_CHK_DIM(other.rows_, cols_, "Matrix::MatMul inner dimension");
   EADRL_CHECK_EQ(cols_, other.rows_);
+  CountScratch(rows_ * other.cols_);
   Matrix out(rows_, other.cols_);
   for (size_t i = 0; i < rows_; ++i) {
     for (size_t k = 0; k < cols_; ++k) {
@@ -74,6 +88,7 @@ Matrix Matrix::MatMul(const Matrix& other) const {
 Vec Matrix::MatVec(const Vec& x) const {
   EADRL_CHK_DIM(x.size(), cols_, "Matrix::MatVec operand");
   EADRL_CHECK_EQ(x.size(), cols_);
+  CountScratch(rows_);
   Vec out(rows_, 0.0);
   for (size_t i = 0; i < rows_; ++i) {
     const double* row = &data_[i * cols_];
@@ -87,6 +102,7 @@ Vec Matrix::MatVec(const Vec& x) const {
 Vec Matrix::TransposeMatVec(const Vec& x) const {
   EADRL_CHK_DIM(x.size(), rows_, "Matrix::TransposeMatVec operand");
   EADRL_CHECK_EQ(x.size(), rows_);
+  CountScratch(cols_);
   Vec out(cols_, 0.0);
   for (size_t i = 0; i < rows_; ++i) {
     const double* row = &data_[i * cols_];

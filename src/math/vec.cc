@@ -5,6 +5,7 @@
 
 #include "chk/chk.h"
 #include "common/check.h"
+#include "obs/resource.h"
 
 namespace eadrl::math {
 
@@ -51,6 +52,7 @@ void Axpy(double alpha, const Vec& x, Vec* y) {
 
 Vec Softmax(const Vec& a) {
   EADRL_CHECK(!a.empty());
+  obs::CountAlloc(a.size() * sizeof(double));
   double mx = *std::max_element(a.begin(), a.end());
   Vec out(a.size());
   double sum = 0.0;

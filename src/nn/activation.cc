@@ -2,12 +2,15 @@
 
 #include <cmath>
 
+#include "obs/resource.h"
+
 namespace eadrl::nn {
 
 double SigmoidScalar(double x) { return 1.0 / (1.0 + std::exp(-x)); }
 double TanhScalar(double x) { return std::tanh(x); }
 
 math::Vec ApplyActivation(Activation act, const math::Vec& z) {
+  obs::CountAlloc(z.size() * sizeof(double));
   math::Vec out(z.size());
   switch (act) {
     case Activation::kIdentity:
@@ -27,6 +30,7 @@ math::Vec ApplyActivation(Activation act, const math::Vec& z) {
 }
 
 math::Vec ActivationDerivative(Activation act, const math::Vec& z) {
+  obs::CountAlloc(z.size() * sizeof(double));
   math::Vec out(z.size());
   switch (act) {
     case Activation::kIdentity:

@@ -252,29 +252,33 @@ double Histogram::Mean() const {
   return n == 0 ? 0.0 : Sum() / static_cast<double>(n);
 }
 
-double Histogram::Quantile(double q) const {
-  HistogramSnapshot snap = Snapshot();
-  if (snap.count == 0) return 0.0;
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  double rank = q * static_cast<double>(snap.count);
+  double rank = q * static_cast<double>(count);
   uint64_t seen = 0;
-  for (size_t i = 0; i < snap.counts.size(); ++i) {
-    if (snap.counts[i] == 0) continue;
-    double lower = i == 0 ? snap.min : bounds_[i - 1];
-    double upper = i < bounds_.size() ? bounds_[i] : snap.max;
-    lower = std::max(lower, snap.min);
-    upper = std::min(upper, snap.max);
+  // bounds' last element is the +inf overflow bound; that bucket clamps to
+  // the observed max instead.
+  const size_t overflow = counts.size() - 1;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    double lower = i == 0 ? min : bounds[i - 1];
+    double upper = i < overflow ? bounds[i] : max;
+    lower = std::max(lower, min);
+    upper = std::min(upper, max);
     if (upper < lower) upper = lower;
-    uint64_t next = seen + snap.counts[i];
+    uint64_t next = seen + counts[i];
     if (rank <= static_cast<double>(next)) {
       double frac = (rank - static_cast<double>(seen)) /
-                    static_cast<double>(snap.counts[i]);
+                    static_cast<double>(counts[i]);
       return lower + frac * (upper - lower);
     }
     seen = next;
   }
-  return snap.max;
+  return max;
 }
+
+double Histogram::Quantile(double q) const { return Snapshot().Quantile(q); }
 
 std::vector<double> Histogram::ExponentialBounds(double start, double factor,
                                                  size_t count) {
@@ -395,16 +399,13 @@ std::string MetricRegistry::ToJson() const {
           out << ",\"max\":";
           AppendJsonNumber(&out, snap.max);
           out << ",\"mean\":";
-          AppendJsonNumber(&out, snap.count == 0
-                                     ? 0.0
-                                     : snap.sum / static_cast<double>(
-                                                      snap.count));
+          AppendJsonNumber(&out, snap.Mean());
           out << ",\"p50\":";
-          AppendJsonNumber(&out, entry.histogram->Quantile(0.5));
+          AppendJsonNumber(&out, snap.Quantile(0.5));
           out << ",\"p90\":";
-          AppendJsonNumber(&out, entry.histogram->Quantile(0.9));
+          AppendJsonNumber(&out, snap.Quantile(0.9));
           out << ",\"p99\":";
-          AppendJsonNumber(&out, entry.histogram->Quantile(0.99));
+          AppendJsonNumber(&out, snap.Quantile(0.99));
           out << "}";
           break;
         }
@@ -439,12 +440,10 @@ std::string MetricRegistry::ToCsv() const {
           row("sum", snap.sum);
           row("min", snap.min);
           row("max", snap.max);
-          row("mean", snap.count == 0 ? 0.0
-                                      : snap.sum / static_cast<double>(
-                                                       snap.count));
-          row("p50", entry.histogram->Quantile(0.5));
-          row("p90", entry.histogram->Quantile(0.9));
-          row("p99", entry.histogram->Quantile(0.99));
+          row("mean", snap.Mean());
+          row("p50", snap.Quantile(0.5));
+          row("p90", snap.Quantile(0.9));
+          row("p99", snap.Quantile(0.99));
           break;
         }
       }

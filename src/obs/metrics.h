@@ -74,7 +74,11 @@ class StreamingQuantile {
   double increments_[5];
 };
 
-/// Immutable view of a histogram's state at one point in time.
+/// Immutable view of a histogram's state at one point in time. Derived
+/// statistics (mean, quantiles) are computed on the snapshot itself, so one
+/// Snapshot() call yields a mutually consistent set of numbers — exporters
+/// must not go back to the live histogram per statistic (each trip re-reads
+/// racing atomics and costs another full bucket copy).
 struct HistogramSnapshot {
   std::vector<double> bounds;    ///< upper bucket bounds (last = +inf).
   std::vector<uint64_t> counts;  ///< per-bucket counts, bounds.size() long.
@@ -82,6 +86,16 @@ struct HistogramSnapshot {
   double sum = 0.0;
   double min = 0.0;  ///< 0 when count == 0.
   double max = 0.0;
+
+  double Mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+
+  /// Quantile estimate from the bucket counts, q in [0, 1] (clamped).
+  /// Returns 0 when empty. Linear interpolation inside the bucket holding
+  /// the requested rank; the first/overflow buckets clamp to min/max so the
+  /// open-ended bucket cannot produce infinities.
+  double Quantile(double q) const;
 };
 
 /// Fixed-bucket histogram. `Observe` is lock-free (atomic per-bucket counts;
@@ -102,9 +116,8 @@ class Histogram {
   double Sum() const { return sum_.load(std::memory_order_relaxed); }
   double Mean() const;
 
-  /// Quantile estimate from the bucket counts, q in [0, 1]. Returns 0 when
-  /// empty. The lowest/highest buckets clamp to the observed min/max so the
-  /// open-ended overflow bucket cannot produce infinities.
+  /// Convenience for one-off queries: Snapshot().Quantile(q). Callers that
+  /// need several statistics should take one Snapshot and query that.
   double Quantile(double q) const;
 
   /// `count` bounds starting at `start`, each `factor` times the previous —

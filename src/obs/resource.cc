@@ -1,0 +1,143 @@
+#include "obs/resource.h"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace eadrl::obs {
+
+namespace internal_resource {
+namespace {
+
+// Retired-thread totals plus the roster of live per-thread counters.
+// TotalAllocStats = retired + sum(live). The roster is a leaked singleton so
+// threads exiting after main teardown can still deregister safely.
+struct AllocRoster {
+  std::mutex mu;
+  std::vector<ThreadAllocCounters*> live;
+  std::atomic<uint64_t> retired_count{0};
+  std::atomic<uint64_t> retired_bytes{0};
+};
+
+AllocRoster& Roster() {
+  static AllocRoster* roster =
+      new AllocRoster();  // NOLINT(naked-new): leaked on purpose so
+                          // late-exiting threads can still deregister
+  return *roster;
+}
+
+}  // namespace
+
+ThreadAllocCounters::ThreadAllocCounters() {
+  AllocRoster& roster = Roster();
+  std::lock_guard<std::mutex> lock(roster.mu);
+  roster.live.push_back(this);
+}
+
+ThreadAllocCounters::~ThreadAllocCounters() {
+  AllocRoster& roster = Roster();
+  std::lock_guard<std::mutex> lock(roster.mu);
+  roster.retired_count.fetch_add(count.load(std::memory_order_relaxed),
+                                 std::memory_order_relaxed);
+  roster.retired_bytes.fetch_add(bytes.load(std::memory_order_relaxed),
+                                 std::memory_order_relaxed);
+  roster.live.erase(std::find(roster.live.begin(), roster.live.end(), this));
+}
+
+ThreadAllocCounters& TlsAllocCounters() {
+  thread_local ThreadAllocCounters counters;
+  return counters;
+}
+
+}  // namespace internal_resource
+
+ResourceSample SampleResources() {
+  ResourceSample sample;
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    // ru_maxrss is kilobytes on Linux.
+    sample.peak_rss_bytes = static_cast<uint64_t>(usage.ru_maxrss) * 1024u;
+    sample.minor_faults = static_cast<uint64_t>(usage.ru_minflt);
+    sample.major_faults = static_cast<uint64_t>(usage.ru_majflt);
+    sample.voluntary_ctx_switches = static_cast<uint64_t>(usage.ru_nvcsw);
+    sample.involuntary_ctx_switches = static_cast<uint64_t>(usage.ru_nivcsw);
+    sample.user_cpu_seconds =
+        static_cast<double>(usage.ru_utime.tv_sec) +
+        static_cast<double>(usage.ru_utime.tv_usec) * 1e-6;
+    sample.system_cpu_seconds =
+        static_cast<double>(usage.ru_stime.tv_sec) +
+        static_cast<double>(usage.ru_stime.tv_usec) * 1e-6;
+  }
+  // statm field 2 is resident pages; absent on non-Linux, which leaves
+  // current_rss_bytes at 0 (documented).
+  std::ifstream statm("/proc/self/statm");
+  if (statm) {
+    uint64_t total_pages = 0;
+    uint64_t resident_pages = 0;
+    if (statm >> total_pages >> resident_pages) {
+      const long page = sysconf(_SC_PAGESIZE);
+      sample.current_rss_bytes =
+          resident_pages * static_cast<uint64_t>(page > 0 ? page : 4096);
+    }
+  }
+  return sample;
+}
+
+AllocStats ThreadAllocStats() {
+  const internal_resource::ThreadAllocCounters& c =
+      internal_resource::TlsAllocCounters();
+  return AllocStats{c.count.load(std::memory_order_relaxed),
+                    c.bytes.load(std::memory_order_relaxed)};
+}
+
+AllocStats TotalAllocStats() {
+  internal_resource::AllocRoster& roster = internal_resource::Roster();
+  std::lock_guard<std::mutex> lock(roster.mu);
+  AllocStats total{roster.retired_count.load(std::memory_order_relaxed),
+                   roster.retired_bytes.load(std::memory_order_relaxed)};
+  for (const internal_resource::ThreadAllocCounters* c : roster.live) {
+    total.count += c->count.load(std::memory_order_relaxed);
+    total.bytes += c->bytes.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void UpdateResourceMetrics(MetricRegistry* registry) {
+  MetricRegistry& reg =
+      registry != nullptr ? *registry : MetricRegistry::Default();
+  const ResourceSample sample = SampleResources();
+  reg.GetGauge("eadrl_peak_rss_bytes")
+      ->Set(static_cast<double>(sample.peak_rss_bytes));
+  reg.GetGauge("eadrl_rss_bytes")
+      ->Set(static_cast<double>(sample.current_rss_bytes));
+  reg.GetGauge("eadrl_page_faults", {{"kind", "minor"}})
+      ->Set(static_cast<double>(sample.minor_faults));
+  reg.GetGauge("eadrl_page_faults", {{"kind", "major"}})
+      ->Set(static_cast<double>(sample.major_faults));
+  reg.GetGauge("eadrl_ctx_switches", {{"kind", "voluntary"}})
+      ->Set(static_cast<double>(sample.voluntary_ctx_switches));
+  reg.GetGauge("eadrl_ctx_switches", {{"kind", "involuntary"}})
+      ->Set(static_cast<double>(sample.involuntary_ctx_switches));
+  reg.GetGauge("eadrl_cpu_seconds", {{"mode", "user"}})
+      ->Set(sample.user_cpu_seconds);
+  reg.GetGauge("eadrl_cpu_seconds", {{"mode", "system"}})
+      ->Set(sample.system_cpu_seconds);
+
+  // The alloc counters are cumulative across all threads and monotone by
+  // construction, so a last-write-wins gauge set to the running total keeps
+  // repeated publishes (and publishes into multiple registries) correct
+  // without delta bookkeeping.
+  const AllocStats total = TotalAllocStats();
+  reg.GetGauge("eadrl_alloc_count_total")
+      ->Set(static_cast<double>(total.count));
+  reg.GetGauge("eadrl_alloc_bytes_total")
+      ->Set(static_cast<double>(total.bytes));
+}
+
+}  // namespace eadrl::obs

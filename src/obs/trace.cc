@@ -12,6 +12,7 @@
 #include "chk/chk.h"
 #include "common/string_util.h"
 #include "obs/metrics.h"
+#include "obs/resource.h"
 
 namespace eadrl::obs {
 
@@ -79,12 +80,57 @@ std::map<uint32_t, std::string>& ThreadNames() {
   return *names;
 }
 
+// Lock-free double accumulation (same CAS loop as the metrics backend).
+void AtomicAddDouble(std::atomic<double>* target, double delta) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(cur, cur + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+// Cross-thread aggregate behind SpanProfileSnapshot(): one record per span
+// name, updated with relaxed atomics on every finish. Values are leaked so
+// cached pointers stay valid for the process lifetime (Reset zeroes, never
+// frees).
+struct SpanStats {
+  std::atomic<uint64_t> count{0};
+  std::atomic<double> total_seconds{0.0};
+  std::atomic<double> self_seconds{0.0};
+  std::atomic<uint64_t> alloc_count{0};
+  std::atomic<uint64_t> alloc_bytes{0};
+};
+
+std::mutex& SpanStatsMu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<std::string, SpanStats*>& SpanStatsMap() {
+  static std::map<std::string, SpanStats*>* stats =
+      new std::map<std::string, SpanStats*>();  // NOLINT(naked-new): leaked
+                                                // on purpose; see SpanStats
+  return *stats;
+}
+
+SpanStats* SpanStatsFor(const char* name) {
+  std::lock_guard<std::mutex> lock(SpanStatsMu());
+  SpanStats*& slot = SpanStatsMap()[name];
+  if (slot == nullptr) {
+    slot = new SpanStats();  // NOLINT(naked-new): leaked on purpose; see
+                             // SpanStats
+  }
+  return slot;
+}
+
 // Per-thread cache of the profiler families, keyed by span-name pointer
 // (names are literals): the registry mutex is paid once per (thread, name)
 // instead of once per finished span.
 struct ProfilerFamilies {
   Histogram* duration;
   Counter* self_time;
+  Counter* alloc_count;
+  Counter* alloc_bytes;
+  SpanStats* stats;
 };
 
 ProfilerFamilies ProfilerFor(const char* name) {
@@ -97,6 +143,11 @@ ProfilerFamilies ProfilerFor(const char* name) {
       registry.GetHistogram("eadrl_span_seconds", {}, {{"span", name}});
   families.self_time = registry.GetCounter("eadrl_span_self_seconds_total",
                                            {{"span", name}});
+  families.alloc_count = registry.GetCounter("eadrl_span_alloc_count_total",
+                                             {{"span", name}});
+  families.alloc_bytes = registry.GetCounter("eadrl_span_alloc_bytes_total",
+                                             {{"span", name}});
+  families.stats = SpanStatsFor(name);
   cache.emplace(name, families);
   return families;
 }
@@ -284,18 +335,25 @@ ScopedTraceParent::ScopedTraceParent(TraceParent parent)
   if (saved_active_ != nullptr) {
     timing_ = true;
     start_ = std::chrono::steady_clock::now();
+    const AllocStats alloc = ThreadAllocStats();
+    start_alloc_count_ = alloc.count;
+    start_alloc_bytes_ = alloc.bytes;
   }
 }
 
 ScopedTraceParent::~ScopedTraceParent() {
   if (timing_) {
     // The masked span spent this whole window running someone else's work
-    // (a waiter helping the pool); credit it as child time so its self-time
-    // stays the time it actually computed.
+    // (a waiter helping the pool); credit it as child time — and the
+    // window's allocations as child allocations — so its self numbers stay
+    // what it actually computed.
     saved_active_->child_seconds_ +=
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start_)
             .count();
+    const AllocStats alloc = ThreadAllocStats();
+    saved_active_->child_alloc_count_ += alloc.count - start_alloc_count_;
+    saved_active_->child_alloc_bytes_ += alloc.bytes - start_alloc_bytes_;
   }
   tl_active = saved_active_;
   tl_remote = saved_remote_;
@@ -306,6 +364,9 @@ Span::Span(const char* name) : name_(name) {
   armed_ = true;
   TraceEpoch();  // pin the epoch no later than the first armed span.
   start_ = std::chrono::steady_clock::now();
+  const AllocStats alloc = ThreadAllocStats();
+  start_alloc_count_ = alloc.count;
+  start_alloc_bytes_ = alloc.bytes;
   span_id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
   if (tl_active != nullptr) {
     trace_id_ = tl_active->trace_id_;
@@ -333,15 +394,48 @@ void Span::Finish() {
                                     start_)
           .count();
   tl_active = parent_span_;
-  if (parent_span_ != nullptr) parent_span_->child_seconds_ += dur_seconds;
 
-  // Span-fed profiler: per-name duration histogram + self-time counter in
-  // the default registry, so `--metrics-summary` doubles as a hot-spot
-  // table even when the trace itself is discarded.
+  // Allocation attribution, mirroring the time bookkeeping: the thread-local
+  // delta over the span's lifetime, minus what child spans (and masked
+  // helping windows) already claimed, is this span's self share. Deltas use
+  // the same thread's counters only, so the arithmetic is race-free.
+  const AllocStats alloc = ThreadAllocStats();
+  const uint64_t alloc_count = alloc.count - start_alloc_count_;
+  const uint64_t alloc_bytes = alloc.bytes - start_alloc_bytes_;
+  const uint64_t self_alloc_count =
+      alloc_count - std::min(child_alloc_count_, alloc_count);
+  const uint64_t self_alloc_bytes =
+      alloc_bytes - std::min(child_alloc_bytes_, alloc_bytes);
+  if (parent_span_ != nullptr) {
+    parent_span_->child_seconds_ += dur_seconds;
+    parent_span_->child_alloc_count_ += alloc_count;
+    parent_span_->child_alloc_bytes_ += alloc_bytes;
+  }
+
+  // Span-fed profiler: per-name duration histogram + self-time/allocation
+  // counters in the default registry, so `--metrics-summary` doubles as a
+  // hot-spot table even when the trace itself is discarded.
   const ProfilerFamilies families = ProfilerFor(name_);
   families.duration->Observe(dur_seconds);
   const double self_seconds = std::max(0.0, dur_seconds - child_seconds_);
   families.self_time->Inc(self_seconds);
+  if (self_alloc_count > 0) {
+    families.alloc_count->Inc(static_cast<double>(self_alloc_count));
+    families.alloc_bytes->Inc(static_cast<double>(self_alloc_bytes));
+  }
+  families.stats->count.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&families.stats->total_seconds, dur_seconds);
+  AtomicAddDouble(&families.stats->self_seconds, self_seconds);
+  families.stats->alloc_count.fetch_add(self_alloc_count,
+                                        std::memory_order_relaxed);
+  families.stats->alloc_bytes.fetch_add(self_alloc_bytes,
+                                        std::memory_order_relaxed);
+  if (self_alloc_count > 0) {
+    attrs_.emplace_back("alloc_count",
+                        static_cast<int64_t>(self_alloc_count));
+    attrs_.emplace_back("alloc_bytes",
+                        static_cast<int64_t>(self_alloc_bytes));
+  }
 
   TraceBuffer* buffer = AcquireTraceBuffer();
   if (buffer == nullptr) return;  // sink was removed while the span ran.
@@ -358,6 +452,80 @@ void Span::Finish() {
   finished.attrs = std::move(attrs_);
   buffer->Record(std::move(finished));
   ReleaseTraceBuffer();
+}
+
+// ---------------------------------------------------------------------------
+// Span profiler aggregates.
+// ---------------------------------------------------------------------------
+
+std::vector<SpanProfileRow> SpanProfileSnapshot() {
+  std::vector<SpanProfileRow> rows;
+  {
+    std::lock_guard<std::mutex> lock(SpanStatsMu());
+    for (const auto& [name, stats] : SpanStatsMap()) {
+      SpanProfileRow row;
+      row.name = name;
+      row.count = stats->count.load(std::memory_order_relaxed);
+      row.total_seconds = stats->total_seconds.load(std::memory_order_relaxed);
+      row.self_seconds = stats->self_seconds.load(std::memory_order_relaxed);
+      row.alloc_count = stats->alloc_count.load(std::memory_order_relaxed);
+      row.alloc_bytes = stats->alloc_bytes.load(std::memory_order_relaxed);
+      if (row.count > 0) rows.push_back(std::move(row));
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const SpanProfileRow& a, const SpanProfileRow& b) {
+              if (a.self_seconds != b.self_seconds) {
+                return a.self_seconds > b.self_seconds;
+              }
+              return a.name < b.name;
+            });
+  return rows;
+}
+
+std::string FormatSpanProfileReport(size_t top_n) {
+  const std::vector<SpanProfileRow> rows = SpanProfileSnapshot();
+  std::string out;
+  out += PadRight("span", 20) + PadLeft("count", 10) +
+         PadLeft("total_s", 12) + PadLeft("self_s", 12) +
+         PadLeft("self%", 8) + PadLeft("allocs", 12) +
+         PadLeft("alloc_bytes", 14) + "\n";
+  double self_total = 0.0;
+  for (const SpanProfileRow& row : rows) self_total += row.self_seconds;
+  size_t shown = 0;
+  for (const SpanProfileRow& row : rows) {
+    if (shown++ >= top_n) break;
+    const double pct =
+        self_total > 0.0 ? 100.0 * row.self_seconds / self_total : 0.0;
+    out += PadRight(row.name, 20) + PadLeft(std::to_string(row.count), 10) +
+           PadLeft(FormatDouble(row.total_seconds, 6), 12) +
+           PadLeft(FormatDouble(row.self_seconds, 6), 12) +
+           PadLeft(FormatDouble(pct, 1), 8) +
+           PadLeft(std::to_string(row.alloc_count), 12) +
+           PadLeft(std::to_string(row.alloc_bytes), 14) + "\n";
+  }
+  if (rows.empty()) {
+    out += "(no spans profiled; run with tracing enabled)\n";
+  } else if (rows.size() > top_n) {
+    // Sequential appends: GCC-12's -Wrestrict misfires on the
+    // `const char* + std::string&&` concatenation chain here.
+    out += "(";
+    out += std::to_string(rows.size() - top_n);
+    out += " more spans)\n";
+  }
+  return out;
+}
+
+void ResetSpanProfileForTest() {
+  std::lock_guard<std::mutex> lock(SpanStatsMu());
+  for (auto& [name, stats] : SpanStatsMap()) {
+    static_cast<void>(name);
+    stats->count.store(0, std::memory_order_relaxed);
+    stats->total_seconds.store(0.0, std::memory_order_relaxed);
+    stats->self_seconds.store(0.0, std::memory_order_relaxed);
+    stats->alloc_count.store(0, std::memory_order_relaxed);
+    stats->alloc_bytes.store(0, std::memory_order_relaxed);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -123,6 +123,8 @@ class ScopedTraceParent {
   class Span* saved_active_;
   TraceParent saved_remote_;
   std::chrono::steady_clock::time_point start_;
+  uint64_t start_alloc_count_ = 0;
+  uint64_t start_alloc_bytes_ = 0;
   bool timing_ = false;
 };
 
@@ -132,6 +134,15 @@ class ScopedTraceParent {
 /// the installed TraceBuffer and feeds the span profiler
 /// (`eadrl_span_seconds{span=...}` histogram + self-time counter in the
 /// default MetricRegistry).
+///
+/// Armed spans also attribute scratch allocations (obs::CountAlloc): the
+/// span snapshots its thread's allocation counters at construction and, on
+/// finish, credits itself with the delta minus its children's share — so
+/// `alloc_count`/`alloc_bytes` trace attrs and the per-span
+/// `eadrl_span_alloc_{count,bytes}_total` counters are *self* allocations,
+/// mirroring self-time. Allocations a task makes on a pool worker land on
+/// the span the worker opens, not the cross-thread submitter (thread-local
+/// counters never cross threads).
 ///
 /// `name` must be a string literal (it is stored by pointer and, under src/,
 /// must be registered in src/obs/spans.def — enforced by eadrl_lint's
@@ -176,8 +187,36 @@ class Span {
   Span* parent_span_ = nullptr;  ///< same-thread parent, never cross-thread.
   std::chrono::steady_clock::time_point start_{};
   double child_seconds_ = 0.0;
+  // Allocation attribution (same single-threaded bookkeeping as
+  // child_seconds_): thread counters at arm time, plus what children claimed.
+  uint64_t start_alloc_count_ = 0;
+  uint64_t start_alloc_bytes_ = 0;
+  uint64_t child_alloc_count_ = 0;
+  uint64_t child_alloc_bytes_ = 0;
   std::vector<TelemetryField> attrs_;
 };
+
+/// One row of the span profiler's aggregate view: everything the profiler
+/// learned about a span name since process start (or the last reset).
+struct SpanProfileRow {
+  std::string name;
+  uint64_t count = 0;           ///< finished spans.
+  double total_seconds = 0.0;   ///< wall time, children included.
+  double self_seconds = 0.0;    ///< wall time minus child spans.
+  uint64_t alloc_count = 0;     ///< self scratch allocations.
+  uint64_t alloc_bytes = 0;
+};
+
+/// Snapshot of the profiler aggregates for every span name seen so far,
+/// sorted by self_seconds descending.
+std::vector<SpanProfileRow> SpanProfileSnapshot();
+
+/// Human-readable top-`top_n` profile table (self-time ranked, with
+/// allocation columns) — the `--profile-report` output.
+std::string FormatSpanProfileReport(size_t top_n = 16);
+
+/// Drops the profiler aggregates (tests and repeated bench workloads).
+void ResetSpanProfileForTest();
 
 /// Small dense id of the calling thread (assigned on first use, stable for
 /// the thread's lifetime) — the `tid` of every span it records.

@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "math/stats.h"
+#include "obs/resource.h"
 
 namespace eadrl::rl {
 
@@ -15,6 +16,10 @@ void ReplayBuffer::Add(Transition t) {
   // this buffer; reject it at the door where the producer is on the stack.
   EADRL_CHK_FINITE_VALUE(t.reward, "ReplayBuffer::Add reward");
   EADRL_CHK_SIMPLEX(t.action, 1e-6, "ReplayBuffer::Add action");
+  // Stored payload: the three vectors a transition owns (the Transition
+  // struct itself lives in the preallocated ring).
+  obs::CountAlloc((t.state.size() + t.action.size() + t.next_state.size()) *
+                  sizeof(double));
   if (buffer_.size() < capacity_) {
     buffer_.push_back(std::move(t));
   } else {

@@ -119,11 +119,16 @@ INSTANTIATE_TEST_SUITE_P(
                     {"event-registry"}},
         FixtureCase{"event_registry.bad.cc", "tests/fake/train.cc", {}},
         FixtureCase{"event_registry.good.cc", "src/fake/train.cc", {}},
-        // Trace span names must be registered (src/ only).
+        // Trace span names must be registered (src/ and tools/; tests and
+        // bench stay exempt so ad-hoc spans remain usable there).
         FixtureCase{"span_registry.bad.cc", "src/fake/train.cc",
                     {"span-registry"}},
+        FixtureCase{"span_registry.bad.cc", "tools/fake/bench.cc",
+                    {"span-registry"}},
         FixtureCase{"span_registry.bad.cc", "tests/fake/train.cc", {}},
+        FixtureCase{"span_registry.bad.cc", "bench/fake/train.cc", {}},
         FixtureCase{"span_registry.good.cc", "src/fake/train.cc", {}},
+        FixtureCase{"span_registry.good.cc", "tools/fake/bench.cc", {}},
         // Task markers need an owner/issue tag.
         FixtureCase{"todo_tag.bad.cc", "src/fake/pending.cc",
                     {"todo-tag", "todo-tag"}},

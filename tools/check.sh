@@ -6,9 +6,12 @@
 #                    default; EADRL_WERROR=OFF is the escape hatch)
 #   stage 3  trace   smoke: example_quickstart --trace, then eadrl_trace_check
 #                    validates the exported Chrome trace (shape + span names)
-#   stage 4  tsan    tier-1 suite under ThreadSanitizer, EADRL_THREADS=N
-#   stage 5  asan    tier-1 suite under AddressSanitizer
-#   stage 6  ubsan   tier-1 suite under UndefinedBehaviorSanitizer
+#   stage 4  bench   smoke: eadrl_bench records a macro-workload snapshot,
+#                    self-compares it (must pass), then proves the comparator
+#                    catches an injected 2x synthetic regression (must fail)
+#   stage 5  tsan    tier-1 suite under ThreadSanitizer, EADRL_THREADS=N
+#   stage 6  asan    tier-1 suite under AddressSanitizer
+#   stage 7  ubsan   tier-1 suite under UndefinedBehaviorSanitizer
 #                    (-fno-sanitize-recover=all: any UB aborts the test)
 #
 # Each stage reports wall-clock seconds; the summary at the end shows all of
@@ -65,6 +68,29 @@ stage_trace_smoke() {
   rm -rf "$trace_dir"
 }
 
+stage_bench_smoke() {
+  # Perf-trajectory smoke (see DESIGN.md, "Perf trajectory & resource
+  # observability"): record a quick snapshot from the macro workloads only
+  # (the google-benchmark suites are too slow for a gate), check that a
+  # snapshot compares clean against itself, and self-test the comparator by
+  # injecting a synthetic 2x slowdown — --compare must exit nonzero on it.
+  local bench_dir
+  bench_dir="$(mktemp -d)"
+  "$SRC_DIR/build-gate/tools/eadrl_bench" \
+    --skip-suites --episodes 2 --label smoke --out "$bench_dir/a.json"
+  "$SRC_DIR/build-gate/tools/eadrl_bench" \
+    --compare "$bench_dir/a.json" "$bench_dir/a.json"
+  "$SRC_DIR/build-gate/tools/eadrl_bench" \
+    --inject-regression "$bench_dir/a.json" "$bench_dir/slow.json" \
+    --factor 2.0
+  if "$SRC_DIR/build-gate/tools/eadrl_bench" \
+    --compare "$bench_dir/a.json" "$bench_dir/slow.json"; then
+    echo "bench comparator MISSED an injected 2x regression" >&2
+    exit 1
+  fi
+  rm -rf "$bench_dir"
+}
+
 stage_sanitizer() {
   local mode="$1"
   local dir="$SRC_DIR/build-$mode"
@@ -78,6 +104,7 @@ stage_sanitizer() {
 run_stage lint stage_lint
 run_stage werror stage_werror
 run_stage trace stage_trace_smoke
+run_stage bench stage_bench_smoke
 run_stage tsan stage_sanitizer thread
 run_stage asan stage_sanitizer address
 run_stage ubsan stage_sanitizer undefined

@@ -23,9 +23,13 @@
 //   --trace F         write a Chrome trace-event JSON file on exit (load it
 //                     in Perfetto / chrome://tracing); EADRL_TRACE=F is the
 //                     environment equivalent
-//   --metrics-summary print a snapshot of all metrics on exit
+//   --metrics-summary print a snapshot of all metrics on exit (includes
+//                     process resource gauges: peak RSS, faults, context
+//                     switches, scratch-allocation totals)
 //   --metrics-format  snapshot format: json (default), csv, or prom
 //                     (Prometheus text exposition)
+//   --profile-report  print the span profiler's top self-time table on exit
+//                     (wall time + attributed scratch allocations per span)
 
 #include <cstdio>
 #include <cstdlib>
@@ -39,6 +43,7 @@
 #include "models/forecaster.h"
 #include "models/pool.h"
 #include "obs/metrics.h"
+#include "obs/resource.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "par/parallel.h"
@@ -65,6 +70,7 @@ struct Args {
   std::string trace;
   bool metrics_summary = false;
   std::string metrics_format = "json";
+  bool profile_report = false;
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -137,6 +143,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->trace = v;
     } else if (flag == "--metrics-summary") {
       args->metrics_summary = true;
+    } else if (flag == "--profile-report") {
+      args->profile_report = true;
     } else if (flag == "--metrics-format") {
       const char* v = next("--metrics-format");
       if (v == nullptr) return false;
@@ -188,7 +196,9 @@ int main(int argc, char** argv) {
     if (env_trace != nullptr && *env_trace != '\0') args.trace = env_trace;
   }
   std::unique_ptr<eadrl::obs::TraceBuffer> trace_buffer;
-  if (!args.trace.empty()) {
+  // The span profiler only sees armed spans, so --profile-report needs a
+  // buffer installed even when no trace file was requested.
+  if (!args.trace.empty() || args.profile_report) {
     eadrl::obs::SetCurrentThreadTraceName("main");
     trace_buffer = std::make_unique<eadrl::obs::TraceBuffer>();
     eadrl::obs::SetTraceBuffer(trace_buffer.get());
@@ -204,12 +214,14 @@ int main(int argc, char** argv) {
         // Unset drains in-flight Record calls before returning, so the
         // export below sees every finished span.
         eadrl::obs::SetTraceBuffer(nullptr);
-        eadrl::Status st = trace->WriteChromeTrace(*trace_path);
-        if (!st.ok()) {
-          std::fprintf(stderr, "%s\n", st.ToString().c_str());
-        } else {
-          std::printf("trace written to %s (%zu spans)\n",
-                      trace_path->c_str(), trace->size());
+        if (!trace_path->empty()) {
+          eadrl::Status st = trace->WriteChromeTrace(*trace_path);
+          if (!st.ok()) {
+            std::fprintf(stderr, "%s\n", st.ToString().c_str());
+          } else {
+            std::printf("trace written to %s (%zu spans)\n",
+                        trace_path->c_str(), trace->size());
+          }
         }
       }
     }
@@ -317,7 +329,13 @@ int main(int argc, char** argv) {
     telemetry_sink->Flush();
     std::printf("\ntelemetry written to %s\n", args.telemetry.c_str());
   }
+  if (args.profile_report) {
+    std::printf("\n%s", eadrl::obs::FormatSpanProfileReport().c_str());
+  }
   if (args.metrics_summary) {
+    // Fold the process resource view (peak RSS, faults, context switches,
+    // scratch-allocation totals) into the registry before exporting it.
+    eadrl::obs::UpdateResourceMetrics();
     const eadrl::obs::MetricRegistry& registry =
         eadrl::obs::MetricRegistry::Default();
     const std::string snapshot = args.metrics_format == "csv"

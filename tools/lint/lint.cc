@@ -401,9 +401,10 @@ const std::map<std::string, std::string>& RuleCatalog() {
       {"event-registry-stale",
        "events.def entry that nothing in src/ emits any more"},
       {"span-registry",
-       "trace span names in src/ must be declared in src/obs/spans.def"},
+       "trace span names in src/ and tools/ must be declared in "
+       "src/obs/spans.def"},
       {"span-registry-stale",
-       "spans.def entry that nothing in src/ opens any more"},
+       "spans.def entry that nothing in src/ or tools/ opens any more"},
       {"todo-tag",
        "TODO/FIXME comments must carry an owner or issue tag: TODO(tag): ..."},
       {"stale-nolint",
@@ -519,6 +520,10 @@ std::vector<Finding> CheckFile(const std::string& path,
   const std::vector<Token>& toks = lexed.tokens;
 
   const bool in_src = StartsWith(path, "src/");
+  // tools/ binaries share src/'s span namespace (their spans land in the
+  // same profiler and traces), so the registry covers them too. Tests,
+  // benchmarks and examples stay exempt.
+  const bool in_tools = StartsWith(path, "tools/");
   const bool is_header = EndsWith(path, ".h") || EndsWith(path, ".hpp");
   // The logging/check/chk backends are the one place stdio is the product.
   const bool io_backend = in_src && (StartsWith(path, "src/common/") ||
@@ -599,7 +604,7 @@ std::vector<Finding> CheckFile(const std::string& path,
       }
     }
     // Trace span names: Span("name") / Span var("name") constructions.
-    if (in_src && config.have_spans_registry) {
+    if ((in_src || in_tools) && config.have_spans_registry) {
       const size_t lit = SpanNameLiteral(toks, i);
       if (lit != std::string::npos &&
           config.registered_spans.count(toks[lit].text) == 0) {
@@ -611,12 +616,17 @@ std::vector<Finding> CheckFile(const std::string& path,
   }
 
   // --- Include rules -------------------------------------------------------
-  std::vector<std::pair<std::string, size_t>> includes;  // target, line
+  struct Include {
+    std::string target;
+    size_t line;
+    bool angled;
+  };
+  std::vector<Include> includes;
   for (const Directive& d : lexed.directives) {
     std::string target;
     bool angled = false;
     if (!ParseIncludeTarget(d.text, &target, &angled)) continue;
-    includes.emplace_back(target, d.line);
+    includes.push_back({target, d.line, angled});
     if (StartsWith(target, "bits/")) {
       findings.push_back({path, d.line, "include-bits",
                           "#include <" + target + "> is libstdc++-internal; "
@@ -629,9 +639,11 @@ std::vector<Finding> CheckFile(const std::string& path,
     const std::string self_header =
         Basename(path).substr(0, Basename(path).size() - 3) + ".h";
     for (size_t i = 1; i < includes.size(); ++i) {
-      if (Basename(includes[i].first) == self_header) {
-        findings.push_back({path, includes[i].second, "include-self-first",
-                            "self header \"" + includes[i].first +
+      // Angled includes are never the self header — <sys/resource.h> is not
+      // src/obs/resource.h even though the basenames collide.
+      if (!includes[i].angled && Basename(includes[i].target) == self_header) {
+        findings.push_back({path, includes[i].line, "include-self-first",
+                            "self header \"" + includes[i].target +
                                 "\" must be the first include"});
       }
     }
@@ -741,8 +753,8 @@ std::vector<Finding> CheckSpanRegistryStaleness(
     if (used_in_src.count(name) == 0) {
       findings.push_back({spans_def_path, line, "span-registry-stale",
                           "registered span '" + name +
-                              "' is opened nowhere under src/; delete the "
-                              "entry or restore the span"});
+                              "' is opened nowhere under src/ or tools/; "
+                              "delete the entry or restore the span"});
     }
   }
   return findings;
