@@ -1,5 +1,6 @@
 #include "math/matrix.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "chk/chk.h"
@@ -10,10 +11,18 @@ namespace eadrl::math {
 namespace {
 // Matrix/vector results below are the scratch churn on the nn/rl hot paths;
 // reporting them lets spans attribute allocation pressure (see
-// obs/resource.h). ~1 ns per call, so unconditional is fine.
+// obs/resource.h). ~1 ns per call, so unconditional is fine. The *Into
+// variants deliberately do not report: reusing a warm buffer is not an
+// allocation, and the span counters exist to surface exactly that difference.
 inline void CountScratch(size_t doubles) {
   obs::CountAlloc(doubles * sizeof(double));
 }
+
+// Rows per register tile of the product kernels: four output rows share one
+// streamed row of the right-hand operand, so the inner loop is four
+// independent fused multiply-add chains over contiguous memory — wide enough
+// to keep vector units busy, narrow enough to stay in registers.
+constexpr size_t kRowBlock = 4;
 }  // namespace
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
@@ -39,6 +48,12 @@ Matrix Matrix::FromRows(const std::vector<Vec>& rows) {
   return m;
 }
 
+void Matrix::Resize(size_t rows, size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
 Vec Matrix::Row(size_t i) const {
   EADRL_CHECK_LT(i, rows_);
   CountScratch(cols_);
@@ -51,6 +66,17 @@ Vec Matrix::Col(size_t j) const {
   Vec out(rows_);
   for (size_t i = 0; i < rows_; ++i) out[i] = data_[i * cols_ + j];
   return out;
+}
+
+void Matrix::RowInto(size_t i, Vec* out) const {
+  EADRL_CHECK_LT(i, rows_);
+  out->assign(data_.begin() + i * cols_, data_.begin() + (i + 1) * cols_);
+}
+
+void Matrix::ColInto(size_t j, Vec* out) const {
+  EADRL_CHECK_LT(j, cols_);
+  out->resize(rows_);
+  for (size_t i = 0; i < rows_; ++i) (*out)[i] = data_[i * cols_ + j];
 }
 
 void Matrix::SetRow(size_t i, const Vec& row) {
@@ -69,48 +95,212 @@ Matrix Matrix::Transpose() const {
 }
 
 Matrix Matrix::MatMul(const Matrix& other) const {
+  CountScratch(rows_ * other.cols_);
+  Matrix out;
+  MatMulInto(other, &out);
+  return out;
+}
+
+void Matrix::MatMulInto(const Matrix& other, Matrix* out) const {
   EADRL_CHK_DIM(other.rows_, cols_, "Matrix::MatMul inner dimension");
   EADRL_CHECK_EQ(cols_, other.rows_);
-  CountScratch(rows_ * other.cols_);
-  Matrix out(rows_, other.cols_);
-  for (size_t i = 0; i < rows_; ++i) {
+  EADRL_CHECK(out != this && out != &other);
+  const size_t n = other.cols_;
+  out->Resize(rows_, n);
+  std::fill(out->data_.begin(), out->data_.end(), 0.0);
+  // Register-blocked i/k/j: kRowBlock output rows at a time, k sequential,
+  // contiguous j innermost. Each output element still accumulates over k in
+  // ascending order, so the tiling is bit-identical to the naive loop; the
+  // branch-free inner loop (no `a == 0.0` skip) only normalizes the sign of
+  // exact-zero results.
+  size_t i = 0;
+  for (; i + kRowBlock <= rows_; i += kRowBlock) {
+    const double* a0 = &data_[(i + 0) * cols_];
+    const double* a1 = &data_[(i + 1) * cols_];
+    const double* a2 = &data_[(i + 2) * cols_];
+    const double* a3 = &data_[(i + 3) * cols_];
+    double* o0 = &out->data_[(i + 0) * n];
+    double* o1 = &out->data_[(i + 1) * n];
+    double* o2 = &out->data_[(i + 2) * n];
+    double* o3 = &out->data_[(i + 3) * n];
     for (size_t k = 0; k < cols_; ++k) {
-      double a = data_[i * cols_ + k];
-      if (a == 0.0) continue;
-      const double* brow = &other.data_[k * other.cols_];
-      double* orow = &out.data_[i * other.cols_];
-      for (size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+      const double* brow = &other.data_[k * n];
+      const double c0 = a0[k];
+      const double c1 = a1[k];
+      const double c2 = a2[k];
+      const double c3 = a3[k];
+      for (size_t j = 0; j < n; ++j) {
+        const double b = brow[j];
+        o0[j] += c0 * b;
+        o1[j] += c1 * b;
+        o2[j] += c2 * b;
+        o3[j] += c3 * b;
+      }
     }
   }
+  for (; i < rows_; ++i) {
+    const double* arow = &data_[i * cols_];
+    double* orow = &out->data_[i * n];
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = arow[k];
+      const double* brow = &other.data_[k * n];
+      for (size_t j = 0; j < n; ++j) orow[j] += a * brow[j];
+    }
+  }
+}
+
+Matrix Matrix::MatMulTransposeA(const Matrix& other) const {
+  CountScratch(cols_ * other.cols_);
+  Matrix out;
+  MatMulTransposeAInto(other, &out);
   return out;
+}
+
+void Matrix::MatMulTransposeAInto(const Matrix& other, Matrix* out,
+                                  bool accumulate) const {
+  // this is K x M, other is K x N; out = this^T * other is M x N.
+  EADRL_CHK_DIM(other.rows_, rows_, "Matrix::MatMulTransposeA row count");
+  EADRL_CHECK_EQ(rows_, other.rows_);
+  EADRL_CHECK(out != this && out != &other);
+  const size_t n = other.cols_;
+  if (accumulate) {
+    EADRL_CHECK(out->rows_ == cols_ && out->cols_ == n);
+  } else {
+    out->Resize(cols_, n);
+    std::fill(out->data_.begin(), out->data_.end(), 0.0);
+  }
+  // k outermost: row k of `this` broadcasts down column i while row k of
+  // `other` streams across j. Per output element the k contributions arrive
+  // in ascending order — the same order as Transpose().MatMul(other) and,
+  // when k indexes batch samples, the same order as per-sample gradient
+  // accumulation.
+  for (size_t k = 0; k < rows_; ++k) {
+    const double* arow = &data_[k * cols_];
+    const double* brow = &other.data_[k * n];
+    for (size_t i = 0; i < cols_; ++i) {
+      const double a = arow[i];
+      double* orow = &out->data_[i * n];
+      for (size_t j = 0; j < n; ++j) orow[j] += a * brow[j];
+    }
+  }
+}
+
+Matrix Matrix::MatMulTransposeB(const Matrix& other) const {
+  CountScratch(rows_ * other.rows_);
+  Matrix out;
+  MatMulTransposeBInto(other, &out);
+  return out;
+}
+
+void Matrix::MatMulTransposeBInto(const Matrix& other, Matrix* out) const {
+  // this is M x K, other is N x K; out = this * other^T is M x N.
+  EADRL_CHK_DIM(other.cols_, cols_, "Matrix::MatMulTransposeB column count");
+  EADRL_CHECK_EQ(cols_, other.cols_);
+  EADRL_CHECK(out != this && out != &other);
+  const size_t n = other.rows_;
+  out->Resize(rows_, n);
+  // Both operands are traversed along contiguous rows; out[i][j] is the dot
+  // of row i with row j, accumulated over k in ascending order. Four output
+  // columns per pass share each load of the left row (independent
+  // accumulator chains — the register tile).
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* arow = &data_[i * cols_];
+    double* orow = &out->data_[i * n];
+    size_t j = 0;
+    for (; j + kRowBlock <= n; j += kRowBlock) {
+      const double* b0 = &other.data_[(j + 0) * cols_];
+      const double* b1 = &other.data_[(j + 1) * cols_];
+      const double* b2 = &other.data_[(j + 2) * cols_];
+      const double* b3 = &other.data_[(j + 3) * cols_];
+      double s0 = 0.0;
+      double s1 = 0.0;
+      double s2 = 0.0;
+      double s3 = 0.0;
+      for (size_t k = 0; k < cols_; ++k) {
+        const double a = arow[k];
+        s0 += a * b0[k];
+        s1 += a * b1[k];
+        s2 += a * b2[k];
+        s3 += a * b3[k];
+      }
+      orow[j + 0] = s0;
+      orow[j + 1] = s1;
+      orow[j + 2] = s2;
+      orow[j + 3] = s3;
+    }
+    for (; j < n; ++j) {
+      const double* brow = &other.data_[j * cols_];
+      double s = 0.0;
+      for (size_t k = 0; k < cols_; ++k) s += arow[k] * brow[k];
+      orow[j] = s;
+    }
+  }
 }
 
 Vec Matrix::MatVec(const Vec& x) const {
-  EADRL_CHK_DIM(x.size(), cols_, "Matrix::MatVec operand");
-  EADRL_CHECK_EQ(x.size(), cols_);
   CountScratch(rows_);
-  Vec out(rows_, 0.0);
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* row = &data_[i * cols_];
-    double s = 0.0;
-    for (size_t j = 0; j < cols_; ++j) s += row[j] * x[j];
-    out[i] = s;
-  }
+  Vec out;
+  MatVecInto(x, &out);
   return out;
 }
 
+void Matrix::MatVecInto(const Vec& x, Vec* out) const {
+  EADRL_CHK_DIM(x.size(), cols_, "Matrix::MatVec operand");
+  EADRL_CHECK_EQ(x.size(), cols_);
+  EADRL_CHECK(out != &x);
+  out->resize(rows_);
+  // Four rows per pass share each load of x (independent accumulator
+  // chains); each output element sums over j in ascending order, identical
+  // to the single-row loop.
+  size_t i = 0;
+  for (; i + kRowBlock <= rows_; i += kRowBlock) {
+    const double* r0 = &data_[(i + 0) * cols_];
+    const double* r1 = &data_[(i + 1) * cols_];
+    const double* r2 = &data_[(i + 2) * cols_];
+    const double* r3 = &data_[(i + 3) * cols_];
+    double s0 = 0.0;
+    double s1 = 0.0;
+    double s2 = 0.0;
+    double s3 = 0.0;
+    for (size_t j = 0; j < cols_; ++j) {
+      const double xj = x[j];
+      s0 += r0[j] * xj;
+      s1 += r1[j] * xj;
+      s2 += r2[j] * xj;
+      s3 += r3[j] * xj;
+    }
+    (*out)[i + 0] = s0;
+    (*out)[i + 1] = s1;
+    (*out)[i + 2] = s2;
+    (*out)[i + 3] = s3;
+  }
+  for (; i < rows_; ++i) {
+    const double* row = &data_[i * cols_];
+    double s = 0.0;
+    for (size_t j = 0; j < cols_; ++j) s += row[j] * x[j];
+    (*out)[i] = s;
+  }
+}
+
 Vec Matrix::TransposeMatVec(const Vec& x) const {
+  CountScratch(cols_);
+  Vec out;
+  TransposeMatVecInto(x, &out);
+  return out;
+}
+
+void Matrix::TransposeMatVecInto(const Vec& x, Vec* out) const {
   EADRL_CHK_DIM(x.size(), rows_, "Matrix::TransposeMatVec operand");
   EADRL_CHECK_EQ(x.size(), rows_);
-  CountScratch(cols_);
-  Vec out(cols_, 0.0);
+  EADRL_CHECK(out != &x);
+  out->assign(cols_, 0.0);
+  // Branch-free (the old `xi == 0.0` skip defeated vectorization); per
+  // output element the i contributions arrive in ascending order either way.
   for (size_t i = 0; i < rows_; ++i) {
     const double* row = &data_[i * cols_];
-    double xi = x[i];
-    if (xi == 0.0) continue;
-    for (size_t j = 0; j < cols_; ++j) out[j] += xi * row[j];
+    const double xi = x[i];
+    for (size_t j = 0; j < cols_; ++j) (*out)[j] += xi * row[j];
   }
-  return out;
 }
 
 void Matrix::AddScaled(const Matrix& other, double alpha) {
@@ -136,6 +326,24 @@ double Matrix::MaxAbs() const {
   double m = 0.0;
   for (double v : data_) m = std::max(m, std::fabs(v));
   return m;
+}
+
+void SoftmaxRowsInPlace(Matrix* m) {
+  EADRL_CHECK(m->cols() > 0);
+  const size_t cols = m->cols();
+  for (size_t i = 0; i < m->rows(); ++i) {
+    double* row = m->RowPtr(i);
+    // Same max-shift/exp/normalize sequence as math::Softmax, element order
+    // included, so each row matches the vector call bit for bit.
+    double mx = row[0];
+    for (size_t j = 1; j < cols; ++j) mx = std::max(mx, row[j]);
+    double sum = 0.0;
+    for (size_t j = 0; j < cols; ++j) {
+      row[j] = std::exp(row[j] - mx);
+      sum += row[j];
+    }
+    for (size_t j = 0; j < cols; ++j) row[j] /= sum;
+  }
 }
 
 }  // namespace eadrl::math

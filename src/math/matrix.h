@@ -15,6 +15,13 @@ namespace eadrl::math {
 /// Designed for the small/medium problems in this library (regression design
 /// matrices, network weight blocks, covariance matrices). Copyable and
 /// movable.
+///
+/// Determinism contract (see DESIGN.md, "Batch-major kernels"): every product
+/// kernel below — blocked or fused — accumulates each output element over the
+/// contraction index in ascending order, so tiling and the fused-transpose
+/// variants are bit-identical to the naive loops for finite inputs (the only
+/// divergence is the sign of exact-zero results, since `x + 0.0` normalizes
+/// `-0.0` to `+0.0`).
 class Matrix {
  public:
   Matrix() = default;
@@ -37,6 +44,11 @@ class Matrix {
   size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
+  /// Reshapes to rows x cols without shrinking capacity; contents are
+  /// unspecified afterwards. The workhorse of scratch reuse: a warmed-up
+  /// buffer resized to the same (or smaller) shape never reallocates.
+  void Resize(size_t rows, size_t cols);
+
   double& operator()(size_t i, size_t j) {
     EADRL_CHECK(i < rows_ && j < cols_);
     return data_[i * cols_ + j];
@@ -49,10 +61,18 @@ class Matrix {
   const std::vector<double>& data() const { return data_; }
   std::vector<double>& data() { return data_; }
 
+  /// Pointer to the start of row i (rows are contiguous).
+  const double* RowPtr(size_t i) const { return &data_[i * cols_]; }
+  double* RowPtr(size_t i) { return &data_[i * cols_]; }
+
   /// Copies row i into a vector.
   Vec Row(size_t i) const;
   /// Copies column j into a vector.
   Vec Col(size_t j) const;
+  /// Copies row i into *out (resized; no allocation once warm).
+  void RowInto(size_t i, Vec* out) const;
+  /// Copies column j into *out (resized; no allocation once warm).
+  void ColInto(size_t j, Vec* out) const;
   /// Overwrites row i.
   void SetRow(size_t i, const Vec& row);
 
@@ -60,12 +80,31 @@ class Matrix {
 
   /// Matrix product this * other.
   Matrix MatMul(const Matrix& other) const;
+  /// this * other into *out (resized; no allocation once warm).
+  void MatMulInto(const Matrix& other, Matrix* out) const;
+
+  /// Fused this^T * other without materializing Transpose(). The batched
+  /// backprop weight-gradient kernel: with `accumulate`, adds into *out
+  /// instead of overwriting — contributions land per output element in
+  /// ascending row order of `this`, exactly like per-sample accumulation.
+  Matrix MatMulTransposeA(const Matrix& other) const;
+  void MatMulTransposeAInto(const Matrix& other, Matrix* out,
+                            bool accumulate = false) const;
+
+  /// Fused this * other^T without materializing Transpose(). The batched
+  /// forward kernel (batch-major X times weight W gives X * W^T).
+  Matrix MatMulTransposeB(const Matrix& other) const;
+  void MatMulTransposeBInto(const Matrix& other, Matrix* out) const;
 
   /// Matrix-vector product this * x.
   Vec MatVec(const Vec& x) const;
+  /// this * x into *out (resized; no allocation once warm).
+  void MatVecInto(const Vec& x, Vec* out) const;
 
   /// x^T * this (i.e. Transpose().MatVec(x) without materializing).
   Vec TransposeMatVec(const Vec& x) const;
+  /// x^T * this into *out (resized; no allocation once warm).
+  void TransposeMatVecInto(const Vec& x, Vec* out) const;
 
   /// In-place this += alpha * other (same shape).
   void AddScaled(const Matrix& other, double alpha);
@@ -87,6 +126,11 @@ class Matrix {
   size_t cols_ = 0;
   std::vector<double> data_;
 };
+
+/// Row-wise softmax in place — each row is mapped through exactly the same
+/// max-shift/exp/normalize steps as math::Softmax, so a batched row equals
+/// the vector call on that row bit for bit.
+void SoftmaxRowsInPlace(Matrix* m);
 
 }  // namespace eadrl::math
 

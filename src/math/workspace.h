@@ -1,0 +1,61 @@
+#ifndef EADRL_MATH_WORKSPACE_H_
+#define EADRL_MATH_WORKSPACE_H_
+
+#include <cstddef>
+#include <deque>
+
+#include "math/matrix.h"
+#include "math/vec.h"
+
+namespace eadrl::math {
+
+/// Arena of reusable scratch buffers for hot paths that would otherwise
+/// allocate fresh temporaries per call (the `MatVec`/`Row`/`Col` churn the
+/// allocation counters in obs/resource.h were built to surface).
+///
+/// Buffers are addressed by a caller-chosen slot index: `ws.mat(3, n, m)`
+/// always returns the same underlying matrix, resized to the requested
+/// shape. After the first call at a given shape the buffer is warm and the
+/// request never allocates. Contents are unspecified on checkout — callers
+/// overwrite (the matrix kernels' *Into variants do).
+///
+/// Lifetime rules (see DESIGN.md, "Batch-major kernels"): a checked-out
+/// reference stays valid until the Workspace is destroyed — growth never
+/// moves existing buffers — but its *contents* only until the next checkout
+/// of the same slot. Not thread-safe; give each worker its own Workspace.
+class Workspace {
+ public:
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// The slot's matrix, reshaped to rows x cols (contents unspecified).
+  Matrix& mat(size_t slot, size_t rows, size_t cols) {
+    if (slot >= mats_.size()) mats_.resize(slot + 1);
+    mats_[slot].Resize(rows, cols);
+    return mats_[slot];
+  }
+
+  /// The slot's vector, resized to n (contents unspecified).
+  Vec& vec(size_t slot, size_t n) {
+    if (slot >= vecs_.size()) vecs_.resize(slot + 1);
+    vecs_[slot].resize(n);
+    return vecs_[slot];
+  }
+
+  /// Drops all buffers (capacity included). Mainly for tests.
+  void Clear() {
+    mats_.clear();
+    vecs_.clear();
+  }
+
+ private:
+  // deque: growth never moves existing elements, so handed-out references
+  // survive later checkouts of new slots.
+  std::deque<Matrix> mats_;
+  std::deque<Vec> vecs_;
+};
+
+}  // namespace eadrl::math
+
+#endif  // EADRL_MATH_WORKSPACE_H_

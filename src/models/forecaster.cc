@@ -4,6 +4,7 @@ namespace eadrl::models {
 
 math::Vec RollingForecast(Forecaster* model, const ts::Series& eval) {
   math::Vec preds;
+  if (model->TryRollingForecast(eval, &preds)) return preds;
   preds.reserve(eval.size());
   for (size_t t = 0; t < eval.size(); ++t) {
     preds.push_back(model->PredictNext());

@@ -32,6 +32,17 @@ class Forecaster {
 
   /// Advances the internal state with the next observed value.
   virtual void Observe(double value) = 0;
+
+  /// Batched fan-out hook: a forecaster that can evaluate the whole
+  /// teacher-forced one-step-ahead sweep in one batched pass fills `preds`
+  /// (bit-identical to the PredictNext/Observe walk), advances its state
+  /// past `eval`, and returns true. The default says "unsupported";
+  /// RollingForecast then runs the scalar protocol.
+  virtual bool TryRollingForecast(const ts::Series& eval, math::Vec* preds) {
+    (void)eval;
+    (void)preds;
+    return false;
+  }
 };
 
 /// Convenience: runs `PredictNext`/`Observe` over an evaluation series and

@@ -64,7 +64,15 @@ Status MlpRegressor::Fit(const math::Matrix& x, const math::Vec& y) {
 
 double MlpRegressor::Predict(const math::Vec& x) const {
   EADRL_CHECK(net_ != nullptr);
-  return net_->Forward(x)[0];
+  return net_->Predict(x)[0];  // no-grad path: nothing stashed, no scratch.
+}
+
+bool MlpRegressor::PredictBatch(const math::Matrix& x, math::Vec* out) const {
+  EADRL_CHECK(net_ != nullptr);
+  const math::Matrix& y = net_->ForwardBatch(x, /*train=*/false);
+  out->resize(x.rows());
+  for (size_t b = 0; b < x.rows(); ++b) (*out)[b] = y(b, 0);
+  return true;
 }
 
 // ---------------------------------------------------------------------------

@@ -31,6 +31,7 @@ class MlpRegressor : public Regressor {
 
   Status Fit(const math::Matrix& x, const math::Vec& y) override;
   double Predict(const math::Vec& x) const override;
+  bool PredictBatch(const math::Matrix& x, math::Vec* out) const override;
 
  private:
   std::vector<size_t> hidden_sizes_;

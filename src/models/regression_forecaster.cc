@@ -42,6 +42,34 @@ double RegressionForecaster::PredictNext() {
   return pred;
 }
 
+bool RegressionForecaster::TryRollingForecast(const ts::Series& eval,
+                                              math::Vec* preds) {
+  EADRL_CHECK(fitted_);
+  const size_t n = eval.size();
+  preds->clear();
+  if (n == 0) return true;
+  // The window at step t is the last k values of window_ ++ eval[0..t-1];
+  // stream[t..t+k) is exactly that slice.
+  math::Vec stream(window_.begin(), window_.end());
+  stream.insert(stream.end(), eval.values().begin(), eval.values().end());
+  math::Matrix features(n, k_);
+  for (size_t t = 0; t < n; ++t) {
+    double* row = features.RowPtr(t);
+    for (size_t i = 0; i < k_; ++i) row[i] = scaler_.Transform(stream[t + i]);
+  }
+  math::Vec scaled;
+  if (!regressor_->PredictBatch(features, &scaled)) return false;
+  preds->resize(n);
+  for (size_t t = 0; t < n; ++t) {
+    double pred = scaler_.Inverse(scaled[t]);
+    // Same defensive fallback as PredictNext: the newest raw window value.
+    if (!std::isfinite(pred)) pred = stream[t + k_ - 1];
+    (*preds)[t] = pred;
+  }
+  window_.assign(stream.end() - static_cast<ptrdiff_t>(k_), stream.end());
+  return true;
+}
+
 void RegressionForecaster::Observe(double value) {
   EADRL_CHECK(fitted_);
   window_.push_back(value);

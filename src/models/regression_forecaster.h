@@ -24,6 +24,11 @@ class RegressionForecaster : public Forecaster {
   double PredictNext() override;
   void Observe(double value) override;
 
+  /// Teacher forcing makes every delay-embedded feature row known up front,
+  /// so when the wrapped regressor supports PredictBatch the whole rolling
+  /// sweep is one batched call (bit-identical to the scalar walk).
+  bool TryRollingForecast(const ts::Series& eval, math::Vec* preds) override;
+
  private:
   std::string name_;
   size_t k_;

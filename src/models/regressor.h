@@ -18,6 +18,16 @@ class Regressor {
 
   virtual Status Fit(const math::Matrix& x, const math::Vec& y) = 0;
   virtual double Predict(const math::Vec& x) const = 0;
+
+  /// Batched predict hook: when supported, fills `out` with out[i] =
+  /// Predict(row i of x) — bit for bit — in one batched pass and returns
+  /// true. The default says "unsupported"; callers fall back to scalar
+  /// Predict calls.
+  virtual bool PredictBatch(const math::Matrix& x, math::Vec* out) const {
+    (void)x;
+    (void)out;
+    return false;
+  }
 };
 
 }  // namespace eadrl::models

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/check.h"
 #include "obs/resource.h"
 
 namespace eadrl::nn {
@@ -27,6 +28,49 @@ math::Vec ApplyActivation(Activation act, const math::Vec& z) {
       break;
   }
   return out;
+}
+
+void ApplyActivationInPlace(Activation act, double* z, size_t n) {
+  switch (act) {
+    case Activation::kIdentity:
+      break;
+    case Activation::kRelu:
+      for (size_t i = 0; i < n; ++i) z[i] = z[i] > 0.0 ? z[i] : 0.0;
+      break;
+    case Activation::kTanh:
+      for (size_t i = 0; i < n; ++i) z[i] = std::tanh(z[i]);
+      break;
+    case Activation::kSigmoid:
+      for (size_t i = 0; i < n; ++i) z[i] = SigmoidScalar(z[i]);
+      break;
+  }
+}
+
+void MultiplyActivationDerivative(Activation act, const math::Matrix& z,
+                                  math::Matrix* grad) {
+  EADRL_CHECK(grad->rows() == z.rows() && grad->cols() == z.cols());
+  const size_t n = z.size();
+  const double* zp = z.data().data();
+  double* gp = grad->data().data();
+  switch (act) {
+    case Activation::kIdentity:
+      break;  // act' == 1.
+    case Activation::kRelu:
+      for (size_t i = 0; i < n; ++i) gp[i] = zp[i] > 0.0 ? gp[i] : 0.0;
+      break;
+    case Activation::kTanh:
+      for (size_t i = 0; i < n; ++i) {
+        double t = std::tanh(zp[i]);
+        gp[i] *= 1.0 - t * t;
+      }
+      break;
+    case Activation::kSigmoid:
+      for (size_t i = 0; i < n; ++i) {
+        double s = SigmoidScalar(zp[i]);
+        gp[i] *= s * (1.0 - s);
+      }
+      break;
+  }
 }
 
 math::Vec ActivationDerivative(Activation act, const math::Vec& z) {

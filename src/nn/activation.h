@@ -1,6 +1,7 @@
 #ifndef EADRL_NN_ACTIVATION_H_
 #define EADRL_NN_ACTIVATION_H_
 
+#include "math/matrix.h"
 #include "math/vec.h"
 
 namespace eadrl::nn {
@@ -13,6 +14,16 @@ math::Vec ApplyActivation(Activation act, const math::Vec& z);
 
 /// Derivative of the activation evaluated at pre-activation z (elementwise).
 math::Vec ActivationDerivative(Activation act, const math::Vec& z);
+
+/// Applies the activation elementwise in place (z := act(z)). The no-alloc
+/// building block of both the scalar-Into and the batched forward paths;
+/// applies the same per-element formulas as ApplyActivation.
+void ApplyActivationInPlace(Activation act, double* z, size_t n);
+
+/// grad[i] *= act'(z[i]) elementwise over a batch matrix — the batched
+/// equivalent of multiplying by ActivationDerivative, same formulas.
+void MultiplyActivationDerivative(Activation act, const math::Matrix& z,
+                                  math::Matrix* grad);
 
 /// Scalar helpers (used by LSTM cells).
 double SigmoidScalar(double x);

@@ -13,21 +13,51 @@ namespace eadrl::nn {
 
 /// Fully connected layer y = act(W x + b) with hand-written backprop.
 ///
-/// Forward caches the input and pre-activation for the following Backward
-/// call; Backward accumulates parameter gradients (callers zero them via the
-/// optimizer) and returns the gradient with respect to the input.
+/// Two execution modes share the parameters:
+///  - scalar: Forward/Backward on one sample (the historical reference path;
+///    ForwardInto adds an allocation-free, optionally no-grad variant);
+///  - batched: ForwardBatch/BackwardBatch on a row-major B x dim minibatch,
+///    one GEMM per call instead of B MatVecs. Batched results match the
+///    scalar path bit for bit except for the sign of exact-zero gradients
+///    (see DESIGN.md, "Batch-major kernels").
+///
+/// Train-mode forwards cache what the following Backward needs; inference
+/// (`train == false`) stashes nothing at all. Backward accumulates parameter
+/// gradients (callers zero them via the optimizer) and returns the gradient
+/// with respect to the input.
 class Dense {
  public:
   Dense(size_t in_dim, size_t out_dim, Activation act, Rng& rng);
 
-  /// Forward pass for a single sample.
+  /// Forward pass for a single sample (train mode).
   math::Vec Forward(const math::Vec& input);
 
+  /// Allocation-free scalar forward into *out (resized; warm after one
+  /// call). With `train`, the input and pre-activation are cached for
+  /// Backward via capacity-reusing copies; without, nothing is stashed.
+  void ForwardInto(const math::Vec& input, math::Vec* out, bool train);
+
+  /// Batched forward over a row-major B x in_dim batch (row b = sample b)
+  /// into the B x out_dim *out. With `train`, the layer caches `batch` BY
+  /// REFERENCE — no copy — so the matrix must outlive and stay unmodified
+  /// until the matching BackwardBatch (the Mlp/agent workspaces guarantee
+  /// this; see DESIGN.md for the lifetime rule).
+  void ForwardBatch(const math::Matrix& batch, math::Matrix* out, bool train);
+
   /// Backward pass: `grad_output` is dL/dy; returns dL/dx and accumulates
-  /// dL/dW, dL/db. Must follow a Forward call with the matching input.
+  /// dL/dW, dL/db. Must follow a train-mode Forward with the matching input.
   math::Vec Backward(const math::Vec& grad_output);
 
-  /// Trainable parameters: weight (out x in) and bias (out x 1).
+  /// Batched backward: `grad_output` is dL/dY (B x out_dim); writes dL/dX
+  /// into *grad_input and accumulates dL/dW (one fused-transpose GEMM whose
+  /// batch-index accumulation order equals B scalar Backward calls) and
+  /// dL/db. Must follow a train-mode ForwardBatch with the matching batch.
+  void BackwardBatch(const math::Matrix& grad_output,
+                     math::Matrix* grad_input);
+
+  /// Trainable parameters: weight (out x in) and bias (1 x out). The bias is
+  /// a flat row vector — forward adds contiguous doubles instead of the old
+  /// out x 1 strided (i, 0) lookups — and serialization follows this shape.
   std::vector<Param*> Params();
 
   size_t in_dim() const { return in_dim_; }
@@ -38,15 +68,27 @@ class Dense {
   void ReinitUniform(double r, Rng& rng);
 
  private:
+  /// dz = grad_output ⊙ act'(last_pre_activation_) into scratch_dz_, with
+  /// the same per-element formulas as ActivationDerivative.
+  void ComputeScalarDz(const math::Vec& grad_output);
+
   size_t in_dim_;
   size_t out_dim_;
   Activation act_;
   Param weight_;  // out x in
-  Param bias_;    // out x 1
+  Param bias_;    // 1 x out (flat row; see Params()).
 
-  // Caches from the last Forward call.
+  // Scalar-path caches from the last train-mode Forward. Capacity-reusing
+  // assignments: warm after the first call, no per-call allocation.
   math::Vec last_input_;
   math::Vec last_pre_activation_;
+  math::Vec scratch_dz_;
+
+  // Batch-path caches from the last train-mode ForwardBatch. The input is
+  // cached by pointer, not copied (see ForwardBatch's lifetime rule).
+  const math::Matrix* last_batch_ = nullptr;
+  math::Matrix batch_pre_activation_;
+  math::Matrix batch_dz_;
 };
 
 }  // namespace eadrl::nn

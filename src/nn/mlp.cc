@@ -25,12 +25,50 @@ math::Vec Mlp::Forward(const math::Vec& input) {
   return h;
 }
 
+const math::Vec& Mlp::Predict(const math::Vec& input) {
+  const math::Vec* cur = &input;
+  math::Vec* bufs[2] = {&predict_a_, &predict_b_};
+  size_t which = 0;
+  for (auto& layer : layers_) {
+    math::Vec* next = bufs[which];
+    layer->ForwardInto(*cur, next, /*train=*/false);
+    cur = next;
+    which ^= 1;
+  }
+  EADRL_CHK_FINITE(*cur, "Mlp::Forward output");
+  return *cur;
+}
+
 math::Vec Mlp::Backward(const math::Vec& grad_output) {
   math::Vec g = grad_output;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
     g = (*it)->Backward(g);
   }
   return g;
+}
+
+const math::Matrix& Mlp::ForwardBatch(const math::Matrix& batch, bool train) {
+  batch_acts_.resize(layers_.size());
+  const math::Matrix* cur = &batch;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->ForwardBatch(*cur, &batch_acts_[i], train);
+    cur = &batch_acts_[i];
+  }
+  EADRL_CHK_FINITE(cur->data(), "Mlp::ForwardBatch output");
+  return *cur;
+}
+
+const math::Matrix& Mlp::BackwardBatch(const math::Matrix& grad_output) {
+  const math::Matrix* cur = &grad_output;
+  math::Matrix* bufs[2] = {&batch_grad_a_, &batch_grad_b_};
+  size_t which = 0;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    math::Matrix* next = bufs[which];
+    (*it)->BackwardBatch(*cur, next);
+    cur = next;
+    which ^= 1;
+  }
+  return *cur;
 }
 
 std::vector<Param*> Mlp::Params() {

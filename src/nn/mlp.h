@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "math/matrix.h"
 #include "math/vec.h"
 #include "nn/dense.h"
 
@@ -15,6 +16,13 @@ namespace eadrl::nn {
 /// The hidden layers use `hidden_act`; the output layer uses `output_act`.
 /// This is the network family used for the DDPG actor and critic (the paper's
 /// "policy network" and "value network") and for the MLP forecaster.
+///
+/// Beyond the scalar Forward/Backward it exposes a no-grad scalar Predict and
+/// batch-major ForwardBatch/BackwardBatch (one GEMM per layer for a B-row
+/// minibatch) whose per-sample results match the scalar path bit for bit
+/// except for exact-zero signs (see DESIGN.md, "Batch-major kernels"). The
+/// batched and Predict paths run on member workspaces, so a warmed-up network
+/// performs no per-call scratch allocation.
 class Mlp {
  public:
   /// `layer_sizes` = {input, hidden..., output}; requires at least 2 entries.
@@ -23,8 +31,25 @@ class Mlp {
 
   math::Vec Forward(const math::Vec& input);
 
+  /// No-grad scalar forward (nothing cached for Backward, no allocation once
+  /// warm). Returns a reference to an internal buffer, valid until the next
+  /// Predict call on this network.
+  const math::Vec& Predict(const math::Vec& input);
+
   /// Backward from dL/d(output); returns dL/d(input).
   math::Vec Backward(const math::Vec& grad_output);
+
+  /// Batched forward over a row-major B x in_dim batch (row = sample).
+  /// Returns a reference to the internal B x out_dim output, valid until the
+  /// next batched call. In train mode the layers cache their inputs by
+  /// reference into this network's activation workspace, so `batch` must
+  /// stay alive and unmodified until the matching BackwardBatch returns.
+  const math::Matrix& ForwardBatch(const math::Matrix& batch, bool train);
+
+  /// Batched backward from dL/d(output) (B x out_dim); accumulates parameter
+  /// gradients and returns a reference to the internal dL/d(input), valid
+  /// until the next batched call.
+  const math::Matrix& BackwardBatch(const math::Matrix& grad_output);
 
   std::vector<Param*> Params();
 
@@ -37,6 +62,16 @@ class Mlp {
 
  private:
   std::vector<std::unique_ptr<Dense>> layers_;
+
+  // Batched-path workspace: batch_acts_[i] is layer i's output and layer
+  // i+1's cached-by-reference input (which is why it must be a stable member
+  // rather than a local). The grad pair ping-pongs through BackwardBatch.
+  std::vector<math::Matrix> batch_acts_;
+  math::Matrix batch_grad_a_;
+  math::Matrix batch_grad_b_;
+  // Predict-path ping-pong buffers.
+  math::Vec predict_a_;
+  math::Vec predict_b_;
 };
 
 }  // namespace eadrl::nn

@@ -9,7 +9,6 @@
 #include "nn/param.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
-#include "par/parallel.h"
 
 namespace eadrl::rl {
 namespace {
@@ -23,47 +22,30 @@ std::vector<size_t> LayerSizes(size_t in, const std::vector<size_t>& hidden,
   return sizes;
 }
 
-// Smallest batch worth fanning out, and transitions per pool task. Below the
-// threshold the replica setup costs more than the gradient math.
-constexpr size_t kMinParallelBatch = 8;
-constexpr size_t kUpdateGrain = 4;
+// Workspace slot map for UpdateBatched: each slot is a stable, reusable
+// batch-major buffer (see math::Workspace). Warm after the first update.
+enum WsSlot : size_t {
+  kWsStates = 0,      // n x state_dim
+  kWsNextStates,      // n x state_dim
+  kWsActions,         // n x action_dim (replay actions)
+  kWsNextActions,     // n x action_dim (target policy, post-softmax)
+  kWsCriticDz,        // n x critic-out
+  kWsScaledLogits,    // n x action_dim
+  kWsProbs,           // n x action_dim
+  kWsActorDz,         // n x action_dim
+  kWsCriticIn,        // n x (state_dim + action_dim), monolithic critic only
+  kWsNextCriticIn,    // n x (state_dim + action_dim), monolithic critic only
+  kWsOnes,            // n x 1, monolithic critic only
+};
 
-/// Same-architecture copy of a network (forward/backward scratch state is
-/// per-replica, so replicas can run on pool workers while the original's
-/// parameters stay untouched).
-std::unique_ptr<nn::Mlp> CloneNet(nn::Mlp& src,
-                                  const std::vector<size_t>& sizes) {
-  Rng scratch(0);  // initial weights are overwritten by CopyParams.
-  auto copy = std::make_unique<nn::Mlp>(
-      sizes, nn::Activation::kRelu, nn::Activation::kIdentity, scratch);
-  nn::CopyParams(copy->Params(), src.Params());
-  nn::ZeroGrads(copy->Params());
-  return copy;
-}
-
-/// Moves the accumulated gradients out of `params` (zeroing them) so a
-/// replica can be reused for the next transition.
-std::vector<math::Matrix> ExtractGrads(const std::vector<nn::Param*>& params) {
-  std::vector<math::Matrix> out;
-  out.reserve(params.size());
-  for (nn::Param* p : params) {
-    out.push_back(p->grad);
-    p->ZeroGrad();
-  }
-  return out;
-}
-
-/// grad += contribution, element-wise — one addend per element, exactly like
-/// one serial Backward call (Dense::Backward adds each transition's product
-/// to each gradient element once), so reducing per-transition contributions
-/// in transition order reproduces the serial accumulation bit for bit.
-void AccumulateGrads(const std::vector<nn::Param*>& params,
-                     const std::vector<math::Matrix>& contribution) {
-  for (size_t i = 0; i < params.size(); ++i) {
-    std::vector<double>& grad = params[i]->grad.data();
-    const std::vector<double>& add = contribution[i].data();
-    for (size_t e = 0; e < grad.size(); ++e) grad[e] += add[e];
-  }
+/// Dot of row `b` of two equally-shaped matrices, columns in ascending
+/// order — the batched equivalent of math::Dot on the copied-out rows.
+double RowDot(const math::Matrix& a, const math::Matrix& b, size_t row) {
+  const double* x = a.RowPtr(row);
+  const double* y = b.RowPtr(row);
+  double s = 0.0;
+  for (size_t j = 0; j < a.cols(); ++j) s += x[j] * y[j];
+  return s;
 }
 
 }  // namespace
@@ -132,16 +114,27 @@ math::Vec DdpgAgent::CriticInput(const math::Vec& state,
 }
 
 math::Vec DdpgAgent::Act(const math::Vec& state) {
-  math::Vec logits = actor_->Forward(state);
+  // Inference-mode forward: no backprop state is stashed and the only
+  // allocation left on the predict hot path is the returned action itself.
+  math::Vec& logits = ws_.vec(0, config_.action_dim);
+  logits = actor_->Predict(state);
   for (double& v : logits) v *= config_.logit_scale;
   math::Vec action = math::Softmax(logits);
   EADRL_CHK_SIMPLEX(action, 1e-6, "DdpgAgent::Act action");
   return action;
 }
 
+math::Matrix DdpgAgent::ActBatch(const math::Matrix& states) {
+  math::Matrix actions = actor_->ForwardBatch(states, /*train=*/false);
+  actions.Scale(config_.logit_scale);
+  math::SoftmaxRowsInPlace(&actions);
+  return actions;
+}
+
 math::Vec DdpgAgent::ActWithNoise(const math::Vec& state,
                                   const math::Vec& noise) {
-  math::Vec logits = actor_->Forward(state);
+  math::Vec& logits = ws_.vec(0, config_.action_dim);
+  logits = actor_->Predict(state);
   EADRL_CHECK_EQ(logits.size(), noise.size());
   for (size_t i = 0; i < logits.size(); ++i) {
     logits[i] = config_.logit_scale * logits[i] + noise[i];
@@ -151,9 +144,9 @@ math::Vec DdpgAgent::ActWithNoise(const math::Vec& state,
 
 double DdpgAgent::QValue(const math::Vec& state, const math::Vec& action) {
   if (config_.critic_form == CriticForm::kLinearInAction) {
-    return math::Dot(action, critic_->Forward(state));
+    return math::Dot(action, critic_->Predict(state));
   }
-  return critic_->Forward(CriticInput(state, action))[0];
+  return critic_->Predict(CriticInput(state, action))[0];
 }
 
 math::Vec DdpgAgent::SoftmaxJacobianVjp(const math::Vec& probs,
@@ -196,9 +189,164 @@ double DdpgAgent::Update(const std::vector<Transition>& batch) {
     span.SetAttr("batch", batch.size());
     span.SetAttr("update", num_updates_ + 1);
   }
-  if (batch.size() >= kMinParallelBatch && par::DefaultPool().parallel()) {
-    return UpdateParallel(batch);
+  if (config_.batched_update) return UpdateBatched(batch);
+  return UpdateScalar(batch);
+}
+
+double DdpgAgent::UpdateBatched(const std::vector<Transition>& batch) {
+  const size_t n = batch.size();
+  const double inv_n = 1.0 / static_cast<double>(n);
+  const bool linear_critic =
+      config_.critic_form == CriticForm::kLinearInAction;
+  const size_t s_dim = config_.state_dim;
+  const size_t a_dim = config_.action_dim;
+
+  // Stage the minibatch batch-major: row b = transition b. The workspace
+  // buffers are warm after the first update at a given batch size, so the
+  // whole update allocates nothing.
+  math::Matrix& states = ws_.mat(kWsStates, n, s_dim);
+  math::Matrix& next_states = ws_.mat(kWsNextStates, n, s_dim);
+  math::Matrix& actions = ws_.mat(kWsActions, n, a_dim);
+  for (size_t b = 0; b < n; ++b) {
+    const Transition& t = batch[b];
+    states.SetRow(b, t.state);
+    next_states.SetRow(b, t.next_state);
+    actions.SetRow(b, t.action);
   }
+
+  // --- Critic update: minimize (Q(s,a) - y)^2, y from target networks. ----
+  // Every per-row quantity below is computed by exactly the arithmetic the
+  // scalar path applies per transition, and every accumulation (loss, |Q|,
+  // and the gradients inside BackwardBatch) runs over rows in ascending
+  // order — which is what makes this path bit-identical to UpdateScalar.
+  double critic_loss = 0.0;
+  double abs_q_sum = 0.0;
+  {
+    obs::Span critic_span("critic_update");
+    // Target policy actions for all next states (terminal rows are computed
+    // too and simply never read — target nets are pure functions, so the
+    // extra rows cost a few flops and change nothing).
+    math::Matrix& next_actions = ws_.mat(kWsNextActions, n, a_dim);
+    next_actions = target_actor_->ForwardBatch(next_states, /*train=*/false);
+    next_actions.Scale(config_.logit_scale);
+    math::SoftmaxRowsInPlace(&next_actions);
+
+    const math::Matrix* next_q;
+    if (linear_critic) {
+      next_q = &target_critic_->ForwardBatch(next_states, /*train=*/false);
+    } else {
+      math::Matrix& next_in = ws_.mat(kWsNextCriticIn, n, s_dim + a_dim);
+      for (size_t b = 0; b < n; ++b) {
+        double* row = next_in.RowPtr(b);
+        const double* s = next_states.RowPtr(b);
+        const double* a = next_actions.RowPtr(b);
+        for (size_t j = 0; j < s_dim; ++j) row[j] = s[j];
+        for (size_t j = 0; j < a_dim; ++j) row[s_dim + j] = a[j];
+      }
+      next_q = &target_critic_->ForwardBatch(next_in, /*train=*/false);
+    }
+
+    const math::Matrix* q;
+    if (linear_critic) {
+      q = &critic_->ForwardBatch(states, /*train=*/true);
+    } else {
+      math::Matrix& critic_in = ws_.mat(kWsCriticIn, n, s_dim + a_dim);
+      for (size_t b = 0; b < n; ++b) {
+        double* row = critic_in.RowPtr(b);
+        const double* s = states.RowPtr(b);
+        const double* a = actions.RowPtr(b);
+        for (size_t j = 0; j < s_dim; ++j) row[j] = s[j];
+        for (size_t j = 0; j < a_dim; ++j) row[s_dim + j] = a[j];
+      }
+      q = &critic_->ForwardBatch(critic_in, /*train=*/true);
+    }
+
+    math::Matrix& dz = ws_.mat(kWsCriticDz, n, linear_critic ? a_dim : 1);
+    for (size_t b = 0; b < n; ++b) {
+      const Transition& t = batch[b];
+      double target = t.reward;
+      if (!t.terminal) {
+        double nq = linear_critic ? RowDot(next_actions, *next_q, b)
+                                  : (*next_q)(b, 0);
+        target += config_.gamma * nq;
+      }
+      double qv = linear_critic ? RowDot(actions, *q, b) : (*q)(b, 0);
+      double err = qv - target;
+      critic_loss += err * err * inv_n;
+      abs_q_sum += std::fabs(qv);
+      // dL/dq_i = 2 * err * a_i / N (linear) or dL/dq = 2 * err / N.
+      if (linear_critic) {
+        const double s = 2.0 * err * inv_n;
+        const double* arow = actions.RowPtr(b);
+        double* dzrow = dz.RowPtr(b);
+        for (size_t j = 0; j < a_dim; ++j) dzrow[j] = arow[j] * s;
+      } else {
+        dz(b, 0) = 2.0 * err * inv_n;
+      }
+    }
+    critic_->BackwardBatch(dz);
+    nn::ClipGradNorm(critic_->Params(), config_.grad_clip);
+    critic_opt_.StepAndZero();
+  }
+
+  // --- Actor update: ascend dQ/dtheta through the softmax. ----------------
+  double entropy_sum = 0.0;
+  {
+    obs::Span actor_span("actor_update");
+    math::Matrix& logits = ws_.mat(kWsScaledLogits, n, a_dim);
+    logits = actor_->ForwardBatch(states, /*train=*/true);
+    logits.Scale(config_.logit_scale);
+    math::Matrix& probs = ws_.mat(kWsProbs, n, a_dim);
+    probs = logits;
+    math::SoftmaxRowsInPlace(&probs);
+
+    // dQ/da for every row, then the softmax-Jacobian VJP row-wise.
+    const math::Matrix* dinput = nullptr;
+    const math::Matrix* dq_da = nullptr;
+    if (linear_critic) {
+      dq_da = &critic_->ForwardBatch(states, /*train=*/false);
+    } else {
+      math::Matrix& critic_in = ws_.mat(kWsCriticIn, n, s_dim + a_dim);
+      for (size_t b = 0; b < n; ++b) {
+        double* row = critic_in.RowPtr(b);
+        const double* s = states.RowPtr(b);
+        const double* a = probs.RowPtr(b);
+        for (size_t j = 0; j < s_dim; ++j) row[j] = s[j];
+        for (size_t j = 0; j < a_dim; ++j) row[s_dim + j] = a[j];
+      }
+      critic_->ForwardBatch(critic_in, /*train=*/true);
+      math::Matrix& ones = ws_.mat(kWsOnes, n, 1);
+      ones.Fill(1.0);
+      dinput = &critic_->BackwardBatch(ones);
+    }
+
+    math::Matrix& dz = ws_.mat(kWsActorDz, n, a_dim);
+    for (size_t b = 0; b < n; ++b) {
+      const double* prow = probs.RowPtr(b);
+      for (size_t j = 0; j < a_dim; ++j) {
+        if (prow[j] > 0.0) entropy_sum -= prow[j] * std::log(prow[j]);
+      }
+      const double* grow = linear_critic ? dq_da->RowPtr(b)
+                                         : dinput->RowPtr(b) + s_dim;
+      // SoftmaxJacobianVjp on the row, then the same chain as the scalar
+      // path: descent on -Q through the logit scale plus the L2 pull of the
+      // scaled logits toward zero.
+      double inner = 0.0;
+      for (size_t j = 0; j < a_dim; ++j) inner += grow[j] * prow[j];
+      const double* lrow = logits.RowPtr(b);
+      double* dzrow = dz.RowPtr(b);
+      for (size_t j = 0; j < a_dim; ++j) {
+        const double vjp = prow[j] * (grow[j] - inner);
+        dzrow[j] = -inv_n * config_.logit_scale * vjp +
+                   inv_n * config_.logit_l2 * lrow[j];
+      }
+    }
+    actor_->BackwardBatch(dz);
+  }
+  return FinishUpdate(critic_loss, abs_q_sum, entropy_sum, inv_n);
+}
+
+double DdpgAgent::UpdateScalar(const std::vector<Transition>& batch) {
   const double inv_n = 1.0 / static_cast<double>(batch.size());
 
   // --- Critic update: minimize (Q(s,a) - y)^2, y from target networks. ----
@@ -273,132 +421,6 @@ double DdpgAgent::Update(const std::vector<Transition>& batch) {
                    inv_n * config_.logit_l2 * logits[j];
       }
       actor_->Backward(dq_dz);
-    }
-  }
-  return FinishUpdate(critic_loss, abs_q_sum, entropy_sum, inv_n);
-}
-
-double DdpgAgent::UpdateParallel(const std::vector<Transition>& batch) {
-  const size_t n = batch.size();
-  const double inv_n = 1.0 / static_cast<double>(n);
-  const bool linear_critic =
-      config_.critic_form == CriticForm::kLinearInAction;
-  const std::vector<size_t> actor_sizes =
-      LayerSizes(config_.state_dim, config_.actor_hidden, config_.action_dim);
-  const size_t critic_in =
-      linear_critic ? config_.state_dim
-                    : config_.state_dim + config_.action_dim;
-  const size_t critic_out = linear_critic ? config_.action_dim : 1;
-  const std::vector<size_t> critic_sizes =
-      LayerSizes(critic_in, config_.critic_hidden, critic_out);
-  const size_t num_chunks = (n + kUpdateGrain - 1) / kUpdateGrain;
-
-  // --- Critic phase: per-transition gradients on replicas. -----------------
-  // Each chunk task clones the nets it reads (targets + critic), runs the
-  // same per-transition math as the serial loop and stores that transition's
-  // gradient contribution in its own slot.
-  std::vector<std::vector<math::Matrix>> critic_grads(n);
-  std::vector<double> loss_terms(n, 0.0);
-  std::vector<double> abs_q_terms(n, 0.0);
-  double critic_loss = 0.0;
-  double abs_q_sum = 0.0;
-  {
-    obs::Span critic_span("critic_update");
-    par::ParallelFor(0, num_chunks, [&](size_t c) {
-      std::unique_ptr<nn::Mlp> critic = CloneNet(*critic_, critic_sizes);
-      std::unique_ptr<nn::Mlp> target_actor =
-          CloneNet(*target_actor_, actor_sizes);
-      std::unique_ptr<nn::Mlp> target_critic =
-          CloneNet(*target_critic_, critic_sizes);
-      const size_t lo = c * kUpdateGrain;
-      const size_t hi = std::min(n, lo + kUpdateGrain);
-      for (size_t i = lo; i < hi; ++i) {
-        const Transition& t = batch[i];
-        double target = t.reward;
-        if (!t.terminal) {
-          math::Vec next_logits = target_actor->Forward(t.next_state);
-          for (double& v : next_logits) v *= config_.logit_scale;
-          math::Vec next_action = math::Softmax(next_logits);
-          double next_q =
-              linear_critic
-                  ? math::Dot(next_action,
-                              target_critic->Forward(t.next_state))
-                  : target_critic->Forward(
-                        CriticInput(t.next_state, next_action))[0];
-          target += config_.gamma * next_q;
-        }
-        if (linear_critic) {
-          math::Vec q_vec = critic->Forward(t.state);
-          double q = math::Dot(t.action, q_vec);
-          double err = q - target;
-          loss_terms[i] = err * err * inv_n;
-          abs_q_terms[i] = std::fabs(q);
-          critic->Backward(math::Scale(t.action, 2.0 * err * inv_n));
-        } else {
-          double q = critic->Forward(CriticInput(t.state, t.action))[0];
-          double err = q - target;
-          loss_terms[i] = err * err * inv_n;
-          abs_q_terms[i] = std::fabs(q);
-          critic->Backward({2.0 * err * inv_n});
-        }
-        critic_grads[i] = ExtractGrads(critic->Params());
-      }
-    });
-    const std::vector<nn::Param*> params = critic_->Params();
-    for (size_t i = 0; i < n; ++i) {
-      critic_loss += loss_terms[i];
-      abs_q_sum += abs_q_terms[i];
-      AccumulateGrads(params, critic_grads[i]);
-    }
-    nn::ClipGradNorm(critic_->Params(), config_.grad_clip);
-    critic_opt_.StepAndZero();
-  }
-
-  // --- Actor phase (replicas cloned after the critic step so dQ/da uses the
-  // updated critic, as in the serial loop). --------------------------------
-  std::vector<std::vector<math::Matrix>> actor_grads(n);
-  std::vector<double> entropy_terms(n, 0.0);
-  double entropy_sum = 0.0;
-  {
-    obs::Span actor_span("actor_update");
-    par::ParallelFor(0, num_chunks, [&](size_t c) {
-      std::unique_ptr<nn::Mlp> actor = CloneNet(*actor_, actor_sizes);
-      std::unique_ptr<nn::Mlp> critic = CloneNet(*critic_, critic_sizes);
-      const size_t lo = c * kUpdateGrain;
-      const size_t hi = std::min(n, lo + kUpdateGrain);
-      for (size_t i = lo; i < hi; ++i) {
-        const Transition& t = batch[i];
-        math::Vec logits = actor->Forward(t.state);
-        for (double& v : logits) v *= config_.logit_scale;
-        math::Vec action = math::Softmax(logits);
-        double entropy = 0.0;
-        for (double p : action) {
-          if (p > 0.0) entropy -= p * std::log(p);
-        }
-        entropy_terms[i] = entropy;
-        math::Vec dq_da;
-        if (linear_critic) {
-          dq_da = critic->Forward(t.state);  // dQ/da = q(s), exactly.
-        } else {
-          critic->Forward(CriticInput(t.state, action));
-          math::Vec dinput = critic->Backward({1.0});
-          dq_da.assign(
-              dinput.begin() + static_cast<ptrdiff_t>(config_.state_dim),
-              dinput.end());
-        }
-        math::Vec dq_dz = SoftmaxJacobianVjp(action, dq_da);
-        for (size_t j = 0; j < dq_dz.size(); ++j) {
-          dq_dz[j] = -inv_n * config_.logit_scale * dq_dz[j] +
-                     inv_n * config_.logit_l2 * logits[j];
-        }
-        actor->Backward(dq_dz);
-        actor_grads[i] = ExtractGrads(actor->Params());
-      }
-    });
-    const std::vector<nn::Param*> params = actor_->Params();
-    for (size_t i = 0; i < n; ++i) {
-      entropy_sum += entropy_terms[i];
-      AccumulateGrads(params, actor_grads[i]);
     }
   }
   return FinishUpdate(critic_loss, abs_q_sum, entropy_sum, inv_n);

@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "math/matrix.h"
 #include "math/vec.h"
+#include "math/workspace.h"
 #include "nn/mlp.h"
 #include "nn/optimizer.h"
 #include "obs/metrics.h"
@@ -48,6 +50,12 @@ struct DdpgConfig {
   size_t batch_size = 16;
   double grad_clip = 5.0;
   uint64_t seed = 42;
+  /// Batch-major Update path: every actor/critic/target evaluation runs as
+  /// one batched pass over the minibatch (one GEMM per layer) on reusable
+  /// workspace buffers. The per-transition scalar path is kept as the
+  /// reference implementation for parity tests; the two match bit for bit
+  /// except for the sign of exact-zero gradients (see DESIGN.md).
+  bool batched_update = true;
 };
 
 /// Per-Update training diagnostics — the telemetry both ensemble-RL lines of
@@ -70,8 +78,14 @@ class DdpgAgent {
  public:
   explicit DdpgAgent(const DdpgConfig& config);
 
-  /// Deterministic action (ensemble weights) for a state.
+  /// Deterministic action (ensemble weights) for a state. Inference-mode:
+  /// runs on reusable buffers and stashes no backprop state.
   math::Vec Act(const math::Vec& state);
+
+  /// Batched deterministic actions: row b of the result is Act(row b of
+  /// `states`), bit for bit — one batched forward instead of B scalar ones
+  /// (cross-request batching for the serving path).
+  math::Matrix ActBatch(const math::Matrix& states);
 
   /// Exploratory action: softmax(logits + noise).
   math::Vec ActWithNoise(const math::Vec& state, const math::Vec& noise);
@@ -80,11 +94,11 @@ class DdpgAgent {
   /// target using the target networks, then a deterministic policy-gradient
   /// step on the actor, then soft target updates. Returns the critic loss.
   ///
-  /// When the default thread pool is parallel and the batch is large enough,
-  /// per-transition gradients are computed concurrently on network replicas
-  /// and reduced into the main parameters in transition order, which is
-  /// bit-identical to the serial accumulation (each transition contributes
-  /// exactly one addend per gradient element either way).
+  /// By default the whole minibatch is evaluated in single batched passes
+  /// (config.batched_update): gradient accumulation is one fused-transpose
+  /// GEMM per layer whose batch-index summation order equals the scalar
+  /// per-transition walk, so results are bit-identical to the reference path
+  /// (modulo exact-zero signs) and independent of the thread count.
   double Update(const std::vector<Transition>& batch);
 
   /// Q-value estimate for diagnostics/tests.
@@ -109,8 +123,12 @@ class DdpgAgent {
 
   math::Vec CriticInput(const math::Vec& state, const math::Vec& action) const;
 
-  /// Parallel per-transition gradient path of Update (see Update's contract).
-  double UpdateParallel(const std::vector<Transition>& batch);
+  /// Batch-major Update path (the default; see Update's contract).
+  double UpdateBatched(const std::vector<Transition>& batch);
+
+  /// Per-transition scalar reference path (config.batched_update == false);
+  /// the ground truth the batched kernels are tested against.
+  double UpdateScalar(const std::vector<Transition>& batch);
 
   /// Shared tail of both Update paths: discard stray critic gradients from
   /// the actor phase, clip + step the actor, soft-update the targets, and
@@ -126,6 +144,10 @@ class DdpgAgent {
   std::unique_ptr<nn::Mlp> target_critic_;
   nn::Adam actor_opt_;
   nn::Adam critic_opt_;
+  /// Reusable batch-major staging buffers for UpdateBatched (warm after the
+  /// first update; slot map in ddpg.cc). Not thread-safe — an agent's Update
+  /// runs single-threaded, like the rest of its mutable state.
+  math::Workspace ws_;
 
   DdpgUpdateStats last_stats_;
   size_t num_updates_ = 0;

@@ -1,0 +1,10 @@
+#include "math/matrix.h"
+
+eadrl::math::Matrix Gram(const eadrl::math::Matrix& a) {
+  return a.Transpose().MatMul(a);
+}
+
+eadrl::math::Vec Pullback(const eadrl::math::Matrix& w,
+                          const eadrl::math::Vec& dz) {
+  return w.Transpose().MatVec(dz);
+}

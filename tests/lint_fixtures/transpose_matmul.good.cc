@@ -1,0 +1,12 @@
+#include "math/matrix.h"
+
+eadrl::math::Matrix Gram(const eadrl::math::Matrix& a) {
+  return a.MatMulTransposeA(a);
+}
+
+eadrl::math::Vec Pullback(const eadrl::math::Matrix& w,
+                          const eadrl::math::Vec& dz) {
+  // A standalone Transpose() (no product chained onto it) stays legal.
+  eadrl::math::Matrix wt = w.Transpose();
+  return w.TransposeMatVec(dz);
+}

@@ -129,6 +129,13 @@ INSTANTIATE_TEST_SUITE_P(
         FixtureCase{"span_registry.bad.cc", "bench/fake/train.cc", {}},
         FixtureCase{"span_registry.good.cc", "src/fake/train.cc", {}},
         FixtureCase{"span_registry.good.cc", "tools/fake/bench.cc", {}},
+        // Materialized-transpose product chains (src/ only; tests and bench
+        // use the chain as the reference for the fused kernels).
+        FixtureCase{"transpose_matmul.bad.cc", "src/fake/solver.cc",
+                    {"transpose-matmul", "transpose-matmul"}},
+        FixtureCase{"transpose_matmul.bad.cc", "tests/fake/solver.cc", {}},
+        FixtureCase{"transpose_matmul.bad.cc", "bench/fake/solver.cc", {}},
+        FixtureCase{"transpose_matmul.good.cc", "src/fake/solver.cc", {}},
         // Task markers need an owner/issue tag.
         FixtureCase{"todo_tag.bad.cc", "src/fake/pending.cc",
                     {"todo-tag", "todo-tag"}},

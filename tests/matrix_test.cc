@@ -93,5 +93,141 @@ TEST(MatrixTest, FromRows) {
   EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
 }
 
+// ---------------------------------------------------------------------------
+// Batch-major kernels. Bit-identical comparisons (EXPECT_DOUBLE_EQ) are
+// deliberate: the determinism contract in matrix.h promises the blocked and
+// fused kernels reproduce the naive loops exactly, not just approximately.
+
+Matrix PseudoRandom(size_t rows, size_t cols, unsigned seed) {
+  // Small LCG so the fixtures need no RNG dependency; values in [-1, 1).
+  Matrix m(rows, cols);
+  unsigned x = seed * 2654435761u + 1u;
+  for (double& v : m.data()) {
+    x = x * 1664525u + 1013904223u;
+    v = static_cast<double>(x % 20000u) / 10000.0 - 1.0;
+  }
+  return m;
+}
+
+// Naive triple loop in the contract's ascending-k order.
+Matrix NaiveMatMul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.cols(); ++j) {
+      double s = 0.0;
+      for (size_t k = 0; k < a.cols(); ++k) s += a(i, k) * b(k, j);
+      out(i, j) = s;
+    }
+  }
+  return out;
+}
+
+TEST(MatrixKernelTest, BlockedMatMulMatchesNaiveBitwise) {
+  // Shapes straddling the 4-row register block, including remainder rows.
+  for (size_t m : {1u, 3u, 4u, 5u, 8u, 17u}) {
+    Matrix a = PseudoRandom(m, 7, 1);
+    Matrix b = PseudoRandom(7, 5, 2);
+    Matrix got = a.MatMul(b);
+    Matrix want = NaiveMatMul(a, b);
+    ASSERT_EQ(got.rows(), want.rows());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_DOUBLE_EQ(got.data()[i], want.data()[i]) << "m=" << m;
+    }
+  }
+}
+
+TEST(MatrixKernelTest, MatMulTransposeAMatchesMaterializedBitwise) {
+  Matrix a = PseudoRandom(6, 4, 3);
+  Matrix b = PseudoRandom(6, 5, 4);
+  Matrix fused = a.MatMulTransposeA(b);
+  Matrix chained = a.Transpose().MatMul(b);
+  ASSERT_EQ(fused.rows(), 4u);
+  ASSERT_EQ(fused.cols(), 5u);
+  for (size_t i = 0; i < fused.size(); ++i) {
+    EXPECT_DOUBLE_EQ(fused.data()[i], chained.data()[i]);
+  }
+}
+
+TEST(MatrixKernelTest, MatMulTransposeAAccumulatesInAscendingRowOrder) {
+  Matrix a = PseudoRandom(5, 3, 5);
+  Matrix b = PseudoRandom(5, 2, 6);
+  // Per-sample accumulation: out += a_row_k^T b_row_k, k ascending.
+  Matrix want(3, 2, 0.25);
+  for (size_t k = 0; k < a.rows(); ++k) {
+    for (size_t i = 0; i < 3u; ++i) {
+      for (size_t j = 0; j < 2u; ++j) want(i, j) += a(k, i) * b(k, j);
+    }
+  }
+  Matrix got(3, 2, 0.25);
+  a.MatMulTransposeAInto(b, &got, /*accumulate=*/true);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got.data()[i], want.data()[i]);
+  }
+}
+
+TEST(MatrixKernelTest, MatMulTransposeBMatchesMaterializedBitwise) {
+  for (size_t cols : {1u, 3u, 4u, 6u}) {  // straddle the 4-column tile.
+    Matrix x = PseudoRandom(5, 7, 7);
+    Matrix w = PseudoRandom(cols, 7, 8);
+    Matrix fused = x.MatMulTransposeB(w);
+    Matrix chained = x.MatMul(w.Transpose());
+    ASSERT_EQ(fused.cols(), cols);
+    for (size_t i = 0; i < fused.size(); ++i) {
+      EXPECT_DOUBLE_EQ(fused.data()[i], chained.data()[i]) << "cols=" << cols;
+    }
+  }
+}
+
+TEST(MatrixKernelTest, TransposeMatVecKeepsExactZeroHandling) {
+  // The branch-free kernel must match the old skip-zero loop on values
+  // (a skipped term and an added 0.0*row term agree for finite rows).
+  Matrix a{{1, 2}, {3, 4}, {5, 6}};
+  Vec x{2.0, 0.0, -1.0};
+  Vec got = a.TransposeMatVec(x);
+  EXPECT_EQ(got, (Vec{2.0 * 1 - 5, 2.0 * 2 - 6}));
+}
+
+TEST(MatrixKernelTest, IntoVariantsReuseCapacityAcrossShapes) {
+  Matrix a = PseudoRandom(6, 6, 9);
+  Matrix b = PseudoRandom(6, 6, 10);
+  Matrix out;
+  a.MatMulInto(b, &out);
+  const double* warm = out.data().data();
+  a.MatMulInto(b, &out);  // same shape: must not reallocate.
+  EXPECT_EQ(out.data().data(), warm);
+  Vec v;
+  a.RowInto(2, &v);
+  EXPECT_EQ(v, a.Row(2));
+  a.ColInto(3, &v);
+  EXPECT_EQ(v, a.Col(3));
+  Vec y;
+  a.MatVecInto(v, &y);
+  EXPECT_EQ(y, a.MatVec(v));
+}
+
+TEST(MatrixKernelTest, ResizeKeepsCapacityAndShape) {
+  Matrix m(4, 8, 1.0);
+  const double* warm = m.data().data();
+  m.Resize(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  m.Resize(4, 8);
+  EXPECT_EQ(m.data().data(), warm);  // never shrank capacity.
+}
+
+TEST(MatrixKernelTest, SoftmaxRowsMatchesVectorSoftmaxBitwise) {
+  Matrix m = PseudoRandom(5, 9, 11);
+  m.Scale(3.0);  // spread the logits a bit.
+  Matrix rows = m;
+  SoftmaxRowsInPlace(&rows);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    Vec want = Softmax(m.Row(r));
+    for (size_t j = 0; j < m.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(rows(r, j), want[j]);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace eadrl::math

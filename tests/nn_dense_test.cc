@@ -16,7 +16,7 @@ TEST(DenseTest, ForwardComputesAffineTransform) {
   // Overwrite weights with known values.
   auto params = layer.Params();
   params[0]->value = math::Matrix{{1, 2}, {3, 4}};
-  params[1]->value = math::Matrix{{0.5}, {-0.5}};
+  params[1]->value = math::Matrix{{0.5, -0.5}};  // bias is a flat 1 x out row.
   math::Vec y = layer.Forward({1.0, 1.0});
   EXPECT_DOUBLE_EQ(y[0], 3.5);
   EXPECT_DOUBLE_EQ(y[1], 6.5);
@@ -27,7 +27,7 @@ TEST(DenseTest, ReluClampsNegativePreactivations) {
   Dense layer(1, 2, Activation::kRelu, rng);
   auto params = layer.Params();
   params[0]->value = math::Matrix{{1.0}, {-1.0}};
-  params[1]->value = math::Matrix{{0.0}, {0.0}};
+  params[1]->value = math::Matrix{{0.0, 0.0}};
   math::Vec y = layer.Forward({2.0});
   EXPECT_DOUBLE_EQ(y[0], 2.0);
   EXPECT_DOUBLE_EQ(y[1], 0.0);

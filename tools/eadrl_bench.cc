@@ -50,8 +50,9 @@ using eadrl::obs::BenchEntry;
 using eadrl::obs::BenchSnapshot;
 
 // The google-benchmark suites a snapshot covers, in bench/ of the build dir.
-constexpr const char* kGbmSuites[] = {"chk_bench", "micro_benchmarks",
-                                      "parallel_bench", "trace_bench"};
+constexpr const char* kGbmSuites[] = {"batched_kernels", "chk_bench",
+                                      "micro_benchmarks", "parallel_bench",
+                                      "trace_bench"};
 
 struct Args {
   std::string out;

@@ -407,6 +407,9 @@ const std::map<std::string, std::string>& RuleCatalog() {
        "spans.def entry that nothing in src/ or tools/ opens any more"},
       {"todo-tag",
        "TODO/FIXME comments must carry an owner or issue tag: TODO(tag): ..."},
+      {"transpose-matmul",
+       "Transpose().MatMul/MatVec chains in src/ materialize the transpose; "
+       "use the fused MatMulTransposeA/B / TransposeMatVec kernels"},
       {"stale-nolint",
        "NOLINT suppression that no longer suppresses any finding"},
   };
@@ -602,6 +605,23 @@ std::vector<Finding> CheckFile(const std::string& path,
                             "telemetry event '" + kind.text +
                                 "' is not declared in src/obs/events.def"});
       }
+    }
+    // Materialized-transpose products: Transpose().MatMul(...) copies the
+    // whole matrix just to feed a GEMM the fused kernels compute in place.
+    // Hot-path (src/) only — tests and benches legitimately use the chain as
+    // the reference the fused kernels are compared against.
+    if (in_src && t.text == "Transpose" && calls && i + 4 < toks.size() &&
+        toks[i + 2].kind == TokKind::kPunct && toks[i + 2].text == ")" &&
+        toks[i + 3].kind == TokKind::kPunct && toks[i + 3].text == "." &&
+        toks[i + 4].kind == TokKind::kIdent &&
+        (toks[i + 4].text == "MatMul" || toks[i + 4].text == "MatVec")) {
+      findings.push_back(
+          {path, t.line, "transpose-matmul",
+           "Transpose()." + toks[i + 4].text + " materializes the transpose; "
+           "use " + (toks[i + 4].text == "MatMul"
+                         ? std::string("MatMulTransposeA/B")
+                         : std::string("TransposeMatVec")) +
+               " instead"});
     }
     // Trace span names: Span("name") / Span var("name") constructions.
     if ((in_src || in_tools) && config.have_spans_registry) {
