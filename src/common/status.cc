@@ -15,6 +15,8 @@ const char* CodeName(StatusCode code) {
       return "NOT_FOUND";
     case StatusCode::kOutOfRange:
       return "OUT_OF_RANGE";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
     case StatusCode::kInternal:
       return "INTERNAL";
   }

@@ -17,6 +17,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kNotFound,
   kOutOfRange,
+  kResourceExhausted,
   kInternal,
 };
 
@@ -44,6 +45,12 @@ class Status {
   }
   static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  /// A bounded resource (queue slot, in-flight budget) is full right now —
+  /// the retryable backpressure signal admission control sheds load with,
+  /// distinct from the caller-bug codes above.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

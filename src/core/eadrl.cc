@@ -31,8 +31,27 @@ EadrlCombiner::EadrlCombiner(EadrlConfig config)
   EADRL_CHECK_GT(config_.max_episodes, 0u);
 }
 
+math::Vec OnlineStateVec(const std::deque<double>& window, double state_std) {
+  // Same window-relative standardize-and-clip transform as
+  // EnsembleEnv::StateVec, so online states match the policy's training
+  // distribution even when the series trends outside the validation range.
+  EADRL_CHECK(!window.empty());
+  double mean = 0.0;
+  for (double v : window) mean += v;
+  mean /= static_cast<double>(window.size());
+  double var = 0.0;
+  for (double v : window) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(window.size());
+  double sd = std::max(std::sqrt(var), 0.1 * state_std);
+  if (sd <= 1e-12) sd = 1.0;
+  math::Vec s(window.begin(), window.end());
+  for (double& v : s) v = std::clamp((v - mean) / sd, -4.0, 4.0);
+  return s;
+}
+
 Status EadrlCombiner::Initialize(const math::Matrix& val_preds,
                                  const math::Vec& val_actuals) {
+  SessionCallGuard guard(&busy_, "concurrent EadrlCombiner::Initialize");
   if (val_preds.rows() != val_actuals.size()) {
     return Status::InvalidArgument("EA-DRL: predictions/actuals mismatch");
   }
@@ -361,20 +380,16 @@ Status EadrlCombiner::Initialize(const math::Matrix& val_preds,
 }
 
 math::Vec EadrlCombiner::CurrentState() const {
-  // Same window-relative standardize-and-clip transform as
-  // EnsembleEnv::StateVec, so the online states match the policy's training
-  // distribution even when the series trends outside the validation range.
-  double mean = 0.0;
-  for (double v : window_) mean += v;
-  mean /= static_cast<double>(window_.size());
-  double var = 0.0;
-  for (double v : window_) var += (v - mean) * (v - mean);
-  var /= static_cast<double>(window_.size());
-  double sd = std::max(std::sqrt(var), 0.1 * state_std_);
-  if (sd <= 1e-12) sd = 1.0;
-  math::Vec s(window_.begin(), window_.end());
-  for (double& v : s) v = std::clamp((v - mean) / sd, -4.0, 4.0);
-  return s;
+  return OnlineStateVec(window_, state_std_);
+}
+
+OnlineState EadrlCombiner::ExportOnlineState() const {
+  EADRL_CHECK(initialized_);
+  OnlineState state;
+  state.window = window_;
+  state.state_mean = state_mean_;
+  state.state_std = state_std_;
+  return state;
 }
 
 math::Vec EadrlCombiner::ReduceToActive(const math::Vec& preds) const {
@@ -387,6 +402,7 @@ math::Vec EadrlCombiner::ReduceToActive(const math::Vec& preds) const {
 }
 
 math::Vec EadrlCombiner::Weights() const {
+  SessionCallGuard guard(&busy_, "concurrent EadrlCombiner::Weights");
   EADRL_CHECK(initialized_);
   math::Vec reduced = agent_->Act(CurrentState());
   EADRL_CHK_SIMPLEX(reduced, 1e-6, "EadrlCombiner::Weights action");
@@ -400,6 +416,14 @@ math::Vec EadrlCombiner::Weights() const {
 }
 
 double EadrlCombiner::Predict(const math::Vec& preds) {
+  // Per-session serialization contract: a combiner is one tenant's session
+  // state plus a non-thread-safe inference workspace. Concurrent Predict /
+  // Update / Weights calls on the SAME combiner are a data race (the guard
+  // fails loudly under chk); calls on DIFFERENT combiners are free of shared
+  // mutable state and may run fully concurrently — the invariant the serving
+  // layer's striped session locks enforce (tests/serve_race_test.cc proves
+  // cross-session concurrency TSan-clean).
+  SessionCallGuard guard(&busy_, "concurrent EadrlCombiner::Predict");
   EADRL_CHECK(initialized_);
   EADRL_CHECK_EQ(preds.size(), num_models_);
   EADRL_CHK_FINITE(preds, "EadrlCombiner::Predict member predictions");
@@ -524,6 +548,7 @@ void EadrlCombiner::MaybeOnlineUpdate(const math::Vec& reduced_preds,
 }
 
 Status EadrlCombiner::SavePolicy(const std::string& path) const {
+  SessionCallGuard guard(&busy_, "concurrent EadrlCombiner::SavePolicy");
   if (!initialized_) {
     return Status::FailedPrecondition("SavePolicy: not initialized");
   }
@@ -548,6 +573,7 @@ Status EadrlCombiner::SavePolicy(const std::string& path) const {
 }
 
 Status EadrlCombiner::LoadPolicy(const std::string& path) {
+  SessionCallGuard guard(&busy_, "concurrent EadrlCombiner::LoadPolicy");
   std::ifstream in(path);
   if (!in) {
     return Status::NotFound("LoadPolicy: cannot open " + path);
@@ -635,6 +661,7 @@ Status EadrlCombiner::LoadPolicy(const std::string& path) {
 }
 
 void EadrlCombiner::Update(const math::Vec& preds, double actual) {
+  SessionCallGuard guard(&busy_, "concurrent EadrlCombiner::Update");
   EADRL_CHECK(initialized_);
   // With the default OnlineUpdateMode::kNone this is a no-op and the policy
   // stays frozen, as in the paper. The periodic/drift-informed modes

@@ -1,10 +1,13 @@
 #ifndef EADRL_CORE_EADRL_H_
 #define EADRL_CORE_EADRL_H_
 
+#include <atomic>
 #include <deque>
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "chk/chk.h"
 
 #include "core/combiner.h"
 #include "obs/metrics.h"
@@ -94,6 +97,51 @@ struct EadrlConfig {
   uint64_t seed = 42;
 };
 
+/// The extractable online half of Algorithm 1: everything `Predict` mutates
+/// per step, separated from the trained policy (which is immutable online
+/// with the paper-default OnlineUpdateMode::kNone). A serving layer keeps one
+/// of these per resident tenant session and shares the trained policy across
+/// all of them, which is what makes cross-tenant batched actor passes
+/// possible (see src/serve/).
+struct OnlineState {
+  std::deque<double> window;  ///< last omega ensemble outputs (policy units).
+  double state_mean = 0.0;    ///< validation-actuals mean (diagnostics).
+  double state_std = 1.0;     ///< validation-actuals stddev (state floor).
+};
+
+/// The standardize-and-clip state transform of Algorithm 1 (the same
+/// window-relative transform as EnsembleEnv::StateVec), as a pure function of
+/// explicit session state: both EadrlCombiner's in-object online loop and the
+/// serving layer's extracted sessions go through here, so their states are
+/// bit-identical by construction.
+math::Vec OnlineStateVec(const std::deque<double>& window, double state_std);
+
+/// Debug-mode sentinel enforcing the per-session serialization contract:
+/// EadrlCombiner's online entry points (Predict/Update/Weights, and the
+/// Initialize/LoadPolicy lifecycle calls) mutate session state and the
+/// agent's inference workspace, so two concurrent calls on ONE combiner are a
+/// data race. The combiner is deliberately not internally synchronized — a
+/// serving layer stripes sessions across locks instead of paying a mutex on
+/// every call — so this guard turns a violated contract into a loud chk
+/// failure instead of silent state corruption. With contracts compiled out
+/// the cost is one uncontended atomic exchange per call.
+class SessionCallGuard {
+ public:
+  SessionCallGuard(std::atomic<bool>* busy, const char* what) : busy_(busy) {
+    const bool was_busy = busy_->exchange(true, std::memory_order_acquire);
+    EADRL_CHK(!was_busy, what);
+    static_cast<void>(was_busy);
+    static_cast<void>(what);
+  }
+  ~SessionCallGuard() { busy_->store(false, std::memory_order_release); }
+
+  SessionCallGuard(const SessionCallGuard&) = delete;
+  SessionCallGuard& operator=(const SessionCallGuard&) = delete;
+
+ private:
+  std::atomic<bool>* busy_;
+};
+
 /// EA-DRL: ensemble aggregation with deep reinforcement learning.
 ///
 /// `Initialize` phrases the combination task as the MDP of Sec. II-B over a
@@ -144,17 +192,28 @@ class EadrlCombiner : public WeightedCombiner {
   /// for online Predict/Update without Initialize.
   Status LoadPolicy(const std::string& path);
 
-  /// Trained agent (diagnostics; null before Initialize).
+  /// Trained agent (diagnostics and the serving layer's batched actor
+  /// passes; null before Initialize). The agent's inference entry points
+  /// reuse internal workspace buffers, so callers that share one combiner
+  /// across threads must serialize access (src/serve guards each policy with
+  /// a mutex).
   rl::DdpgAgent* agent() { return agent_.get(); }
+
+  /// Copies the current online session state (window + state statistics) out
+  /// of the combiner. A serving layer snapshots this once after training and
+  /// clones it into every fresh tenant session; requires Initialize (or
+  /// LoadPolicy) to have succeeded.
+  OnlineState ExportOnlineState() const;
+
+  /// Restricts a full prediction vector to the active (unpruned) models —
+  /// the const half of the predict path, shared with the serving layer.
+  math::Vec ReduceToActive(const math::Vec& preds) const;
 
   /// The state the online stage would act on right now.
   math::Vec DebugCurrentState() const { return CurrentState(); }
 
  private:
   math::Vec CurrentState() const;
-
-  /// Restricts a full prediction vector to the active (unpruned) models.
-  math::Vec ReduceToActive(const math::Vec& preds) const;
 
   /// Rank reward of `action` over the current online window (used by the
   /// online-update extension), scaled to [0, 1].
@@ -188,6 +247,10 @@ class EadrlCombiner : public WeightedCombiner {
   size_t online_updates_ = 0;
   ts::PageHinkley online_detector_{0.005, 3.0};
   std::unique_ptr<Rng> online_rng_;
+
+  /// Per-session serialization sentinel (see SessionCallGuard). Mutable so
+  /// const entry points (Weights) participate in the same contract.
+  mutable std::atomic<bool> busy_{false};
 
   // Observability (cached from the default registry; see DESIGN.md
   // "Observability" for the metric naming scheme).

@@ -1,0 +1,470 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <functional>
+#include <future>
+#include <unordered_set>
+#include <utility>
+
+#include "chk/chk.h"
+#include "common/check.h"
+#include "core/combiner.h"
+#include "math/matrix.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+
+namespace eadrl::serve {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+ForecastService::ForecastService(const ServeConfig& config)
+    : config_(config),
+      effective_max_inflight_(config.max_inflight > 0
+                                  ? config.max_inflight
+                                  : 2 * std::max<size_t>(config.max_queue, 1)),
+      table_(SessionTable::Options{config.shards, config.max_sessions,
+                                   config.session_ttl_seconds}),
+      predict_counter_(obs::MetricRegistry::Default().GetCounter(
+          "eadrl_serve_requests_total", {{"kind", "predict"}})),
+      observe_counter_(obs::MetricRegistry::Default().GetCounter(
+          "eadrl_serve_requests_total", {{"kind", "observe"}})),
+      shed_counter_(obs::MetricRegistry::Default().GetCounter(
+          "eadrl_serve_shed_total")),
+      batch_counter_(obs::MetricRegistry::Default().GetCounter(
+          "eadrl_serve_waves_total")),
+      batch_rows_counter_(obs::MetricRegistry::Default().GetCounter(
+          "eadrl_serve_act_batch_rows_total")),
+      sessions_gauge_(
+          obs::MetricRegistry::Default().GetGauge("eadrl_serve_sessions")),
+      queue_depth_gauge_(
+          obs::MetricRegistry::Default().GetGauge("eadrl_serve_queue_depth")),
+      predict_latency_hist_(obs::MetricRegistry::Default().GetHistogram(
+          "eadrl_serve_request_seconds", {}, {{"kind", "predict"}})),
+      observe_latency_hist_(obs::MetricRegistry::Default().GetHistogram(
+          "eadrl_serve_request_seconds", {}, {{"kind", "observe"}})),
+      occupancy_hist_(obs::MetricRegistry::Default().GetHistogram(
+          "eadrl_serve_batch_occupancy",
+          obs::Histogram::LinearBounds(1.0, 1.0, 64))),
+      queue_(
+          BatchingQueue::Options{config.max_queue, config.linger_us,
+                                 config.manual_drain, config.pool},
+          [this](std::vector<Request> batch) { ProcessBatch(std::move(batch)); }) {
+  if (config_.max_batch == 0) config_.max_batch = 1;
+}
+
+ForecastService::~ForecastService() { Flush(); }
+
+size_t ForecastService::RegisterPolicy(
+    std::unique_ptr<core::EadrlCombiner> trained) {
+  EADRL_CHECK(trained != nullptr);
+  auto policy = std::make_shared<Policy>();
+  policy->fresh_state = trained->ExportOnlineState();
+  policy->combiner = std::move(trained);
+  std::lock_guard<std::mutex> lock(policies_mu_);
+  policies_.push_back(std::move(policy));
+  return policies_.size() - 1;
+}
+
+Status ForecastService::CreateSession(const std::string& tenant,
+                                      size_t policy_id,
+                                      const ts::StandardScaler* scaler) {
+  std::shared_ptr<Policy> policy;
+  {
+    std::lock_guard<std::mutex> lock(policies_mu_);
+    if (policy_id >= policies_.size()) {
+      return Status::OutOfRange("unknown policy id " +
+                                std::to_string(policy_id));
+    }
+    policy = policies_[policy_id];
+  }
+  const uint64_t generation =
+      next_generation_.fetch_add(1, std::memory_order_relaxed) + 1;
+  auto session =
+      std::make_shared<Session>(std::move(policy), generation, scaler,
+                                config_.drift_delta, config_.drift_lambda);
+  EADRL_RETURN_IF_ERROR(table_.Insert(tenant, std::move(session)));
+  sessions_created_.fetch_add(1, std::memory_order_relaxed);
+  sessions_gauge_->Set(static_cast<double>(table_.size()));
+  EADRL_TELEMETRY("serve_session", {"tenant", tenant},
+                  {"generation", generation}, {"policy_id", policy_id},
+                  {"reset", false});
+  return Status::Ok();
+}
+
+Status ForecastService::EvictSession(const std::string& tenant) {
+  if (!table_.Erase(tenant)) {
+    return Status::NotFound("no session for tenant '" + tenant + "'");
+  }
+  evictions_explicit_.fetch_add(1, std::memory_order_relaxed);
+  sessions_gauge_->Set(static_cast<double>(table_.size()));
+  return Status::Ok();
+}
+
+Status ForecastService::ResetSession(const std::string& tenant) {
+  std::shared_ptr<Session> session = table_.Lookup(tenant);
+  if (session == nullptr) {
+    return Status::NotFound("no session for tenant '" + tenant + "'");
+  }
+  {
+    std::lock_guard<std::mutex> lock(session->mu);
+    session->Reset();
+  }
+  EADRL_TELEMETRY("serve_session", {"tenant", tenant},
+                  {"generation", session->generation}, {"reset", true});
+  return Status::Ok();
+}
+
+Status ForecastService::Admit(Request request, const std::string& tenant) {
+  obs::Span span("serve_admission");
+  const char* kind =
+      request.kind == Request::Kind::kPredict ? "predict" : "observe";
+  span.SetAttr("kind", kind);
+  const uint64_t inflight = inflight_.load(std::memory_order_relaxed);
+  if (inflight >= effective_max_inflight_) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    shed_counter_->Inc();
+    span.SetAttr("shed", true);
+    EADRL_TELEMETRY("serve_shed", {"tenant", tenant}, {"kind", kind},
+                    {"reason", "inflight"}, {"inflight", inflight});
+    return Status::ResourceExhausted(
+        "serving overloaded: " + std::to_string(inflight) +
+        " requests in flight (limit " +
+        std::to_string(effective_max_inflight_) + ")");
+  }
+  request.session = table_.Lookup(tenant);
+  if (request.session == nullptr) {
+    return Status::NotFound("no session for tenant '" + tenant + "'");
+  }
+  request.enqueue_time = std::chrono::steady_clock::now();
+  // The in-flight slot is taken BEFORE the enqueue: on a serial pool the
+  // enqueue drains (and completes the request, releasing the slot) inline,
+  // so counting afterwards would release before acquire and underflow.
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  if (!queue_.TryEnqueue(std::move(request))) {
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    shed_counter_->Inc();
+    span.SetAttr("shed", true);
+    EADRL_TELEMETRY("serve_shed", {"tenant", tenant}, {"kind", kind},
+                    {"reason", "queue_full"},
+                    {"queue_depth", queue_.depth()});
+    return Status::ResourceExhausted(
+        "serving queue full (" + std::to_string(config_.max_queue) +
+        " requests)");
+  }
+  return Status::Ok();
+}
+
+Status ForecastService::PredictAsync(
+    const std::string& tenant, math::Vec preds,
+    std::function<void(StatusOr<double>)> done) {
+  EADRL_CHECK(done != nullptr);
+  Request request;
+  request.kind = Request::Kind::kPredict;
+  request.preds = std::move(preds);
+  request.on_predict = std::move(done);
+  return Admit(std::move(request), tenant);
+}
+
+Status ForecastService::ObserveActualAsync(const std::string& tenant,
+                                           double actual,
+                                           std::function<void(Status)> done) {
+  Request request;
+  request.kind = Request::Kind::kObserve;
+  request.actual = actual;
+  request.on_observe = std::move(done);
+  return Admit(std::move(request), tenant);
+}
+
+StatusOr<double> ForecastService::Predict(const std::string& tenant,
+                                          const math::Vec& preds) {
+  std::promise<StatusOr<double>> promise;
+  std::future<StatusOr<double>> future = promise.get_future();
+  Status admitted = PredictAsync(tenant, preds, [&promise](StatusOr<double> r) {
+    promise.set_value(std::move(r));
+  });
+  if (!admitted.ok()) return admitted;
+  if (config_.manual_drain) {
+    while (future.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      EADRL_CHECK(DrainOnce());
+    }
+  }
+  return future.get();
+}
+
+Status ForecastService::ObserveActual(const std::string& tenant,
+                                      double actual) {
+  std::promise<Status> promise;
+  std::future<Status> future = promise.get_future();
+  Status admitted = ObserveActualAsync(
+      tenant, actual, [&promise](Status s) { promise.set_value(std::move(s)); });
+  if (!admitted.ok()) return admitted;
+  if (config_.manual_drain) {
+    while (future.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      EADRL_CHECK(DrainOnce());
+    }
+  }
+  return future.get();
+}
+
+StatusOr<SessionInfo> ForecastService::GetSessionInfo(
+    const std::string& tenant) {
+  std::shared_ptr<Session> session = table_.Lookup(tenant);
+  if (session == nullptr) {
+    return Status::NotFound("no session for tenant '" + tenant + "'");
+  }
+  std::lock_guard<std::mutex> lock(session->mu);
+  SessionInfo info;
+  info.generation = session->generation;
+  info.predicts = session->predicts;
+  info.observes = session->observes;
+  info.drift_events = session->drift_events;
+  info.window_size = session->state.window.size();
+  info.last_prediction = session->last_prediction;
+  info.has_last_prediction = session->has_last_prediction;
+  info.drift_observations = session->drift.num_observations();
+  info.drift_cumulative = session->drift.cumulative();
+  return info;
+}
+
+size_t ForecastService::EvictIdleSessions() {
+  size_t evicted = table_.EvictIdle();
+  sessions_gauge_->Set(static_cast<double>(table_.size()));
+  return evicted;
+}
+
+ServeStats ForecastService::Stats() const {
+  ServeStats stats;
+  stats.sessions = table_.size();
+  stats.sessions_created = sessions_created_.load(std::memory_order_relaxed);
+  stats.evictions_lru = table_.lru_evictions();
+  stats.evictions_ttl = table_.ttl_evictions();
+  stats.evictions_explicit =
+      evictions_explicit_.load(std::memory_order_relaxed);
+  stats.predicts = predicts_done_.load(std::memory_order_relaxed);
+  stats.observes = observes_done_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.act_batches = act_batches_.load(std::memory_order_relaxed);
+  stats.act_batch_rows = act_batch_rows_.load(std::memory_order_relaxed);
+  stats.drift_events = drift_events_.load(std::memory_order_relaxed);
+  stats.inflight = inflight_.load(std::memory_order_relaxed);
+  stats.queue_depth = queue_.depth();
+  return stats;
+}
+
+obs::HistogramSnapshot ForecastService::PredictLatencySnapshot() const {
+  return predict_latency_hist_->Snapshot();
+}
+
+void ForecastService::Flush() { queue_.Flush(); }
+
+bool ForecastService::DrainOnce() { return queue_.DrainOnce(); }
+
+core::EadrlCombiner* ForecastService::policy_combiner(size_t policy_id) {
+  std::lock_guard<std::mutex> lock(policies_mu_);
+  EADRL_CHECK_LT(policy_id, policies_.size());
+  return policies_[policy_id]->combiner.get();
+}
+
+void ForecastService::ProcessBatch(std::vector<Request> batch) {
+  // Waves: each takes at most one request per session (per-session FIFO
+  // order is the queue order restricted to that session) and at most
+  // max_batch requests total.
+  std::vector<char> done(batch.size(), 0);
+  size_t processed = 0;
+  std::vector<size_t> wave;
+  std::unordered_set<const Session*> wave_sessions;
+  while (processed < batch.size()) {
+    wave.clear();
+    wave_sessions.clear();
+    for (size_t i = 0; i < batch.size() && wave.size() < config_.max_batch;
+         ++i) {
+      if (done[i] != 0) continue;
+      const Session* session = batch[i].session.get();
+      if (wave_sessions.count(session) != 0) continue;
+      wave_sessions.insert(session);
+      wave.push_back(i);
+    }
+    ProcessWave(&batch, wave);
+    for (size_t i : wave) done[i] = 1;
+    processed += wave.size();
+  }
+  queue_depth_gauge_->Set(static_cast<double>(queue_.depth()));
+}
+
+void ForecastService::ProcessWave(std::vector<Request>* batch,
+                                  const std::vector<size_t>& wave) {
+  obs::Span span("serve_batch");
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batch_counter_->Inc();
+
+  // A predict awaiting its policy group's batched actor pass. The session
+  // lock is held from state capture through apply: every session appears at
+  // most once per wave, so these locks never deadlock against each other.
+  struct Pending {
+    size_t index = 0;
+    std::unique_lock<std::mutex> lock;
+    math::Vec state;
+    math::Vec reduced;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(wave.size());
+  size_t observes_in_wave = 0;
+
+  // Session locks are acquired in one canonical order (session address),
+  // never the wave's arrival order: predict locks stay held from capture
+  // through apply, so arrival order would rank any given session pair
+  // differently from wave to wave — a lock-order inversion. Pending rows
+  // are sorted back to wave order below, so batching, apply, and callback
+  // order (and thus parity) are untouched.
+  std::vector<size_t> lock_order(wave.begin(), wave.end());
+  std::sort(lock_order.begin(), lock_order.end(), [batch](size_t a, size_t b) {
+    return std::less<const Session*>()((*batch)[a].session.get(),
+                                       (*batch)[b].session.get());
+  });
+
+  for (size_t i : lock_order) {
+    Request& request = (*batch)[i];
+    Session& session = *request.session;
+    if (request.kind == Request::Kind::kObserve) {
+      obs::Span rspan("serve_request");
+      bool drifted = false;
+      {
+        std::lock_guard<std::mutex> lock(session.mu);
+        const double actual = session.has_scaler
+                                  ? session.scaler.Transform(request.actual)
+                                  : request.actual;
+        ++session.observes;
+        if (session.has_last_prediction) {
+          // Scale-free one-step absolute error feeds the per-tenant
+          // Page-Hinkley detector (same signal family as the combiner's
+          // online drift mode).
+          const double sd =
+              session.state.state_std > 0.0 ? session.state.state_std : 1.0;
+          const double err =
+              std::fabs(session.last_prediction - actual) / sd;
+          if (session.drift.Update(err)) {
+            ++session.drift_events;
+            drifted = true;
+          }
+        }
+      }
+      if (drifted) {
+        drift_events_.fetch_add(1, std::memory_order_relaxed);
+        EADRL_TELEMETRY("drift", {"source", "serve"},
+                        {"generation", session.generation});
+      }
+      ++observes_in_wave;
+      observes_done_.fetch_add(1, std::memory_order_relaxed);
+      observe_counter_->Inc();
+      const double latency = SecondsSince(request.enqueue_time);
+      observe_latency_hist_->Observe(latency);
+      if (rspan.armed()) {
+        rspan.SetAttr("kind", "observe");
+        rspan.SetAttr("queue_wait_seconds", latency);
+      }
+      inflight_.fetch_sub(1, std::memory_order_relaxed);
+      if (request.on_observe) request.on_observe(Status::Ok());
+    } else {
+      Pending p;
+      p.index = i;
+      p.lock = std::unique_lock<std::mutex>(session.mu);
+      const math::Vec scaled = session.has_scaler
+                                   ? session.scaler.Transform(request.preds)
+                                   : request.preds;
+      EADRL_CHK_FINITE(scaled, "serve predict member predictions");
+      p.reduced = session.policy->combiner->ReduceToActive(scaled);
+      p.state = core::OnlineStateVec(session.state.window,
+                                     session.state.state_std);
+      pending.push_back(std::move(p));
+    }
+  }
+
+  // Restore wave (arrival) order for grouping and dispatch: ActBatch row
+  // assembly and callbacks see exactly what they would under arrival-order
+  // locking, keeping batched-vs-serial parity byte-for-byte.
+  std::sort(pending.begin(), pending.end(),
+            [](const Pending& a, const Pending& b) { return a.index < b.index; });
+
+  // Group the wave's predicts by policy (first-appearance order) and run one
+  // batched actor pass per group — the cross-tenant batching step.
+  std::vector<char> dispatched(pending.size(), 0);
+  for (size_t lead = 0; lead < pending.size(); ++lead) {
+    if (dispatched[lead] != 0) continue;
+    Policy* policy = (*batch)[pending[lead].index].session->policy.get();
+    std::vector<size_t> group;
+    for (size_t j = lead; j < pending.size(); ++j) {
+      if (dispatched[j] == 0 &&
+          (*batch)[pending[j].index].session->policy.get() == policy) {
+        group.push_back(j);
+      }
+    }
+    math::Matrix states(group.size(), pending[group[0]].state.size());
+    for (size_t g = 0; g < group.size(); ++g) {
+      states.SetRow(g, pending[group[g]].state);
+    }
+    math::Matrix actions;
+    {
+      // The agent's inference workspace is shared across every session of
+      // this policy; the policy mutex serializes batched passes.
+      std::lock_guard<std::mutex> lock(policy->mu);
+      actions = policy->combiner->agent()->ActBatch(states);
+    }
+    act_batches_.fetch_add(1, std::memory_order_relaxed);
+    act_batch_rows_.fetch_add(group.size(), std::memory_order_relaxed);
+    batch_rows_counter_->Inc(static_cast<double>(group.size()));
+    occupancy_hist_->Observe(static_cast<double>(group.size()));
+
+    for (size_t g = 0; g < group.size(); ++g) {
+      Pending& p = pending[group[g]];
+      Request& request = (*batch)[p.index];
+      Session& session = *request.session;
+      obs::Span rspan("serve_request");
+      const math::Vec action = actions.Row(g);
+      EADRL_CHK_SIMPLEX(action, 1e-6, "serve batched action");
+      const double pred = core::Combine(action, p.reduced);
+      EADRL_CHK_FINITE_VALUE(pred, "serve batched prediction");
+      // Algorithm 1's window roll, on the session's extracted state.
+      session.state.window.push_back(pred);
+      session.state.window.pop_front();
+      session.last_prediction = pred;
+      session.has_last_prediction = true;
+      ++session.predicts;
+      const double out =
+          session.has_scaler ? session.scaler.Inverse(pred) : pred;
+      p.lock.unlock();
+      predicts_done_.fetch_add(1, std::memory_order_relaxed);
+      predict_counter_->Inc();
+      const double latency = SecondsSince(request.enqueue_time);
+      predict_latency_hist_->Observe(latency);
+      if (rspan.armed()) {
+        rspan.SetAttr("kind", "predict");
+        rspan.SetAttr("queue_wait_seconds", latency);
+        rspan.SetAttr("batch_rows", group.size());
+      }
+      inflight_.fetch_sub(1, std::memory_order_relaxed);
+      request.on_predict(out);
+    }
+    for (size_t j : group) dispatched[j] = 1;
+  }
+
+  if (span.armed()) {
+    span.SetAttr("wave_size", wave.size());
+    span.SetAttr("observes", observes_in_wave);
+  }
+  EADRL_TELEMETRY("serve_batch", {"wave_size", wave.size()},
+                  {"observes", observes_in_wave});
+}
+
+}  // namespace eadrl::serve

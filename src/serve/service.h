@@ -1,0 +1,229 @@
+#ifndef EADRL_SERVE_SERVICE_H_
+#define EADRL_SERVE_SERVICE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/eadrl.h"
+#include "math/vec.h"
+#include "obs/metrics.h"
+#include "par/thread_pool.h"
+#include "serve/batching_queue.h"
+#include "serve/session_table.h"
+#include "ts/scaler.h"
+
+namespace eadrl::serve {
+
+/// Serving-layer configuration. Defaults are sized for a test-scale
+/// deployment; the load driver (tools/eadrl_serve.cc) overrides most of
+/// them from flags.
+struct ServeConfig {
+  size_t shards = 16;            ///< session-table lock stripes.
+  size_t max_sessions = 0;       ///< resident-session cap (0 = unbounded).
+  double session_ttl_seconds = 0.0;  ///< idle eviction (0 = off).
+  size_t max_batch = 64;         ///< requests per processed wave.
+  size_t max_queue = 4096;       ///< admission bound on queued requests.
+  /// Admission bound on admitted-but-incomplete requests (0 = 2 * max_queue).
+  /// Approximate under concurrency: racing admits may briefly overshoot.
+  size_t max_inflight = 0;
+  size_t linger_us = 0;          ///< batching window (see BatchingQueue).
+  bool manual_drain = false;     ///< tests: pump via DrainOnce().
+  double drift_delta = 0.005;    ///< per-session Page-Hinkley tolerance.
+  double drift_lambda = 3.0;     ///< per-session Page-Hinkley threshold.
+  par::ThreadPool* pool = nullptr;  ///< nullptr = par::DefaultPool().
+};
+
+/// Service-wide counters (monotone since construction, except gauges).
+struct ServeStats {
+  uint64_t sessions = 0;          ///< resident right now.
+  uint64_t sessions_created = 0;
+  uint64_t evictions_lru = 0;
+  uint64_t evictions_ttl = 0;
+  uint64_t evictions_explicit = 0;
+  uint64_t predicts = 0;          ///< completed predict requests.
+  uint64_t observes = 0;          ///< completed observe requests.
+  uint64_t shed = 0;              ///< admission rejections.
+  uint64_t batches = 0;           ///< processed waves.
+  uint64_t act_batches = 0;       ///< batched actor passes.
+  uint64_t act_batch_rows = 0;    ///< total rows across actor passes.
+  uint64_t drift_events = 0;
+  uint64_t inflight = 0;          ///< admitted, not yet completed.
+  uint64_t queue_depth = 0;
+
+  /// Mean rows per batched actor pass — the cross-tenant batching win; > 1
+  /// means concurrent tenants actually shared actor passes.
+  double MeanActBatchRows() const {
+    return act_batches == 0
+               ? 0.0
+               : static_cast<double>(act_batch_rows) /
+                     static_cast<double>(act_batches);
+  }
+};
+
+/// Per-session diagnostics snapshot (GetSessionInfo).
+struct SessionInfo {
+  uint64_t generation = 0;
+  uint64_t predicts = 0;
+  uint64_t observes = 0;
+  uint64_t drift_events = 0;
+  size_t window_size = 0;
+  double last_prediction = 0.0;   ///< policy units; 0 before first predict.
+  bool has_last_prediction = false;
+  size_t drift_observations = 0;  ///< detector observations since reset.
+  double drift_cumulative = 0.0;
+};
+
+/// Multi-tenant online forecast serving for trained EA-DRL policies.
+///
+/// Tenants register once (CreateSession) against a shared trained policy and
+/// then stream Predict / ObserveActual requests. Requests from concurrent
+/// tenants funnel through one BatchingQueue and are drained in waves: each
+/// wave takes at most one request per session (preserving per-session FIFO
+/// order), groups the predicts by policy, and runs ONE batched actor pass
+/// (rl::DdpgAgent::ActBatch) per policy group — the cross-tenant batching
+/// that amortizes actor inference. Because ActBatch row b is bit-identical
+/// to Act on row b (the PR-7 batched-kernel guarantee) and the state/reduce/
+/// combine steps share code with EadrlCombiner::Predict, a batched serving
+/// replay is bit-identical to per-session serial evaluation
+/// (tests/serve_parity_test.cc).
+///
+/// Admission control: a request is shed with Status::ResourceExhausted when
+/// the queue is at max_queue or admitted-but-incomplete requests reach
+/// max_inflight. Shedding is the backpressure signal of an open-loop load
+/// driver (tools/eadrl_serve.cc --expect-shed).
+///
+/// Threading: all public entry points are thread-safe. Per-session state is
+/// guarded by the session mutex, sessions are striped across the table's
+/// shard locks, and each policy's agent workspace is serialized by the
+/// policy mutex.
+class ForecastService {
+ public:
+  explicit ForecastService(const ServeConfig& config);
+
+  /// Drains in-flight work, then tears down. The configured pool must
+  /// outlive the service.
+  ~ForecastService();
+
+  ForecastService(const ForecastService&) = delete;
+  ForecastService& operator=(const ForecastService&) = delete;
+
+  /// Takes ownership of a trained (Initialize or LoadPolicy succeeded)
+  /// combiner and returns its policy id. The combiner's online state is
+  /// snapshotted now as the fresh-session template.
+  size_t RegisterPolicy(std::unique_ptr<core::EadrlCombiner> trained);
+
+  /// Creates a resident session for `tenant` against `policy_id`.
+  /// `scaler` (optional, copied) is the tenant-units <-> policy-units affine
+  /// map. FailedPrecondition when the tenant already has a session;
+  /// OutOfRange for an unknown policy id.
+  Status CreateSession(const std::string& tenant, size_t policy_id,
+                       const ts::StandardScaler* scaler = nullptr);
+
+  /// Removes the tenant's session. NotFound when absent.
+  Status EvictSession(const std::string& tenant);
+
+  /// Restores the tenant's session to fresh-construction state (window
+  /// re-cloned from the policy snapshot, drift detector and counters
+  /// zeroed). NotFound when absent.
+  Status ResetSession(const std::string& tenant);
+
+  /// Admits a predict request: `preds` are the member forecasts in tenant
+  /// units; `done` receives the combined forecast (tenant units) on the
+  /// drainer thread. Returns the admission decision: NotFound (no session)
+  /// or ResourceExhausted (shed); once Ok is returned, `done` will be
+  /// called. `done` must not throw.
+  Status PredictAsync(const std::string& tenant, math::Vec preds,
+                      std::function<void(StatusOr<double>)> done);
+
+  /// Admits an observe request feeding the tenant's realized value (tenant
+  /// units) to its drift detector. `done` (optional) runs on the drainer
+  /// thread; same admission semantics as PredictAsync.
+  Status ObserveActualAsync(const std::string& tenant, double actual,
+                            std::function<void(Status)> done = {});
+
+  /// Blocking conveniences over the async entry points (admission errors
+  /// propagate). Not legal in manual_drain mode on a parallel pool (nothing
+  /// would pump the queue).
+  StatusOr<double> Predict(const std::string& tenant, const math::Vec& preds);
+  Status ObserveActual(const std::string& tenant, double actual);
+
+  StatusOr<SessionInfo> GetSessionInfo(const std::string& tenant);
+
+  /// Runs one TTL sweep; returns sessions evicted.
+  size_t EvictIdleSessions();
+
+  ServeStats Stats() const;
+
+  /// End-to-end predict latency (admission to completion callback), seconds.
+  obs::HistogramSnapshot PredictLatencySnapshot() const;
+
+  /// Blocks until all admitted requests completed (see BatchingQueue::Flush).
+  void Flush();
+
+  /// Manual-drain pump: processes the current backlog as one batch on the
+  /// calling thread. Returns false when the queue was empty.
+  bool DrainOnce();
+
+  /// The registered combiner (tests and offline tooling). Callers must not
+  /// use it while requests are in flight — it shares the policy's agent
+  /// workspace with the serving path.
+  core::EadrlCombiner* policy_combiner(size_t policy_id);
+
+  const ServeConfig& config() const { return config_; }
+
+ private:
+  void ProcessBatch(std::vector<Request> batch);
+  /// One wave: at most one request per session, batched actor passes
+  /// grouped by policy, then per-request apply + completion.
+  void ProcessWave(std::vector<Request>* batch,
+                   const std::vector<size_t>& wave);
+  Status Admit(Request request, const std::string& tenant);
+
+  ServeConfig config_;
+  size_t effective_max_inflight_;
+
+  std::mutex policies_mu_;
+  std::vector<std::shared_ptr<Policy>> policies_;
+
+  SessionTable table_;
+  std::atomic<uint64_t> next_generation_{0};
+
+  std::atomic<uint64_t> predicts_done_{0};
+  std::atomic<uint64_t> observes_done_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> act_batches_{0};
+  std::atomic<uint64_t> act_batch_rows_{0};
+  std::atomic<uint64_t> drift_events_{0};
+  std::atomic<uint64_t> sessions_created_{0};
+  std::atomic<uint64_t> evictions_explicit_{0};
+  std::atomic<uint64_t> inflight_{0};
+
+  // Cached from the default registry (stable pointers; see DESIGN.md,
+  // "Observability").
+  obs::Counter* predict_counter_;
+  obs::Counter* observe_counter_;
+  obs::Counter* shed_counter_;
+  obs::Counter* batch_counter_;
+  obs::Counter* batch_rows_counter_;
+  obs::Gauge* sessions_gauge_;
+  obs::Gauge* queue_depth_gauge_;
+  obs::Histogram* predict_latency_hist_;
+  obs::Histogram* observe_latency_hist_;
+  obs::Histogram* occupancy_hist_;
+
+  /// Declared last: its destructor drains while every member above is alive
+  /// (ProcessBatch touches the table, counters and metrics).
+  BatchingQueue queue_;
+};
+
+}  // namespace eadrl::serve
+
+#endif  // EADRL_SERVE_SERVICE_H_

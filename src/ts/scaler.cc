@@ -36,6 +36,15 @@ math::Vec MinMaxScaler::Inverse(const math::Vec& v) const {
   return out;
 }
 
+StandardScaler StandardScaler::FromMoments(double mean, double stddev) {
+  EADRL_CHECK_GT(stddev, 0.0);
+  StandardScaler scaler;
+  scaler.mean_ = mean;
+  scaler.stddev_ = stddev;
+  scaler.fitted_ = true;
+  return scaler;
+}
+
 void StandardScaler::Fit(const math::Vec& v) {
   EADRL_CHECK(!v.empty());
   mean_ = math::Mean(v);

@@ -28,6 +28,11 @@ class MinMaxScaler {
 /// Z-score scaler. Degenerate (zero variance) inputs map to 0.
 class StandardScaler {
  public:
+  /// A scaler with explicit moments (stddev > 0), without fitting data — the
+  /// serving layer uses this to give each tenant session the affine map
+  /// between its series' units and the policy's training units.
+  static StandardScaler FromMoments(double mean, double stddev);
+
   void Fit(const math::Vec& v);
   double Transform(double x) const;
   double Inverse(double y) const;

@@ -1,0 +1,392 @@
+// Functional tests for the multi-tenant serving layer: session lifecycle,
+// admission control / shedding, LRU + TTL eviction, cross-tenant batching
+// stats, the drift/window reset contract across session recreation, and the
+// per-session serialization guard. Services here run manual_drain so every
+// wave is pumped deterministically on the test thread.
+#define EADRL_CHK_FORCE_ON 1
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "chk/chk.h"
+#include "core/eadrl.h"
+#include "exp/experiment.h"
+#include "math/vec.h"
+#include "serve/service.h"
+#include "ts/datasets.h"
+#include "ts/scaler.h"
+
+namespace eadrl {
+namespace {
+
+struct Trained {
+  exp::PoolRun pool;
+  core::EadrlConfig config;
+  std::string policy_path;
+};
+
+/// Trains one tiny policy ONCE per test binary and saves it; every test
+/// rebuilds a combiner from the saved file (cheap) instead of retraining.
+const Trained& GetTrained() {
+  static Trained* trained = [] {
+    auto* t = new Trained;
+    auto series = ts::MakeDataset(2, 42, 160);
+    EXPECT_TRUE(series.ok());
+    exp::ExperimentOptions opt;
+    opt.seed = 42;
+    opt.pool.fast_mode = true;
+    opt.pool.nn_epochs = 2;
+    opt.eadrl.max_episodes = 2;
+    opt.eadrl.restarts = 1;
+    t->pool = exp::PreparePool(*series, opt);
+    t->config = opt.eadrl;
+    core::EadrlCombiner combiner(opt.eadrl);
+    EXPECT_TRUE(combiner.Initialize(t->pool.val_preds, t->pool.val_actuals).ok());
+    t->policy_path = ::testing::TempDir() + "serve_test_policy.eadrl";
+    EXPECT_TRUE(combiner.SavePolicy(t->policy_path).ok());
+    return t;
+  }();
+  return *trained;
+}
+
+std::unique_ptr<core::EadrlCombiner> NewCombiner() {
+  auto combiner = std::make_unique<core::EadrlCombiner>(GetTrained().config);
+  EXPECT_TRUE(combiner->LoadPolicy(GetTrained().policy_path).ok());
+  return combiner;
+}
+
+serve::ServeConfig ManualConfig() {
+  serve::ServeConfig config;
+  config.manual_drain = true;
+  return config;
+}
+
+math::Vec Preds(size_t step) {
+  const auto& pool = GetTrained().pool;
+  return pool.test_preds.Row(step % pool.test_preds.rows());
+}
+
+double Actual(size_t step) {
+  const auto& pool = GetTrained().pool;
+  return pool.test_actuals[step % pool.test_actuals.size()];
+}
+
+TEST(ForecastServiceTest, PredictObserveFlow) {
+  serve::ForecastService service(ManualConfig());
+  const size_t policy_id = service.RegisterPolicy(NewCombiner());
+  ASSERT_TRUE(service.CreateSession("a", policy_id).ok());
+
+  StatusOr<double> out = service.Predict("a", Preds(0));
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(std::isfinite(*out));
+  ASSERT_TRUE(service.ObserveActual("a", Actual(0)).ok());
+
+  StatusOr<serve::SessionInfo> info = service.GetSessionInfo("a");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->predicts, 1u);
+  EXPECT_EQ(info->observes, 1u);
+  EXPECT_TRUE(info->has_last_prediction);
+  EXPECT_EQ(info->drift_observations, 1u);
+
+  const serve::ServeStats stats = service.Stats();
+  EXPECT_EQ(stats.predicts, 1u);
+  EXPECT_EQ(stats.observes, 1u);
+  EXPECT_EQ(stats.inflight, 0u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.sessions, 1u);
+}
+
+TEST(ForecastServiceTest, ErrorCodes) {
+  serve::ForecastService service(ManualConfig());
+  const size_t policy_id = service.RegisterPolicy(NewCombiner());
+
+  EXPECT_EQ(service.CreateSession("a", policy_id + 7).code(),
+            StatusCode::kOutOfRange);
+  ASSERT_TRUE(service.CreateSession("a", policy_id).ok());
+  EXPECT_EQ(service.CreateSession("a", policy_id).code(),
+            StatusCode::kFailedPrecondition);
+
+  EXPECT_EQ(service.Predict("ghost", Preds(0)).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(service.ObserveActual("ghost", 1.0).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(service.GetSessionInfo("ghost").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(service.EvictSession("ghost").code(), StatusCode::kNotFound);
+  EXPECT_EQ(service.ResetSession("ghost").code(), StatusCode::kNotFound);
+
+  ASSERT_TRUE(service.EvictSession("a").ok());
+  EXPECT_EQ(service.EvictSession("a").code(), StatusCode::kNotFound);
+}
+
+TEST(ForecastServiceTest, QueueBoundShedsWithTypedStatus) {
+  serve::ServeConfig config = ManualConfig();
+  config.max_queue = 3;
+  serve::ForecastService service(config);
+  const size_t policy_id = service.RegisterPolicy(NewCombiner());
+  ASSERT_TRUE(service.CreateSession("a", policy_id).ok());
+
+  std::atomic<size_t> completed{0};
+  auto done = [&completed](StatusOr<double> result) {
+    EXPECT_TRUE(result.ok());
+    ++completed;
+  };
+  for (size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(service.PredictAsync("a", Preds(i), done).ok());
+  }
+  Status shed = service.PredictAsync("a", Preds(3), done);
+  EXPECT_EQ(shed.code(), StatusCode::kResourceExhausted);
+
+  EXPECT_TRUE(service.DrainOnce());
+  EXPECT_EQ(completed.load(), 3u);
+  const serve::ServeStats stats = service.Stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.inflight, 0u);
+  // The shed request never reached a wave: only 3 predicts completed.
+  EXPECT_EQ(stats.predicts, 3u);
+}
+
+TEST(ForecastServiceTest, InflightBoundShedsWithTypedStatus) {
+  serve::ServeConfig config = ManualConfig();
+  config.max_inflight = 2;
+  serve::ForecastService service(config);
+  const size_t policy_id = service.RegisterPolicy(NewCombiner());
+  ASSERT_TRUE(service.CreateSession("a", policy_id).ok());
+
+  auto done = [](StatusOr<double> result) { EXPECT_TRUE(result.ok()); };
+  ASSERT_TRUE(service.PredictAsync("a", Preds(0), done).ok());
+  ASSERT_TRUE(service.PredictAsync("a", Preds(1), done).ok());
+  EXPECT_EQ(service.PredictAsync("a", Preds(2), done).code(),
+            StatusCode::kResourceExhausted);
+  // Completion frees the budget.
+  while (service.DrainOnce()) {
+  }
+  ASSERT_TRUE(service.PredictAsync("a", Preds(2), done).ok());
+  while (service.DrainOnce()) {
+  }
+  EXPECT_EQ(service.Stats().inflight, 0u);
+}
+
+TEST(ForecastServiceTest, WavesBatchAcrossTenantsButNotWithinOne) {
+  serve::ForecastService service(ManualConfig());
+  const size_t policy_id = service.RegisterPolicy(NewCombiner());
+  for (const char* tenant : {"a", "b", "c"}) {
+    ASSERT_TRUE(service.CreateSession(tenant, policy_id).ok());
+  }
+  // Two queued requests per tenant: one drain must process them as two
+  // waves (per-session FIFO, one request per session per wave), each wave
+  // one 3-row batched actor pass.
+  std::vector<double> outputs;
+  auto done = [&outputs](StatusOr<double> result) {
+    ASSERT_TRUE(result.ok());
+    outputs.push_back(*result);
+  };
+  for (size_t step = 0; step < 2; ++step) {
+    for (const char* tenant : {"a", "b", "c"}) {
+      ASSERT_TRUE(service.PredictAsync(tenant, Preds(step), done).ok());
+    }
+  }
+  EXPECT_TRUE(service.DrainOnce());
+  EXPECT_EQ(outputs.size(), 6u);
+  const serve::ServeStats stats = service.Stats();
+  EXPECT_EQ(stats.batches, 2u);
+  EXPECT_EQ(stats.act_batches, 2u);
+  EXPECT_EQ(stats.act_batch_rows, 6u);
+  EXPECT_DOUBLE_EQ(stats.MeanActBatchRows(), 3.0);
+}
+
+TEST(ForecastServiceTest, LruEvictionAtCapacity) {
+  serve::ServeConfig config = ManualConfig();
+  config.shards = 1;
+  config.max_sessions = 2;
+  serve::ForecastService service(config);
+  const size_t policy_id = service.RegisterPolicy(NewCombiner());
+  ASSERT_TRUE(service.CreateSession("a", policy_id).ok());
+  ASSERT_TRUE(service.CreateSession("b", policy_id).ok());
+  // Touch "a" so "b" is the LRU victim.
+  ASSERT_TRUE(service.GetSessionInfo("a").ok());
+  ASSERT_TRUE(service.CreateSession("c", policy_id).ok());
+
+  EXPECT_TRUE(service.GetSessionInfo("a").ok());
+  EXPECT_EQ(service.GetSessionInfo("b").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_TRUE(service.GetSessionInfo("c").ok());
+  const serve::ServeStats stats = service.Stats();
+  EXPECT_EQ(stats.evictions_lru, 1u);
+  EXPECT_EQ(stats.sessions, 2u);
+}
+
+TEST(ForecastServiceTest, TtlEvictionSweepsIdleSessions) {
+  serve::ServeConfig config = ManualConfig();
+  config.session_ttl_seconds = 0.02;
+  serve::ForecastService service(config);
+  const size_t policy_id = service.RegisterPolicy(NewCombiner());
+  ASSERT_TRUE(service.CreateSession("idle", policy_id).ok());
+  ASSERT_TRUE(service.CreateSession("hot", policy_id).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  // Touch "hot" inside the TTL window; "idle" ages out.
+  ASSERT_TRUE(service.GetSessionInfo("hot").ok());
+  EXPECT_EQ(service.EvictIdleSessions(), 1u);
+  EXPECT_EQ(service.GetSessionInfo("idle").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_TRUE(service.GetSessionInfo("hot").ok());
+  EXPECT_EQ(service.Stats().evictions_ttl, 1u);
+}
+
+/// The session-recreation reset contract: NO drift-detector or window state
+/// may survive eviction + recreation (or ResetSession). Regression test for
+/// the serving layer's statefulness: a recreated session must be
+/// indistinguishable from a brand-new one, down to its first prediction.
+TEST(ForecastServiceTest, DriftAndWindowStateResetOnRecreation) {
+  serve::ForecastService service(ManualConfig());
+  const size_t policy_id = service.RegisterPolicy(NewCombiner());
+  ASSERT_TRUE(service.CreateSession("a", policy_id).ok());
+
+  StatusOr<double> first = service.Predict("a", Preds(0));
+  ASSERT_TRUE(first.ok());
+  for (size_t step = 1; step < 6; ++step) {
+    ASSERT_TRUE(service.Predict("a", Preds(step)).ok());
+    // Wildly wrong actuals pump the drift detector's state.
+    ASSERT_TRUE(service.ObserveActual("a", Actual(step) + 100.0).ok());
+  }
+  StatusOr<serve::SessionInfo> dirty = service.GetSessionInfo("a");
+  ASSERT_TRUE(dirty.ok());
+  const uint64_t first_generation = dirty->generation;
+  EXPECT_EQ(dirty->predicts, 6u);
+  EXPECT_GT(dirty->drift_observations, 0u);
+  EXPECT_TRUE(dirty->has_last_prediction);
+
+  // Evict + recreate.
+  ASSERT_TRUE(service.EvictSession("a").ok());
+  ASSERT_TRUE(service.CreateSession("a", policy_id).ok());
+  StatusOr<serve::SessionInfo> fresh = service.GetSessionInfo("a");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_GT(fresh->generation, first_generation);
+  EXPECT_EQ(fresh->predicts, 0u);
+  EXPECT_EQ(fresh->observes, 0u);
+  EXPECT_EQ(fresh->drift_events, 0u);
+  EXPECT_EQ(fresh->drift_observations, 0u);
+  EXPECT_DOUBLE_EQ(fresh->drift_cumulative, 0.0);
+  EXPECT_FALSE(fresh->has_last_prediction);
+  // The strongest leak check: with the window re-cloned from the policy
+  // snapshot, the recreated session's first prediction is bit-identical to
+  // the original session's first prediction.
+  StatusOr<double> refirst = service.Predict("a", Preds(0));
+  ASSERT_TRUE(refirst.ok());
+  EXPECT_EQ(*refirst, *first);
+
+  // ResetSession gives the same contract without dropping residency.
+  for (size_t step = 1; step < 4; ++step) {
+    ASSERT_TRUE(service.Predict("a", Preds(step)).ok());
+    ASSERT_TRUE(service.ObserveActual("a", Actual(step) - 100.0).ok());
+  }
+  ASSERT_TRUE(service.ResetSession("a").ok());
+  StatusOr<serve::SessionInfo> reset = service.GetSessionInfo("a");
+  ASSERT_TRUE(reset.ok());
+  EXPECT_EQ(reset->predicts, 0u);
+  EXPECT_EQ(reset->drift_observations, 0u);
+  EXPECT_FALSE(reset->has_last_prediction);
+  StatusOr<double> after_reset = service.Predict("a", Preds(0));
+  ASSERT_TRUE(after_reset.ok());
+  EXPECT_EQ(*after_reset, *first);
+}
+
+TEST(ForecastServiceTest, ScalerMapsTenantUnitsAffinely) {
+  serve::ForecastService service(ManualConfig());
+  const size_t policy_id = service.RegisterPolicy(NewCombiner());
+  const ts::StandardScaler scaler =
+      ts::StandardScaler::FromMoments(250.0, 12.5);
+  ASSERT_TRUE(service.CreateSession("raw", policy_id).ok());
+  ASSERT_TRUE(service.CreateSession("scaled", policy_id, &scaler).ok());
+
+  for (size_t step = 0; step < 4; ++step) {
+    StatusOr<double> raw = service.Predict("raw", Preds(step));
+    StatusOr<double> mapped =
+        service.Predict("scaled", scaler.Inverse(Preds(step)));
+    ASSERT_TRUE(raw.ok());
+    ASSERT_TRUE(mapped.ok());
+    // Transform(Inverse(x)) == x exactly for this affine pair, so the two
+    // sessions see identical policy-unit inputs and the scaled session's
+    // output is exactly the inverse-mapped raw output.
+    EXPECT_DOUBLE_EQ(*mapped, scaler.Inverse(*raw));
+  }
+}
+
+TEST(ForecastServiceTest, ObserveBeforeAnyPredictIsInert) {
+  serve::ForecastService service(ManualConfig());
+  const size_t policy_id = service.RegisterPolicy(NewCombiner());
+  ASSERT_TRUE(service.CreateSession("a", policy_id).ok());
+  ASSERT_TRUE(service.ObserveActual("a", 123.0).ok());
+  StatusOr<serve::SessionInfo> info = service.GetSessionInfo("a");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->observes, 1u);
+  // No prediction to score against: the drift detector saw nothing.
+  EXPECT_EQ(info->drift_observations, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// SessionCallGuard: the per-session serialization contract fails loudly.
+
+[[noreturn]] void ThrowHandler(const char* message) {
+  throw std::runtime_error(message);
+}
+
+class SessionCallGuardTest : public ::testing::Test {
+ protected:
+  void SetUp() override { chk::SetFailureHandlerForTest(&ThrowHandler); }
+  void TearDown() override { chk::SetFailureHandlerForTest(nullptr); }
+};
+
+TEST_F(SessionCallGuardTest, SecondEntrantTripsContract) {
+  std::atomic<bool> busy{false};
+  core::SessionCallGuard outer(&busy, "concurrent call on one session");
+  EXPECT_THROW(
+      { core::SessionCallGuard inner(&busy, "concurrent call on one session"); },
+      std::runtime_error);
+  // The violated entry never took ownership: after the outer guard exits the
+  // session is reusable (checked by the scope ending without a throw).
+}
+
+TEST_F(SessionCallGuardTest, SequentialCallsAreFine) {
+  std::atomic<bool> busy{false};
+  for (int i = 0; i < 3; ++i) {
+    core::SessionCallGuard guard(&busy, "sequential");
+    EXPECT_TRUE(busy.load());
+  }
+  EXPECT_FALSE(busy.load());
+}
+
+TEST_F(SessionCallGuardTest, CombinerEntryPointsAreGuarded) {
+  // Re-enter the combiner from inside Predict via a telemetry sink that
+  // calls back into it — the same shape as two threads sharing one
+  // combiner, but deterministic.
+  class ReentrantSink : public obs::TelemetrySink {
+   public:
+    explicit ReentrantSink(core::EadrlCombiner* combiner)
+        : combiner_(combiner) {}
+    void Record(const obs::TelemetryEvent& event) override {
+      if (std::string(event.kind) == "predict") combiner_->Weights();
+    }
+
+   private:
+    core::EadrlCombiner* combiner_;
+  };
+
+  auto combiner = NewCombiner();
+  ReentrantSink sink(combiner.get());
+  obs::SetTelemetrySink(&sink);
+  EXPECT_THROW(combiner->Predict(Preds(0)), std::runtime_error);
+  obs::SetTelemetrySink(nullptr);
+  // The guard released on unwind: the combiner is usable again.
+  EXPECT_TRUE(std::isfinite(combiner->Predict(Preds(0))));
+}
+
+}  // namespace
+}  // namespace eadrl

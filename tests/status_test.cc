@@ -26,6 +26,17 @@ TEST(StatusTest, AllConstructorsProduceDistinctCodes) {
   EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
   EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(StatusTest, ResourceExhaustedFormatsItsCodeName) {
+  // The serving layer's shed signal: callers match on the code, operators
+  // grep logs for the name.
+  Status s = Status::ResourceExhausted("queue full");
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("RESOURCE_EXHAUSTED"), std::string::npos);
+  EXPECT_NE(s.ToString().find("queue full"), std::string::npos);
 }
 
 TEST(StatusOrTest, HoldsValue) {

@@ -9,9 +9,12 @@
 #   stage 4  bench   smoke: eadrl_bench records a macro-workload snapshot,
 #                    self-compares it (must pass), then proves the comparator
 #                    catches an injected 2x synthetic regression (must fail)
-#   stage 5  tsan    tier-1 suite under ThreadSanitizer, EADRL_THREADS=N
-#   stage 6  asan    tier-1 suite under AddressSanitizer
-#   stage 7  ubsan   tier-1 suite under UndefinedBehaviorSanitizer
+#   stage 5  serve   smoke: eadrl_serve replays Poisson traffic against the
+#                    serving layer (clean run + validated trace), then an
+#                    oversubscribed run that must shed (--expect-shed)
+#   stage 6  tsan    tier-1 suite under ThreadSanitizer, EADRL_THREADS=N
+#   stage 7  asan    tier-1 suite under AddressSanitizer
+#   stage 8  ubsan   tier-1 suite under UndefinedBehaviorSanitizer
 #                    (-fno-sanitize-recover=all: any UB aborts the test)
 #
 # Each stage reports wall-clock seconds; the summary at the end shows all of
@@ -104,6 +107,25 @@ stage_bench_smoke() {
   rm -rf "$bench_dir"
 }
 
+stage_serve_smoke() {
+  # Serving-layer smoke (see DESIGN.md, "Serving layer"). Run 1: a short
+  # Poisson replay must complete with zero failed requests and its Chrome
+  # trace must validate (serve_* spans are registered in spans.def). Run 2:
+  # an oversubscribed replay against tiny queue/in-flight bounds must
+  # exercise admission control — --expect-shed makes a shed-free run the
+  # failure.
+  local serve_dir
+  serve_dir="$(mktemp -d)"
+  "$SRC_DIR/build-gate/tools/eadrl_serve" \
+    --tenants 64 --requests 1500 --qps 30000 --episodes 2 \
+    --threads "$THREADS" --trace "$serve_dir/serve_trace.json"
+  "$SRC_DIR/build-gate/tools/eadrl_trace_check" "$serve_dir/serve_trace.json"
+  "$SRC_DIR/build-gate/tools/eadrl_serve" \
+    --tenants 64 --requests 1500 --qps 300000 --episodes 2 \
+    --threads "$THREADS" --max-queue 32 --max-inflight 48 --expect-shed
+  rm -rf "$serve_dir"
+}
+
 stage_sanitizer() {
   local mode="$1"
   local dir="$SRC_DIR/build-$mode"
@@ -118,6 +140,7 @@ run_stage lint stage_lint
 run_stage werror stage_werror
 run_stage trace stage_trace_smoke
 run_stage bench stage_bench_smoke
+run_stage serve stage_serve_smoke
 run_stage tsan stage_sanitizer thread
 run_stage asan stage_sanitizer address
 run_stage ubsan stage_sanitizer undefined

@@ -1,9 +1,10 @@
 // eadrl_bench: the perf-trajectory harness.
 //
 // Record mode runs every google-benchmark suite in a build's bench/
-// directory (via --benchmark_format=json) plus two in-process macro
-// workloads (an experiment-suite run and a predict/online-update loop,
-// both span-profiled), and writes a schema-versioned BENCH_<n>.json
+// directory (via --benchmark_format=json) plus three in-process macro
+// workloads (an experiment-suite run, a predict/online-update loop, and a
+// multi-tenant serving replay, all span-profiled), and writes a
+// schema-versioned BENCH_<n>.json
 // snapshot: per-benchmark wall/cpu time and iterations, process resource
 // stats, per-span self-time/allocation rows, and the host configuration
 // that produced it.
@@ -38,6 +39,8 @@
 #include "obs/resource.h"
 #include "obs/trace.h"
 #include "par/parallel.h"
+#include "serve/replay.h"
+#include "serve/service.h"
 #include "ts/datasets.h"
 
 namespace {
@@ -52,7 +55,7 @@ using eadrl::obs::BenchSnapshot;
 // The google-benchmark suites a snapshot covers, in bench/ of the build dir.
 constexpr const char* kGbmSuites[] = {"batched_kernels", "chk_bench",
                                       "micro_benchmarks", "parallel_bench",
-                                      "trace_bench"};
+                                      "serve_bench", "trace_bench"};
 
 struct Args {
   std::string out;
@@ -293,6 +296,66 @@ Status RunPredictLoopWorkload(size_t episodes,
   return Status::Ok();
 }
 
+/// Macro workload 3: the multi-tenant serving path — a trained policy behind
+/// a ForecastService taking an open-loop Poisson replay across 200 tenants
+/// through the cross-tenant batching queue. Records the end-to-end predict
+/// p50/p99 and the per-accepted-request wall cost.
+Status RunServeWorkload(size_t episodes, std::vector<BenchEntry>* entries) {
+  auto series = eadrl::ts::MakeDataset(2, 42, 240);
+  if (!series.ok()) return series.status();
+  eadrl::exp::ExperimentOptions opt;
+  opt.seed = 42;
+  opt.pool.fast_mode = true;
+  opt.pool.nn_epochs = 2;
+  opt.eadrl.max_episodes = episodes;
+  eadrl::exp::PoolRun pool = eadrl::exp::PreparePool(*series, opt);
+  auto combiner = std::make_unique<eadrl::core::EadrlCombiner>(opt.eadrl);
+  Status st = combiner->Initialize(pool.val_preds, pool.val_actuals);
+  if (!st.ok()) return st;
+
+  eadrl::serve::ServeConfig config;
+  config.max_batch = 32;
+  config.max_queue = 8192;
+  config.linger_us = 200;
+  eadrl::serve::ForecastService service(config);
+  const size_t policy_id = service.RegisterPolicy(std::move(combiner));
+
+  eadrl::serve::ReplayOptions replay;
+  replay.tenants = 200;
+  replay.requests = 4000;
+  replay.target_qps = 20000.0;
+  replay.seed = 42;
+  replay.policy_id = policy_id;
+  StatusOr<eadrl::serve::ReplayReport> report =
+      eadrl::serve::RunOpenLoopReplay(&service, pool.test_preds,
+                                      pool.test_actuals, replay);
+  if (!report.ok()) return report.status();
+
+  auto add = [entries](const char* name, double ns, size_t iterations) {
+    BenchEntry entry;
+    entry.name = name;
+    entry.real_time_ns = ns;
+    entry.cpu_time_ns = ns;
+    entry.iterations = iterations;
+    entries->push_back(std::move(entry));
+  };
+  const size_t accepted =
+      report->accepted == 0 ? 1 : static_cast<size_t>(report->accepted);
+  add("macro/serve_replay_per_request",
+      report->wall_seconds * 1e9 / static_cast<double>(accepted), accepted);
+  add("macro/serve_predict_p50", report->predict_p50_ms * 1e6, accepted);
+  add("macro/serve_predict_p99", report->predict_p99_ms * 1e6, accepted);
+  std::printf(
+      "macro/serve_replay: %llu accepted, %llu shed, p50 %.3f ms, p99 %.3f "
+      "ms, occupancy %.2f\n",
+      static_cast<unsigned long long>(report->accepted),
+      static_cast<unsigned long long>(report->predict_shed +
+                                      report->observe_shed),
+      report->predict_p50_ms, report->predict_p99_ms,
+      report->MeanBatchOccupancy());
+  return Status::Ok();
+}
+
 int RunRecord(const Args& args) {
   BenchSnapshot snapshot;
   snapshot.label = args.label;
@@ -336,6 +399,7 @@ int RunRecord(const Args& args) {
 
     Status st = RunSuiteWorkload(args.episodes, &snapshot.entries);
     if (st.ok()) st = RunPredictLoopWorkload(args.episodes, &snapshot.entries);
+    if (st.ok()) st = RunServeWorkload(args.episodes, &snapshot.entries);
     eadrl::obs::SetTraceBuffer(nullptr);
     if (!st.ok()) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());

@@ -1,0 +1,311 @@
+// eadrl_serve: open-loop load driver for the multi-tenant serving layer.
+//
+// Trains one small EA-DRL policy, registers it with a serve::ForecastService,
+// creates N tenant sessions (each with its own unit scaler), and replays
+// synthetic open-loop traffic (Poisson or bursty arrivals at a target QPS)
+// through the cross-tenant batching path. Reports admission/shedding counts,
+// achieved throughput, end-to-end predict p50/p99, and mean batched-actor
+// occupancy; optionally exports a Chrome trace and the span-profiler report
+// (serve_request / serve_batch / serve_admission rows).
+//
+// Usage:
+//   eadrl_serve [--tenants N] [--requests N] [--qps Q]
+//               [--schedule poisson|bursty] [--burst-factor F]
+//               [--max-batch N] [--max-queue N] [--max-inflight N]
+//               [--linger-us U] [--shards N] [--max-sessions N] [--ttl SEC]
+//               [--episodes N] [--threads N] [--seed S] [--no-observe]
+//               [--trace FILE] [--profile-report]
+//               [--expect-shed] [--min-occupancy X]
+//
+// Exit status: 0 on success, 1 when an --expect-shed / --min-occupancy
+// expectation failed, 2 on usage or setup errors — so check.sh can gate on
+// both the happy path and the overload path.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/eadrl.h"
+#include "exp/experiment.h"
+#include "obs/trace.h"
+#include "par/thread_pool.h"
+#include "serve/replay.h"
+#include "serve/service.h"
+#include "ts/datasets.h"
+
+namespace {
+
+using eadrl::Status;
+using eadrl::StatusOr;
+
+struct Args {
+  size_t tenants = 1000;
+  size_t requests = 20000;
+  double qps = 20000.0;
+  eadrl::serve::ReplayOptions::Schedule schedule =
+      eadrl::serve::ReplayOptions::Schedule::kPoisson;
+  double burst_factor = 4.0;
+  size_t max_batch = 64;
+  size_t max_queue = 4096;
+  size_t max_inflight = 0;
+  size_t linger_us = 200;
+  size_t shards = 16;
+  size_t max_sessions = 0;
+  double ttl_seconds = 0.0;
+  size_t episodes = 4;
+  size_t threads = 0;
+  uint64_t seed = 42;
+  bool observe = true;
+  std::string trace;
+  bool profile_report = false;
+  bool expect_shed = false;
+  double min_occupancy = 0.0;
+};
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: eadrl_serve [--tenants N] [--requests N] [--qps Q]\n"
+      "                   [--schedule poisson|bursty] [--burst-factor F]\n"
+      "                   [--max-batch N] [--max-queue N] [--max-inflight N]\n"
+      "                   [--linger-us U] [--shards N] [--max-sessions N]\n"
+      "                   [--ttl SEC] [--episodes N] [--threads N] [--seed S]\n"
+      "                   [--no-observe] [--trace FILE] [--profile-report]\n"
+      "                   [--expect-shed] [--min-occupancy X]\n");
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&](const char* name) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", name);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* v = nullptr;
+    if (flag == "--tenants") {
+      if ((v = next("--tenants")) == nullptr) return false;
+      args->tenants = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--requests") {
+      if ((v = next("--requests")) == nullptr) return false;
+      args->requests = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--qps") {
+      if ((v = next("--qps")) == nullptr) return false;
+      args->qps = std::atof(v);
+    } else if (flag == "--schedule") {
+      if ((v = next("--schedule")) == nullptr) return false;
+      if (std::strcmp(v, "poisson") == 0) {
+        args->schedule = eadrl::serve::ReplayOptions::Schedule::kPoisson;
+      } else if (std::strcmp(v, "bursty") == 0) {
+        args->schedule = eadrl::serve::ReplayOptions::Schedule::kBursty;
+      } else {
+        std::fprintf(stderr, "--schedule must be poisson or bursty\n");
+        return false;
+      }
+    } else if (flag == "--burst-factor") {
+      if ((v = next("--burst-factor")) == nullptr) return false;
+      args->burst_factor = std::atof(v);
+    } else if (flag == "--max-batch") {
+      if ((v = next("--max-batch")) == nullptr) return false;
+      args->max_batch = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--max-queue") {
+      if ((v = next("--max-queue")) == nullptr) return false;
+      args->max_queue = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--max-inflight") {
+      if ((v = next("--max-inflight")) == nullptr) return false;
+      args->max_inflight = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--linger-us") {
+      if ((v = next("--linger-us")) == nullptr) return false;
+      args->linger_us = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--shards") {
+      if ((v = next("--shards")) == nullptr) return false;
+      args->shards = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--max-sessions") {
+      if ((v = next("--max-sessions")) == nullptr) return false;
+      args->max_sessions = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--ttl") {
+      if ((v = next("--ttl")) == nullptr) return false;
+      args->ttl_seconds = std::atof(v);
+    } else if (flag == "--episodes") {
+      if ((v = next("--episodes")) == nullptr) return false;
+      args->episodes = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--threads") {
+      if ((v = next("--threads")) == nullptr) return false;
+      args->threads = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--seed") {
+      if ((v = next("--seed")) == nullptr) return false;
+      args->seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--no-observe") {
+      args->observe = false;
+    } else if (flag == "--trace") {
+      if ((v = next("--trace")) == nullptr) return false;
+      args->trace = v;
+    } else if (flag == "--profile-report") {
+      args->profile_report = true;
+    } else if (flag == "--expect-shed") {
+      args->expect_shed = true;
+    } else if (flag == "--min-occupancy") {
+      if ((v = next("--min-occupancy")) == nullptr) return false;
+      args->min_occupancy = std::atof(v);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      Usage();
+      return false;
+    }
+  }
+  return true;
+}
+
+int Run(const Args& args) {
+  // Train one small policy on a synthetic dataset (same recipe as the
+  // eadrl_bench predict-loop macro workload).
+  std::printf("training policy (%zu episodes, fast pool)...\n", args.episodes);
+  auto series = eadrl::ts::MakeDataset(2, static_cast<int>(args.seed), 240);
+  if (!series.ok()) {
+    std::fprintf(stderr, "%s\n", series.status().ToString().c_str());
+    return 2;
+  }
+  eadrl::exp::ExperimentOptions opt;
+  opt.seed = args.seed;
+  opt.pool.fast_mode = true;
+  opt.pool.nn_epochs = 2;
+  opt.eadrl.max_episodes = args.episodes;
+  eadrl::exp::PoolRun pool = eadrl::exp::PreparePool(*series, opt);
+  auto combiner = std::make_unique<eadrl::core::EadrlCombiner>(opt.eadrl);
+  Status st = combiner->Initialize(pool.val_preds, pool.val_actuals);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
+
+  // The service gets its own pool (not the process-wide default): its
+  // destructor joins the drainer workers before Run returns, so the trace
+  // export in main can never race a drain task's final span records.
+  eadrl::par::ThreadPool serve_pool(args.threads > 0
+                                        ? args.threads
+                                        : eadrl::par::DefaultPool().concurrency());
+  eadrl::serve::ServeConfig config;
+  config.shards = args.shards;
+  config.max_sessions = args.max_sessions;
+  config.session_ttl_seconds = args.ttl_seconds;
+  config.max_batch = args.max_batch;
+  config.max_queue = args.max_queue;
+  config.max_inflight = args.max_inflight;
+  config.linger_us = args.linger_us;
+  config.pool = &serve_pool;
+  eadrl::serve::ForecastService service(config);
+  const size_t policy_id = service.RegisterPolicy(std::move(combiner));
+
+  eadrl::serve::ReplayOptions replay;
+  replay.tenants = args.tenants;
+  replay.requests = args.requests;
+  replay.target_qps = args.qps;
+  replay.schedule = args.schedule;
+  replay.burst_factor = args.burst_factor;
+  replay.seed = args.seed;
+  replay.policy_id = policy_id;
+  replay.observe = args.observe;
+
+  std::printf(
+      "replaying %zu requests over %zu tenants at %.0f qps (%s)...\n",
+      args.requests, args.tenants, args.qps,
+      args.schedule == eadrl::serve::ReplayOptions::Schedule::kPoisson
+          ? "poisson"
+          : "bursty");
+  StatusOr<eadrl::serve::ReplayReport> report = eadrl::serve::RunOpenLoopReplay(
+      &service, pool.test_preds, pool.test_actuals, replay);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 2;
+  }
+
+  const eadrl::serve::ServeStats stats = service.Stats();
+  std::printf("\n--- replay report ---\n");
+  std::printf("submitted            %llu\n",
+              static_cast<unsigned long long>(report->submitted));
+  std::printf("accepted             %llu\n",
+              static_cast<unsigned long long>(report->accepted));
+  std::printf("shed (predict)       %llu\n",
+              static_cast<unsigned long long>(report->predict_shed));
+  std::printf("shed (observe)       %llu\n",
+              static_cast<unsigned long long>(report->observe_shed));
+  std::printf("wall                 %.3f s\n", report->wall_seconds);
+  std::printf("offered qps          %.0f\n", report->offered_qps);
+  std::printf("achieved qps         %.0f\n", report->achieved_qps);
+  std::printf("predict p50          %.3f ms\n", report->predict_p50_ms);
+  std::printf("predict p99          %.3f ms\n", report->predict_p99_ms);
+  std::printf("predict max          %.3f ms\n", report->predict_max_ms);
+  std::printf("waves                %llu\n",
+              static_cast<unsigned long long>(report->waves));
+  std::printf("actor batches        %llu (%llu rows, occupancy %.2f)\n",
+              static_cast<unsigned long long>(report->act_batches),
+              static_cast<unsigned long long>(report->act_batch_rows),
+              report->MeanBatchOccupancy());
+  std::printf("drift events         %llu\n",
+              static_cast<unsigned long long>(report->drift_events));
+  std::printf("resident sessions    %llu (created %llu, lru %llu, ttl %llu)\n",
+              static_cast<unsigned long long>(stats.sessions),
+              static_cast<unsigned long long>(stats.sessions_created),
+              static_cast<unsigned long long>(stats.evictions_lru),
+              static_cast<unsigned long long>(stats.evictions_ttl));
+
+  if (args.ttl_seconds > 0.0) {
+    const size_t evicted = service.EvictIdleSessions();
+    std::printf("ttl sweep            evicted %zu\n", evicted);
+  }
+
+  int rc = 0;
+  const uint64_t total_shed = report->predict_shed + report->observe_shed;
+  if (args.expect_shed && total_shed == 0) {
+    std::fprintf(stderr,
+                 "FAIL: --expect-shed but admission control never shed\n");
+    rc = 1;
+  }
+  if (args.min_occupancy > 0.0 &&
+      report->MeanBatchOccupancy() < args.min_occupancy) {
+    std::fprintf(stderr, "FAIL: mean occupancy %.2f < required %.2f\n",
+                 report->MeanBatchOccupancy(), args.min_occupancy);
+    rc = 1;
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return 2;
+  if (args.threads > 0) eadrl::par::SetDefaultThreads(args.threads);
+
+  // Tracing (and the span profiler that rides on it) is armed for the whole
+  // run when either export was requested.
+  std::unique_ptr<eadrl::obs::TraceBuffer> trace_buffer;
+  if (!args.trace.empty() || args.profile_report) {
+    eadrl::obs::SetCurrentThreadTraceName("main");
+    trace_buffer = std::make_unique<eadrl::obs::TraceBuffer>();
+    eadrl::obs::SetTraceBuffer(trace_buffer.get());
+  }
+
+  const int rc = Run(args);
+
+  if (trace_buffer != nullptr) {
+    eadrl::obs::SetTraceBuffer(nullptr);
+    if (!args.trace.empty()) {
+      eadrl::Status st = trace_buffer->WriteChromeTrace(args.trace);
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 2;
+      }
+      std::printf("trace written to %s (%zu spans)\n", args.trace.c_str(),
+                  trace_buffer->size());
+    }
+    if (args.profile_report) {
+      std::printf("\n%s\n", eadrl::obs::FormatSpanProfileReport().c_str());
+    }
+  }
+  return rc;
+}
