@@ -1,0 +1,239 @@
+#include "chk/lockdep.h"
+
+#include <cstdlib>
+#include <functional>
+#include <type_traits>
+
+namespace eadrl::chk {
+namespace {
+
+struct HeldLock {
+  LockRank rank = LockRank::kCount;
+  const void* mutex = nullptr;
+  const char* site = "";
+};
+
+// The calling thread's stack of tracked locks, innermost last. Deliberately
+// a fixed-size array, NOT a vector: the stack must be trivially destructible
+// so it has no TLS destructor. The main thread's thread_local destructors
+// run BEFORE static-duration destructors, and static-duration objects (the
+// default pool) lock ranked mutexes while tearing down — with a vector here,
+// those late hooks would push into a destroyed object (observed as glibc
+// heap corruption at exit). A trivially-destructible thread_local keeps its
+// storage valid for the entire thread lifetime. Capacity is generous: the
+// deepest real path is queue -> stripe -> session -> policy, plus same-rank
+// waves of a few sessions.
+struct HeldStackStorage {
+  static constexpr size_t kCapacity = 64;
+  HeldLock entries[kCapacity];
+  size_t depth = 0;
+};
+
+HeldStackStorage& HeldStack() {
+  static_assert(std::is_trivially_destructible_v<HeldStackStorage>,
+                "held stack must not have a TLS destructor (see comment)");
+  thread_local HeldStackStorage stack;
+  return stack;
+}
+
+const char* kRankNames[] = {
+#define EADRL_LOCK(name, description) #name,
+#include "chk/lock_order.def"
+#undef EADRL_LOCK
+};
+
+const char* kRankDescriptions[] = {
+#define EADRL_LOCK(name, description) description,
+#include "chk/lock_order.def"
+#undef EADRL_LOCK
+};
+
+static_assert(sizeof(kRankNames) / sizeof(kRankNames[0]) == kLockRankCount,
+              "rank table out of sync with lock_order.def");
+
+}  // namespace
+
+const char* LockRankName(LockRank rank) {
+  const auto i = static_cast<size_t>(rank);
+  return i < kLockRankCount ? kRankNames[i] : "<invalid>";
+}
+
+const char* LockRankDescription(LockRank rank) {
+  const auto i = static_cast<size_t>(rank);
+  return i < kLockRankCount ? kRankDescriptions[i] : "<invalid>";
+}
+
+bool LockdepCompiled() { return EADRL_LOCKDEP_COMPILED != 0; }
+
+LockTracker& LockTracker::Instance() {
+  // Leaked singleton: OrderedMutexes live in objects with static storage
+  // duration (the default pool) whose teardown may release locks after any
+  // non-leaked tracker would have been destroyed.
+  static LockTracker* tracker = new LockTracker();  // NOLINT(naked-new)
+  return *tracker;
+}
+
+LockTracker::LockTracker() {
+  const char* env = std::getenv("EADRL_LOCKDEP");
+  enabled_.store(!(env != nullptr && env[0] == '0' && env[1] == '\0'),
+                 std::memory_order_relaxed);
+}
+
+bool LockTracker::enabled() const {
+  return enabled_.load(std::memory_order_relaxed);
+}
+
+void LockTracker::SetEnabledForTest(bool enabled) {
+  enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+void LockTracker::ResetForTest() {
+  std::lock_guard<std::mutex> lock(graph_mu_);
+  for (size_t i = 0; i < kLockRankCount; ++i) {
+    for (size_t j = 0; j < kLockRankCount; ++j) {
+      edges_[i][j].present.store(false, std::memory_order_relaxed);
+      edges_[i][j].held_site = "";
+      edges_[i][j].acquired_site = "";
+    }
+  }
+  edge_count_ = 0;
+  acquisitions_.store(0, std::memory_order_relaxed);
+}
+
+LockTracker::Stats LockTracker::GetStats() const {
+  Stats stats;
+  stats.tracked_acquisitions = acquisitions_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(graph_mu_);
+    stats.edges_recorded = edge_count_;
+  }
+  stats.held_on_this_thread = HeldStack().depth;
+  return stats;
+}
+
+bool LockTracker::Reachable(size_t from, size_t to) const {
+  if (from == to) return true;
+  // Iterative DFS over at most kLockRankCount nodes; the explicit stack
+  // avoids recursion in a failure path that may run under low stack.
+  bool visited[kLockRankCount] = {};
+  size_t work[kLockRankCount];
+  size_t depth = 0;
+  work[depth++] = from;
+  visited[from] = true;
+  while (depth > 0) {
+    const size_t node = work[--depth];
+    for (size_t next = 0; next < kLockRankCount; ++next) {
+      if (visited[next] ||
+          !edges_[node][next].present.load(std::memory_order_relaxed)) {
+        continue;
+      }
+      if (next == to) return true;
+      visited[next] = true;
+      work[depth++] = next;
+    }
+  }
+  return false;
+}
+
+void LockTracker::OnAcquire(LockRank rank, const void* mutex,
+                            const char* site, bool blocking) {
+  HeldStackStorage& held = HeldStack();
+  acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  const size_t to = static_cast<size_t>(rank);
+  if (held.depth == HeldStackStorage::kCapacity) {
+    internal::FailContractF(
+        __FILE__, __LINE__, "lockdep held stack",
+        "thread holds %zu tracked locks while acquiring '%s' -- nesting this "
+        "deep is a bug, not a capacity problem",
+        held.depth, site);
+  }
+
+  // All checks run BEFORE this acquisition joins the held stack, so a
+  // throwing test failure handler leaves the stack consistent with what the
+  // thread actually holds.
+  for (size_t hi = 0; hi < held.depth; ++hi) {
+    const HeldLock& h = held.entries[hi];
+    if (h.rank == rank) {
+      // Same-rank nesting (two stripes, two sessions) is legal only in
+      // ascending address order — the global tiebreak that makes same-rank
+      // acquisition conflict-free across threads.
+      if (!std::less<const void*>()(h.mutex, mutex)) {
+        internal::FailContractF(
+            __FILE__, __LINE__, "lock order (same rank)",
+            "acquiring '%s' (rank %s) at %p while holding '%s' at %p; "
+            "same-rank locks must be taken in ascending address order",
+            site, LockRankName(rank), mutex, h.site, h.mutex);
+      }
+      continue;
+    }
+    if (!blocking) continue;  // try_lock cannot deadlock: no edge.
+    const size_t from = static_cast<size_t>(h.rank);
+    if (edges_[from][to].present.load(std::memory_order_acquire)) continue;
+    std::lock_guard<std::mutex> lock(graph_mu_);
+    if (edges_[from][to].present.load(std::memory_order_relaxed)) continue;
+    // First observation of (h.rank -> rank). If rank already reaches h.rank
+    // through recorded edges, this edge closes a cycle: two threads
+    // interleaving the two paths deadlock. Report before recording so the
+    // graph keeps only acyclic (reachability-meaningful) edges.
+    if (Reachable(to, from)) {
+      const Edge& reverse = edges_[to][from];
+      if (reverse.present.load(std::memory_order_relaxed)) {
+        internal::FailContractF(
+            __FILE__, __LINE__, "lock-order cycle",
+            "acquiring '%s' (rank %s) while holding '%s' (rank %s), but the "
+            "opposite order was already observed (held '%s' then acquired "
+            "'%s') -- these two paths deadlock under interleaving; see "
+            "src/chk/lock_order.def",
+            site, LockRankName(rank), h.site, LockRankName(h.rank),
+            reverse.held_site, reverse.acquired_site);
+      }
+      internal::FailContractF(
+          __FILE__, __LINE__, "lock-order cycle",
+          "acquiring '%s' (rank %s) while holding '%s' (rank %s) closes a "
+          "cycle through previously observed acquired-after edges -- these "
+          "paths deadlock under interleaving; see src/chk/lock_order.def",
+          site, LockRankName(rank), h.site, LockRankName(h.rank));
+    }
+    edges_[from][to].held_site = h.site;
+    edges_[from][to].acquired_site = site;
+    edges_[from][to].present.store(true, std::memory_order_release);
+    ++edge_count_;
+  }
+  held.entries[held.depth++] = HeldLock{rank, mutex, site};
+}
+
+void LockTracker::OnRelease(LockRank rank, const void* mutex) {
+  HeldStackStorage& held = HeldStack();
+  // Locks release in (near-)LIFO order, but std::unique_lock allows
+  // out-of-order unlocks (ProcessWave releases session locks in wave
+  // order), so scan from the top.
+  for (size_t i = held.depth; i > 0; --i) {
+    if (held.entries[i - 1].mutex == mutex && held.entries[i - 1].rank == rank) {
+      for (size_t j = i - 1; j + 1 < held.depth; ++j) {
+        held.entries[j] = held.entries[j + 1];
+      }
+      --held.depth;
+      return;
+    }
+  }
+  // Not found: the lock was acquired while tracking was disabled (or before
+  // a ResetForTest) — ignore rather than fail, so toggling is safe.
+}
+
+namespace internal_lockdep {
+
+void OnAcquire(LockRank rank, const void* mutex, const char* site,
+               bool blocking) {
+  LockTracker& tracker = LockTracker::Instance();
+  if (!tracker.enabled()) return;
+  tracker.OnAcquire(rank, mutex, site, blocking);
+}
+
+void OnRelease(LockRank rank, const void* mutex) {
+  LockTracker& tracker = LockTracker::Instance();
+  if (!tracker.enabled()) return;
+  tracker.OnRelease(rank, mutex);
+}
+
+}  // namespace internal_lockdep
+}  // namespace eadrl::chk

@@ -1,0 +1,83 @@
+#ifndef EADRL_CHK_THREAD_ANNOTATIONS_H_
+#define EADRL_CHK_THREAD_ANNOTATIONS_H_
+
+// Thread-safety annotations (see DESIGN.md, "Correctness tooling"): the
+// EADRL_* macros below document which mutex guards which state and which
+// locks a function requires or excludes, in a form two analyzers consume:
+//
+//   1. clang's -Wthread-safety pass, when the tree is built with clang
+//      (CMake adds the flag automatically; see EADRL_THREAD_SAFETY in the
+//      top-level CMakeLists.txt). Under any other compiler every macro
+//      expands to nothing, so annotations are free to carry everywhere.
+//   2. eadrl_lint's structural rules (guarded-by, requires-self-lock,
+//      lock-order), which parse the annotations textually and therefore
+//      work under every compiler — they are the gate check.sh and the
+//      lint_gate ctest actually enforce.
+//
+// Vocabulary (mirrors the clang attribute set):
+//
+//   EADRL_GUARDED_BY(mu)      reads/writes of this member require `mu`.
+//   EADRL_PT_GUARDED_BY(mu)   the pointee (not the pointer) requires `mu`.
+//   EADRL_REQUIRES(mu)        caller must hold `mu`; the function must NOT
+//                             lock it itself (lint: requires-self-lock).
+//   EADRL_EXCLUDES(mu)        caller must NOT hold `mu` (the function locks
+//                             it, or hands off to something that does).
+//   EADRL_ACQUIRE(mu...)      function leaves with `mu` held.
+//   EADRL_RELEASE(mu...)      function leaves with `mu` released.
+//   EADRL_TRY_ACQUIRE(b, mu)  acquires `mu` iff the return value is `b`.
+//   EADRL_ACQUIRED_BEFORE/AFTER declare a pairwise order to clang. Prefer
+//                             the global registry (src/chk/lock_order.def):
+//                             it is enforced by lint and runtime lockdep.
+//   EADRL_CAPABILITY("mutex") marks a class as a lockable capability.
+//   EADRL_SCOPED_CAPABILITY   marks an RAII lock holder.
+//   EADRL_NO_THREAD_SAFETY_ANALYSIS opts a function out (e.g. constructors
+//                             that initialize guarded members before the
+//                             object is published).
+//
+// Two extra markers exist purely for eadrl_lint (they never expand to an
+// attribute):
+//
+//   EADRL_UNGUARDED           documents a container member in a class that
+//                             has a mutex but deliberately does not guard
+//                             this member (construction-immutable state,
+//                             externally synchronized, etc.). Satisfies the
+//                             guarded-by rule; always pair with a comment.
+//   EADRL_LOCK_ORDERED(rank)  binds a plain std::mutex member to a rank in
+//                             src/chk/lock_order.def without converting it
+//                             to chk::OrderedMutex (static order checking
+//                             only, no runtime tracking).
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define EADRL_TSA_ATTRIBUTE(x) __attribute__((x))
+#endif
+#endif
+#if !defined(EADRL_TSA_ATTRIBUTE)
+#define EADRL_TSA_ATTRIBUTE(x)  // not clang: annotations compile to nothing.
+#endif
+
+#define EADRL_CAPABILITY(x) EADRL_TSA_ATTRIBUTE(capability(x))
+#define EADRL_SCOPED_CAPABILITY EADRL_TSA_ATTRIBUTE(scoped_lockable)
+#define EADRL_GUARDED_BY(x) EADRL_TSA_ATTRIBUTE(guarded_by(x))
+#define EADRL_PT_GUARDED_BY(x) EADRL_TSA_ATTRIBUTE(pt_guarded_by(x))
+#define EADRL_ACQUIRED_BEFORE(...) \
+  EADRL_TSA_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define EADRL_ACQUIRED_AFTER(...) \
+  EADRL_TSA_ATTRIBUTE(acquired_after(__VA_ARGS__))
+#define EADRL_REQUIRES(...) \
+  EADRL_TSA_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define EADRL_EXCLUDES(...) EADRL_TSA_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+#define EADRL_ACQUIRE(...) \
+  EADRL_TSA_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define EADRL_RELEASE(...) \
+  EADRL_TSA_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define EADRL_TRY_ACQUIRE(...) \
+  EADRL_TSA_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+#define EADRL_NO_THREAD_SAFETY_ANALYSIS \
+  EADRL_TSA_ATTRIBUTE(no_thread_safety_analysis)
+
+// Lint-only markers: no attribute under any compiler.
+#define EADRL_UNGUARDED
+#define EADRL_LOCK_ORDERED(rank)
+
+#endif  // EADRL_CHK_THREAD_ANNOTATIONS_H_

@@ -12,6 +12,8 @@
 #include <utility>
 #include <vector>
 
+#include "chk/thread_annotations.h"
+
 namespace eadrl::obs {
 
 /// Monotonically increasing counter. Lock-free; safe to Inc from any thread.
@@ -204,7 +206,8 @@ class MetricRegistry {
 
   mutable std::mutex mu_;
   // family name -> label signature -> metric.
-  std::map<std::string, std::map<std::string, Entry>> families_;
+  std::map<std::string, std::map<std::string, Entry>> families_
+      EADRL_GUARDED_BY(mu_);
 };
 
 /// Wall-time scope timer on std::chrono::steady_clock. On Stop (or

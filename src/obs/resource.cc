@@ -8,6 +8,8 @@
 #include <mutex>
 #include <vector>
 
+#include "chk/thread_annotations.h"
+
 #include "obs/metrics.h"
 
 namespace eadrl::obs {
@@ -20,7 +22,7 @@ namespace {
 // threads exiting after main teardown can still deregister safely.
 struct AllocRoster {
   std::mutex mu;
-  std::vector<ThreadAllocCounters*> live;
+  std::vector<ThreadAllocCounters*> live EADRL_GUARDED_BY(mu);
   std::atomic<uint64_t> retired_count{0};
   std::atomic<uint64_t> retired_bytes{0};
 };

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "chk/thread_annotations.h"
+
 namespace eadrl::obs {
 
 /// One key/value of a telemetry event. Keys are string literals (the event
@@ -96,7 +98,7 @@ class CollectingSink : public TelemetrySink {
 
  private:
   mutable std::mutex mu_;
-  std::vector<TelemetryEvent> events_;
+  std::vector<TelemetryEvent> events_ EADRL_GUARDED_BY(mu_);
 };
 
 namespace internal_telemetry {

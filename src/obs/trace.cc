@@ -190,7 +190,7 @@ TraceBuffer::TraceBuffer(size_t capacity)
 
 void TraceBuffer::Record(FinishedSpan span) {
   Shard& shard = shards_[span.span_id % kNumShards];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<chk::OrderedMutex> lock(shard.shard_mu);
   if (shard.spans.size() >= per_shard_capacity_) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -201,7 +201,7 @@ void TraceBuffer::Record(FinishedSpan span) {
 std::vector<FinishedSpan> TraceBuffer::Snapshot() const {
   std::vector<FinishedSpan> out;
   for (size_t i = 0; i < kNumShards; ++i) {
-    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    std::lock_guard<chk::OrderedMutex> lock(shards_[i].shard_mu);
     out.insert(out.end(), shards_[i].spans.begin(), shards_[i].spans.end());
   }
   std::sort(out.begin(), out.end(),
@@ -215,7 +215,7 @@ std::vector<FinishedSpan> TraceBuffer::Snapshot() const {
 size_t TraceBuffer::size() const {
   size_t n = 0;
   for (size_t i = 0; i < kNumShards; ++i) {
-    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    std::lock_guard<chk::OrderedMutex> lock(shards_[i].shard_mu);
     n += shards_[i].spans.size();
   }
   return n;

@@ -10,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "chk/lockdep.h"
+#include "chk/thread_annotations.h"
 #include "common/status.h"
 #include "obs/telemetry.h"
 
@@ -70,8 +72,12 @@ class TraceBuffer {
   static constexpr size_t kNumShards = 16;
 
   struct Shard {
-    mutable std::mutex mu;
-    std::vector<FinishedSpan> spans;
+    /// obs_trace_shard is the LAST rank in lock_order.def: spans finish (and
+    /// record) from under arbitrary domain locks, so nothing may be
+    /// acquired while a shard is held.
+    mutable chk::OrderedMutex shard_mu{EADRL_LOCK_RANK(obs_trace_shard),
+                                       "obs::TraceBuffer::Shard::shard_mu"};
+    std::vector<FinishedSpan> spans EADRL_GUARDED_BY(shard_mu);
   };
 
   size_t per_shard_capacity_;

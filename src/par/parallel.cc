@@ -6,6 +6,8 @@
 #include <mutex>
 #include <utility>
 
+#include "chk/thread_annotations.h"
+
 namespace eadrl::par {
 
 // Heap-allocated and co-owned (shared_ptr) by the group and by every
@@ -15,8 +17,8 @@ namespace eadrl::par {
 struct TaskGroup::State {
   std::mutex mu;
   std::condition_variable cv;
-  size_t outstanding = 0;    // guarded by mu.
-  std::exception_ptr error;  // guarded by mu.
+  size_t outstanding EADRL_GUARDED_BY(mu) = 0;
+  std::exception_ptr error EADRL_GUARDED_BY(mu);
 };
 
 TaskGroup::TaskGroup(ThreadPool* pool)

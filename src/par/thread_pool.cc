@@ -50,7 +50,7 @@ ThreadPool::ThreadPool(size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(sleep_mu_);
+    std::lock_guard<chk::OrderedMutex> lock(sleep_mu_);
     stopping_.store(true, std::memory_order_release);
   }
   sleep_cv_.notify_all();
@@ -79,7 +79,7 @@ void ThreadPool::Submit(std::function<void()> task) {
           : next_queue_.fetch_add(1, std::memory_order_relaxed) %
                 queues_.size();
   {
-    std::lock_guard<std::mutex> lock(queues_[q]->mu);
+    std::lock_guard<chk::OrderedMutex> lock(queues_[q]->deque_mu);
     queues_[q]->tasks.push_back(std::move(item));
   }
   const size_t depth = pending_.fetch_add(1, std::memory_order_release) + 1;
@@ -88,7 +88,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     // Taking the sleep mutex orders this submission against a worker that is
     // between its failed pop and its wait — without it the notify could fire
     // in that window and be lost.
-    std::lock_guard<std::mutex> lock(sleep_mu_);
+    std::lock_guard<chk::OrderedMutex> lock(sleep_mu_);
   }
   sleep_cv_.notify_one();
 }
@@ -99,7 +99,7 @@ bool ThreadPool::PopTask(size_t self, bool is_worker, size_t min_depth,
   EADRL_CHK_BOUND(self, n, "ThreadPool::PopTask queue slot");
   if (is_worker) {
     WorkerQueue& own = *queues_[self];
-    std::lock_guard<std::mutex> lock(own.mu);
+    std::lock_guard<chk::OrderedMutex> lock(own.deque_mu);
     // LIFO from the back; newest tasks are the deepest, so scanning
     // backwards finds an eligible (deep enough) task first.
     for (auto it = own.tasks.rbegin(); it != own.tasks.rend(); ++it) {
@@ -114,7 +114,7 @@ bool ThreadPool::PopTask(size_t self, bool is_worker, size_t min_depth,
   }
   for (size_t offset = is_worker ? 1 : 0; offset < n; ++offset) {
     WorkerQueue& victim = *queues_[(self + offset) % n];
-    std::lock_guard<std::mutex> lock(victim.mu);
+    std::lock_guard<chk::OrderedMutex> lock(victim.deque_mu);
     // FIFO from the front: steal the oldest eligible task.
     for (auto it = victim.tasks.begin(); it != victim.tasks.end(); ++it) {
       if (it->depth < min_depth) continue;
@@ -201,7 +201,7 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
       task = Task{};
       continue;
     }
-    std::unique_lock<std::mutex> lock(sleep_mu_);
+    std::unique_lock<chk::OrderedMutex> lock(sleep_mu_);
     sleep_cv_.wait(lock, [this] {
       return stopping_.load(std::memory_order_acquire) ||
              pending_.load(std::memory_order_acquire) > 0;

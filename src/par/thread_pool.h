@@ -12,6 +12,8 @@
 #include <thread>
 #include <vector>
 
+#include "chk/lockdep.h"
+#include "chk/thread_annotations.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
@@ -109,8 +111,12 @@ class ThreadPool {
   };
 
   struct WorkerQueue {
-    std::mutex mu;
-    std::deque<Task> tasks;
+    /// Held only around a single pop/push/scan; nothing is acquired under
+    /// it. Two deque locks never nest (PopTask visits queues one at a
+    /// time), which same-rank tracking would enforce by address order.
+    chk::OrderedMutex deque_mu{EADRL_LOCK_RANK(par_queue),
+                               "par::ThreadPool::WorkerQueue::deque_mu"};
+    std::deque<Task> tasks EADRL_GUARDED_BY(deque_mu);
   };
 
   void WorkerLoop(size_t worker_index);
@@ -120,11 +126,20 @@ class ThreadPool {
   bool PopTask(size_t self, bool is_worker, size_t min_depth, Task* task);
   void RunTask(Task task);
 
-  std::vector<std::unique_ptr<WorkerQueue>> queues_;
-  std::vector<std::thread> workers_;
+  /// Both vectors are filled in the constructor and immutable afterwards;
+  /// workers synchronize through the per-queue and sleep locks, never on
+  /// the vectors themselves.
+  std::vector<std::unique_ptr<WorkerQueue>> queues_ EADRL_UNGUARDED;
+  std::vector<std::thread> workers_ EADRL_UNGUARDED;
 
-  std::mutex sleep_mu_;
-  std::condition_variable sleep_cv_;
+  /// Guards no data — it orders Submit's notify against a worker parked
+  /// between a failed pop and its wait (see Submit). Declared after
+  /// par_queue in lock_order.def because Submit holds them sequentially,
+  /// never nested.
+  chk::OrderedMutex sleep_mu_{EADRL_LOCK_RANK(par_sleep),
+                              "par::ThreadPool::sleep_mu_"};
+  /// _any variant: std::condition_variable only waits on std::mutex.
+  std::condition_variable_any sleep_cv_;
   std::atomic<size_t> pending_{0};
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> next_queue_{0};

@@ -20,7 +20,7 @@ BatchingQueue::~BatchingQueue() { Flush(); }
 bool BatchingQueue::TryEnqueue(Request request) {
   bool schedule = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<chk::OrderedMutex> lock(queue_mu_);
     if (queue_.size() >= opt_.max_queue) return false;
     queue_.push_back(std::move(request));
     if (!opt_.manual_drain && !drain_active_) {
@@ -29,7 +29,7 @@ bool BatchingQueue::TryEnqueue(Request request) {
     }
   }
   // Scheduled outside the lock: on a serial pool Submit runs DrainLoop
-  // inline, and DrainLoop takes mu_.
+  // inline, and DrainLoop takes queue_mu_.
   if (schedule) pool_->Submit([this] { DrainLoop(); });
   return true;
 }
@@ -46,7 +46,7 @@ void BatchingQueue::DrainLoop() {
     }
     std::vector<Request> batch;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      std::unique_lock<chk::OrderedMutex> lock(queue_mu_);
       if (queue_.empty()) {
         // Deactivate under the lock: a producer that enqueued before this
         // point was observed by the emptiness check above; one that enqueues
@@ -66,8 +66,13 @@ void BatchingQueue::DrainLoop() {
 bool BatchingQueue::DrainOnce() {
   std::vector<Request> batch;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (queue_.empty()) return false;
+    std::lock_guard<chk::OrderedMutex> lock(queue_mu_);
+    // A scheduled drainer owns the backlog: stealing it here would run
+    // drain_ concurrently with DrainLoop's, interleaving two batches and
+    // breaking the per-session FIFO order the single-drainer discipline
+    // guarantees. (drain_active_ is never set in manual_drain mode, so the
+    // manual pump path is unaffected.)
+    if (drain_active_ || queue_.empty()) return false;
     batch.assign(std::make_move_iterator(queue_.begin()),
                  std::make_move_iterator(queue_.end()));
     queue_.clear();
@@ -82,12 +87,12 @@ void BatchingQueue::Flush() {
     }
     return;
   }
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<chk::OrderedMutex> lock(queue_mu_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && !drain_active_; });
 }
 
 size_t BatchingQueue::depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<chk::OrderedMutex> lock(queue_mu_);
   return queue_.size();
 }
 

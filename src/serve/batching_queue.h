@@ -10,6 +10,8 @@
 #include <mutex>
 #include <vector>
 
+#include "chk/lockdep.h"
+#include "chk/thread_annotations.h"
 #include "common/status.h"
 #include "math/vec.h"
 #include "par/thread_pool.h"
@@ -70,38 +72,42 @@ class BatchingQueue {
   /// Enqueues a request, scheduling a drainer if none is active. False when
   /// the queue is at max_queue (the request is NOT consumed; the caller owns
   /// the rejection path).
-  bool TryEnqueue(Request request);
+  bool TryEnqueue(Request request) EADRL_EXCLUDES(queue_mu_);
 
-  /// Manually drains the current backlog as one batch on the calling thread.
-  /// Returns false when the queue was empty. Legal in any mode but intended
-  /// for manual_drain; never runs concurrently with a scheduled drainer on a
-  /// parallel pool only if the caller guarantees quiescence.
-  bool DrainOnce();
+  /// Manually drains the current backlog as one batch on the calling thread
+  /// (the drain function runs with no queue lock held). Returns false when
+  /// the queue was empty, or when a scheduled drainer is active — the
+  /// backlog is that drainer's to take, and running drain_ concurrently
+  /// with it would break the single-drainer FIFO discipline.
+  bool DrainOnce() EADRL_EXCLUDES(queue_mu_);
 
   /// Blocks until the queue is empty and no drainer is active. In
   /// manual_drain mode, pumps DrainOnce instead of blocking. Callers must
   /// stop producing (except drain-callback re-entrancy, which is covered:
   /// requests enqueued by completion callbacks are drained before the
   /// drainer deactivates) for this to terminate.
-  void Flush();
+  void Flush() EADRL_EXCLUDES(queue_mu_);
 
-  size_t depth() const;
+  size_t depth() const EADRL_EXCLUDES(queue_mu_);
 
  private:
   /// Body of the scheduled drainer task: repeatedly lingers, snapshots the
-  /// backlog, and feeds it to drain_ until the queue is observed empty, then
-  /// deactivates under the lock (so a racing TryEnqueue either lands in a
-  /// batch this drainer will take or schedules a fresh drainer).
-  void DrainLoop();
+  /// backlog, and feeds it to drain_ (without the lock) until the queue is
+  /// observed empty, then deactivates under the lock (so a racing
+  /// TryEnqueue either lands in a batch this drainer will take or schedules
+  /// a fresh drainer).
+  void DrainLoop() EADRL_EXCLUDES(queue_mu_);
 
   Options opt_;
   DrainFn drain_;
   par::ThreadPool* pool_;
 
-  mutable std::mutex mu_;
-  std::condition_variable idle_cv_;
-  std::deque<Request> queue_;
-  bool drain_active_ = false;
+  mutable chk::OrderedMutex queue_mu_{EADRL_LOCK_RANK(serve_queue),
+                                      "serve::BatchingQueue::queue_mu_"};
+  /// _any variant: std::condition_variable only waits on std::mutex.
+  std::condition_variable_any idle_cv_;
+  std::deque<Request> queue_ EADRL_GUARDED_BY(queue_mu_);
+  bool drain_active_ EADRL_GUARDED_BY(queue_mu_) = false;
 };
 
 }  // namespace eadrl::serve

@@ -68,7 +68,7 @@ size_t ForecastService::RegisterPolicy(
   auto policy = std::make_shared<Policy>();
   policy->fresh_state = trained->ExportOnlineState();
   policy->combiner = std::move(trained);
-  std::lock_guard<std::mutex> lock(policies_mu_);
+  std::lock_guard<chk::OrderedMutex> lock(policies_mu_);
   policies_.push_back(std::move(policy));
   return policies_.size() - 1;
 }
@@ -78,7 +78,7 @@ Status ForecastService::CreateSession(const std::string& tenant,
                                       const ts::StandardScaler* scaler) {
   std::shared_ptr<Policy> policy;
   {
-    std::lock_guard<std::mutex> lock(policies_mu_);
+    std::lock_guard<chk::OrderedMutex> lock(policies_mu_);
     if (policy_id >= policies_.size()) {
       return Status::OutOfRange("unknown policy id " +
                                 std::to_string(policy_id));
@@ -114,7 +114,7 @@ Status ForecastService::ResetSession(const std::string& tenant) {
     return Status::NotFound("no session for tenant '" + tenant + "'");
   }
   {
-    std::lock_guard<std::mutex> lock(session->mu);
+    std::lock_guard<chk::OrderedMutex> lock(session->session_mu);
     session->Reset();
   }
   EADRL_TELEMETRY("serve_session", {"tenant", tenant},
@@ -223,7 +223,7 @@ StatusOr<SessionInfo> ForecastService::GetSessionInfo(
   if (session == nullptr) {
     return Status::NotFound("no session for tenant '" + tenant + "'");
   }
-  std::lock_guard<std::mutex> lock(session->mu);
+  std::lock_guard<chk::OrderedMutex> lock(session->session_mu);
   SessionInfo info;
   info.generation = session->generation;
   info.predicts = session->predicts;
@@ -272,7 +272,7 @@ void ForecastService::Flush() { queue_.Flush(); }
 bool ForecastService::DrainOnce() { return queue_.DrainOnce(); }
 
 core::EadrlCombiner* ForecastService::policy_combiner(size_t policy_id) {
-  std::lock_guard<std::mutex> lock(policies_mu_);
+  std::lock_guard<chk::OrderedMutex> lock(policies_mu_);
   EADRL_CHECK_LT(policy_id, policies_.size());
   return policies_[policy_id]->combiner.get();
 }
@@ -314,7 +314,7 @@ void ForecastService::ProcessWave(std::vector<Request>* batch,
   // most once per wave, so these locks never deadlock against each other.
   struct Pending {
     size_t index = 0;
-    std::unique_lock<std::mutex> lock;
+    std::unique_lock<chk::OrderedMutex> lock;
     math::Vec state;
     math::Vec reduced;
   };
@@ -341,7 +341,7 @@ void ForecastService::ProcessWave(std::vector<Request>* batch,
       obs::Span rspan("serve_request");
       bool drifted = false;
       {
-        std::lock_guard<std::mutex> lock(session.mu);
+        std::lock_guard<chk::OrderedMutex> lock(session.session_mu);
         const double actual = session.has_scaler
                                   ? session.scaler.Transform(request.actual)
                                   : request.actual;
@@ -379,7 +379,7 @@ void ForecastService::ProcessWave(std::vector<Request>* batch,
     } else {
       Pending p;
       p.index = i;
-      p.lock = std::unique_lock<std::mutex>(session.mu);
+      p.lock = std::unique_lock<chk::OrderedMutex>(session.session_mu);
       const math::Vec scaled = session.has_scaler
                                    ? session.scaler.Transform(request.preds)
                                    : request.preds;
@@ -418,7 +418,7 @@ void ForecastService::ProcessWave(std::vector<Request>* batch,
     {
       // The agent's inference workspace is shared across every session of
       // this policy; the policy mutex serializes batched passes.
-      std::lock_guard<std::mutex> lock(policy->mu);
+      std::lock_guard<chk::OrderedMutex> lock(policy->agent_mu);
       actions = policy->combiner->agent()->ActBatch(states);
     }
     act_batches_.fetch_add(1, std::memory_order_relaxed);

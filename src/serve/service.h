@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "chk/lockdep.h"
+#include "chk/thread_annotations.h"
 #include "common/status.h"
 #include "core/eadrl.h"
 #include "math/vec.h"
@@ -189,8 +191,9 @@ class ForecastService {
   ServeConfig config_;
   size_t effective_max_inflight_;
 
-  std::mutex policies_mu_;
-  std::vector<std::shared_ptr<Policy>> policies_;
+  chk::OrderedMutex policies_mu_{EADRL_LOCK_RANK(serve_policies),
+                                 "serve::ForecastService::policies_mu_"};
+  std::vector<std::shared_ptr<Policy>> policies_ EADRL_GUARDED_BY(policies_mu_);
 
   SessionTable table_;
   std::atomic<uint64_t> next_generation_{0};

@@ -11,6 +11,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "chk/lockdep.h"
+#include "chk/thread_annotations.h"
 #include "common/status.h"
 #include "core/eadrl.h"
 #include "ts/drift.h"
@@ -25,30 +27,40 @@ namespace eadrl::serve {
 /// snapshots the combiner's online state right after training; every new (or
 /// reset) session starts from a copy of it.
 struct Policy {
-  std::unique_ptr<core::EadrlCombiner> combiner;
-  core::OnlineState fresh_state;
+  /// Immutable after RegisterPolicy publishes the policy (online updates are
+  /// off in serving); only the agent's scratch workspace mutates, under
+  /// agent_mu.
+  std::unique_ptr<core::EadrlCombiner> combiner EADRL_UNGUARDED;
+  core::OnlineState fresh_state EADRL_UNGUARDED;  ///< written pre-publication.
   /// Serializes access to the combiner's agent workspace (ActBatch reuses
-  /// internal buffers; see EadrlCombiner::agent()).
-  std::mutex mu;
+  /// internal buffers; see EadrlCombiner::agent()). Innermost serve lock:
+  /// held while session locks are held (ProcessWave), never the reverse.
+  chk::OrderedMutex agent_mu{EADRL_LOCK_RANK(serve_policy),
+                             "serve::Policy::agent_mu"};
 };
 
 /// One resident tenant session: a reference to the shared policy plus
-/// everything Predict/ObserveActual mutate per tenant. All fields below `mu`
-/// are guarded by it; the serving layer's one-request-per-session-per-wave
-/// rule means waves never contend on it, but Stats/GetSessionInfo readers do.
+/// everything Predict/ObserveActual mutate per tenant. All fields below
+/// `session_mu` are guarded by it; the serving layer's
+/// one-request-per-session-per-wave rule means waves never contend on it,
+/// but Stats/GetSessionInfo readers do.
 struct Session {
+  /// Opted out of clang's thread-safety analysis: the constructor calls
+  /// Reset() (which requires session_mu) before the session is published,
+  /// when no other thread can see it.
   Session(std::shared_ptr<Policy> policy_in, uint64_t generation_in,
           const ts::StandardScaler* scaler_in, double drift_delta,
-          double drift_lambda);
+          double drift_lambda) EADRL_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Restores fresh-construction state: the online window is re-cloned from
   /// the policy snapshot, the drift detector and per-session counters are
-  /// zeroed. Called under `mu` (ForecastService::ResetSession) or before the
-  /// session is published. This is the reset contract of session recreation:
-  /// no drift or window state may leak across a session's lifetimes.
-  void Reset();
+  /// zeroed. Called under `session_mu` (ForecastService::ResetSession) or
+  /// before the session is published (the constructor). This is the reset
+  /// contract of session recreation: no drift or window state may leak
+  /// across a session's lifetimes.
+  void Reset() EADRL_REQUIRES(session_mu);
 
-  std::shared_ptr<Policy> policy;
+  std::shared_ptr<Policy> policy EADRL_UNGUARDED;  ///< const after ctor.
   /// Monotone id distinguishing a session from any predecessor under the
   /// same tenant key (eviction + recreation bumps it) — regression tests use
   /// it to prove state did not leak across recreation.
@@ -60,14 +72,16 @@ struct Session {
   const double drift_delta;
   const double drift_lambda;
 
-  std::mutex mu;
-  core::OnlineState state;
-  ts::PageHinkley drift;
-  double last_prediction = 0.0;  ///< policy units.
-  bool has_last_prediction = false;
-  uint64_t predicts = 0;
-  uint64_t observes = 0;
-  uint64_t drift_events = 0;
+  chk::OrderedMutex session_mu{EADRL_LOCK_RANK(serve_session),
+                               "serve::Session::session_mu"};
+  core::OnlineState state EADRL_GUARDED_BY(session_mu);
+  ts::PageHinkley drift EADRL_GUARDED_BY(session_mu);
+  /// Policy units.
+  double last_prediction EADRL_GUARDED_BY(session_mu) = 0.0;
+  bool has_last_prediction EADRL_GUARDED_BY(session_mu) = false;
+  uint64_t predicts EADRL_GUARDED_BY(session_mu) = 0;
+  uint64_t observes EADRL_GUARDED_BY(session_mu) = 0;
+  uint64_t drift_events EADRL_GUARDED_BY(session_mu) = 0;
 };
 
 /// Sharded, mutex-striped map of resident sessions with LRU capacity
@@ -122,17 +136,33 @@ class SessionTable {
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<std::string, Entry> map;
-    std::list<std::string> lru;
+    mutable chk::OrderedMutex stripe_mu{
+        EADRL_LOCK_RANK(serve_table_shard),
+        "serve::SessionTable::Shard::stripe_mu"};
+    std::unordered_map<std::string, Entry> map EADRL_GUARDED_BY(stripe_mu);
+    std::list<std::string> lru EADRL_GUARDED_BY(stripe_mu);
+  };
+
+  /// What EraseLocked removed; the caller emits the serve_evict telemetry
+  /// from these records AFTER releasing the stripe lock (the telemetry sink
+  /// has its own mutex and does file I/O — neither belongs under a stripe).
+  struct Eviction {
+    std::string tenant;
+    uint64_t generation = 0;
+    const char* reason = "";
   };
 
   Shard& ShardFor(const std::string& tenant);
 
-  /// Removes `it` from `shard` (caller holds the stripe lock) and emits a
-  /// serve_evict event with the given reason.
-  void EraseLocked(Shard* shard, std::unordered_map<std::string, Entry>::iterator it,
-                   const char* reason);
+  /// Emits serve_evict telemetry for each record. Callers hold no locks.
+  static void EmitEvictions(const std::vector<Eviction>& evicted);
+
+  /// Removes `it` from `shard` (caller holds the stripe lock) and appends
+  /// the eviction record to `evicted` for post-unlock telemetry.
+  void EraseLocked(Shard* shard,
+                   std::unordered_map<std::string, Entry>::iterator it,
+                   const char* reason, std::vector<Eviction>* evicted)
+      EADRL_REQUIRES(shard->stripe_mu);
 
   Options opt_;
   size_t per_shard_cap_;  ///< 0 = unbounded.

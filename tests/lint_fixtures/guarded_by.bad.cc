@@ -1,0 +1,18 @@
+#include <mutex>
+#include <vector>
+
+namespace fake {
+
+// A mutex-bearing class: every container member must either be annotated
+// with the mutex that guards it or carry an explicit EADRL_UNGUARDED.
+class Table {
+ public:
+  void Clear();
+
+ private:
+  std::mutex table_mu_;
+  std::vector<int> rows_;
+  std::vector<int> cache_ EADRL_GUARDED_BY(nope_mu_);
+};
+
+}  // namespace fake

@@ -1,0 +1,33 @@
+#include <mutex>
+#include <vector>
+
+namespace fake {
+
+class Table {
+ public:
+  void Clear();
+
+ private:
+  std::mutex table_mu_;
+  std::vector<int> rows_ EADRL_GUARDED_BY(table_mu_);
+  std::vector<int> scratch_ EADRL_UNGUARDED;  // rebuilt from rows_ per call.
+};
+
+// No mutex member: nothing to enforce, plain data holders stay free.
+struct Holder {
+  std::vector<int> values;
+  int count = 0;
+};
+
+// A nested struct without its own mutex may still guard members with the
+// enclosing class's mutex (annotation-name validation sees the union).
+class Sharded {
+ private:
+  std::mutex owner_mu_;
+  std::vector<int> live_ EADRL_GUARDED_BY(owner_mu_);
+  struct Inner {
+    std::vector<int> rows EADRL_GUARDED_BY(owner_mu_);
+  };
+};
+
+}  // namespace fake

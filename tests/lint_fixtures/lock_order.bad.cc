@@ -1,0 +1,24 @@
+#include <mutex>
+
+#include "chk/lockdep.h"
+
+namespace fake {
+
+struct Service;
+
+// The selftest binds queue_mu_ -> serve_queue, session_mu -> serve_session,
+// shard_mu -> obs_trace_shard, in that registry order.
+
+void Inverted(Service& s) {
+  std::lock_guard<chk::OrderedMutex> session(s.session_mu);
+  std::lock_guard<chk::OrderedMutex> queue(s.queue_mu_);  // inversion.
+}
+
+void InvertedUnderLeaf(Service& s) {
+  std::lock_guard<chk::OrderedMutex> shard(s.shard_mu);
+  {
+    std::unique_lock<chk::OrderedMutex> session(s.session_mu);  // inversion.
+  }
+}
+
+}  // namespace fake

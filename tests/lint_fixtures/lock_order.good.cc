@@ -1,0 +1,29 @@
+#include <mutex>
+
+#include "chk/lockdep.h"
+
+namespace fake {
+
+struct Service;
+
+void RegistryOrder(Service& s) {
+  std::lock_guard<chk::OrderedMutex> queue(s.queue_mu_);
+  std::lock_guard<chk::OrderedMutex> session(s.session_mu);
+  std::lock_guard<chk::OrderedMutex> shard(s.shard_mu);
+}
+
+void SequentialNotNested(Service& s) {
+  {
+    std::lock_guard<chk::OrderedMutex> shard(s.shard_mu);
+  }
+  // shard_mu released at the brace above, so this is not an inversion.
+  std::lock_guard<chk::OrderedMutex> queue(s.queue_mu_);
+}
+
+void SameRankPair(Service& a, Service& b) {
+  // Same rank twice is legal statically; the runtime tracker enforces the
+  // ascending-address discipline.
+  std::scoped_lock both(a.session_mu, b.session_mu);
+}
+
+}  // namespace fake

@@ -1,0 +1,22 @@
+#include <mutex>
+
+namespace fake {
+
+class Counter {
+ public:
+  void BumpLocked() EADRL_REQUIRES(mu_) {
+    std::lock_guard<std::mutex> lock(mu_);  // caller already holds mu_.
+    ++n_;
+  }
+  void ResetLocked() EADRL_REQUIRES(mu_) {
+    mu_.lock();  // same bug, manual form.
+    n_ = 0;
+    mu_.unlock();
+  }
+
+ private:
+  std::mutex mu_;
+  int n_ = 0;
+};
+
+}  // namespace fake

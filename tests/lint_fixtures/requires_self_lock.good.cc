@@ -1,0 +1,24 @@
+#include <mutex>
+
+namespace fake {
+
+class Counter {
+ public:
+  void Bump() {
+    std::lock_guard<std::mutex> lock(mu_);
+    BumpLocked();
+  }
+  void BumpLocked() EADRL_REQUIRES(mu_) { ++n_; }
+  void Rekey() EADRL_REQUIRES(mu_) {
+    std::lock_guard<std::mutex> lock(other_mu_);  // a different mutex is fine.
+    ++n_;
+  }
+  void Describe() const EADRL_REQUIRES(mu_);  // declaration only: no body.
+
+ private:
+  std::mutex mu_;
+  std::mutex other_mu_;
+  int n_ = 0;
+};
+
+}  // namespace fake

@@ -62,11 +62,25 @@ struct FixtureCase {
 
 class FixtureTest : public ::testing::TestWithParam<FixtureCase> {};
 
+// The lock registry every fixture case is checked under: three ranks in
+// declaration (= allowed acquisition) order, with repo-unique member names
+// bound the way the driver's CollectLockBindings pass would.
+void AddLockRegistry(Config* config) {
+  config->have_lock_registry = true;
+  config->registered_locks = {
+      {"serve_queue", 1}, {"serve_session", 2}, {"obs_trace_shard", 3}};
+  config->lock_order = {"serve_queue", "serve_session", "obs_trace_shard"};
+  config->lock_bindings = {{"queue_mu_", "serve_queue"},
+                           {"session_mu", "serve_session"},
+                           {"shard_mu", "obs_trace_shard"}};
+}
+
 TEST_P(FixtureTest, FiresExactlyTheExpectedRules) {
   const FixtureCase& c = GetParam();
   Config config = RegistryWith({"episode", "predict"});
   config.have_spans_registry = true;
   config.registered_spans = {{"train", 1}, {"predict", 2}};
+  AddLockRegistry(&config);
   const std::vector<Finding> findings =
       CheckFile(c.pretend_path, ReadFixture(c.fixture), config);
   EXPECT_EQ(RuleIds(findings), c.expect_rules)
@@ -143,7 +157,26 @@ INSTANTIATE_TEST_SUITE_P(
         // Suppressions that suppress nothing are findings themselves.
         FixtureCase{"stale_nolint.bad.cc", "src/fake/clean.cc",
                     {"stale-nolint", "stale-nolint", "stale-nolint"}},
-        FixtureCase{"stale_nolint.good.cc", "tests/fake/roll.cc", {}}));
+        FixtureCase{"stale_nolint.good.cc", "tests/fake/roll.cc", {}},
+        // Guarded-by: container members of mutex-bearing classes need an
+        // annotation (enforced in the concurrent subsystems only), and the
+        // annotation must name a visible mutex (checked anywhere in src/).
+        FixtureCase{"guarded_by.bad.cc", "src/serve/table.cc",
+                    {"guarded-by", "guarded-by"}},
+        FixtureCase{"guarded_by.bad.cc", "src/nn/table.cc", {"guarded-by"}},
+        FixtureCase{"guarded_by.bad.cc", "tests/fake/table.cc", {}},
+        FixtureCase{"guarded_by.good.cc", "src/serve/table.cc", {}},
+        // EADRL_REQUIRES(mu) methods must not re-lock mu in their body.
+        FixtureCase{"requires_self_lock.bad.cc", "src/par/counter.cc",
+                    {"requires-self-lock", "requires-self-lock"}},
+        FixtureCase{"requires_self_lock.bad.cc", "tests/fake/counter.cc", {}},
+        FixtureCase{"requires_self_lock.good.cc", "src/par/counter.cc", {}},
+        // Scoped acquisitions of ranked mutexes must follow the registry's
+        // declaration order.
+        FixtureCase{"lock_order.bad.cc", "src/serve/order.cc",
+                    {"lock-order", "lock-order"}},
+        FixtureCase{"lock_order.bad.cc", "tests/fake/order.cc", {}},
+        FixtureCase{"lock_order.good.cc", "src/serve/order.cc", {}}));
 
 TEST(LintTest, BannedRandReportsAccurateLines) {
   const std::vector<Finding> findings = CheckFile(
@@ -221,6 +254,89 @@ TEST(LintTest, SpanRegistryStalenessFlagsUnusedEntries) {
   EXPECT_NE(findings[0].message.find("predict"), std::string::npos);
 }
 
+TEST(LintTest, ParseLockOrderDefReadsNamesOrderAndFlagsDuplicates) {
+  const std::string registry =
+      "EADRL_LOCK(serve_queue, \"batching queue\")\n"
+      "EADRL_LOCK(serve_session, \"per-session state\")\n"
+      "EADRL_LOCK(serve_queue, \"duplicate\")\n";
+  std::vector<Finding> findings;
+  std::vector<std::string> order;
+  const std::map<std::string, size_t> locks =
+      ParseLockOrderDef("src/chk/lock_order.def", registry, &findings, &order);
+  EXPECT_EQ(locks.size(), 2u);
+  EXPECT_EQ(locks.at("serve_queue"), 1u);
+  EXPECT_EQ(locks.at("serve_session"), 2u);
+  // File order is the allowed acquisition order; duplicates do not reorder.
+  EXPECT_EQ(order, (std::vector<std::string>{"serve_queue", "serve_session"}));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "lock-registry");
+  EXPECT_EQ(findings[0].line, 3u);
+}
+
+TEST(LintTest, CollectLockBindingsSeesBothBindingForms) {
+  const std::string contents =
+      "class Q {\n"
+      "  chk::OrderedMutex queue_mu_{EADRL_LOCK_RANK(serve_queue),\n"
+      "                              \"serve::Q::queue_mu_\"};\n"
+      "  std::mutex scratch_mu_ EADRL_LOCK_ORDERED(serve_session);\n"
+      "};\n";
+  const std::vector<LockBindingSite> sites = CollectLockBindings(contents);
+  ASSERT_EQ(sites.size(), 2u);
+  EXPECT_EQ(sites[0].name, "queue_mu_");
+  EXPECT_EQ(sites[0].rank, "serve_queue");
+  EXPECT_EQ(sites[0].line, 2u);
+  EXPECT_EQ(sites[1].name, "scratch_mu_");
+  EXPECT_EQ(sites[1].rank, "serve_session");
+  EXPECT_EQ(sites[1].line, 4u);
+}
+
+TEST(LintTest, UnknownRankNameIsALockRegistryFinding) {
+  Config config;
+  AddLockRegistry(&config);
+  const std::string contents =
+      "chk::OrderedMutex mu{EADRL_LOCK_RANK(not_a_rank), \"x\"};\n";
+  const std::vector<Finding> findings =
+      CheckFile("src/serve/x.cc", contents, config);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "lock-registry");
+  EXPECT_NE(findings[0].message.find("not_a_rank"), std::string::npos);
+}
+
+TEST(LintTest, LockRegistryStalenessFlagsUnboundRanks) {
+  Config config;
+  AddLockRegistry(&config);
+  const std::vector<Finding> findings = CheckLockRegistryStaleness(
+      "src/chk/lock_order.def", config, {"serve_queue", "obs_trace_shard"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "lock-registry-stale");
+  EXPECT_NE(findings[0].message.find("serve_session"), std::string::npos);
+}
+
+TEST(LintTest, LockOrderMessageNamesBothSitesAndTheRegistry) {
+  Config config;
+  AddLockRegistry(&config);
+  const std::string contents =
+      "void F(S& s) {\n"
+      "  std::lock_guard<chk::OrderedMutex> a(s.session_mu);\n"
+      "  std::lock_guard<chk::OrderedMutex> b(s.queue_mu_);\n"
+      "}\n";
+  const std::vector<Finding> findings =
+      CheckFile("src/serve/x.cc", contents, config);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "lock-order");
+  EXPECT_EQ(findings[0].line, 3u);
+  EXPECT_NE(findings[0].message.find("queue_mu_"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("session_mu"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("lock_order.def"), std::string::npos);
+}
+
+TEST(LintTest, FormatFindingJsonEscapes) {
+  const Finding f{"src/a.cc", 7, "guarded-by", "needs \"quotes\"\tand tabs"};
+  EXPECT_EQ(FormatFindingJson(f),
+            "{\"file\":\"src/a.cc\",\"line\":7,\"rule\":\"guarded-by\","
+            "\"message\":\"needs \\\"quotes\\\"\\tand tabs\"}");
+}
+
 TEST(LintTest, FormatFindingMatchesGateGrammar) {
   const Finding f{"src/nn/dense.cc", 12, "banned-io", "std::cout in src/"};
   EXPECT_EQ(FormatFinding(f), "src/nn/dense.cc:12: banned-io: std::cout in src/");
@@ -231,7 +347,8 @@ TEST(LintTest, CatalogCoversEveryRuleTheTestsUse) {
        {"banned-rand", "banned-io", "naked-new", "naked-delete", "wall-clock",
         "include-bits", "include-self-first", "header-guard", "event-registry",
         "event-registry-stale", "span-registry", "span-registry-stale",
-        "todo-tag", "stale-nolint"}) {
+        "todo-tag", "stale-nolint", "guarded-by", "requires-self-lock",
+        "lock-order", "lock-registry", "lock-registry-stale"}) {
     EXPECT_EQ(RuleCatalog().count(id), 1u) << id;
   }
 }

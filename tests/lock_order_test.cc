@@ -1,0 +1,200 @@
+// Runtime half of lock discipline (DESIGN.md, "Correctness tooling"):
+// chk::OrderedMutex acquisitions feed chk::LockTracker, which keeps a
+// per-thread held stack and a process-wide acquired-after edge graph over
+// the ranks of src/chk/lock_order.def. The first acquisition that would
+// close a cycle in that graph fails a contract — even when the two
+// conflicting paths never ran concurrently. These tests hold the header's
+// two claims: cycles are caught when lockdep is compiled in, and a
+// checks-off build performs zero tracked acquisitions.
+
+#include "chk/lockdep.h"
+
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "chk/chk.h"
+
+namespace eadrl::chk {
+namespace {
+
+[[noreturn]] void ThrowHandler(const char* message) {
+  throw std::runtime_error(message);
+}
+
+/// Throwing failure handler plus a clean tracker per test: the edge graph is
+/// process-wide, so leftover edges from one test would change what counts as
+/// a cycle in the next.
+class LockOrderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetFailureHandlerForTest(&ThrowHandler);
+    if (LockdepCompiled()) {
+      LockTracker::Instance().ResetForTest();
+      LockTracker::Instance().SetEnabledForTest(true);
+    }
+  }
+  void TearDown() override {
+    if (LockdepCompiled()) {
+      LockTracker::Instance().SetEnabledForTest(true);
+      LockTracker::Instance().ResetForTest();
+    }
+    SetFailureHandlerForTest(nullptr);
+  }
+};
+
+/// Runs `fn`, expecting a lock-discipline contract violation whose message
+/// contains every string in `needles`.
+template <typename Fn>
+void ExpectViolation(Fn fn, const std::vector<std::string>& needles) {
+  try {
+    fn();
+    FAIL() << "expected a lock-order contract violation";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("contract violated"), std::string::npos) << message;
+    for (const std::string& needle : needles) {
+      EXPECT_NE(message.find(needle), std::string::npos)
+          << "missing '" << needle << "' in: " << message;
+    }
+  }
+}
+
+TEST(LockRankTest, RegistryNamesAreExposed) {
+  EXPECT_GT(kLockRankCount, 0u);
+  EXPECT_STREQ(LockRankName(LockRank::k_serve_queue), "serve_queue");
+  EXPECT_STREQ(LockRankName(LockRank::k_obs_trace_shard), "obs_trace_shard");
+}
+
+TEST_F(LockOrderTest, RegistryOrderAcquisitionIsClean) {
+  OrderedMutex queue{EADRL_LOCK_RANK(serve_queue), "test::queue"};
+  OrderedMutex session{EADRL_LOCK_RANK(serve_session), "test::session"};
+  for (int pass = 0; pass < 2; ++pass) {
+    std::lock_guard<OrderedMutex> q(queue);
+    std::lock_guard<OrderedMutex> s(session);
+    if (LockdepCompiled()) {
+      EXPECT_EQ(LockTracker::Instance().GetStats().held_on_this_thread, 2u);
+    }
+  }
+  if (LockdepCompiled()) {
+    const LockTracker::Stats stats = LockTracker::Instance().GetStats();
+    EXPECT_EQ(stats.tracked_acquisitions, 4u);
+    // The queue->session edge is recorded once; the second pass takes the
+    // lock-free seen-before fast path.
+    EXPECT_EQ(stats.edges_recorded, 1u);
+    EXPECT_EQ(stats.held_on_this_thread, 0u);
+  }
+}
+
+TEST_F(LockOrderTest, CycleDetectionFiresOnInvertedOrder) {
+  if (!LockdepCompiled()) GTEST_SKIP() << "lockdep compiled out";
+  OrderedMutex queue{EADRL_LOCK_RANK(serve_queue), "test::queue"};
+  OrderedMutex session{EADRL_LOCK_RANK(serve_session), "test::session"};
+  {  // Path 1 records queue -> session.
+    std::lock_guard<OrderedMutex> q(queue);
+    std::lock_guard<OrderedMutex> s(session);
+  }
+  // Path 2 (session then queue) closes the cycle on this same thread — no
+  // unlucky interleaving has to happen for lockdep to flag it. The report
+  // names both sites of the earlier edge.
+  ExpectViolation(
+      [&] {
+        std::lock_guard<OrderedMutex> s(session);
+        std::lock_guard<OrderedMutex> q(queue);
+      },
+      {"lock-order cycle", "test::queue", "test::session", "serve_queue",
+       "serve_session", "deadlock under interleaving"});
+  // The failing acquire never locked the mutex, so it is still free.
+  EXPECT_TRUE(queue.try_lock());
+  queue.unlock();
+  EXPECT_EQ(LockTracker::Instance().GetStats().held_on_this_thread, 0u);
+}
+
+TEST_F(LockOrderTest, CycleIsCaughtAcrossThreads) {
+  if (!LockdepCompiled()) GTEST_SKIP() << "lockdep compiled out";
+  OrderedMutex queue{EADRL_LOCK_RANK(serve_queue), "test::queue"};
+  OrderedMutex session{EADRL_LOCK_RANK(serve_session), "test::session"};
+  // A worker records the queue -> session edge, then exits. The graph is
+  // process-wide, so the main thread's inverted path still closes the cycle
+  // even though the two paths never overlapped in time.
+  std::thread worker([&] {
+    std::lock_guard<OrderedMutex> q(queue);
+    std::lock_guard<OrderedMutex> s(session);
+  });
+  worker.join();
+  ExpectViolation(
+      [&] {
+        std::lock_guard<OrderedMutex> s(session);
+        std::lock_guard<OrderedMutex> q(queue);
+      },
+      {"lock-order cycle", "test::queue", "test::session"});
+}
+
+TEST_F(LockOrderTest, SameRankNeedsAscendingAddressOrder) {
+  if (!LockdepCompiled()) GTEST_SKIP() << "lockdep compiled out";
+  OrderedMutex a{EADRL_LOCK_RANK(serve_session), "test::a"};
+  OrderedMutex b{EADRL_LOCK_RANK(serve_session), "test::b"};
+  OrderedMutex* lo = &a;
+  OrderedMutex* hi = &b;
+  if (std::less<const OrderedMutex*>()(hi, lo)) std::swap(lo, hi);
+  {  // Ascending address order is the legal same-rank discipline.
+    std::lock_guard<OrderedMutex> first(*lo);
+    std::lock_guard<OrderedMutex> second(*hi);
+  }
+  ExpectViolation(
+      [&] {
+        std::lock_guard<OrderedMutex> first(*hi);
+        std::lock_guard<OrderedMutex> second(*lo);
+      },
+      {"same rank", "ascending address order"});
+}
+
+TEST_F(LockOrderTest, TryLockRecordsNoEdges) {
+  if (!LockdepCompiled()) GTEST_SKIP() << "lockdep compiled out";
+  OrderedMutex queue{EADRL_LOCK_RANK(serve_queue), "test::queue"};
+  OrderedMutex session{EADRL_LOCK_RANK(serve_session), "test::session"};
+  {
+    std::lock_guard<OrderedMutex> s(session);
+    // Out of registry order, but a successful try_lock cannot deadlock, so
+    // it contributes no acquired-after edge (lockdep's trylock convention).
+    ASSERT_TRUE(queue.try_lock());
+    queue.unlock();
+  }
+  EXPECT_EQ(LockTracker::Instance().GetStats().edges_recorded, 0u);
+}
+
+TEST_F(LockOrderTest, DisabledTrackerIgnoresAcquisitions) {
+  if (!LockdepCompiled()) GTEST_SKIP() << "lockdep compiled out";
+  LockTracker::Instance().SetEnabledForTest(false);
+  OrderedMutex queue{EADRL_LOCK_RANK(serve_queue), "test::queue"};
+  OrderedMutex session{EADRL_LOCK_RANK(serve_session), "test::session"};
+  {  // Inverted, but tracking is off: must stay silent and untracked.
+    std::lock_guard<OrderedMutex> s(session);
+    std::lock_guard<OrderedMutex> q(queue);
+  }
+  const LockTracker::Stats stats = LockTracker::Instance().GetStats();
+  EXPECT_EQ(stats.tracked_acquisitions, 0u);
+  EXPECT_EQ(stats.edges_recorded, 0u);
+}
+
+TEST_F(LockOrderTest, CompiledOutBuildPerformsZeroTracking) {
+  if (LockdepCompiled()) GTEST_SKIP() << "covered by the tracking tests";
+  OrderedMutex queue{EADRL_LOCK_RANK(serve_queue), "test::queue"};
+  OrderedMutex session{EADRL_LOCK_RANK(serve_session), "test::session"};
+  {  // Inverted order: with the hooks compiled out this must be silent.
+    std::lock_guard<OrderedMutex> s(session);
+    std::lock_guard<OrderedMutex> q(queue);
+  }
+  const LockTracker::Stats stats = LockTracker::Instance().GetStats();
+  EXPECT_EQ(stats.tracked_acquisitions, 0u);
+  EXPECT_EQ(stats.edges_recorded, 0u);
+}
+
+}  // namespace
+}  // namespace eadrl::chk

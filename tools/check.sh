@@ -12,9 +12,15 @@
 #   stage 5  serve   smoke: eadrl_serve replays Poisson traffic against the
 #                    serving layer (clean run + validated trace), then an
 #                    oversubscribed run that must shed (--expect-shed)
-#   stage 6  tsan    tier-1 suite under ThreadSanitizer, EADRL_THREADS=N
-#   stage 7  asan    tier-1 suite under AddressSanitizer
-#   stage 8  ubsan   tier-1 suite under UndefinedBehaviorSanitizer
+#   stage 6  wthread clang -Wthread-safety analysis over the EADRL_GUARDED_BY
+#                    annotations (skipped with a note when clang++ is not
+#                    installed; eadrl_lint's guarded-by rules still gate)
+#   stage 7  tsan    tier-1 suite under ThreadSanitizer, EADRL_THREADS=N,
+#                    with the runtime lock-order tracker forced on
+#                    (EADRL_LOCKDEP=1) so lockdep sees sanitizer-grade
+#                    interleavings
+#   stage 8  asan    tier-1 suite under AddressSanitizer
+#   stage 9  ubsan   tier-1 suite under UndefinedBehaviorSanitizer
 #                    (-fno-sanitize-recover=all: any UB aborts the test)
 #
 # Each stage reports wall-clock seconds; the summary at the end shows all of
@@ -126,6 +132,23 @@ stage_serve_smoke() {
   rm -rf "$serve_dir"
 }
 
+stage_thread_safety() {
+  # Static lock analysis, compiler half: build libeadrl under clang with
+  # -Wthread-safety, which checks the EADRL_GUARDED_BY/REQUIRES annotations
+  # structurally (the gcc tier-1 build compiles them to nothing). Optional
+  # because the baked toolchain is gcc; skipping is a note, not a failure —
+  # eadrl_lint's guarded-by/lock-order rules gate in stage 1 regardless.
+  if ! command -v clang++ >/dev/null 2>&1; then
+    echo "clang++ not installed; skipping -Wthread-safety analysis" \
+      "(eadrl_lint covers the guarded-by rules)"
+    return 0
+  fi
+  local dir="$SRC_DIR/build-wthread"
+  cmake -B "$dir" -S "$SRC_DIR" \
+    -DCMAKE_CXX_COMPILER=clang++ -DEADRL_THREAD_SAFETY=ON
+  cmake --build "$dir" -j "$JOBS" --target eadrl
+}
+
 stage_sanitizer() {
   local mode="$1"
   local dir="$SRC_DIR/build-$mode"
@@ -133,7 +156,12 @@ stage_sanitizer() {
     -DEADRL_SANITIZE="$mode" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$dir" -j "$JOBS"
-  (cd "$dir" && EADRL_THREADS="$THREADS" ctest --output-on-failure -j 4)
+  # EADRL_LOCKDEP=1 forces the runtime lock-order tracker on (its default,
+  # but explicit here so a developer's EADRL_LOCKDEP=0 environment cannot
+  # silently weaken the gate) — under TSan this pairs lockdep's cycle
+  # detection with sanitizer-grade interleavings.
+  (cd "$dir" && EADRL_THREADS="$THREADS" EADRL_LOCKDEP=1 \
+    ctest --output-on-failure -j 4)
 }
 
 run_stage lint stage_lint
@@ -141,6 +169,7 @@ run_stage werror stage_werror
 run_stage trace stage_trace_smoke
 run_stage bench stage_bench_smoke
 run_stage serve stage_serve_smoke
+run_stage wthread stage_thread_safety
 run_stage tsan stage_sanitizer thread
 run_stage asan stage_sanitizer address
 run_stage ubsan stage_sanitizer undefined

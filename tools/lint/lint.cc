@@ -4,6 +4,8 @@
 #include <cctype>
 #include <sstream>
 
+#include "common/string_util.h"
+
 namespace eadrl::lint {
 namespace {
 
@@ -410,6 +412,23 @@ const std::map<std::string, std::string>& RuleCatalog() {
       {"transpose-matmul",
        "Transpose().MatMul/MatVec chains in src/ materialize the transpose; "
        "use the fused MatMulTransposeA/B / TransposeMatVec kernels"},
+      {"guarded-by",
+       "std:: container members of a mutex-bearing class in src/{serve,par,"
+       "obs,core} must carry EADRL_GUARDED_BY(mu) or an explicit "
+       "EADRL_UNGUARDED, and every EADRL_GUARDED_BY must name a sibling "
+       "mutex"},
+      {"requires-self-lock",
+       "a function annotated EADRL_REQUIRES(mu) must not acquire mu itself; "
+       "the caller already holds it"},
+      {"lock-order",
+       "scoped lock acquisitions must respect the rank order declared in "
+       "src/chk/lock_order.def (a held lock's rank caps what may be taken)"},
+      {"lock-registry",
+       "ranked-mutex bindings (EADRL_LOCK_RANK / EADRL_LOCK_ORDERED) must "
+       "name a rank declared in src/chk/lock_order.def, one rank per "
+       "repo-unique member name"},
+      {"lock-registry-stale",
+       "lock_order.def entry that no mutex in src/ binds any more"},
       {"stale-nolint",
        "NOLINT suppression that no longer suppresses any finding"},
   };
@@ -425,7 +444,9 @@ std::map<std::string, size_t> ParseRegistryDef(const std::string& macro,
                                                const std::string& rule,
                                                const std::string& path,
                                                const std::string& contents,
-                                               std::vector<Finding>* findings) {
+                                               std::vector<Finding>* findings,
+                                               std::vector<std::string>* order =
+                                                   nullptr) {
   std::map<std::string, size_t> names;
   LexedFile lexed = Lexer(contents).Run();
   const std::vector<Token>& toks = lexed.tokens;
@@ -443,9 +464,13 @@ std::map<std::string, size_t> ParseRegistryDef(const std::string& macro,
       continue;
     }
     const Token& name = toks[i + 2];
-    if (findings != nullptr && names.count(name.text) != 0) {
-      findings->push_back({path, name.line, rule,
-                           "duplicate registry entry '" + name.text + "'"});
+    if (names.count(name.text) != 0) {
+      if (findings != nullptr) {
+        findings->push_back({path, name.line, rule,
+                             "duplicate registry entry '" + name.text + "'"});
+      }
+    } else if (order != nullptr) {
+      order->push_back(name.text);
     }
     names.emplace(name.text, name.line);
   }
@@ -472,6 +497,558 @@ size_t SpanNameLiteral(const std::vector<Token>& toks, size_t i) {
   return std::string::npos;
 }
 
+// ---------------------------------------------------------------------------
+// Lock discipline: a light structural pass over the token stream. Class
+// bodies are parsed just far enough to bind annotated members to their
+// sibling mutexes (guarded-by), EADRL_REQUIRES-annotated bodies are scanned
+// for self-acquisition, and scoped-lock acquisitions are checked against the
+// rank order declared in src/chk/lock_order.def. The runtime counterpart is
+// chk::LockTracker (src/chk/lockdep.h).
+// ---------------------------------------------------------------------------
+
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+// `i` at the opening token; returns the index just past the matching closer
+// (or toks.size() when unbalanced).
+size_t SkipGroup(const std::vector<Token>& toks, size_t i, const char* open,
+                 const char* close) {
+  size_t depth = 0;
+  for (; i < toks.size(); ++i) {
+    if (IsPunct(toks[i], open)) {
+      ++depth;
+    } else if (IsPunct(toks[i], close) && --depth == 0) {
+      return i + 1;
+    }
+  }
+  return i;
+}
+
+// Last identifier in [begin, end): the terminal identifier of an expression
+// like `shard.stripe_mu` or `policy->agent_mu` (member names are repo-unique
+// for ranked mutexes, so the terminal identifier is the binding key).
+std::string TerminalIdent(const std::vector<Token>& toks, size_t begin,
+                          size_t end) {
+  std::string last;
+  for (size_t i = begin; i < end && i < toks.size(); ++i) {
+    if (toks[i].kind == TokKind::kIdent) last = toks[i].text;
+  }
+  return last;
+}
+
+struct Acquisition {
+  std::string mutex;  ///< terminal identifier of the locked expression.
+  size_t line = 0;
+};
+
+// If toks[i] starts a scoped-lock construction — `lock_guard<...> g(expr)`,
+// a `unique_lock<...>(expr)` temporary, `scoped_lock g(a, b)` — appends one
+// Acquisition per locked argument and returns the index just past the
+// closing ')'. Returns i + 1 when toks[i] starts no acquisition. A guard
+// *declaration* without arguments (deferred unique_lock member) is not an
+// acquisition.
+size_t MatchScopedAcquisition(const std::vector<Token>& toks, size_t i,
+                              std::vector<Acquisition>* out) {
+  const Token& t = toks[i];
+  if (t.kind != TokKind::kIdent) return i + 1;
+  const bool multi = t.text == "scoped_lock";
+  if (!multi && t.text != "lock_guard" && t.text != "unique_lock" &&
+      t.text != "shared_lock") {
+    return i + 1;
+  }
+  size_t j = i + 1;
+  if (j < toks.size() && IsPunct(toks[j], "<")) {
+    j = SkipGroup(toks, j, "<", ">");
+  }
+  if (j < toks.size() && toks[j].kind == TokKind::kIdent) ++j;  // guard name
+  if (j >= toks.size() || !IsPunct(toks[j], "(")) return i + 1;
+  const size_t past = SkipGroup(toks, j, "(", ")");
+  const size_t close = past - 1;  // index of ')'
+  std::vector<std::pair<size_t, size_t>> args;
+  size_t depth = 0;
+  size_t arg_begin = j + 1;
+  for (size_t k = j + 1; k < close; ++k) {
+    if (IsPunct(toks[k], "(") || IsPunct(toks[k], "{") ||
+        IsPunct(toks[k], "[")) {
+      ++depth;
+    } else if (IsPunct(toks[k], ")") || IsPunct(toks[k], "}") ||
+               IsPunct(toks[k], "]")) {
+      if (depth > 0) --depth;
+    } else if (IsPunct(toks[k], ",") && depth == 0) {
+      args.emplace_back(arg_begin, k);
+      arg_begin = k + 1;
+    }
+  }
+  if (arg_begin < close) args.emplace_back(arg_begin, close);
+  if (args.empty()) return past;
+  // lock_guard/unique_lock/shared_lock take the mutex first (any further
+  // args are adopt/defer tags); scoped_lock locks every argument.
+  if (!multi) args.resize(1);
+  for (const auto& [b, e] : args) {
+    const std::string name = TerminalIdent(toks, b, e);
+    if (!name.empty()) out->push_back({name, toks[b].line});
+  }
+  return past;
+}
+
+// --- guarded-by: minimal class-body parse --------------------------------
+
+struct ParsedMember {
+  std::string name;
+  size_t line = 0;
+  bool is_mutex = false;      ///< by-value std::mutex or OrderedMutex.
+  bool is_container = false;  ///< by-value std:: container.
+  bool has_guarded_by = false;
+  std::string guarded_by;  ///< terminal identifier of the annotation arg.
+  bool unguarded = false;  ///< carries the EADRL_UNGUARDED marker.
+};
+
+struct ParsedClass {
+  std::string name;
+  size_t line = 0;
+  std::vector<ParsedMember> members;
+  std::vector<ParsedClass> nested;
+};
+
+const std::set<std::string>& ContainerTypes() {
+  static const std::set<std::string> kTypes = {
+      "vector", "deque", "list",          "map",
+      "set",    "string", "unordered_map", "unordered_set"};
+  return kTypes;
+}
+
+// One class-body member statement (tokens between ';' boundaries, brace
+// groups elided): record it if it declares a by-value mutex / std::
+// container member or carries a guard annotation. Function declarations are
+// rejected by the `(`-follows-the-name test; parameters never match because
+// only paren-depth-0 tokens are considered.
+void FlushMemberStatement(const std::vector<Token>& toks,
+                          const std::vector<size_t>& stmt, ParsedClass* cls) {
+  if (stmt.empty()) return;
+  const std::string& first = toks[stmt[0]].text;
+  if (first == "using" || first == "typedef" || first == "friend" ||
+      first == "template" || first == "static_assert" || first == "static" ||
+      first == "enum" || first == "operator") {
+    return;
+  }
+  ParsedMember member;
+  size_t anno_at = stmt.size();
+  for (size_t k = 0; k < stmt.size(); ++k) {
+    const Token& t = toks[stmt[k]];
+    if (t.kind != TokKind::kIdent) continue;
+    if (t.text == "EADRL_UNGUARDED") member.unguarded = true;
+    if (t.text == "EADRL_GUARDED_BY" && k + 2 < stmt.size() &&
+        IsPunct(toks[stmt[k + 1]], "(")) {
+      size_t depth = 1;
+      size_t end = k + 2;
+      while (end < stmt.size() && depth > 0) {
+        if (IsPunct(toks[stmt[end]], "(")) ++depth;
+        if (IsPunct(toks[stmt[end]], ")")) --depth;
+        ++end;
+      }
+      for (size_t a = k + 2; a + 1 < end; ++a) {
+        if (toks[stmt[a]].kind == TokKind::kIdent) {
+          member.guarded_by = toks[stmt[a]].text;
+        }
+      }
+      member.has_guarded_by = true;
+      member.line = t.line;
+      anno_at = k;
+    }
+  }
+  size_t paren = 0;
+  for (size_t k = 0; k < stmt.size(); ++k) {
+    const Token& t = toks[stmt[k]];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "(") ++paren;
+      if (t.text == ")" && paren > 0) --paren;
+      continue;
+    }
+    if (paren != 0 || t.kind != TokKind::kIdent) continue;
+    const bool std_qualified = k >= 3 && IsPunct(toks[stmt[k - 1]], ":") &&
+                               IsPunct(toks[stmt[k - 2]], ":") &&
+                               toks[stmt[k - 3]].text == "std";
+    const bool is_mutex_type =
+        (std_qualified && t.text == "mutex") || t.text == "OrderedMutex";
+    const bool is_container_type =
+        std_qualified && ContainerTypes().count(t.text) != 0;
+    if (!is_mutex_type && !is_container_type) continue;
+    size_t j = k + 1;
+    if (j < stmt.size() && IsPunct(toks[stmt[j]], "<")) {
+      size_t angle = 1;
+      ++j;
+      while (j < stmt.size() && angle > 0) {
+        if (IsPunct(toks[stmt[j]], "<")) ++angle;
+        if (IsPunct(toks[stmt[j]], ">")) --angle;
+        ++j;
+      }
+    }
+    if (j < stmt.size() &&
+        (IsPunct(toks[stmt[j]], "*") || IsPunct(toks[stmt[j]], "&"))) {
+      continue;  // pointer/reference: pt_guarded_by territory, not enforced.
+    }
+    if (j >= stmt.size() || toks[stmt[j]].kind != TokKind::kIdent) continue;
+    if (j + 1 < stmt.size() && IsPunct(toks[stmt[j + 1]], "(")) {
+      continue;  // function declaration returning the type.
+    }
+    member.name = toks[stmt[j]].text;
+    member.line = toks[stmt[j]].line;
+    member.is_mutex = is_mutex_type;
+    member.is_container = is_container_type;
+    break;
+  }
+  if (member.name.empty()) {
+    if (!member.has_guarded_by) return;
+    // Annotated non-container member (a guarded counter): keep it so the
+    // named mutex is still validated. Its name is the identifier right
+    // before the annotation.
+    paren = 0;
+    for (size_t k = 0; k < anno_at; ++k) {
+      const Token& t = toks[stmt[k]];
+      if (t.kind == TokKind::kPunct) {
+        if (t.text == "(") ++paren;
+        if (t.text == ")" && paren > 0) --paren;
+        continue;
+      }
+      if (paren == 0 && t.kind == TokKind::kIdent) member.name = t.text;
+    }
+    if (member.name.empty()) return;
+  }
+  cls->members.push_back(std::move(member));
+}
+
+size_t ParseClassBody(const std::vector<Token>& toks, size_t i,
+                      ParsedClass* cls);
+
+// `i` at a `class`/`struct` keyword. Parses the head (skipping attribute
+// macros, `final`, template args and the base clause), then the body when
+// one follows; forward declarations are consumed without output. Returns the
+// index just past what was consumed.
+size_t ParseClassAt(const std::vector<Token>& toks, size_t i,
+                    std::vector<ParsedClass>* out) {
+  const size_t line = toks[i].line;
+  std::string name;
+  size_t j = i + 1;
+  while (j < toks.size()) {
+    const Token& t = toks[j];
+    if (t.kind == TokKind::kIdent) {
+      if (j + 1 < toks.size() && IsPunct(toks[j + 1], "(")) {
+        j = SkipGroup(toks, j + 1, "(", ")");  // attribute macro.
+        continue;
+      }
+      if (t.text != "final" && t.text != "alignas") name = t.text;
+      ++j;
+      continue;
+    }
+    if (IsPunct(t, "<")) {
+      j = SkipGroup(toks, j, "<", ">");
+      continue;
+    }
+    if (IsPunct(t, ";")) return j + 1;  // forward declaration.
+    if (IsPunct(t, ":")) {
+      ++j;  // base clause: scan to the body's '{'.
+      while (j < toks.size() && !IsPunct(toks[j], "{") &&
+             !IsPunct(toks[j], ";")) {
+        if (IsPunct(toks[j], "<")) {
+          j = SkipGroup(toks, j, "<", ">");
+          continue;
+        }
+        ++j;
+      }
+      continue;
+    }
+    if (IsPunct(t, "{")) {
+      ParsedClass cls;
+      cls.name = name.empty() ? "(anonymous)" : name;
+      cls.line = line;
+      j = ParseClassBody(toks, j + 1, &cls);
+      out->push_back(std::move(cls));
+      return j;
+    }
+    return j + 1;  // `struct tm* t` and other non-definitions: bail out.
+  }
+  return j;
+}
+
+// `i` just past the body's '{'. Splits direct members into statements,
+// recurses into nested classes, elides brace groups (a brace group preceded
+// by a top-level paren group is a function body and ends the statement; one
+// without is a brace initializer and the statement continues to ';').
+// Returns the index just past the matching '}'.
+size_t ParseClassBody(const std::vector<Token>& toks, size_t i,
+                      ParsedClass* cls) {
+  std::vector<size_t> stmt;
+  bool stmt_has_paren = false;
+  while (i < toks.size()) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "}") {
+        FlushMemberStatement(toks, stmt, cls);
+        return i + 1;
+      }
+      if (t.text == ";") {
+        FlushMemberStatement(toks, stmt, cls);
+        stmt.clear();
+        stmt_has_paren = false;
+        ++i;
+        continue;
+      }
+      if (t.text == "(") {
+        const size_t end = SkipGroup(toks, i, "(", ")");
+        for (size_t k = i; k < end; ++k) stmt.push_back(k);
+        stmt_has_paren = true;
+        i = end;
+        continue;
+      }
+      if (t.text == "{") {
+        const size_t end = SkipGroup(toks, i, "{", "}");
+        if (stmt_has_paren) {
+          // Function body: the statement ends here (no ';' follows).
+          FlushMemberStatement(toks, stmt, cls);
+          stmt.clear();
+          stmt_has_paren = false;
+        }
+        // Otherwise a brace initializer: skip its contents, the member
+        // statement continues to its ';'.
+        i = end;
+        continue;
+      }
+      stmt.push_back(i);
+      ++i;
+      continue;
+    }
+    if (t.kind == TokKind::kIdent) {
+      if ((t.text == "public" || t.text == "private" ||
+           t.text == "protected") &&
+          i + 1 < toks.size() && IsPunct(toks[i + 1], ":")) {
+        stmt.clear();
+        stmt_has_paren = false;
+        i += 2;
+        continue;
+      }
+      if ((t.text == "class" || t.text == "struct") && stmt.empty()) {
+        i = ParseClassAt(toks, i, &cls->nested);
+        continue;
+      }
+    }
+    stmt.push_back(i);
+    ++i;
+  }
+  FlushMemberStatement(toks, stmt, cls);
+  return i;
+}
+
+std::vector<ParsedClass> ParseClasses(const std::vector<Token>& toks) {
+  std::vector<ParsedClass> out;
+  size_t i = 0;
+  while (i < toks.size()) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kIdent && (t.text == "class" || t.text == "struct")) {
+      const Token* prev = i == 0 ? nullptr : &toks[i - 1];
+      const bool excluded =
+          prev != nullptr &&
+          (prev->text == "enum" || prev->text == "friend" ||
+           prev->text == "<" || prev->text == ",");
+      if (!excluded) {
+        i = ParseClassAt(toks, i, &out);
+        continue;
+      }
+    }
+    ++i;
+  }
+  return out;
+}
+
+// Nested classes see the enclosing class's mutexes (a nested Shard's members
+// may be guarded by its own stripe lock or by the owner's), but the
+// annotate-or-opt-out obligation only applies to classes that directly
+// declare a mutex — a plain nested data holder (a queue's Task) stays free.
+void EvaluateClassLockDiscipline(const ParsedClass& cls,
+                                 const std::set<std::string>& enclosing,
+                                 bool enforce, const std::string& path,
+                                 std::vector<Finding>* findings) {
+  std::set<std::string> own;
+  for (const ParsedMember& m : cls.members) {
+    if (m.is_mutex) own.insert(m.name);
+  }
+  std::set<std::string> visible = enclosing;
+  visible.insert(own.begin(), own.end());
+  for (const ParsedMember& m : cls.members) {
+    if (m.has_guarded_by && visible.count(m.guarded_by) == 0) {
+      findings->push_back(
+          {path, m.line, "guarded-by",
+           "EADRL_GUARDED_BY(" + m.guarded_by + ") on '" + m.name +
+               "' names no mutex member of '" + cls.name +
+               "' or an enclosing class"});
+    }
+    if (enforce && m.is_container && !own.empty() && !m.has_guarded_by &&
+        !m.unguarded) {
+      findings->push_back(
+          {path, m.line, "guarded-by",
+           "container member '" + m.name + "' of mutex-bearing '" + cls.name +
+               "' needs EADRL_GUARDED_BY(<mutex>) or an explicit "
+               "EADRL_UNGUARDED"});
+    }
+  }
+  for (const ParsedClass& nested : cls.nested) {
+    EvaluateClassLockDiscipline(nested, visible, enforce, path, findings);
+  }
+}
+
+// --- requires-self-lock ---------------------------------------------------
+
+void CheckRequiresSelfLock(const std::string& path,
+                           const std::vector<Token>& toks,
+                           std::vector<Finding>* findings) {
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent ||
+        toks[i].text != "EADRL_REQUIRES" || !IsPunct(toks[i + 1], "(")) {
+      continue;
+    }
+    const size_t past_args = SkipGroup(toks, i + 1, "(", ")");
+    std::set<std::string> required;
+    size_t depth = 0;
+    size_t arg_begin = i + 2;
+    for (size_t k = i + 2; k + 1 < past_args; ++k) {
+      if (IsPunct(toks[k], "(")) ++depth;
+      if (IsPunct(toks[k], ")") && depth > 0) --depth;
+      if (IsPunct(toks[k], ",") && depth == 0) {
+        required.insert(TerminalIdent(toks, arg_begin, k));
+        arg_begin = k + 1;
+      }
+    }
+    if (arg_begin + 1 <= past_args) {
+      const std::string last = TerminalIdent(toks, arg_begin, past_args - 1);
+      if (!last.empty()) required.insert(last);
+    }
+    if (required.empty()) continue;
+    // Find the body, when this declaration defines one in the same file:
+    // skip trailing `const`/`override`/`noexcept` and further annotation
+    // macros; a ';' (or anything else) means declaration-only.
+    size_t j = past_args;
+    while (j < toks.size() && toks[j].kind == TokKind::kIdent) {
+      if (j + 1 < toks.size() && IsPunct(toks[j + 1], "(")) {
+        j = SkipGroup(toks, j + 1, "(", ")");
+      } else {
+        ++j;
+      }
+    }
+    if (j >= toks.size() || !IsPunct(toks[j], "{")) continue;
+    const size_t body_end = SkipGroup(toks, j, "{", "}");
+    for (size_t k = j + 1; k + 1 < body_end; ++k) {
+      std::vector<Acquisition> acqs;
+      const size_t adv = MatchScopedAcquisition(toks, k, &acqs);
+      for (const Acquisition& a : acqs) {
+        if (required.count(a.mutex) != 0) {
+          findings->push_back(
+              {path, a.line, "requires-self-lock",
+               "acquires '" + a.mutex + "' inside a function annotated "
+               "EADRL_REQUIRES(" + a.mutex + "); the caller already holds "
+               "it — locking again self-deadlocks"});
+        }
+      }
+      if (adv > k + 1) {
+        k = adv - 1;
+        continue;
+      }
+      if (toks[k].kind == TokKind::kIdent &&
+          (toks[k].text == "lock" || toks[k].text == "try_lock") &&
+          k + 1 < body_end && IsPunct(toks[k + 1], "(") && k >= 2 &&
+          IsPunct(toks[k - 1], ".") &&
+          toks[k - 2].kind == TokKind::kIdent &&
+          required.count(toks[k - 2].text) != 0) {
+        findings->push_back(
+            {path, toks[k].line, "requires-self-lock",
+             "calls '" + toks[k - 2].text + "." + toks[k].text +
+                 "()' inside a function annotated EADRL_REQUIRES(" +
+                 toks[k - 2].text + "); the caller already holds it"});
+      }
+    }
+  }
+}
+
+// --- lock-registry: rank names at binding sites ---------------------------
+
+void CheckLockRankNames(const std::string& path,
+                        const std::vector<Token>& toks, const Config& config,
+                        std::vector<Finding>* findings) {
+  if (!config.have_lock_registry) return;
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent ||
+        (toks[i].text != "EADRL_LOCK_RANK" &&
+         toks[i].text != "EADRL_LOCK_ORDERED") ||
+        !IsPunct(toks[i + 1], "(") || toks[i + 2].kind != TokKind::kIdent) {
+      continue;
+    }
+    const Token& rank = toks[i + 2];
+    if (config.registered_locks.count(rank.text) == 0) {
+      findings->push_back({path, rank.line, "lock-registry",
+                           toks[i].text + " names rank '" + rank.text +
+                               "' which src/chk/lock_order.def does not "
+                               "declare"});
+    }
+  }
+}
+
+// --- lock-order: scoped acquisitions vs. the declared rank order ----------
+
+void CheckLockOrderRule(const std::string& path,
+                        const std::vector<Token>& toks, const Config& config,
+                        std::vector<Finding>* findings) {
+  if (!config.have_lock_registry || config.lock_bindings.empty()) return;
+  std::map<std::string, size_t> rank_index;
+  for (size_t r = 0; r < config.lock_order.size(); ++r) {
+    rank_index.emplace(config.lock_order[r], r);
+  }
+  struct Held {
+    std::string name;
+    std::string rank;
+    size_t index;
+    size_t line;
+    size_t depth;
+  };
+  std::vector<Held> held;
+  size_t depth = 0;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "{") {
+        ++depth;
+      } else if (t.text == "}") {
+        if (depth > 0) --depth;
+        while (!held.empty() && held.back().depth > depth) held.pop_back();
+      }
+      continue;
+    }
+    if (t.kind != TokKind::kIdent) continue;
+    std::vector<Acquisition> acqs;
+    const size_t adv = MatchScopedAcquisition(toks, i, &acqs);
+    for (const Acquisition& a : acqs) {
+      const auto bound = config.lock_bindings.find(a.mutex);
+      if (bound == config.lock_bindings.end()) continue;  // unranked mutex.
+      const auto idx = rank_index.find(bound->second);
+      if (idx == rank_index.end()) continue;  // flagged by lock-registry.
+      for (const Held& h : held) {
+        // Same rank may nest (stripes, sessions) — the runtime tracker
+        // enforces ascending address order there.
+        if (h.index > idx->second) {
+          findings->push_back(
+              {path, a.line, "lock-order",
+               "acquires '" + a.mutex + "' (rank " + bound->second +
+                   ") while holding '" + h.name + "' (rank " + h.rank +
+                   ", acquired line " + std::to_string(h.line) +
+                   "); src/chk/lock_order.def declares " + bound->second +
+                   " above " + h.rank +
+                   " — release first, or fix the registry order"});
+        }
+      }
+      held.push_back({a.mutex, bound->second, idx->second, a.line, depth});
+    }
+    if (adv > i + 1) i = adv - 1;
+  }
+}
+
 }  // namespace
 
 std::map<std::string, size_t> ParseEventsDef(const std::string& path,
@@ -486,6 +1063,39 @@ std::map<std::string, size_t> ParseSpansDef(const std::string& path,
                                             std::vector<Finding>* findings) {
   return ParseRegistryDef("EADRL_SPAN", "span-registry", path, contents,
                           findings);
+}
+
+std::map<std::string, size_t> ParseLockOrderDef(
+    const std::string& path, const std::string& contents,
+    std::vector<Finding>* findings, std::vector<std::string>* order) {
+  return ParseRegistryDef("EADRL_LOCK", "lock-registry", path, contents,
+                          findings, order);
+}
+
+std::vector<LockBindingSite> CollectLockBindings(const std::string& contents) {
+  std::vector<LockBindingSite> out;
+  LexedFile lexed = Lexer(contents).Run();
+  const std::vector<Token>& toks = lexed.tokens;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    // chk::OrderedMutex name{EADRL_LOCK_RANK(rank), "site"} — brace or paren
+    // initializer, the rank macro first.
+    if (toks[i].text == "OrderedMutex" && toks[i + 1].kind == TokKind::kIdent &&
+        i + 5 < toks.size() &&
+        (IsPunct(toks[i + 2], "{") || IsPunct(toks[i + 2], "(")) &&
+        toks[i + 3].text == "EADRL_LOCK_RANK" && IsPunct(toks[i + 4], "(") &&
+        toks[i + 5].kind == TokKind::kIdent) {
+      out.push_back({toks[i + 1].text, toks[i + 5].text, toks[i + 1].line});
+    }
+    // std::mutex name EADRL_LOCK_ORDERED(rank) — a plain mutex bound to a
+    // rank for the static walk only (no OrderedMutex conversion).
+    if (toks[i].text == "mutex" && toks[i + 1].kind == TokKind::kIdent &&
+        i + 4 < toks.size() && toks[i + 2].text == "EADRL_LOCK_ORDERED" &&
+        IsPunct(toks[i + 3], "(") && toks[i + 4].kind == TokKind::kIdent) {
+      out.push_back({toks[i + 1].text, toks[i + 4].text, toks[i + 1].line});
+    }
+  }
+  return out;
 }
 
 std::set<std::string> EmittedEvents(const std::string& contents) {
@@ -719,6 +1329,21 @@ std::vector<Finding> CheckFile(const std::string& path,
     }
   }
 
+  // --- Lock discipline -----------------------------------------------------
+  if (in_src) {
+    // Annotation validation runs across src/; the annotate-or-opt-out
+    // obligation for container members applies to the concurrent subsystems.
+    const bool enforce_guards =
+        StartsWith(path, "src/serve/") || StartsWith(path, "src/par/") ||
+        StartsWith(path, "src/obs/") || StartsWith(path, "src/core/");
+    for (const ParsedClass& cls : ParseClasses(toks)) {
+      EvaluateClassLockDiscipline(cls, {}, enforce_guards, path, &findings);
+    }
+    CheckRequiresSelfLock(path, toks, &findings);
+    CheckLockRankNames(path, toks, config, &findings);
+    CheckLockOrderRule(path, toks, config, &findings);
+  }
+
   // --- Apply NOLINT suppressions, flag stale ones --------------------------
   std::vector<Suppression> suppressions =
       ParseSuppressions(lexed.comments, &findings, path);
@@ -780,11 +1405,39 @@ std::vector<Finding> CheckSpanRegistryStaleness(
   return findings;
 }
 
+std::vector<Finding> CheckLockRegistryStaleness(
+    const std::string& locks_def_path, const Config& config,
+    const std::set<std::string>& bound_in_src) {
+  std::vector<Finding> findings;
+  for (const auto& [name, line] : config.registered_locks) {
+    if (bound_in_src.count(name) == 0) {
+      findings.push_back({locks_def_path, line, "lock-registry-stale",
+                          "registered lock rank '" + name +
+                              "' is bound by no mutex under src/; delete the "
+                              "entry or restore the binding"});
+    }
+  }
+  return findings;
+}
+
 std::string FormatFinding(const Finding& finding) {
   std::ostringstream os;
   os << finding.file << ':' << finding.line << ": " << finding.rule << ": "
      << finding.message;
   return os.str();
+}
+
+std::string FormatFindingJson(const Finding& finding) {
+  std::string out = "{\"file\":\"";
+  AppendJsonEscaped(&out, finding.file);
+  out += "\",\"line\":";
+  out += std::to_string(finding.line);
+  out += ",\"rule\":\"";
+  AppendJsonEscaped(&out, finding.rule);
+  out += "\",\"message\":\"";
+  AppendJsonEscaped(&out, finding.message);
+  out += "\"}";
+  return out;
 }
 
 }  // namespace eadrl::lint
