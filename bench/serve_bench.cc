@@ -101,8 +101,9 @@ void BM_SessionTableLookup(benchmark::State& state) {
   for (size_t i = 0; i < sessions; ++i) {
     names.push_back("tenant-" + std::to_string(i));
     EADRL_CHECK(table
-                    .Insert(names.back(), std::make_shared<Session>(
-                                              policy, i, nullptr, 0.005, 3.0))
+                    .Insert(names.back(),
+                            std::make_shared<Session>(names.back(), policy, i,
+                                                      nullptr, 0.005, 3.0))
                     .ok());
   }
   size_t i = 0;
@@ -124,10 +125,10 @@ void BM_SessionTableChurn(benchmark::State& state) {
   auto policy = StubPolicy();
   uint64_t next = 0;
   for (auto _ : state) {
+    const std::string name = "tenant-" + std::to_string(next);
     EADRL_CHECK(table
-                    .Insert("tenant-" + std::to_string(next),
-                            std::make_shared<Session>(policy, next, nullptr,
-                                                      0.005, 3.0))
+                    .Insert(name, std::make_shared<Session>(
+                                      name, policy, next, nullptr, 0.005, 3.0))
                     .ok());
     ++next;
   }
@@ -136,17 +137,25 @@ void BM_SessionTableChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_SessionTableChurn);
 
-void BM_BatchingQueueEnqueueDrain(benchmark::State& state) {
+// Untracked queue (track_queue_delay off, the Options default): the
+// queue-delay estimator must cost nothing when nobody asked for it. The
+// *Tracked variant prices the enabled path (two clock reads plus one
+// windowed observation per drained request); comparing the two is the
+// disabled-vs-enabled evidence for the windowed instrumentation.
+void RunBatchingQueueEnqueueDrain(benchmark::State& state,
+                                  bool track_queue_delay) {
   const size_t batch = static_cast<size_t>(state.range(0));
   BatchingQueue::Options options;
   options.manual_drain = true;
   options.max_queue = batch * 2;
+  options.track_queue_delay = track_queue_delay;
   size_t drained = 0;
   BatchingQueue queue(options, [&drained](std::vector<Request> requests) {
     drained += requests.size();
   });
   auto policy = StubPolicy();
-  auto session = std::make_shared<Session>(policy, 1, nullptr, 0.005, 3.0);
+  auto session =
+      std::make_shared<Session>("tenant-0", policy, 1, nullptr, 0.005, 3.0);
   for (auto _ : state) {
     for (size_t i = 0; i < batch; ++i) {
       Request request;
@@ -161,7 +170,16 @@ void BM_BatchingQueueEnqueueDrain(benchmark::State& state) {
   state.counters["drained"] = static_cast<double>(drained);
   eadrl::bench::RegisterThreads(state, 1);
 }
+
+void BM_BatchingQueueEnqueueDrain(benchmark::State& state) {
+  RunBatchingQueueEnqueueDrain(state, /*track_queue_delay=*/false);
+}
 BENCHMARK(BM_BatchingQueueEnqueueDrain)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_BatchingQueueEnqueueDrainTracked(benchmark::State& state) {
+  RunBatchingQueueEnqueueDrain(state, /*track_queue_delay=*/true);
+}
+BENCHMARK(BM_BatchingQueueEnqueueDrainTracked)->Arg(1)->Arg(64);
 
 void BM_ServePredictBlocking(benchmark::State& state) {
   // Single-tenant end-to-end: admission + one-request wave + actor pass.

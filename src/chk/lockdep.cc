@@ -20,11 +20,13 @@ struct HeldLock {
 // default pool) lock ranked mutexes while tearing down — with a vector here,
 // those late hooks would push into a destroyed object (observed as glibc
 // heap corruption at exit). A trivially-destructible thread_local keeps its
-// storage valid for the entire thread lifetime. Capacity is generous: the
-// deepest real path is queue -> stripe -> session -> policy, plus same-rank
-// waves of a few sessions.
+// storage valid for the entire thread lifetime. Capacity is sized to the
+// deepest legitimate path: a serve drain wave holds one session lock per
+// batched row (up to ServeConfig::max_batch, 64 in the benches) in
+// canonical address order before taking the policy mutex, on top of the
+// queue/stripe locks that got it there.
 struct HeldStackStorage {
-  static constexpr size_t kCapacity = 64;
+  static constexpr size_t kCapacity = 256;
   HeldLock entries[kCapacity];
   size_t depth = 0;
 };

@@ -1,0 +1,153 @@
+#include "obs/cardinality.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace eadrl::obs {
+
+LabeledWindowedFamily::LabeledWindowedFamily(
+    const LabeledWindowedFamilyOptions& options)
+    : opt_(options) {
+  EADRL_CHECK(!opt_.name.empty());
+  EADRL_CHECK_GT(opt_.max_labels, 0u);
+  const double span_seconds =
+      opt_.window.tick_seconds * static_cast<double>(opt_.window.buckets);
+  stale_ns_ = static_cast<uint64_t>(span_seconds * 1e9);
+  if (stale_ns_ == 0) stale_ns_ = 1;
+}
+
+uint64_t LabeledWindowedFamily::NowNs() const {
+  return opt_.window.now_ns != nullptr ? opt_.window.now_ns()
+                                       : MonotonicNowNs();
+}
+
+void LabeledWindowedFamily::Observe(const std::string& label, double value) {
+  ObserveAt(NowNs(), label, value);
+}
+
+void LabeledWindowedFamily::ObserveAt(uint64_t now, const std::string& label,
+                                      double value) {
+  std::lock_guard<chk::OrderedMutex> lock(family_mu_);
+  auto it = slots_.find(label);
+  if (it == slots_.end()) {
+    if (slots_.size() >= opt_.max_labels) {
+      // At the cap a new label may only displace the LRU tail, and only if
+      // the tail has idled past the full window span — its sub-windows are
+      // all zero by now, so nothing observable is lost. An active tail means
+      // the cap is genuinely contended: count the drop and keep the
+      // established labels stable.
+      const std::string& victim_label = lru_.back();
+      auto victim = slots_.find(victim_label);
+      EADRL_CHECK(victim != slots_.end());
+      const uint64_t last = victim->second->last_seen_ns;
+      if (now < last || now - last < stale_ns_) {
+        overflow_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      slots_.erase(victim);
+      lru_.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    auto slot = std::make_unique<Slot>(opt_);
+    lru_.push_front(label);
+    slot->lru_pos = lru_.begin();
+    it = slots_.emplace(label, std::move(slot)).first;
+  } else if (it->second->lru_pos != lru_.begin()) {
+    lru_.splice(lru_.begin(), lru_, it->second->lru_pos);
+  }
+  it->second->last_seen_ns = now;
+  it->second->window.ObserveAt(now, value);
+}
+
+LabeledWindowedFamilySnapshot LabeledWindowedFamily::Snapshot(size_t k) const {
+  LabeledWindowedFamilySnapshot snap;
+  {
+    std::lock_guard<chk::OrderedMutex> lock(family_mu_);
+    snap.tracked_labels = slots_.size();
+    snap.top.reserve(slots_.size());
+    for (const auto& [label, slot] : slots_) {
+      LabeledWindowSnapshot entry;
+      entry.label = label;
+      entry.window = slot->window.Snapshot();
+      entry.cumulative_count = slot->window.CumulativeCount();
+      snap.top.push_back(std::move(entry));
+    }
+  }
+  snap.overflow = overflow_.load(std::memory_order_relaxed);
+  snap.evictions = evictions_.load(std::memory_order_relaxed);
+  std::sort(snap.top.begin(), snap.top.end(),
+            [](const LabeledWindowSnapshot& a, const LabeledWindowSnapshot& b) {
+              if (a.window.values.count != b.window.values.count) {
+                return a.window.values.count > b.window.values.count;
+              }
+              if (a.cumulative_count != b.cumulative_count) {
+                return a.cumulative_count > b.cumulative_count;
+              }
+              return a.label < b.label;
+            });
+  if (k > 0 && snap.top.size() > k) snap.top.resize(k);
+  return snap;
+}
+
+size_t LabeledWindowedFamily::TrackedLabels() const {
+  std::lock_guard<chk::OrderedMutex> lock(family_mu_);
+  return slots_.size();
+}
+
+std::string LabeledWindowedFamily::ToJsonValue(size_t k) const {
+  const LabeledWindowedFamilySnapshot snap = Snapshot(k);
+  std::ostringstream out;
+  out << "{\"label_key\":\"" << JsonEscaped(opt_.label_key)
+      << "\",\"tracked\":" << snap.tracked_labels
+      << ",\"overflow\":" << snap.overflow
+      << ",\"evictions\":" << snap.evictions << ",\"top\":[";
+  for (size_t i = 0; i < snap.top.size(); ++i) {
+    const LabeledWindowSnapshot& entry = snap.top[i];
+    if (i > 0) out << ",";
+    out << "{\"" << JsonEscaped(opt_.label_key) << "\":\""
+        << JsonEscaped(entry.label)
+        << "\",\"window_count\":" << entry.window.values.count
+        << ",\"cumulative_count\":" << entry.cumulative_count
+        << ",\"window_seconds\":" << entry.window.window_seconds
+        << ",\"rate\":" << entry.window.Rate()
+        << ",\"mean\":" << entry.window.values.Mean()
+        << ",\"p50\":" << entry.window.values.Quantile(0.5)
+        << ",\"p99\":" << entry.window.values.Quantile(0.99) << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+void LabeledWindowedFamily::AppendPrometheus(std::string* out,
+                                             size_t k) const {
+  const LabeledWindowedFamilySnapshot snap = Snapshot(k);
+  auto series = [this, out](const char* suffix, const std::string& label,
+                            double value) {
+    std::ostringstream line;
+    line << opt_.name << suffix << "{" << opt_.label_key << "=\"" << label
+         << "\"} " << value << "\n";
+    *out += line.str();
+  };
+  *out += "# TYPE " + opt_.name + "_rate gauge\n";
+  for (const LabeledWindowSnapshot& entry : snap.top) {
+    series("_rate", entry.label, entry.window.Rate());
+  }
+  *out += "# TYPE " + opt_.name + "_p99 gauge\n";
+  for (const LabeledWindowSnapshot& entry : snap.top) {
+    series("_p99", entry.label, entry.window.values.Quantile(0.99));
+  }
+  std::ostringstream tail;
+  tail << "# TYPE " << opt_.name << "_tracked gauge\n"
+       << opt_.name << "_tracked " << snap.tracked_labels << "\n"
+       << "# TYPE " << opt_.name << "_overflow_total counter\n"
+       << opt_.name << "_overflow_total " << snap.overflow << "\n"
+       << "# TYPE " << opt_.name << "_evictions_total counter\n"
+       << opt_.name << "_evictions_total " << snap.evictions << "\n";
+  *out += tail.str();
+}
+
+}  // namespace eadrl::obs

@@ -1,0 +1,119 @@
+#ifndef EADRL_OBS_EXPORTER_H_
+#define EADRL_OBS_EXPORTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chk/lockdep.h"
+#include "chk/thread_annotations.h"
+
+// Periodic metrics snapshot writer (see DESIGN.md, "Live serving
+// observability"). A MetricsExporter owns one background thread that, every
+// interval, renders a snapshot (registry metrics plus caller-provided
+// sections) and writes it atomically: the document goes to `<path>.tmp` and
+// is renamed over `<path>`, so a scraper reading the file never sees a torn
+// write — it sees the previous complete snapshot or the new one, nothing in
+// between. Format follows the path extension by default: `.json` gets a
+// versioned JSON document ({"schema":"eadrl-metrics-v1",...}), anything else
+// the Prometheus text exposition.
+
+namespace eadrl::obs {
+
+class MetricRegistry;
+
+class MetricsExporter {
+ public:
+  enum class Format { kAuto, kPrometheus, kJson };
+
+  /// One named block of caller-owned metrics. The registry covers
+  /// process-global families; sections carry state that lives inside a
+  /// component (a ForecastService's windowed stats, an SloTracker, a labeled
+  /// family) — those stay owned by their component and are rendered through
+  /// these callbacks at export time. `json` returns one JSON value (object
+  /// or array); `prom` appends exposition lines. Either may be null; a null
+  /// renderer skips the section in that format.
+  struct Section {
+    std::string name;
+    std::function<std::string()> json;
+    std::function<void(std::string*)> prom;
+  };
+
+  struct Options {
+    std::string path;
+    Format format = Format::kAuto;
+    double interval_seconds = 10.0;
+    /// Rendered under "metrics" (JSON) / first in the exposition; nullptr
+    /// exports sections only.
+    MetricRegistry* registry = nullptr;
+  };
+
+  explicit MetricsExporter(const Options& options);
+  /// Stops the thread if still running.
+  ~MetricsExporter();
+
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  /// Not thread-safe: call before Start().
+  void AddSection(Section section);
+
+  /// Hook run at the start of every export (and ExportOnce), before
+  /// rendering — the place to refresh derived state, e.g. SloTracker::
+  /// Evaluate. Not thread-safe: call before Start().
+  void SetOnExport(std::function<void()> hook);
+
+  /// Launches the background thread. One export is written immediately on
+  /// the first tick after each interval; Stop flushes a final export.
+  void Start();
+
+  /// Stops and joins the thread, writing one last snapshot so the file
+  /// reflects final totals. Idempotent.
+  void Stop();
+
+  /// Renders and writes one snapshot now (usable without Start, e.g. tests
+  /// and one-shot CLI dumps). Returns false when the write or rename failed
+  /// (also counted in failures()).
+  bool ExportOnce();
+
+  uint64_t exports() const {
+    return exports_.load(std::memory_order_relaxed);
+  }
+  uint64_t failures() const {
+    return failures_.load(std::memory_order_relaxed);
+  }
+
+  /// kJson for paths ending in ".json", else kPrometheus.
+  static Format FormatForPath(const std::string& path);
+
+  /// The document ExportOnce would write, without touching the filesystem.
+  /// kAuto resolves through the configured path.
+  std::string RenderSnapshot(Format format) const;
+
+ private:
+  void RunLoop();
+  Format ResolvedFormat(Format format) const;
+
+  Options opt_;
+  /// Frozen before Start() (AddSection checks), then read-only from the
+  /// exporter thread.
+  std::vector<Section> sections_ EADRL_UNGUARDED;
+  std::function<void()> on_export_;
+  std::atomic<uint64_t> exports_{0};
+  std::atomic<uint64_t> failures_{0};
+  mutable chk::OrderedMutex exporter_mu_{
+      EADRL_LOCK_RANK(obs_exporter), "obs::MetricsExporter::exporter_mu_"};
+  /// Guards only the stop/wakeup handshake; exports render unlocked.
+  std::condition_variable_any wake_cv_;
+  bool stop_requested_ EADRL_GUARDED_BY(exporter_mu_) = false;
+  bool started_ EADRL_UNGUARDED = false;  ///< main-thread Start/Stop only.
+  std::thread thread_ EADRL_UNGUARDED;
+};
+
+}  // namespace eadrl::obs
+
+#endif  // EADRL_OBS_EXPORTER_H_

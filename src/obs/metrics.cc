@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "common/string_util.h"
+#include "obs/window.h"
 
 namespace eadrl::obs {
 namespace {
@@ -209,6 +210,13 @@ Histogram::Histogram(std::vector<double> bounds)
   }
   counts_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
   for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i] = 0;
+  samples_ = std::make_unique<std::atomic<double>[]>(
+      HistogramSnapshot::kExactQuantileSamples);
+  sample_ready_ = std::make_unique<std::atomic<uint8_t>[]>(
+      HistogramSnapshot::kExactQuantileSamples);
+  for (size_t i = 0; i < HistogramSnapshot::kExactQuantileSamples; ++i) {
+    sample_ready_[i] = 0;
+  }
 }
 
 void Histogram::Observe(double value) {
@@ -223,6 +231,17 @@ void Histogram::Observe(double value) {
   // count >= 1 then also sees finite (non-sentinel) min/max.
   AtomicMin(&min_, value);
   AtomicMax(&max_, value);
+  // Raw-sample capture for the exact-small quantile path. The cheap relaxed
+  // pre-check keeps the fetch_add off the hot path once the budget is spent
+  // (so the counter cannot creep toward wraparound either).
+  uint32_t slot = sample_slots_.load(std::memory_order_relaxed);
+  if (slot < HistogramSnapshot::kExactQuantileSamples) {
+    slot = sample_slots_.fetch_add(1, std::memory_order_relaxed);
+    if (slot < HistogramSnapshot::kExactQuantileSamples) {
+      samples_[slot].store(value, std::memory_order_relaxed);
+      sample_ready_[slot].store(1, std::memory_order_release);
+    }
+  }
   count_.fetch_add(1, std::memory_order_release);
 }
 
@@ -244,6 +263,21 @@ HistogramSnapshot Histogram::Snapshot() const {
     snap.min = min_.load(std::memory_order_relaxed);
     snap.max = max_.load(std::memory_order_relaxed);
   }
+  if (snap.count > 0 &&
+      snap.count <= HistogramSnapshot::kExactQuantileSamples) {
+    // Collect the raw population for the exact quantile path. Slots are
+    // consumed in claim order and only past their ready flag, so a snapshot
+    // racing an observer mid-store just falls short and falls back to bucket
+    // interpolation (samples cleared) instead of reading garbage.
+    snap.samples.reserve(snap.count);
+    for (uint32_t s = 0; s < HistogramSnapshot::kExactQuantileSamples &&
+                         snap.samples.size() < snap.count;
+         ++s) {
+      if (sample_ready_[s].load(std::memory_order_acquire) == 0) break;
+      snap.samples.push_back(samples_[s].load(std::memory_order_relaxed));
+    }
+    if (snap.samples.size() != snap.count) snap.samples.clear();
+  }
   return snap;
 }
 
@@ -255,6 +289,18 @@ double Histogram::Mean() const {
 double HistogramSnapshot::Quantile(double q) const {
   if (count == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
+  if (!samples.empty() && samples.size() == count) {
+    // Exact path: the complete population is at hand, so return the
+    // linearly-interpolated order statistic (the sorted-vector reference
+    // tests/window_test.cc checks parity against).
+    std::vector<double> sorted(samples);
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = q * static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+  }
   double rank = q * static_cast<double>(count);
   uint64_t seen = 0;
   // bounds' last element is the +inf overflow bound; that bucket clamps to
@@ -279,6 +325,35 @@ double HistogramSnapshot::Quantile(double q) const {
 }
 
 double Histogram::Quantile(double q) const { return Snapshot().Quantile(q); }
+
+void HistogramSnapshot::MergeFrom(const HistogramSnapshot& other) {
+  if (other.counts.empty() && other.count == 0) return;
+  if (counts.empty() && count == 0) {
+    *this = other;
+    return;
+  }
+  EADRL_CHECK(bounds == other.bounds);
+  // Exactness decided before the totals mutate.
+  const uint64_t merged_count = count + other.count;
+  const bool exact = merged_count <= kExactQuantileSamples &&
+                     samples.size() == count &&
+                     other.samples.size() == other.count;
+  for (size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  sum += other.sum;
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else if (other.count > 0) {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count = merged_count;
+  if (exact) {
+    samples.insert(samples.end(), other.samples.begin(), other.samples.end());
+  } else {
+    samples.clear();
+  }
+}
 
 std::vector<double> Histogram::ExponentialBounds(double start, double factor,
                                                  size_t count) {
@@ -313,9 +388,12 @@ std::vector<double> Histogram::DefaultLatencyBounds() {
 // MetricRegistry.
 // ---------------------------------------------------------------------------
 
+MetricRegistry::MetricRegistry() = default;
+MetricRegistry::~MetricRegistry() = default;
+
 MetricRegistry::Entry* MetricRegistry::FindOrCreate(
     const std::string& name, const Labels& labels, Kind kind,
-    std::vector<double> bounds) {
+    std::vector<double> bounds, const WindowOptions* window) {
   Labels sorted = labels;
   std::sort(sorted.begin(), sorted.end());
   std::string sig = LabelSignature(sorted);
@@ -343,25 +421,51 @@ MetricRegistry::Entry* MetricRegistry::FindOrCreate(
           bounds.empty() ? Histogram::DefaultLatencyBounds()
                          : std::move(bounds));
       break;
+    case Kind::kWindowedCounter:
+      EADRL_CHECK(window != nullptr);
+      entry.windowed_counter = std::make_unique<WindowedCounter>(*window);
+      break;
+    case Kind::kWindowedHistogram:
+      EADRL_CHECK(window != nullptr);
+      entry.windowed_histogram =
+          std::make_unique<WindowedHistogram>(*window, std::move(bounds));
+      break;
   }
   return &family.emplace(sig, std::move(entry)).first->second;
 }
 
 Counter* MetricRegistry::GetCounter(const std::string& name,
                                     const Labels& labels) {
-  return FindOrCreate(name, labels, Kind::kCounter, {})->counter.get();
+  return FindOrCreate(name, labels, Kind::kCounter, {}, nullptr)
+      ->counter.get();
 }
 
 Gauge* MetricRegistry::GetGauge(const std::string& name,
                                 const Labels& labels) {
-  return FindOrCreate(name, labels, Kind::kGauge, {})->gauge.get();
+  return FindOrCreate(name, labels, Kind::kGauge, {}, nullptr)->gauge.get();
 }
 
 Histogram* MetricRegistry::GetHistogram(const std::string& name,
                                         std::vector<double> bounds,
                                         const Labels& labels) {
-  return FindOrCreate(name, labels, Kind::kHistogram, std::move(bounds))
+  return FindOrCreate(name, labels, Kind::kHistogram, std::move(bounds),
+                      nullptr)
       ->histogram.get();
+}
+
+WindowedCounter* MetricRegistry::GetWindowedCounter(
+    const std::string& name, const WindowOptions& options,
+    const Labels& labels) {
+  return FindOrCreate(name, labels, Kind::kWindowedCounter, {}, &options)
+      ->windowed_counter.get();
+}
+
+WindowedHistogram* MetricRegistry::GetWindowedHistogram(
+    const std::string& name, const WindowOptions& options,
+    std::vector<double> bounds, const Labels& labels) {
+  return FindOrCreate(name, labels, Kind::kWindowedHistogram,
+                      std::move(bounds), &options)
+      ->windowed_histogram.get();
 }
 
 std::string MetricRegistry::ToJson() const {
@@ -409,6 +513,45 @@ std::string MetricRegistry::ToJson() const {
           out << "}";
           break;
         }
+        case Kind::kWindowedCounter: {
+          const WindowedCounterSnapshot snap =
+              entry.windowed_counter->Snapshot();
+          out << "{\"type\":\"windowed_counter\",\"cumulative\":";
+          AppendJsonNumber(&out, snap.cumulative);
+          out << ",\"window_total\":";
+          AppendJsonNumber(&out, snap.total);
+          out << ",\"window_seconds\":";
+          AppendJsonNumber(&out, snap.window_seconds);
+          out << ",\"rate\":";
+          AppendJsonNumber(&out, snap.Rate());
+          out << "}";
+          break;
+        }
+        case Kind::kWindowedHistogram: {
+          const WindowedHistogramSnapshot snap =
+              entry.windowed_histogram->Snapshot();
+          out << "{\"type\":\"windowed_histogram\",\"cumulative_count\":"
+              << entry.windowed_histogram->CumulativeCount()
+              << ",\"window_count\":" << snap.values.count
+              << ",\"window_seconds\":";
+          AppendJsonNumber(&out, snap.window_seconds);
+          out << ",\"rate\":";
+          AppendJsonNumber(&out, snap.Rate());
+          out << ",\"mean\":";
+          AppendJsonNumber(&out, snap.values.Mean());
+          out << ",\"min\":";
+          AppendJsonNumber(&out, snap.values.min);
+          out << ",\"max\":";
+          AppendJsonNumber(&out, snap.values.max);
+          out << ",\"p50\":";
+          AppendJsonNumber(&out, snap.values.Quantile(0.5));
+          out << ",\"p95\":";
+          AppendJsonNumber(&out, snap.values.Quantile(0.95));
+          out << ",\"p99\":";
+          AppendJsonNumber(&out, snap.values.Quantile(0.99));
+          out << "}";
+          break;
+        }
       }
     }
     out << "}";
@@ -446,6 +589,29 @@ std::string MetricRegistry::ToCsv() const {
           row("p99", snap.Quantile(0.99));
           break;
         }
+        case Kind::kWindowedCounter: {
+          const WindowedCounterSnapshot snap =
+              entry.windowed_counter->Snapshot();
+          row("cumulative", snap.cumulative);
+          row("window_total", snap.total);
+          row("window_seconds", snap.window_seconds);
+          row("rate", snap.Rate());
+          break;
+        }
+        case Kind::kWindowedHistogram: {
+          const WindowedHistogramSnapshot snap =
+              entry.windowed_histogram->Snapshot();
+          row("cumulative_count",
+              static_cast<double>(entry.windowed_histogram->CumulativeCount()));
+          row("window_count", static_cast<double>(snap.values.count));
+          row("window_seconds", snap.window_seconds);
+          row("rate", snap.Rate());
+          row("mean", snap.values.Mean());
+          row("p50", snap.values.Quantile(0.5));
+          row("p95", snap.values.Quantile(0.95));
+          row("p99", snap.values.Quantile(0.99));
+          break;
+        }
       }
     }
   }
@@ -458,8 +624,63 @@ std::string MetricRegistry::ToPrometheus() const {
   for (const auto& [name, family] : families_) {
     if (family.empty()) continue;
     const std::string prom = PrometheusName(name);
+    const Kind family_kind = family.begin()->second.kind;
+    if (family_kind == Kind::kWindowedCounter) {
+      // Windowed counters expose the exact cumulative total as a counter
+      // plus a windowed-rate gauge; the window span rides along as a label
+      // so dashboards know what "rate" is over.
+      std::vector<std::pair<const Entry*, WindowedCounterSnapshot>> snaps;
+      for (const auto& [sig, entry] : family) {
+        static_cast<void>(sig);
+        snaps.emplace_back(&entry, entry.windowed_counter->Snapshot());
+      }
+      out += "# TYPE " + prom + "_total counter\n";
+      for (const auto& [entry, snap] : snaps) {
+        out += prom + "_total" + PrometheusLabels(entry->labels) + " " +
+               PrometheusNumber(snap.cumulative) + "\n";
+      }
+      out += "# TYPE " + prom + "_rate gauge\n";
+      for (const auto& [entry, snap] : snaps) {
+        Labels with_window = entry->labels;
+        with_window.emplace_back("window",
+                                 PrometheusNumber(snap.window_seconds));
+        out += prom + "_rate" + PrometheusLabels(with_window) + " " +
+               PrometheusNumber(snap.Rate()) + "\n";
+      }
+      continue;
+    }
+    if (family_kind == Kind::kWindowedHistogram) {
+      // Windowed histograms expose quantile-gauge series (the summary-style
+      // shape) over the window, plus windowed count and rate gauges.
+      std::vector<std::pair<const Entry*, WindowedHistogramSnapshot>> snaps;
+      for (const auto& [sig, entry] : family) {
+        static_cast<void>(sig);
+        snaps.emplace_back(&entry, entry.windowed_histogram->Snapshot());
+      }
+      out += "# TYPE " + prom + " gauge\n";
+      for (const auto& [entry, snap] : snaps) {
+        for (const double q : {0.5, 0.95, 0.99}) {
+          Labels with_q = entry->labels;
+          with_q.emplace_back("quantile", PrometheusNumber(q));
+          with_q.emplace_back("window", PrometheusNumber(snap.window_seconds));
+          out += prom + PrometheusLabels(with_q) + " " +
+                 PrometheusNumber(snap.values.Quantile(q)) + "\n";
+        }
+      }
+      out += "# TYPE " + prom + "_window_count gauge\n";
+      for (const auto& [entry, snap] : snaps) {
+        out += prom + "_window_count" + PrometheusLabels(entry->labels) + " " +
+               std::to_string(snap.values.count) + "\n";
+      }
+      out += "# TYPE " + prom + "_rate gauge\n";
+      for (const auto& [entry, snap] : snaps) {
+        out += prom + "_rate" + PrometheusLabels(entry->labels) + " " +
+               PrometheusNumber(snap.Rate()) + "\n";
+      }
+      continue;
+    }
     const char* type = "untyped";
-    switch (family.begin()->second.kind) {
+    switch (family_kind) {
       case Kind::kCounter:
         type = "counter";
         break;
@@ -469,6 +690,9 @@ std::string MetricRegistry::ToPrometheus() const {
       case Kind::kHistogram:
         type = "histogram";
         break;
+      case Kind::kWindowedCounter:
+      case Kind::kWindowedHistogram:
+        break;  // handled above.
     }
     out += "# TYPE " + prom + " " + type + "\n";
     for (const auto& [sig, entry] : family) {
@@ -498,6 +722,9 @@ std::string MetricRegistry::ToPrometheus() const {
                  std::to_string(snap.count) + "\n";
           break;
         }
+        case Kind::kWindowedCounter:
+        case Kind::kWindowedHistogram:
+          break;  // rendered by the dedicated blocks above.
       }
     }
   }

@@ -82,22 +82,43 @@ class StreamingQuantile {
 /// must not go back to the live histogram per statistic (each trip re-reads
 /// racing atomics and costs another full bucket copy).
 struct HistogramSnapshot {
+  /// Raw-sample budget for the exact-quantile path: populations at or below
+  /// this size keep every observation, so Quantile needs no bucket
+  /// interpolation (which drifts badly on small windowed samples — a p99
+  /// over 40 requests should be an order statistic, not a bucket midpoint).
+  static constexpr size_t kExactQuantileSamples = 256;
+
   std::vector<double> bounds;    ///< upper bucket bounds (last = +inf).
   std::vector<uint64_t> counts;  ///< per-bucket counts, bounds.size() long.
   uint64_t count = 0;
   double sum = 0.0;
   double min = 0.0;  ///< 0 when count == 0.
   double max = 0.0;
+  /// Every raw observation when count <= kExactQuantileSamples and the
+  /// source could vouch for completeness (quiesced single-writer snapshots
+  /// always can; a snapshot racing concurrent observers may fall back to
+  /// empty). Unsorted; empty means "bucket interpolation only".
+  std::vector<double> samples;
 
   double Mean() const {
     return count == 0 ? 0.0 : sum / static_cast<double>(count);
   }
 
-  /// Quantile estimate from the bucket counts, q in [0, 1] (clamped).
-  /// Returns 0 when empty. Linear interpolation inside the bucket holding
-  /// the requested rank; the first/overflow buckets clamp to min/max so the
-  /// open-ended bucket cannot produce infinities.
+  /// Quantile estimate, q in [0, 1] (clamped). Returns 0 when empty. When
+  /// `samples` holds the complete population (samples.size() == count) the
+  /// result is the exact linearly-interpolated order statistic; otherwise
+  /// linear interpolation inside the bucket holding the requested rank, with
+  /// the first/overflow buckets clamped to min/max so the open-ended bucket
+  /// cannot produce infinities.
   double Quantile(double q) const;
+
+  /// Accumulates `other` into this snapshot. Both must share one bucket
+  /// layout (identical bounds) unless one side is default-constructed empty.
+  /// Counts, sums and min/max merge exactly; `samples` stays exact while the
+  /// merged population fits kExactQuantileSamples and both sides were exact,
+  /// else it empties. Associative and commutative on every derived statistic
+  /// (sample order differs across merge orders, but Quantile sorts).
+  void MergeFrom(const HistogramSnapshot& other);
 };
 
 /// Fixed-bucket histogram. `Observe` is lock-free (atomic per-bucket counts;
@@ -141,11 +162,25 @@ class Histogram {
   // Snapshot maps the sentinels back to 0 while empty.
   std::atomic<double> min_{std::numeric_limits<double>::infinity()};
   std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+  // First kExactQuantileSamples raw observations, for the exact-small
+  // quantile path: observers claim a slot via sample_slots_ and flip the
+  // slot's ready flag after the value store, so Snapshot never reads an
+  // unwritten slot.
+  std::unique_ptr<std::atomic<double>[]> samples_;
+  std::unique_ptr<std::atomic<uint8_t>[]> sample_ready_;
+  std::atomic<uint32_t> sample_slots_{0};
 };
 
 /// Key/value labels distinguishing metrics within a family, e.g.
 /// {{"method", "EA-DRL"}}. Order-insensitive (sorted internally).
 using Labels = std::vector<std::pair<std::string, std::string>>;
+
+// Sliding-window metrics (src/obs/window.h). Forward-declared so the
+// registry can own them without metrics.h -> window.h -> metrics.h cycling;
+// metrics.cc includes the full definitions.
+struct WindowOptions;
+class WindowedCounter;
+class WindowedHistogram;
 
 /// Thread-safe registry of named metric families. Getters create on first
 /// use and return stable pointers that remain valid for the registry's
@@ -154,7 +189,11 @@ using Labels = std::vector<std::pair<std::string, std::string>>;
 /// registration; a later lookup with a conflicting type aborts.
 class MetricRegistry {
  public:
-  MetricRegistry() = default;
+  /// Both out of line: Entry holds unique_ptrs to the forward-declared
+  /// windowed metrics, so map teardown (destructor, and the constructor's
+  /// unwind path) must live where they are complete.
+  MetricRegistry();
+  ~MetricRegistry();
   MetricRegistry(const MetricRegistry&) = delete;
   MetricRegistry& operator=(const MetricRegistry&) = delete;
 
@@ -165,6 +204,17 @@ class MetricRegistry {
   Histogram* GetHistogram(const std::string& name,
                           std::vector<double> bounds = {},
                           const Labels& labels = {});
+  /// Sliding-window variants, rendered with windowed rate/quantile series by
+  /// the exporters below. `options` (and `bounds`) apply only when the
+  /// (name, labels) pair is first created — first registration wins, like
+  /// histogram bounds.
+  WindowedCounter* GetWindowedCounter(const std::string& name,
+                                      const WindowOptions& options,
+                                      const Labels& labels = {});
+  WindowedHistogram* GetWindowedHistogram(const std::string& name,
+                                          const WindowOptions& options,
+                                          std::vector<double> bounds = {},
+                                          const Labels& labels = {});
 
   /// Serializes every metric to a JSON object keyed by family name; each
   /// family maps the label signature ("k=v,k2=v2" or "" for no labels) to
@@ -191,7 +241,13 @@ class MetricRegistry {
   static MetricRegistry& Default();
 
  private:
-  enum class Kind { kCounter, kGauge, kHistogram };
+  enum class Kind {
+    kCounter,
+    kGauge,
+    kHistogram,
+    kWindowedCounter,
+    kWindowedHistogram,
+  };
 
   struct Entry {
     Kind kind;
@@ -199,10 +255,13 @@ class MetricRegistry {
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
+    std::unique_ptr<WindowedCounter> windowed_counter;
+    std::unique_ptr<WindowedHistogram> windowed_histogram;
   };
 
   Entry* FindOrCreate(const std::string& name, const Labels& labels,
-                      Kind kind, std::vector<double> bounds);
+                      Kind kind, std::vector<double> bounds,
+                      const WindowOptions* window);
 
   mutable std::mutex mu_;
   // family name -> label signature -> metric.

@@ -9,7 +9,10 @@
 namespace eadrl::serve {
 
 BatchingQueue::BatchingQueue(const Options& options, DrainFn drain)
-    : opt_(options), drain_(std::move(drain)), pool_(options.pool) {
+    : opt_(options),
+      drain_(std::move(drain)),
+      pool_(options.pool),
+      queue_delay_(options.window, {}) {
   EADRL_CHECK(drain_ != nullptr);
   if (opt_.max_queue == 0) opt_.max_queue = 1;
   if (pool_ == nullptr) pool_ = &par::DefaultPool();
@@ -59,6 +62,7 @@ void BatchingQueue::DrainLoop() {
                    std::make_move_iterator(queue_.end()));
       queue_.clear();
     }
+    ObserveQueueDelay(batch);
     drain_(std::move(batch));
   }
 }
@@ -77,8 +81,26 @@ bool BatchingQueue::DrainOnce() {
                  std::make_move_iterator(queue_.end()));
     queue_.clear();
   }
+  ObserveQueueDelay(batch);
   drain_(std::move(batch));
   return true;
+}
+
+void BatchingQueue::ObserveQueueDelay(const std::vector<Request>& batch) {
+  if (!opt_.track_queue_delay || batch.empty()) return;
+  // Two clock readings (wall + window) cover the whole batch; the window
+  // epoch cannot change between rows of one drain.
+  const auto now = std::chrono::steady_clock::now();
+  const uint64_t obs_now = queue_delay_.NowNs();
+  for (const Request& request : batch) {
+    queue_delay_.ObserveAt(
+        obs_now,
+        std::chrono::duration<double>(now - request.enqueue_time).count());
+  }
+}
+
+obs::WindowedHistogramSnapshot BatchingQueue::QueueDelaySnapshot() const {
+  return queue_delay_.Snapshot();
 }
 
 void BatchingQueue::Flush() {

@@ -14,6 +14,7 @@
 #include "chk/thread_annotations.h"
 #include "common/status.h"
 #include "math/vec.h"
+#include "obs/window.h"
 #include "par/thread_pool.h"
 #include "serve/session_table.h"
 
@@ -56,6 +57,14 @@ class BatchingQueue {
     size_t linger_us = 0;
     bool manual_drain = false;
     par::ThreadPool* pool = nullptr;  ///< nullptr = par::DefaultPool().
+    /// Layout/clock for the queue-delay window (QueueDelaySnapshot).
+    obs::WindowOptions window;
+    /// Opt-in: record each drained request's backlog residence time into the
+    /// queue-delay window (two clock reads plus one windowed observation per
+    /// request). Off by default so a raw queue costs nothing extra;
+    /// ForecastService forwards `ServeConfig::windowed_stats` here, and its
+    /// Stats surface the estimate when it is on.
+    bool track_queue_delay = false;
   };
 
   using DrainFn = std::function<void(std::vector<Request>)>;
@@ -90,7 +99,16 @@ class BatchingQueue {
 
   size_t depth() const EADRL_EXCLUDES(queue_mu_);
 
+  /// Windowed admission-to-drain delay, seconds: how long requests sat in
+  /// the backlog before a drainer took them. The SLO-aware-admission signal
+  /// (ROADMAP): a rising windowed queue delay is the leading indicator that
+  /// admitted requests will miss their latency objective.
+  obs::WindowedHistogramSnapshot QueueDelaySnapshot() const;
+
  private:
+  /// Observes each taken request's backlog residence time. Called with no
+  /// lock held, on the batch just moved out of the queue.
+  void ObserveQueueDelay(const std::vector<Request>& batch);
   /// Body of the scheduled drainer task: repeatedly lingers, snapshots the
   /// backlog, and feeds it to drain_ (without the lock) until the queue is
   /// observed empty, then deactivates under the lock (so a racing
@@ -108,6 +126,9 @@ class BatchingQueue {
   std::condition_variable_any idle_cv_;
   std::deque<Request> queue_ EADRL_GUARDED_BY(queue_mu_);
   bool drain_active_ EADRL_GUARDED_BY(queue_mu_) = false;
+  /// Internally synchronized (obs_window rank, below serve_queue; observed
+  /// with queue_mu_ released anyway).
+  obs::WindowedHistogram queue_delay_ EADRL_UNGUARDED;
 };
 
 }  // namespace eadrl::serve

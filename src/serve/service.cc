@@ -53,11 +53,51 @@ ForecastService::ForecastService(const ServeConfig& config)
       occupancy_hist_(obs::MetricRegistry::Default().GetHistogram(
           "eadrl_serve_batch_occupancy",
           obs::Histogram::LinearBounds(1.0, 1.0, 64))),
+      predict_window_(config.window),
+      shed_window_(config.window),
+      predict_latency_window_(config.window, {}),
+      windowed_(config.windowed_stats),
       queue_(
           BatchingQueue::Options{config.max_queue, config.linger_us,
-                                 config.manual_drain, config.pool},
+                                 config.manual_drain, config.pool,
+                                 config.window,
+                                 /*track_queue_delay=*/config.windowed_stats},
           [this](std::vector<Request> batch) { ProcessBatch(std::move(batch)); }) {
   if (config_.max_batch == 0) config_.max_batch = 1;
+  if (config_.slo.enabled) {
+    obs::SloTrackerOptions slo;
+    slo.objectives.push_back(
+        {"predict_latency", config_.slo.latency_threshold_seconds,
+         config_.slo.latency_target});
+    slo.objectives.push_back(
+        {"availability", 0.0, config_.slo.availability_target});
+    slo.burn_threshold = config_.slo.burn_threshold;
+    // Both burn windows follow the configured clock so fake-clock tests
+    // drive SLO edges deterministically; the long window reuses the
+    // configured layout, the short one a quarter of it (at least one tick).
+    slo.long_window = config_.window;
+    slo.short_window = config_.window;
+    slo.short_window.buckets = std::max<size_t>(config_.window.buckets / 4, 1);
+    slo_ = std::make_unique<obs::SloTracker>(slo);
+  }
+  if (config_.tenant_drilldown > 0) {
+    obs::LabeledWindowedFamilyOptions family;
+    family.name = "eadrl_serve_tenant_predict_seconds";
+    family.label_key = "tenant";
+    family.max_labels = config_.tenant_drilldown;
+    family.window = config_.window;
+    tenant_family_ = std::make_unique<obs::LabeledWindowedFamily>(family);
+  }
+  if (config_.policy_drilldown > 0) {
+    obs::LabeledWindowedFamilyOptions family;
+    family.name = "eadrl_serve_policy_predict_seconds";
+    family.label_key = "policy";
+    family.max_labels = config_.policy_drilldown;
+    family.window = config_.window;
+    policy_family_ = std::make_unique<obs::LabeledWindowedFamily>(family);
+  }
+  obs_live_ = windowed_ || slo_ != nullptr || tenant_family_ != nullptr ||
+              policy_family_ != nullptr;
 }
 
 ForecastService::~ForecastService() { Flush(); }
@@ -69,6 +109,8 @@ size_t ForecastService::RegisterPolicy(
   policy->fresh_state = trained->ExportOnlineState();
   policy->combiner = std::move(trained);
   std::lock_guard<chk::OrderedMutex> lock(policies_mu_);
+  policy->id = policies_.size();  // pre-publication, like fresh_state.
+  policy->label = std::to_string(policy->id);
   policies_.push_back(std::move(policy));
   return policies_.size() - 1;
 }
@@ -88,7 +130,7 @@ Status ForecastService::CreateSession(const std::string& tenant,
   const uint64_t generation =
       next_generation_.fetch_add(1, std::memory_order_relaxed) + 1;
   auto session =
-      std::make_shared<Session>(std::move(policy), generation, scaler,
+      std::make_shared<Session>(tenant, std::move(policy), generation, scaler,
                                 config_.drift_delta, config_.drift_lambda);
   EADRL_RETURN_IF_ERROR(table_.Insert(tenant, std::move(session)));
   sessions_created_.fetch_add(1, std::memory_order_relaxed);
@@ -131,6 +173,8 @@ Status ForecastService::Admit(Request request, const std::string& tenant) {
   if (inflight >= effective_max_inflight_) {
     shed_.fetch_add(1, std::memory_order_relaxed);
     shed_counter_->Inc();
+    if (windowed_) shed_window_.Inc();
+    if (slo_ != nullptr) slo_->Record(kSloAvailabilityObjective, false);
     span.SetAttr("shed", true);
     EADRL_TELEMETRY("serve_shed", {"tenant", tenant}, {"kind", kind},
                     {"reason", "inflight"}, {"inflight", inflight});
@@ -152,6 +196,8 @@ Status ForecastService::Admit(Request request, const std::string& tenant) {
     inflight_.fetch_sub(1, std::memory_order_relaxed);
     shed_.fetch_add(1, std::memory_order_relaxed);
     shed_counter_->Inc();
+    if (windowed_) shed_window_.Inc();
+    if (slo_ != nullptr) slo_->Record(kSloAvailabilityObjective, false);
     span.SetAttr("shed", true);
     EADRL_TELEMETRY("serve_shed", {"tenant", tenant}, {"kind", kind},
                     {"reason", "queue_full"},
@@ -160,6 +206,7 @@ Status ForecastService::Admit(Request request, const std::string& tenant) {
         "serving queue full (" + std::to_string(config_.max_queue) +
         " requests)");
   }
+  if (slo_ != nullptr) slo_->Record(kSloAvailabilityObjective, true);
   return Status::Ok();
 }
 
@@ -260,11 +307,37 @@ ServeStats ForecastService::Stats() const {
   stats.drift_events = drift_events_.load(std::memory_order_relaxed);
   stats.inflight = inflight_.load(std::memory_order_relaxed);
   stats.queue_depth = queue_.depth();
+
+  const obs::WindowedCounterSnapshot predicts = predict_window_.Snapshot();
+  const obs::WindowedCounterSnapshot sheds = shed_window_.Snapshot();
+  const obs::WindowedHistogramSnapshot latency =
+      predict_latency_window_.Snapshot();
+  stats.window_seconds = predicts.window_seconds;
+  stats.window_predict_qps = predicts.Rate();
+  stats.window_shed_rate = sheds.Rate();
+  stats.window_predict_p50_s = latency.values.Quantile(0.5);
+  stats.window_predict_p99_s = latency.values.Quantile(0.99);
+
+  const obs::WindowedHistogramSnapshot delay = queue_.QueueDelaySnapshot();
+  stats.queue_delay_count = delay.values.count;
+  stats.queue_delay_mean_s = delay.values.Mean();
+  stats.queue_delay_p50_s = delay.values.Quantile(0.5);
+  stats.queue_delay_p99_s = delay.values.Quantile(0.99);
+  stats.queue_delay_max_s = delay.values.max;
   return stats;
 }
 
 obs::HistogramSnapshot ForecastService::PredictLatencySnapshot() const {
   return predict_latency_hist_->Snapshot();
+}
+
+obs::WindowedHistogramSnapshot ForecastService::PredictLatencyWindowSnapshot()
+    const {
+  return predict_latency_window_.Snapshot();
+}
+
+obs::WindowedHistogramSnapshot ForecastService::QueueDelaySnapshot() const {
+  return queue_.QueueDelaySnapshot();
 }
 
 void ForecastService::Flush() { queue_.Flush(); }
@@ -301,6 +374,10 @@ void ForecastService::ProcessBatch(std::vector<Request> batch) {
     processed += wave.size();
   }
   queue_depth_gauge_->Set(static_cast<double>(queue_.depth()));
+  // Per-batch evaluation gives breach/recover edges drain-rate resolution
+  // without a dedicated evaluator thread (the exporter also evaluates on
+  // its own tick, covering idle gaps).
+  if (slo_ != nullptr) slo_->Evaluate();
 }
 
 void ForecastService::ProcessWave(std::vector<Request>* batch,
@@ -426,6 +503,13 @@ void ForecastService::ProcessWave(std::vector<Request>* batch,
     batch_rows_counter_->Inc(static_cast<double>(group.size()));
     occupancy_hist_->Observe(static_cast<double>(group.size()));
 
+    // One wall-clock and one window-clock reading cover the whole group:
+    // every row completes "now", so per-row re-reads would only add ~8
+    // clock_gettime calls per request without changing any observation. The
+    // window clock is read only when a live-obs sink will consume it.
+    const auto completion = std::chrono::steady_clock::now();
+    const uint64_t obs_now = obs_live_ ? predict_window_.NowNs() : 0;
+
     for (size_t g = 0; g < group.size(); ++g) {
       Pending& p = pending[group[g]];
       Request& request = (*batch)[p.index];
@@ -446,8 +530,26 @@ void ForecastService::ProcessWave(std::vector<Request>* batch,
       p.lock.unlock();
       predicts_done_.fetch_add(1, std::memory_order_relaxed);
       predict_counter_->Inc();
-      const double latency = SecondsSince(request.enqueue_time);
+      const double latency =
+          std::chrono::duration<double>(completion - request.enqueue_time)
+              .count();
       predict_latency_hist_->Observe(latency);
+      // Windowed stats, SLO and drill-down are observed with the session
+      // lock released: the metric locks (obs_family/obs_window) are leaves
+      // and never nest under serve locks on this path.
+      if (windowed_) {
+        predict_window_.IncAt(obs_now);
+        predict_latency_window_.ObserveAt(obs_now, latency);
+      }
+      if (slo_ != nullptr) {
+        slo_->RecordLatencyAt(obs_now, kSloLatencyObjective, latency);
+      }
+      if (tenant_family_ != nullptr) {
+        tenant_family_->ObserveAt(obs_now, session.tenant, latency);
+      }
+      if (policy_family_ != nullptr) {
+        policy_family_->ObserveAt(obs_now, session.policy->label, latency);
+      }
       if (rspan.armed()) {
         rspan.SetAttr("kind", "predict");
         rspan.SetAttr("queue_wait_seconds", latency);

@@ -15,7 +15,10 @@
 #include "common/status.h"
 #include "core/eadrl.h"
 #include "math/vec.h"
+#include "obs/cardinality.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/window.h"
 #include "par/thread_pool.h"
 #include "serve/batching_queue.h"
 #include "serve/session_table.h"
@@ -40,6 +43,37 @@ struct ServeConfig {
   double drift_delta = 0.005;    ///< per-session Page-Hinkley tolerance.
   double drift_lambda = 3.0;     ///< per-session Page-Hinkley threshold.
   par::ThreadPool* pool = nullptr;  ///< nullptr = par::DefaultPool().
+
+  /// Sub-window layout + clock for the service's live windowed stats
+  /// (windowed QPS / p99 / shed rate, queue delay, drill-down families).
+  /// Tests inject a fake clock here; it propagates everywhere.
+  obs::WindowOptions window;
+  /// Opt-in: maintain the live windowed stats (windowed QPS/p99/shed rate
+  /// in Stats(), queue-delay estimator). Off by default — the enabled path
+  /// costs a handful of atomic RMWs per predict (priced in
+  /// bench/window_bench.cc and BM_BatchingQueueEnqueueDrainTracked), which
+  /// the lean serving path does not pay unless asked. tools/eadrl_serve
+  /// turns this on.
+  bool windowed_stats = false;
+  /// Cardinality caps for the per-tenant / per-policy latency drill-down
+  /// (see obs::LabeledWindowedFamily); 0 (the default) disables that
+  /// drill-down. Opt-in because each enabled family adds a mutex-serialized
+  /// label lookup per predict on the completion path; tools/eadrl_serve
+  /// turns both on.
+  size_t tenant_drilldown = 0;
+  size_t policy_drilldown = 0;
+
+  /// SLO tracking (obs::SloTracker); when enabled the service maintains two
+  /// objectives — predict latency (threshold below) and availability
+  /// (admitted vs shed) — evaluated after every drained batch.
+  struct Slo {
+    bool enabled = false;
+    double latency_threshold_seconds = 0.05;
+    double latency_target = 0.99;
+    double availability_target = 0.999;
+    double burn_threshold = 2.0;
+  };
+  Slo slo;
 };
 
 /// Service-wide counters (monotone since construction, except gauges).
@@ -58,6 +92,20 @@ struct ServeStats {
   uint64_t drift_events = 0;
   uint64_t inflight = 0;          ///< admitted, not yet completed.
   uint64_t queue_depth = 0;
+
+  // Windowed view (last ServeConfig::window span; see obs/window.h). All
+  // rates are per second over window_seconds.
+  double window_seconds = 0.0;
+  double window_predict_qps = 0.0;
+  double window_shed_rate = 0.0;
+  double window_predict_p50_s = 0.0;
+  double window_predict_p99_s = 0.0;
+  /// Windowed admission-to-drain backlog residence (BatchingQueue).
+  uint64_t queue_delay_count = 0;
+  double queue_delay_mean_s = 0.0;
+  double queue_delay_p50_s = 0.0;
+  double queue_delay_p99_s = 0.0;
+  double queue_delay_max_s = 0.0;
 
   /// Mean rows per batched actor pass — the cross-tenant batching win; > 1
   /// means concurrent tenants actually shared actor passes.
@@ -107,6 +155,10 @@ struct SessionInfo {
 /// policy mutex.
 class ForecastService {
  public:
+  /// SLO objective indices within slo_tracker().
+  static constexpr size_t kSloLatencyObjective = 0;
+  static constexpr size_t kSloAvailabilityObjective = 1;
+
   explicit ForecastService(const ServeConfig& config);
 
   /// Drains in-flight work, then tears down. The configured pool must
@@ -166,6 +218,26 @@ class ForecastService {
   /// End-to-end predict latency (admission to completion callback), seconds.
   obs::HistogramSnapshot PredictLatencySnapshot() const;
 
+  /// Windowed predict latency over the last ServeConfig::window span.
+  obs::WindowedHistogramSnapshot PredictLatencyWindowSnapshot() const;
+
+  /// Windowed backlog residence time (see BatchingQueue::QueueDelaySnapshot).
+  obs::WindowedHistogramSnapshot QueueDelaySnapshot() const;
+
+  /// The service's SLO tracker; nullptr when ServeConfig::slo.enabled is
+  /// false. Objective 0 is predict latency, objective 1 availability.
+  obs::SloTracker* slo_tracker() { return slo_.get(); }
+  const obs::SloTracker* slo_tracker() const { return slo_.get(); }
+
+  /// Per-tenant / per-policy windowed predict-latency drill-down; nullptr
+  /// when the corresponding cap in ServeConfig is 0.
+  const obs::LabeledWindowedFamily* tenant_drilldown() const {
+    return tenant_family_.get();
+  }
+  const obs::LabeledWindowedFamily* policy_drilldown() const {
+    return policy_family_.get();
+  }
+
   /// Blocks until all admitted requests completed (see BatchingQueue::Flush).
   void Flush();
 
@@ -221,6 +293,23 @@ class ForecastService {
   obs::Histogram* predict_latency_hist_;
   obs::Histogram* observe_latency_hist_;
   obs::Histogram* occupancy_hist_;
+
+  // Service-owned windowed stats (NOT in the default registry: they follow
+  // ServeConfig::window's injected clock, and each service instance gets its
+  // own window — exporters reach them through sections, see DESIGN.md "Live
+  // serving observability"). All internally synchronized.
+  obs::WindowedCounter predict_window_ EADRL_UNGUARDED;
+  obs::WindowedCounter shed_window_ EADRL_UNGUARDED;
+  obs::WindowedHistogram predict_latency_window_ EADRL_UNGUARDED;
+  /// Null unless the corresponding config enables them.
+  std::unique_ptr<obs::SloTracker> slo_ EADRL_UNGUARDED;
+  std::unique_ptr<obs::LabeledWindowedFamily> tenant_family_ EADRL_UNGUARDED;
+  std::unique_ptr<obs::LabeledWindowedFamily> policy_family_ EADRL_UNGUARDED;
+  /// ServeConfig::windowed_stats: feed the windowed counters above.
+  bool windowed_ = false;
+  /// Any live-obs sink enabled (windowed stats, SLO, drill-down): the
+  /// completion path reads the window clock only when something consumes it.
+  bool obs_live_ = false;
 
   /// Declared last: its destructor drains while every member above is alive
   /// (ProcessBatch touches the table, counters and metrics).

@@ -8,10 +8,11 @@
 
 namespace eadrl::serve {
 
-Session::Session(std::shared_ptr<Policy> policy_in, uint64_t generation_in,
-                 const ts::StandardScaler* scaler_in, double drift_delta_in,
-                 double drift_lambda_in)
-    : policy(std::move(policy_in)),
+Session::Session(std::string tenant_in, std::shared_ptr<Policy> policy_in,
+                 uint64_t generation_in, const ts::StandardScaler* scaler_in,
+                 double drift_delta_in, double drift_lambda_in)
+    : tenant(std::move(tenant_in)),
+      policy(std::move(policy_in)),
       generation(generation_in),
       has_scaler(scaler_in != nullptr),
       scaler(scaler_in != nullptr ? *scaler_in : ts::StandardScaler()),

@@ -32,6 +32,12 @@ struct Policy {
   /// agent_mu.
   std::unique_ptr<core::EadrlCombiner> combiner EADRL_UNGUARDED;
   core::OnlineState fresh_state EADRL_UNGUARDED;  ///< written pre-publication.
+  /// Registration index, written pre-publication — the per-policy
+  /// drill-down label ("policy=<id>").
+  size_t id EADRL_UNGUARDED = 0;
+  /// `id` rendered once at registration so the per-request drill-down
+  /// observation never allocates a label string on the serving path.
+  std::string label EADRL_UNGUARDED;
   /// Serializes access to the combiner's agent workspace (ActBatch reuses
   /// internal buffers; see EadrlCombiner::agent()). Innermost serve lock:
   /// held while session locks are held (ProcessWave), never the reverse.
@@ -48,8 +54,9 @@ struct Session {
   /// Opted out of clang's thread-safety analysis: the constructor calls
   /// Reset() (which requires session_mu) before the session is published,
   /// when no other thread can see it.
-  Session(std::shared_ptr<Policy> policy_in, uint64_t generation_in,
-          const ts::StandardScaler* scaler_in, double drift_delta,
+  Session(std::string tenant_in, std::shared_ptr<Policy> policy_in,
+          uint64_t generation_in, const ts::StandardScaler* scaler_in,
+          double drift_delta,
           double drift_lambda) EADRL_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Restores fresh-construction state: the online window is re-cloned from
@@ -60,6 +67,9 @@ struct Session {
   /// across a session's lifetimes.
   void Reset() EADRL_REQUIRES(session_mu);
 
+  /// The owning tenant's key — carried on the session so the wave processor
+  /// can label drill-down metrics without a reverse table lookup.
+  const std::string tenant EADRL_UNGUARDED;  ///< const after ctor.
   std::shared_ptr<Policy> policy EADRL_UNGUARDED;  ///< const after ctor.
   /// Monotone id distinguishing a session from any predecessor under the
   /// same tenant key (eviction + recreation bumps it) — regression tests use

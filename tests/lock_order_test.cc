@@ -72,9 +72,15 @@ TEST(LockRankTest, RegistryNamesAreExposed) {
   EXPECT_STREQ(LockRankName(LockRank::k_obs_trace_shard), "obs_trace_shard");
 }
 
+// Every test's mutex pair is `static`: TSan's deadlock detector keys pthread
+// mutexes by address and std::mutex never calls pthread_mutex_destroy, so
+// stack-allocated pairs recycle addresses across tests and TSan would merge
+// this test's queue->session order with a later test's deliberate
+// session->queue order into a false lock-order-inversion report. Distinct
+// static addresses keep each pair's acquisition order one-directional.
 TEST_F(LockOrderTest, RegistryOrderAcquisitionIsClean) {
-  OrderedMutex queue{EADRL_LOCK_RANK(serve_queue), "test::queue"};
-  OrderedMutex session{EADRL_LOCK_RANK(serve_session), "test::session"};
+  static OrderedMutex queue{EADRL_LOCK_RANK(serve_queue), "test::queue"};
+  static OrderedMutex session{EADRL_LOCK_RANK(serve_session), "test::session"};
   for (int pass = 0; pass < 2; ++pass) {
     std::lock_guard<OrderedMutex> q(queue);
     std::lock_guard<OrderedMutex> s(session);
@@ -94,8 +100,8 @@ TEST_F(LockOrderTest, RegistryOrderAcquisitionIsClean) {
 
 TEST_F(LockOrderTest, CycleDetectionFiresOnInvertedOrder) {
   if (!LockdepCompiled()) GTEST_SKIP() << "lockdep compiled out";
-  OrderedMutex queue{EADRL_LOCK_RANK(serve_queue), "test::queue"};
-  OrderedMutex session{EADRL_LOCK_RANK(serve_session), "test::session"};
+  static OrderedMutex queue{EADRL_LOCK_RANK(serve_queue), "test::queue"};
+  static OrderedMutex session{EADRL_LOCK_RANK(serve_session), "test::session"};
   {  // Path 1 records queue -> session.
     std::lock_guard<OrderedMutex> q(queue);
     std::lock_guard<OrderedMutex> s(session);
@@ -118,8 +124,8 @@ TEST_F(LockOrderTest, CycleDetectionFiresOnInvertedOrder) {
 
 TEST_F(LockOrderTest, CycleIsCaughtAcrossThreads) {
   if (!LockdepCompiled()) GTEST_SKIP() << "lockdep compiled out";
-  OrderedMutex queue{EADRL_LOCK_RANK(serve_queue), "test::queue"};
-  OrderedMutex session{EADRL_LOCK_RANK(serve_session), "test::session"};
+  static OrderedMutex queue{EADRL_LOCK_RANK(serve_queue), "test::queue"};
+  static OrderedMutex session{EADRL_LOCK_RANK(serve_session), "test::session"};
   // A worker records the queue -> session edge, then exits. The graph is
   // process-wide, so the main thread's inverted path still closes the cycle
   // even though the two paths never overlapped in time.
@@ -138,8 +144,8 @@ TEST_F(LockOrderTest, CycleIsCaughtAcrossThreads) {
 
 TEST_F(LockOrderTest, SameRankNeedsAscendingAddressOrder) {
   if (!LockdepCompiled()) GTEST_SKIP() << "lockdep compiled out";
-  OrderedMutex a{EADRL_LOCK_RANK(serve_session), "test::a"};
-  OrderedMutex b{EADRL_LOCK_RANK(serve_session), "test::b"};
+  static OrderedMutex a{EADRL_LOCK_RANK(serve_session), "test::a"};
+  static OrderedMutex b{EADRL_LOCK_RANK(serve_session), "test::b"};
   OrderedMutex* lo = &a;
   OrderedMutex* hi = &b;
   if (std::less<const OrderedMutex*>()(hi, lo)) std::swap(lo, hi);
@@ -157,8 +163,8 @@ TEST_F(LockOrderTest, SameRankNeedsAscendingAddressOrder) {
 
 TEST_F(LockOrderTest, TryLockRecordsNoEdges) {
   if (!LockdepCompiled()) GTEST_SKIP() << "lockdep compiled out";
-  OrderedMutex queue{EADRL_LOCK_RANK(serve_queue), "test::queue"};
-  OrderedMutex session{EADRL_LOCK_RANK(serve_session), "test::session"};
+  static OrderedMutex queue{EADRL_LOCK_RANK(serve_queue), "test::queue"};
+  static OrderedMutex session{EADRL_LOCK_RANK(serve_session), "test::session"};
   {
     std::lock_guard<OrderedMutex> s(session);
     // Out of registry order, but a successful try_lock cannot deadlock, so
@@ -172,8 +178,8 @@ TEST_F(LockOrderTest, TryLockRecordsNoEdges) {
 TEST_F(LockOrderTest, DisabledTrackerIgnoresAcquisitions) {
   if (!LockdepCompiled()) GTEST_SKIP() << "lockdep compiled out";
   LockTracker::Instance().SetEnabledForTest(false);
-  OrderedMutex queue{EADRL_LOCK_RANK(serve_queue), "test::queue"};
-  OrderedMutex session{EADRL_LOCK_RANK(serve_session), "test::session"};
+  static OrderedMutex queue{EADRL_LOCK_RANK(serve_queue), "test::queue"};
+  static OrderedMutex session{EADRL_LOCK_RANK(serve_session), "test::session"};
   {  // Inverted, but tracking is off: must stay silent and untracked.
     std::lock_guard<OrderedMutex> s(session);
     std::lock_guard<OrderedMutex> q(queue);
@@ -185,8 +191,8 @@ TEST_F(LockOrderTest, DisabledTrackerIgnoresAcquisitions) {
 
 TEST_F(LockOrderTest, CompiledOutBuildPerformsZeroTracking) {
   if (LockdepCompiled()) GTEST_SKIP() << "covered by the tracking tests";
-  OrderedMutex queue{EADRL_LOCK_RANK(serve_queue), "test::queue"};
-  OrderedMutex session{EADRL_LOCK_RANK(serve_session), "test::session"};
+  static OrderedMutex queue{EADRL_LOCK_RANK(serve_queue), "test::queue"};
+  static OrderedMutex session{EADRL_LOCK_RANK(serve_session), "test::session"};
   {  // Inverted order: with the hooks compiled out this must be silent.
     std::lock_guard<OrderedMutex> s(session);
     std::lock_guard<OrderedMutex> q(queue);

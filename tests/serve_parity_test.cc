@@ -76,6 +76,16 @@ TEST(ServeParityTest, BatchedReplayMatchesSerialReferenceBitExact) {
   serve::ServeConfig config;
   config.manual_drain = true;
   config.max_batch = 64;
+  // PR 10: run with the full observability stack live — SLO tracking with a
+  // deliberately impossible threshold (every predict classified bad, breach
+  // edges firing mid-replay) and per-tenant/per-policy drill-down with a cap
+  // below kTenants (overflow path active). Instrumentation sits outside the
+  // numeric path, so parity must remain bit-exact regardless.
+  config.windowed_stats = true;
+  config.slo.enabled = true;
+  config.slo.latency_threshold_seconds = 1e-12;
+  config.tenant_drilldown = 3;
+  config.policy_drilldown = 2;
   serve::ForecastService service(config);
   // Two registered policies (same weights, separate agent workspaces):
   // waves must group rows per policy, so every wave here runs two batched
@@ -143,6 +153,14 @@ TEST(ServeParityTest, BatchedReplayMatchesSerialReferenceBitExact) {
   const serve::ServeStats stats = service.Stats();
   EXPECT_GT(stats.MeanActBatchRows(), 1.0);
   EXPECT_GE(stats.act_batches, 2u * kRounds);  // two policy groups per wave.
+
+  // The instrumentation was genuinely live, not just configured: the
+  // impossible latency SLO breached and the capped drill-down overflowed.
+  ASSERT_NE(service.slo_tracker(), nullptr);
+  EXPECT_GE(service.slo_tracker()->Report().TotalBreaches(), 1u);
+  ASSERT_NE(service.tenant_drilldown(), nullptr);
+  EXPECT_LE(service.tenant_drilldown()->TrackedLabels(), 3u);
+  EXPECT_GT(service.tenant_drilldown()->Overflow(), 0u);
 
   // Serial reference: one private combiner per tenant, the exact same input
   // sequence, scaling applied with the same StandardScaler ops the service

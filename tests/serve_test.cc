@@ -332,6 +332,162 @@ TEST(ForecastServiceTest, ObserveBeforeAnyPredictIsInert) {
 }
 
 // ---------------------------------------------------------------------------
+// Live observability wiring (PR 10): windowed stats, queue-delay exposure,
+// SLO tracking and the bounded per-tenant drill-down.
+
+std::atomic<uint64_t> g_fake_now_ns{0};
+
+uint64_t FakeNow() { return g_fake_now_ns.load(std::memory_order_relaxed); }
+
+void SetFakeNowSeconds(double seconds) {
+  g_fake_now_ns.store(static_cast<uint64_t>(seconds * 1e9),
+                      std::memory_order_relaxed);
+}
+
+serve::ServeConfig FakeClockConfig() {
+  serve::ServeConfig config = ManualConfig();
+  config.windowed_stats = true;
+  config.window.buckets = 4;
+  config.window.tick_seconds = 1.0;
+  config.window.now_ns = &FakeNow;
+  return config;
+}
+
+TEST(ForecastServiceObsTest, WindowedStatsAndQueueDelayExposed) {
+  SetFakeNowSeconds(1000.0);
+  serve::ForecastService service(FakeClockConfig());
+  const size_t policy_id = service.RegisterPolicy(NewCombiner());
+  ASSERT_TRUE(service.CreateSession("a", policy_id).ok());
+
+  for (size_t step = 0; step < 3; ++step) {
+    ASSERT_TRUE(service.Predict("a", Preds(step)).ok());
+  }
+  serve::ServeStats stats = service.Stats();
+  EXPECT_DOUBLE_EQ(stats.window_seconds, 1.0);  // one resident sub-window.
+  EXPECT_DOUBLE_EQ(stats.window_predict_qps, 3.0);
+  EXPECT_DOUBLE_EQ(stats.window_shed_rate, 0.0);
+  EXPECT_GT(stats.window_predict_p99_s, 0.0);
+  EXPECT_GE(stats.window_predict_p99_s, stats.window_predict_p50_s);
+  // Admission-to-drain residence was recorded for every drained request —
+  // the ROADMAP "SLO-aware admission" signal.
+  EXPECT_EQ(stats.queue_delay_count, 3u);
+  EXPECT_GT(stats.queue_delay_mean_s, 0.0);
+  EXPECT_GE(stats.queue_delay_max_s, stats.queue_delay_p99_s * (1.0 - 1e-9));
+
+  const obs::WindowedHistogramSnapshot latency =
+      service.PredictLatencyWindowSnapshot();
+  EXPECT_EQ(latency.values.count, 3u);
+  EXPECT_EQ(service.QueueDelaySnapshot().values.count, 3u);
+
+  // The window slides past the burst: live rates drain to zero while the
+  // cumulative counters keep the history.
+  SetFakeNowSeconds(1100.0);
+  stats = service.Stats();
+  EXPECT_DOUBLE_EQ(stats.window_predict_qps, 0.0);
+  EXPECT_EQ(stats.queue_delay_count, 0u);
+  EXPECT_EQ(stats.predicts, 3u);
+}
+
+TEST(ForecastServiceObsTest, ShedRateLandsInTheWindow) {
+  SetFakeNowSeconds(0.0);
+  serve::ServeConfig config = FakeClockConfig();
+  config.max_queue = 1;
+  serve::ForecastService service(config);
+  const size_t policy_id = service.RegisterPolicy(NewCombiner());
+  ASSERT_TRUE(service.CreateSession("a", policy_id).ok());
+
+  auto done = [](StatusOr<double> result) { EXPECT_TRUE(result.ok()); };
+  ASSERT_TRUE(service.PredictAsync("a", Preds(0), done).ok());
+  EXPECT_EQ(service.PredictAsync("a", Preds(1), done).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(service.PredictAsync("a", Preds(2), done).code(),
+            StatusCode::kResourceExhausted);
+  while (service.DrainOnce()) {
+  }
+  const serve::ServeStats stats = service.Stats();
+  EXPECT_EQ(stats.shed, 2u);
+  EXPECT_DOUBLE_EQ(stats.window_shed_rate, 2.0);
+}
+
+TEST(ForecastServiceObsTest, SloTracksLatencyAndAvailability) {
+  SetFakeNowSeconds(0.0);
+  serve::ServeConfig config = FakeClockConfig();
+  config.max_queue = 2;
+  config.slo.enabled = true;
+  // Impossible threshold: every predict is an SLO miss, so the drained
+  // batches must drive the latency objective into breach.
+  config.slo.latency_threshold_seconds = 1e-9;
+  config.slo.latency_target = 0.9;
+  serve::ForecastService service(config);
+  ASSERT_NE(service.slo_tracker(), nullptr);
+  const size_t policy_id = service.RegisterPolicy(NewCombiner());
+  ASSERT_TRUE(service.CreateSession("a", policy_id).ok());
+
+  auto done = [](StatusOr<double> result) { EXPECT_TRUE(result.ok()); };
+  for (int round = 0; round < 4; ++round) {
+    ASSERT_TRUE(service.PredictAsync("a", Preds(round), done).ok());
+    (void)service.PredictAsync("a", Preds(round), done);  // may shed.
+    while (service.DrainOnce()) {
+    }
+  }
+  const obs::SloReport report = service.slo_tracker()->Report();
+  ASSERT_EQ(report.objectives.size(), 2u);
+  const obs::SloObjectiveReport& latency =
+      report.objectives[serve::ForecastService::kSloLatencyObjective];
+  EXPECT_GT(latency.bad, 0u);
+  EXPECT_EQ(latency.good, 0u);
+  EXPECT_GE(report.TotalBreaches(), 1u);
+  const obs::SloObjectiveReport& availability =
+      report.objectives[serve::ForecastService::kSloAvailabilityObjective];
+  // Every admitted request recorded a good availability outcome; sheds (if
+  // any raced in) recorded bad ones. Totals must cover all submissions.
+  EXPECT_GT(availability.good, 0u);
+}
+
+TEST(ForecastServiceObsTest, SloDisabledByDefault) {
+  serve::ForecastService service(ManualConfig());
+  EXPECT_EQ(service.slo_tracker(), nullptr);
+}
+
+TEST(ForecastServiceObsTest, TenantDrilldownBoundedUnderChurn) {
+  SetFakeNowSeconds(0.0);
+  serve::ServeConfig config = FakeClockConfig();
+  config.tenant_drilldown = 4;
+  config.policy_drilldown = 2;
+  serve::ForecastService service(config);
+  const size_t policy_id = service.RegisterPolicy(NewCombiner());
+  for (int t = 0; t < 10; ++t) {
+    ASSERT_TRUE(
+        service.CreateSession("tenant-" + std::to_string(t), policy_id).ok());
+  }
+  for (int t = 0; t < 10; ++t) {
+    ASSERT_TRUE(
+        service.Predict("tenant-" + std::to_string(t), Preds(t)).ok());
+  }
+  const obs::LabeledWindowedFamily* family = service.tenant_drilldown();
+  ASSERT_NE(family, nullptr);
+  // All 10 tenants predicted inside one (fake-clock) tick: the guard must
+  // keep 4 fresh slots and overflow the rest — never grow past the cap.
+  EXPECT_EQ(family->TrackedLabels(), 4u);
+  EXPECT_EQ(family->Overflow(), 6u);
+  // The per-policy drill-down labels by registration id.
+  ASSERT_NE(service.policy_drilldown(), nullptr);
+  const obs::LabeledWindowedFamilySnapshot policies =
+      service.policy_drilldown()->Snapshot();
+  ASSERT_EQ(policies.top.size(), 1u);
+  EXPECT_EQ(policies.top[0].label, std::to_string(policy_id));
+  EXPECT_EQ(policies.top[0].window.values.count, 10u);
+}
+
+TEST(ForecastServiceObsTest, DrilldownDisabledByDefault) {
+  // Drill-down is opt-in (cap 0 = off); the default config pays no per-row
+  // family-lookup cost.
+  serve::ForecastService service(ManualConfig());
+  EXPECT_EQ(service.tenant_drilldown(), nullptr);
+  EXPECT_EQ(service.policy_drilldown(), nullptr);
+}
+
+// ---------------------------------------------------------------------------
 // SessionCallGuard: the per-session serialization contract fails loudly.
 
 [[noreturn]] void ThrowHandler(const char* message) {

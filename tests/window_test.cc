@@ -1,0 +1,307 @@
+// Sliding-window metrics (src/obs/window.h): rotation at tick boundaries
+// under an injected fake clock, full-window expiry, early-window rate
+// normalization, the exact-when-small quantile path (parity against a
+// sorted-vector order-statistic reference), snapshot merging, and the
+// windowed kinds of MetricRegistry with their exporter renderings.
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/window.h"
+
+namespace eadrl::obs {
+namespace {
+
+// Injected clock: tests move time explicitly; WindowOptions::now_ns is a
+// plain function pointer, so the seam is a process-global.
+std::atomic<uint64_t> g_now_ns{0};
+
+uint64_t FakeNow() { return g_now_ns.load(std::memory_order_relaxed); }
+
+void SetNowSeconds(double seconds) {
+  g_now_ns.store(static_cast<uint64_t>(seconds * 1e9),
+                 std::memory_order_relaxed);
+}
+
+WindowOptions FakeWindow(size_t buckets, double tick_seconds) {
+  WindowOptions options;
+  options.buckets = buckets;
+  options.tick_seconds = tick_seconds;
+  options.now_ns = &FakeNow;
+  return options;
+}
+
+/// Exact linearly-interpolated order statistic over `values` — the reference
+/// the exact-quantile path must match.
+double ReferenceQuantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+// ---------------------------------------------------------------------------
+// WindowedCounter.
+// ---------------------------------------------------------------------------
+
+TEST(WindowedCounterTest, RotatesAtTickBoundaries) {
+  SetNowSeconds(0.0);
+  WindowedCounter counter(FakeWindow(4, 1.0));
+
+  SetNowSeconds(0.5);
+  counter.Inc(5.0);
+  WindowedCounterSnapshot snap = counter.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.total, 5.0);
+  EXPECT_DOUBLE_EQ(snap.cumulative, 5.0);
+  // Only the first sub-window is resident: the rate reflects 1 tick, not 4.
+  EXPECT_DOUBLE_EQ(snap.window_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(snap.Rate(), 5.0);
+
+  SetNowSeconds(1.5);  // epoch 1: a new sub-window opens, epoch 0 stays live.
+  counter.Inc(3.0);
+  snap = counter.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.total, 8.0);
+  EXPECT_DOUBLE_EQ(snap.window_seconds, 2.0);
+
+  // Advance to epoch 4: the window covers epochs 1..4, so epoch 0's 5.0
+  // slides out while the cumulative total keeps it.
+  SetNowSeconds(4.25);
+  snap = counter.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.total, 3.0);
+  EXPECT_DOUBLE_EQ(snap.cumulative, 8.0);
+  EXPECT_DOUBLE_EQ(snap.window_seconds, 4.0);
+}
+
+TEST(WindowedCounterTest, WholeWindowExpiresAfterQuietSpell) {
+  SetNowSeconds(0.0);
+  WindowedCounter counter(FakeWindow(4, 1.0));
+  counter.Inc(10.0);
+  // A gap of >= buckets ticks invalidates every slot at once (the full-reset
+  // rotation path), even though no Inc arrived to trigger rotation.
+  SetNowSeconds(100.0);
+  const WindowedCounterSnapshot snap = counter.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.total, 0.0);
+  EXPECT_DOUBLE_EQ(snap.cumulative, 10.0);
+  EXPECT_DOUBLE_EQ(snap.window_seconds, 4.0);
+}
+
+TEST(WindowedCounterTest, SubSecondTicks) {
+  SetNowSeconds(0.0);
+  WindowedCounter counter(FakeWindow(10, 0.1));
+  for (int i = 0; i < 8; ++i) {
+    SetNowSeconds(0.1 * i);
+    counter.Inc();
+  }
+  const WindowedCounterSnapshot snap = counter.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.total, 8.0);
+  EXPECT_NEAR(snap.window_seconds, 0.8, 1e-9);
+  EXPECT_NEAR(snap.Rate(), 10.0, 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// WindowedHistogram.
+// ---------------------------------------------------------------------------
+
+TEST(WindowedHistogramTest, ExactQuantilesWhenSmall) {
+  SetNowSeconds(0.0);
+  WindowedHistogram hist(FakeWindow(5, 1.0), {});
+  eadrl::Rng rng(7);
+  std::vector<double> values;
+  for (int i = 0; i < 40; ++i) {
+    // Spread across 3 sub-windows so the exact path must stitch slots.
+    SetNowSeconds(static_cast<double>(i % 3));
+    const double v = rng.Uniform() * 0.25;
+    values.push_back(v);
+    hist.Observe(v);
+  }
+  SetNowSeconds(2.5);
+  const WindowedHistogramSnapshot snap = hist.Snapshot();
+  ASSERT_EQ(snap.values.count, 40u);
+  ASSERT_EQ(snap.values.samples.size(), 40u);
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(snap.values.Quantile(q), ReferenceQuantile(values, q))
+        << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(snap.values.min,
+                   *std::min_element(values.begin(), values.end()));
+  EXPECT_DOUBLE_EQ(snap.values.max,
+                   *std::max_element(values.begin(), values.end()));
+}
+
+TEST(WindowedHistogramTest, FallsBackToBucketsPastSampleBudget) {
+  SetNowSeconds(0.0);
+  WindowedHistogram hist(FakeWindow(5, 1.0), {});
+  eadrl::Rng rng(11);
+  double mn = 1e300;
+  double mx = -1e300;
+  for (int i = 0; i < 700; ++i) {
+    const double v = 1e-4 + rng.Uniform() * 0.1;
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+    hist.Observe(v);
+  }
+  const WindowedHistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.values.count, 700u);
+  EXPECT_TRUE(snap.values.samples.empty());
+  const double p50 = snap.values.Quantile(0.5);
+  EXPECT_GE(p50, mn);
+  EXPECT_LE(p50, mx);
+  EXPECT_EQ(hist.CumulativeCount(), 700u);
+}
+
+TEST(WindowedHistogramTest, WindowSlidesPastOldObservations) {
+  SetNowSeconds(0.0);
+  WindowedHistogram hist(FakeWindow(3, 1.0), {});
+  hist.Observe(1.0);
+  hist.Observe(2.0);
+  SetNowSeconds(1.5);
+  hist.Observe(8.0);
+  WindowedHistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.values.count, 3u);
+
+  SetNowSeconds(3.5);  // window = epochs 1..3: the two epoch-0 values expire.
+  snap = hist.Snapshot();
+  ASSERT_EQ(snap.values.count, 1u);
+  EXPECT_DOUBLE_EQ(snap.values.min, 8.0);
+  EXPECT_DOUBLE_EQ(snap.values.max, 8.0);
+  EXPECT_EQ(hist.CumulativeCount(), 3u);
+
+  SetNowSeconds(50.0);  // everything expires.
+  snap = hist.Snapshot();
+  EXPECT_EQ(snap.values.count, 0u);
+  EXPECT_TRUE(snap.values.samples.empty());
+}
+
+// ---------------------------------------------------------------------------
+// HistogramSnapshot: the exact-small path and merge algebra.
+// ---------------------------------------------------------------------------
+
+TEST(HistogramSnapshotTest, PlainHistogramExactSmallParity) {
+  Histogram hist(Histogram::DefaultLatencyBounds());
+  eadrl::Rng rng(3);
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) {
+    const double v = rng.Uniform() * 2.0;
+    values.push_back(v);
+    hist.Observe(v);
+  }
+  const HistogramSnapshot snap = hist.Snapshot();
+  ASSERT_EQ(snap.samples.size(), 100u);
+  for (const double q : {0.0, 0.1, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(snap.Quantile(q), ReferenceQuantile(values, q))
+        << "q=" << q;
+  }
+}
+
+TEST(HistogramSnapshotTest, MergeIsAssociativeOnDerivedStats) {
+  eadrl::Rng rng(19);
+  // Histogram holds atomics (no move), so three named instances.
+  const std::vector<double> bounds = Histogram::ExponentialBounds(0.01, 2.0, 12);
+  Histogram ha(bounds);
+  Histogram hb(bounds);
+  Histogram hc(bounds);
+  Histogram* hists[] = {&ha, &hb, &hc};
+  std::vector<double> all;
+  for (int h = 0; h < 3; ++h) {
+    for (int i = 0; i < 30; ++i) {
+      const double v = rng.Uniform() * (h + 1);
+      all.push_back(v);
+      hists[h]->Observe(v);
+    }
+  }
+  const HistogramSnapshot a = ha.Snapshot();
+  const HistogramSnapshot b = hb.Snapshot();
+  const HistogramSnapshot c = hc.Snapshot();
+
+  HistogramSnapshot ab_c = a;
+  ab_c.MergeFrom(b);
+  ab_c.MergeFrom(c);
+
+  HistogramSnapshot bc = b;
+  bc.MergeFrom(c);
+  HistogramSnapshot a_bc = a;
+  a_bc.MergeFrom(bc);
+
+  // 90 observations fit the exact budget, so both merge orders must agree
+  // exactly with the pooled reference on every derived statistic.
+  for (HistogramSnapshot* m : {&ab_c, &a_bc}) {
+    EXPECT_EQ(m->count, 90u);
+    ASSERT_EQ(m->samples.size(), 90u);
+    EXPECT_DOUBLE_EQ(m->min, *std::min_element(all.begin(), all.end()));
+    EXPECT_DOUBLE_EQ(m->max, *std::max_element(all.begin(), all.end()));
+    for (const double q : {0.1, 0.5, 0.99}) {
+      EXPECT_DOUBLE_EQ(m->Quantile(q), ReferenceQuantile(all, q));
+    }
+  }
+  EXPECT_DOUBLE_EQ(ab_c.sum, a_bc.sum);
+}
+
+TEST(HistogramSnapshotTest, MergePastBudgetDropsSamplesKeepsTotals) {
+  const std::vector<double> bounds = Histogram::ExponentialBounds(0.001, 2.0, 12);
+  Histogram h1(bounds);
+  Histogram h2(bounds);
+  for (int i = 0; i < 200; ++i) h1.Observe(0.001 * (i + 1));
+  for (int i = 0; i < 200; ++i) h2.Observe(0.002 * (i + 1));
+  HistogramSnapshot merged = h1.Snapshot();
+  merged.MergeFrom(h2.Snapshot());
+  EXPECT_EQ(merged.count, 400u);
+  EXPECT_TRUE(merged.samples.empty());  // 400 > kExactQuantileSamples.
+  EXPECT_NEAR(merged.sum, 0.001 * 200 * 201 / 2 + 0.002 * 200 * 201 / 2,
+              1e-9);
+  EXPECT_DOUBLE_EQ(merged.min, 0.001);
+  EXPECT_DOUBLE_EQ(merged.max, 0.4);
+}
+
+// ---------------------------------------------------------------------------
+// MetricRegistry windowed kinds.
+// ---------------------------------------------------------------------------
+
+TEST(MetricRegistryWindowedTest, StablePointersAndRenderings) {
+  SetNowSeconds(0.0);
+  MetricRegistry registry;
+  const WindowOptions window = FakeWindow(4, 1.0);
+  WindowedCounter* wc = registry.GetWindowedCounter("demo_requests", window);
+  WindowedHistogram* wh =
+      registry.GetWindowedHistogram("demo_latency_seconds", window);
+  ASSERT_NE(wc, nullptr);
+  ASSERT_NE(wh, nullptr);
+  // First registration wins; later lookups return the same instance.
+  EXPECT_EQ(registry.GetWindowedCounter("demo_requests", FakeWindow(99, 9.0)),
+            wc);
+  EXPECT_EQ(registry.GetWindowedHistogram("demo_latency_seconds", window), wh);
+
+  wc->Inc(3.0);
+  wh->Observe(0.002);
+  wh->Observe(0.004);
+
+  const std::string js = registry.ToJson();
+  auto parsed = json::Parse(js);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const json::Value* family = parsed.value().Find("demo_requests");
+  ASSERT_NE(family, nullptr);
+  EXPECT_NE(js.find("demo_latency_seconds"), std::string::npos);
+
+  const std::string prom = registry.ToPrometheus();
+  EXPECT_NE(prom.find("demo_requests"), std::string::npos);
+  EXPECT_NE(prom.find("demo_latency_seconds"), std::string::npos);
+
+  const std::string csv = registry.ToCsv();
+  EXPECT_NE(csv.find("demo_requests"), std::string::npos);
+  EXPECT_NE(csv.find("demo_latency_seconds"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eadrl::obs

@@ -12,15 +12,19 @@
 #   stage 5  serve   smoke: eadrl_serve replays Poisson traffic against the
 #                    serving layer (clean run + validated trace), then an
 #                    oversubscribed run that must shed (--expect-shed)
-#   stage 6  wthread clang -Wthread-safety analysis over the EADRL_GUARDED_BY
+#   stage 6  slo     smoke: a deliberately overloaded eadrl_serve run with a
+#                    sub-millisecond SLO must fire slo_breach telemetry
+#                    (--expect-slo-breach), and its exported Prometheus/JSON
+#                    metric snapshots must validate under eadrl_metrics_check
+#   stage 7  wthread clang -Wthread-safety analysis over the EADRL_GUARDED_BY
 #                    annotations (skipped with a note when clang++ is not
 #                    installed; eadrl_lint's guarded-by rules still gate)
-#   stage 7  tsan    tier-1 suite under ThreadSanitizer, EADRL_THREADS=N,
+#   stage 8  tsan    tier-1 suite under ThreadSanitizer, EADRL_THREADS=N,
 #                    with the runtime lock-order tracker forced on
 #                    (EADRL_LOCKDEP=1) so lockdep sees sanitizer-grade
 #                    interleavings
-#   stage 8  asan    tier-1 suite under AddressSanitizer
-#   stage 9  ubsan   tier-1 suite under UndefinedBehaviorSanitizer
+#   stage 9  asan    tier-1 suite under AddressSanitizer
+#   stage 10 ubsan   tier-1 suite under UndefinedBehaviorSanitizer
 #                    (-fno-sanitize-recover=all: any UB aborts the test)
 #
 # Each stage reports wall-clock seconds; the summary at the end shows all of
@@ -132,6 +136,36 @@ stage_serve_smoke() {
   rm -rf "$serve_dir"
 }
 
+stage_slo_smoke() {
+  # Live-observability smoke (see DESIGN.md, "Live serving observability").
+  # An oversubscribed replay with a 10 us latency SLO must breach: the run
+  # exits nonzero unless an slo_breach edge fired (--expect-slo-breach), the
+  # telemetry stream must contain the registered slo_breach event, and both
+  # exporter formats must validate — the Prometheus snapshot against the
+  # exposition grammar (with the SLO series present) and a JSON snapshot
+  # against the eadrl-metrics schema (with the windowed serve stats present).
+  local slo_dir
+  slo_dir="$(mktemp -d)"
+  "$SRC_DIR/build-gate/tools/eadrl_serve" \
+    --tenants 64 --requests 1500 --qps 300000 --episodes 2 \
+    --threads "$THREADS" --max-queue 32 --max-inflight 48 \
+    --slo-latency-ms 0.01 --slo-target 0.999 --expect-slo-breach \
+    --telemetry "$slo_dir/events.jsonl" \
+    --export-metrics "$slo_dir/metrics.prom" --export-interval 0.2 \
+    --tenant-top 5
+  grep -q '"kind":"slo_breach"' "$slo_dir/events.jsonl"
+  "$SRC_DIR/build-gate/tools/eadrl_metrics_check" \
+    --require eadrl_slo_burn_rate --require eadrl_serve_window_predict_qps \
+    "$slo_dir/metrics.prom"
+  "$SRC_DIR/build-gate/tools/eadrl_serve" \
+    --tenants 16 --requests 400 --qps 50000 --episodes 2 \
+    --threads "$THREADS" --slo-latency-ms 50 \
+    --export-metrics "$slo_dir/metrics.json" --export-interval 0.2
+  "$SRC_DIR/build-gate/tools/eadrl_metrics_check" \
+    --require window_predict_qps --require slo "$slo_dir/metrics.json"
+  rm -rf "$slo_dir"
+}
+
 stage_thread_safety() {
   # Static lock analysis, compiler half: build libeadrl under clang with
   # -Wthread-safety, which checks the EADRL_GUARDED_BY/REQUIRES annotations
@@ -169,6 +203,7 @@ run_stage werror stage_werror
 run_stage trace stage_trace_smoke
 run_stage bench stage_bench_smoke
 run_stage serve stage_serve_smoke
+run_stage slo stage_slo_smoke
 run_stage wthread stage_thread_safety
 run_stage tsan stage_sanitizer thread
 run_stage asan stage_sanitizer address

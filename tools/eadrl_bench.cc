@@ -55,7 +55,8 @@ using eadrl::obs::BenchSnapshot;
 // The google-benchmark suites a snapshot covers, in bench/ of the build dir.
 constexpr const char* kGbmSuites[] = {"batched_kernels", "chk_bench",
                                       "micro_benchmarks", "parallel_bench",
-                                      "serve_bench", "trace_bench"};
+                                      "serve_bench", "trace_bench",
+                                      "window_bench"};
 
 struct Args {
   std::string out;

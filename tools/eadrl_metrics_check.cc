@@ -1,0 +1,250 @@
+// eadrl_metrics_check: validates a metrics snapshot written by
+// eadrl::obs::MetricsExporter (the --export-metrics flag of eadrl_serve).
+//
+// JSON snapshots must parse strictly (common/json.h), carry a "schema"
+// string starting with "eadrl-metrics-", a numeric "sequence" and
+// "unix_seconds", and at least one of "metrics" / "sections" as a non-empty
+// object. Prometheus snapshots are checked line by line against the text
+// exposition grammar: '#' comment lines ("# TYPE <name> <kind>" must be
+// well-formed), blank lines, or samples of the form `name value` /
+// `name{label="v",...} value` with a legal metric name and a finite value.
+//
+// Usage:
+//   eadrl_metrics_check [--format json|prom|auto] [--require NAME]... FILE
+//
+// --require NAME demands that NAME appears in the document (a metric family
+// in prom mode, any key/name in JSON mode) — check.sh's slo-smoke stage uses
+// it to prove the SLO series actually made it into the export.
+//
+// Exit status: 0 clean, 1 validation failure, 2 usage/IO error.
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace {
+
+using eadrl::json::Value;
+
+int Fail(const std::string& what) {
+  std::fprintf(stderr, "eadrl_metrics_check: %s\n", what.c_str());
+  return 1;
+}
+
+bool IsMetricNameChar(char c, bool first) {
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':') {
+    return true;
+  }
+  return !first && std::isdigit(static_cast<unsigned char>(c));
+}
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    if (!IsMetricNameChar(name[i], i == 0)) return false;
+  }
+  return true;
+}
+
+/// One exposition line that is not a comment or blank:
+///   name[{key="value",...}] <float>
+bool ValidSampleLine(const std::string& line, std::string* name) {
+  size_t i = 0;
+  while (i < line.size() && IsMetricNameChar(line[i], i == 0)) ++i;
+  *name = line.substr(0, i);
+  if (!ValidMetricName(*name)) return false;
+  if (i < line.size() && line[i] == '{') {
+    // Scan the label block; quotes may contain anything except a raw
+    // newline (escapes pass through — we only need the closing brace).
+    ++i;
+    bool in_quotes = false;
+    for (; i < line.size(); ++i) {
+      if (in_quotes) {
+        if (line[i] == '\\') {
+          ++i;  // skip the escaped char
+        } else if (line[i] == '"') {
+          in_quotes = false;
+        }
+      } else if (line[i] == '"') {
+        in_quotes = true;
+      } else if (line[i] == '}') {
+        break;
+      }
+    }
+    if (i >= line.size() || line[i] != '}') return false;
+    ++i;
+  }
+  if (i >= line.size() || (line[i] != ' ' && line[i] != '\t')) return false;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  char* end = nullptr;
+  const double v = std::strtod(line.c_str() + i, &end);
+  if (end == line.c_str() + i) return false;
+  while (*end == ' ' || *end == '\t') ++end;
+  if (*end != '\0') return false;
+  return !std::isnan(v);  // +Inf bucket bounds are legal sample values.
+}
+
+int CheckPrometheus(const std::string& text,
+                    const std::vector<std::string>& required) {
+  std::istringstream in(text);
+  std::string line;
+  size_t lineno = 0;
+  size_t samples = 0;
+  std::vector<std::string> names;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // "# TYPE <name> <kind>" comments must at least name a legal metric.
+      std::istringstream c(line);
+      std::string hash, kw, name, kind;
+      c >> hash >> kw;
+      if (kw == "TYPE") {
+        if (!(c >> name >> kind) || !ValidMetricName(name)) {
+          return Fail("line " + std::to_string(lineno) +
+                      ": malformed # TYPE comment");
+        }
+        names.push_back(name);
+      }
+      continue;
+    }
+    std::string name;
+    if (!ValidSampleLine(line, &name)) {
+      return Fail("line " + std::to_string(lineno) +
+                  ": not a valid exposition sample: " + line);
+    }
+    names.push_back(name);
+    ++samples;
+  }
+  if (samples == 0) return Fail("no samples in exposition");
+  for (const std::string& want : required) {
+    bool found = false;
+    for (const std::string& name : names) {
+      if (name == want || name.rfind(want, 0) == 0) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return Fail("required metric missing: " + want);
+  }
+  std::printf("eadrl_metrics_check: ok (%zu samples)\n", samples);
+  return 0;
+}
+
+int CheckJson(const std::string& text,
+              const std::vector<std::string>& required) {
+  auto parsed = eadrl::json::Parse(text);
+  if (!parsed.ok()) return Fail(parsed.status().ToString());
+  const Value& root = parsed.value();
+  if (!root.is_object()) return Fail("top level is not an object");
+
+  const Value* schema = root.Find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->AsString().rfind("eadrl-metrics-", 0) != 0) {
+    return Fail("missing or unrecognized \"schema\"");
+  }
+  const Value* sequence = root.Find("sequence");
+  if (sequence == nullptr || !sequence->is_number()) {
+    return Fail("missing numeric \"sequence\"");
+  }
+  const Value* unix_seconds = root.Find("unix_seconds");
+  if (unix_seconds == nullptr || !unix_seconds->is_number()) {
+    return Fail("missing numeric \"unix_seconds\"");
+  }
+  const Value* metrics = root.Find("metrics");
+  const Value* sections = root.Find("sections");
+  const bool has_metrics =
+      metrics != nullptr && metrics->is_object() && !metrics->AsObject().empty();
+  const bool has_sections = sections != nullptr && sections->is_object() &&
+                            !sections->AsObject().empty();
+  if (metrics != nullptr && !metrics->is_object()) {
+    return Fail("\"metrics\" is not an object");
+  }
+  if (sections != nullptr && !sections->is_object()) {
+    return Fail("\"sections\" is not an object");
+  }
+  if (!has_metrics && !has_sections) {
+    return Fail("neither \"metrics\" nor \"sections\" has content");
+  }
+  // --require in JSON mode: the name must appear as a key somewhere in the
+  // raw document — cheap, and exact enough for family names.
+  for (const std::string& want : required) {
+    if (text.find("\"" + want + "\"") == std::string::npos &&
+        text.find(want) == std::string::npos) {
+      return Fail("required name missing: " + want);
+    }
+  }
+  std::printf("eadrl_metrics_check: ok (%s, sequence %.0f)\n",
+              schema->AsString().c_str(), sequence->AsNumber());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string format = "auto";
+  std::vector<std::string> required;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--format") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --format\n");
+        return 2;
+      }
+      format = argv[++i];
+      if (format != "json" && format != "prom" && format != "auto") {
+        std::fprintf(stderr, "--format must be json, prom or auto\n");
+        return 2;
+      }
+    } else if (flag == "--require") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --require\n");
+        return 2;
+      }
+      required.push_back(argv[++i]);
+    } else if (!flag.empty() && flag[0] == '-') {
+      std::fprintf(stderr,
+                   "usage: eadrl_metrics_check [--format json|prom|auto] "
+                   "[--require NAME]... FILE\n");
+      return 2;
+    } else if (path.empty()) {
+      path = flag;
+    } else {
+      std::fprintf(stderr, "more than one input file\n");
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "usage: eadrl_metrics_check [--format json|prom|auto] "
+                 "[--require NAME]... FILE\n");
+    return 2;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "eadrl_metrics_check: cannot read %s\n",
+                 path.c_str());
+    return 2;
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  const std::string text = os.str();
+
+  if (format == "auto") {
+    format = path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0
+                 ? "json"
+                 : "prom";
+  }
+  return format == "json" ? CheckJson(text, required)
+                          : CheckPrometheus(text, required);
+}

@@ -8,6 +8,15 @@
 // occupancy; optionally exports a Chrome trace and the span-profiler report
 // (serve_request / serve_batch / serve_admission rows).
 //
+// Live observability (PR 10): --report-interval prints a windowed stats
+// line (QPS, p99, shed rate, queue delay) every interval while the replay
+// runs; --export-metrics starts a background obs::MetricsExporter writing
+// atomic Prometheus/JSON snapshots; --slo-latency-ms enables the service's
+// SLO tracker (predict-latency + availability objectives with burn-rate
+// alerting) and --expect-slo-breach gates the overload path on it;
+// --tenant-top prints the per-tenant latency drill-down; --telemetry streams
+// every registered event (slo_breach, serve_shed, ...) as JSON lines.
+//
 // Usage:
 //   eadrl_serve [--tenants N] [--requests N] [--qps Q]
 //               [--schedule poisson|bursty] [--burst-factor F]
@@ -16,19 +25,31 @@
 //               [--episodes N] [--threads N] [--seed S] [--no-observe]
 //               [--trace FILE] [--profile-report]
 //               [--expect-shed] [--min-occupancy X]
+//               [--report-interval SEC] [--export-metrics FILE]
+//               [--export-interval SEC] [--slo-latency-ms MS]
+//               [--slo-target T] [--expect-slo-breach] [--tenant-top N]
+//               [--telemetry FILE]
 //
-// Exit status: 0 on success, 1 when an --expect-shed / --min-occupancy
-// expectation failed, 2 on usage or setup errors — so check.sh can gate on
-// both the happy path and the overload path.
+// Exit status: 0 on success, 1 when an --expect-shed / --min-occupancy /
+// --expect-slo-breach expectation failed, 2 on usage or setup errors — so
+// check.sh can gate on both the happy path and the overload path.
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <thread>
 
 #include "core/eadrl.h"
 #include "exp/experiment.h"
+#include "obs/exporter.h"
+#include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "par/thread_pool.h"
 #include "serve/replay.h"
@@ -62,6 +83,14 @@ struct Args {
   bool profile_report = false;
   bool expect_shed = false;
   double min_occupancy = 0.0;
+  double report_interval = 0.0;  ///< 0 = no live interval lines.
+  std::string export_metrics;    ///< exporter output path ("" = off).
+  double export_interval = 1.0;
+  double slo_latency_ms = 0.0;   ///< > 0 enables the SLO tracker.
+  double slo_target = 0.99;
+  bool expect_slo_breach = false;
+  size_t tenant_top = 0;         ///< top-K drill-down rows to print.
+  std::string telemetry;         ///< JSON-lines event sink path ("" = off).
 };
 
 void Usage() {
@@ -73,7 +102,11 @@ void Usage() {
       "                   [--linger-us U] [--shards N] [--max-sessions N]\n"
       "                   [--ttl SEC] [--episodes N] [--threads N] [--seed S]\n"
       "                   [--no-observe] [--trace FILE] [--profile-report]\n"
-      "                   [--expect-shed] [--min-occupancy X]\n");
+      "                   [--expect-shed] [--min-occupancy X]\n"
+      "                   [--report-interval SEC] [--export-metrics FILE]\n"
+      "                   [--export-interval SEC] [--slo-latency-ms MS]\n"
+      "                   [--slo-target T] [--expect-slo-breach]\n"
+      "                   [--tenant-top N] [--telemetry FILE]\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -151,6 +184,29 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (flag == "--min-occupancy") {
       if ((v = next("--min-occupancy")) == nullptr) return false;
       args->min_occupancy = std::atof(v);
+    } else if (flag == "--report-interval") {
+      if ((v = next("--report-interval")) == nullptr) return false;
+      args->report_interval = std::atof(v);
+    } else if (flag == "--export-metrics") {
+      if ((v = next("--export-metrics")) == nullptr) return false;
+      args->export_metrics = v;
+    } else if (flag == "--export-interval") {
+      if ((v = next("--export-interval")) == nullptr) return false;
+      args->export_interval = std::atof(v);
+    } else if (flag == "--slo-latency-ms") {
+      if ((v = next("--slo-latency-ms")) == nullptr) return false;
+      args->slo_latency_ms = std::atof(v);
+    } else if (flag == "--slo-target") {
+      if ((v = next("--slo-target")) == nullptr) return false;
+      args->slo_target = std::atof(v);
+    } else if (flag == "--expect-slo-breach") {
+      args->expect_slo_breach = true;
+    } else if (flag == "--tenant-top") {
+      if ((v = next("--tenant-top")) == nullptr) return false;
+      args->tenant_top = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--telemetry") {
+      if ((v = next("--telemetry")) == nullptr) return false;
+      args->telemetry = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       Usage();
@@ -158,6 +214,46 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     }
   }
   return true;
+}
+
+/// "serve" exporter section: one JSON object of live service stats.
+std::string ServeStatsJson(const eadrl::serve::ForecastService& service) {
+  const eadrl::serve::ServeStats s = service.Stats();
+  std::ostringstream out;
+  out << "{\"sessions\":" << s.sessions << ",\"predicts\":" << s.predicts
+      << ",\"observes\":" << s.observes << ",\"shed\":" << s.shed
+      << ",\"inflight\":" << s.inflight << ",\"queue_depth\":" << s.queue_depth
+      << ",\"window_seconds\":" << s.window_seconds
+      << ",\"window_predict_qps\":" << s.window_predict_qps
+      << ",\"window_shed_rate\":" << s.window_shed_rate
+      << ",\"window_predict_p50_s\":" << s.window_predict_p50_s
+      << ",\"window_predict_p99_s\":" << s.window_predict_p99_s
+      << ",\"queue_delay_count\":" << s.queue_delay_count
+      << ",\"queue_delay_mean_s\":" << s.queue_delay_mean_s
+      << ",\"queue_delay_p50_s\":" << s.queue_delay_p50_s
+      << ",\"queue_delay_p99_s\":" << s.queue_delay_p99_s
+      << ",\"queue_delay_max_s\":" << s.queue_delay_max_s << "}";
+  return out.str();
+}
+
+/// "serve" exporter section, Prometheus flavour: the windowed gauges that a
+/// scraper cannot derive from the cumulative registry metrics.
+void AppendServeStatsProm(const eadrl::serve::ForecastService& service,
+                          std::string* out) {
+  const eadrl::serve::ServeStats s = service.Stats();
+  char line[192];
+  auto emit = [out, &line](const char* name, double value) {
+    std::snprintf(line, sizeof(line), "# TYPE %s gauge\n%s %.9g\n", name, name,
+                  value);
+    out->append(line);
+  };
+  emit("eadrl_serve_window_predict_qps", s.window_predict_qps);
+  emit("eadrl_serve_window_shed_rate", s.window_shed_rate);
+  emit("eadrl_serve_window_predict_p50_seconds", s.window_predict_p50_s);
+  emit("eadrl_serve_window_predict_p99_seconds", s.window_predict_p99_s);
+  emit("eadrl_serve_queue_delay_p50_seconds", s.queue_delay_p50_s);
+  emit("eadrl_serve_queue_delay_p99_seconds", s.queue_delay_p99_s);
+  emit("eadrl_serve_queue_delay_max_seconds", s.queue_delay_max_s);
 }
 
 int Run(const Args& args) {
@@ -197,8 +293,95 @@ int Run(const Args& args) {
   config.max_inflight = args.max_inflight;
   config.linger_us = args.linger_us;
   config.pool = &serve_pool;
+  // Windowed stats and drill-down are opt-in in ServeConfig (hot-path
+  // cost); the load driver is exactly where the live view pays for itself.
+  config.windowed_stats = true;
+  config.tenant_drilldown = 64;
+  config.policy_drilldown = 16;
+  if (args.slo_latency_ms > 0.0) {
+    config.slo.enabled = true;
+    config.slo.latency_threshold_seconds = args.slo_latency_ms / 1000.0;
+    config.slo.latency_target = args.slo_target;
+  }
   eadrl::serve::ForecastService service(config);
   const size_t policy_id = service.RegisterPolicy(std::move(combiner));
+
+  // Background exporter: atomic snapshots of the default registry plus the
+  // service-owned sections (windowed stats, SLO, drill-down families).
+  std::unique_ptr<eadrl::obs::MetricsExporter> exporter;
+  if (!args.export_metrics.empty()) {
+    eadrl::obs::MetricsExporter::Options eopt;
+    eopt.path = args.export_metrics;
+    eopt.interval_seconds = args.export_interval;
+    eopt.registry = &eadrl::obs::MetricRegistry::Default();
+    exporter = std::make_unique<eadrl::obs::MetricsExporter>(eopt);
+    exporter->AddSection(
+        {"serve", [&service] { return ServeStatsJson(service); },
+         [&service](std::string* out) { AppendServeStatsProm(service, out); }});
+    if (service.slo_tracker() != nullptr) {
+      exporter->AddSection(
+          {"slo", [&service] { return service.slo_tracker()->ToJsonValue(); },
+           [&service](std::string* out) {
+             service.slo_tracker()->AppendPrometheus(out);
+           }});
+      // Evaluate on every export tick so breach/recover edges fire even when
+      // the drain path goes idle (nothing drained = nobody else evaluates).
+      exporter->SetOnExport([&service] { service.slo_tracker()->Evaluate(); });
+    }
+    const size_t top = args.tenant_top > 0 ? args.tenant_top : 10;
+    if (service.tenant_drilldown() != nullptr) {
+      exporter->AddSection(
+          {"tenants",
+           [&service, top] {
+             return service.tenant_drilldown()->ToJsonValue(top);
+           },
+           [&service, top](std::string* out) {
+             service.tenant_drilldown()->AppendPrometheus(out, top);
+           }});
+    }
+    if (service.policy_drilldown() != nullptr) {
+      exporter->AddSection(
+          {"policies",
+           [&service, top] {
+             return service.policy_drilldown()->ToJsonValue(top);
+           },
+           [&service, top](std::string* out) {
+             service.policy_drilldown()->AppendPrometheus(out, top);
+           }});
+    }
+    exporter->Start();
+  }
+
+  // Live interval reporter: one windowed-stats line per interval while the
+  // replay runs. Off by default so replay gates stay line-deterministic.
+  std::atomic<bool> reporter_stop{false};
+  std::thread reporter;
+  if (args.report_interval > 0.0) {
+    reporter = std::thread([&service, &reporter_stop, &args] {
+      const auto interval = std::chrono::duration_cast<
+          std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(args.report_interval));
+      const auto start = std::chrono::steady_clock::now();
+      auto next_tick = start + interval;
+      while (!reporter_stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        const auto now = std::chrono::steady_clock::now();
+        if (now < next_tick) continue;
+        next_tick += interval;
+        const eadrl::serve::ServeStats s = service.Stats();
+        std::printf(
+            "[t+%5.1fs] qps %7.0f shed/s %6.1f p50 %7.3f ms p99 %7.3f ms "
+            "qdelay p99 %7.3f ms depth %llu inflight %llu\n",
+            std::chrono::duration<double>(now - start).count(),
+            s.window_predict_qps, s.window_shed_rate,
+            s.window_predict_p50_s * 1e3, s.window_predict_p99_s * 1e3,
+            s.queue_delay_p99_s * 1e3,
+            static_cast<unsigned long long>(s.queue_depth),
+            static_cast<unsigned long long>(s.inflight));
+        std::fflush(stdout);
+      }
+    });
+  }
 
   eadrl::serve::ReplayOptions replay;
   replay.tenants = args.tenants;
@@ -218,6 +401,20 @@ int Run(const Args& args) {
           : "bursty");
   StatusOr<eadrl::serve::ReplayReport> report = eadrl::serve::RunOpenLoopReplay(
       &service, pool.test_preds, pool.test_actuals, replay);
+
+  // Quiesce the observers before reporting (or bailing): the reporter thread
+  // must be joined on every path, and Stop flushes one final export so the
+  // snapshot file reflects final totals.
+  reporter_stop.store(true, std::memory_order_relaxed);
+  if (reporter.joinable()) reporter.join();
+  if (exporter != nullptr) {
+    exporter->Stop();
+    std::printf("metrics exported to %s (%llu snapshots, %llu failures)\n",
+                args.export_metrics.c_str(),
+                static_cast<unsigned long long>(exporter->exports()),
+                static_cast<unsigned long long>(exporter->failures()));
+  }
+
   if (!report.ok()) {
     std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
     return 2;
@@ -253,6 +450,52 @@ int Run(const Args& args) {
               static_cast<unsigned long long>(stats.evictions_lru),
               static_cast<unsigned long long>(stats.evictions_ttl));
 
+  std::printf("\n--- windowed (last %.1f s) ---\n", stats.window_seconds);
+  std::printf("window predict qps   %.0f\n", stats.window_predict_qps);
+  std::printf("window shed rate     %.1f /s\n", stats.window_shed_rate);
+  std::printf("window predict p50   %.3f ms\n", stats.window_predict_p50_s * 1e3);
+  std::printf("window predict p99   %.3f ms\n", stats.window_predict_p99_s * 1e3);
+  std::printf("queue delay          n=%llu mean %.3f ms p50 %.3f ms "
+              "p99 %.3f ms max %.3f ms\n",
+              static_cast<unsigned long long>(stats.queue_delay_count),
+              stats.queue_delay_mean_s * 1e3, stats.queue_delay_p50_s * 1e3,
+              stats.queue_delay_p99_s * 1e3, stats.queue_delay_max_s * 1e3);
+
+  if (service.slo_tracker() != nullptr) {
+    service.slo_tracker()->Evaluate();  // final edge check before reporting.
+    const eadrl::obs::SloReport slo = service.slo_tracker()->Report();
+    std::printf("\n--- slo report ---\n");
+    for (const eadrl::obs::SloObjectiveReport& o : slo.objectives) {
+      std::printf(
+          "%-16s good %llu bad %llu budget %.2fx burn long %.2f short %.2f "
+          "%s (breaches %llu, recoveries %llu)\n",
+          o.name.c_str(), static_cast<unsigned long long>(o.good),
+          static_cast<unsigned long long>(o.bad), o.budget_consumed,
+          o.burn_rate_long, o.burn_rate_short,
+          o.breached ? "BREACHED" : "ok",
+          static_cast<unsigned long long>(o.breaches),
+          static_cast<unsigned long long>(o.recoveries));
+    }
+  }
+
+  if (args.tenant_top > 0 && service.tenant_drilldown() != nullptr) {
+    const eadrl::obs::LabeledWindowedFamilySnapshot fam =
+        service.tenant_drilldown()->Snapshot(args.tenant_top);
+    std::printf(
+        "\n--- tenant drill-down (top %zu of %zu tracked, overflow %llu, "
+        "evictions %llu) ---\n",
+        args.tenant_top, fam.tracked_labels,
+        static_cast<unsigned long long>(fam.overflow),
+        static_cast<unsigned long long>(fam.evictions));
+    for (const eadrl::obs::LabeledWindowSnapshot& row : fam.top) {
+      std::printf("%-16s n=%-6llu rate %6.1f/s p50 %7.3f ms p99 %7.3f ms\n",
+                  row.label.c_str(),
+                  static_cast<unsigned long long>(row.window.values.count),
+                  row.window.Rate(), row.window.values.Quantile(0.5) * 1e3,
+                  row.window.values.Quantile(0.99) * 1e3);
+    }
+  }
+
   if (args.ttl_seconds > 0.0) {
     const size_t evicted = service.EvictIdleSessions();
     std::printf("ttl sweep            evicted %zu\n", evicted);
@@ -271,6 +514,18 @@ int Run(const Args& args) {
                  report->MeanBatchOccupancy(), args.min_occupancy);
     rc = 1;
   }
+  if (args.expect_slo_breach) {
+    const eadrl::obs::SloTracker* slo = service.slo_tracker();
+    if (slo == nullptr) {
+      std::fprintf(stderr,
+                   "FAIL: --expect-slo-breach requires --slo-latency-ms\n");
+      rc = 1;
+    } else if (slo->Report().TotalBreaches() == 0) {
+      std::fprintf(stderr,
+                   "FAIL: --expect-slo-breach but no slo_breach edge fired\n");
+      rc = 1;
+    }
+  }
   return rc;
 }
 
@@ -280,6 +535,20 @@ int main(int argc, char** argv) {
   Args args;
   if (!ParseArgs(argc, argv, &args)) return 2;
   if (args.threads > 0) eadrl::par::SetDefaultThreads(args.threads);
+
+  // Telemetry streaming: every registered event (serve_shed, slo_breach,
+  // serve_evict, ...) becomes one JSON line. The sink outlives Run — the
+  // service destructor can still emit eviction events while tearing down.
+  std::unique_ptr<eadrl::obs::JsonLinesSink> telemetry_sink;
+  if (!args.telemetry.empty()) {
+    telemetry_sink = std::make_unique<eadrl::obs::JsonLinesSink>(args.telemetry);
+    if (!telemetry_sink->ok()) {
+      std::fprintf(stderr, "cannot open telemetry file %s\n",
+                   args.telemetry.c_str());
+      return 2;
+    }
+    eadrl::obs::SetTelemetrySink(telemetry_sink.get());
+  }
 
   // Tracing (and the span profiler that rides on it) is armed for the whole
   // run when either export was requested.
@@ -291,6 +560,12 @@ int main(int argc, char** argv) {
   }
 
   const int rc = Run(args);
+
+  if (telemetry_sink != nullptr) {
+    eadrl::obs::SetTelemetrySink(nullptr);
+    telemetry_sink->Flush();
+    std::printf("telemetry written to %s\n", args.telemetry.c_str());
+  }
 
   if (trace_buffer != nullptr) {
     eadrl::obs::SetTraceBuffer(nullptr);
